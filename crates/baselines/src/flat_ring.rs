@@ -1,0 +1,273 @@
+//! The flat logical-ring baseline (Nikolaidis & Harms, ICNP 1999 — the
+//! paper's reference [16]).
+//!
+//! Every base station sits on *one* logical ring; the ordering token and
+//! all control information rotate along the full ring. The RingNet paper's
+//! §2 criticism — "since all the control information has to be rotated
+//! along the ring, it may lead to large latency and require large buffers
+//! when the ring becomes large" — is exactly what experiment E1 measures
+//! against this baseline.
+//!
+//! Implementation: the hybrid [`NeState::new_flat_station`] (a top-ring
+//! ordering node that also serves MHs directly) runs the *same* protocol
+//! code as RingNet, so the comparison isolates the structural difference
+//! (one ring of N stations vs a hierarchy of small rings).
+
+use std::sync::Arc;
+
+use ringnet_core::engine::{
+    boxed_mh_actor, boxed_ne_actor, boxed_source_actor, wire_size, AddrMap,
+};
+use ringnet_core::hierarchy::{SourceSpec, TrafficPattern};
+use ringnet_core::{GroupId, Guid, MhState, Msg, NeState, NodeId, ProtoEvent, ProtocolConfig};
+use simnet::{LinkProfile, NodeAddr, Sim, SimDuration, SimTime};
+
+/// Parameters of a flat-ring deployment.
+#[derive(Debug, Clone)]
+pub struct FlatRingSpec {
+    /// The multicast group.
+    pub group: GroupId,
+    /// Protocol parameters.
+    pub cfg: ProtocolConfig,
+    /// Number of base stations on the single ring.
+    pub stations: usize,
+    /// MHs attached per station.
+    pub mhs_per_station: usize,
+    /// Number of sources (≤ stations), assigned to stations 0, 1, ….
+    pub sources: usize,
+    /// Traffic pattern shared by all sources.
+    pub pattern: TrafficPattern,
+    /// Per-source message limit (None = unlimited).
+    pub limit: Option<u64>,
+    /// Ring link profile (station ↔ station).
+    pub ring_link: LinkProfile,
+    /// Wireless link profile (station ↔ MH).
+    pub wireless: LinkProfile,
+}
+
+impl FlatRingSpec {
+    /// A spec with the defaults used by the comparison experiments.
+    pub fn new(stations: usize, mhs_per_station: usize) -> Self {
+        FlatRingSpec {
+            group: GroupId(1),
+            cfg: ProtocolConfig::default(),
+            stations,
+            mhs_per_station,
+            sources: 1,
+            pattern: TrafficPattern::Cbr {
+                interval: SimDuration::from_millis(10),
+            },
+            limit: None,
+            ring_link: LinkProfile::wired(SimDuration::from_millis(5)),
+            wireless: LinkProfile::wireless(
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(1),
+                0.01,
+            ),
+        }
+    }
+}
+
+/// A built flat-ring simulation.
+pub struct FlatRingSim {
+    /// The underlying simulator.
+    pub sim: Sim<Msg, ProtoEvent>,
+    /// Identity ↔ address translation.
+    pub addrs: Arc<AddrMap>,
+    /// The spec it was built from.
+    pub spec: FlatRingSpec,
+}
+
+impl FlatRingSim {
+    /// Instantiate the deployment with the given seed.
+    pub fn build(spec: FlatRingSpec, seed: u64) -> Self {
+        assert!(spec.stations >= 1, "need at least one station");
+        assert!(spec.sources <= spec.stations, "s ≤ r");
+        let mut sim: Sim<Msg, ProtoEvent> = Sim::with_options(seed, true, wire_size);
+
+        let station_ids: Vec<NodeId> = (0..spec.stations as u32).map(NodeId).collect();
+        let mut map = AddrMap::default();
+        let mut next = 0u32;
+        for &id in &station_ids {
+            map.insert_ne(id, NodeAddr(next));
+            next += 1;
+        }
+        let mut source_addrs = Vec::new();
+        for _ in 0..spec.sources {
+            source_addrs.push(NodeAddr(next));
+            next += 1;
+        }
+        let mut mh_assignments: Vec<(Guid, NodeId)> = Vec::new();
+        let mut guid = 0u32;
+        for &st in &station_ids {
+            for _ in 0..spec.mhs_per_station {
+                map.insert_mh(Guid(guid), NodeAddr(next));
+                mh_assignments.push((Guid(guid), st));
+                guid += 1;
+                next += 1;
+            }
+        }
+        let map = Arc::new(map);
+
+        let token_origin = station_ids.iter().min().copied();
+        for &id in &station_ids {
+            let st = NeState::new_flat_station(spec.group, id, station_ids.clone(), spec.cfg.clone());
+            sim.add_node(boxed_ne_actor(st, Arc::clone(&map), token_origin == Some(id)));
+        }
+        for i in 0..spec.sources {
+            let src = SourceSpec {
+                corresponding: station_ids[i],
+                pattern: spec.pattern,
+                start: SimTime::ZERO,
+                stop: None,
+                limit: spec.limit,
+            };
+            let addr = sim.add_node(boxed_source_actor(
+                spec.group,
+                map.ne(src.corresponding).unwrap(),
+                &src,
+            ));
+            debug_assert_eq!(addr, source_addrs[i]);
+        }
+        for &(g, st) in &mh_assignments {
+            let mh = MhState::new(spec.group, g, spec.cfg.clone());
+            sim.add_node(boxed_mh_actor(mh, Arc::clone(&map), Some(st)));
+        }
+
+        // Ring mesh between stations (repair paths included) + source and
+        // wireless links.
+        let w = sim.world();
+        for (i, &a) in station_ids.iter().enumerate() {
+            for &b in station_ids.iter().skip(i + 1) {
+                w.topo
+                    .connect_duplex(map.ne(a).unwrap(), map.ne(b).unwrap(), spec.ring_link.clone());
+            }
+        }
+        for (i, addr) in source_addrs.iter().enumerate() {
+            w.topo.connect_duplex(
+                *addr,
+                map.ne(station_ids[i]).unwrap(),
+                LinkProfile::wired(SimDuration::from_micros(100)),
+            );
+        }
+        for &(g, st) in &mh_assignments {
+            w.topo.connect_duplex(
+                map.mh(g).unwrap(),
+                map.ne(st).unwrap(),
+                spec.wireless.clone(),
+            );
+        }
+
+        FlatRingSim { sim, addrs: map, spec }
+    }
+
+    /// Run until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Flush final statistics and return `(journal, transport stats)`.
+    pub fn finish(mut self) -> (Vec<(SimTime, ProtoEvent)>, simnet::SimStats) {
+        let group = self.spec.group;
+        let targets: Vec<NodeAddr> = self.addrs.addresses().collect();
+        {
+            let w = self.sim.world();
+            for addr in targets {
+                w.inject(addr, addr, Msg::FlushStats { group }, SimDuration::ZERO);
+            }
+        }
+        let t = self.sim.now() + SimDuration::from_nanos(1);
+        self.sim.run_until(t);
+        self.sim.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(stations: usize) -> FlatRingSpec {
+        let mut s = FlatRingSpec::new(stations, 1);
+        s.limit = Some(20);
+        s.pattern = TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(20),
+        };
+        s
+    }
+
+    #[test]
+    fn flat_ring_orders_and_delivers() {
+        let mut net = FlatRingSim::build(spec(4), 1);
+        net.run_until(SimTime::from_secs(3));
+        let (journal, _) = net.finish();
+        let mut per_mh: std::collections::BTreeMap<u32, Vec<u64>> = Default::default();
+        for (_, e) in &journal {
+            if let ProtoEvent::MhDeliver { mh, gsn, .. } = e {
+                per_mh.entry(mh.0).or_default().push(gsn.0);
+            }
+        }
+        assert_eq!(per_mh.len(), 4);
+        for (mh, gsns) in &per_mh {
+            assert_eq!(gsns.len(), 20, "mh{mh}: {gsns:?}");
+            assert!(gsns.windows(2).all(|w| w[0] < w[1]), "mh{mh} in order");
+        }
+    }
+
+    #[test]
+    fn token_rotation_grows_with_ring_size() {
+        // Average gap between consecutive TokenPass events at one node
+        // should grow roughly linearly with the station count.
+        fn rotation_gap(stations: usize) -> f64 {
+            let mut net = FlatRingSim::build(spec(stations), 2);
+            net.run_until(SimTime::from_secs(4));
+            let (journal, _) = net.finish();
+            let times: Vec<SimTime> = journal
+                .iter()
+                .filter_map(|(t, e)| match e {
+                    ProtoEvent::TokenPass { node: NodeId(0), .. } => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            assert!(times.len() > 3, "token rotated at least a few times");
+            let total = times.last().unwrap().saturating_since(times[0]);
+            total.as_secs_f64() / (times.len() - 1) as f64
+        }
+        let small = rotation_gap(3);
+        let large = rotation_gap(12);
+        assert!(
+            large > 2.5 * small,
+            "rotation time should scale with ring size (3: {small:.4}s, 12: {large:.4}s)"
+        );
+    }
+
+    #[test]
+    fn multiple_sources_get_disjoint_numbers() {
+        let mut s = spec(5);
+        s.sources = 3;
+        let mut net = FlatRingSim::build(s, 3);
+        net.run_until(SimTime::from_secs(3));
+        let (journal, _) = net.finish();
+        let mut gsns: Vec<u64> = journal
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ProtoEvent::Ordered { gsn, .. } => Some(gsn.0),
+                _ => None,
+            })
+            .collect();
+        let n = gsns.len();
+        assert_eq!(n, 60, "3 sources × 20 messages");
+        gsns.sort_unstable();
+        gsns.dedup();
+        assert_eq!(gsns.len(), n, "no duplicate global numbers");
+    }
+
+    #[test]
+    fn deterministic() {
+        fn run() -> usize {
+            let mut net = FlatRingSim::build(spec(4), 9);
+            net.run_until(SimTime::from_secs(2));
+            net.finish().0.len()
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,67 @@
+//! Regenerate the paper's evaluation tables.
+//!
+//! ```text
+//! experiments             # full sweeps, all experiments
+//! experiments quick       # CI-sized sweeps
+//! experiments t1 e3       # only the named experiments
+//! experiments json        # machine-readable output
+//! ```
+
+use harness::experiments as exp;
+use harness::Table;
+
+/// One runnable experiment: id plus its entry point.
+type Experiment = (&'static str, fn(bool) -> Table);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let json = args.iter().any(|a| a == "json");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !matches!(a.as_str(), "quick" | "json"))
+        .map(|s| s.as_str())
+        .collect();
+
+    let all: Vec<Experiment> = vec![
+        ("f1", exp::f1::run),
+        ("t1", exp::t1::run),
+        ("t2", exp::t2::run),
+        ("t3", exp::t3::run),
+        ("e1", exp::e1::run),
+        ("e2", exp::e2::run),
+        ("e3", exp::e3::run),
+        ("e4", exp::e4::run),
+        ("e5", exp::e5::run),
+        ("e6", exp::e6::run),
+        ("e7", exp::e7::run),
+        ("e8", exp::e8::run),
+        ("a1", exp::a1::run),
+    ];
+
+    let selected: Vec<&Experiment> = if ids.is_empty() {
+        all.iter().collect()
+    } else {
+        all.iter().filter(|(id, _)| ids.contains(id)).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment id(s) {ids:?}; known: f1 t1 t2 t3 e1..e8 a1");
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "running {} experiment(s), {} mode",
+        selected.len(),
+        if quick { "quick" } else { "full" }
+    );
+    for (id, run) in selected {
+        let start = std::time::Instant::now();
+        let table = run(quick);
+        if json {
+            println!("{}", table.to_json());
+        } else {
+            println!("{table}");
+        }
+        eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+}

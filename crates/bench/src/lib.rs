@@ -1,0 +1,17 @@
+//! # ringnet-bench — the benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the **`experiments` binary** (`cargo run --release -p ringnet-bench
+//!   --bin experiments [-- quick] [-- <id>…]`) regenerates every
+//!   table/figure of the paper's evaluation (DESIGN.md §4) and prints the
+//!   result tables recorded in EXPERIMENTS.md;
+//! * the **criterion benches** (`cargo bench -p ringnet-bench`) measure the
+//!   implementation itself: core data-structure hot paths
+//!   (`datastructures`), simulator event throughput (`simulation`), and a
+//!   per-experiment end-to-end run (`experiments`).
+
+#![warn(missing_docs)]
+
+/// Re-export for the benches.
+pub use harness::experiments;

@@ -1,0 +1,603 @@
+//! The membership / topology-maintenance protocol (§3).
+//!
+//! The paper relies on an "underlying membership protocol" whose details it
+//! omits; this module is the concrete instance this reproduction builds
+//! (DESIGN.md §2). It provides:
+//!
+//! * **Liveness**: heartbeats to the next ring node and to the parent, with
+//!   a miss budget; children and attached MHs are tracked by last-heard
+//!   times (their ACKs and heartbeats refresh them).
+//! * **Ring repair**: a dead next node is bypassed using the statically
+//!   configured cycle (Remark 2), the failure is broadcast to the remaining
+//!   ring members, and — on the top ring — a Token-Loss message is handed
+//!   to the multicast layer, exactly as §4.2.1 prescribes.
+//! * **Leader / parent failover**: a non-top ring's new leader grafts onto
+//!   a candidate parent; entities whose parent died rotate to the next
+//!   configured candidate.
+//! * **Membership aggregation**: member deltas batch upward along
+//!   AP → AG → ring leader → BR → top leader (the "batched update scheme").
+
+use simnet::SimTime;
+
+use crate::actions::{Action, Outbox};
+use crate::events::ProtoEvent;
+use crate::ids::{Endpoint, NodeId};
+use crate::msg::Msg;
+use crate::node::NeState;
+
+impl NeState {
+    /// Answer a liveness probe; refresh the prober's last-heard time when it
+    /// is one of ours.
+    pub(crate) fn on_heartbeat(&mut self, now: SimTime, from: Endpoint, out: &mut Outbox) {
+        let group = self.group;
+        match from {
+            Endpoint::Ne(n) => {
+                if self.children.contains_key(&n) {
+                    self.children.insert(n, now);
+                }
+                out.push(Action::to_ne(n, Msg::HeartbeatAck { group }));
+            }
+            Endpoint::Mh(g) => {
+                if let Some(ap) = self.ap.as_mut() {
+                    if ap.wt.progress(g).is_some() {
+                        ap.last_heard.insert(g, now);
+                    }
+                }
+                out.push(Action::to_mh(g, Msg::HeartbeatAck { group }));
+            }
+        }
+        self.counters.control_sent += 1;
+    }
+
+    /// A probe we sent was answered.
+    pub(crate) fn on_heartbeat_ack(&mut self, _now: SimTime, from: Endpoint) {
+        let Endpoint::Ne(n) = from else { return };
+        if self.ring_next() == Some(n) {
+            if let Some(r) = self.ring.as_mut() {
+                r.hb_outstanding = 0;
+            }
+        }
+        if self.parent == Some(n) {
+            self.parent_hb_outstanding = 0;
+        }
+    }
+
+    /// Another ring member announced a bypassed failure.
+    pub(crate) fn on_ring_fail(&mut self, now: SimTime, failed: NodeId, out: &mut Outbox) {
+        let Some(r) = self.ring.as_mut() else { return };
+        if !r.mark_dead(failed) {
+            return;
+        }
+        r.hb_outstanding = 0; // next may have changed; restart the count
+        // Topology maintenance ran → hand Token-Loss to the multicast layer
+        // (it ignores the signal while ordering runs well).
+        if r.is_top {
+            self.maybe_start_regen(now, out);
+        }
+        self.after_ring_change(now, out);
+    }
+
+    /// Informational: our previous ring node changed (kept for protocol
+    /// completeness; the alive set is maintained by `RingFail` broadcasts).
+    pub(crate) fn on_new_prev(&mut self, _from: Endpoint, _prev: NodeId) {}
+
+    /// Aggregated membership delta from a downstream subtree.
+    pub(crate) fn on_membership_update(&mut self, delta: i64) {
+        self.subtree_members += delta;
+        self.pending_delta += delta;
+    }
+
+    /// Where this entity's batched membership updates go: parent for APs and
+    /// ring leaders, ring leader for other ring members, nowhere at the top.
+    pub(crate) fn membership_upstream(&self) -> Option<NodeId> {
+        match &self.ring {
+            Some(r) => {
+                let leader = r.leader();
+                if leader == self.id {
+                    if r.is_top {
+                        None // the top leader is the aggregation root
+                    } else {
+                        self.parent
+                    }
+                } else {
+                    Some(leader)
+                }
+            }
+            None => self.parent,
+        }
+    }
+
+    /// The periodic heartbeat / liveness / maintenance tick.
+    pub fn tick_heartbeat(&mut self, now: SimTime, out: &mut Outbox) {
+        if !self.alive {
+            return;
+        }
+        let group = self.group;
+        let misses = self.cfg.heartbeat_misses;
+
+        // --- ring neighbour liveness -----------------------------------
+        let mut ring_changed = false;
+        if let Some(r) = self.ring.as_mut() {
+            let next = r.next_of(self.id);
+            if next != self.id {
+                if r.hb_outstanding >= misses {
+                    // Next is dead: bypass it and tell the others.
+                    r.mark_dead(next);
+                    let new_next = r.next_of(self.id);
+                    r.hb_outstanding = 0;
+                    r.next_acked_mq = crate::ids::GlobalSeq::ZERO;
+                    out.push(Action::Record(ProtoEvent::RingRepaired {
+                        node: self.id,
+                        failed: next,
+                        new_next,
+                    }));
+                    let peers: Vec<NodeId> =
+                        r.alive.iter().copied().filter(|&m| m != self.id).collect();
+                    for m in peers {
+                        out.push(Action::to_ne(m, Msg::RingFail { group, failed: next }));
+                        self.counters.control_sent += 1;
+                    }
+                    if new_next != self.id {
+                        out.push(Action::to_ne(new_next, Msg::NewPrev { group, prev: self.id }));
+                        self.counters.control_sent += 1;
+                    }
+                    ring_changed = true;
+                } else {
+                    r.hb_outstanding += 1;
+                    out.push(Action::to_ne(next, Msg::Heartbeat { group }));
+                    self.counters.control_sent += 1;
+                }
+            }
+        }
+        if ring_changed {
+            // Topology maintenance ran → Token-Loss message to the
+            // multicast layer (top ring only; checked inside).
+            if self.is_top_ring() {
+                self.maybe_start_regen(now, out);
+            }
+            // Redirect an in-flight token to the new next immediately.
+            self.redirect_inflight_token(now, out);
+            self.after_ring_change(now, out);
+        }
+
+        // --- parent liveness / failover ---------------------------------
+        self.parent_maintenance(now, out);
+
+        // --- children / MH staleness -------------------------------------
+        self.sweep_stale_downstreams(now, out);
+
+        // --- AP activation upkeep ---------------------------------------
+        self.ap_activation_maintenance(now, out);
+
+        // --- batched membership propagation ------------------------------
+        self.flush_membership(out);
+
+        // --- self-detected token quiet (staggered fallback) ---------------
+        self.token_quiet_fallback(now, out);
+    }
+
+    /// Re-aim an unacknowledged token transfer after a ring repair.
+    fn redirect_inflight_token(&mut self, now: SimTime, out: &mut Outbox) {
+        let me = self.id;
+        let Some(r) = self.ring.as_ref() else { return };
+        let next = r.next_of(me);
+        let Some(ord) = self.ord.as_mut() else { return };
+        let Some(inf) = ord.inflight.as_mut() else { return };
+        if inf.to != next && next != me {
+            inf.to = next;
+            inf.attempts = 1;
+            inf.sent_at = now;
+            let token = inf.token.clone();
+            out.push(Action::to_ne(next, Msg::Token(Box::new(token))));
+            self.counters.control_sent += 1;
+        }
+    }
+
+    /// A ring membership change may have made us leader of a non-top ring
+    /// (need a parent) or changed who we deliver to. Also used by the engine
+    /// at start-up so ring leaders acquire their initial parent.
+    pub(crate) fn after_ring_change(&mut self, now: SimTime, out: &mut Outbox) {
+        let group = self.group;
+        let Some(r) = self.ring.as_ref() else { return };
+        if !r.is_top && r.leader() == self.id && self.parent.is_none() {
+            if let Some(&parent) = self.parent_candidates.first() {
+                self.parent = Some(parent);
+                self.parent_hb_outstanding = 0;
+                out.push(Action::to_ne(
+                    parent,
+                    Msg::Graft {
+                        group,
+                        child: self.id,
+                        resume_from: self.mq.front(),
+                    },
+                ));
+                self.counters.control_sent += 1;
+            }
+        }
+        let _ = now;
+    }
+
+    /// Probe the parent; rotate to the next candidate after a miss budget.
+    fn parent_maintenance(&mut self, now: SimTime, out: &mut Outbox) {
+        let group = self.group;
+        let Some(p) = self.parent else {
+            // Leaders of non-top rings acquire a parent lazily.
+            self.after_ring_change(now, out);
+            return;
+        };
+        if self.parent_hb_outstanding >= self.cfg.heartbeat_misses {
+            // Parent is dead: fail over to the next configured candidate.
+            let next_candidate = {
+                let cands = &self.parent_candidates;
+                if cands.is_empty() {
+                    None
+                } else {
+                    let pos = cands.iter().position(|&c| c == p);
+                    let idx = pos.map(|i| (i + 1) % cands.len()).unwrap_or(0);
+                    Some(cands[idx])
+                }
+            };
+            self.parent_hb_outstanding = 0;
+            if let Some(ap) = self.ap.as_mut() {
+                ap.grafted = false;
+            }
+            match next_candidate {
+                Some(c) => {
+                    self.parent = Some(c);
+                    out.push(Action::to_ne(
+                        c,
+                        Msg::Graft {
+                            group,
+                            child: self.id,
+                            resume_from: self.mq.front(),
+                        },
+                    ));
+                    self.counters.control_sent += 1;
+                }
+                None => self.parent = None,
+            }
+        } else {
+            self.parent_hb_outstanding += 1;
+            out.push(Action::to_ne(p, Msg::Heartbeat { group }));
+            self.counters.control_sent += 1;
+            // APs that should be active but missed their GraftAck re-graft.
+            if self.ap.as_ref().is_some_and(|a| !a.grafted) {
+                self.ensure_active_grafted(now, out);
+            }
+        }
+    }
+
+    /// Drop children and MHs not heard from within the liveness window.
+    /// Crucially this unblocks garbage collection pinned by dead downstreams.
+    fn sweep_stale_downstreams(&mut self, now: SimTime, out: &mut Outbox) {
+        let window = self.cfg.heartbeat_period * (self.cfg.heartbeat_misses as u64 + 1);
+        let cutoff = now - window;
+        if now.saturating_since(SimTime::ZERO) < window {
+            return; // grace period at start-up
+        }
+        let stale_children: Vec<NodeId> = self
+            .children
+            .iter()
+            .filter(|(_, &t)| t < cutoff)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in stale_children {
+            self.children.remove(&c);
+            self.wt_children.remove(c);
+            out.push(Action::Record(ProtoEvent::Pruned {
+                parent: self.id,
+                child: c,
+            }));
+        }
+        let mut departed = 0;
+        if let Some(ap) = self.ap.as_mut() {
+            let stale_mhs: Vec<crate::ids::Guid> = ap
+                .last_heard
+                .iter()
+                .filter(|(_, &t)| t < cutoff)
+                .map(|(&g, _)| g)
+                .collect();
+            for g in stale_mhs {
+                ap.wt.remove(g);
+                ap.last_heard.remove(&g);
+                departed += 1;
+            }
+        }
+        if departed > 0 {
+            // Members moved away (handoff) or died: propagate the decrement.
+            self.pending_delta -= departed;
+            self.subtree_members -= departed;
+        }
+    }
+
+    /// Prune an AP from the tree once it has no members and no reservation.
+    fn ap_activation_maintenance(&mut self, now: SimTime, out: &mut Outbox) {
+        let group = self.group;
+        let me = self.id;
+        let parent = self.parent;
+        let Some(ap) = self.ap.as_mut() else { return };
+        if ap.grafted && !ap.should_be_active(now) {
+            ap.grafted = false;
+            if let Some(p) = parent {
+                out.push(Action::to_ne(p, Msg::Prune { group, child: me }));
+                self.counters.control_sent += 1;
+            }
+        }
+    }
+
+    /// Send the batched membership delta upward; the top leader records the
+    /// aggregate instead.
+    fn flush_membership(&mut self, out: &mut Outbox) {
+        if self.pending_delta == 0 {
+            return;
+        }
+        let group = self.group;
+        match self.membership_upstream() {
+            Some(up) => {
+                out.push(Action::to_ne(
+                    up,
+                    Msg::MembershipUpdate {
+                        group,
+                        delta: self.pending_delta,
+                    },
+                ));
+                self.counters.control_sent += 1;
+                self.pending_delta = 0;
+            }
+            None => {
+                // Aggregation root.
+                self.pending_delta = 0;
+                out.push(Action::Record(ProtoEvent::MembershipCount {
+                    node: self.id,
+                    members: self.subtree_members,
+                }));
+            }
+        }
+    }
+
+    /// Position-staggered self-detection of a quiet token: avoids concurrent
+    /// regeneration rounds from several nodes at once.
+    fn token_quiet_fallback(&mut self, now: SimTime, out: &mut Outbox) {
+        let me = self.id;
+        let quiet = self.cfg.token_quiet_after;
+        let Some(r) = self.ring.as_ref() else { return };
+        if !r.is_top {
+            return;
+        }
+        let position = r
+            .order
+            .iter()
+            .filter(|n| r.alive.contains(n))
+            .position(|&n| n == me)
+            .unwrap_or(0) as u64;
+        let threshold = quiet * (2 + position);
+        let Some(ord) = self.ord.as_ref() else { return };
+        let ever_saw_token = ord.last_token_seen > SimTime::ZERO || ord.new_token.is_some();
+        if ever_saw_token && now.saturating_since(ord.last_token_seen) > threshold {
+            self.maybe_start_regen(now, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::ids::{GlobalSeq, GroupId, Guid};
+
+    const G: GroupId = GroupId(1);
+
+    fn ring() -> Vec<NodeId> {
+        vec![NodeId(0), NodeId(1), NodeId(2)]
+    }
+
+    fn br(id: u32) -> NeState {
+        NeState::new_br(G, NodeId(id), ring(), true, ProtocolConfig::default())
+    }
+
+    fn hb_sends(out: &Outbox) -> Vec<NodeId> {
+        out.iter()
+            .filter_map(|a| match a {
+                Action::Send { to: Endpoint::Ne(n), msg: Msg::Heartbeat { .. } } => Some(*n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heartbeat_is_answered() {
+        let mut n = br(0);
+        let mut out = Vec::new();
+        n.on_heartbeat(SimTime::ZERO, Endpoint::Ne(NodeId(2)), &mut out);
+        assert!(matches!(
+            out[0],
+            Action::Send { to: Endpoint::Ne(NodeId(2)), msg: Msg::HeartbeatAck { .. } }
+        ));
+    }
+
+    #[test]
+    fn tick_probes_next() {
+        let mut n = br(0);
+        let mut out = Vec::new();
+        n.tick_heartbeat(SimTime::from_millis(50), &mut out);
+        assert_eq!(hb_sends(&out), vec![NodeId(1)]);
+        assert_eq!(n.ring.as_ref().unwrap().hb_outstanding, 1);
+        n.on_heartbeat_ack(SimTime::from_millis(51), Endpoint::Ne(NodeId(1)));
+        assert_eq!(n.ring.as_ref().unwrap().hb_outstanding, 0);
+    }
+
+    #[test]
+    fn missed_heartbeats_trigger_ring_repair() {
+        let mut n = br(0);
+        let misses = n.cfg.heartbeat_misses;
+        let mut out = Vec::new();
+        for i in 0..=misses as u64 {
+            out.clear();
+            n.tick_heartbeat(SimTime::from_millis(50 * (i + 1)), &mut out);
+        }
+        // Node 1 declared dead, next is now node 2, failure broadcast.
+        assert_eq!(n.ring_next(), Some(NodeId(2)));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Record(ProtoEvent::RingRepaired { failed: NodeId(1), new_next: NodeId(2), .. })
+        )));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send { to: Endpoint::Ne(NodeId(2)), msg: Msg::RingFail { failed: NodeId(1), .. } }
+        )));
+    }
+
+    #[test]
+    fn ring_fail_broadcast_updates_view() {
+        let mut n = br(2);
+        let mut out = Vec::new();
+        assert_eq!(n.ring_next(), Some(NodeId(0)));
+        n.on_ring_fail(SimTime::from_secs(1), NodeId(0), &mut out);
+        assert_eq!(n.ring_next(), Some(NodeId(1)));
+        assert_eq!(n.ring_leader(), Some(NodeId(1)));
+        // Duplicate announcement is a no-op.
+        out.clear();
+        n.on_ring_fail(SimTime::from_secs(1), NodeId(0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn new_nontop_leader_grafts_to_parent() {
+        let mut n = NeState::new_ag(
+            G,
+            NodeId(20),
+            vec![NodeId(10), NodeId(20), NodeId(30)],
+            vec![NodeId(1), NodeId(2)],
+            ProtocolConfig::default(),
+        );
+        let mut out = Vec::new();
+        // Leader 10 dies.
+        n.on_ring_fail(SimTime::from_secs(1), NodeId(10), &mut out);
+        assert_eq!(n.ring_leader(), Some(NodeId(20)));
+        assert_eq!(n.parent, Some(NodeId(1)));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send { to: Endpoint::Ne(NodeId(1)), msg: Msg::Graft { child: NodeId(20), .. } }
+        )));
+    }
+
+    #[test]
+    fn parent_failover_rotates_candidates() {
+        let mut n = NeState::new_ap(
+            G,
+            NodeId(99),
+            vec![NodeId(20), NodeId(21)],
+            true,
+            vec![],
+            ProtocolConfig::default(),
+        );
+        n.parent = Some(NodeId(20));
+        let misses = n.cfg.heartbeat_misses;
+        let mut out = Vec::new();
+        for i in 0..=misses as u64 {
+            out.clear();
+            n.tick_heartbeat(SimTime::from_millis(50 * (i + 1)), &mut out);
+        }
+        assert_eq!(n.parent, Some(NodeId(21)), "rotated to the next candidate");
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send { to: Endpoint::Ne(NodeId(21)), msg: Msg::Graft { .. } }
+        )));
+    }
+
+    #[test]
+    fn stale_children_are_swept_and_gc_unblocked() {
+        let mut n = br(0);
+        let window_end = SimTime::from_secs(10);
+        n.children.insert(NodeId(50), SimTime::ZERO);
+        n.wt_children.register(NodeId(50), GlobalSeq::ZERO);
+        let mut out = Vec::new();
+        n.tick_heartbeat(window_end, &mut out);
+        assert!(n.children.is_empty());
+        assert!(n.wt_children.is_empty());
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Record(ProtoEvent::Pruned { child: NodeId(50), .. })
+        )));
+    }
+
+    #[test]
+    fn stale_mhs_decrement_membership() {
+        let mut n = NeState::new_ap(G, NodeId(99), vec![NodeId(20)], true, vec![], ProtocolConfig::default());
+        let mut out = Vec::new();
+        n.on_join(SimTime::ZERO, Guid(1), &mut out);
+        assert_eq!(n.subtree_members, 1);
+        out.clear();
+        n.tick_heartbeat(SimTime::from_secs(10), &mut out);
+        assert_eq!(n.subtree_members, 0);
+        assert!(n.ap.as_ref().unwrap().wt.is_empty());
+    }
+
+    #[test]
+    fn membership_batches_to_upstream() {
+        // Non-leader ring member routes to its ring leader.
+        let mut n = br(1);
+        n.on_membership_update(3);
+        n.on_membership_update(2);
+        assert_eq!(n.subtree_members, 5);
+        let mut out = Vec::new();
+        n.flush_membership(&mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send { to: Endpoint::Ne(NodeId(0)), msg: Msg::MembershipUpdate { delta: 5, .. } }
+        )));
+        assert_eq!(n.pending_delta, 0);
+    }
+
+    #[test]
+    fn top_leader_records_aggregate() {
+        let mut n = br(0); // leader of the top ring
+        n.on_membership_update(7);
+        let mut out = Vec::new();
+        n.flush_membership(&mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Record(ProtoEvent::MembershipCount { members: 7, .. })
+        )));
+        assert!(
+            !out.iter().any(|a| matches!(a, Action::Send { .. })),
+            "root does not forward"
+        );
+    }
+
+    #[test]
+    fn membership_upstream_resolution() {
+        // AP → parent.
+        let mut ap = NeState::new_ap(G, NodeId(99), vec![NodeId(20)], true, vec![], ProtocolConfig::default());
+        ap.parent = Some(NodeId(20));
+        assert_eq!(ap.membership_upstream(), Some(NodeId(20)));
+        // Non-top ring leader → parent.
+        let mut ag = NeState::new_ag(G, NodeId(10), vec![NodeId(10), NodeId(20)], vec![NodeId(1)], ProtocolConfig::default());
+        ag.parent = Some(NodeId(1));
+        assert_eq!(ag.membership_upstream(), Some(NodeId(1)));
+        // Top leader → none.
+        let top = br(0);
+        assert_eq!(top.membership_upstream(), None);
+        // Top non-leader → leader.
+        let top2 = br(2);
+        assert_eq!(top2.membership_upstream(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn inactive_ap_prunes_itself() {
+        let mut n = NeState::new_ap(G, NodeId(99), vec![NodeId(20)], false, vec![], ProtocolConfig::default());
+        let mut out = Vec::new();
+        // Activate via a reservation, graft...
+        n.on_reserve(SimTime::ZERO, NodeId(98), 1, &mut out);
+        n.on_graft_ack(SimTime::ZERO, Endpoint::Ne(NodeId(20)));
+        assert!(n.ap.as_ref().unwrap().grafted);
+        // ...then let the reservation lapse.
+        out.clear();
+        n.tick_heartbeat(SimTime::from_secs(30), &mut out);
+        assert!(!n.ap.as_ref().unwrap().grafted);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send { to: Endpoint::Ne(NodeId(20)), msg: Msg::Prune { child: NodeId(99), .. } }
+        )));
+    }
+}

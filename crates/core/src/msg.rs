@@ -1,0 +1,387 @@
+//! Wire messages exchanged by RingNet entities.
+//!
+//! One enum covers all planes of the protocol: the data plane (source
+//! injection, ring pre-order circulation, ordered delivery), the token
+//! plane, per-hop reliability (cumulative ACKs and NACKs — the paper's
+//! local-scope retransmission scheme), membership/topology maintenance,
+//! mobility, and token recovery. Every message carries the `GID` so that a
+//! single entity could serve several groups; the engine in this workspace
+//! runs one group per simulation.
+
+use crate::ids::{GlobalSeq, GroupId, Guid, LocalSeq, NodeId, PayloadId};
+use crate::mq::MsgData;
+use crate::token::OrderingToken;
+
+/// The RingNet wire-message set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ---------------------------------------------------------------- data
+    /// Multicast source → its corresponding top-ring node: a fresh message
+    /// with the source's next local sequence number.
+    SourceData {
+        /// Group.
+        group: GroupId,
+        /// Per-source sequence number.
+        local_seq: LocalSeq,
+        /// Application payload handle.
+        payload: PayloadId,
+    },
+    /// A not-yet-ordered message circulating the top ring (a `WQ` entry).
+    PreOrder {
+        /// Group.
+        group: GroupId,
+        /// The source's corresponding node (identifies the `WQ` sub-queue).
+        corresponding: NodeId,
+        /// Per-source sequence number.
+        local_seq: LocalSeq,
+        /// Application payload handle.
+        payload: PayloadId,
+    },
+    /// Cumulative ACK for one source's pre-order stream (to the previous
+    /// ring node; enables its `WQ` garbage collection).
+    PreOrderAck {
+        /// Group.
+        group: GroupId,
+        /// Which source's stream is acknowledged.
+        corresponding: NodeId,
+        /// Everything up to and including this number was received.
+        upto: LocalSeq,
+    },
+    /// Request retransmission of missing pre-order entries.
+    PreOrderNack {
+        /// Group.
+        group: GroupId,
+        /// Which source's stream has holes.
+        corresponding: NodeId,
+        /// The missing local sequence numbers.
+        missing: Vec<LocalSeq>,
+    },
+    /// A totally-ordered message: non-top ring circulation, parent→child
+    /// tree delivery, and AP→MH wireless delivery all use this.
+    Data {
+        /// Group.
+        group: GroupId,
+        /// Global sequence number.
+        gsn: GlobalSeq,
+        /// Message metadata (source, local seq, ordering node, payload).
+        data: MsgData,
+    },
+    /// Cumulative ACK of the ordered stream, sent to the upstream hop
+    /// (previous ring node, parent, or AP). Doubles as downstream liveness.
+    DataAck {
+        /// Group.
+        group: GroupId,
+        /// Everything up to and including this number was delivered
+        /// (or skipped as really-lost) locally.
+        upto: GlobalSeq,
+    },
+    /// Request retransmission of missing ordered messages from upstream.
+    DataNack {
+        /// Group.
+        group: GroupId,
+        /// The missing global sequence numbers.
+        missing: Vec<GlobalSeq>,
+    },
+
+    // --------------------------------------------------------------- token
+    /// The ordering token, transferred to the next top-ring node.
+    Token(Box<OrderingToken>),
+    /// Receipt acknowledgement for a token transfer (stops retransmission).
+    TokenAck {
+        /// Group.
+        group: GroupId,
+        /// Epoch of the acknowledged token.
+        epoch: crate::ids::Epoch,
+        /// Rotation count of the acknowledged token (identifies the pass).
+        rotation: u64,
+    },
+
+    // ---------------------------------------------------- membership / topo
+    /// Ring-neighbour / parent-child liveness probe.
+    Heartbeat {
+        /// Group.
+        group: GroupId,
+    },
+    /// Liveness probe response.
+    HeartbeatAck {
+        /// Group.
+        group: GroupId,
+    },
+    /// Ring repair: tells the receiver its new previous node after failures
+    /// were bypassed.
+    NewPrev {
+        /// Group.
+        group: GroupId,
+        /// The sender, now the receiver's previous ring node.
+        prev: NodeId,
+    },
+    /// Child (or freshly activated AP / new ring leader) attaches to a
+    /// parent and asks for the ordered stream from `resume_from + 1` on.
+    Graft {
+        /// Group.
+        group: GroupId,
+        /// The attaching child.
+        child: NodeId,
+        /// Deliver from this global sequence number (exclusive).
+        resume_from: GlobalSeq,
+    },
+    /// Parent accepts a graft.
+    GraftAck {
+        /// Group.
+        group: GroupId,
+    },
+    /// Child detaches from its parent (no members and no reservation left).
+    Prune {
+        /// Group.
+        group: GroupId,
+        /// The detaching child.
+        child: NodeId,
+    },
+    /// Aggregated membership delta propagated toward the top of the
+    /// hierarchy (the paper's batched update scheme).
+    MembershipUpdate {
+        /// Group.
+        group: GroupId,
+        /// Net member-count change in the sender's subtree since last update.
+        delta: i64,
+    },
+
+    // ------------------------------------------------------------ mobility
+    /// MH → AP: join the group at this AP.
+    Join {
+        /// Group.
+        group: GroupId,
+        /// The joining mobile host.
+        guid: Guid,
+    },
+    /// MH → AP: leave the group.
+    Leave {
+        /// Group.
+        group: GroupId,
+        /// The leaving mobile host.
+        guid: Guid,
+    },
+    /// Radio-layer stimulus to an MH: you are now under `new_ap`
+    /// (injected by the mobility scenario, not sent by any entity).
+    HandoffTo {
+        /// Group.
+        group: GroupId,
+        /// The new access proxy.
+        new_ap: NodeId,
+    },
+    /// MH → new AP after a handoff: register and resume delivery.
+    HandoffRegister {
+        /// Group.
+        group: GroupId,
+        /// The arriving mobile host.
+        guid: Guid,
+        /// MH has everything up to and including this number.
+        resume_from: GlobalSeq,
+    },
+    /// AP → neighbouring APs: an MH is nearby; pre-join the distribution
+    /// tree so a future handoff finds traffic already flowing (§3's
+    /// multicast path reservation).
+    Reserve {
+        /// Group.
+        group: GroupId,
+        /// AP where the member currently resides.
+        origin_ap: NodeId,
+        /// Remaining propagation radius.
+        radius: u8,
+    },
+
+    /// AP → MH answer to [`Msg::Join`]: delivery starts after this global
+    /// sequence number (the MH fast-forwards its `MQ` past older history).
+    JoinAck {
+        /// Group.
+        group: GroupId,
+        /// First delivery will be `start_from + 1`.
+        start_from: GlobalSeq,
+    },
+
+    // ------------------------------------------------------------ recovery
+    /// Membership layer → multicast layer: the token may have been lost
+    /// (emitted when topology maintenance runs, §4.2.1).
+    TokenLossSignal {
+        /// Group.
+        group: GroupId,
+    },
+    /// The Token-Regeneration message traversing the top ring, carrying the
+    /// best `NewOrderingToken` snapshot seen so far.
+    TokenRegen {
+        /// Group.
+        group: GroupId,
+        /// Node that originated this regeneration round.
+        origin: NodeId,
+        /// Best snapshot so far.
+        best: Box<OrderingToken>,
+    },
+    /// Ring-membership broadcast: `failed` was detected dead and bypassed.
+    RingFail {
+        /// Group.
+        group: GroupId,
+        /// The dead ring member.
+        failed: NodeId,
+    },
+
+    // -------------------------------------------------- engine control only
+    /// Scenario stimulus to an MH: join the group at `ap` now. Not part of
+    /// the protocol; injected by scenario code for late joiners.
+    JoinCmd {
+        /// Group.
+        group: GroupId,
+        /// AP to join at.
+        ap: NodeId,
+    },
+    /// Fault injection: crash-stop the receiver. Not part of the protocol;
+    /// injected by scenario code.
+    Kill {
+        /// Group.
+        group: GroupId,
+    },
+    /// Teardown probe: the receiver emits its final-statistics journal
+    /// record. Not part of the protocol.
+    FlushStats {
+        /// Group.
+        group: GroupId,
+    },
+}
+
+impl Msg {
+    /// The group a message belongs to.
+    pub fn group(&self) -> GroupId {
+        match self {
+            Msg::SourceData { group, .. }
+            | Msg::PreOrder { group, .. }
+            | Msg::PreOrderAck { group, .. }
+            | Msg::PreOrderNack { group, .. }
+            | Msg::Data { group, .. }
+            | Msg::DataAck { group, .. }
+            | Msg::DataNack { group, .. }
+            | Msg::TokenAck { group, .. }
+            | Msg::Heartbeat { group }
+            | Msg::HeartbeatAck { group }
+            | Msg::NewPrev { group, .. }
+            | Msg::Graft { group, .. }
+            | Msg::GraftAck { group }
+            | Msg::Prune { group, .. }
+            | Msg::MembershipUpdate { group, .. }
+            | Msg::Join { group, .. }
+            | Msg::Leave { group, .. }
+            | Msg::HandoffTo { group, .. }
+            | Msg::HandoffRegister { group, .. }
+            | Msg::Reserve { group, .. }
+            | Msg::JoinAck { group, .. }
+            | Msg::TokenLossSignal { group }
+            | Msg::TokenRegen { group, .. }
+            | Msg::RingFail { group, .. }
+            | Msg::JoinCmd { group, .. }
+            | Msg::Kill { group }
+            | Msg::FlushStats { group } => *group,
+            Msg::Token(t) => t.group,
+        }
+    }
+
+    /// Approximate wire size in bytes, used to charge bandwidth models.
+    /// Control messages are small and fixed; data messages add the
+    /// configured payload size at the engine layer.
+    pub fn base_wire_size(&self) -> usize {
+        match self {
+            Msg::SourceData { .. } | Msg::PreOrder { .. } | Msg::Data { .. } => 40,
+            Msg::PreOrderAck { .. } | Msg::DataAck { .. } | Msg::TokenAck { .. } => 24,
+            Msg::PreOrderNack { missing, .. } => 24 + 8 * missing.len(),
+            Msg::DataNack { missing, .. } => 24 + 8 * missing.len(),
+            Msg::Token(t) => 32 + 48 * t.wtsnp.len(),
+            Msg::TokenRegen { best, .. } => 40 + 48 * best.wtsnp.len(),
+            Msg::Heartbeat { .. } | Msg::HeartbeatAck { .. } => 16,
+            Msg::NewPrev { .. }
+            | Msg::Graft { .. }
+            | Msg::GraftAck { .. }
+            | Msg::Prune { .. }
+            | Msg::MembershipUpdate { .. }
+            | Msg::Join { .. }
+            | Msg::Leave { .. }
+            | Msg::HandoffTo { .. }
+            | Msg::HandoffRegister { .. }
+            | Msg::Reserve { .. }
+            | Msg::JoinAck { .. }
+            | Msg::TokenLossSignal { .. }
+            | Msg::RingFail { .. } => 24,
+            // Engine-control messages are not real traffic.
+            Msg::JoinCmd { .. } | Msg::Kill { .. } | Msg::FlushStats { .. } => 0,
+        }
+    }
+
+    /// True for the three payload-bearing data-plane messages.
+    pub fn carries_payload(&self) -> bool {
+        matches!(
+            self,
+            Msg::SourceData { .. } | Msg::PreOrder { .. } | Msg::Data { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Epoch;
+
+    #[test]
+    fn group_extraction() {
+        let g = GroupId(7);
+        let msgs = [
+            Msg::SourceData {
+                group: g,
+                local_seq: LocalSeq(1),
+                payload: PayloadId(1),
+            },
+            Msg::DataAck {
+                group: g,
+                upto: GlobalSeq(3),
+            },
+            Msg::Token(Box::new(OrderingToken::new(g, NodeId(0)))),
+            Msg::TokenAck {
+                group: g,
+                epoch: Epoch(0),
+                rotation: 2,
+            },
+            Msg::Heartbeat { group: g },
+        ];
+        for m in msgs {
+            assert_eq!(m.group(), g);
+        }
+    }
+
+    #[test]
+    fn wire_size_scales_with_content() {
+        let small = Msg::DataNack {
+            group: GroupId(1),
+            missing: vec![GlobalSeq(1)],
+        };
+        let big = Msg::DataNack {
+            group: GroupId(1),
+            missing: (1..=10).map(GlobalSeq).collect(),
+        };
+        assert!(big.base_wire_size() > small.base_wire_size());
+
+        let mut t = OrderingToken::new(GroupId(1), NodeId(0));
+        let empty_size = Msg::Token(Box::new(t.clone())).base_wire_size();
+        t.assign(
+            NodeId(0),
+            NodeId(0),
+            crate::ids::LocalRange::new(LocalSeq(1), LocalSeq(5)),
+        );
+        assert!(Msg::Token(Box::new(t)).base_wire_size() > empty_size);
+    }
+
+    #[test]
+    fn payload_flag() {
+        assert!(Msg::SourceData {
+            group: GroupId(1),
+            local_seq: LocalSeq(1),
+            payload: PayloadId(1)
+        }
+        .carries_payload());
+        assert!(!Msg::Heartbeat { group: GroupId(1) }.carries_payload());
+    }
+}

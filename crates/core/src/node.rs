@@ -1,0 +1,602 @@
+//! The network-entity state machine: shared state and message dispatch.
+//!
+//! One [`NeState`] drives a BR, AG or AP. Per the paper (§4), each entity
+//! "only maintains information about its possible leader, previous, next,
+//! parent, and children neighbors": [`RingState`] holds the ring-neighbour
+//! view (with the statically configured cycle of Remark 2), `parent` /
+//! `children` hold the tree view, and APs additionally track their attached
+//! MHs in [`ApMhState`].
+//!
+//! The algorithm implementations live in sibling modules, all as `impl
+//! NeState` blocks: `ordering` (Message-Ordering + Order-Assignment),
+//! `forwarding` (Message-Forwarding), `delivering` (Message-Delivering and
+//! tree/mobility maintenance), `retransmit` (the local-scope retransmission
+//! tick), `recovery` (Token-Loss / Multiple-Token) and `membership`
+//! (heartbeats, ring repair, membership aggregation).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simnet::SimTime;
+
+use crate::actions::Outbox;
+use crate::config::ProtocolConfig;
+use crate::ids::{Endpoint, GlobalSeq, GroupId, Guid, LocalSeq, NodeId};
+use crate::mq::MessageQueue;
+use crate::msg::Msg;
+use crate::token::OrderingToken;
+use crate::wq::WorkingQueue;
+use crate::wt::WorkingTable;
+
+/// Which tier of the RingNet hierarchy an entity belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Border router (possibly on the top logical ring).
+    Br,
+    /// Access gateway (on a non-top logical ring).
+    Ag,
+    /// Access proxy (bottom NE, serves MHs over wireless).
+    Ap,
+}
+
+/// Ring-membership state for BRs and AGs.
+#[derive(Debug, Clone)]
+pub struct RingState {
+    /// The statically configured ring cycle, in ring order (Remark 2).
+    pub order: Vec<NodeId>,
+    /// Members currently believed alive (always contains the owner).
+    pub alive: BTreeSet<NodeId>,
+    /// True for the top logical ring (the ordering ring).
+    pub is_top: bool,
+    /// Heartbeats sent to `next` without an answer.
+    pub hb_outstanding: u8,
+    /// Cumulative `MQ` ACK received from the next node (retention GC).
+    pub next_acked_mq: GlobalSeq,
+}
+
+impl RingState {
+    /// Create ring state for `me` over the configured `order`.
+    pub fn new(order: Vec<NodeId>, me: NodeId, is_top: bool) -> Self {
+        assert!(order.contains(&me), "ring order must include the owner");
+        let alive = order.iter().copied().collect();
+        RingState {
+            order,
+            alive,
+            is_top,
+            hb_outstanding: 0,
+            next_acked_mq: GlobalSeq::ZERO,
+        }
+    }
+
+    fn pos(&self, id: NodeId) -> usize {
+        self.order
+            .iter()
+            .position(|&n| n == id)
+            .expect("node not in ring order")
+    }
+
+    /// The next alive node after `me` in the cycle (may be `me` itself when
+    /// it is the only survivor).
+    pub fn next_of(&self, me: NodeId) -> NodeId {
+        let n = self.order.len();
+        let start = self.pos(me);
+        for step in 1..=n {
+            let cand = self.order[(start + step) % n];
+            if self.alive.contains(&cand) {
+                return cand;
+            }
+        }
+        me
+    }
+
+    /// The previous alive node before `me` in the cycle.
+    pub fn prev_of(&self, me: NodeId) -> NodeId {
+        let n = self.order.len();
+        let start = self.pos(me);
+        for step in 1..=n {
+            let cand = self.order[(start + n - step) % n];
+            if self.alive.contains(&cand) {
+                return cand;
+            }
+        }
+        me
+    }
+
+    /// The ring leader: smallest alive node id (DESIGN.md §6).
+    pub fn leader(&self) -> NodeId {
+        *self.alive.iter().next().expect("ring has no alive member")
+    }
+
+    /// Mark a member dead. Returns true if it was believed alive.
+    pub fn mark_dead(&mut self, id: NodeId) -> bool {
+        self.alive.remove(&id)
+    }
+
+    /// Number of alive members.
+    pub fn alive_count(&self) -> usize {
+        self.alive.len()
+    }
+}
+
+/// In-flight ordering-token transfer awaiting a [`Msg::TokenAck`].
+#[derive(Debug, Clone)]
+pub struct InflightToken {
+    /// The token copy being transferred.
+    pub token: OrderingToken,
+    /// The intended receiver.
+    pub to: NodeId,
+    /// When the last attempt was sent.
+    pub sent_at: SimTime,
+    /// Transfer attempts so far.
+    pub attempts: u8,
+}
+
+/// Message-Ordering state kept by top-ring nodes only (§4.1).
+#[derive(Debug, Clone)]
+pub struct OrderingState {
+    /// `NewOrderingToken`: snapshot of the most recently processed token.
+    pub new_token: Option<OrderingToken>,
+    /// `OldOrderingToken`: the previous snapshot.
+    pub old_token: Option<OrderingToken>,
+    /// `MinLocalSeqNo`: first own-source local number not yet assigned.
+    pub min_unordered: LocalSeq,
+    /// `MaxLocalSeqNo`: last own-source local number received.
+    pub max_local: LocalSeq,
+    /// Outstanding reliable token transfer to the next node.
+    pub inflight: Option<InflightToken>,
+    /// Fingerprint `(epoch, origin, rotation)` of the last token pass
+    /// processed here. A retransmitted transfer (sender missed our ack)
+    /// matches this fingerprint and must be re-acknowledged but *not*
+    /// re-processed — re-processing would fork a second live token.
+    pub last_pass: Option<(crate::ids::Epoch, u32, u64)>,
+    /// Last time a live token was processed here ("ordering runs well").
+    pub last_token_seen: SimTime,
+    /// Last time this node originated a Token-Regeneration round.
+    pub last_regen_at: SimTime,
+    /// Best token instance `(epoch, origin)` observed (Multiple-Token rule).
+    pub best_instance: (crate::ids::Epoch, u32),
+}
+
+impl OrderingState {
+    fn new() -> Self {
+        OrderingState {
+            new_token: None,
+            old_token: None,
+            min_unordered: LocalSeq::FIRST,
+            max_local: LocalSeq::ZERO,
+            inflight: None,
+            last_pass: None,
+            last_token_seen: SimTime::ZERO,
+            last_regen_at: SimTime::ZERO,
+            best_instance: (crate::ids::Epoch(0), 0),
+        }
+    }
+}
+
+/// AP-only state: the attached-MH table and tree-activation bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ApMhState {
+    /// Per-MH delivery progress (the paper's AP-side `WT`, keyed by GUID).
+    pub wt: WorkingTable<Guid>,
+    /// Last time each MH was heard from (liveness).
+    pub last_heard: BTreeMap<Guid, SimTime>,
+    /// Statically part of the distribution tree (non-mobility experiments).
+    pub always_active: bool,
+    /// Active until this time due to a path reservation.
+    pub reservation_until: SimTime,
+    /// Neighbouring APs (for reservation propagation).
+    pub neighbours: Vec<NodeId>,
+    /// Whether this AP is currently grafted to its parent.
+    pub grafted: bool,
+}
+
+impl ApMhState {
+    fn new(always_active: bool, neighbours: Vec<NodeId>) -> Self {
+        ApMhState {
+            wt: WorkingTable::new(),
+            last_heard: BTreeMap::new(),
+            always_active,
+            reservation_until: SimTime::ZERO,
+            neighbours,
+            grafted: false,
+        }
+    }
+
+    /// Should this AP be receiving the group's traffic at `now`?
+    pub fn should_be_active(&self, now: SimTime) -> bool {
+        self.always_active || !self.wt.is_empty() || now < self.reservation_until
+    }
+}
+
+/// Per-entity counters surfaced in the final-statistics journal record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeCounters {
+    /// Data-plane messages sent.
+    pub data_sent: u32,
+    /// Control-plane messages sent.
+    pub control_sent: u32,
+    /// Retransmissions served to downstreams.
+    pub retransmissions: u32,
+    /// Duplicate data receptions discarded.
+    pub duplicates: u32,
+}
+
+/// The network-entity state machine. See module docs.
+pub struct NeState {
+    /// Group served.
+    pub group: GroupId,
+    /// `Current`: this entity's identity.
+    pub id: NodeId,
+    /// Hierarchy tier.
+    pub tier: Tier,
+    /// Protocol parameters.
+    pub cfg: ProtocolConfig,
+    /// Ring view (BRs and AGs).
+    pub ring: Option<RingState>,
+    /// Current parent (ring leaders and APs).
+    pub parent: Option<NodeId>,
+    /// Statically configured candidate parents (Remark 2).
+    pub parent_candidates: Vec<NodeId>,
+    /// Heartbeats sent to the parent without an answer.
+    pub parent_hb_outstanding: u8,
+    /// Active children and when each was last heard.
+    pub children: BTreeMap<NodeId, SimTime>,
+    /// Per-child delivery progress (`WT`).
+    pub wt_children: WorkingTable<NodeId>,
+    /// The ordered-message queue (`MQ`).
+    pub mq: MessageQueue,
+    /// The pre-order queue (`WQ`), top-ring nodes only.
+    pub wq: Option<WorkingQueue>,
+    /// Message-Ordering state, top-ring nodes only.
+    pub ord: Option<OrderingState>,
+    /// AP-only MH state.
+    pub ap: Option<ApMhState>,
+    /// Net membership delta not yet propagated upward (batched updates).
+    pub pending_delta: i64,
+    /// Aggregated member count of this entity's subtree.
+    pub subtree_members: i64,
+    /// Hop-tick counter (drives the `ack_every` divisor).
+    pub hop_tick_count: u64,
+    /// Statistics counters.
+    pub counters: NeCounters,
+    /// Crash-stop flag: a dead entity ignores everything.
+    pub alive: bool,
+}
+
+impl NeState {
+    /// Create a border router. `ring` must contain `id`; `is_top` marks the
+    /// ordering ring.
+    pub fn new_br(
+        group: GroupId,
+        id: NodeId,
+        ring: Vec<NodeId>,
+        is_top: bool,
+        cfg: ProtocolConfig,
+    ) -> Self {
+        let ord = is_top.then(OrderingState::new);
+        let wq = is_top.then(|| WorkingQueue::new(cfg.wq_capacity));
+        NeState {
+            group,
+            id,
+            tier: Tier::Br,
+            ring: Some(RingState::new(ring, id, is_top)),
+            parent: None,
+            parent_candidates: Vec::new(),
+            parent_hb_outstanding: 0,
+            children: BTreeMap::new(),
+            wt_children: WorkingTable::new(),
+            mq: MessageQueue::new(cfg.mq_capacity),
+            wq,
+            ord,
+            ap: None,
+            pending_delta: 0,
+            subtree_members: 0,
+            hop_tick_count: 0,
+            counters: NeCounters::default(),
+            alive: true,
+            cfg,
+        }
+    }
+
+    /// Create an access gateway on a (non-top) ring with candidate parents.
+    pub fn new_ag(
+        group: GroupId,
+        id: NodeId,
+        ring: Vec<NodeId>,
+        parent_candidates: Vec<NodeId>,
+        cfg: ProtocolConfig,
+    ) -> Self {
+        NeState {
+            group,
+            id,
+            tier: Tier::Ag,
+            ring: Some(RingState::new(ring, id, false)),
+            parent: None,
+            parent_candidates,
+            parent_hb_outstanding: 0,
+            children: BTreeMap::new(),
+            wt_children: WorkingTable::new(),
+            mq: MessageQueue::new(cfg.mq_capacity),
+            wq: None,
+            ord: None,
+            ap: None,
+            pending_delta: 0,
+            subtree_members: 0,
+            hop_tick_count: 0,
+            counters: NeCounters::default(),
+            alive: true,
+            cfg,
+        }
+    }
+
+    /// Create a hybrid station for the flat-ring baseline: a member of a
+    /// single top (ordering) ring that *also* serves MHs directly — the
+    /// structure of the logical-ring protocol of Nikolaidis & Harms that
+    /// §2 compares against (every base station on one ring).
+    pub fn new_flat_station(
+        group: GroupId,
+        id: NodeId,
+        ring: Vec<NodeId>,
+        cfg: ProtocolConfig,
+    ) -> Self {
+        let mut st = Self::new_br(group, id, ring, true, cfg);
+        st.ap = Some(ApMhState::new(true, Vec::new()));
+        st
+    }
+
+    /// Create an access proxy under candidate parent AGs.
+    pub fn new_ap(
+        group: GroupId,
+        id: NodeId,
+        parent_candidates: Vec<NodeId>,
+        always_active: bool,
+        neighbours: Vec<NodeId>,
+        cfg: ProtocolConfig,
+    ) -> Self {
+        NeState {
+            group,
+            id,
+            tier: Tier::Ap,
+            ring: None,
+            parent: None,
+            parent_candidates,
+            parent_hb_outstanding: 0,
+            children: BTreeMap::new(),
+            wt_children: WorkingTable::new(),
+            mq: MessageQueue::new(cfg.mq_capacity),
+            wq: None,
+            ord: None,
+            ap: Some(ApMhState::new(always_active, neighbours)),
+            pending_delta: 0,
+            subtree_members: 0,
+            hop_tick_count: 0,
+            counters: NeCounters::default(),
+            alive: true,
+            cfg,
+        }
+    }
+
+    /// True when this entity sits on the top (ordering) logical ring.
+    pub fn is_top_ring(&self) -> bool {
+        self.ring.as_ref().is_some_and(|r| r.is_top)
+    }
+
+    /// This entity's next ring node, if on a ring.
+    pub fn ring_next(&self) -> Option<NodeId> {
+        self.ring.as_ref().map(|r| r.next_of(self.id))
+    }
+
+    /// This entity's previous ring node, if on a ring.
+    pub fn ring_prev(&self) -> Option<NodeId> {
+        self.ring.as_ref().map(|r| r.prev_of(self.id))
+    }
+
+    /// This entity's ring leader, if on a ring.
+    pub fn ring_leader(&self) -> Option<NodeId> {
+        self.ring.as_ref().map(|r| r.leader())
+    }
+
+    /// True when this entity is its ring's leader.
+    pub fn is_ring_leader(&self) -> bool {
+        self.ring_leader() == Some(self.id)
+    }
+
+    /// The upstream hop this entity NACKs missing `MQ` messages to:
+    /// previous ring node for ring members (the leader of a *non-top* ring
+    /// uses its parent instead), parent for APs.
+    pub fn upstream(&self) -> Option<NodeId> {
+        match &self.ring {
+            Some(r) => {
+                if !r.is_top && r.leader() == self.id {
+                    self.parent
+                } else {
+                    let prev = r.prev_of(self.id);
+                    (prev != self.id).then_some(prev)
+                }
+            }
+            None => self.parent,
+        }
+    }
+
+    /// Dispatch one received message. `from` is the sending endpoint as
+    /// resolved by the engine. Outputs are appended to `out`.
+    pub fn on_msg(&mut self, now: SimTime, from: Endpoint, msg: Msg, out: &mut Outbox) {
+        if !self.alive {
+            return;
+        }
+        debug_assert_eq!(msg.group(), self.group, "cross-group message");
+        match msg {
+            Msg::SourceData {
+                local_seq, payload, ..
+            } => self.on_source_data(now, local_seq, payload, out),
+            Msg::PreOrder {
+                corresponding,
+                local_seq,
+                payload,
+                ..
+            } => self.on_pre_order(now, corresponding, local_seq, payload, out),
+            Msg::PreOrderAck {
+                corresponding,
+                upto,
+                ..
+            } => self.on_pre_order_ack(from, corresponding, upto),
+            Msg::PreOrderNack {
+                corresponding,
+                missing,
+                ..
+            } => self.on_pre_order_nack(from, corresponding, &missing, out),
+            Msg::Token(token) => self.on_token(now, from, *token, out),
+            Msg::TokenAck {
+                epoch, rotation, ..
+            } => self.on_token_ack(from, epoch, rotation),
+            Msg::Data { gsn, data, .. } => self.on_data(now, from, gsn, data, out),
+            Msg::DataAck { upto, .. } => self.on_data_ack(now, from, upto),
+            Msg::DataNack { missing, .. } => self.on_data_nack(from, &missing, out),
+            Msg::Heartbeat { .. } => self.on_heartbeat(now, from, out),
+            Msg::HeartbeatAck { .. } => self.on_heartbeat_ack(now, from),
+            Msg::NewPrev { prev, .. } => self.on_new_prev(from, prev),
+            Msg::Graft {
+                child, resume_from, ..
+            } => self.on_graft(now, child, resume_from, out),
+            Msg::GraftAck { .. } => self.on_graft_ack(now, from),
+            Msg::Prune { child, .. } => self.on_prune(now, child, out),
+            Msg::MembershipUpdate { delta, .. } => self.on_membership_update(delta),
+            Msg::Join { guid, .. } => self.on_join(now, guid, out),
+            Msg::Leave { guid, .. } => self.on_leave(now, guid, out),
+            Msg::HandoffRegister {
+                guid, resume_from, ..
+            } => self.on_handoff_register(now, guid, resume_from, out),
+            Msg::Reserve {
+                origin_ap, radius, ..
+            } => self.on_reserve(now, origin_ap, radius, out),
+            Msg::TokenLossSignal { .. } => self.on_token_loss_signal(now, out),
+            Msg::TokenRegen { origin, best, .. } => self.on_token_regen(now, origin, *best, out),
+            Msg::RingFail { failed, .. } => self.on_ring_fail(now, failed, out),
+            Msg::Kill { .. } => self.kill(),
+            Msg::FlushStats { .. } => self.flush_final_stats(out),
+            Msg::HandoffTo { .. } | Msg::JoinAck { .. } | Msg::JoinCmd { .. } => {
+                // MH-only messages; NEs ignore them.
+            }
+        }
+    }
+
+    /// Emit the final-statistics journal record for this entity.
+    pub fn flush_final_stats(&self, out: &mut Outbox) {
+        out.push(crate::actions::Action::Record(
+            crate::events::ProtoEvent::NeFinal {
+                node: self.id,
+                wq_peak: self.wq.as_ref().map_or(0, |w| w.peak_occupancy() as u32),
+                mq_peak: self.mq.peak_occupancy() as u32,
+                mq_overflow: self.mq.overflow_drops as u32,
+                wq_overflow: self.wq.as_ref().map_or(0, |w| w.overflow_drops as u32),
+                control_sent: self.counters.control_sent,
+                data_sent: self.counters.data_sent,
+                retransmissions: self.counters.retransmissions,
+            },
+        ));
+    }
+
+    /// Crash-stop this entity (scenario fault injection).
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring3() -> Vec<NodeId> {
+        vec![NodeId(10), NodeId(20), NodeId(30)]
+    }
+
+    #[test]
+    fn ring_next_prev_leader() {
+        let r = RingState::new(ring3(), NodeId(20), true);
+        assert_eq!(r.next_of(NodeId(10)), NodeId(20));
+        assert_eq!(r.next_of(NodeId(30)), NodeId(10));
+        assert_eq!(r.prev_of(NodeId(10)), NodeId(30));
+        assert_eq!(r.prev_of(NodeId(20)), NodeId(10));
+        assert_eq!(r.leader(), NodeId(10));
+    }
+
+    #[test]
+    fn ring_skips_dead_members() {
+        let mut r = RingState::new(ring3(), NodeId(10), true);
+        assert!(r.mark_dead(NodeId(20)));
+        assert!(!r.mark_dead(NodeId(20)));
+        assert_eq!(r.next_of(NodeId(10)), NodeId(30));
+        assert_eq!(r.prev_of(NodeId(30)), NodeId(10));
+        assert_eq!(r.alive_count(), 2);
+        r.mark_dead(NodeId(30));
+        assert_eq!(r.next_of(NodeId(10)), NodeId(10), "sole survivor is its own next");
+    }
+
+    #[test]
+    fn leader_changes_on_death() {
+        let mut r = RingState::new(ring3(), NodeId(20), false);
+        assert_eq!(r.leader(), NodeId(10));
+        r.mark_dead(NodeId(10));
+        assert_eq!(r.leader(), NodeId(20));
+    }
+
+    #[test]
+    fn br_constructor_wires_ordering_only_on_top() {
+        let cfg = ProtocolConfig::default();
+        let top = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg.clone());
+        assert!(top.ord.is_some());
+        assert!(top.wq.is_some());
+        assert!(top.is_top_ring());
+        let lower = NeState::new_br(GroupId(1), NodeId(10), ring3(), false, cfg);
+        assert!(lower.ord.is_none());
+        assert!(lower.wq.is_none());
+    }
+
+    #[test]
+    fn upstream_resolution() {
+        let cfg = ProtocolConfig::default();
+        // Ring member (non-leader): upstream is prev.
+        let ag = NeState::new_ag(GroupId(1), NodeId(20), ring3(), vec![NodeId(1)], cfg.clone());
+        assert_eq!(ag.upstream(), Some(NodeId(10)));
+        // Non-top ring leader: upstream is the parent.
+        let mut leader = NeState::new_ag(GroupId(1), NodeId(10), ring3(), vec![NodeId(1)], cfg.clone());
+        assert_eq!(leader.upstream(), None, "not grafted yet");
+        leader.parent = Some(NodeId(1));
+        assert_eq!(leader.upstream(), Some(NodeId(1)));
+        // Top-ring leader: upstream is still prev (MQ repair within the ring).
+        let br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg.clone());
+        assert_eq!(br.upstream(), Some(NodeId(30)));
+        // AP: upstream is the parent.
+        let mut ap = NeState::new_ap(GroupId(1), NodeId(99), vec![NodeId(20)], true, vec![], cfg);
+        ap.parent = Some(NodeId(20));
+        assert_eq!(ap.upstream(), Some(NodeId(20)));
+    }
+
+    #[test]
+    fn ap_activation_logic() {
+        let now = SimTime::from_secs(1);
+        let mut ap = ApMhState::new(false, vec![]);
+        assert!(!ap.should_be_active(now));
+        ap.reservation_until = SimTime::from_secs(2);
+        assert!(ap.should_be_active(now));
+        assert!(!ap.should_be_active(SimTime::from_secs(3)));
+        ap.wt.register(Guid(1), GlobalSeq::ZERO);
+        assert!(ap.should_be_active(SimTime::from_secs(3)));
+        let always = ApMhState::new(true, vec![]);
+        assert!(always.should_be_active(now));
+    }
+
+    #[test]
+    fn dead_entity_ignores_messages() {
+        let cfg = ProtocolConfig::default();
+        let mut br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg);
+        br.kill();
+        let mut out = Vec::new();
+        br.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(30)),
+            Msg::Heartbeat { group: GroupId(1) },
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+}

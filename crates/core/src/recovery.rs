@@ -1,0 +1,299 @@
+//! Token-Loss recovery and Multiple-Token resolution (§4.2.1).
+//!
+//! When topology maintenance runs (a ring repair), the membership layer
+//! sends a Token-Loss message to the multicast layer. A node receiving it
+//! checks whether "the Message-Ordering algorithm runs well" — a live token
+//! has visited within `token_quiet_after` — and, if not, originates a
+//! Token-Regeneration message that encapsulates its `NewOrderingToken` and
+//! traverses the ring along next links. Every traversed node either
+//! destroys the message (ordering runs well there), upgrades the
+//! encapsulated snapshot to its own fresher one, or — when the message
+//! returns to its originator after a full quiet circle — restarts
+//! Message-Ordering with the best snapshot under a bumped epoch.
+//!
+//! Restart-after-full-circle is this reproduction's resolution of the
+//! paper's ambiguous restart rule (DESIGN.md §6): it guarantees the old
+//! token is quiescent everywhere before a replacement is created, which —
+//! together with the bounded token-retry budget — excludes concurrent
+//! live tokens assigning overlapping ranges.
+//!
+//! Multiple tokens (e.g. after ring merges, simulated directly in tests)
+//! are resolved by the keep-one rule in `ordering::on_token`: the instance
+//! `(epoch, origin)` order decides, and stale instances are destroyed at
+//! the first node that has seen a better one.
+
+use simnet::SimTime;
+
+use crate::actions::{Action, Outbox};
+use crate::events::ProtoEvent;
+use crate::ids::{Epoch, NodeId};
+use crate::msg::Msg;
+use crate::node::NeState;
+use crate::token::OrderingToken;
+
+impl NeState {
+    /// Membership layer → multicast layer: the token may be lost.
+    pub(crate) fn on_token_loss_signal(&mut self, now: SimTime, out: &mut Outbox) {
+        self.maybe_start_regen(now, out);
+    }
+
+    /// Originate a Token-Regeneration round unless ordering runs well here
+    /// or a round was originated too recently (damping).
+    pub(crate) fn maybe_start_regen(&mut self, now: SimTime, out: &mut Outbox) {
+        let me = self.id;
+        let group = self.group;
+        let quiet = self.cfg.token_quiet_after;
+        let best = {
+            let Some(ord) = self.ord.as_mut() else { return };
+            if now.saturating_since(ord.last_token_seen) < quiet {
+                return; // ordering runs well → ignore the Token-Loss message
+            }
+            if now.saturating_since(ord.last_regen_at) < quiet {
+                return; // damping: one round at a time
+            }
+            ord.last_regen_at = now;
+            ord.new_token
+                .clone()
+                .unwrap_or_else(|| OrderingToken::new(group, me))
+        };
+        let next = self.ring_next().expect("top-ring node has a ring");
+        if next == me {
+            // Sole survivor: adopt immediately.
+            self.adopt_regenerated(now, best, out);
+        } else {
+            out.push(Action::to_ne(
+                next,
+                Msg::TokenRegen {
+                    group,
+                    origin: me,
+                    best: Box::new(best),
+                },
+            ));
+            self.counters.control_sent += 1;
+        }
+    }
+
+    /// A Token-Regeneration message arrived from the previous node.
+    pub(crate) fn on_token_regen(
+        &mut self,
+        now: SimTime,
+        origin: NodeId,
+        best: OrderingToken,
+        out: &mut Outbox,
+    ) {
+        let me = self.id;
+        let group = self.group;
+        let quiet = self.cfg.token_quiet_after;
+        let best = {
+            let Some(ord) = self.ord.as_ref() else { return };
+            if now.saturating_since(ord.last_token_seen) < quiet {
+                // Ordering runs well here: destroy the message.
+                return;
+            }
+            // Upgrade the snapshot if ours has assigned further.
+            match &ord.new_token {
+                Some(mine) if mine.next_gsn > best.next_gsn => mine.clone(),
+                _ => best,
+            }
+        };
+        if origin == me {
+            // Full circle of quiet nodes: restart with the best snapshot.
+            self.adopt_regenerated(now, best, out);
+            return;
+        }
+        let next = self.ring_next().expect("top-ring node has a ring");
+        if next == me {
+            // Degenerate: everyone else died while the message traversed.
+            self.adopt_regenerated(now, best, out);
+            return;
+        }
+        out.push(Action::to_ne(
+            next,
+            Msg::TokenRegen {
+                group,
+                origin,
+                best: Box::new(best),
+            },
+        ));
+        self.counters.control_sent += 1;
+    }
+
+    /// Restart Message-Ordering here with `base` under a bumped epoch.
+    fn adopt_regenerated(&mut self, now: SimTime, base: OrderingToken, out: &mut Outbox) {
+        let me = self.id;
+        let mut token = base;
+        token.epoch = Epoch(token.epoch.0 + 1);
+        token.origin = me;
+        let ord = self.ord.as_mut().expect("ordering state");
+        ord.best_instance = token.instance();
+        ord.last_token_seen = now;
+        out.push(Action::Record(ProtoEvent::TokenRegenerated {
+            node: me,
+            epoch: token.epoch,
+            next_gsn: token.next_gsn,
+        }));
+        self.process_and_forward_token(now, token, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::ids::{Endpoint, GlobalSeq, GroupId, LocalRange, LocalSeq};
+
+    const G: GroupId = GroupId(1);
+
+    fn ring() -> Vec<NodeId> {
+        vec![NodeId(0), NodeId(1), NodeId(2)]
+    }
+
+    fn br(id: u32) -> NeState {
+        NeState::new_br(G, NodeId(id), ring(), true, ProtocolConfig::default())
+    }
+
+    fn quiet_time(cfg: &ProtocolConfig) -> SimTime {
+        SimTime::ZERO + cfg.token_quiet_after + cfg.token_quiet_after
+    }
+
+    #[test]
+    fn loss_signal_ignored_while_ordering_runs_well() {
+        let mut n = br(0);
+        let mut out = Vec::new();
+        n.originate_token(SimTime::ZERO, &mut out); // last_token_seen = 0
+        out.clear();
+        n.on_token_loss_signal(SimTime::from_millis(1), &mut out);
+        assert!(
+            !out.iter().any(|a| matches!(a, Action::Send { msg: Msg::TokenRegen { .. }, .. })),
+            "recent token ⇒ no regeneration"
+        );
+    }
+
+    #[test]
+    fn quiet_node_originates_regen() {
+        let mut n = br(0);
+        let t = quiet_time(&n.cfg);
+        let mut out = Vec::new();
+        n.on_token_loss_signal(t, &mut out);
+        let regens: Vec<_> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to: Endpoint::Ne(to), msg: Msg::TokenRegen { origin, .. } } => {
+                    Some((*to, *origin))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regens, vec![(NodeId(1), NodeId(0))]);
+        // Damping: a second signal right after does nothing.
+        out.clear();
+        n.on_token_loss_signal(t, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn regen_destroyed_at_healthy_node() {
+        let mut n = br(1);
+        let mut out = Vec::new();
+        // Node 1 saw a token very recently.
+        let tok = OrderingToken::new(G, NodeId(0));
+        n.on_token(SimTime::from_millis(100), Endpoint::Ne(NodeId(0)), tok, &mut out);
+        out.clear();
+        n.on_token_regen(
+            SimTime::from_millis(101),
+            NodeId(0),
+            OrderingToken::new(G, NodeId(0)),
+            &mut out,
+        );
+        assert!(out.is_empty(), "healthy node destroys the regen message");
+    }
+
+    #[test]
+    fn regen_upgrades_snapshot_and_forwards() {
+        let mut n = br(1);
+        let t = quiet_time(&n.cfg);
+        // Node 1's snapshot is ahead: next_gsn = 11.
+        let mut mine = OrderingToken::new(G, NodeId(0));
+        mine.assign(NodeId(1), NodeId(1), LocalRange::new(LocalSeq(1), LocalSeq(10)));
+        n.ord.as_mut().unwrap().new_token = Some(mine);
+        let mut out = Vec::new();
+        let stale = OrderingToken::new(G, NodeId(0)); // next_gsn = 1
+        n.on_token_regen(t, NodeId(0), stale, &mut out);
+        let fwd: Vec<_> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to: Endpoint::Ne(to), msg: Msg::TokenRegen { best, origin, .. } } => {
+                    Some((*to, *origin, best.next_gsn))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fwd, vec![(NodeId(2), NodeId(0), GlobalSeq(11))]);
+    }
+
+    #[test]
+    fn full_circle_adopts_with_bumped_epoch() {
+        let mut n = br(0);
+        let t = quiet_time(&n.cfg);
+        let mut best = OrderingToken::new(G, NodeId(2));
+        best.assign(NodeId(2), NodeId(2), LocalRange::new(LocalSeq(1), LocalSeq(5)));
+        let mut out = Vec::new();
+        // The message we originated comes back to us.
+        n.on_token_regen(t, NodeId(0), best, &mut out);
+        let regenerated: Vec<_> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Record(ProtoEvent::TokenRegenerated { epoch, next_gsn, .. }) => {
+                    Some((*epoch, *next_gsn))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regenerated, vec![(Epoch(1), GlobalSeq(6))], "sequence space preserved");
+        // And the new token started circulating.
+        assert!(out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Token(_), .. })));
+        assert_eq!(
+            n.ord.as_ref().unwrap().best_instance,
+            (Epoch(1), 0),
+            "instance updated to the regenerated lineage"
+        );
+    }
+
+    #[test]
+    fn sole_survivor_adopts_immediately() {
+        let cfg = ProtocolConfig::default();
+        let mut n = NeState::new_br(G, NodeId(7), vec![NodeId(7)], true, cfg);
+        let t = quiet_time(&n.cfg);
+        let mut out = Vec::new();
+        n.on_token_loss_signal(t, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Record(ProtoEvent::TokenRegenerated { epoch: Epoch(1), .. })
+        )));
+    }
+
+    #[test]
+    fn regenerated_token_beats_stale_original() {
+        // After adoption, the node destroys a late-arriving epoch-0 token.
+        let mut n = br(0);
+        let t = quiet_time(&n.cfg);
+        let mut out = Vec::new();
+        n.on_token_regen(t, NodeId(0), OrderingToken::new(G, NodeId(2)), &mut out);
+        out.clear();
+        let stale = OrderingToken::new(G, NodeId(1)); // epoch 0
+        n.on_token(t, Endpoint::Ne(NodeId(2)), stale, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Record(ProtoEvent::TokenDestroyed { epoch: Epoch(0), .. })
+        )));
+    }
+
+    #[test]
+    fn non_top_node_ignores_recovery_traffic() {
+        let mut ag = NeState::new_ag(G, NodeId(5), vec![NodeId(5), NodeId(6)], vec![], ProtocolConfig::default());
+        let mut out = Vec::new();
+        ag.on_token_loss_signal(SimTime::from_secs(10), &mut out);
+        ag.on_token_regen(SimTime::from_secs(10), NodeId(5), OrderingToken::new(G, NodeId(5)), &mut out);
+        assert!(out.is_empty());
+    }
+}

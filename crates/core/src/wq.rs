@@ -1,0 +1,434 @@
+//! `WQ` — the WorkingQueue of not-yet-ordered messages (§4.1, top ring only).
+//!
+//! The paper designs `WQ` as "a list of queues, each of which is used to
+//! keep messages from one source". Sources inject locally-sequenced
+//! messages at their *corresponding node*; every top-ring node additionally
+//! receives the other sources' messages forwarded along the ring. The queue
+//! for a source is keyed by that source's corresponding node (the paper's
+//! `WQ.OrderingNode` notation).
+//!
+//! Entries wait here until the Order-Assignment algorithm matches them with
+//! a global-sequence range recorded in the ordering token and copies them
+//! into `MQ`. An entry can be garbage-collected once it has been copied
+//! *and* the next ring node has acknowledged receipt (it may need to be
+//! retransmitted to the next node until then).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::ids::{GlobalSeq, LocalRange, LocalSeq, NodeId, PayloadId};
+use crate::mq::{InsertOutcome, MsgData};
+
+/// One slot of a per-source queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SqSlot {
+    /// Gap: a later local sequence number arrived first.
+    Missing { waiting: bool, nacks: u8 },
+    /// Retry budget exhausted; the `MQ`-level retransmission path will have
+    /// to repair the hole downstream of ordering.
+    Lost,
+    /// Payload present.
+    Present {
+        payload: PayloadId,
+        /// Global number assigned by Order-Assignment (None = unordered).
+        gsn: Option<GlobalSeq>,
+        /// Copied into `MQ` already.
+        copied: bool,
+    },
+}
+
+/// Queue of one source's pending messages.
+#[derive(Debug, Clone)]
+struct SourceQueue {
+    slots: VecDeque<SqSlot>,
+    /// Local sequence number of `slots[0]`.
+    base: LocalSeq,
+    /// Highest local sequence number seen.
+    rear: LocalSeq,
+    /// Contiguous prefix acknowledged by the next ring node.
+    acked_by_next: LocalSeq,
+}
+
+impl SourceQueue {
+    fn new() -> Self {
+        SourceQueue {
+            slots: VecDeque::new(),
+            base: LocalSeq::FIRST,
+            rear: LocalSeq::ZERO,
+            acked_by_next: LocalSeq::ZERO,
+        }
+    }
+
+    fn idx(&self, ls: LocalSeq) -> Option<usize> {
+        if ls < self.base {
+            return None;
+        }
+        let i = (ls.0 - self.base.0) as usize;
+        (i < self.slots.len()).then_some(i)
+    }
+
+    fn insert(&mut self, ls: LocalSeq, payload: PayloadId, capacity: usize) -> InsertOutcome {
+        debug_assert!(ls.is_valid());
+        if ls < self.base {
+            return InsertOutcome::Stale;
+        }
+        let rel = (ls.0 - self.base.0) as usize;
+        if rel >= capacity {
+            return InsertOutcome::Overflow;
+        }
+        while self.slots.len() <= rel {
+            self.slots.push_back(SqSlot::Missing {
+                waiting: true,
+                nacks: 0,
+            });
+        }
+        match self.slots[rel] {
+            SqSlot::Present { .. } => InsertOutcome::Duplicate,
+            SqSlot::Lost => InsertOutcome::Stale,
+            SqSlot::Missing { .. } => {
+                self.slots[rel] = SqSlot::Present {
+                    payload,
+                    gsn: None,
+                    copied: false,
+                };
+                if ls > self.rear {
+                    self.rear = ls;
+                }
+                InsertOutcome::Stored
+            }
+        }
+    }
+
+    fn gc(&mut self) -> usize {
+        let mut dropped = 0;
+        while let Some(slot) = self.slots.front() {
+            let removable = match slot {
+                // A lost slot holds no payload and will never be copied or
+                // retransmitted from here; drop it unconditionally.
+                SqSlot::Lost => true,
+                SqSlot::Present { copied, .. } => *copied && self.base <= self.acked_by_next,
+                SqSlot::Missing { .. } => false,
+            };
+            if !removable {
+                break;
+            }
+            self.slots.pop_front();
+            self.base = self.base.next();
+            dropped += 1;
+        }
+        dropped
+    }
+}
+
+/// The WorkingQueue: per-source queues plus shared capacity accounting.
+#[derive(Debug, Clone)]
+pub struct WorkingQueue {
+    queues: BTreeMap<NodeId, SourceQueue>,
+    capacity_per_source: usize,
+    /// Entries dropped because a per-source queue was full.
+    pub overflow_drops: u64,
+    peak_total: usize,
+}
+
+impl WorkingQueue {
+    /// Create a WorkingQueue whose per-source queues hold `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "WQ capacity must be positive");
+        WorkingQueue {
+            queues: BTreeMap::new(),
+            capacity_per_source: capacity,
+            overflow_drops: 0,
+            peak_total: 0,
+        }
+    }
+
+    fn note_peak(&mut self) {
+        let total = self.occupancy();
+        if total > self.peak_total {
+            self.peak_total = total;
+        }
+    }
+
+    /// Offer a message `(corresponding_node, local_seq)`; used both for the
+    /// own source's fresh messages and for ring-forwarded ones.
+    pub fn insert(
+        &mut self,
+        corresponding: NodeId,
+        ls: LocalSeq,
+        payload: PayloadId,
+    ) -> InsertOutcome {
+        let cap = self.capacity_per_source;
+        let q = self.queues.entry(corresponding).or_insert_with(SourceQueue::new);
+        let outcome = q.insert(ls, payload, cap);
+        if outcome == InsertOutcome::Overflow {
+            self.overflow_drops += 1;
+        }
+        if outcome == InsertOutcome::Stored {
+            self.note_peak();
+        }
+        outcome
+    }
+
+    /// Payload of a retained message (serves ring retransmissions).
+    pub fn get(&self, corresponding: NodeId, ls: LocalSeq) -> Option<PayloadId> {
+        let q = self.queues.get(&corresponding)?;
+        match q.slots.get(q.idx(ls)?) {
+            Some(SqSlot::Present { payload, .. }) => Some(*payload),
+            _ => None,
+        }
+    }
+
+    /// Order-Assignment step for one WTSNP entry: stamp every present,
+    /// not-yet-copied message in `range` with its global number
+    /// (`min_gs + (ls - range.min)`) and return the `MQ`-ready records.
+    pub fn take_orderable(
+        &mut self,
+        corresponding: NodeId,
+        source: NodeId,
+        range: LocalRange,
+        min_gs: GlobalSeq,
+    ) -> Vec<(GlobalSeq, MsgData)> {
+        let Some(q) = self.queues.get_mut(&corresponding) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for ls in range.iter() {
+            let Some(i) = q.idx(ls) else { continue };
+            if let SqSlot::Present { payload, gsn, copied } = &mut q.slots[i] {
+                if *copied {
+                    continue;
+                }
+                let g = min_gs.advance(ls.since(range.min));
+                *gsn = Some(g);
+                *copied = true;
+                out.push((
+                    g,
+                    MsgData {
+                        source,
+                        local_seq: ls,
+                        ordering_node: corresponding,
+                        payload: *payload,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Record a cumulative ACK from the next ring node for one source's
+    /// stream, enabling garbage collection.
+    pub fn ack_from_next(&mut self, corresponding: NodeId, upto: LocalSeq) {
+        if let Some(q) = self.queues.get_mut(&corresponding) {
+            if upto > q.acked_by_next {
+                q.acked_by_next = upto;
+            }
+        }
+    }
+
+    /// Walk every queue's gaps: bump NACK counters, transition exhausted
+    /// slots to `Lost`. Returns `(requests grouped by source, lost count)`.
+    pub fn collect_nacks(&mut self, budget: u8) -> (Vec<(NodeId, Vec<LocalSeq>)>, u64) {
+        let mut requests = Vec::new();
+        let mut lost = 0;
+        for (&corr, q) in self.queues.iter_mut() {
+            let mut missing = Vec::new();
+            if q.rear < q.base {
+                continue;
+            }
+            for ls in q.base.0..=q.rear.0 {
+                let ls = LocalSeq(ls);
+                let Some(i) = q.idx(ls) else { continue };
+                if let SqSlot::Missing { waiting, nacks } = &mut q.slots[i] {
+                    if !*waiting {
+                        continue;
+                    }
+                    if *nacks >= budget {
+                        q.slots[i] = SqSlot::Lost;
+                        lost += 1;
+                    } else {
+                        *nacks += 1;
+                        missing.push(ls);
+                    }
+                }
+            }
+            if !missing.is_empty() {
+                requests.push((corr, missing));
+            }
+        }
+        (requests, lost)
+    }
+
+    /// Garbage-collect copied-and-acked prefixes of every queue.
+    pub fn gc(&mut self) -> usize {
+        self.queues.values_mut().map(|q| q.gc()).sum()
+    }
+
+    /// Total retained entries across all sources.
+    pub fn occupancy(&self) -> usize {
+        self.queues.values().map(|q| q.slots.len()).sum()
+    }
+
+    /// Peak total occupancy over the queue's lifetime.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_total
+    }
+
+    /// Highest local sequence number seen for a source's stream.
+    pub fn rear_of(&self, corresponding: NodeId) -> LocalSeq {
+        self.queues
+            .get(&corresponding)
+            .map(|q| q.rear)
+            .unwrap_or(LocalSeq::ZERO)
+    }
+
+    /// Contiguous received prefix for a source's stream (for cumulative ACKs
+    /// to the previous ring node).
+    pub fn contiguous_prefix(&self, corresponding: NodeId) -> LocalSeq {
+        let Some(q) = self.queues.get(&corresponding) else {
+            return LocalSeq::ZERO;
+        };
+        let mut upto = q.base.prev();
+        for (off, slot) in q.slots.iter().enumerate() {
+            match slot {
+                SqSlot::Present { .. } | SqSlot::Lost => {
+                    upto = LocalSeq(q.base.0 + off as u64);
+                }
+                SqSlot::Missing { .. } => break,
+            }
+        }
+        upto
+    }
+
+    /// Sources currently tracked.
+    pub fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.queues.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+
+    #[test]
+    fn insert_and_order_flow() {
+        let mut wq = WorkingQueue::new(64);
+        for ls in 1..=3u64 {
+            assert_eq!(wq.insert(N1, LocalSeq(ls), PayloadId(ls)), InsertOutcome::Stored);
+        }
+        let out = wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(3)), GlobalSeq(10));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, GlobalSeq(10));
+        assert_eq!(out[2].0, GlobalSeq(12));
+        assert_eq!(out[1].1.local_seq, LocalSeq(2));
+        assert_eq!(out[0].1.ordering_node, N1);
+        // Second call is a no-op: entries already copied.
+        let again = wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(3)), GlobalSeq(10));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn partial_range_orders_only_present() {
+        let mut wq = WorkingQueue::new(64);
+        wq.insert(N1, LocalSeq(1), PayloadId(1));
+        wq.insert(N1, LocalSeq(3), PayloadId(3)); // ls 2 missing
+        let out = wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(3)), GlobalSeq(5));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, GlobalSeq(5)); // ls1 → gs5
+        assert_eq!(out[1].0, GlobalSeq(7)); // ls3 → gs7 (gs6 reserved for ls2)
+        // ls2 arrives late: its reserved number is still assigned correctly.
+        wq.insert(N1, LocalSeq(2), PayloadId(2));
+        let late = wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(3)), GlobalSeq(5));
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].0, GlobalSeq(6));
+    }
+
+    #[test]
+    fn gc_requires_copy_and_ack() {
+        let mut wq = WorkingQueue::new(64);
+        wq.insert(N1, LocalSeq(1), PayloadId(1));
+        wq.insert(N1, LocalSeq(2), PayloadId(2));
+        wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(2)), GlobalSeq(1));
+        assert_eq!(wq.gc(), 0, "not acked by next yet");
+        wq.ack_from_next(N1, LocalSeq(1));
+        assert_eq!(wq.gc(), 1);
+        wq.ack_from_next(N1, LocalSeq(2));
+        assert_eq!(wq.gc(), 1);
+        assert_eq!(wq.occupancy(), 0);
+    }
+
+    #[test]
+    fn uncopied_entry_blocks_gc() {
+        let mut wq = WorkingQueue::new(64);
+        wq.insert(N1, LocalSeq(1), PayloadId(1));
+        wq.ack_from_next(N1, LocalSeq(1));
+        assert_eq!(wq.gc(), 0, "not ordered/copied yet");
+    }
+
+    #[test]
+    fn nack_collection_per_source() {
+        let mut wq = WorkingQueue::new(64);
+        wq.insert(N1, LocalSeq(3), PayloadId(3)); // 1, 2 missing
+        wq.insert(N2, LocalSeq(2), PayloadId(2)); // 1 missing
+        let (reqs, lost) = wq.collect_nacks(2);
+        assert_eq!(lost, 0);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0], (N1, vec![LocalSeq(1), LocalSeq(2)]));
+        assert_eq!(reqs[1], (N2, vec![LocalSeq(1)]));
+    }
+
+    #[test]
+    fn nack_exhaustion_goes_lost_and_gc_skips() {
+        let mut wq = WorkingQueue::new(64);
+        wq.insert(N1, LocalSeq(2), PayloadId(2));
+        let (_, lost0) = wq.collect_nacks(0);
+        assert_eq!(lost0, 1);
+        // Lost slot at base can be GC'd; present-but-uncopied slot stays.
+        assert_eq!(wq.gc(), 1);
+        assert_eq!(wq.contiguous_prefix(N1), LocalSeq(2));
+    }
+
+    #[test]
+    fn contiguous_prefix_tracks_holes() {
+        let mut wq = WorkingQueue::new(64);
+        assert_eq!(wq.contiguous_prefix(N1), LocalSeq::ZERO);
+        wq.insert(N1, LocalSeq(1), PayloadId(1));
+        wq.insert(N1, LocalSeq(2), PayloadId(2));
+        wq.insert(N1, LocalSeq(4), PayloadId(4));
+        assert_eq!(wq.contiguous_prefix(N1), LocalSeq(2));
+        wq.insert(N1, LocalSeq(3), PayloadId(3));
+        assert_eq!(wq.contiguous_prefix(N1), LocalSeq(4));
+        assert_eq!(wq.rear_of(N1), LocalSeq(4));
+    }
+
+    #[test]
+    fn overflow_counted() {
+        let mut wq = WorkingQueue::new(2);
+        assert_eq!(wq.insert(N1, LocalSeq(1), PayloadId(1)), InsertOutcome::Stored);
+        assert_eq!(wq.insert(N1, LocalSeq(2), PayloadId(2)), InsertOutcome::Stored);
+        assert_eq!(wq.insert(N1, LocalSeq(3), PayloadId(3)), InsertOutcome::Overflow);
+        assert_eq!(wq.overflow_drops, 1);
+    }
+
+    #[test]
+    fn duplicate_insert() {
+        let mut wq = WorkingQueue::new(8);
+        wq.insert(N1, LocalSeq(1), PayloadId(1));
+        assert_eq!(wq.insert(N1, LocalSeq(1), PayloadId(1)), InsertOutcome::Duplicate);
+    }
+
+    #[test]
+    fn peak_occupancy() {
+        let mut wq = WorkingQueue::new(64);
+        for ls in 1..=5u64 {
+            wq.insert(N1, LocalSeq(ls), PayloadId(ls));
+        }
+        wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(5)), GlobalSeq(1));
+        wq.ack_from_next(N1, LocalSeq(5));
+        wq.gc();
+        assert_eq!(wq.occupancy(), 0);
+        assert_eq!(wq.peak_occupancy(), 5);
+    }
+}

@@ -1,0 +1,424 @@
+//! Protocol-conformance tests driving the sans-IO state machines directly
+//! through a tiny instant-delivery router — no simulator, no timers except
+//! the ones the test fires explicitly. This pins down the *message-level*
+//! behaviour of the algorithms: what is sent, to whom, in which order.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ringnet_core::{
+    Action, Endpoint, GlobalSeq, GroupId, Guid, LocalSeq, MhState, Msg, NeState, NodeId,
+    PayloadId, ProtoEvent, ProtocolConfig,
+};
+use simnet::{SimDuration, SimTime};
+
+const G: GroupId = GroupId(1);
+
+/// An instant, lossless router between state machines.
+///
+/// Data and control messages deliver instantly; **token transfers are
+/// paced** (held in a side queue, advanced one hop per [`Net::pump_token`]
+/// call). Without pacing an instant network would rotate the token
+/// infinitely fast — a regime no real link allows and one that starves the
+/// τ-based Order-Assignment of stable snapshots.
+struct Net {
+    nes: BTreeMap<NodeId, NeState>,
+    mhs: BTreeMap<Guid, MhState>,
+    queue: VecDeque<(Endpoint, Endpoint, Msg)>, // (from, to, msg)
+    token_pending: VecDeque<(Endpoint, Endpoint, Msg)>,
+    pub records: Vec<ProtoEvent>,
+    now: SimTime,
+}
+
+impl Net {
+    fn new() -> Self {
+        Net {
+            nes: BTreeMap::new(),
+            mhs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            token_pending: VecDeque::new(),
+            records: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn add_ne(&mut self, ne: NeState) {
+        self.nes.insert(ne.id, ne);
+    }
+
+    fn add_mh(&mut self, mh: MhState) {
+        self.mhs.insert(mh.guid, mh);
+    }
+
+    fn absorb(&mut self, from: Endpoint, out: Vec<Action>) {
+        for a in out {
+            match a {
+                Action::Send { to, msg } => self.queue.push_back((from, to, msg)),
+                Action::Record(ev) => self.records.push(ev),
+            }
+        }
+    }
+
+    /// Deliver queued messages (and their cascades) to quiescence. Token
+    /// transfers are parked in the side queue instead of being delivered —
+    /// [`Net::pump_token`] advances them one hop at a time.
+    fn settle(&mut self) {
+        let mut hops = 0;
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            hops += 1;
+            assert!(hops < 100_000, "protocol livelock");
+            if matches!(msg, Msg::Token(_)) {
+                self.token_pending.push_back((from, to, msg));
+                continue;
+            }
+            let mut out = Vec::new();
+            match to {
+                Endpoint::Ne(id) => {
+                    if let Some(ne) = self.nes.get_mut(&id) {
+                        ne.on_msg(self.now, from, msg, &mut out);
+                    }
+                }
+                Endpoint::Mh(g) => {
+                    if let Some(mh) = self.mhs.get_mut(&g) {
+                        mh.on_msg(self.now, from, msg, &mut out);
+                    }
+                }
+            }
+            self.absorb(to, out);
+        }
+    }
+
+    /// Advance up to `hops` parked token transfers (one link hop each).
+    fn pump_token(&mut self, hops: usize) {
+        for _ in 0..hops {
+            let Some((from, to, msg)) = self.token_pending.pop_front() else {
+                return;
+            };
+            let mut out = Vec::new();
+            if let Endpoint::Ne(id) = to {
+                if let Some(ne) = self.nes.get_mut(&id) {
+                    ne.on_msg(self.now, from, msg, &mut out);
+                }
+            }
+            self.absorb(to, out);
+            self.settle();
+        }
+    }
+
+    fn tick_all(&mut self, advance: SimDuration) {
+        self.now += advance;
+        let ids: Vec<NodeId> = self.nes.keys().copied().collect();
+        for id in ids {
+            let mut out = Vec::new();
+            let now = self.now;
+            {
+                let ne = self.nes.get_mut(&id).unwrap();
+                ne.tick_hop(now, &mut out);
+                ne.tick_order_assign(now, &mut out);
+            }
+            self.absorb(Endpoint::Ne(id), out);
+        }
+        let gs: Vec<Guid> = self.mhs.keys().copied().collect();
+        for g in gs {
+            let mut out = Vec::new();
+            let now = self.now;
+            self.mhs.get_mut(&g).unwrap().tick_hop(now, &mut out);
+            self.absorb(Endpoint::Mh(g), out);
+        }
+        self.settle();
+    }
+
+    fn source_send(&mut self, br: NodeId, ls: u64) {
+        let mut out = Vec::new();
+        let msg = Msg::SourceData {
+            group: G,
+            local_seq: LocalSeq(ls),
+            payload: PayloadId(ls),
+        };
+        let now = self.now;
+        self.nes
+            .get_mut(&br)
+            .unwrap()
+            .on_msg(now, Endpoint::Ne(NodeId(u32::MAX)), msg, &mut out);
+        self.absorb(Endpoint::Ne(br), out);
+        self.settle();
+    }
+}
+
+/// Two-BR top ring with one AP under BR0 and one MH.
+fn two_node_world() -> Net {
+    let cfg = ProtocolConfig::default();
+    let ring = vec![NodeId(0), NodeId(1)];
+    let mut net = Net::new();
+    let mut br0 = NeState::new_br(G, NodeId(0), ring.clone(), true, cfg.clone());
+    let br1 = NeState::new_br(G, NodeId(1), ring, true, cfg.clone());
+    // AP 10 under BR0 (grafted statically for the test).
+    let mut ap = NeState::new_ap(G, NodeId(10), vec![NodeId(0)], true, vec![], cfg.clone());
+    ap.parent = Some(NodeId(0));
+    br0.children.insert(NodeId(10), SimTime::ZERO);
+    br0.wt_children.register(NodeId(10), GlobalSeq::ZERO);
+    let mut mh = MhState::new(G, Guid(7), cfg);
+    let mut out = Vec::new();
+    mh.join(SimTime::ZERO, NodeId(10), &mut out);
+    net.add_ne(br0);
+    net.add_ne(br1);
+    net.add_ne(ap);
+    net.add_mh(mh);
+    net.absorb(Endpoint::Mh(Guid(7)), out);
+    net.settle();
+    net
+}
+
+#[test]
+fn end_to_end_ordering_handshake() {
+    let mut net = two_node_world();
+    // Token starts at BR0 and circulates instantly.
+    let mut out = Vec::new();
+    {
+        let now = net.now;
+        net.nes.get_mut(&NodeId(0)).unwrap().originate_token(now, &mut out);
+    }
+    net.absorb(Endpoint::Ne(NodeId(0)), out);
+    net.settle();
+
+    // Both sources inject one message each.
+    net.source_send(NodeId(0), 1);
+    net.source_send(NodeId(1), 1);
+
+    // Paced rounds: the token advances one hop per round while τ ticks run,
+    // exactly like a real network where link latency and τ are comparable.
+    for _ in 0..12 {
+        net.pump_token(1);
+        net.tick_all(SimDuration::from_millis(5));
+    }
+
+    // Both messages ordered with unique, contiguous global numbers.
+    let ordered: Vec<(NodeId, u64)> = net
+        .records
+        .iter()
+        .filter_map(|e| match e {
+            ProtoEvent::Ordered { node, gsn, .. } => Some((*node, gsn.0)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ordered.len(), 2, "{ordered:?}");
+    let mut gsns: Vec<u64> = ordered.iter().map(|(_, g)| *g).collect();
+    gsns.sort_unstable();
+    assert_eq!(gsns, vec![1, 2]);
+
+    // The MH delivered both, in order.
+    let delivered: Vec<u64> = net
+        .records
+        .iter()
+        .filter_map(|e| match e {
+            ProtoEvent::MhDeliver { mh: Guid(7), gsn, .. } => Some(gsn.0),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivered, vec![1, 2]);
+}
+
+#[test]
+fn pre_order_reaches_every_ring_node_exactly_once() {
+    let cfg = ProtocolConfig::default();
+    let ring: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let mut net = Net::new();
+    for &id in &ring {
+        net.add_ne(NeState::new_br(G, id, ring.clone(), true, cfg.clone()));
+    }
+    net.source_send(NodeId(0), 1);
+    // Every node's WQ holds stream 0's message exactly once (dup counter 0).
+    for &id in &ring {
+        let ne = &net.nes[&id];
+        assert_eq!(
+            ne.wq.as_ref().unwrap().rear_of(NodeId(0)),
+            LocalSeq(1),
+            "{id} missing the pre-order copy"
+        );
+        assert_eq!(ne.counters.duplicates, 0, "{id} got duplicates");
+    }
+}
+
+#[test]
+fn data_nack_repair_round_trip() {
+    let cfg = ProtocolConfig::default();
+    let mut net = Net::new();
+    // Parent 0 with child 1 (plain tree, no rings).
+    let mut parent = NeState::new_ap(G, NodeId(0), vec![], true, vec![], cfg.clone());
+    parent.children.insert(NodeId(1), SimTime::ZERO);
+    parent.wt_children.register(NodeId(1), GlobalSeq::ZERO);
+    let mut child = NeState::new_ap(G, NodeId(1), vec![NodeId(0)], true, vec![], cfg.clone());
+    child.parent = Some(NodeId(0));
+    // Parent has gsn 1..3 in MQ; child somehow only got 3 (gap 1-2).
+    let mk = |g: u64| ringnet_core::MsgData {
+        source: NodeId(9),
+        local_seq: LocalSeq(g),
+        ordering_node: NodeId(9),
+        payload: PayloadId(g),
+    };
+    for g in 1..=3 {
+        parent.mq.insert(GlobalSeq(g), mk(g));
+    }
+    parent.mq.poll_deliverable();
+    child.mq.insert(GlobalSeq(3), mk(3));
+    net.add_ne(parent);
+    net.add_ne(child);
+    // One tick: the child NACKs {1,2} to the parent, the parent serves both,
+    // the child's front advances to 3.
+    net.tick_all(SimDuration::from_millis(5));
+    let child = &net.nes[&NodeId(1)];
+    assert_eq!(child.mq.front(), GlobalSeq(3));
+    let parent = &net.nes[&NodeId(0)];
+    assert_eq!(parent.counters.retransmissions, 2);
+}
+
+#[test]
+fn handoff_between_aps_preserves_continuity() {
+    let cfg = ProtocolConfig::default();
+    let mut net = Net::new();
+    let mk = |g: u64| ringnet_core::MsgData {
+        source: NodeId(9),
+        local_seq: LocalSeq(g),
+        ordering_node: NodeId(9),
+        payload: PayloadId(g),
+    };
+    // Two active APs, both already hold gsn 1..5.
+    for ap_id in [10u32, 11] {
+        let mut ap = NeState::new_ap(G, NodeId(ap_id), vec![], true, vec![], cfg.clone());
+        for g in 1..=5 {
+            ap.mq.insert(GlobalSeq(g), mk(g));
+        }
+        ap.mq.poll_deliverable();
+        net.add_ne(ap);
+    }
+    // MH joins AP10 *after* those 5 messages — receives none of them.
+    let mut mh = MhState::new(G, Guid(1), cfg);
+    let mut out = Vec::new();
+    mh.join(SimTime::ZERO, NodeId(10), &mut out);
+    net.add_mh(mh);
+    net.absorb(Endpoint::Mh(Guid(1)), out);
+    net.settle();
+    // AP10 receives gsn 6 → pushes it to the MH.
+    {
+        let mut out = Vec::new();
+        let now = net.now;
+        let ap = net.nes.get_mut(&NodeId(10)).unwrap();
+        ap.on_msg(
+            now,
+            Endpoint::Ne(NodeId(0)),
+            Msg::Data { group: G, gsn: GlobalSeq(6), data: mk(6) },
+            &mut out,
+        );
+        net.absorb(Endpoint::Ne(NodeId(10)), out);
+    }
+    net.settle();
+    // Handoff to AP11 (which also holds 6? no — it has only 1..5; give it 6..7).
+    {
+        let mut out = Vec::new();
+        let now = net.now;
+        let ap = net.nes.get_mut(&NodeId(11)).unwrap();
+        for g in 6..=7 {
+            ap.on_msg(
+                now,
+                Endpoint::Ne(NodeId(0)),
+                Msg::Data { group: G, gsn: GlobalSeq(g), data: mk(g) },
+                &mut out,
+            );
+        }
+        net.absorb(Endpoint::Ne(NodeId(11)), out);
+    }
+    {
+        let mut out = Vec::new();
+        let now = net.now;
+        net.mhs.get_mut(&Guid(1)).unwrap().on_msg(
+            now,
+            Endpoint::Ne(NodeId(11)),
+            Msg::HandoffTo { group: G, new_ap: NodeId(11) },
+            &mut out,
+        );
+        net.absorb(Endpoint::Mh(Guid(1)), out);
+    }
+    net.settle();
+    // The MH's stream: 6 at the old AP, 7 replayed by the new one — no gap,
+    // no duplicate, no history.
+    let delivered: Vec<u64> = net
+        .records
+        .iter()
+        .filter_map(|e| match e {
+            ProtoEvent::MhDeliver { mh: Guid(1), gsn, .. } => Some(gsn.0),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivered, vec![6, 7]);
+    let mh = &net.mhs[&Guid(1)];
+    assert_eq!(mh.counters.duplicates, 0);
+    assert_eq!(mh.counters.handoffs, 1);
+}
+
+#[test]
+fn token_survives_instant_two_node_circulation() {
+    let mut net = two_node_world();
+    let mut out = Vec::new();
+    {
+        let now = net.now;
+        net.nes.get_mut(&NodeId(0)).unwrap().originate_token(now, &mut out);
+    }
+    net.absorb(Endpoint::Ne(NodeId(0)), out);
+    net.settle();
+    // Advance the token several paced hops around the two-node ring.
+    net.pump_token(6);
+    let passes = net
+        .records
+        .iter()
+        .filter(|e| matches!(e, ProtoEvent::TokenPass { .. }))
+        .count();
+    assert!(passes >= 2, "token circulated: {passes} passes");
+    // After the acks settle, at most the last sender holds an inflight copy.
+    let inflight: usize = net
+        .nes
+        .values()
+        .filter(|ne| ne.ord.as_ref().is_some_and(|o| o.inflight.is_some()))
+        .count();
+    assert!(inflight <= 1, "inflight transfers: {inflight}");
+}
+
+#[test]
+fn membership_counts_aggregate_to_top_leader() {
+    let cfg = ProtocolConfig::default();
+    let ring = vec![NodeId(0), NodeId(1)];
+    let mut net = Net::new();
+    net.add_ne(NeState::new_br(G, NodeId(0), ring.clone(), true, cfg.clone()));
+    net.add_ne(NeState::new_br(G, NodeId(1), ring, true, cfg.clone()));
+    let mut ap = NeState::new_ap(G, NodeId(10), vec![NodeId(1)], true, vec![], cfg.clone());
+    ap.parent = Some(NodeId(1));
+    net.add_ne(ap);
+    // Three joins at the AP.
+    for g in 0..3u32 {
+        let mut mh = MhState::new(G, Guid(g), cfg.clone());
+        let mut out = Vec::new();
+        mh.join(net.now, NodeId(10), &mut out);
+        net.add_mh(mh);
+        net.absorb(Endpoint::Mh(Guid(g)), out);
+    }
+    net.settle();
+    // Heartbeat ticks flush the batched deltas AP → BR1 → leader BR0.
+    for _ in 0..3 {
+        let ids: Vec<NodeId> = net.nes.keys().copied().collect();
+        for id in ids {
+            let mut out = Vec::new();
+            let now = net.now;
+            net.nes.get_mut(&id).unwrap().tick_heartbeat(now, &mut out);
+            net.absorb(Endpoint::Ne(id), out);
+        }
+        net.settle();
+    }
+    let count = net
+        .records
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            ProtoEvent::MembershipCount { node: NodeId(0), members } => Some(*members),
+            _ => None,
+        })
+        .expect("top leader recorded the aggregate");
+    assert_eq!(count, 3);
+}

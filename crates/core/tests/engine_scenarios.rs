@@ -1,0 +1,297 @@
+//! Engine scenario matrix: whole-simulation behaviours that the unit tests
+//! can't see — traffic patterns, fault injection, activation lifecycles,
+//! journal plumbing.
+
+use ringnet_core::hierarchy::{LinkPlan, MhSpec, TrafficPattern};
+use ringnet_core::{
+    GroupId, Guid, HierarchyBuilder, NodeId, ProtoEvent, ProtocolConfig, RingNetSim,
+};
+use simnet::{LatencyModel, LinkProfile, LossModel, SimDuration, SimTime};
+
+const G: GroupId = GroupId(1);
+
+fn count<F: Fn(&ProtoEvent) -> bool>(journal: &[(SimTime, ProtoEvent)], f: F) -> usize {
+    journal.iter().filter(|(_, e)| f(e)).count()
+}
+
+#[test]
+fn poisson_traffic_is_fully_ordered_and_delivered() {
+    let spec = HierarchyBuilder::new(G)
+        .brs(3)
+        .ag_rings(1, 3)
+        .aps_per_ag(1)
+        .mhs_per_ap(1)
+        .sources(3)
+        .source_pattern(TrafficPattern::Poisson { rate: 120.0 })
+        .source_window(SimTime::ZERO, Some(SimTime::from_secs(2)))
+        .links(LinkPlan {
+            wireless: LinkProfile::wired(SimDuration::from_millis(2)),
+            ..LinkPlan::default()
+        })
+        .build();
+    let mut net = RingNetSim::build(spec, 17);
+    net.run_until(SimTime::from_secs(4));
+    let (journal, _) = net.finish();
+    let sent = count(&journal, |e| matches!(e, ProtoEvent::SourceSend { .. }));
+    let ordered = count(&journal, |e| matches!(e, ProtoEvent::Ordered { .. }));
+    assert!(sent > 300, "Poisson sources produced {sent}");
+    assert_eq!(sent, ordered, "every sent message ordered exactly once");
+    // Each of the 3 MHs delivered everything.
+    let delivered = count(&journal, |e| matches!(e, ProtoEvent::MhDeliver { .. }));
+    assert_eq!(delivered, sent * 3);
+}
+
+#[test]
+fn ap_failure_orphans_then_handoff_rescues() {
+    let mut spec = HierarchyBuilder::new(G)
+        .brs(2)
+        .ag_rings(1, 2)
+        .aps_per_ag(2)
+        .mhs_per_ap(1)
+        .sources(1)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(10),
+        })
+        .build();
+    spec.links.wireless = LinkProfile::wired(SimDuration::from_millis(2));
+    let dead_ap = spec.aps[0].id;
+    let rescue_ap = spec.aps[1].id;
+    let mut net = RingNetSim::build(spec, 23);
+    // AP of MH 0 dies at 2s; the radio layer moves the MH at 3s.
+    net.schedule_kill_ne(SimTime::from_secs(2), dead_ap);
+    net.schedule_handoff(SimTime::from_secs(3), Guid(0), rescue_ap);
+    net.run_until(SimTime::from_secs(6));
+    let (journal, _) = net.finish();
+    // MH 0's deliveries: gap during orphanhood, resumption after rescue.
+    let times: Vec<SimTime> = journal
+        .iter()
+        .filter_map(|(t, e)| match e {
+            ProtoEvent::MhDeliver { mh: Guid(0), .. } => Some(*t),
+            _ => None,
+        })
+        .collect();
+    assert!(times.iter().any(|t| *t < SimTime::from_secs(2)), "delivered before failure");
+    assert!(
+        times.iter().any(|t| *t > SimTime::from_secs(4)),
+        "delivery resumed after the rescue handoff"
+    );
+    // Strictly increasing gsns survived the outage (NACK catch-up).
+    let gsns: Vec<u64> = journal
+        .iter()
+        .filter_map(|(_, e)| match e {
+            ProtoEvent::MhDeliver { mh: Guid(0), gsn, .. } => Some(gsn.0),
+            _ => None,
+        })
+        .collect();
+    assert!(gsns.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn bursty_channel_with_budget_keeps_ratio_high() {
+    let spec = HierarchyBuilder::new(G)
+        .brs(2)
+        .ag_rings(1, 2)
+        .aps_per_ag(1)
+        .mhs_per_ap(2)
+        .sources(1)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(10),
+        })
+        .source_window(SimTime::ZERO, Some(SimTime::from_secs(3)))
+        .links(LinkPlan {
+            wireless: LinkProfile {
+                latency: LatencyModel::Jittered {
+                    base: SimDuration::from_millis(2),
+                    jitter: SimDuration::from_millis(2),
+                },
+                loss: LossModel::lossy_wireless(),
+                bandwidth: simnet::BandwidthModel::Unlimited,
+            },
+            ..LinkPlan::default()
+        })
+        .build();
+    let mut net = RingNetSim::build(spec, 29);
+    net.run_until(SimTime::from_secs(5));
+    let (journal, _) = net.finish();
+    let delivered: u64 = journal
+        .iter()
+        .filter_map(|(_, e)| match e {
+            ProtoEvent::MhFinal { delivered, .. } => Some(*delivered as u64),
+            _ => None,
+        })
+        .sum();
+    let skipped: u64 = journal
+        .iter()
+        .filter_map(|(_, e)| match e {
+            ProtoEvent::MhFinal { skipped, .. } => Some(*skipped as u64),
+            _ => None,
+        })
+        .sum();
+    let ratio = delivered as f64 / (delivered + skipped).max(1) as f64;
+    assert!(ratio > 0.98, "bursty-channel delivery ratio {ratio}");
+}
+
+#[test]
+fn buffer_samples_emitted_when_enabled() {
+    let cfg = ProtocolConfig {
+        stats_sample_period: SimDuration::from_millis(50),
+        ..ProtocolConfig::default()
+    };
+    let spec = HierarchyBuilder::new(G)
+        .brs(2)
+        .ag_rings(1, 2)
+        .aps_per_ag(1)
+        .mhs_per_ap(1)
+        .sources(1)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(10),
+        })
+        .config(cfg)
+        .build();
+    let mut net = RingNetSim::build(spec, 31);
+    net.run_until(SimTime::from_secs(2));
+    let (journal, _) = net.finish();
+    let samples = count(&journal, |e| matches!(e, ProtoEvent::BufferSample { .. }));
+    // 6 NEs × ~40 sample ticks.
+    assert!(samples > 100, "buffer samples: {samples}");
+    // Quiet config suppresses them.
+    let spec2 = HierarchyBuilder::new(G)
+        .config(ProtocolConfig::default().quiet())
+        .source_limit(5)
+        .build();
+    let mut net2 = RingNetSim::build(spec2, 31);
+    net2.run_until(SimTime::from_secs(1));
+    let (journal2, _) = net2.finish();
+    assert_eq!(
+        count(&journal2, |e| matches!(e, ProtoEvent::BufferSample { .. })),
+        0
+    );
+    assert_eq!(
+        count(&journal2, |e| matches!(e, ProtoEvent::MhDeliver { .. })),
+        0,
+        "quiet mode also drops per-delivery records"
+    );
+}
+
+#[test]
+fn reservation_expires_and_ap_prunes_itself() {
+    let cfg = ProtocolConfig {
+        reservation_ttl: SimDuration::from_millis(400),
+        ..ProtocolConfig::default().with_reservation_radius(1)
+    };
+    let mut spec = HierarchyBuilder::new(G)
+        .brs(2)
+        .ag_rings(1, 2)
+        .aps_per_ag(2)
+        .mhs_per_ap(0)
+        .sources(1)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(20),
+        })
+        .aps_always_active(false)
+        .config(cfg)
+        .build();
+    // One MH at AP[1]; its join reserves the neighbours AP[0] and AP[2].
+    let home = spec.aps[1].id;
+    spec.mhs.push(MhSpec {
+        guid: Guid(0),
+        initial_ap: Some(home),
+    });
+    let mut net = RingNetSim::build(spec, 37);
+    net.run_until(SimTime::from_secs(4));
+    let (journal, _) = net.finish();
+    let reserved = count(&journal, |e| matches!(e, ProtoEvent::Reserved { .. }));
+    assert!(reserved >= 2, "neighbours reserved: {reserved}");
+    // Reservation-only APs grafted, then pruned after the TTL lapsed.
+    let grafted: Vec<NodeId> = journal
+        .iter()
+        .filter_map(|(_, e)| match e {
+            ProtoEvent::Grafted { child, .. } => Some(*child),
+            _ => None,
+        })
+        .collect();
+    assert!(grafted.len() >= 2, "grafts: {grafted:?}");
+    let pruned = count(&journal, |e| matches!(e, ProtoEvent::Pruned { .. }));
+    assert!(pruned >= 1, "reservation-only APs must prune after TTL: {pruned}");
+    // The member's own AP stays grafted: deliveries continue to the end.
+    let last = journal
+        .iter()
+        .filter_map(|(t, e)| matches!(e, ProtoEvent::MhDeliver { .. }).then_some(*t))
+        .max()
+        .unwrap();
+    assert!(last > SimTime::from_secs(3));
+}
+
+#[test]
+fn killing_an_mh_stops_its_acks_and_frees_it() {
+    let spec = HierarchyBuilder::new(G)
+        .brs(2)
+        .ag_rings(1, 2)
+        .aps_per_ag(1)
+        .mhs_per_ap(2)
+        .sources(1)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(10),
+        })
+        .build();
+    let mut net = RingNetSim::build(spec, 41);
+    net.schedule_kill_mh(SimTime::from_secs(1), Guid(0));
+    net.run_until(SimTime::from_secs(4));
+    let (journal, _) = net.finish();
+    // The dead MH stops delivering shortly after the kill...
+    let dead_last = journal
+        .iter()
+        .filter_map(|(t, e)| match e {
+            ProtoEvent::MhDeliver { mh: Guid(0), .. } => Some(*t),
+            _ => None,
+        })
+        .max()
+        .unwrap();
+    assert!(dead_last <= SimTime::from_millis(1100));
+    // ...while its sibling keeps receiving to the end (the AP's GC is not
+    // pinned forever by the corpse — the liveness sweep removed it).
+    let alive_last = journal
+        .iter()
+        .filter_map(|(t, e)| match e {
+            ProtoEvent::MhDeliver { mh: Guid(1), .. } => Some(*t),
+            _ => None,
+        })
+        .max()
+        .unwrap();
+    assert!(alive_last > SimTime::from_secs(3));
+    // Kill is not a Leave: membership drops via the liveness sweep instead.
+    let counts: Vec<i64> = journal
+        .iter()
+        .filter_map(|(_, e)| match e {
+            ProtoEvent::MembershipCount { members, .. } => Some(*members),
+            _ => None,
+        })
+        .collect();
+    // 2 APs × 2 MHs = 4 members; the kill leaves 3.
+    assert!(counts.last().is_some_and(|&c| c == 3), "final membership: {counts:?}");
+}
+
+#[test]
+fn zero_mh_network_runs_clean() {
+    let spec = HierarchyBuilder::new(G)
+        .brs(2)
+        .ag_rings(1, 2)
+        .aps_per_ag(1)
+        .mhs_per_ap(0)
+        .sources(2)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(10),
+        })
+        .source_limit(50)
+        .build();
+    let mut net = RingNetSim::build(spec, 43);
+    net.run_until(SimTime::from_secs(3));
+    let (journal, stats) = net.finish();
+    // Ordering proceeds with nobody listening.
+    assert_eq!(
+        count(&journal, |e| matches!(e, ProtoEvent::Ordered { .. })),
+        100
+    );
+    assert_eq!(count(&journal, |e| matches!(e, ProtoEvent::MhDeliver { .. })), 0);
+    assert_eq!(stats.packets_no_route, 0, "no dangling destinations");
+}

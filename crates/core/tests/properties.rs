@@ -1,0 +1,140 @@
+//! Property-based tests of protocol-level invariants: ring navigation under
+//! arbitrary failure patterns, token instance ordering, and whole-network
+//! total order under randomized loss and traffic.
+
+use proptest::prelude::*;
+
+use ringnet_core::hierarchy::{LinkPlan, TrafficPattern};
+use ringnet_core::node::RingState;
+use ringnet_core::{
+    GroupId, HierarchyBuilder, NodeId, OrderingToken, ProtoEvent, RingNetSim,
+};
+use simnet::{LinkProfile, SimDuration, SimTime};
+
+proptest! {
+    /// Ring navigation stays consistent under any failure subset that
+    /// leaves the owner alive: next/prev are inverse, the leader is the
+    /// minimum alive id, and iterating `next` visits every alive member.
+    #[test]
+    fn ring_navigation_consistent(
+        n in 2usize..12,
+        dead_mask in proptest::collection::vec(any::<bool>(), 12)
+    ) {
+        let order: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let me = NodeId(0);
+        let mut ring = RingState::new(order.clone(), me, true);
+        for (i, &d) in dead_mask.iter().take(n).enumerate() {
+            if d && i != 0 {
+                ring.mark_dead(NodeId(i as u32));
+            }
+        }
+        let alive: Vec<NodeId> = order.iter().copied().filter(|x| ring.alive.contains(x)).collect();
+        prop_assert_eq!(ring.leader(), alive[0], "leader = min alive");
+        // next/prev inverse on every alive member.
+        for &a in &alive {
+            let nx = ring.next_of(a);
+            prop_assert!(ring.alive.contains(&nx));
+            prop_assert_eq!(ring.prev_of(nx), a, "prev(next(a)) == a");
+        }
+        // Iterating next from me visits all alive members exactly once.
+        let mut seen = vec![me];
+        let mut cur = ring.next_of(me);
+        while cur != me {
+            prop_assert!(!seen.contains(&cur), "cycle visits a member twice");
+            seen.push(cur);
+            cur = ring.next_of(cur);
+        }
+        seen.sort_unstable();
+        let mut alive_sorted = alive.clone();
+        alive_sorted.sort_unstable();
+        prop_assert_eq!(seen, alive_sorted);
+    }
+
+    /// The Multiple-Token keep-one relation is a strict weak order: at most
+    /// one of `a wins b` / `b wins a`, and transitivity holds across trios.
+    #[test]
+    fn token_instance_order_consistent(
+        ids in proptest::collection::vec((0u32..8, 0u32..8), 3..10)
+    ) {
+        let tokens: Vec<OrderingToken> = ids
+            .iter()
+            .map(|&(epoch, origin)| {
+                let mut t = OrderingToken::new(GroupId(1), NodeId(origin));
+                t.epoch = ringnet_core::Epoch(epoch);
+                t
+            })
+            .collect();
+        for a in &tokens {
+            for b in &tokens {
+                prop_assert!(!(a.wins_over(b) && b.wins_over(a)));
+            }
+        }
+        for a in &tokens {
+            for b in &tokens {
+                for c in &tokens {
+                    if a.wins_over(b) && b.wins_over(c) {
+                        prop_assert!(a.wins_over(c), "transitivity");
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whole-network invariant under randomized wireless loss, rates and
+    /// seeds: no MH ever observes a total-order violation, and global
+    /// sequence numbers are never assigned twice.
+    #[test]
+    fn total_order_never_violated(
+        seed in 0u64..10_000,
+        loss_pct in 0u32..30,
+        interval_ms in 5u64..25,
+    ) {
+        let spec = HierarchyBuilder::new(GroupId(1))
+            .brs(3)
+            .ag_rings(2, 2)
+            .aps_per_ag(1)
+            .mhs_per_ap(1)
+            .sources(2)
+            .source_pattern(TrafficPattern::Cbr {
+                interval: SimDuration::from_millis(interval_ms),
+            })
+            .source_limit(40)
+            .links(LinkPlan {
+                wireless: LinkProfile::wireless(
+                    SimDuration::from_millis(2),
+                    SimDuration::from_millis(2),
+                    loss_pct as f64 / 100.0,
+                ),
+                ..LinkPlan::default()
+            })
+            .build();
+        let mut net = RingNetSim::build(spec, seed);
+        net.run_until(SimTime::from_secs(4));
+        let (journal, _) = net.finish();
+        // Per-MH strict monotonicity.
+        let mut last: std::collections::BTreeMap<u32, u64> = Default::default();
+        for (_, e) in &journal {
+            if let ProtoEvent::MhDeliver { mh, gsn, .. } = e {
+                let prev = last.insert(mh.0, gsn.0);
+                prop_assert!(prev.is_none_or(|p| p < gsn.0), "order violated at mh{}", mh.0);
+            }
+        }
+        // Unique assignment.
+        let mut gsns: Vec<u64> = journal
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ProtoEvent::Ordered { gsn, .. } => Some(gsn.0),
+                _ => None,
+            })
+            .collect();
+        let n = gsns.len();
+        gsns.sort_unstable();
+        gsns.dedup();
+        prop_assert_eq!(gsns.len(), n, "duplicate global sequence numbers");
+        prop_assert_eq!(n, 80, "all 80 messages ordered exactly once");
+    }
+}

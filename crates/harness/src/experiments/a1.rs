@@ -1,0 +1,148 @@
+//! A1 — ablations of the protocol's design choices (DESIGN.md §5).
+//!
+//! Three knobs, each isolated on the same workload:
+//!
+//! * **WTSNP retention** (rotations an assignment stays in the token):
+//!   1 rotation risks nodes missing entries — repaired by `MQ` NACKs to the
+//!   previous ring node, visible as retransmissions; 2 (default) gives
+//!   every node a new-or-old-token chance.
+//! * **OldOrderingToken** (§4.1 keeps two token versions): dropping the old
+//!   snapshot narrows each node's Order-Assignment window.
+//! * **ACK batching** (`ack_every`): fewer ACKs mean longer retention and
+//!   larger buffer peaks — the empirical slack factor of T3 at work.
+
+use ringnet_core::hierarchy::TrafficPattern;
+use ringnet_core::{GroupId, HierarchyBuilder, NodeId, ProtoEvent, ProtocolConfig};
+use simnet::{SimDuration, SimTime};
+
+use crate::experiments::{loss_free_links, run_spec};
+use crate::metrics;
+use crate::report::{fms, Table};
+
+struct Point {
+    p99: SimDuration,
+    retransmissions: u64,
+    skips: u64,
+    mq_peak: u32,
+}
+
+fn measure(cfg: ProtocolConfig, duration: SimTime) -> Point {
+    let spec = HierarchyBuilder::new(GroupId(1))
+        .brs(4)
+        .ag_rings(2, 2)
+        .aps_per_ag(1)
+        .mhs_per_ap(1)
+        .sources(2)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(5),
+        })
+        .config(cfg)
+        .links(loss_free_links())
+        .build();
+    let journal = run_spec(spec, 23, duration);
+    let h = metrics::end_to_end_latency(&journal);
+    let retransmissions = journal
+        .iter()
+        .map(|(_, e)| match e {
+            ProtoEvent::NeFinal { retransmissions, .. } => *retransmissions as u64,
+            _ => 0,
+        })
+        .sum();
+    let skips = metrics::mh_totals(&journal).skipped;
+    let mut mq_peak = 0;
+    for br in 0..4u32 {
+        if let Some((_, mq)) = metrics::buffer_peaks_of(&journal, NodeId(br)) {
+            mq_peak = mq_peak.max(mq);
+        }
+    }
+    Point {
+        p99: SimDuration::from_nanos(h.quantile(0.99)),
+        retransmissions,
+        skips,
+        mq_peak,
+    }
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "A1",
+        "Ablations: WTSNP retention, old-token keeping, ACK batching",
+        &["variant", "p99 latency (ms)", "retransmissions", "MH skips", "top MQ peak"],
+    );
+    let duration = SimTime::from_secs(if quick { 3 } else { 6 });
+    let mut variants: Vec<(String, ProtocolConfig)> = Vec::new();
+    // Retention only matters when the Order-Assignment period approaches
+    // the rotation time (entries must survive in the token until every node
+    // has run a τ tick against them): τ = 30 ms vs rotation = 20 ms.
+    let slow_tau = SimDuration::from_millis(30);
+    let retentions: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3] };
+    for &r in retentions {
+        let mut c = ProtocolConfig::default().with_tau(slow_tau);
+        c.wtsnp_retain_rotations = r;
+        variants.push((format!("retention={r} (τ=30ms)"), c));
+    }
+    // The two knobs interact: the old-token copy extends an entry's local
+    // visibility by a full rotation, masking short retention. The combined
+    // variant exposes the repair path.
+    let mut combined = ProtocolConfig::default().with_tau(slow_tau);
+    combined.wtsnp_retain_rotations = 1;
+    combined.keep_old_token = false;
+    variants.push(("retention=1 + no old (τ=30ms)".into(), combined));
+    let no_old = ProtocolConfig {
+        keep_old_token: false,
+        ..ProtocolConfig::default()
+    };
+    variants.push(("no OldOrderingToken".into(), no_old));
+    let acks: &[u8] = if quick { &[1, 8] } else { &[1, 4, 16] };
+    for &a in acks {
+        let c = ProtocolConfig {
+            ack_every: a,
+            ..ProtocolConfig::default()
+        };
+        variants.push((format!("ack_every={a}"), c));
+    }
+    for (name, cfg) in variants {
+        let p = measure(cfg, duration);
+        table.row(vec![
+            name,
+            fms(p.p99),
+            p.retransmissions.to_string(),
+            p.skips.to_string(),
+            p.mq_peak.to_string(),
+        ]);
+    }
+    table.note("defaults: retention=2, old token kept, ack_every=2");
+    table.note("short retention trades token size for NACK repair traffic; ACK batching trades control messages for buffer residency");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_ablation_effects_visible() {
+        let t = run(true);
+        // Rows: retention=1, retention=2, combined, no-old-token,
+        // ack_every=1, ack_every=8.
+        assert_eq!(t.rows.len(), 6);
+        let repair_combined: u64 = t.rows[2][2].parse().unwrap();
+        let repair_default: u64 = t.rows[1][2].parse().unwrap();
+        assert!(
+            repair_combined >= repair_default,
+            "stripping both retention mechanisms cannot need fewer repairs"
+        );
+        let peak_ack1: u32 = t.rows[4][4].parse().unwrap();
+        let peak_ack8: u32 = t.rows[5][4].parse().unwrap();
+        assert!(
+            peak_ack8 >= peak_ack1,
+            "coarser ACK batching must not shrink buffers (ack1 {peak_ack1}, ack8 {peak_ack8})"
+        );
+        // Every variant still delivers (skips bounded).
+        for row in &t.rows {
+            let skips: u64 = row[3].parse().unwrap();
+            assert!(skips < 100, "variant {} skipped {skips}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! E4 — the ordering latency penalty (Remark 3).
+//!
+//! "If totally-ordered property is not required, then multicast using the
+//! RingNet hierarchy will be more efficient and message latency will
+//! decrease due to the fact that ordering operations are not required in
+//! the top logical ring." Same hierarchy, same traffic, ordered vs
+//! unordered — the latency difference *is* the price of total order.
+
+use baselines::unordered::{UnorderedSim, UnorderedSpec};
+use ringnet_core::hierarchy::TrafficPattern;
+use ringnet_core::{GroupId, HierarchyBuilder};
+use simnet::{Histogram, SimDuration, SimTime};
+
+use crate::experiments::{loss_free_links, run_spec};
+use crate::metrics;
+use crate::report::{fms, Table};
+
+fn ordered_hist(lambda: f64, duration: SimTime) -> Histogram {
+    let spec = HierarchyBuilder::new(GroupId(1))
+        .brs(4)
+        .ag_rings(2, 2)
+        .aps_per_ag(1)
+        .mhs_per_ap(1)
+        .sources(2)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_secs_f64(1.0 / lambda),
+        })
+        .links(loss_free_links())
+        .build();
+    metrics::end_to_end_latency(&run_spec(spec, 13, duration))
+}
+
+fn unordered_hist(lambda: f64, duration: SimTime) -> Histogram {
+    let mut spec = UnorderedSpec::new();
+    spec.brs = 4;
+    spec.ag_rings = (2, 2);
+    spec.sources = 2;
+    spec.pattern = TrafficPattern::Cbr {
+        interval: SimDuration::from_secs_f64(1.0 / lambda),
+    };
+    spec.links.2 = simnet::LinkProfile::wired(SimDuration::from_millis(2));
+    let mut net = UnorderedSim::build(spec, 13);
+    net.run_until(duration);
+    let (journal, _) = net.finish();
+    metrics::end_to_end_latency(&journal)
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E4",
+        "Ordering latency penalty (Remark 3): ordered vs unordered RingNet (ms)",
+        &["λ", "ordered p50", "unordered p50", "penalty p50", "ordered p99", "unordered p99"],
+    );
+    let lambdas: Vec<f64> = if quick { vec![100.0] } else { vec![50.0, 100.0, 400.0] };
+    let duration = SimTime::from_secs(if quick { 3 } else { 6 });
+    for &lambda in &lambdas {
+        let ord = ordered_hist(lambda, duration);
+        let unord = unordered_hist(lambda, duration);
+        let op50 = SimDuration::from_nanos(ord.quantile(0.5));
+        let up50 = SimDuration::from_nanos(unord.quantile(0.5));
+        table.row(vec![
+            format!("{lambda:.0}"),
+            fms(op50),
+            fms(up50),
+            fms(op50.saturating_sub(up50)),
+            fms(SimDuration::from_nanos(ord.quantile(0.99))),
+            fms(SimDuration::from_nanos(unord.quantile(0.99))),
+        ]);
+    }
+    table.note("penalty ≈ token wait + τ — bounded by T2's bound; unordered rides the same tree");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_ordering_costs_latency_but_is_bounded() {
+        let t = run(true);
+        let row = &t.rows[0];
+        let ordered: f64 = row[1].parse().unwrap();
+        let unordered: f64 = row[2].parse().unwrap();
+        assert!(
+            ordered > unordered,
+            "ordering must add latency: {ordered} vs {unordered}"
+        );
+        // The penalty stays within the analytic copy bound for r=4:
+        // max(T_order, T_transmit) + τ = 20 + 5 = 25 ms.
+        assert!(
+            ordered - unordered < 30.0,
+            "penalty too large: {} ms",
+            ordered - unordered
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! E8 — load distribution: RingNet vs a RelM-style supervisor host.
+//!
+//! §2 on RelM [6]: "since the SHs have to do so many tasks such as
+//! maintaining connections for MHs, the RelM protocol scales not very well
+//! when the number of group members becomes very large." We grow the
+//! member count and compare the *busiest wired entity* of each scheme:
+//! RelM's SH sequences, buffers and processes every member's feedback;
+//! RingNet spreads exactly that work over APs, AGs and BRs.
+
+use baselines::relm::{RelmSim, RelmSpec};
+use ringnet_core::hierarchy::TrafficPattern;
+use ringnet_core::{GroupId, HierarchyBuilder, NodeId, ProtoEvent};
+use simnet::{SimDuration, SimTime};
+
+use crate::experiments::{loss_free_links, run_spec};
+use crate::report::Table;
+
+const ATTACH_POINTS: usize = 4;
+
+/// Busiest message count over the given *interior* entities. The last-hop
+/// tier (APs / MSSs) pays one wireless send per member in every scheme and
+/// is excluded; the comparison targets the wired core, where RelM
+/// concentrates per-member work in the SH.
+fn busiest_of(journal: &[(SimTime, ProtoEvent)], interior: &[NodeId]) -> u64 {
+    journal
+        .iter()
+        .filter_map(|(_, e)| match e {
+            ProtoEvent::NeFinal { node, data_sent, .. } if interior.contains(node) => {
+                Some(*data_sent as u64)
+            }
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn measure_relm(members_per_ap: usize, duration: SimTime) -> (u64, u32) {
+    let mut spec = RelmSpec::new(ATTACH_POINTS, members_per_ap);
+    spec.interval = SimDuration::from_millis(10);
+    let mut net = RelmSim::build(spec, 41);
+    net.run_until(duration);
+    let (journal, _) = net.finish();
+    let sh_buffer = journal
+        .iter()
+        .find_map(|(_, e)| match e {
+            ProtoEvent::NeFinal { node: NodeId(0), mq_peak, .. } => Some(*mq_peak),
+            _ => None,
+        })
+        .unwrap_or(0);
+    // RelM's only interior entity is the SH itself (NodeId 0).
+    (busiest_of(&journal, &[NodeId(0)]), sh_buffer)
+}
+
+fn measure_ringnet(members_per_ap: usize, duration: SimTime) -> (u64, u32) {
+    let spec = HierarchyBuilder::new(GroupId(1))
+        .brs(2)
+        .ag_rings(1, 2)
+        .aps_per_ag(2)
+        .mhs_per_ap(members_per_ap)
+        .sources(1)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(10),
+        })
+        .links(loss_free_links())
+        .build();
+    let interior: Vec<NodeId> = spec
+        .top_ring
+        .iter()
+        .chain(spec.ag_rings.iter().flat_map(|r| r.members.iter()))
+        .copied()
+        .collect();
+    let journal = run_spec(spec, 41, duration);
+    let (wq, mq) = crate::metrics::buffer_peaks(&journal);
+    (busiest_of(&journal, &interior), wq + mq)
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E8",
+        "Load concentration vs group size: RelM supervisor host vs RingNet (4 attach points)",
+        &["members", "RelM SH msgs", "RingNet busiest msgs", "RelM SH buffer", "RingNet max buffer"],
+    );
+    let sizes: Vec<usize> = if quick { vec![2, 8] } else { vec![2, 8, 32] };
+    let duration = SimTime::from_secs(if quick { 3 } else { 6 });
+    let mut rows = Vec::new();
+    for &per_ap in &sizes {
+        let members = per_ap * ATTACH_POINTS;
+        let (relm_msgs, relm_buf) = measure_relm(per_ap, duration);
+        let (rn_msgs, rn_buf) = measure_ringnet(per_ap, duration);
+        table.row(vec![
+            members.to_string(),
+            relm_msgs.to_string(),
+            rn_msgs.to_string(),
+            relm_buf.to_string(),
+            rn_buf.to_string(),
+        ]);
+        rows.push((members, relm_msgs, rn_msgs));
+    }
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        let relm_growth = last.1 as f64 / first.1.max(1) as f64;
+        let rn_growth = last.2 as f64 / first.2.max(1) as f64;
+        table.note(format!(
+            "busiest-entity load growth over {}× members: RelM {relm_growth:.1}×, RingNet {rn_growth:.1}× — the SH concentrates per-member work",
+            last.0 / first.0.max(1)
+        ));
+    }
+    table.note("interior (wired-core) entities only: the per-member wireless last hop is identical in both schemes");
+    table.note("RelM SH processes every member's ACK/NACK; RingNet aggregates per hop");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_supervisor_concentrates_load() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 2);
+        let relm_small: f64 = t.rows[0][1].parse().unwrap();
+        let relm_large: f64 = t.rows[1][1].parse().unwrap();
+        let rn_small: f64 = t.rows[0][2].parse().unwrap();
+        let rn_large: f64 = t.rows[1][2].parse().unwrap();
+        let relm_growth = relm_large / relm_small.max(1.0);
+        let rn_growth = rn_large / rn_small.max(1.0);
+        assert!(
+            relm_growth > 1.5 * rn_growth,
+            "SH load should grow much faster with members: RelM {relm_growth:.2}x vs RingNet {rn_growth:.2}x"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! T1 — Theorem 5.1, throughput claim.
+//!
+//! "Compared with the multicast protocol without ordering requirement, our
+//! totally-ordered multicast protocol provides the same multicast
+//! throughput as s·λ messages each time unit." We run both protocols on
+//! the same hierarchy and traffic, measure the steady per-MH delivery rate
+//! and compare it with the offered load s·λ.
+
+use baselines::unordered::{UnorderedSim, UnorderedSpec};
+use ringnet_core::hierarchy::TrafficPattern;
+use ringnet_core::{GroupId, HierarchyBuilder};
+use simnet::{SimDuration, SimTime};
+
+use crate::experiments::{loss_free_links, run_spec};
+use crate::metrics;
+use crate::report::{fnum, Table};
+
+fn ordered_rate(s: usize, lambda: f64, duration: SimTime, warmup: SimTime) -> f64 {
+    let spec = HierarchyBuilder::new(GroupId(1))
+        .brs(4)
+        .ag_rings(2, 2)
+        .aps_per_ag(1)
+        .mhs_per_ap(1)
+        .sources(s)
+        .source_pattern(TrafficPattern::Cbr {
+            interval: SimDuration::from_secs_f64(1.0 / lambda),
+        })
+        .links(loss_free_links())
+        .build();
+    let journal = run_spec(spec, 42, duration);
+    metrics::delivery_rate(&journal, warmup, duration)
+}
+
+fn unordered_rate(s: usize, lambda: f64, duration: SimTime, warmup: SimTime) -> f64 {
+    let mut spec = UnorderedSpec::new();
+    spec.brs = 4;
+    spec.ag_rings = (2, 2);
+    spec.aps_per_ag = 1;
+    spec.mhs_per_ap = 1;
+    spec.sources = s;
+    spec.pattern = TrafficPattern::Cbr {
+        interval: SimDuration::from_secs_f64(1.0 / lambda),
+    };
+    spec.links.2 = simnet::LinkProfile::wired(SimDuration::from_millis(2));
+    let mut net = UnorderedSim::build(spec, 42);
+    net.run_until(duration);
+    let (journal, _) = net.finish();
+    metrics::delivery_rate(&journal, warmup, duration)
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "T1",
+        "Theorem 5.1 — throughput: ordered vs unordered, target s·λ",
+        &["s", "λ (msg/s)", "target s·λ", "ordered", "unordered", "ord/target"],
+    );
+    let sweeps: Vec<(usize, f64)> = if quick {
+        vec![(1, 50.0), (2, 50.0)]
+    } else {
+        vec![(1, 50.0), (2, 50.0), (4, 50.0), (1, 200.0), (2, 200.0), (4, 200.0)]
+    };
+    let duration = SimTime::from_secs(if quick { 4 } else { 8 });
+    let warmup = SimTime::from_secs(1);
+    let mut worst_ratio: f64 = 1.0;
+    for (s, lambda) in sweeps {
+        let target = s as f64 * lambda;
+        let ord = ordered_rate(s, lambda, duration, warmup);
+        let unord = unordered_rate(s, lambda, duration, warmup);
+        let ratio = ord / target;
+        worst_ratio = worst_ratio.min(ratio);
+        table.row(vec![
+            s.to_string(),
+            fnum(lambda),
+            fnum(target),
+            fnum(ord),
+            fnum(unord),
+            format!("{ratio:.3}"),
+        ]);
+    }
+    table.note(format!(
+        "paper: identical throughput s·λ for both protocols; worst ordered/target ratio {worst_ratio:.3}"
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_sustains_offered_load() {
+        let t = run(true);
+        for row in &t.rows {
+            let target: f64 = row[2].parse().unwrap();
+            let ordered: f64 = row[3].parse().unwrap();
+            let unordered: f64 = row[4].parse().unwrap();
+            assert!(
+                (ordered - target).abs() / target < 0.05,
+                "ordered rate {ordered} vs target {target}"
+            );
+            assert!(
+                (unordered - target).abs() / target < 0.05,
+                "unordered rate {unordered} vs target {target}"
+            );
+        }
+    }
+}

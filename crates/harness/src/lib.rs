@@ -1,0 +1,25 @@
+//! # harness — workloads, metrics and experiment runners
+//!
+//! Everything needed to regenerate the RingNet paper's evaluation
+//! (EXPERIMENTS.md): journal analysis ([`metrics`]), mobility-scenario glue
+//! ([`scenario`]), the experiment suite ([`experiments`], one module per
+//! table/figure id from DESIGN.md §4), and plain-text/JSON result tables
+//! ([`report`]).
+//!
+//! ```
+//! // Quick mode keeps runtimes CI-friendly; the `experiments` binary in
+//! // the bench crate runs the full sweeps.
+//! let table = harness::experiments::f1::run(true);
+//! assert_eq!(table.id, "F1");
+//! println!("{table}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+
+pub use report::Table;

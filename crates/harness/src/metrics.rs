@@ -1,0 +1,385 @@
+//! Journal analysis: everything the experiments measure is derived from
+//! the protocol-event journal a simulation leaves behind.
+
+use std::collections::BTreeMap;
+
+use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, ProtoEvent};
+use simnet::{Histogram, SimDuration, SimTime};
+
+/// A journal slice, as returned by the engines' `finish()`.
+pub type Journal = [(SimTime, ProtoEvent)];
+
+/// Per-MH delivery records: `(time, gsn)` in delivery order.
+pub fn deliveries_per_mh(journal: &Journal) -> BTreeMap<Guid, Vec<(SimTime, GlobalSeq)>> {
+    let mut map: BTreeMap<Guid, Vec<(SimTime, GlobalSeq)>> = BTreeMap::new();
+    for (t, e) in journal {
+        if let ProtoEvent::MhDeliver { mh, gsn, .. } = e {
+            map.entry(*mh).or_default().push((*t, *gsn));
+        }
+    }
+    map
+}
+
+/// Number of total-order violations: deliveries whose global sequence
+/// number does not strictly increase at some MH. Zero for a correct run.
+/// (Strictly increasing per-MH sequences imply pairwise-consistent total
+/// order across MHs, because the sequence numbers are globally unique.)
+pub fn order_violations(journal: &Journal) -> u64 {
+    let mut violations = 0;
+    for (_, seq) in deliveries_per_mh(journal) {
+        for w in seq.windows(2) {
+            if w[1].1 <= w[0].1 {
+                violations += 1;
+            }
+        }
+    }
+    violations
+}
+
+/// True when two MHs ever delivered the same pair of messages in opposite
+/// relative orders (direct pairwise agreement check, stronger diagnostics
+/// than [`order_violations`] but O(n²) per MH pair — use on small runs).
+pub fn pairwise_agreement(journal: &Journal) -> bool {
+    let per = deliveries_per_mh(journal);
+    let orders: Vec<Vec<GlobalSeq>> = per
+        .values()
+        .map(|v| v.iter().map(|(_, g)| *g).collect())
+        .collect();
+    for a in &orders {
+        for b in &orders {
+            // Positions of shared messages must be ordered identically.
+            let pos_b: BTreeMap<GlobalSeq, usize> =
+                b.iter().enumerate().map(|(i, g)| (*g, i)).collect();
+            let shared: Vec<usize> = a.iter().filter_map(|g| pos_b.get(g).copied()).collect();
+            if shared.windows(2).any(|w| w[1] <= w[0]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// End-to-end latency samples: reception at the corresponding node
+/// (`SourceSend`) → application delivery at each MH (`MhDeliver`), matched
+/// by `(source, local_seq)`. Returns a histogram of nanoseconds.
+pub fn end_to_end_latency(journal: &Journal) -> Histogram {
+    let mut sent: BTreeMap<(NodeId, LocalSeq), SimTime> = BTreeMap::new();
+    let mut h = Histogram::new();
+    for (t, e) in journal {
+        match e {
+            ProtoEvent::SourceSend { source, local_seq } => {
+                sent.entry((*source, *local_seq)).or_insert(*t);
+            }
+            ProtoEvent::MhDeliver {
+                source, local_seq, ..
+            } => {
+                if let Some(&t0) = sent.get(&(*source, *local_seq)) {
+                    h.add(t.saturating_since(t0).as_nanos());
+                }
+            }
+            _ => {}
+        }
+    }
+    h
+}
+
+/// Ordering latency samples: `SourceSend` → `Ordered` (the global number
+/// assignment at the corresponding node).
+pub fn ordering_latency(journal: &Journal) -> Histogram {
+    let mut sent: BTreeMap<(NodeId, LocalSeq), SimTime> = BTreeMap::new();
+    let mut h = Histogram::new();
+    for (t, e) in journal {
+        match e {
+            ProtoEvent::SourceSend { source, local_seq } => {
+                sent.entry((*source, *local_seq)).or_insert(*t);
+            }
+            ProtoEvent::Ordered {
+                source, local_seq, ..
+            } => {
+                if let Some(&t0) = sent.get(&(*source, *local_seq)) {
+                    h.add(t.saturating_since(t0).as_nanos());
+                }
+            }
+            _ => {}
+        }
+    }
+    h
+}
+
+/// Mean per-MH delivery rate (messages/second) within `[from, to]`.
+pub fn delivery_rate(journal: &Journal, from: SimTime, to: SimTime) -> f64 {
+    let span = to.saturating_since(from).as_secs_f64();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let per = deliveries_per_mh(journal);
+    if per.is_empty() {
+        return 0.0;
+    }
+    let total: usize = per
+        .values()
+        .map(|v| v.iter().filter(|(t, _)| *t >= from && *t <= to).count())
+        .sum();
+    total as f64 / per.len() as f64 / span
+}
+
+/// Aggregate final per-MH counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MhTotals {
+    /// Messages delivered to applications.
+    pub delivered: u64,
+    /// Messages skipped as really-lost.
+    pub skipped: u64,
+    /// Duplicate receptions discarded.
+    pub duplicates: u64,
+    /// Handoffs performed.
+    pub handoffs: u64,
+    /// Number of MHs reporting.
+    pub mhs: u64,
+}
+
+impl MhTotals {
+    /// Fraction of messages delivered (vs delivered + skipped).
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.delivered + self.skipped;
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+}
+
+/// Sum the `MhFinal` records.
+pub fn mh_totals(journal: &Journal) -> MhTotals {
+    let mut t = MhTotals::default();
+    for (_, e) in journal {
+        if let ProtoEvent::MhFinal {
+            delivered,
+            skipped,
+            duplicates,
+            handoffs,
+            ..
+        } = e
+        {
+            t.delivered += *delivered as u64;
+            t.skipped += *skipped as u64;
+            t.duplicates += *duplicates as u64;
+            t.handoffs += *handoffs as u64;
+            t.mhs += 1;
+        }
+    }
+    t
+}
+
+/// Peak buffer occupancy across entities, from the `NeFinal` records:
+/// `(max WQ peak, max MQ peak)`.
+pub fn buffer_peaks(journal: &Journal) -> (u32, u32) {
+    let mut wq = 0;
+    let mut mq = 0;
+    for (_, e) in journal {
+        if let ProtoEvent::NeFinal {
+            wq_peak, mq_peak, ..
+        } = e
+        {
+            wq = wq.max(*wq_peak);
+            mq = mq.max(*mq_peak);
+        }
+    }
+    (wq, mq)
+}
+
+/// Peak buffer occupancy of one specific entity.
+pub fn buffer_peaks_of(journal: &Journal, node: NodeId) -> Option<(u32, u32)> {
+    journal.iter().find_map(|(_, e)| match e {
+        ProtoEvent::NeFinal {
+            node: n,
+            wq_peak,
+            mq_peak,
+            ..
+        } if *n == node => Some((*wq_peak, *mq_peak)),
+        _ => None,
+    })
+}
+
+/// The largest gap between consecutive application deliveries at `mh`
+/// within `[from, to]` — the disruption metric for handoff experiments.
+pub fn max_delivery_gap(
+    journal: &Journal,
+    mh: Guid,
+    from: SimTime,
+    to: SimTime,
+) -> Option<SimDuration> {
+    let per = deliveries_per_mh(journal);
+    let seq = per.get(&mh)?;
+    let times: Vec<SimTime> = seq
+        .iter()
+        .map(|(t, _)| *t)
+        .filter(|t| *t >= from && *t <= to)
+        .collect();
+    if times.len() < 2 {
+        return None;
+    }
+    times
+        .windows(2)
+        .map(|w| w[1].saturating_since(w[0]))
+        .max()
+}
+
+/// Mean interval between `TokenPass` events observed at `node` — the
+/// empirical token rotation time.
+pub fn token_rotation_period(journal: &Journal, node: NodeId) -> Option<SimDuration> {
+    let times: Vec<SimTime> = journal
+        .iter()
+        .filter_map(|(t, e)| match e {
+            ProtoEvent::TokenPass { node: n, .. } if *n == node => Some(*t),
+            _ => None,
+        })
+        .collect();
+    if times.len() < 2 {
+        return None;
+    }
+    let span = times.last().unwrap().saturating_since(times[0]);
+    Some(SimDuration::from_nanos(
+        span.as_nanos() / (times.len() as u64 - 1),
+    ))
+}
+
+/// Time of the first event matching `pred` at or after `from`.
+pub fn first_event_after(
+    journal: &Journal,
+    from: SimTime,
+    mut pred: impl FnMut(&ProtoEvent) -> bool,
+) -> Option<SimTime> {
+    journal
+        .iter()
+        .find(|(t, e)| *t >= from && pred(e))
+        .map(|(t, _)| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(t: u64, mh: u32, gsn: u64) -> (SimTime, ProtoEvent) {
+        (
+            SimTime::from_millis(t),
+            ProtoEvent::MhDeliver {
+                mh: Guid(mh),
+                gsn: GlobalSeq(gsn),
+                source: NodeId(0),
+                local_seq: LocalSeq(gsn),
+            },
+        )
+    }
+
+    fn send(t: u64, ls: u64) -> (SimTime, ProtoEvent) {
+        (
+            SimTime::from_millis(t),
+            ProtoEvent::SourceSend {
+                source: NodeId(0),
+                local_seq: LocalSeq(ls),
+            },
+        )
+    }
+
+    #[test]
+    fn order_violation_detection() {
+        let ok = vec![deliver(1, 0, 1), deliver(2, 0, 2), deliver(3, 1, 1)];
+        assert_eq!(order_violations(&ok), 0);
+        assert!(pairwise_agreement(&ok));
+        let bad = vec![deliver(1, 0, 2), deliver(2, 0, 1)];
+        assert_eq!(order_violations(&bad), 1);
+    }
+
+    #[test]
+    fn pairwise_disagreement_detected() {
+        // MH0 sees 1 then 2; MH1 sees 2 then 1. Each individually broken
+        // too, but the pairwise check must catch the disagreement.
+        let j = vec![
+            deliver(1, 0, 1),
+            deliver(2, 0, 2),
+            deliver(1, 1, 2),
+            deliver(2, 1, 1),
+        ];
+        assert!(!pairwise_agreement(&j));
+    }
+
+    #[test]
+    fn latency_matching() {
+        let j = vec![send(10, 1), deliver(35, 0, 1), deliver(45, 1, 1)];
+        let h = end_to_end_latency(&j);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), SimDuration::from_millis(35).as_nanos());
+        assert_eq!(h.min(), SimDuration::from_millis(25).as_nanos());
+    }
+
+    #[test]
+    fn unmatched_deliveries_are_ignored() {
+        let j = vec![deliver(35, 0, 1)];
+        assert_eq!(end_to_end_latency(&j).count(), 0);
+    }
+
+    #[test]
+    fn delivery_rate_window() {
+        let mut j = Vec::new();
+        for i in 0..100 {
+            j.push(deliver(i * 10, 0, i + 1)); // 100 msg/s for 1 s
+        }
+        let rate = delivery_rate(&j, SimTime::ZERO, SimTime::from_secs(1));
+        assert!((rate - 100.0).abs() < 5.0, "rate {rate}");
+        // Window excludes everything → 0.
+        assert_eq!(
+            delivery_rate(&j, SimTime::from_secs(10), SimTime::from_secs(11)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn totals_and_ratio() {
+        let j = vec![(
+            SimTime::ZERO,
+            ProtoEvent::MhFinal {
+                mh: Guid(0),
+                delivered: 90,
+                skipped: 10,
+                duplicates: 3,
+                handoffs: 2,
+            },
+        )];
+        let t = mh_totals(&j);
+        assert_eq!(t.delivered, 90);
+        assert!((t.delivery_ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(MhTotals::default().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn gap_measurement() {
+        let j = vec![deliver(0, 0, 1), deliver(10, 0, 2), deliver(250, 0, 3)];
+        let gap = max_delivery_gap(&j, Guid(0), SimTime::ZERO, SimTime::from_secs(1)).unwrap();
+        assert_eq!(gap, SimDuration::from_millis(240));
+        assert!(max_delivery_gap(&j, Guid(9), SimTime::ZERO, SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn token_rotation_mean() {
+        let j: Vec<(SimTime, ProtoEvent)> = (0..5)
+            .map(|i| {
+                (
+                    SimTime::from_millis(20 * i),
+                    ProtoEvent::TokenPass {
+                        node: NodeId(0),
+                        rotation: i,
+                        epoch: ringnet_core::Epoch(0),
+                        next_gsn: GlobalSeq(1),
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(
+            token_rotation_period(&j, NodeId(0)),
+            Some(SimDuration::from_millis(20))
+        );
+        assert_eq!(token_rotation_period(&j, NodeId(1)), None);
+    }
+}

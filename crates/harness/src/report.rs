@@ -1,0 +1,147 @@
+//! Result tables: the common output format of every experiment.
+//!
+//! A [`Table`] renders as aligned plain text (for the terminal and
+//! `EXPERIMENTS.md`) and serialises to JSON for downstream tooling.
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. "T1").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (assumptions, pass/fail summary).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialises")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        writeln!(f, "| {} |", header.join(" | "))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "| {} |", sep.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "> {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Format a duration in milliseconds.
+pub fn fms(d: simnet::SimDuration) -> String {
+    format!("{:.2}", d.as_nanos() as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T9", "demo", &["a", "long-column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100000".into(), "x".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("## T9 — demo"));
+        assert!(s.contains("| 100000 |"));
+        assert!(s.contains("> a note"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator and rows all have equal width.
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("X", "x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Table::new("T1", "throughput", &["s", "rate"]);
+        t.row(vec!["2".into(), "200".into()]);
+        let json = t.to_json();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(42.123), "42.1");
+        assert_eq!(fnum(1234.5), "1234");
+        assert_eq!(fms(simnet::SimDuration::from_micros(1500)), "1.50");
+    }
+}

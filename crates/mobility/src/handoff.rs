@@ -1,0 +1,226 @@
+//! Handoff trace generation: sample a mobility model against a cell grid
+//! and emit the attachment-change events a scenario feeds into the
+//! protocol simulation.
+
+use simnet::{SimDuration, SimRng, SimTime};
+
+use crate::grid::{ApIndex, CellGrid};
+use crate::models::Mobility;
+
+/// One attachment change of one walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoffEvent {
+    /// When the walker crosses the cell boundary.
+    pub at: SimTime,
+    /// Walker index (caller maps to a GUID).
+    pub walker: usize,
+    /// The cell/AP being left.
+    pub from: ApIndex,
+    /// The cell/AP being entered.
+    pub to: ApIndex,
+}
+
+/// A generated trace: initial attachments plus the time-sorted handoffs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandoffTrace {
+    /// Initial AP of each walker.
+    pub initial: Vec<ApIndex>,
+    /// All handoff events, sorted by time.
+    pub events: Vec<HandoffEvent>,
+}
+
+impl HandoffTrace {
+    /// Handoffs per walker per second over `duration`.
+    pub fn rate_per_walker(&self, duration: SimDuration) -> f64 {
+        if self.initial.is_empty() || duration.is_zero() {
+            return 0.0;
+        }
+        self.events.len() as f64 / self.initial.len() as f64 / duration.as_secs_f64()
+    }
+
+    /// Events affecting one walker, in time order.
+    pub fn for_walker(&self, walker: usize) -> impl Iterator<Item = &HandoffEvent> {
+        self.events.iter().filter(move |e| e.walker == walker)
+    }
+}
+
+/// Sample `walkers` against `grid` every `dt` for `duration`, recording a
+/// handoff whenever a sampled position lands in a different cell.
+///
+/// `dt` bounds the detection granularity; choose it well below the expected
+/// cell-crossing interval (cell_size / speed).
+pub fn generate<M: Mobility>(
+    walkers: &mut [M],
+    grid: &CellGrid,
+    duration: SimDuration,
+    dt: SimDuration,
+    rng: &mut SimRng,
+) -> HandoffTrace {
+    assert!(!dt.is_zero(), "sampling interval must be positive");
+    let initial: Vec<ApIndex> = walkers.iter().map(|w| grid.ap_at(w.position())).collect();
+    let mut current = initial.clone();
+    let mut events = Vec::new();
+    let steps = duration.as_nanos() / dt.as_nanos();
+    let dt_secs = dt.as_secs_f64();
+    for step in 1..=steps {
+        let now = SimTime::ZERO + dt * step;
+        for (i, w) in walkers.iter_mut().enumerate() {
+            w.step(dt_secs, rng);
+            let ap = grid.ap_at(w.position());
+            if ap != current[i] {
+                events.push(HandoffEvent {
+                    at: now,
+                    walker: i,
+                    from: current[i],
+                    to: ap,
+                });
+                current[i] = ap;
+            }
+        }
+    }
+    HandoffTrace { initial, events }
+}
+
+/// Generate a synthetic "ping-pong" trace: each walker alternates between
+/// two adjacent cells at a fixed period — the worst case for handoff
+/// machinery, used by stress tests and the handoff-disruption experiment.
+pub fn ping_pong(
+    walkers: usize,
+    grid: &CellGrid,
+    period: SimDuration,
+    duration: SimDuration,
+) -> HandoffTrace {
+    assert!(grid.len() >= 2, "need at least two cells");
+    assert!(!period.is_zero());
+    let initial: Vec<ApIndex> = (0..walkers).map(|i| i % grid.len()).collect();
+    let mut events = Vec::new();
+    let mut current = initial.clone();
+    let flips = duration.as_nanos() / period.as_nanos();
+    for k in 1..=flips {
+        let at = SimTime::ZERO + period * k;
+        for w in 0..walkers {
+            let home = initial[w];
+            let away = *grid
+                .neighbours4(home)
+                .first()
+                .expect("every cell has a neighbour in a ≥2-cell grid");
+            let to = if current[w] == home { away } else { home };
+            events.push(HandoffEvent {
+                at,
+                walker: w,
+                from: current[w],
+                to,
+            });
+            current[w] = to;
+        }
+    }
+    HandoffTrace { initial, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{RandomWaypoint, Scripted};
+    use crate::grid::Pos;
+
+    #[test]
+    fn scripted_walker_produces_expected_handoffs() {
+        let grid = CellGrid::new(3, 1, 100.0);
+        // Crosses x=100 at t=10 and x=200 at t=20.
+        let mut walkers = vec![Scripted::new(vec![
+            (0.0, Pos { x: 50.0, y: 50.0 }),
+            (30.0, Pos { x: 350.0, y: 50.0 }),
+        ])];
+        let mut rng = SimRng::from_seed(1);
+        let trace = generate(
+            &mut walkers,
+            &grid,
+            SimDuration::from_secs(30),
+            SimDuration::from_millis(100),
+            &mut rng,
+        );
+        assert_eq!(trace.initial, vec![0]);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].from, 0);
+        assert_eq!(trace.events[0].to, 1);
+        assert_eq!(trace.events[1].from, 1);
+        assert_eq!(trace.events[1].to, 2);
+        // Crossing times within one sample of the analytic values.
+        assert!((trace.events[0].at.as_secs_f64() - 5.0).abs() < 0.2);
+        assert!((trace.events[1].at.as_secs_f64() - 15.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_consistent() {
+        let grid = CellGrid::new(4, 4, 50.0);
+        let mut rng = SimRng::from_seed(7);
+        let mut walkers: Vec<RandomWaypoint> = (0..5)
+            .map(|_| RandomWaypoint::new(200.0, 200.0, (5.0, 15.0), 0.0, &mut rng))
+            .collect();
+        let trace = generate(
+            &mut walkers,
+            &grid,
+            SimDuration::from_secs(60),
+            SimDuration::from_millis(200),
+            &mut rng,
+        );
+        assert!(trace.events.windows(2).all(|w| w[0].at <= w[1].at));
+        // Per-walker chains are consistent: each event leaves the cell the
+        // previous one entered.
+        for w in 0..5 {
+            let mut cur = trace.initial[w];
+            for e in trace.for_walker(w) {
+                assert_eq!(e.from, cur);
+                assert_ne!(e.from, e.to);
+                cur = e.to;
+            }
+        }
+        assert!(!trace.events.is_empty(), "fast walkers must hand off");
+    }
+
+    #[test]
+    fn handoff_rate_scales_with_speed() {
+        let grid = CellGrid::new(8, 8, 50.0);
+        let run = |speed: f64| {
+            let mut rng = SimRng::from_seed(11);
+            let mut walkers: Vec<RandomWaypoint> = (0..10)
+                .map(|_| RandomWaypoint::new(400.0, 400.0, (speed, speed), 0.0, &mut rng))
+                .collect();
+            generate(
+                &mut walkers,
+                &grid,
+                SimDuration::from_secs(120),
+                SimDuration::from_millis(100),
+                &mut rng,
+            )
+            .rate_per_walker(SimDuration::from_secs(120))
+        };
+        let slow = run(2.0);
+        let fast = run(20.0);
+        assert!(
+            fast > 3.0 * slow,
+            "10× speed should raise handoff rate well above 3× (slow={slow}, fast={fast})"
+        );
+    }
+
+    #[test]
+    fn ping_pong_alternates() {
+        let grid = CellGrid::new(2, 1, 100.0);
+        let trace = ping_pong(2, &grid, SimDuration::from_secs(1), SimDuration::from_secs(3));
+        assert_eq!(trace.initial, vec![0, 1]);
+        assert_eq!(trace.events.len(), 6, "3 flips × 2 walkers");
+        let w0: Vec<_> = trace.for_walker(0).collect();
+        assert_eq!((w0[0].from, w0[0].to), (0, 1));
+        assert_eq!((w0[1].from, w0[1].to), (1, 0));
+        assert_eq!((w0[2].from, w0[2].to), (0, 1));
+    }
+
+    #[test]
+    fn rate_of_empty_trace_is_zero() {
+        let t = HandoffTrace {
+            initial: vec![],
+            events: vec![],
+        };
+        assert_eq!(t.rate_per_walker(SimDuration::from_secs(10)), 0.0);
+    }
+}

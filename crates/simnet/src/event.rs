@@ -1,0 +1,216 @@
+//! Deterministic pending-event set.
+//!
+//! A thin wrapper over a binary heap keyed by `(time, seq)` where `seq` is a
+//! monotonically increasing insertion counter. The counter guarantees a
+//! *total, reproducible* order even when many events share a timestamp —
+//! the property every deterministic discrete-event simulator depends on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled entry, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Cancellation is *lazy*: a cancelled handle is remembered in a side set and
+/// the entry is dropped when it reaches the top of the heap. This keeps both
+/// scheduling and cancellation `O(log n)` amortised.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    /// Number of live (not cancelled) entries.
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled entry. Returns `true` if the handle was
+    /// still pending (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(handle.0) {
+            // May refer to an already-popped entry; popping reconciles `live`
+            // lazily, so over-counting here is corrected in `pop`.
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest live entry.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live = self.live.saturating_sub(1);
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest live entry without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled entries off the top so the peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (schedulable) entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Drop every pending entry.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_millis(1), 1);
+        let h2 = q.schedule(SimTime::from_millis(2), 2);
+        q.schedule(SimTime::from_millis(3), 3);
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2), "double cancel must report false");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(h1));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q = EventQueue::<u32>::new();
+        assert!(!q.cancel(EventHandle(99)));
+        q.schedule(SimTime::ZERO, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 2)));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

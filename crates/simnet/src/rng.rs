@@ -1,0 +1,172 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic decision in a simulation (loss draws, jitter, workload
+//! inter-arrival times, mobility) must come from a stream derived from the
+//! simulation seed, never from ambient entropy — this is what makes a replica
+//! a pure function of `(config, seed)` and lets the parallel sweep runner
+//! fan replicas out across threads without losing reproducibility.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// splitmix64 — the standard cheap seed mixer. Used to derive independent
+/// stream seeds from `(root_seed, stream_id)` without correlation.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A named, seedable RNG stream.
+///
+/// Thin wrapper around [`SmallRng`] with convenience draws used throughout
+/// the simulator. `SmallRng` is deliberately chosen over `StdRng`: loss and
+/// jitter draws sit on the per-packet hot path and need speed, not
+/// cryptographic strength.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create the stream identified by `stream_id` under `root_seed`.
+    pub fn derive(root_seed: u64, stream_id: u64) -> Self {
+        let mixed = splitmix64(root_seed ^ splitmix64(stream_id));
+        SimRng {
+            inner: SmallRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// Create directly from a seed (stream id 0).
+    pub fn from_seed(seed: u64) -> Self {
+        Self::derive(seed, 0)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() over empty domain");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.inner.random::<f64>()
+    }
+
+    /// Exponential draw with rate `lambda` (mean `1/lambda`), for Poisson
+    /// processes. Panics if `lambda <= 0`.
+    #[inline]
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential rate must be positive");
+        // Inverse-CDF; guard against ln(0).
+        let u = 1.0 - self.inner.random::<f64>();
+        -u.ln() / lambda
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::derive(42, 7);
+        let mut b = SimRng::derive(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = SimRng::derive(42, 1);
+        let mut b = SimRng::derive(42, 2);
+        let va: Vec<u64> = (0..32).map(|_| a.range_u64(0, u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.range_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SimRng::from_seed(7);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::from_seed(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::from_seed(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left slice unchanged");
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::from_seed(9);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! The discrete-event simulator.
+//!
+//! A [`Sim`] owns a set of [`Actor`]s (protocol endpoints), a [`Topology`] of
+//! lossy/delaying links, a deterministic event queue and an RNG stream. It is
+//! generic over the wire-message type `M` and the journal-record type `R`
+//! that actors emit for offline analysis (deliveries, handoffs, …).
+//!
+//! Determinism contract: with equal `(actors, topology, seed, schedule of
+//! control events)`, two runs produce byte-identical journals. Everything
+//! stochastic draws from the single per-simulation [`SimRng`]; ties in the
+//! event queue resolve by insertion order.
+
+use crate::event::{EventHandle, EventQueue};
+use crate::link::{LinkProfile, TxOutcome};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topo::{NodeAddr, Topology};
+
+/// A protocol endpoint living at one [`NodeAddr`].
+pub trait Actor<M, R> {
+    /// Called once when the simulation starts (in address order).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M, R>) {}
+    /// Called when a packet addressed to this node arrives.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, M, R>, from: NodeAddr, msg: M);
+    /// Called when a timer set by this node fires. `tag` is the value passed
+    /// to [`Ctx::set_timer`].
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M, R>, tag: u64);
+}
+
+/// Handle to a pending timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle(EventHandle);
+
+/// Aggregate transport counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events processed by the main loop.
+    pub events: u64,
+    /// Packets offered to links.
+    pub packets_sent: u64,
+    /// Packets that arrived at their destination actor.
+    pub packets_delivered: u64,
+    /// Packets dropped by loss models.
+    pub packets_lost: u64,
+    /// Packets dropped because no link existed for `(src, dst)`.
+    pub packets_no_route: u64,
+    /// Packets dropped by full bandwidth queues.
+    pub packets_queue_dropped: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+}
+
+/// Time-stamped record sink. Actors append protocol-level observations that
+/// the measurement layer reads back after the run.
+pub struct Journal<R> {
+    enabled: bool,
+    records: Vec<(SimTime, R)>,
+}
+
+impl<R> Journal<R> {
+    fn new(enabled: bool) -> Self {
+        Journal {
+            enabled,
+            records: Vec::new(),
+        }
+    }
+
+    /// Append a record (no-op when journalling is disabled).
+    #[inline]
+    pub fn record(&mut self, now: SimTime, rec: R) {
+        if self.enabled {
+            self.records.push((now, rec));
+        }
+    }
+
+    /// True when records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// All records in emission order.
+    pub fn records(&self) -> &[(SimTime, R)] {
+        &self.records
+    }
+
+    /// Consume the journal, yielding its records.
+    pub fn into_records(self) -> Vec<(SimTime, R)> {
+        self.records
+    }
+}
+
+/// A deferred closure run over the world (scenario control events).
+type ControlFn<M, R> = Box<dyn FnOnce(&mut World<M, R>) + Send>;
+
+enum Ev<M, R> {
+    Packet { src: NodeAddr, dst: NodeAddr, msg: M },
+    Timer { node: NodeAddr, tag: u64 },
+    Control(ControlFn<M, R>),
+}
+
+/// Everything in the simulation except the actors themselves. Actors receive
+/// `&mut World` through [`Ctx`] while the actor is temporarily detached, so
+/// no aliasing is possible.
+pub struct World<M, R> {
+    now: SimTime,
+    queue: EventQueue<Ev<M, R>>,
+    /// The link table. Public so control events and scenario code can rewire
+    /// the network mid-run (handoffs, failures).
+    pub topo: Topology,
+    /// The per-simulation RNG stream.
+    pub rng: SimRng,
+    /// The protocol-event journal.
+    pub journal: Journal<R>,
+    /// Transport counters.
+    pub stats: SimStats,
+    /// Per-packet wire size charged to bandwidth models, by message.
+    sizer: fn(&M) -> usize,
+}
+
+impl<M, R> World<M, R> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Transmit `msg` from `src` to `dst` over the configured link, applying
+    /// bandwidth, loss and latency. Packets without a link are counted in
+    /// [`SimStats::packets_no_route`] and silently dropped (an unreachable
+    /// destination, exactly like a black-holed IP packet).
+    pub fn send(&mut self, src: NodeAddr, dst: NodeAddr, msg: M) {
+        self.stats.packets_sent += 1;
+        let size = (self.sizer)(&msg);
+        let Some(link) = self.topo.link_mut(src, dst) else {
+            self.stats.packets_no_route += 1;
+            return;
+        };
+        match link.transmit(self.now, size, &mut self.rng) {
+            TxOutcome::Deliver(at) => {
+                self.queue.schedule(at, Ev::Packet { src, dst, msg });
+            }
+            TxOutcome::Lost => self.stats.packets_lost += 1,
+            TxOutcome::QueueDrop => self.stats.packets_queue_dropped += 1,
+        }
+    }
+
+    /// Inject a packet that arrives at `dst` after `delay`, bypassing links.
+    /// Used by scenario code to model out-of-band stimuli (e.g. an MH's radio
+    /// detecting a new AP).
+    pub fn inject(&mut self, src: NodeAddr, dst: NodeAddr, msg: M, delay: SimDuration) {
+        self.queue
+            .schedule(self.now + delay, Ev::Packet { src, dst, msg });
+    }
+
+    /// Set a timer for `node` firing after `delay` with the given tag.
+    pub fn set_timer(&mut self, node: NodeAddr, delay: SimDuration, tag: u64) -> TimerHandle {
+        TimerHandle(
+            self.queue
+                .schedule(self.now + delay, Ev::Timer { node, tag }),
+        )
+    }
+
+    /// Cancel a pending timer. Returns `true` if it had not fired yet.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.queue.cancel(handle.0)
+    }
+
+    /// Schedule a control closure to run over the world at `at`.
+    pub fn schedule_control(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut World<M, R>) + Send + 'static,
+    ) {
+        let at = if at < self.now { self.now } else { at };
+        self.queue.schedule(at, Ev::Control(Box::new(f)));
+    }
+}
+
+/// The view an [`Actor`] callback receives: the world plus its own address.
+pub struct Ctx<'a, M, R> {
+    world: &'a mut World<M, R>,
+    me: NodeAddr,
+}
+
+impl<'a, M, R> Ctx<'a, M, R> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// This actor's own address.
+    #[inline]
+    pub fn me(&self) -> NodeAddr {
+        self.me
+    }
+
+    /// Send `msg` to `dst` over the configured link.
+    #[inline]
+    pub fn send(&mut self, dst: NodeAddr, msg: M) {
+        self.world.send(self.me, dst, msg);
+    }
+
+    /// Set a timer on this node.
+    #[inline]
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
+        self.world.set_timer(self.me, delay, tag)
+    }
+
+    /// Cancel a pending timer.
+    #[inline]
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.world.cancel_timer(handle)
+    }
+
+    /// Append a journal record at the current time.
+    #[inline]
+    pub fn record(&mut self, rec: R) {
+        let now = self.world.now;
+        self.world.journal.record(now, rec);
+    }
+
+    /// The per-simulation RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.world.rng
+    }
+
+    /// True when a directed link to `dst` exists.
+    pub fn has_link_to(&self, dst: NodeAddr) -> bool {
+        self.world.topo.has_link(self.me, dst)
+    }
+
+    /// Install a duplex link between this node and `peer` (e.g. a wireless
+    /// association created during handoff).
+    pub fn connect_duplex(&mut self, peer: NodeAddr, profile: LinkProfile) {
+        self.world.topo.connect_duplex(self.me, peer, profile);
+    }
+
+    /// Remove both link directions between this node and `peer`.
+    pub fn disconnect_duplex(&mut self, peer: NodeAddr) {
+        self.world.topo.disconnect_duplex(self.me, peer);
+    }
+}
+
+/// The simulator: actors plus world plus the main loop.
+pub struct Sim<M, R> {
+    actors: Vec<Option<Box<dyn Actor<M, R>>>>,
+    world: World<M, R>,
+    started: bool,
+}
+
+impl<M, R> Sim<M, R> {
+    /// Create a simulator with journalling enabled and default packet size 0.
+    pub fn new(seed: u64) -> Self {
+        Self::with_options(seed, true, |_| 0)
+    }
+
+    /// Create with explicit journalling flag and a wire-size function used to
+    /// charge bandwidth models.
+    pub fn with_options(seed: u64, journal: bool, sizer: fn(&M) -> usize) -> Self {
+        Sim {
+            actors: Vec::new(),
+            world: World {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                topo: Topology::new(),
+                rng: SimRng::from_seed(seed),
+                journal: Journal::new(journal),
+                stats: SimStats::default(),
+                sizer,
+            },
+            started: false,
+        }
+    }
+
+    /// Add an actor; returns its address.
+    pub fn add_node(&mut self, actor: Box<dyn Actor<M, R>>) -> NodeAddr {
+        let addr = NodeAddr(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        addr
+    }
+
+    /// Number of actors.
+    pub fn node_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Access the world (topology, journal, stats, scheduling).
+    pub fn world(&mut self) -> &mut World<M, R> {
+        &mut self.world
+    }
+
+    /// Read-only stats snapshot.
+    pub fn stats(&self) -> SimStats {
+        self.world.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The journal of protocol records.
+    pub fn journal(&self) -> &Journal<R> {
+        &self.world.journal
+    }
+
+    /// Consume the simulator, yielding the journal records and final stats.
+    pub fn finish(self) -> (Vec<(SimTime, R)>, SimStats) {
+        let stats = self.world.stats;
+        (self.world.journal.into_records(), stats)
+    }
+
+    /// Borrow an actor by address (e.g. to inspect its final state).
+    ///
+    /// Panics if called while that actor is executing (impossible from
+    /// outside the run loop).
+    pub fn actor(&self, addr: NodeAddr) -> &dyn Actor<M, R> {
+        self.actors[addr.index()]
+            .as_deref()
+            .expect("actor detached")
+    }
+
+    /// Mutable access to an actor between runs.
+    pub fn actor_mut(&mut self, addr: NodeAddr) -> &mut (dyn Actor<M, R> + 'static) {
+        self.actors[addr.index()]
+            .as_deref_mut()
+            .expect("actor detached")
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            let mut actor = self.actors[i].take().expect("actor detached");
+            let mut ctx = Ctx {
+                world: &mut self.world,
+                me: NodeAddr(i as u32),
+            };
+            actor.on_start(&mut ctx);
+            self.actors[i] = Some(actor);
+        }
+    }
+
+    /// Process a single event. Returns `false` when the queue is exhausted.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some((time, ev)) = self.world.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.world.now, "time went backwards");
+        self.world.now = time;
+        self.world.stats.events += 1;
+        match ev {
+            Ev::Packet { src, dst, msg } => {
+                let idx = dst.index();
+                if idx >= self.actors.len() {
+                    return true; // destination never existed; count as routed-to-nowhere
+                }
+                let Some(mut actor) = self.actors[idx].take() else {
+                    return true;
+                };
+                self.world.stats.packets_delivered += 1;
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    me: dst,
+                };
+                actor.on_packet(&mut ctx, src, msg);
+                self.actors[idx] = Some(actor);
+            }
+            Ev::Timer { node, tag } => {
+                let idx = node.index();
+                if idx >= self.actors.len() {
+                    return true;
+                }
+                let Some(mut actor) = self.actors[idx].take() else {
+                    return true;
+                };
+                self.world.stats.timers_fired += 1;
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    me: node,
+                };
+                actor.on_timer(&mut ctx, tag);
+                self.actors[idx] = Some(actor);
+            }
+            Ev::Control(f) => f(&mut self.world),
+        }
+        true
+    }
+
+    /// Run until the queue empties or simulated time would exceed `until`.
+    /// Events at exactly `until` are processed.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start_if_needed();
+        loop {
+            match self.world.queue.peek_time() {
+                Some(t) if t <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.world.now < until {
+            self.world.now = until;
+        }
+    }
+
+    /// Run until the event queue is exhausted, up to `max_events` (guards
+    /// against protocol livelock in tests).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
+        self.start_if_needed();
+        let budget_end = self.world.stats.events + max_events;
+        while self.world.stats.events < budget_end {
+            if !self.step() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong actor: replies to every packet until a hop budget runs out.
+    struct PingPong {
+        peer: Option<NodeAddr>,
+        hops_left: u32,
+        received: u32,
+    }
+
+    impl Actor<u32, (NodeAddr, u32)> for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32, (NodeAddr, u32)>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, 0);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, (NodeAddr, u32)>, from: NodeAddr, msg: u32) {
+            self.received += 1;
+            ctx.record((ctx.me(), msg));
+            if self.hops_left > 0 {
+                self.hops_left -= 1;
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, (NodeAddr, u32)>, _tag: u64) {}
+    }
+
+    fn duplex(sim: &mut Sim<u32, (NodeAddr, u32)>, a: NodeAddr, b: NodeAddr, ms: u64) {
+        sim.world()
+            .topo
+            .connect_duplex(a, b, LinkProfile::wired(SimDuration::from_millis(ms)));
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node(Box::new(PingPong {
+            peer: None,
+            hops_left: 5,
+            received: 0,
+        }));
+        let b = sim.add_node(Box::new(PingPong {
+            peer: Some(a),
+            hops_left: 5,
+            received: 0,
+        }));
+        duplex(&mut sim, a, b, 10);
+        assert!(sim.run_to_quiescence(1_000));
+        // b sends at t=0; messages bounce 10 ms apart; 11 arrivals total
+        // (msg 0..=10, budget 5+5 replies + initial).
+        let (records, stats) = sim.finish();
+        assert_eq!(records.len(), 11);
+        assert_eq!(stats.packets_delivered, 11);
+        // First arrival at a at 10 ms, alternating thereafter.
+        assert_eq!(records[0].0, SimTime::from_millis(10));
+        let seqs: Vec<u32> = records.iter().map(|(_, (_, m))| *m).collect();
+        assert_eq!(seqs, (0..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        fn run(seed: u64) -> Vec<(SimTime, (NodeAddr, u32))> {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_node(Box::new(PingPong {
+                peer: None,
+                hops_left: 50,
+                received: 0,
+            }));
+            let b = sim.add_node(Box::new(PingPong {
+                peer: Some(a),
+                hops_left: 50,
+                received: 0,
+            }));
+            sim.world().topo.connect_duplex(
+                a,
+                b,
+                LinkProfile::wireless(
+                    SimDuration::from_millis(1),
+                    SimDuration::from_millis(4),
+                    0.2,
+                ),
+            );
+            sim.run_to_quiescence(10_000);
+            let (records, _) = sim.finish();
+            records
+        }
+        assert_eq!(run(7), run(7), "same seed must replay identically");
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerActor {
+            fired: Vec<u64>,
+        }
+        impl Actor<(), u64> for TimerActor {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, (), u64>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let h = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.cancel_timer(h);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, (), u64>, _: NodeAddr, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, (), u64>, tag: u64) {
+                self.fired.push(tag);
+                ctx.record(tag);
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.add_node(Box::new(TimerActor { fired: vec![] }));
+        assert!(sim.run_to_quiescence(100));
+        let (records, stats) = sim.finish();
+        assert_eq!(records.iter().map(|(_, t)| *t).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(stats.timers_fired, 2);
+    }
+
+    #[test]
+    fn no_route_counts() {
+        struct Sender {
+            dst: NodeAddr,
+        }
+        impl Actor<u32, ()> for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32, ()>) {
+                ctx.send(self.dst, 9);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, u32, ()>, _: NodeAddr, _: u32) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32, ()>, _: u64) {}
+        }
+        let mut sim: Sim<u32, ()> = Sim::new(0);
+        let a = sim.add_node(Box::new(Sender { dst: NodeAddr(1) }));
+        let _b = sim.add_node(Box::new(Sender { dst: a }));
+        // No links installed: both sends blackhole.
+        assert!(sim.run_to_quiescence(10));
+        assert_eq!(sim.stats().packets_no_route, 2);
+        assert_eq!(sim.stats().packets_delivered, 0);
+    }
+
+    #[test]
+    fn control_events_rewire_topology() {
+        struct Echo;
+        impl Actor<u32, u32> for Echo {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, u32>, _: NodeAddr, msg: u32) {
+                ctx.record(msg);
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32, u32>, _: u64) {}
+        }
+        let mut sim: Sim<u32, u32> = Sim::new(0);
+        let a = sim.add_node(Box::new(Echo));
+        let b = sim.add_node(Box::new(Echo));
+        // At t=5ms install the link, then inject a packet from a to b.
+        sim.world()
+            .schedule_control(SimTime::from_millis(5), move |w| {
+                w.topo
+                    .connect(a, b, LinkProfile::wired(SimDuration::from_millis(1)));
+                w.send(a, b, 77);
+            });
+        sim.run_until(SimTime::from_secs(1));
+        let (records, _) = sim.finish();
+        assert_eq!(records, vec![(SimTime::from_millis(6), 77)]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim: Sim<(), ()> = Sim::new(0);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,149 @@
+//! Mutable network topology: a set of nodes and directed links.
+//!
+//! Links are directed so that asymmetric channels (e.g. a clean downlink and
+//! a lossy uplink) can be modelled; [`Topology::connect_duplex`] installs the
+//! common symmetric case. `BTreeMap` keeps iteration order deterministic,
+//! which matters for reproducible statistics dumps.
+
+use std::collections::BTreeMap;
+
+use crate::link::{LinkProfile, LinkState};
+
+/// Address of a node inside one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeAddr(pub u32);
+
+impl NodeAddr {
+    /// The vector index backing this address.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Directed-link table.
+#[derive(Default)]
+pub struct Topology {
+    links: BTreeMap<(NodeAddr, NodeAddr), LinkState>,
+}
+
+impl Topology {
+    /// Create an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) the directed link `src → dst`.
+    pub fn connect(&mut self, src: NodeAddr, dst: NodeAddr, profile: LinkProfile) {
+        self.links.insert((src, dst), LinkState::new(profile));
+    }
+
+    /// Install the same profile in both directions.
+    pub fn connect_duplex(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile) {
+        self.connect(a, b, profile.clone());
+        self.connect(b, a, profile);
+    }
+
+    /// Remove the directed link `src → dst`. Returns `true` if it existed.
+    pub fn disconnect(&mut self, src: NodeAddr, dst: NodeAddr) -> bool {
+        self.links.remove(&(src, dst)).is_some()
+    }
+
+    /// Remove both directions between `a` and `b`.
+    pub fn disconnect_duplex(&mut self, a: NodeAddr, b: NodeAddr) {
+        self.disconnect(a, b);
+        self.disconnect(b, a);
+    }
+
+    /// True when a directed link `src → dst` exists.
+    pub fn has_link(&self, src: NodeAddr, dst: NodeAddr) -> bool {
+        self.links.contains_key(&(src, dst))
+    }
+
+    /// Mutable access to a directed link's runtime state.
+    pub fn link_mut(&mut self, src: NodeAddr, dst: NodeAddr) -> Option<&mut LinkState> {
+        self.links.get_mut(&(src, dst))
+    }
+
+    /// Read access to a directed link's runtime state.
+    pub fn link(&self, src: NodeAddr, dst: NodeAddr) -> Option<&LinkState> {
+        self.links.get(&(src, dst))
+    }
+
+    /// All outgoing neighbours of `src`, in address order.
+    pub fn neighbours(&self, src: NodeAddr) -> impl Iterator<Item = NodeAddr> + '_ {
+        self.links
+            .range((src, NodeAddr(0))..=(src, NodeAddr(u32::MAX)))
+            .map(|((_, dst), _)| *dst)
+    }
+
+    /// Total number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterate over every directed link (deterministic order).
+    pub fn iter(&self) -> impl Iterator<Item = (NodeAddr, NodeAddr, &LinkState)> {
+        self.links.iter().map(|((s, d), l)| (*s, *d, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn p() -> LinkProfile {
+        LinkProfile::wired(SimDuration::from_millis(1))
+    }
+
+    #[test]
+    fn connect_and_query() {
+        let mut t = Topology::new();
+        t.connect(NodeAddr(0), NodeAddr(1), p());
+        assert!(t.has_link(NodeAddr(0), NodeAddr(1)));
+        assert!(!t.has_link(NodeAddr(1), NodeAddr(0)), "links are directed");
+        t.connect_duplex(NodeAddr(2), NodeAddr(3), p());
+        assert!(t.has_link(NodeAddr(2), NodeAddr(3)));
+        assert!(t.has_link(NodeAddr(3), NodeAddr(2)));
+        assert_eq!(t.link_count(), 3);
+    }
+
+    #[test]
+    fn disconnect_removes() {
+        let mut t = Topology::new();
+        t.connect_duplex(NodeAddr(0), NodeAddr(1), p());
+        assert!(t.disconnect(NodeAddr(0), NodeAddr(1)));
+        assert!(!t.has_link(NodeAddr(0), NodeAddr(1)));
+        assert!(t.has_link(NodeAddr(1), NodeAddr(0)));
+        assert!(!t.disconnect(NodeAddr(0), NodeAddr(1)), "double disconnect");
+        t.disconnect_duplex(NodeAddr(0), NodeAddr(1));
+        assert_eq!(t.link_count(), 0);
+    }
+
+    #[test]
+    fn neighbours_in_order() {
+        let mut t = Topology::new();
+        for d in [5u32, 1, 9, 3] {
+            t.connect(NodeAddr(7), NodeAddr(d), p());
+        }
+        t.connect(NodeAddr(8), NodeAddr(0), p());
+        let ns: Vec<u32> = t.neighbours(NodeAddr(7)).map(|n| n.0).collect();
+        assert_eq!(ns, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn replace_link_resets_state() {
+        let mut t = Topology::new();
+        t.connect(NodeAddr(0), NodeAddr(1), p());
+        t.link_mut(NodeAddr(0), NodeAddr(1)).unwrap().offered = 42;
+        t.connect(NodeAddr(0), NodeAddr(1), p());
+        assert_eq!(t.link(NodeAddr(0), NodeAddr(1)).unwrap().offered, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the simulator substrate's invariants.
+
+use proptest::prelude::*;
+
+use simnet::event::EventQueue;
+use simnet::link::{LinkProfile, LinkState, LossModel, TxOutcome};
+use simnet::{SimDuration, SimRng, SimTime, Summary};
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out in
+    /// non-decreasing time order, and equal times preserve insertion order.
+    #[test]
+    fn event_queue_is_stable_priority(times in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(x) = q.pop() {
+            popped.push(x);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated within a timestamp");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation_exact(
+        n in 1usize..100,
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100)
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..n).map(|i| q.schedule(SimTime::from_millis(i as u64), i)).collect();
+        let mut kept = Vec::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            if cancel_mask[i] {
+                prop_assert!(q.cancel(h));
+            } else {
+                kept.push(i);
+            }
+        }
+        prop_assert_eq!(q.len(), kept.len());
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// Bernoulli loss converges to its parameter (law of large numbers with
+    /// a generous tolerance; deterministic per seed).
+    #[test]
+    fn bernoulli_loss_calibrated(p in 0.05f64..0.95, seed in 0u64..1000) {
+        let mut link = LinkState::new(
+            LinkProfile::wired(SimDuration::from_millis(1)).with_loss(LossModel::Bernoulli(p)),
+        );
+        let mut rng = SimRng::from_seed(seed);
+        let n = 4000u32;
+        let mut lost = 0u32;
+        for _ in 0..n {
+            if matches!(link.transmit(SimTime::ZERO, 64, &mut rng), TxOutcome::Lost) {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        prop_assert!((rate - p).abs() < 0.06, "rate {rate} vs p {p}");
+    }
+
+    /// Gilbert–Elliott steady-state matches the closed form.
+    #[test]
+    fn gilbert_elliott_steady_state(
+        p_gb in 0.01f64..0.5,
+        p_bg in 0.01f64..0.5,
+        seed in 0u64..100,
+    ) {
+        let model = LossModel::GilbertElliott {
+            p_good_to_bad: p_gb,
+            p_bad_to_good: p_bg,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let expected = model.steady_state_loss();
+        let mut link = LinkState::new(LinkProfile::wired(SimDuration::from_millis(1)).with_loss(model));
+        let mut rng = SimRng::from_seed(seed);
+        let n = 30_000u32;
+        let mut lost = 0u32;
+        for _ in 0..n {
+            if matches!(link.transmit(SimTime::ZERO, 64, &mut rng), TxOutcome::Lost) {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        prop_assert!((rate - expected).abs() < 0.05, "rate {rate} vs steady {expected}");
+    }
+
+    /// Summary::merge is equivalent to sequential accumulation at any split.
+    #[test]
+    fn summary_merge_associative(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..split] {
+            a.add(x);
+        }
+        for &x in &xs[split..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// Deterministic replay: the same seed yields the same draw sequence
+    /// across all SimRng draw kinds.
+    #[test]
+    fn rng_streams_replay(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = SimRng::derive(seed, stream);
+        let mut b = SimRng::derive(seed, stream);
+        for i in 0..50u64 {
+            match i % 4 {
+                0 => prop_assert_eq!(a.unit().to_bits(), b.unit().to_bits()),
+                1 => prop_assert_eq!(a.range_u64(0, 1000), b.range_u64(0, 1000)),
+                2 => prop_assert_eq!(a.chance(0.37), b.chance(0.37)),
+                _ => prop_assert_eq!(a.exponential(2.5).to_bits(), b.exponential(2.5).to_bits()),
+            }
+        }
+    }
+}

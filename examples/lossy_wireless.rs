@@ -1,0 +1,71 @@
+//! Lossy wireless: the best-effort local-scope retransmission scheme
+//! (§4.2.3) under a bursty Gilbert–Elliott channel. Shows delivery ratio
+//! and latency as the channel degrades, with the NACK budget on and off.
+//!
+//! ```text
+//! cargo run --release --example lossy_wireless
+//! ```
+
+use ringnet_repro::core::hierarchy::LinkPlan;
+use ringnet_repro::core::{GroupId, HierarchyBuilder, ProtocolConfig, RingNetSim, TrafficPattern};
+use ringnet_repro::harness::metrics;
+use ringnet_repro::simnet::{LatencyModel, LinkProfile, LossModel, SimDuration, SimTime};
+
+fn run(loss: LossModel, budget: u8) -> (f64, f64, u64) {
+    let wireless = LinkProfile {
+        latency: LatencyModel::Jittered {
+            base: SimDuration::from_millis(2),
+            jitter: SimDuration::from_millis(2),
+        },
+        loss,
+        bandwidth: ringnet_repro::simnet::BandwidthModel::Unlimited,
+    };
+    let duration = SimTime::from_secs(8);
+    let spec = HierarchyBuilder::new(GroupId(1))
+        .brs(3)
+        .ag_rings(2, 2)
+        .aps_per_ag(1)
+        .mhs_per_ap(2)
+        .sources(2)
+        .source_pattern(TrafficPattern::Poisson { rate: 100.0 })
+        .source_window(SimTime::ZERO, Some(duration - SimDuration::from_secs(1)))
+        .config(ProtocolConfig::default().with_nack_budget(budget))
+        .links(LinkPlan {
+            wireless,
+            ..LinkPlan::default()
+        })
+        .build();
+    let mut net = RingNetSim::build(spec, 99);
+    net.run_until(duration);
+    let (journal, _) = net.finish();
+    let totals = metrics::mh_totals(&journal);
+    let lat = metrics::end_to_end_latency(&journal);
+    (
+        totals.delivery_ratio(),
+        lat.quantile(0.99) as f64 / 1e6,
+        totals.duplicates,
+    )
+}
+
+fn main() {
+    println!("Poisson 2×100 msg/s, 8 MHs, Gilbert–Elliott bursty wireless\n");
+    println!(
+        "{:>28} | {:>6} | {:>14} | {:>11} | {:>5}",
+        "channel", "budget", "delivery ratio", "p99 lat ms", "dups"
+    );
+    let channels: [(&str, LossModel); 3] = [
+        ("clean (no loss)", LossModel::Perfect),
+        ("bernoulli 10%", LossModel::Bernoulli(0.10)),
+        ("bursty (GE, ~12% avg)", LossModel::lossy_wireless()),
+    ];
+    for (name, loss) in channels {
+        for budget in [0u8, 5] {
+            let (ratio, p99, dups) = run(loss.clone(), budget);
+            println!(
+                "{:>28} | {:>6} | {:>14.4} | {:>11.1} | {:>5}",
+                name, budget, ratio, p99, dups
+            );
+        }
+    }
+    println!("\nbudget 5 ≈ full recovery at the cost of tail latency; budget 0 ≈ raw channel");
+}

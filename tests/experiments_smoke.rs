@@ -1,0 +1,26 @@
+//! Smoke test: every experiment of the reproduction suite runs end-to-end
+//! in quick mode and produces a well-formed table.
+
+use ringnet_repro::harness::experiments;
+
+#[test]
+fn all_experiments_produce_tables() {
+    let tables = experiments::run_all(true);
+    assert_eq!(tables.len(), 13, "one table per paper artefact plus E8/A1 extensions");
+    let expected_ids = [
+        "F1", "T1", "T2", "T3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1",
+    ];
+    for (table, id) in tables.iter().zip(expected_ids) {
+        assert_eq!(table.id, id);
+        assert!(!table.rows.is_empty(), "{id} has no rows");
+        assert!(!table.columns.is_empty(), "{id} has no columns");
+        for row in &table.rows {
+            assert_eq!(row.len(), table.columns.len(), "{id} row arity");
+        }
+        // Text rendering and JSON serialisation both work.
+        let text = table.to_string();
+        assert!(text.contains(&table.id));
+        let json = table.to_json();
+        assert!(json.contains("\"rows\""));
+    }
+}
