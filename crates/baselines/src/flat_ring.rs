@@ -13,8 +13,10 @@
 //! code as RingNet, so the comparison isolates the structural difference
 //! (one ring of N stations vs a hierarchy of small rings).
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use ringnet_core::driver::{MulticastSim, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::engine::{
     boxed_mh_actor, boxed_ne_actor, boxed_source_actor, wire_size, AddrMap,
 };
@@ -31,12 +33,19 @@ pub struct FlatRingSpec {
     pub cfg: ProtocolConfig,
     /// Number of base stations on the single ring.
     pub stations: usize,
-    /// MHs attached per station.
+    /// MHs attached per station (ignored when `placements` is set).
     pub mhs_per_station: usize,
+    /// Explicit MH placement: `placements[i]` is MH `Guid(i)`'s initial
+    /// station index. Overrides `mhs_per_station`.
+    pub placements: Option<Vec<usize>>,
     /// Number of sources (≤ stations), assigned to stations 0, 1, ….
     pub sources: usize,
     /// Traffic pattern shared by all sources.
     pub pattern: TrafficPattern,
+    /// First transmission time.
+    pub start: SimTime,
+    /// Sources stop at this time (None = never).
+    pub stop: Option<SimTime>,
     /// Per-source message limit (None = unlimited).
     pub limit: Option<u64>,
     /// Ring link profile (station ↔ station).
@@ -53,10 +62,13 @@ impl FlatRingSpec {
             cfg: ProtocolConfig::default(),
             stations,
             mhs_per_station,
+            placements: None,
             sources: 1,
             pattern: TrafficPattern::Cbr {
                 interval: SimDuration::from_millis(10),
             },
+            start: SimTime::ZERO,
+            stop: None,
             limit: None,
             ring_link: LinkProfile::wired(SimDuration::from_millis(5)),
             wireless: LinkProfile::wireless(
@@ -98,28 +110,45 @@ impl FlatRingSim {
             next += 1;
         }
         let mut mh_assignments: Vec<(Guid, NodeId)> = Vec::new();
-        let mut guid = 0u32;
-        for &st in &station_ids {
-            for _ in 0..spec.mhs_per_station {
-                map.insert_mh(Guid(guid), NodeAddr(next));
-                mh_assignments.push((Guid(guid), st));
-                guid += 1;
-                next += 1;
+        match &spec.placements {
+            Some(placements) => {
+                for (w, &st_idx) in placements.iter().enumerate() {
+                    assert!(st_idx < spec.stations, "placement beyond station count");
+                    map.insert_mh(Guid(w as u32), NodeAddr(next));
+                    mh_assignments.push((Guid(w as u32), station_ids[st_idx]));
+                    next += 1;
+                }
+            }
+            None => {
+                let mut guid = 0u32;
+                for &st in &station_ids {
+                    for _ in 0..spec.mhs_per_station {
+                        map.insert_mh(Guid(guid), NodeAddr(next));
+                        mh_assignments.push((Guid(guid), st));
+                        guid += 1;
+                        next += 1;
+                    }
+                }
             }
         }
         let map = Arc::new(map);
 
         let token_origin = station_ids.iter().min().copied();
         for &id in &station_ids {
-            let st = NeState::new_flat_station(spec.group, id, station_ids.clone(), spec.cfg.clone());
-            sim.add_node(boxed_ne_actor(st, Arc::clone(&map), token_origin == Some(id)));
+            let st =
+                NeState::new_flat_station(spec.group, id, station_ids.clone(), spec.cfg.clone());
+            sim.add_node(boxed_ne_actor(
+                st,
+                Arc::clone(&map),
+                token_origin == Some(id),
+            ));
         }
         for i in 0..spec.sources {
             let src = SourceSpec {
                 corresponding: station_ids[i],
                 pattern: spec.pattern,
-                start: SimTime::ZERO,
-                stop: None,
+                start: spec.start,
+                stop: spec.stop,
                 limit: spec.limit,
             };
             let addr = sim.add_node(boxed_source_actor(
@@ -139,8 +168,11 @@ impl FlatRingSim {
         let w = sim.world();
         for (i, &a) in station_ids.iter().enumerate() {
             for &b in station_ids.iter().skip(i + 1) {
-                w.topo
-                    .connect_duplex(map.ne(a).unwrap(), map.ne(b).unwrap(), spec.ring_link.clone());
+                w.topo.connect_duplex(
+                    map.ne(a).unwrap(),
+                    map.ne(b).unwrap(),
+                    spec.ring_link.clone(),
+                );
             }
         }
         for (i, addr) in source_addrs.iter().enumerate() {
@@ -158,7 +190,63 @@ impl FlatRingSim {
             );
         }
 
-        FlatRingSim { sim, addrs: map, spec }
+        FlatRingSim {
+            sim,
+            addrs: map,
+            spec,
+        }
+    }
+
+    /// Schedule an MH handoff at `at`: the radio detaches from the current
+    /// station, attaches to `new_station`, and the MH re-registers. Runs
+    /// the same engine mechanism as `RingNetSim::schedule_handoff` — flat
+    /// stations are hybrid ordering+AP nodes and serve joins dynamically.
+    pub fn schedule_handoff(&mut self, at: SimTime, guid: Guid, new_station: NodeId) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        let wireless = self.spec.wireless.clone();
+        self.sim.world().schedule_control(at, move |w| {
+            let Some(mh_addr) = map.mh(guid) else { return };
+            let Some(st_addr) = map.ne(new_station) else {
+                return;
+            };
+            let old: Vec<NodeAddr> = w.topo.neighbours(mh_addr).collect();
+            for o in old {
+                w.topo.disconnect_duplex(mh_addr, o);
+            }
+            w.topo.connect_duplex(mh_addr, st_addr, wireless.clone());
+            w.inject(
+                st_addr,
+                mh_addr,
+                Msg::HandoffTo {
+                    group,
+                    new_ap: new_station,
+                },
+                SimDuration::ZERO,
+            );
+        });
+    }
+
+    /// Schedule a crash-stop failure of a station at `at`.
+    pub fn schedule_kill_station(&mut self, at: SimTime, node: NodeId) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        self.sim.world().schedule_control(at, move |w| {
+            if let Some(addr) = map.ne(node) {
+                w.inject(addr, addr, Msg::Kill { group }, SimDuration::ZERO);
+            }
+        });
+    }
+
+    /// Schedule a crash-stop failure of an MH at `at`.
+    pub fn schedule_kill_mh(&mut self, at: SimTime, guid: Guid) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        self.sim.world().schedule_control(at, move |w| {
+            if let Some(addr) = map.mh(guid) {
+                w.inject(addr, addr, Msg::Kill { group }, SimDuration::ZERO);
+            }
+        });
     }
 
     /// Run until simulated time `t`.
@@ -179,6 +267,61 @@ impl FlatRingSim {
         let t = self.sim.now() + SimDuration::from_nanos(1);
         self.sim.run_until(t);
         self.sim.finish()
+    }
+}
+
+/// The flat ring as a [`MulticastSim`] backend: attachment `k` is station
+/// `NodeId(k)`, the wired core is *every* station (they all carry the
+/// ring's ordering and forwarding work — that is the point of E1). All
+/// four scenario event kinds are supported.
+impl MulticastSim for FlatRingSim {
+    fn build(scenario: &Scenario, seed: u64) -> Self {
+        let mut spec = FlatRingSpec::new(scenario.attachments, 0);
+        spec.group = scenario.group;
+        spec.cfg = scenario.cfg.clone();
+        spec.placements = Some(scenario.walkers.iter().map(|w| w.unwrap_or(0)).collect());
+        spec.sources = scenario.sources.min(scenario.attachments);
+        spec.pattern = scenario.pattern;
+        spec.start = scenario.start;
+        spec.stop = scenario.stop;
+        spec.limit = scenario.limit;
+        spec.ring_link = scenario.links.top_ring.clone();
+        spec.wireless = scenario.links.wireless.clone();
+        FlatRingSim::build(spec, seed)
+    }
+
+    fn schedule(&mut self, event: ScenarioEvent) {
+        match event {
+            ScenarioEvent::Handoff { at, walker, to } => {
+                self.schedule_handoff(at, Guid(walker as u32), NodeId(to as u32));
+            }
+            // Late joiners were attached at station 0 at build time; a join
+            // is a handoff to the requested station.
+            ScenarioEvent::Join { at, walker, at_ap } => {
+                self.schedule_handoff(at, Guid(walker as u32), NodeId(at_ap as u32));
+            }
+            ScenarioEvent::KillCore { at, index } => {
+                assert!(
+                    index < self.spec.stations,
+                    "KillCore index {index} out of range ({} stations)",
+                    self.spec.stations
+                );
+                self.schedule_kill_station(at, NodeId(index as u32));
+            }
+            ScenarioEvent::KillWalker { at, walker } => {
+                self.schedule_kill_mh(at, Guid(walker as u32));
+            }
+        }
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        FlatRingSim::run_until(self, t);
+    }
+
+    fn finish(self) -> RunReport {
+        let core: BTreeSet<NodeId> = (0..self.spec.stations as u32).map(NodeId).collect();
+        let (journal, stats) = FlatRingSim::finish(self);
+        RunReport::new(journal, stats, &core)
     }
 }
 
@@ -224,7 +367,9 @@ mod tests {
             let times: Vec<SimTime> = journal
                 .iter()
                 .filter_map(|(t, e)| match e {
-                    ProtoEvent::TokenPass { node: NodeId(0), .. } => Some(*t),
+                    ProtoEvent::TokenPass {
+                        node: NodeId(0), ..
+                    } => Some(*t),
                     _ => None,
                 })
                 .collect();

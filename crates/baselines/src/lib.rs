@@ -18,6 +18,34 @@
 //! * [`relm`] — RelM-style centralized supervisor host: sequencing,
 //!   buffering and per-member feedback all concentrated in one entity.
 //!   Used by E8.
+//!
+//! Every comparator implements the protocol-generic
+//! [`ringnet_core::driver::MulticastSim`] trait, so one
+//! [`ringnet_core::driver::Scenario`] drives RingNet and all five baselines
+//! through identical glue:
+//!
+//! ```
+//! use baselines::{FlatRingSim, UnorderedSim};
+//! use ringnet_core::driver::{MulticastSim, ScenarioBuilder};
+//! use ringnet_core::engine::RingNetSim;
+//! use simnet::{SimDuration, SimTime};
+//!
+//! let scenario = ScenarioBuilder::new()
+//!     .attachments(4)
+//!     .cbr(SimDuration::from_millis(20))
+//!     .message_limit(5)
+//!     .loss_free_wireless()
+//!     .duration(SimTime::from_secs(2))
+//!     .build();
+//! for report in [
+//!     RingNetSim::run_scenario(&scenario, 7),
+//!     FlatRingSim::run_scenario(&scenario, 7),
+//!     UnorderedSim::run_scenario(&scenario, 7),
+//! ] {
+//!     assert_eq!(report.metrics.order_violations, 0);
+//!     assert!(report.metrics.delivered > 0);
+//! }
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +58,8 @@ pub mod unordered;
 
 pub use flat_ring::{FlatRingSim, FlatRingSpec};
 pub use relm::{RelmSim, RelmSpec};
-pub use tree::{remote_subscription_spec, ringnet_smooth_spec, tree_churn, wired_control_messages};
+pub use tree::{
+    remote_subscription_spec, ringnet_smooth_spec, tree_churn, wired_control_messages, TreeSim,
+};
 pub use tunnel::{TunnelSim, TunnelSpec};
 pub use unordered::{UnorderedSim, UnorderedSpec};

@@ -11,9 +11,10 @@
 //! grow with the member count and with the slowest member. Experiment E8
 //! measures exactly that against RingNet's distributed equivalent.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use ringnet_core::driver::{MulticastSim, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, PayloadId, ProtoEvent};
 use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimStats, SimTime};
 
@@ -288,13 +289,16 @@ impl Actor<RelmMsg, ProtoEvent> for RelmMh {
 struct RelmSource {
     target: NodeAddr,
     interval: SimDuration,
+    start: SimTime,
+    stop: Option<SimTime>,
     limit: Option<u64>,
     seq: u64,
 }
 
 impl Actor<RelmMsg, ProtoEvent> for RelmSource {
     fn on_start(&mut self, ctx: &mut Ctx<'_, RelmMsg, ProtoEvent>) {
-        ctx.set_timer(SimDuration::ZERO, TAG_SOURCE);
+        let delay = self.start.saturating_since(ctx.now());
+        ctx.set_timer(delay, TAG_SOURCE);
     }
     fn on_packet(&mut self, _: &mut Ctx<'_, RelmMsg, ProtoEvent>, _: NodeAddr, _: RelmMsg) {}
     fn on_timer(&mut self, ctx: &mut Ctx<'_, RelmMsg, ProtoEvent>, tag: u64) {
@@ -303,6 +307,11 @@ impl Actor<RelmMsg, ProtoEvent> for RelmSource {
         }
         if let Some(l) = self.limit {
             if self.seq >= l {
+                return;
+            }
+        }
+        if let Some(stop) = self.stop {
+            if ctx.now() >= stop {
                 return;
             }
         }
@@ -317,10 +326,17 @@ impl Actor<RelmMsg, ProtoEvent> for RelmSource {
 pub struct RelmSpec {
     /// Number of MSSs under the supervisor.
     pub msss: usize,
-    /// Members per MSS.
+    /// Members per MSS (ignored when `placements` is set).
     pub mhs_per_mss: usize,
+    /// Explicit member placement: `placements[i]` is member `Guid(i)`'s
+    /// 0-based MSS index. Overrides `mhs_per_mss`.
+    pub placements: Option<Vec<usize>>,
     /// Source interval.
     pub interval: SimDuration,
+    /// First transmission time.
+    pub start: SimTime,
+    /// The source stops at this time (None = never).
+    pub stop: Option<SimTime>,
     /// Per-source message limit.
     pub limit: Option<u64>,
     /// SH ↔ MSS wired link.
@@ -335,7 +351,10 @@ impl RelmSpec {
         RelmSpec {
             msss,
             mhs_per_mss,
+            placements: None,
             interval: SimDuration::from_millis(10),
+            start: SimTime::ZERO,
+            stop: None,
             limit: None,
             wired: LinkProfile::wired(SimDuration::from_millis(4)),
             wireless: LinkProfile::wired(SimDuration::from_millis(2)),
@@ -354,7 +373,7 @@ impl RelmSim {
     /// Instantiate with the given seed. The SH is `NodeId(0)`, MSSs are
     /// `NodeId(1..)`.
     pub fn build(spec: RelmSpec, seed: u64) -> Self {
-        assert!(spec.msss >= 1 && spec.mhs_per_mss >= 1);
+        assert!(spec.msss >= 1);
         let mut sim: Sim<RelmMsg, ProtoEvent> = Sim::with_options(seed, true, relm_wire_size);
         let mut map = RelmMap::default();
         let sh_addr = NodeAddr(0);
@@ -368,14 +387,28 @@ impl RelmSim {
         let source_addr = NodeAddr(next);
         next += 1;
         let mut members: Vec<(Guid, NodeId)> = Vec::new();
-        let mut guid = 0u32;
-        for &m in &mss_ids {
-            for _ in 0..spec.mhs_per_mss {
-                map.mh.insert(Guid(guid), NodeAddr(next));
-                map.mh_mss.insert(Guid(guid), m);
-                members.push((Guid(guid), m));
-                guid += 1;
-                next += 1;
+        match &spec.placements {
+            Some(placements) => {
+                for (w, &mss_idx) in placements.iter().enumerate() {
+                    assert!(mss_idx < spec.msss, "placement beyond MSS count");
+                    let g = Guid(w as u32);
+                    map.mh.insert(g, NodeAddr(next));
+                    map.mh_mss.insert(g, mss_ids[mss_idx]);
+                    members.push((g, mss_ids[mss_idx]));
+                    next += 1;
+                }
+            }
+            None => {
+                let mut guid = 0u32;
+                for &m in &mss_ids {
+                    for _ in 0..spec.mhs_per_mss {
+                        map.mh.insert(Guid(guid), NodeAddr(next));
+                        map.mh_mss.insert(Guid(guid), m);
+                        members.push((Guid(guid), m));
+                        guid += 1;
+                        next += 1;
+                    }
+                }
             }
         }
         let map = Arc::new(map);
@@ -406,6 +439,8 @@ impl RelmSim {
         let s = sim.add_node(Box::new(RelmSource {
             target: sh_addr,
             interval: spec.interval,
+            start: spec.start,
+            stop: spec.stop,
             limit: spec.limit,
             seq: 0,
         }));
@@ -424,7 +459,8 @@ impl RelmSim {
 
         let w = sim.world();
         for &m in &mss_ids {
-            w.topo.connect_duplex(sh_addr, map.mss[&m], spec.wired.clone());
+            w.topo
+                .connect_duplex(sh_addr, map.mss[&m], spec.wired.clone());
         }
         w.topo.connect_duplex(
             source_addr,
@@ -458,6 +494,41 @@ impl RelmSim {
         let t = self.sim.now() + SimDuration::from_nanos(1);
         self.sim.run_until(t);
         self.sim.finish()
+    }
+}
+
+/// RelM as a [`MulticastSim`] backend: attachment `k` is MSS
+/// `NodeId(k + 1)`, the wired core is the supervisor host alone — the
+/// centralization E8 measures. RelM's connection handover is out of scope
+/// for this reproduction, so membership is static: mobility and failure
+/// events are ignored (late joiners attach at their `Join` target from the
+/// start), and the single ingest point clamps the source count to 1
+/// (Poisson traffic degrades to CBR at the same mean rate).
+impl MulticastSim for RelmSim {
+    fn build(scenario: &Scenario, seed: u64) -> Self {
+        let mut spec = RelmSpec::new(scenario.attachments, 0);
+        spec.placements = Some(scenario.static_placements());
+        spec.interval = scenario.pattern.mean_interval();
+        spec.start = scenario.start;
+        spec.stop = scenario.stop;
+        spec.limit = scenario.limit;
+        spec.wired = scenario.links.br_ag.clone();
+        spec.wireless = scenario.links.wireless.clone();
+        RelmSim::build(spec, seed)
+    }
+
+    fn schedule(&mut self, _event: ScenarioEvent) {
+        // Static membership: RelM's handover protocol is not reproduced.
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        RelmSim::run_until(self, t);
+    }
+
+    fn finish(self) -> RunReport {
+        let core: BTreeSet<NodeId> = std::iter::once(NodeId(0)).collect();
+        let (journal, stats) = RelmSim::finish(self);
+        RunReport::new(journal, stats, &core)
     }
 }
 
@@ -499,7 +570,11 @@ mod tests {
             journal
                 .iter()
                 .find_map(|(_, e)| match e {
-                    ProtoEvent::NeFinal { node: NodeId(0), data_sent, .. } => Some(*data_sent),
+                    ProtoEvent::NeFinal {
+                        node: NodeId(0),
+                        data_sent,
+                        ..
+                    } => Some(*data_sent),
                     _ => None,
                 })
                 .unwrap()
@@ -525,7 +600,11 @@ mod tests {
         let peak = journal
             .iter()
             .find_map(|(_, e)| match e {
-                ProtoEvent::NeFinal { node: NodeId(0), mq_peak, .. } => Some(*mq_peak),
+                ProtoEvent::NeFinal {
+                    node: NodeId(0),
+                    mq_peak,
+                    ..
+                } => Some(*mq_peak),
                 _ => None,
             })
             .unwrap();

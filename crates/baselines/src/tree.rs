@@ -16,6 +16,10 @@
 //! Experiment E6 measures wired control cost per handoff across these and
 //! the tunnelling baseline.
 
+use ringnet_core::driver::{
+    degenerate_tree_spec, hierarchy_core, MulticastSim, RunReport, Scenario, ScenarioEvent,
+};
+use ringnet_core::engine::RingNetSim;
 use ringnet_core::hierarchy::{HierarchySpec, TrafficPattern};
 use ringnet_core::{GroupId, HierarchyBuilder, ProtoEvent, ProtocolConfig};
 use simnet::{SimDuration, SimTime};
@@ -62,6 +66,34 @@ pub fn ringnet_smooth_spec(
         .build()
 }
 
+/// MIP-RS-style tree multicast as a [`MulticastSim`] backend: the RingNet
+/// engine on the degenerate spec of
+/// [`ringnet_core::driver::degenerate_tree_spec`] — one root, rings of
+/// one, reservation radius 0, on-demand activation — so every handoff
+/// rebuilds the delivery tree. All four scenario event kinds are
+/// supported (it *is* the RingNet engine underneath).
+pub struct TreeSim(pub RingNetSim);
+
+impl MulticastSim for TreeSim {
+    fn build(scenario: &Scenario, seed: u64) -> Self {
+        TreeSim(RingNetSim::build(degenerate_tree_spec(scenario), seed))
+    }
+
+    fn schedule(&mut self, event: ScenarioEvent) {
+        <RingNetSim as MulticastSim>::schedule(&mut self.0, event);
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        self.0.run_until(t);
+    }
+
+    fn finish(self) -> RunReport {
+        let core = hierarchy_core(&self.0.spec);
+        let (journal, stats) = self.0.finish();
+        RunReport::new(journal, stats, &core)
+    }
+}
+
 /// Sum of wired control messages over all entities at teardown (from the
 /// `NeFinal` records). The wired-cost metric of experiment E6.
 pub fn wired_control_messages(journal: &[(SimTime, ProtoEvent)]) -> u64 {
@@ -76,13 +108,9 @@ pub fn wired_control_messages(journal: &[(SimTime, ProtoEvent)]) -> u64 {
 
 /// Count of graft + prune events — tree-maintenance churn (E6's secondary
 /// metric: MIP-RS pays one graft/prune pair per handoff, reservations trade
-/// them for amortised pre-grafts).
-pub fn tree_churn(journal: &[(SimTime, ProtoEvent)]) -> u64 {
-    journal
-        .iter()
-        .filter(|(_, e)| matches!(e, ProtoEvent::Grafted { .. } | ProtoEvent::Pruned { .. }))
-        .count() as u64
-}
+/// them for amortised pre-grafts). Re-exported from the shared journal
+/// metrics so every caller counts churn identically.
+pub use ringnet_core::metrics::tree_churn;
 
 /// Convenience: a CBR pattern of `rate` messages/second.
 pub fn cbr(rate: f64) -> TrafficPattern {
@@ -103,7 +131,10 @@ mod tests {
         let spec = remote_subscription_spec(GroupId(1), 4, 2, 1, ProtocolConfig::default());
         assert!(spec.validate().is_empty(), "{:?}", spec.validate());
         assert_eq!(spec.top_ring.len(), 1, "single root");
-        assert!(spec.ag_rings.iter().all(|r| r.members.len() == 1), "rings of one");
+        assert!(
+            spec.ag_rings.iter().all(|r| r.members.len() == 1),
+            "rings of one"
+        );
         assert!(spec.aps.iter().all(|a| !a.always_active));
         assert_eq!(spec.cfg.reservation_radius, 0);
     }
@@ -152,10 +183,9 @@ mod tests {
         // Initial activations (several grafts) + handoff-driven graft at the
         // target AP + prune of the emptied AP.
         assert!(churn >= 4, "churn {churn}");
-        assert!(journal.iter().any(|(_, e)| matches!(
-            e,
-            ProtoEvent::HandoffRegistered { mh: Guid(0), .. }
-        )));
+        assert!(journal
+            .iter()
+            .any(|(_, e)| matches!(e, ProtoEvent::HandoffRegistered { mh: Guid(0), .. })));
         assert!(wired_control_messages(&journal) > 0);
     }
 }

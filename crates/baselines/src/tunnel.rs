@@ -10,9 +10,10 @@
 //! all. Experiment E6 compares its per-message and per-handoff wired costs
 //! with RingNet and the tree baseline.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use ringnet_core::driver::{MulticastSim, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, PayloadId, ProtoEvent};
 use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimStats, SimTime};
 
@@ -232,13 +233,16 @@ impl Actor<TunMsg, ProtoEvent> for TunMh {
 struct TunSource {
     target: NodeAddr,
     interval: SimDuration,
+    start: SimTime,
+    stop: Option<SimTime>,
     limit: Option<u64>,
     seq: u64,
 }
 
 impl Actor<TunMsg, ProtoEvent> for TunSource {
     fn on_start(&mut self, ctx: &mut Ctx<'_, TunMsg, ProtoEvent>) {
-        ctx.set_timer(SimDuration::ZERO, TAG_SOURCE);
+        let delay = self.start.saturating_since(ctx.now());
+        ctx.set_timer(delay, TAG_SOURCE);
     }
     fn on_packet(&mut self, _: &mut Ctx<'_, TunMsg, ProtoEvent>, _: NodeAddr, _: TunMsg) {}
     fn on_timer(&mut self, ctx: &mut Ctx<'_, TunMsg, ProtoEvent>, tag: u64) {
@@ -247,6 +251,11 @@ impl Actor<TunMsg, ProtoEvent> for TunSource {
         }
         if let Some(l) = self.limit {
             if self.seq >= l {
+                return;
+            }
+        }
+        if let Some(stop) = self.stop {
+            if ctx.now() >= stop {
                 return;
             }
         }
@@ -261,10 +270,18 @@ impl Actor<TunMsg, ProtoEvent> for TunSource {
 pub struct TunnelSpec {
     /// Number of APs (foreign agents).
     pub aps: usize,
-    /// MHs, all starting at AP 0's cell, assigned round-robin.
+    /// MHs, assigned round-robin over the APs (ignored when `placements`
+    /// is set).
     pub mhs: usize,
+    /// Explicit MH placement: `placements[i]` is MH `Guid(i)`'s initial
+    /// 0-based AP index. Overrides `mhs`.
+    pub placements: Option<Vec<usize>>,
     /// Source interval.
     pub interval: SimDuration,
+    /// First transmission time.
+    pub start: SimTime,
+    /// The source stops at this time (None = never).
+    pub stop: Option<SimTime>,
     /// Per-source message limit.
     pub limit: Option<u64>,
     /// HA ↔ AP wired link (the home detour).
@@ -279,7 +296,10 @@ impl TunnelSpec {
         TunnelSpec {
             aps,
             mhs,
+            placements: None,
             interval: SimDuration::from_millis(10),
+            start: SimTime::ZERO,
+            stop: None,
             limit: None,
             wired: LinkProfile::wired(SimDuration::from_millis(8)),
             wireless: LinkProfile::wireless(
@@ -303,7 +323,7 @@ pub struct TunnelSim {
 impl TunnelSim {
     /// Instantiate with the given seed.
     pub fn build(spec: TunnelSpec, seed: u64) -> Self {
-        assert!(spec.aps >= 1 && spec.mhs >= 1);
+        assert!(spec.aps >= 1);
         let mut sim: Sim<TunMsg, ProtoEvent> = Sim::with_options(seed, true, tun_wire_size);
         let mut map = TunMap::default();
         let ha_addr = NodeAddr(0);
@@ -316,7 +336,15 @@ impl TunnelSim {
         }
         let source_addr = NodeAddr(next);
         next += 1;
-        let guids: Vec<Guid> = (0..spec.mhs as u32).map(Guid).collect();
+        // Initial AP per MH: explicit placements or round-robin.
+        let assignments: Vec<usize> = match &spec.placements {
+            Some(p) => {
+                assert!(p.iter().all(|&a| a < spec.aps), "placement beyond AP count");
+                p.clone()
+            }
+            None => (0..spec.mhs).map(|i| i % spec.aps).collect(),
+        };
+        let guids: Vec<Guid> = (0..assignments.len() as u32).map(Guid).collect();
         for &g in &guids {
             map.mh.insert(g, NodeAddr(next));
             next += 1;
@@ -328,7 +356,7 @@ impl TunnelSim {
             locations: guids
                 .iter()
                 .enumerate()
-                .map(|(i, &g)| (g, ap_ids[i % ap_ids.len()]))
+                .map(|(i, &g)| (g, ap_ids[assignments[i]]))
                 .collect(),
             map: Arc::clone(&map),
             data_sent: 0,
@@ -346,6 +374,8 @@ impl TunnelSim {
         let s = sim.add_node(Box::new(TunSource {
             target: ha_addr,
             interval: spec.interval,
+            start: spec.start,
+            stop: spec.stop,
             limit: spec.limit,
             seq: 0,
         }));
@@ -353,7 +383,7 @@ impl TunnelSim {
         for (i, &g) in guids.iter().enumerate() {
             sim.add_node(Box::new(TunMh {
                 guid: g,
-                ap: ap_ids[i % ap_ids.len()],
+                ap: ap_ids[assignments[i]],
                 map: Arc::clone(&map),
                 delivered: 0,
                 handoffs: 0,
@@ -373,7 +403,7 @@ impl TunnelSim {
             LinkProfile::wired(SimDuration::from_micros(100)),
         );
         for (i, &g) in guids.iter().enumerate() {
-            let home = ap_ids[i % ap_ids.len()];
+            let home = ap_ids[assignments[i]];
             w.topo
                 .connect_duplex(map.mh[&g], map.ap[&home], spec.wireless.clone());
         }
@@ -395,7 +425,12 @@ impl TunnelSim {
                 w.topo.disconnect_duplex(mh_addr, o);
             }
             w.topo.connect_duplex(mh_addr, ap_addr, wireless.clone());
-            w.inject(ap_addr, mh_addr, TunMsg::HandoffTo { new_ap }, SimDuration::ZERO);
+            w.inject(
+                ap_addr,
+                mh_addr,
+                TunMsg::HandoffTo { new_ap },
+                SimDuration::ZERO,
+            );
         });
     }
 
@@ -419,6 +454,51 @@ impl TunnelSim {
         let t = self.sim.now() + SimDuration::from_nanos(1);
         self.sim.run_until(t);
         self.sim.finish()
+    }
+}
+
+/// MIP-BT as a [`MulticastSim`] backend: attachment `k` is the foreign
+/// agent `NodeId(k + 1)`, the wired core is the home agent alone (the
+/// scheme's single wired data sender). Handoffs are the tunnel's strong
+/// point and fully supported; the scheme has one ingest point, so the
+/// scenario's source count is clamped to 1 and Poisson traffic degrades to
+/// CBR at the same mean rate. Failure events are ignored (no recovery
+/// machinery to compare).
+impl MulticastSim for TunnelSim {
+    fn build(scenario: &Scenario, seed: u64) -> Self {
+        let mut spec = TunnelSpec::new(scenario.attachments, scenario.walkers.len());
+        spec.placements = Some(scenario.walkers.iter().map(|w| w.unwrap_or(0)).collect());
+        spec.interval = scenario.pattern.mean_interval();
+        spec.start = scenario.start;
+        spec.stop = scenario.stop;
+        spec.limit = scenario.limit;
+        spec.wired = scenario.links.top_ring.clone();
+        spec.wireless = scenario.links.wireless.clone();
+        TunnelSim::build(spec, seed)
+    }
+
+    fn schedule(&mut self, event: ScenarioEvent) {
+        match event {
+            ScenarioEvent::Handoff { at, walker, to } => {
+                self.schedule_handoff(at, Guid(walker as u32), NodeId(to as u32 + 1));
+            }
+            // Late joiners were attached at AP 0 at build; a join is a
+            // handoff to the requested AP.
+            ScenarioEvent::Join { at, walker, at_ap } => {
+                self.schedule_handoff(at, Guid(walker as u32), NodeId(at_ap as u32 + 1));
+            }
+            ScenarioEvent::KillCore { .. } | ScenarioEvent::KillWalker { .. } => {}
+        }
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        TunnelSim::run_until(self, t);
+    }
+
+    fn finish(self) -> RunReport {
+        let core: BTreeSet<NodeId> = std::iter::once(NodeId(0)).collect();
+        let (journal, stats) = TunnelSim::finish(self);
+        RunReport::new(journal, stats, &core)
     }
 }
 
@@ -449,7 +529,11 @@ mod tests {
         let ha_data: u32 = journal
             .iter()
             .filter_map(|(_, e)| match e {
-                ProtoEvent::NeFinal { node: NodeId(0), data_sent, .. } => Some(*data_sent),
+                ProtoEvent::NeFinal {
+                    node: NodeId(0),
+                    data_sent,
+                    ..
+                } => Some(*data_sent),
                 _ => None,
             })
             .sum();
@@ -464,12 +548,20 @@ mod tests {
         let (journal, _) = net.finish();
         assert!(journal.iter().any(|(_, e)| matches!(
             e,
-            ProtoEvent::HandoffRegistered { mh: Guid(0), ap: NodeId(3), .. }
+            ProtoEvent::HandoffRegistered {
+                mh: Guid(0),
+                ap: NodeId(3),
+                ..
+            }
         )));
         let ha_control: u32 = journal
             .iter()
             .filter_map(|(_, e)| match e {
-                ProtoEvent::NeFinal { node: NodeId(0), control_sent, .. } => Some(*control_sent),
+                ProtoEvent::NeFinal {
+                    node: NodeId(0),
+                    control_sent,
+                    ..
+                } => Some(*control_sent),
                 _ => None,
             })
             .sum();
@@ -479,7 +571,9 @@ mod tests {
         let mh0: Vec<u64> = journal
             .iter()
             .filter_map(|(_, e)| match e {
-                ProtoEvent::MhDeliver { mh: Guid(0), gsn, .. } => Some(gsn.0),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(0), gsn, ..
+                } => Some(gsn.0),
                 _ => None,
             })
             .collect();

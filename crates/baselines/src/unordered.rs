@@ -13,9 +13,10 @@
 //! wired at build time) — the ordered-vs-unordered experiments run without
 //! churn, exactly like the paper's §5 analysis.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use ringnet_core::driver::{CoreShape, MulticastSim, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::hierarchy::TrafficPattern;
 use ringnet_core::{
     GlobalSeq, Guid, LocalSeq, MessageQueue, MsgData, NodeId, PayloadId, ProtoEvent,
@@ -311,7 +312,11 @@ impl Actor<UnMsg, ProtoEvent> for UnNe {
                     node: self.id,
                     wq_peak,
                     mq_peak: self.peak_total as u32,
-                    mq_overflow: self.streams.values().map(|s| s.mq.overflow_drops as u32).sum(),
+                    mq_overflow: self
+                        .streams
+                        .values()
+                        .map(|s| s.mq.overflow_drops as u32)
+                        .sum(),
                     wq_overflow: 0,
                     control_sent: 0,
                     data_sent: 0,
@@ -415,7 +420,13 @@ impl Actor<UnMsg, ProtoEvent> for UnMh {
                     );
                 }
                 if send_acks {
-                    ctx.send(addr, UnMsg::Ack { corr, upto: mq.front().0 });
+                    ctx.send(
+                        addr,
+                        UnMsg::Ack {
+                            corr,
+                            upto: mq.front().0,
+                        },
+                    );
                 }
             }
             if !newly_lost.is_empty() {
@@ -450,13 +461,16 @@ impl Actor<UnMsg, ProtoEvent> for UnMh {
 struct UnSource {
     target: NodeAddr,
     pattern: TrafficPattern,
+    start: SimTime,
+    stop: Option<SimTime>,
     limit: Option<u64>,
     seq: u64,
 }
 
 impl Actor<UnMsg, ProtoEvent> for UnSource {
     fn on_start(&mut self, ctx: &mut Ctx<'_, UnMsg, ProtoEvent>) {
-        ctx.set_timer(SimDuration::ZERO, TAG_SOURCE);
+        let delay = self.start.saturating_since(ctx.now());
+        ctx.set_timer(delay, TAG_SOURCE);
     }
 
     fn on_packet(&mut self, _: &mut Ctx<'_, UnMsg, ProtoEvent>, _: NodeAddr, _: UnMsg) {}
@@ -467,6 +481,11 @@ impl Actor<UnMsg, ProtoEvent> for UnSource {
         }
         if let Some(limit) = self.limit {
             if self.seq >= limit {
+                return;
+            }
+        }
+        if let Some(stop) = self.stop {
+            if ctx.now() >= stop {
                 return;
             }
         }
@@ -492,14 +511,25 @@ pub struct UnorderedSpec {
     pub brs: usize,
     /// AG rings and AGs per ring.
     pub ag_rings: (usize, usize),
-    /// APs per AG.
+    /// APs per AG (ignored when `aps_total` is set).
     pub aps_per_ag: usize,
-    /// MHs per AP.
+    /// Exact total AP count, assigned round-robin over all AGs (for
+    /// scenario-driven builds whose attachment count need not divide
+    /// evenly). Overrides `aps_per_ag`.
+    pub aps_total: Option<usize>,
+    /// MHs per AP (ignored when `placements` is set).
     pub mhs_per_ap: usize,
+    /// Explicit MH placement: `placements[i]` is MH `Guid(i)`'s AP index
+    /// (in AP creation order). Overrides `mhs_per_ap`.
+    pub placements: Option<Vec<usize>>,
     /// Sources (≤ brs).
     pub sources: usize,
     /// Traffic pattern.
     pub pattern: TrafficPattern,
+    /// First transmission time.
+    pub start: SimTime,
+    /// Sources stop at this time (None = never).
+    pub stop: Option<SimTime>,
     /// Per-source message limit.
     pub limit: Option<u64>,
     /// Link profiles: `(ring, tree, wireless)`.
@@ -514,16 +544,24 @@ impl UnorderedSpec {
             brs: 4,
             ag_rings: (3, 3),
             aps_per_ag: 1,
+            aps_total: None,
             mhs_per_ap: 1,
+            placements: None,
             sources: 1,
             pattern: TrafficPattern::Cbr {
                 interval: SimDuration::from_millis(10),
             },
+            start: SimTime::ZERO,
+            stop: None,
             limit: None,
             links: (
                 LinkProfile::wired(SimDuration::from_millis(5)),
                 LinkProfile::wired(SimDuration::from_millis(2)),
-                LinkProfile::wireless(SimDuration::from_millis(2), SimDuration::from_millis(1), 0.01),
+                LinkProfile::wireless(
+                    SimDuration::from_millis(2),
+                    SimDuration::from_millis(1),
+                    0.01,
+                ),
             ),
         }
     }
@@ -540,6 +578,8 @@ pub struct UnorderedSim {
     /// The underlying simulator.
     pub sim: Sim<UnMsg, ProtoEvent>,
     addrs: Arc<UnAddrMap>,
+    /// Wired-core entity ids (BRs + AGs), for run-report comparisons.
+    core: BTreeSet<NodeId>,
 }
 
 impl UnorderedSim {
@@ -573,11 +613,22 @@ impl UnorderedSim {
             );
         }
         let mut aps: Vec<(NodeId, NodeAddr, NodeId)> = Vec::new(); // (ap, addr, parent ag)
-        for ring in &rings {
-            for &(ag, _) in ring {
-                for _ in 0..spec.aps_per_ag {
+        match spec.aps_total {
+            Some(n) => {
+                let flat_ags: Vec<NodeId> = rings.iter().flatten().map(|&(ag, _)| ag).collect();
+                for i in 0..n {
                     let (id, addr) = claim(&mut map, &mut next_addr, &mut next_id);
-                    aps.push((id, addr, ag));
+                    aps.push((id, addr, flat_ags[i % flat_ags.len()]));
+                }
+            }
+            None => {
+                for ring in &rings {
+                    for &(ag, _) in ring {
+                        for _ in 0..spec.aps_per_ag {
+                            let (id, addr) = claim(&mut map, &mut next_addr, &mut next_id);
+                            aps.push((id, addr, ag));
+                        }
+                    }
                 }
             }
         }
@@ -587,15 +638,29 @@ impl UnorderedSim {
             next_addr += 1;
         }
         let mut mhs: Vec<(Guid, NodeAddr, NodeId)> = Vec::new();
-        let mut guid = 0u32;
-        for &(ap, _, _) in &aps {
-            for _ in 0..spec.mhs_per_ap {
-                let addr = NodeAddr(next_addr);
-                next_addr += 1;
-                map.mh.insert(Guid(guid), addr);
-                map.rev.insert(addr, UnEndpoint::Mh(Guid(guid)));
-                mhs.push((Guid(guid), addr, ap));
-                guid += 1;
+        match &spec.placements {
+            Some(placements) => {
+                for (w, &ap_idx) in placements.iter().enumerate() {
+                    assert!(ap_idx < aps.len(), "placement beyond AP count");
+                    let addr = NodeAddr(next_addr);
+                    next_addr += 1;
+                    map.mh.insert(Guid(w as u32), addr);
+                    map.rev.insert(addr, UnEndpoint::Mh(Guid(w as u32)));
+                    mhs.push((Guid(w as u32), addr, aps[ap_idx].0));
+                }
+            }
+            None => {
+                let mut guid = 0u32;
+                for &(ap, _, _) in &aps {
+                    for _ in 0..spec.mhs_per_ap {
+                        let addr = NodeAddr(next_addr);
+                        next_addr += 1;
+                        map.mh.insert(Guid(guid), addr);
+                        map.rev.insert(addr, UnEndpoint::Mh(Guid(guid)));
+                        mhs.push((Guid(guid), addr, ap));
+                        guid += 1;
+                    }
+                }
             }
         }
         let map = Arc::new(map);
@@ -697,6 +762,8 @@ impl UnorderedSim {
             let addr = sim.add_node(Box::new(UnSource {
                 target: brs[i].1,
                 pattern: spec.pattern,
+                start: spec.start,
+                stop: spec.stop,
                 limit: spec.limit,
                 seq: 0,
             }));
@@ -735,18 +802,32 @@ impl UnorderedSim {
         }
         for &(_, ap_addr, parent) in &aps {
             let parent_addr = *map.ne.get(&parent).unwrap();
-            w.topo.connect_duplex(ap_addr, parent_addr, spec.links.1.clone());
+            w.topo
+                .connect_duplex(ap_addr, parent_addr, spec.links.1.clone());
         }
         for (i, &sa) in source_addrs.iter().enumerate() {
-            w.topo
-                .connect_duplex(sa, brs[i].1, LinkProfile::wired(SimDuration::from_micros(100)));
+            w.topo.connect_duplex(
+                sa,
+                brs[i].1,
+                LinkProfile::wired(SimDuration::from_micros(100)),
+            );
         }
         for &(_, mh_addr, ap) in &mhs {
             let ap_addr = *map.ne.get(&ap).unwrap();
-            w.topo.connect_duplex(mh_addr, ap_addr, spec.links.2.clone());
+            w.topo
+                .connect_duplex(mh_addr, ap_addr, spec.links.2.clone());
         }
 
-        UnorderedSim { sim, addrs: map }
+        let core: BTreeSet<NodeId> = brs
+            .iter()
+            .map(|&(id, _)| id)
+            .chain(rings.iter().flatten().map(|&(id, _)| id))
+            .collect();
+        UnorderedSim {
+            sim,
+            addrs: map,
+            core,
+        }
     }
 
     /// Run until simulated time `t`.
@@ -766,6 +847,68 @@ impl UnorderedSim {
         let t = self.sim.now() + SimDuration::from_nanos(1);
         self.sim.run_until(t);
         self.sim.finish()
+    }
+}
+
+/// The unordered hierarchy as a [`MulticastSim`] backend: same tiering as
+/// RingNet (the scenario's [`CoreShape`] is honoured), per-source FIFO
+/// streams instead of a total order. Membership is static by design —
+/// mobility and failure events are ignored, exactly like the paper's §5
+/// analysis setting (and late joiners attach at their `Join` target from
+/// the start).
+impl MulticastSim for UnorderedSim {
+    fn build(scenario: &Scenario, seed: u64) -> Self {
+        let mut spec = UnorderedSpec::new();
+        spec.cfg = scenario.cfg.clone();
+        match scenario.shape {
+            CoreShape::Hierarchy {
+                brs,
+                rings,
+                ags_per_ring,
+            } => {
+                spec.brs = brs;
+                spec.ag_rings = (rings, ags_per_ring);
+            }
+            // The Figure-1 wired core, mirroring what RingNetSim builds
+            // for the same scenario (4 BRs, 3 rings × 3 AGs).
+            CoreShape::Figure1 => {
+                spec.brs = 4;
+                spec.ag_rings = (3, 3);
+            }
+            // Auto mirrors the RingNet auto shape: enough BRs for the
+            // sources, one AG ring of ~1 AG per 4 attachments.
+            CoreShape::Auto => {
+                spec.brs = scenario.sources.max(2);
+                spec.ag_rings = (1, scenario.attachments.div_ceil(4).max(2));
+            }
+        }
+        spec.aps_total = Some(scenario.attachments);
+        spec.placements = Some(scenario.static_placements());
+        spec.sources = scenario.sources.min(spec.brs);
+        spec.pattern = scenario.pattern;
+        spec.start = scenario.start;
+        spec.stop = scenario.stop;
+        spec.limit = scenario.limit;
+        spec.links = (
+            scenario.links.top_ring.clone(),
+            scenario.links.ag_ring.clone(),
+            scenario.links.wireless.clone(),
+        );
+        UnorderedSim::build(spec, seed)
+    }
+
+    fn schedule(&mut self, _event: ScenarioEvent) {
+        // Static membership: the unordered baseline runs without churn.
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        UnorderedSim::run_until(self, t);
+    }
+
+    fn finish(self) -> RunReport {
+        let core = self.core.clone();
+        let (journal, stats) = UnorderedSim::finish(self);
+        RunReport::new(journal, stats, &core)
     }
 }
 
@@ -793,7 +936,10 @@ mod tests {
         // per (mh, source) the sequence numbers must be exactly 1..=15.
         let mut per: BTreeMap<(u32, u32), Vec<u64>> = BTreeMap::new();
         for (_, e) in &journal {
-            if let ProtoEvent::MhDeliver { mh, gsn, source, .. } = e {
+            if let ProtoEvent::MhDeliver {
+                mh, gsn, source, ..
+            } = e
+            {
                 per.entry((mh.0, source.0)).or_default().push(gsn.0);
             }
         }

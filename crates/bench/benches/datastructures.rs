@@ -1,169 +1,10 @@
-//! Microbenchmarks of the paper's data structures (§4.1): `MQ`, `WQ`, the
-//! ordering token, the working table, and the measurement histogram.
-//! These are the per-message hot paths of every simulated entity.
+//! `cargo bench -p ringnet-bench --bench datastructures`
+//!
+//! Microbenchmarks of the paper's data structures (§4.1) on the in-repo
+//! micro harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use std::hint::black_box;
-
-use ringnet_core::{
-    GlobalSeq, LocalRange, LocalSeq, MessageQueue, MsgData, NodeId, OrderingToken, PayloadId,
-    WorkingQueue, WorkingTable,
-};
-
-fn data(i: u64) -> MsgData {
-    MsgData {
-        source: NodeId(0),
-        local_seq: LocalSeq(i),
-        ordering_node: NodeId(0),
-        payload: PayloadId(i),
-    }
+fn main() {
+    let mut r = ringnet_bench::micro::Runner::new().samples(20);
+    ringnet_bench::suites::datastructures(&mut r);
+    println!("{}", r.report());
 }
-
-fn bench_mq(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mq");
-    const N: u64 = 1024;
-    g.throughput(Throughput::Elements(N));
-
-    g.bench_function("insert_poll_inorder", |b| {
-        b.iter_batched(
-            || MessageQueue::new(N as usize + 1),
-            |mut q| {
-                for i in 1..=N {
-                    q.insert(GlobalSeq(i), data(i));
-                }
-                black_box(q.poll_deliverable().len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-
-    g.bench_function("insert_poll_reversed", |b| {
-        b.iter_batched(
-            || MessageQueue::new(N as usize + 1),
-            |mut q| {
-                for i in (1..=N).rev() {
-                    q.insert(GlobalSeq(i), data(i));
-                }
-                black_box(q.poll_deliverable().len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-
-    g.bench_function("steady_state_window", |b| {
-        // The realistic pattern: insert, deliver, ack, GC — a sliding window.
-        b.iter_batched(
-            || MessageQueue::new(64),
-            |mut q| {
-                for i in 1..=N {
-                    q.insert(GlobalSeq(i), data(i));
-                    q.poll_deliverable();
-                    if i % 8 == 0 {
-                        q.gc_to(GlobalSeq(i - 4));
-                    }
-                }
-                black_box(q.occupancy())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_wq(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wq");
-    const N: u64 = 1024;
-    g.throughput(Throughput::Elements(N));
-
-    g.bench_function("insert_order_gc", |b| {
-        b.iter_batched(
-            || WorkingQueue::new(N as usize + 1),
-            |mut wq| {
-                for i in 1..=N {
-                    wq.insert(NodeId(0), LocalSeq(i), PayloadId(i));
-                }
-                let out = wq.take_orderable(
-                    NodeId(0),
-                    NodeId(0),
-                    LocalRange::new(LocalSeq(1), LocalSeq(N)),
-                    GlobalSeq(1),
-                );
-                wq.ack_from_next(NodeId(0), LocalSeq(N));
-                wq.gc();
-                black_box(out.len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_token(c: &mut Criterion) {
-    let mut g = c.benchmark_group("token");
-    g.bench_function("assign_rotate_prune", |b| {
-        b.iter_batched(
-            || OrderingToken::new(ringnet_core::GroupId(1), NodeId(0)),
-            |mut t| {
-                for round in 0..64u64 {
-                    let base = round * 16 + 1;
-                    t.assign(
-                        NodeId((round % 4) as u32),
-                        NodeId((round % 4) as u32),
-                        LocalRange::new(LocalSeq(base), LocalSeq(base + 15)),
-                    );
-                    t.complete_rotation();
-                }
-                black_box(t.next_gsn)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_wt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("working_table");
-    g.bench_function("ack_min_progress_64_children", |b| {
-        let mut wt = WorkingTable::new();
-        for i in 0..64u32 {
-            wt.register(NodeId(i), GlobalSeq::ZERO);
-        }
-        let mut x = 0u64;
-        b.iter(|| {
-            x += 1;
-            wt.ack(NodeId((x % 64) as u32), GlobalSeq(x));
-            black_box(wt.min_progress())
-        })
-    });
-    g.finish();
-}
-
-fn bench_histogram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("histogram");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("add_and_quantile", |b| {
-        b.iter_batched(
-            simnet::Histogram::new,
-            |mut h| {
-                let mut v = 1u64;
-                for _ in 0..4096 {
-                    v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    h.add(v >> 40);
-                }
-                black_box((h.quantile(0.5), h.quantile(0.99)))
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_mq,
-    bench_wq,
-    bench_token,
-    bench_wt,
-    bench_histogram
-);
-criterion_main!(benches);

@@ -1,49 +1,11 @@
-//! One criterion bench per paper table/figure (DESIGN.md §4): each runs the
-//! corresponding experiment in quick mode, so `cargo bench` both exercises
-//! every reproduction path end-to-end and tracks its wall-time cost. The
+//! `cargo bench -p ringnet-bench --bench experiments`
+//!
+//! Runs every experiment in quick mode, tracking its wall-time cost. The
 //! full sweeps (and the result tables in EXPERIMENTS.md) come from the
 //! `experiments` binary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-use harness::experiments as exp;
-use harness::Table;
-
-/// One benchmarked experiment: label plus its entry point.
-type Case = (&'static str, fn(bool) -> Table);
-
-fn bench_experiments(c: &mut Criterion) {
-    let cases: Vec<Case> = vec![
-        ("f1_hierarchy", exp::f1::run),
-        ("t1_throughput", exp::t1::run),
-        ("t2_latency_bound", exp::t2::run),
-        ("t3_buffer_bound", exp::t3::run),
-        ("e1_vs_flat_ring", exp::e1::run),
-        ("e2_handoff_disruption", exp::e2::run),
-        ("e3_token_recovery", exp::e3::run),
-        ("e4_ordering_penalty", exp::e4::run),
-        ("e5_reliability_vs_loss", exp::e5::run),
-        ("e6_mobility_cost", exp::e6::run),
-        ("e7_token_rotation", exp::e7::run),
-        ("e8_load_concentration", exp::e8::run),
-        ("a1_ablations", exp::a1::run),
-    ];
-    let mut g = c.benchmark_group("experiments_quick");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_secs(1));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    for (name, run) in cases {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let table = run(true);
-                assert!(!table.rows.is_empty());
-                black_box(table.rows.len())
-            })
-        });
-    }
-    g.finish();
+fn main() {
+    let mut r = ringnet_bench::micro::Runner::new().samples(3);
+    ringnet_bench::suites::experiments(&mut r);
+    println!("{}", r.report());
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

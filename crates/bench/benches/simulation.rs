@@ -1,92 +1,9 @@
-//! Simulator and whole-protocol benchmarks: raw event throughput of the
-//! discrete-event core, and end-to-end RingNet simulation cost per
-//! delivered message (the number that bounds every experiment's wall time).
+//! `cargo bench -p ringnet-bench --bench simulation`
+//!
+//! Simulator event throughput and end-to-end RingNet simulation cost.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use std::hint::black_box;
-
-use ringnet_core::hierarchy::TrafficPattern;
-use ringnet_core::{GroupId, HierarchyBuilder, RingNetSim};
-use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimTime};
-
-/// Minimal two-node ping-pong: measures pure event-loop + link overhead.
-struct Ping {
-    peer: Option<NodeAddr>,
-    budget: u32,
+fn main() {
+    let mut r = ringnet_bench::micro::Runner::new().samples(10);
+    ringnet_bench::suites::simulation(&mut r);
+    println!("{}", r.report());
 }
-
-impl Actor<u32, ()> for Ping {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, ()>) {
-        if let Some(p) = self.peer {
-            ctx.send(p, 0);
-        }
-    }
-    fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, ()>, from: NodeAddr, msg: u32) {
-        if self.budget > 0 {
-            self.budget -= 1;
-            ctx.send(from, msg + 1);
-        }
-    }
-    fn on_timer(&mut self, _: &mut Ctx<'_, u32, ()>, _: u64) {}
-}
-
-fn bench_event_loop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simnet");
-    const HOPS: u32 = 20_000;
-    g.throughput(Throughput::Elements(HOPS as u64));
-    g.bench_function("ping_pong_events", |b| {
-        b.iter_batched(
-            || {
-                let mut sim: Sim<u32, ()> = Sim::with_options(1, false, |_| 0);
-                let a = sim.add_node(Box::new(Ping { peer: None, budget: HOPS / 2 }));
-                let b2 = sim.add_node(Box::new(Ping { peer: Some(a), budget: HOPS / 2 }));
-                sim.world()
-                    .topo
-                    .connect_duplex(a, b2, LinkProfile::wired(SimDuration::from_micros(10)));
-                sim
-            },
-            |mut sim| {
-                sim.run_to_quiescence(1_000_000);
-                black_box(sim.stats().packets_delivered)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_ringnet_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ringnet");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_secs(1));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    // One simulated second of the Figure-1 topology at 100 msg/s.
-    g.bench_function("figure1_one_sim_second", |b| {
-        b.iter_batched(
-            || {
-                let spec = HierarchyBuilder::new(GroupId(1))
-                    .source_pattern(TrafficPattern::Cbr {
-                        interval: SimDuration::from_millis(10),
-                    })
-                    .config(ringnet_core::ProtocolConfig::default().quiet())
-                    .build();
-                RingNetSim::build(spec, 7)
-            },
-            |mut net| {
-                net.run_until(SimTime::from_secs(1));
-                black_box(net.sim.stats().events)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("figure1_build", |b| {
-        b.iter(|| {
-            let spec = HierarchyBuilder::new(GroupId(1)).build();
-            black_box(RingNetSim::build(spec, 7).sim.node_count())
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_event_loop, bench_ringnet_end_to_end);
-criterion_main!(benches);

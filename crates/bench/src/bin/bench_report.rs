@@ -1,0 +1,23 @@
+//! Run the whole benchmark suite once and write the machine-readable
+//! `BENCH_ringnet.json` perf-trajectory document.
+//!
+//! ```text
+//! cargo run --release -p ringnet-bench --bin bench_report [-- <path>]
+//! ```
+//!
+//! Defaults to `BENCH_ringnet.json` in the current directory.
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ringnet.json".to_string());
+    let mut r = ringnet_bench::micro::Runner::new().samples(5);
+    eprintln!("datastructures suite…");
+    ringnet_bench::suites::datastructures(&mut r);
+    eprintln!("simulation suite…");
+    ringnet_bench::suites::simulation(&mut r);
+    eprintln!("experiments (quick) suite…");
+    ringnet_bench::suites::experiments(&mut r);
+    std::fs::write(&path, r.to_json()).expect("write bench json");
+    eprintln!("wrote {path} ({} benches)", r.results.len());
+}

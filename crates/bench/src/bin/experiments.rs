@@ -39,15 +39,19 @@ fn main() {
         ("a1", exp::a1::run),
     ];
 
+    let unknown: Vec<&&str> = ids
+        .iter()
+        .filter(|id| !all.iter().any(|(known, _)| known == *id))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment id(s) {unknown:?}; known: f1 t1 t2 t3 e1..e8 a1");
+        std::process::exit(2);
+    }
     let selected: Vec<&Experiment> = if ids.is_empty() {
         all.iter().collect()
     } else {
         all.iter().filter(|(id, _)| ids.contains(id)).collect()
     };
-    if selected.is_empty() {
-        eprintln!("unknown experiment id(s) {ids:?}; known: f1 t1 t2 t3 e1..e8 a1");
-        std::process::exit(2);
-    }
 
     eprintln!(
         "running {} experiment(s), {} mode",

@@ -1,17 +1,24 @@
 //! # ringnet-bench — the benchmark harness
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! * the **`experiments` binary** (`cargo run --release -p ringnet-bench
 //!   --bin experiments [-- quick] [-- <id>…]`) regenerates every
 //!   table/figure of the paper's evaluation (DESIGN.md §4) and prints the
 //!   result tables recorded in EXPERIMENTS.md;
-//! * the **criterion benches** (`cargo bench -p ringnet-bench`) measure the
+//! * the **benches** (`cargo bench -p ringnet-bench`) measure the
 //!   implementation itself: core data-structure hot paths
 //!   (`datastructures`), simulator event throughput (`simulation`), and a
-//!   per-experiment end-to-end run (`experiments`).
+//!   per-experiment end-to-end run (`experiments`) — all on the in-repo
+//!   [`micro`] harness (the workspace is dependency-free, so no criterion);
+//! * the **`bench_report` binary** runs the whole suite once and writes the
+//!   machine-readable `BENCH_ringnet.json` used to track the perf
+//!   trajectory across PRs.
 
 #![warn(missing_docs)]
+
+pub mod micro;
+pub mod suites;
 
 /// Re-export for the benches.
 pub use harness::experiments;

@@ -1,0 +1,208 @@
+//! The benchmark suites, shared by the `cargo bench` targets and the
+//! `bench_report` binary that emits `BENCH_ringnet.json`.
+
+use std::hint::black_box;
+
+use ringnet_core::hierarchy::TrafficPattern;
+use ringnet_core::{
+    GlobalSeq, GroupId, HierarchyBuilder, LocalRange, LocalSeq, MessageQueue, MsgData, NodeId,
+    OrderingToken, PayloadId, RingNetSim, WorkingQueue, WorkingTable,
+};
+use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimTime};
+
+use crate::micro::Runner;
+
+fn data(i: u64) -> MsgData {
+    MsgData {
+        source: NodeId(0),
+        local_seq: LocalSeq(i),
+        ordering_node: NodeId(0),
+        payload: PayloadId(i),
+    }
+}
+
+/// Microbenchmarks of the paper's data structures (§4.1): `MQ`, `WQ`, the
+/// ordering token, the working table, and the measurement histogram.
+/// These are the per-message hot paths of every simulated entity.
+pub fn datastructures(r: &mut Runner) {
+    const N: u64 = 1024;
+
+    r.bench("mq", "insert_poll_inorder", Some(N), || {
+        let mut q = MessageQueue::new(N as usize + 1);
+        for i in 1..=N {
+            q.insert(GlobalSeq(i), data(i));
+        }
+        black_box(q.poll_deliverable().len())
+    });
+
+    r.bench("mq", "insert_poll_reversed", Some(N), || {
+        let mut q = MessageQueue::new(N as usize + 1);
+        for i in (1..=N).rev() {
+            q.insert(GlobalSeq(i), data(i));
+        }
+        black_box(q.poll_deliverable().len())
+    });
+
+    r.bench("mq", "steady_state_window", Some(N), || {
+        // The realistic pattern: insert, deliver, ack, GC — a sliding window.
+        let mut q = MessageQueue::new(64);
+        for i in 1..=N {
+            q.insert(GlobalSeq(i), data(i));
+            q.poll_deliverable();
+            if i % 8 == 0 {
+                q.gc_to(GlobalSeq(i - 4));
+            }
+        }
+        black_box(q.occupancy())
+    });
+
+    r.bench("wq", "insert_order_gc", Some(N), || {
+        let mut wq = WorkingQueue::new(N as usize + 1);
+        for i in 1..=N {
+            wq.insert(NodeId(0), LocalSeq(i), PayloadId(i));
+        }
+        let out = wq.take_orderable(
+            NodeId(0),
+            NodeId(0),
+            LocalRange::new(LocalSeq(1), LocalSeq(N)),
+            GlobalSeq(1),
+        );
+        wq.ack_from_next(NodeId(0), LocalSeq(N));
+        wq.gc();
+        black_box(out.len())
+    });
+
+    r.bench("token", "assign_rotate_prune", None, || {
+        let mut t = OrderingToken::new(GroupId(1), NodeId(0));
+        for round in 0..64u64 {
+            let base = round * 16 + 1;
+            t.assign(
+                NodeId((round % 4) as u32),
+                NodeId((round % 4) as u32),
+                LocalRange::new(LocalSeq(base), LocalSeq(base + 15)),
+            );
+            t.complete_rotation();
+        }
+        black_box(t.next_gsn)
+    });
+
+    r.bench(
+        "working_table",
+        "ack_min_progress_64_children",
+        None,
+        || {
+            let mut wt = WorkingTable::new();
+            for i in 0..64u32 {
+                wt.register(NodeId(i), GlobalSeq::ZERO);
+            }
+            for x in 1..=256u64 {
+                wt.ack(NodeId((x % 64) as u32), GlobalSeq(x));
+                black_box(wt.min_progress());
+            }
+            black_box(wt.min_progress())
+        },
+    );
+
+    r.bench("histogram", "add_and_quantile", Some(4096), || {
+        let mut h = simnet::Histogram::new();
+        let mut v = 1u64;
+        for _ in 0..4096 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.add(v >> 40);
+        }
+        black_box((h.quantile(0.5), h.quantile(0.99)))
+    });
+}
+
+/// Minimal two-node ping-pong: measures pure event-loop + link overhead.
+struct Ping {
+    peer: Option<NodeAddr>,
+    budget: u32,
+}
+
+impl Actor<u32, ()> for Ping {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, ()>) {
+        if let Some(p) = self.peer {
+            ctx.send(p, 0);
+        }
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, ()>, from: NodeAddr, msg: u32) {
+        if self.budget > 0 {
+            self.budget -= 1;
+            ctx.send(from, msg + 1);
+        }
+    }
+    fn on_timer(&mut self, _: &mut Ctx<'_, u32, ()>, _: u64) {}
+}
+
+/// Simulator and whole-protocol benchmarks: raw event throughput of the
+/// discrete-event core, and end-to-end RingNet simulation cost per
+/// delivered message (the number that bounds every experiment's wall time).
+pub fn simulation(r: &mut Runner) {
+    const HOPS: u32 = 20_000;
+    r.bench("simnet", "ping_pong_events", Some(HOPS as u64), || {
+        let mut sim: Sim<u32, ()> = Sim::with_options(1, false, |_| 0);
+        let a = sim.add_node(Box::new(Ping {
+            peer: None,
+            budget: HOPS / 2,
+        }));
+        let b2 = sim.add_node(Box::new(Ping {
+            peer: Some(a),
+            budget: HOPS / 2,
+        }));
+        sim.world()
+            .topo
+            .connect_duplex(a, b2, LinkProfile::wired(SimDuration::from_micros(10)));
+        sim.run_to_quiescence(1_000_000);
+        black_box(sim.stats().packets_delivered)
+    });
+
+    // One simulated second of the Figure-1 topology at 100 msg/s.
+    r.bench("ringnet", "figure1_one_sim_second", None, || {
+        let spec = HierarchyBuilder::new(GroupId(1))
+            .source_pattern(TrafficPattern::Cbr {
+                interval: SimDuration::from_millis(10),
+            })
+            .config(ringnet_core::ProtocolConfig::default().quiet())
+            .build();
+        let mut net = RingNetSim::build(spec, 7);
+        net.run_until(SimTime::from_secs(1));
+        black_box(net.sim.stats().events)
+    });
+
+    r.bench("ringnet", "figure1_build", None, || {
+        let spec = HierarchyBuilder::new(GroupId(1)).build();
+        black_box(RingNetSim::build(spec, 7).sim.node_count())
+    });
+}
+
+/// One bench per paper table/figure (DESIGN.md §4): each runs the
+/// corresponding experiment in quick mode, so the suite both exercises
+/// every reproduction path end-to-end and tracks its wall-time cost.
+pub fn experiments(r: &mut Runner) {
+    use harness::experiments as exp;
+    use harness::Table;
+    type Case = (&'static str, fn(bool) -> Table);
+    let cases: Vec<Case> = vec![
+        ("f1_hierarchy", exp::f1::run),
+        ("t1_throughput", exp::t1::run),
+        ("t2_latency_bound", exp::t2::run),
+        ("t3_buffer_bound", exp::t3::run),
+        ("e1_vs_flat_ring", exp::e1::run),
+        ("e2_handoff_disruption", exp::e2::run),
+        ("e3_token_recovery", exp::e3::run),
+        ("e4_ordering_penalty", exp::e4::run),
+        ("e5_reliability_vs_loss", exp::e5::run),
+        ("e6_mobility_cost", exp::e6::run),
+        ("e7_token_rotation", exp::e7::run),
+        ("e8_load_concentration", exp::e8::run),
+        ("a1_ablations", exp::a1::run),
+    ];
+    for (name, run) in cases {
+        r.bench("experiments_quick", name, None, || {
+            let table = run(true);
+            assert!(!table.rows.is_empty());
+            black_box(table.rows.len())
+        });
+    }
+}

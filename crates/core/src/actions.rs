@@ -54,7 +54,19 @@ mod tests {
     fn constructors_address_correctly() {
         let a = Action::to_ne(NodeId(1), Msg::Heartbeat { group: GroupId(0) });
         let b = Action::to_mh(Guid(2), Msg::Heartbeat { group: GroupId(0) });
-        assert!(matches!(a, Action::Send { to: Endpoint::Ne(NodeId(1)), .. }));
-        assert!(matches!(b, Action::Send { to: Endpoint::Mh(Guid(2)), .. }));
+        assert!(matches!(
+            a,
+            Action::Send {
+                to: Endpoint::Ne(NodeId(1)),
+                ..
+            }
+        ));
+        assert!(matches!(
+            b,
+            Action::Send {
+                to: Endpoint::Mh(Guid(2)),
+                ..
+            }
+        ));
     }
 }

@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn slack_check() {
         assert!(within_buffer_bound(10.0, 5.0));
-        assert!(within_buffer_bound(15.0, 0.0), "additive slack covers tiny bounds");
+        assert!(
+            within_buffer_bound(15.0, 0.0),
+            "additive slack covers tiny bounds"
+        );
         assert!(!within_buffer_bound(1000.0, 5.0));
     }
 

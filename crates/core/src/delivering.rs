@@ -125,7 +125,13 @@ impl NeState {
 
     /// Path-reservation request from a nearby AP (§3): pre-join the
     /// distribution tree so an imminent handoff finds traffic flowing.
-    pub(crate) fn on_reserve(&mut self, now: SimTime, origin_ap: NodeId, radius: u8, out: &mut Outbox) {
+    pub(crate) fn on_reserve(
+        &mut self,
+        now: SimTime,
+        origin_ap: NodeId,
+        radius: u8,
+        out: &mut Outbox,
+    ) {
         let me = self.id;
         let group = self.group;
         let ttl = self.cfg.reservation_ttl;
@@ -134,7 +140,10 @@ impl NeState {
         if until > ap.reservation_until {
             ap.reservation_until = until;
         }
-        out.push(Action::Record(ProtoEvent::Reserved { ap: me, origin: origin_ap }));
+        out.push(Action::Record(ProtoEvent::Reserved {
+            ap: me,
+            origin: origin_ap,
+        }));
         // Propagate outward while radius remains.
         if radius > 1 {
             for nb in ap.neighbours.clone() {
@@ -217,7 +226,11 @@ impl NeState {
             if let Some(&data) = self.mq.get(g) {
                 out.push(Action::Send {
                     to,
-                    msg: Msg::Data { group, gsn: g, data },
+                    msg: Msg::Data {
+                        group,
+                        gsn: g,
+                        data,
+                    },
                 });
                 self.counters.data_sent += 1;
             }
@@ -254,13 +267,26 @@ mod tests {
         );
         let mut out = Vec::new();
         for g in 1..=upto {
-            n.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(g), data(g), &mut out);
+            n.on_data(
+                SimTime::ZERO,
+                Endpoint::Ne(NodeId(10)),
+                GlobalSeq(g),
+                data(g),
+                &mut out,
+            );
         }
         n
     }
 
     fn ap(always_active: bool, neighbours: Vec<NodeId>) -> NeState {
-        NeState::new_ap(G, NodeId(99), vec![NodeId(20)], always_active, neighbours, ProtocolConfig::default())
+        NeState::new_ap(
+            G,
+            NodeId(99),
+            vec![NodeId(20)],
+            always_active,
+            neighbours,
+            ProtocolConfig::default(),
+        )
     }
 
     #[test]
@@ -273,17 +299,30 @@ mod tests {
         let datas: Vec<GlobalSeq> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { msg: Msg::Data { gsn, .. }, .. } => Some(*gsn),
+                Action::Send {
+                    msg: Msg::Data { gsn, .. },
+                    ..
+                } => Some(*gsn),
                 _ => None,
             })
             .collect();
         assert_eq!(datas, vec![GlobalSeq(3), GlobalSeq(4), GlobalSeq(5)]);
-        assert!(out.iter().any(|a| matches!(a, Action::Send { msg: Msg::GraftAck { .. }, .. })));
-        assert!(out.iter().any(|a| matches!(a, Action::Record(ProtoEvent::Grafted { .. }))));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::GraftAck { .. },
+                ..
+            }
+        )));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Action::Record(ProtoEvent::Grafted { .. }))));
         // Re-graft: no second Grafted record.
         out.clear();
         n.on_graft(SimTime::from_millis(1), NodeId(99), GlobalSeq(5), &mut out);
-        assert!(!out.iter().any(|a| matches!(a, Action::Record(ProtoEvent::Grafted { .. }))));
+        assert!(!out
+            .iter()
+            .any(|a| matches!(a, Action::Record(ProtoEvent::Grafted { .. }))));
     }
 
     #[test]
@@ -295,7 +334,9 @@ mod tests {
         n.on_prune(SimTime::ZERO, NodeId(99), &mut out);
         assert!(n.children.is_empty());
         assert!(n.wt_children.is_empty());
-        assert!(out.iter().any(|a| matches!(a, Action::Record(ProtoEvent::Pruned { .. }))));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Action::Record(ProtoEvent::Pruned { .. }))));
         // Double prune is silent.
         out.clear();
         n.on_prune(SimTime::ZERO, NodeId(99), &mut out);
@@ -308,17 +349,35 @@ mod tests {
         // Give the AP some history.
         let mut out = Vec::new();
         for g in 1..=4u64 {
-            n.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(20)), GlobalSeq(g), data(g), &mut out);
+            n.on_data(
+                SimTime::ZERO,
+                Endpoint::Ne(NodeId(20)),
+                GlobalSeq(g),
+                data(g),
+                &mut out,
+            );
         }
         out.clear();
         n.on_join(SimTime::from_millis(1), Guid(7), &mut out);
         // JoinAck tells the MH to start after the AP's current front.
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Send { msg: Msg::JoinAck { start_from: GlobalSeq(4), .. }, .. }
+            Action::Send {
+                msg: Msg::JoinAck {
+                    start_from: GlobalSeq(4),
+                    ..
+                },
+                ..
+            }
         )));
         // No history replay on join.
-        assert!(!out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Data { .. }, .. })));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Data { .. },
+                ..
+            }
+        )));
         assert_eq!(n.pending_delta, 1);
         assert_eq!(n.subtree_members, 1);
         // Duplicate join does not double-count.
@@ -346,21 +405,33 @@ mod tests {
         let mut n = ap(true, vec![]);
         let mut out = Vec::new();
         for g in 1..=6u64 {
-            n.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(20)), GlobalSeq(g), data(g), &mut out);
+            n.on_data(
+                SimTime::ZERO,
+                Endpoint::Ne(NodeId(20)),
+                GlobalSeq(g),
+                data(g),
+                &mut out,
+            );
         }
         out.clear();
         n.on_handoff_register(SimTime::from_millis(1), Guid(3), GlobalSeq(4), &mut out);
         let datas: Vec<GlobalSeq> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Mh(Guid(3)), msg: Msg::Data { gsn, .. } } => Some(*gsn),
+                Action::Send {
+                    to: Endpoint::Mh(Guid(3)),
+                    msg: Msg::Data { gsn, .. },
+                } => Some(*gsn),
                 _ => None,
             })
             .collect();
         assert_eq!(datas, vec![GlobalSeq(5), GlobalSeq(6)]);
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Record(ProtoEvent::HandoffRegistered { resume: GlobalSeq(4), .. })
+            Action::Record(ProtoEvent::HandoffRegistered {
+                resume: GlobalSeq(4),
+                ..
+            })
         )));
     }
 
@@ -372,7 +443,15 @@ mod tests {
         n.on_join(SimTime::ZERO, Guid(1), &mut out);
         let grafts: Vec<_> = out
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: Msg::Graft { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: Msg::Graft { .. },
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(grafts.len(), 1);
         assert_eq!(n.parent, Some(NodeId(20)));
@@ -394,13 +473,22 @@ mod tests {
         let fwd: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(n), msg: Msg::Reserve { radius, .. } } => Some((*n, *radius)),
+                Action::Send {
+                    to: Endpoint::Ne(n),
+                    msg: Msg::Reserve { radius, .. },
+                } => Some((*n, *radius)),
                 _ => None,
             })
             .collect();
         assert_eq!(fwd, vec![(NodeId(97), 1)]);
         // It also grafted (activation).
-        assert!(out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Graft { .. }, .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Graft { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -408,7 +496,13 @@ mod tests {
         let mut n = ap(false, vec![NodeId(98)]);
         let mut out = Vec::new();
         n.on_reserve(SimTime::from_secs(1), NodeId(96), 1, &mut out);
-        assert!(!out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Reserve { .. }, .. })));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Reserve { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -419,7 +513,10 @@ mod tests {
         let targets: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(n), msg: Msg::Reserve { .. } } => Some(*n),
+                Action::Send {
+                    to: Endpoint::Ne(n),
+                    msg: Msg::Reserve { .. },
+                } => Some(*n),
                 _ => None,
             })
             .collect();
@@ -432,6 +529,12 @@ mod tests {
         let mut n = NeState::new_ap(G, NodeId(99), vec![NodeId(20)], true, vec![NodeId(98)], cfg);
         let mut out = Vec::new();
         n.on_join(SimTime::ZERO, Guid(1), &mut out);
-        assert!(!out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Reserve { .. }, .. })));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Reserve { .. },
+                ..
+            }
+        )));
     }
 }

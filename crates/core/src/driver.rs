@@ -1,0 +1,1005 @@
+//! The protocol-generic driver API: one [`Scenario`] description, one
+//! [`MulticastSim`] trait, one [`RunReport`] — for RingNet *and* every
+//! comparator protocol.
+//!
+//! The paper's whole argument is comparative (RingNet vs a flat logical
+//! ring, an unordered hierarchy, tree multicast, home-agent tunnelling and
+//! a RelM-style supervisor), so the repo treats the multicast protocol as a
+//! pluggable component: a [`Scenario`] declares the *world* — attachment
+//! points, mobile hosts, traffic, link profiles, and a schedule of
+//! handoffs/failures/late joins — in protocol-agnostic terms, and each
+//! backend maps it onto its own structure:
+//!
+//! | backend | attachment point becomes | wired core |
+//! |---------|--------------------------|-----------|
+//! | `RingNetSim` | an AP under the BR/AG hierarchy | BRs + AGs |
+//! | `baselines::FlatRingSim` | a base station on one big ring | all stations |
+//! | `baselines::UnorderedSim` | an AP under the same hierarchy | BRs + AGs |
+//! | `baselines::TreeSim` | a leaf of a degenerate (ring-of-one) tree | root + routers |
+//! | `baselines::TunnelSim` | a foreign-agent AP | the home agent |
+//! | `baselines::RelmSim` | an MSS under the supervisor | the supervisor host |
+//!
+//! Identity mapping is uniform: **walker `i` is `Guid(i)`** and
+//! **attachment `k` is the backend's `k`-th attachment entity** in every
+//! backend, so one journal analysis (see [`crate::metrics`]) compares runs
+//! across protocols.
+//!
+//! ```
+//! use ringnet_core::driver::{MulticastSim, ScenarioBuilder};
+//! use ringnet_core::engine::RingNetSim;
+//! use simnet::{SimDuration, SimTime};
+//!
+//! let scenario = ScenarioBuilder::new()
+//!     .attachments(4)
+//!     .walkers_per_attachment(1)
+//!     .cbr(SimDuration::from_millis(20))
+//!     .message_limit(10)
+//!     .duration(SimTime::from_secs(3))
+//!     .build();
+//! let report = RingNetSim::run_scenario(&scenario, 42);
+//! assert_eq!(report.metrics.order_violations, 0);
+//! assert!(report.metrics.delivered > 0);
+//! ```
+
+use std::collections::BTreeSet;
+
+use simnet::{Histogram, LinkProfile, SimDuration, SimStats, SimTime};
+
+use crate::engine::RingNetSim;
+use crate::hierarchy::{
+    figure1, AgRingSpec, ApSpec, HierarchyBuilder, HierarchySpec, LinkPlan, MhSpec, SourceSpec,
+    TrafficPattern,
+};
+use crate::ids::{GroupId, Guid, NodeId};
+use crate::metrics;
+use crate::ProtoEvent;
+use crate::ProtocolConfig;
+
+// ------------------------------------------------------------- scenario
+
+/// How tree-capable backends shape their wired core. Backends without a
+/// configurable core (flat ring, tunnel, RelM) ignore the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreShape {
+    /// Pick a balanced shape from the attachment count (two+ BRs, one AG
+    /// ring of roughly one AG per four attachment points — the shape the
+    /// mobility experiments use).
+    Auto,
+    /// An explicit regular hierarchy: `brs` top-ring BRs, `rings` AG rings
+    /// of `ags_per_ring` AGs. The attachment count must divide evenly into
+    /// `rings × ags_per_ring` APs.
+    Hierarchy {
+        /// BRs on the top ring.
+        brs: usize,
+        /// Number of AG rings.
+        rings: usize,
+        /// AGs per ring.
+        ags_per_ring: usize,
+    },
+    /// The paper's Figure 1 topology (4 BRs, 3 rings × 3 AGs, 9 APs).
+    /// Use [`ScenarioBuilder::figure1`], which also sizes the attachments
+    /// and walkers to match.
+    Figure1,
+}
+
+/// One scheduled world event. Times are simulation times; identities are
+/// protocol-agnostic (walker numbers and attachment indices).
+///
+/// Backends without the corresponding mechanism ignore an event: the
+/// static-membership baselines (unordered, RelM) ignore mobility events,
+/// and only the RingNet-engine backends (RingNet, tree) implement
+/// failures. This is deliberate — a `Scenario` describes what the world
+/// *does*, and a protocol that cannot react is exactly what the
+/// comparison experiments measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioEvent {
+    /// Walker `walker` moves: its radio detaches from the current
+    /// attachment and attaches at attachment `to`.
+    Handoff {
+        /// When the radio switches.
+        at: SimTime,
+        /// The moving walker.
+        walker: usize,
+        /// Destination attachment index.
+        to: usize,
+    },
+    /// A walker built with no initial attachment joins the group at
+    /// attachment `at_ap`.
+    Join {
+        /// When the join happens.
+        at: SimTime,
+        /// The joining walker.
+        walker: usize,
+        /// Attachment index joined at.
+        at_ap: usize,
+    },
+    /// Crash-stop failure of the `index`-th wired-core entity (backend
+    /// order: RingNet/unordered = BRs then AGs; flat ring = stations;
+    /// tree = root then routers). The index must be in range for the
+    /// backend's core — backends that implement failures panic on an
+    /// out-of-range index rather than silently killing a different
+    /// entity.
+    KillCore {
+        /// When the entity dies.
+        at: SimTime,
+        /// Index into the backend's wired-core entity list.
+        index: usize,
+    },
+    /// Crash-stop failure of a walker.
+    KillWalker {
+        /// When the walker dies.
+        at: SimTime,
+        /// The dying walker.
+        walker: usize,
+    },
+}
+
+/// A protocol-agnostic deployment + workload + schedule description: the
+/// one input every [`MulticastSim`] backend builds from.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The multicast group.
+    pub group: GroupId,
+    /// Protocol parameters shared by every entity (backends that have no
+    /// use for a knob ignore it).
+    pub cfg: ProtocolConfig,
+    /// Number of attachment points (cells / APs / stations / MSSs).
+    pub attachments: usize,
+    /// Optional grid width: attachment `i` sits at cell `(i % cols,
+    /// i / cols)` and neighbour relations (the reservation scope) use
+    /// 4-connectivity. `None` = attachments form a chain.
+    pub grid_cols: Option<usize>,
+    /// Per-walker initial attachment; `None` = joins later via a
+    /// [`ScenarioEvent::Join`] (backends without late-join support attach
+    /// such walkers at attachment 0).
+    pub walkers: Vec<Option<usize>>,
+    /// Number of multicast sources (backends with a single ingest point —
+    /// tunnel, RelM — clamp to their capability; RingNet-family backends
+    /// place one source per top-ring node).
+    pub sources: usize,
+    /// Traffic pattern shared by all sources.
+    pub pattern: TrafficPattern,
+    /// First transmission time.
+    pub start: SimTime,
+    /// Sources stop at this time (None = never).
+    pub stop: Option<SimTime>,
+    /// Per-source message limit (None = unlimited).
+    pub limit: Option<u64>,
+    /// Link profiles; backends draw the scopes they have (a flat ring uses
+    /// `top_ring` + `wireless`; the tunnel's home detour uses `top_ring`).
+    pub links: LinkPlan,
+    /// Wired-core shape hint for tree-capable backends.
+    pub shape: CoreShape,
+    /// Whether attachment entities are statically in the distribution tree
+    /// (disable for mobility scenarios so activation is member-driven).
+    pub aps_always_active: bool,
+    /// The world schedule: handoffs, late joins, failures.
+    pub events: Vec<ScenarioEvent>,
+    /// How long [`MulticastSim::run_scenario`] runs before tearing down.
+    pub duration: SimTime,
+}
+
+impl Scenario {
+    /// Start building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
+    /// Structural validation; returns human-readable problems (empty = ok).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.attachments == 0 {
+            problems.push("no attachment points".into());
+        }
+        if self.sources == 0 {
+            problems.push("no sources".into());
+        }
+        for (w, att) in self.walkers.iter().enumerate() {
+            if let Some(a) = att {
+                if *a >= self.attachments {
+                    problems.push(format!("walker {w} starts at nonexistent attachment {a}"));
+                }
+            }
+        }
+        if let Some(cols) = self.grid_cols {
+            if cols == 0 || !self.attachments.is_multiple_of(cols) {
+                problems.push(format!(
+                    "grid width {cols} does not tile {} attachments",
+                    self.attachments
+                ));
+            }
+        }
+        if let CoreShape::Hierarchy {
+            brs,
+            rings,
+            ags_per_ring,
+        } = self.shape
+        {
+            if brs == 0 || rings == 0 || ags_per_ring == 0 {
+                problems.push("empty hierarchy shape".into());
+            } else if !self.attachments.is_multiple_of(rings * ags_per_ring) {
+                problems.push(format!(
+                    "{} attachments do not divide into {rings}×{ags_per_ring} AGs",
+                    self.attachments
+                ));
+            }
+            if self.sources > brs {
+                problems.push(format!(
+                    "{} sources > {brs} BRs (the paper assumes s ≤ r)",
+                    self.sources
+                ));
+            }
+        }
+        for ev in &self.events {
+            let (walker, att) = match *ev {
+                ScenarioEvent::Handoff { walker, to, .. } => (Some(walker), Some(to)),
+                ScenarioEvent::Join { walker, at_ap, .. } => (Some(walker), Some(at_ap)),
+                ScenarioEvent::KillCore { .. } => (None, None),
+                ScenarioEvent::KillWalker { walker, .. } => (Some(walker), None),
+            };
+            if let Some(w) = walker {
+                if w >= self.walkers.len() {
+                    problems.push(format!("event on nonexistent walker {w}"));
+                }
+            }
+            if let Some(a) = att {
+                if a >= self.attachments {
+                    problems.push(format!("event targets nonexistent attachment {a}"));
+                }
+            }
+        }
+        problems
+    }
+
+    /// Neighbour attachment indices of attachment `i` under this
+    /// scenario's spatial arrangement (grid 4-connectivity, else chain).
+    pub fn neighbours_of(&self, i: usize) -> Vec<usize> {
+        if let Some(cols) = self.grid_cols {
+            let (x, y) = (i % cols, i / cols);
+            let rows = self.attachments / cols;
+            let mut out = Vec::with_capacity(4);
+            if x > 0 {
+                out.push(i - 1);
+            }
+            if x + 1 < cols {
+                out.push(i + 1);
+            }
+            if y > 0 {
+                out.push(i - cols);
+            }
+            if y + 1 < rows {
+                out.push(i + cols);
+            }
+            out
+        } else {
+            let mut out = Vec::with_capacity(2);
+            if i > 0 {
+                out.push(i - 1);
+            }
+            if i + 1 < self.attachments {
+                out.push(i + 1);
+            }
+            out
+        }
+    }
+
+    /// The initial attachment of every walker for static-membership
+    /// backends (unordered, RelM): walkers with an initial attachment keep
+    /// it; a late joiner is attached at its [`ScenarioEvent::Join`] target
+    /// from the start (or attachment 0 with no join scheduled). One shared
+    /// rule so every static backend places late joiners identically.
+    pub fn static_placements(&self) -> Vec<usize> {
+        let mut placements: Vec<usize> = self.walkers.iter().map(|w| w.unwrap_or(0)).collect();
+        for ev in &self.events {
+            if let ScenarioEvent::Join { walker, at_ap, .. } = *ev {
+                if self.walkers.get(walker) == Some(&None) {
+                    placements[walker] = at_ap;
+                }
+            }
+        }
+        placements
+    }
+}
+
+/// Fluent constructor for [`Scenario`] — the one piece of glue every
+/// experiment, example and test shares.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    sc: Scenario,
+    walkers_per_attachment: Option<usize>,
+}
+
+impl ScenarioBuilder {
+    /// Defaults: group 1, default protocol config, 4 attachments in a
+    /// chain, one walker per attachment, one 100 msg/s CBR source, default
+    /// links, auto core shape, always-active attachments, 5 s duration.
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            sc: Scenario {
+                group: GroupId(1),
+                cfg: ProtocolConfig::default(),
+                attachments: 4,
+                grid_cols: None,
+                walkers: Vec::new(),
+                sources: 1,
+                pattern: TrafficPattern::Cbr {
+                    interval: SimDuration::from_millis(10),
+                },
+                start: SimTime::ZERO,
+                stop: None,
+                limit: None,
+                links: LinkPlan::default(),
+                shape: CoreShape::Auto,
+                aps_always_active: true,
+                events: Vec::new(),
+                duration: SimTime::from_secs(5),
+            },
+            walkers_per_attachment: Some(1),
+        }
+    }
+
+    /// The paper's Figure 1 deployment: 9 attachments under the Figure-1
+    /// hierarchy, one walker per attachment.
+    pub fn figure1(group: GroupId) -> Self {
+        let spec = figure1(group);
+        let mut b = Self::new();
+        b.sc.group = group;
+        b.sc.attachments = spec.aps.len();
+        b.sc.shape = CoreShape::Figure1;
+        b
+    }
+
+    /// The multicast group.
+    pub fn group(mut self, g: GroupId) -> Self {
+        self.sc.group = g;
+        self
+    }
+
+    /// Protocol parameters.
+    pub fn config(mut self, cfg: ProtocolConfig) -> Self {
+        self.sc.cfg = cfg;
+        self
+    }
+
+    /// Number of attachment points, arranged in a chain.
+    pub fn attachments(mut self, n: usize) -> Self {
+        self.sc.attachments = n;
+        self.sc.grid_cols = None;
+        self
+    }
+
+    /// Attachment points arranged in a `cols × rows` grid (neighbour scope
+    /// = 4-connectivity).
+    pub fn grid(mut self, cols: usize, rows: usize) -> Self {
+        self.sc.attachments = cols * rows;
+        self.sc.grid_cols = Some(cols);
+        self
+    }
+
+    /// Place `n` walkers at every attachment point (the regular layout).
+    pub fn walkers_per_attachment(mut self, n: usize) -> Self {
+        self.walkers_per_attachment = Some(n);
+        self.sc.walkers.clear();
+        self
+    }
+
+    /// Explicit walker placement: `placements[i]` is walker `i`'s initial
+    /// attachment (`None` = joins later).
+    pub fn walkers(mut self, placements: Vec<Option<usize>>) -> Self {
+        self.walkers_per_attachment = None;
+        self.sc.walkers = placements;
+        self
+    }
+
+    /// Append one walker at `attachment` (or a late joiner with `None`).
+    pub fn walker(mut self, attachment: Option<usize>) -> Self {
+        self.walkers_per_attachment = None;
+        self.sc.walkers.push(attachment);
+        self
+    }
+
+    /// Number of multicast sources.
+    pub fn sources(mut self, n: usize) -> Self {
+        self.sc.sources = n;
+        self
+    }
+
+    /// Traffic pattern shared by all sources.
+    pub fn pattern(mut self, p: TrafficPattern) -> Self {
+        self.sc.pattern = p;
+        self
+    }
+
+    /// CBR traffic with the given inter-message interval.
+    pub fn cbr(self, interval: SimDuration) -> Self {
+        self.pattern(TrafficPattern::Cbr { interval })
+    }
+
+    /// Poisson traffic at `rate` messages/second.
+    pub fn poisson(self, rate: f64) -> Self {
+        self.pattern(TrafficPattern::Poisson { rate })
+    }
+
+    /// Source start/stop window.
+    pub fn window(mut self, start: SimTime, stop: Option<SimTime>) -> Self {
+        self.sc.start = start;
+        self.sc.stop = stop;
+        self
+    }
+
+    /// Per-source message limit.
+    pub fn message_limit(mut self, limit: u64) -> Self {
+        self.sc.limit = Some(limit);
+        self
+    }
+
+    /// Full link plan.
+    pub fn links(mut self, links: LinkPlan) -> Self {
+        self.sc.links = links;
+        self
+    }
+
+    /// Override just the wireless (last-hop) profile.
+    pub fn wireless(mut self, profile: LinkProfile) -> Self {
+        self.sc.links.wireless = profile;
+        self
+    }
+
+    /// Loss-free 2 ms wireless — Theorem 5.1's "without retransmission"
+    /// assumption, shared by most comparison experiments.
+    pub fn loss_free_wireless(self) -> Self {
+        self.wireless(LinkProfile::wired(SimDuration::from_millis(2)))
+    }
+
+    /// Wired-core shape hint.
+    pub fn shape(mut self, shape: CoreShape) -> Self {
+        self.sc.shape = shape;
+        self
+    }
+
+    /// Whether attachments are statically in the tree (disable for
+    /// mobility scenarios).
+    pub fn aps_always_active(mut self, v: bool) -> Self {
+        self.sc.aps_always_active = v;
+        self
+    }
+
+    /// Append one scheduled event.
+    pub fn event(mut self, ev: ScenarioEvent) -> Self {
+        self.sc.events.push(ev);
+        self
+    }
+
+    /// Append many scheduled events.
+    pub fn events(mut self, evs: impl IntoIterator<Item = ScenarioEvent>) -> Self {
+        self.sc.events.extend(evs);
+        self
+    }
+
+    /// How long [`MulticastSim::run_scenario`] runs before teardown.
+    pub fn duration(mut self, d: SimTime) -> Self {
+        self.sc.duration = d;
+        self
+    }
+
+    /// Finish. Panics on an invalid scenario (use [`Scenario::validate`]
+    /// on the built value for graceful handling).
+    pub fn build(mut self) -> Scenario {
+        if let Some(per) = self.walkers_per_attachment {
+            self.sc.walkers = (0..self.sc.attachments)
+                .flat_map(|a| std::iter::repeat_n(Some(a), per))
+                .collect();
+        }
+        let problems = self.sc.validate();
+        assert!(problems.is_empty(), "invalid scenario: {problems:?}");
+        self.sc
+    }
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ------------------------------------------------------------- run report
+
+/// Protocol-agnostic summary metrics of one finished run, derived from the
+/// journal with [`crate::metrics`].
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Messages delivered to applications (sum over walkers).
+    pub delivered: u64,
+    /// Messages skipped as really-lost.
+    pub skipped: u64,
+    /// Duplicate receptions discarded.
+    pub duplicates: u64,
+    /// Handoffs performed.
+    pub handoffs: u64,
+    /// Walkers that reported final statistics.
+    pub mhs: u64,
+    /// Messages assigned a global sequence number (ordered protocols).
+    pub ordered: u64,
+    /// Source transmissions observed.
+    pub source_msgs: u64,
+    /// Total-order violations (must be 0 for ordered protocols).
+    pub order_violations: u64,
+    /// End-to-end latency samples (source send → application delivery), ns.
+    pub e2e_latency: Histogram,
+    /// Largest per-entity WQ occupancy peak.
+    pub wq_peak: u32,
+    /// Largest per-entity MQ occupancy peak.
+    pub mq_peak: u32,
+    /// Graft + prune events (distribution-tree churn).
+    pub tree_churn: u64,
+    /// Sum of data messages sent by wired-core entities.
+    pub wired_core_data_sent: u64,
+    /// Data messages sent by the busiest wired-core entity.
+    pub busiest_core_msgs: u64,
+    /// Sum of control messages sent by wired-core entities.
+    pub wired_core_control_sent: u64,
+}
+
+impl RunMetrics {
+    /// Fraction of messages delivered (vs delivered + skipped).
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.delivered + self.skipped;
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+
+    /// Mean wired-core data copies per source message.
+    pub fn wired_copies_per_msg(&self) -> f64 {
+        self.wired_core_data_sent as f64 / self.source_msgs.max(1) as f64
+    }
+}
+
+/// Everything a finished [`MulticastSim`] run leaves behind.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The protocol-event journal, time ordered.
+    pub journal: Vec<(SimTime, ProtoEvent)>,
+    /// Transport-level statistics from the simulator.
+    pub stats: SimStats,
+    /// Protocol-agnostic summary metrics.
+    pub metrics: RunMetrics,
+}
+
+impl RunReport {
+    /// Assemble a report from a finished run. `wired_core` names the
+    /// backend's interior (wired) entities so per-core load metrics can be
+    /// compared across protocols; the last-hop attachment tier is excluded
+    /// by convention (its per-member wireless cost is identical in every
+    /// scheme).
+    pub fn new(
+        journal: Vec<(SimTime, ProtoEvent)>,
+        stats: SimStats,
+        wired_core: &BTreeSet<NodeId>,
+    ) -> Self {
+        let totals = metrics::mh_totals(&journal);
+        let (wq_peak, mq_peak) = metrics::buffer_peaks(&journal);
+        let ordered = journal
+            .iter()
+            .filter(|(_, e)| matches!(e, ProtoEvent::Ordered { .. }))
+            .count() as u64;
+        let m = RunMetrics {
+            delivered: totals.delivered,
+            skipped: totals.skipped,
+            duplicates: totals.duplicates,
+            handoffs: totals.handoffs,
+            mhs: totals.mhs,
+            ordered,
+            source_msgs: metrics::source_msgs(&journal),
+            order_violations: metrics::order_violations(&journal),
+            e2e_latency: metrics::end_to_end_latency(&journal),
+            wq_peak,
+            mq_peak,
+            tree_churn: metrics::tree_churn(&journal),
+            wired_core_data_sent: metrics::data_sent_of(&journal, wired_core),
+            busiest_core_msgs: metrics::busiest_of(&journal, wired_core),
+            wired_core_control_sent: metrics::control_sent_of(&journal, wired_core),
+        };
+        RunReport {
+            journal,
+            stats,
+            metrics: m,
+        }
+    }
+}
+
+// ------------------------------------------------------------- the trait
+
+/// A multicast protocol simulation that can be driven by a [`Scenario`].
+///
+/// The facade every backend implements: build a deterministic simulation
+/// from a protocol-agnostic scenario, feed it scheduled world events, run
+/// virtual time forward, and tear down into a [`RunReport`]. Experiment
+/// code written against this trait runs unchanged on RingNet and on every
+/// baseline.
+pub trait MulticastSim: Sized {
+    /// Instantiate the scenario with the given seed. Panics on a scenario
+    /// the backend cannot represent at all (validate first); capabilities
+    /// the backend merely lacks (mobility, failures) degrade per
+    /// [`ScenarioEvent`]'s documentation instead.
+    fn build(scenario: &Scenario, seed: u64) -> Self;
+
+    /// Schedule one world event. Events outside the backend's capability
+    /// set are ignored (see [`ScenarioEvent`]).
+    fn schedule(&mut self, event: ScenarioEvent);
+
+    /// Run until simulated time `t`.
+    fn run_until(&mut self, t: SimTime);
+
+    /// Flush final statistics and tear down into a report.
+    fn finish(self) -> RunReport;
+
+    /// Drive a scenario end to end: build, schedule every event, run for
+    /// `scenario.duration`, tear down.
+    fn run_scenario(scenario: &Scenario, seed: u64) -> RunReport {
+        let mut sim = Self::build(scenario, seed);
+        for ev in &scenario.events {
+            sim.schedule(*ev);
+        }
+        sim.run_until(scenario.duration);
+        sim.finish()
+    }
+}
+
+// --------------------------------------------- scenario → hierarchy specs
+
+/// Map a scenario onto a [`HierarchySpec`] for the RingNet engine,
+/// honouring the scenario's [`CoreShape`]. Attachment `i` becomes
+/// `spec.aps[i]`, walker `w` becomes `Guid(w)`.
+pub fn ringnet_spec(sc: &Scenario) -> HierarchySpec {
+    let mut spec = match sc.shape {
+        CoreShape::Figure1 => {
+            let mut spec = figure1(sc.group);
+            assert_eq!(
+                spec.aps.len(),
+                sc.attachments,
+                "Figure 1 has exactly {} attachment points",
+                spec.aps.len()
+            );
+            spec.cfg = sc.cfg.clone();
+            for ap in &mut spec.aps {
+                ap.always_active = sc.aps_always_active;
+            }
+            spec
+        }
+        CoreShape::Hierarchy {
+            brs,
+            rings,
+            ags_per_ring,
+        } => {
+            let aps_per_ag = sc.attachments / (rings * ags_per_ring);
+            assert!(
+                aps_per_ag * rings * ags_per_ring == sc.attachments && aps_per_ag > 0,
+                "{} attachments do not divide into {rings}×{ags_per_ring} AGs",
+                sc.attachments
+            );
+            HierarchyBuilder::new(sc.group)
+                .brs(brs)
+                .ag_rings(rings, ags_per_ring)
+                .aps_per_ag(aps_per_ag)
+                .mhs_per_ap(0)
+                .sources(sc.sources.min(brs))
+                .aps_always_active(sc.aps_always_active)
+                .config(sc.cfg.clone())
+                .build()
+        }
+        CoreShape::Auto => auto_hierarchy(sc, sc.sources.max(2)),
+    };
+    finish_spec(&mut spec, sc);
+    spec
+}
+
+/// Map a scenario onto a *degenerate* [`HierarchySpec`] — every logical
+/// ring shrunk to one node — which is exactly MIP-RS-style shortest-path
+///-tree multicast running the same protocol code (see `baselines::tree`).
+/// Reservation radius is forced to 0 and attachments activate on demand:
+/// the tree rebuilds on every handoff.
+pub fn degenerate_tree_spec(sc: &Scenario) -> HierarchySpec {
+    let routers = sc.attachments.div_ceil(2).max(1);
+    let mut spec = HierarchySpec {
+        group: sc.group,
+        cfg: sc.cfg.clone().with_reservation_radius(0),
+        top_ring: vec![NodeId(0)],
+        ag_rings: (0..routers)
+            .map(|i| AgRingSpec {
+                members: vec![NodeId(1 + i as u32)],
+                parent_candidates: vec![NodeId(0)],
+            })
+            .collect(),
+        aps: (0..sc.attachments)
+            .map(|i| ApSpec {
+                id: NodeId(1 + routers as u32 + i as u32),
+                parent_candidates: vec![NodeId(1 + (i % routers) as u32)],
+                always_active: false,
+                neighbours: Vec::new(),
+            })
+            .collect(),
+        mhs: Vec::new(),
+        sources: Vec::new(),
+        links: sc.links.clone(),
+    };
+    let ap_ids: Vec<NodeId> = spec.aps.iter().map(|a| a.id).collect();
+    for (i, ap) in spec.aps.iter_mut().enumerate() {
+        ap.neighbours = sc.neighbours_of(i).into_iter().map(|n| ap_ids[n]).collect();
+    }
+    finish_spec(&mut spec, sc);
+    spec
+}
+
+/// The balanced shape the mobility experiments use: `brs` BRs on the
+/// ordering ring, one AG ring of roughly one AG per four attachments, APs
+/// assigned round-robin.
+fn auto_hierarchy(sc: &Scenario, brs: usize) -> HierarchySpec {
+    let n_aps = sc.attachments;
+    let n_ags = n_aps.div_ceil(4).max(2);
+    let br_ids: Vec<NodeId> = (0..brs as u32).map(NodeId).collect();
+    let ag_ids: Vec<NodeId> = (brs as u32..(brs + n_ags) as u32).map(NodeId).collect();
+    let ap_base = (brs + n_ags) as u32;
+    let ap_ids: Vec<NodeId> = (0..n_aps as u32).map(|i| NodeId(ap_base + i)).collect();
+    let aps: Vec<ApSpec> = (0..n_aps)
+        .map(|cell| {
+            let ag = ag_ids[cell % n_ags];
+            let backup = ag_ids[(cell + 1) % n_ags];
+            ApSpec {
+                id: ap_ids[cell],
+                parent_candidates: if backup == ag {
+                    vec![ag]
+                } else {
+                    vec![ag, backup]
+                },
+                always_active: sc.aps_always_active,
+                neighbours: sc
+                    .neighbours_of(cell)
+                    .into_iter()
+                    .map(|c| ap_ids[c])
+                    .collect(),
+            }
+        })
+        .collect();
+    HierarchySpec {
+        group: sc.group,
+        cfg: sc.cfg.clone(),
+        top_ring: br_ids.clone(),
+        ag_rings: vec![AgRingSpec {
+            members: ag_ids,
+            parent_candidates: br_ids,
+        }],
+        aps,
+        mhs: Vec::new(),
+        sources: Vec::new(),
+        links: sc.links.clone(),
+    }
+}
+
+/// Apply the scenario's walkers, sources and links onto an assembled spec.
+fn finish_spec(spec: &mut HierarchySpec, sc: &Scenario) {
+    spec.links = sc.links.clone();
+    spec.mhs = sc
+        .walkers
+        .iter()
+        .enumerate()
+        .map(|(w, att)| MhSpec {
+            guid: Guid(w as u32),
+            initial_ap: att.map(|a| spec.aps[a].id),
+        })
+        .collect();
+    let sources = sc.sources.min(spec.top_ring.len());
+    spec.sources = (0..sources)
+        .map(|i| SourceSpec {
+            corresponding: spec.top_ring[i],
+            pattern: sc.pattern,
+            start: sc.start,
+            stop: sc.stop,
+            limit: sc.limit,
+        })
+        .collect();
+}
+
+/// The wired-core entity set of a hierarchy spec (BRs + AGs; the AP tier
+/// is the last hop and excluded from core-load comparisons).
+pub fn hierarchy_core(spec: &HierarchySpec) -> BTreeSet<NodeId> {
+    spec.top_ring
+        .iter()
+        .chain(spec.ag_rings.iter().flat_map(|r| r.members.iter()))
+        .copied()
+        .collect()
+}
+
+// ------------------------------------------------- RingNetSim as backend
+
+impl MulticastSim for RingNetSim {
+    fn build(scenario: &Scenario, seed: u64) -> Self {
+        RingNetSim::build(ringnet_spec(scenario), seed)
+    }
+
+    fn schedule(&mut self, event: ScenarioEvent) {
+        match event {
+            ScenarioEvent::Handoff { at, walker, to } => {
+                let ap = self.spec.aps[to].id;
+                self.schedule_handoff(at, Guid(walker as u32), ap);
+            }
+            ScenarioEvent::Join { at, walker, at_ap } => {
+                let ap = self.spec.aps[at_ap].id;
+                self.schedule_join(at, Guid(walker as u32), ap);
+            }
+            ScenarioEvent::KillCore { at, index } => {
+                let core: Vec<NodeId> = self
+                    .spec
+                    .top_ring
+                    .iter()
+                    .chain(self.spec.ag_rings.iter().flat_map(|r| r.members.iter()))
+                    .copied()
+                    .collect();
+                let victim = *core.get(index).unwrap_or_else(|| {
+                    panic!(
+                        "KillCore index {index} out of range ({} core entities)",
+                        core.len()
+                    )
+                });
+                self.schedule_kill_ne(at, victim);
+            }
+            ScenarioEvent::KillWalker { at, walker } => {
+                self.schedule_kill_mh(at, Guid(walker as u32));
+            }
+        }
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        RingNetSim::run_until(self, t);
+    }
+
+    fn finish(self) -> RunReport {
+        let core = hierarchy_core(&self.spec);
+        let (journal, stats) = RingNetSim::finish(self);
+        RunReport::new(journal, stats, &core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scenario {
+        ScenarioBuilder::new()
+            .attachments(4)
+            .walkers_per_attachment(1)
+            .sources(2)
+            .cbr(SimDuration::from_millis(20))
+            .message_limit(10)
+            .loss_free_wireless()
+            .duration(SimTime::from_secs(3))
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let sc = ScenarioBuilder::new().build();
+        assert!(sc.validate().is_empty());
+        assert_eq!(sc.walkers.len(), 4);
+        assert!(sc.walkers.iter().all(|w| w.is_some()));
+    }
+
+    #[test]
+    fn grid_neighbours_are_4_connected() {
+        let sc = ScenarioBuilder::new().grid(4, 2).build();
+        assert_eq!(sc.attachments, 8);
+        assert_eq!(sc.neighbours_of(0), vec![1, 4]);
+        let mut n5 = sc.neighbours_of(5);
+        n5.sort_unstable();
+        assert_eq!(n5, vec![1, 4, 6]);
+        // Chain arrangement when no grid is declared.
+        let chain = ScenarioBuilder::new().attachments(3).build();
+        assert_eq!(chain.neighbours_of(1), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn builder_rejects_bad_walker_placement() {
+        let _ = ScenarioBuilder::new()
+            .attachments(2)
+            .walkers(vec![Some(5)])
+            .build();
+    }
+
+    #[test]
+    fn ringnet_spec_auto_maps_attachments_to_aps() {
+        let sc = small();
+        let spec = ringnet_spec(&sc);
+        assert!(spec.validate().is_empty(), "{:?}", spec.validate());
+        assert_eq!(spec.aps.len(), 4);
+        assert_eq!(spec.mhs.len(), 4);
+        assert_eq!(spec.sources.len(), 2);
+        // Walker i = Guid(i) at spec.aps[i].
+        for (i, mh) in spec.mhs.iter().enumerate() {
+            assert_eq!(mh.guid, Guid(i as u32));
+            assert_eq!(mh.initial_ap, Some(spec.aps[i].id));
+        }
+    }
+
+    #[test]
+    fn ringnet_spec_explicit_hierarchy_shape() {
+        let sc = ScenarioBuilder::new()
+            .attachments(8)
+            .shape(CoreShape::Hierarchy {
+                brs: 4,
+                rings: 2,
+                ags_per_ring: 2,
+            })
+            .sources(2)
+            .build();
+        let spec = ringnet_spec(&sc);
+        assert!(spec.validate().is_empty());
+        assert_eq!(spec.top_ring.len(), 4);
+        assert_eq!(spec.ag_rings.len(), 2);
+        assert_eq!(spec.aps.len(), 8);
+    }
+
+    #[test]
+    fn degenerate_tree_is_rings_of_one() {
+        let sc = ScenarioBuilder::new().attachments(6).build();
+        let spec = degenerate_tree_spec(&sc);
+        assert!(spec.validate().is_empty(), "{:?}", spec.validate());
+        assert_eq!(spec.top_ring.len(), 1);
+        assert!(spec.ag_rings.iter().all(|r| r.members.len() == 1));
+        assert!(spec.aps.iter().all(|a| !a.always_active));
+        assert_eq!(spec.cfg.reservation_radius, 0);
+        assert_eq!(spec.aps.len(), 6);
+    }
+
+    #[test]
+    fn ringnet_runs_a_scenario_end_to_end() {
+        let report = RingNetSim::run_scenario(&small(), 42);
+        assert_eq!(report.metrics.order_violations, 0);
+        assert_eq!(report.metrics.ordered, 20, "2 sources × 10 messages");
+        assert_eq!(report.metrics.delivered, 80, "4 walkers × 20 messages");
+        assert_eq!(report.metrics.mhs, 4);
+        assert!(report.metrics.e2e_latency.count() > 0);
+        assert!(report.stats.packets_delivered > 0);
+    }
+
+    #[test]
+    fn scenario_events_drive_the_backend() {
+        let mut sc = small();
+        sc.limit = None;
+        sc.events = vec![
+            ScenarioEvent::Handoff {
+                at: SimTime::from_secs(1),
+                walker: 0,
+                to: 3,
+            },
+            ScenarioEvent::KillCore {
+                at: SimTime::from_secs(2),
+                index: 1,
+            },
+        ];
+        sc.duration = SimTime::from_secs(4);
+        let report = RingNetSim::run_scenario(&sc, 7);
+        assert_eq!(report.metrics.order_violations, 0);
+        assert_eq!(report.metrics.handoffs, 1);
+        assert!(report
+            .journal
+            .iter()
+            .any(|(_, e)| matches!(e, ProtoEvent::HandoffRegistered { mh: Guid(0), .. })));
+    }
+
+    #[test]
+    fn figure1_scenario_matches_paper_shape() {
+        let sc = ScenarioBuilder::figure1(GroupId(1))
+            .cbr(SimDuration::from_millis(10))
+            .message_limit(20)
+            .duration(SimTime::from_secs(3))
+            .build();
+        let spec = ringnet_spec(&sc);
+        assert_eq!(spec.tier_sizes(), (4, 9, 9, 9));
+        let report = RingNetSim::run_scenario(&sc, 1);
+        assert_eq!(report.metrics.order_violations, 0);
+        assert!(report.metrics.delivered > 0);
+    }
+}

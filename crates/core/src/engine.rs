@@ -539,7 +539,11 @@ impl RingNetSim {
             }
         }
 
-        RingNetSim { sim, addrs: map, spec }
+        RingNetSim {
+            sim,
+            addrs: map,
+            spec,
+        }
     }
 
     /// Run until simulated time `t`.
@@ -555,13 +559,20 @@ impl RingNetSim {
         let wireless = self.spec.links.wireless.clone();
         self.sim.world().schedule_control(at, move |w| {
             let Some(mh_addr) = map.mh(guid) else { return };
-            let Some(ap_addr) = map.ne(new_ap) else { return };
+            let Some(ap_addr) = map.ne(new_ap) else {
+                return;
+            };
             let old: Vec<NodeAddr> = w.topo.neighbours(mh_addr).collect();
             for o in old {
                 w.topo.disconnect_duplex(mh_addr, o);
             }
             w.topo.connect_duplex(mh_addr, ap_addr, wireless.clone());
-            w.inject(ap_addr, mh_addr, Msg::HandoffTo { group, new_ap }, SimDuration::ZERO);
+            w.inject(
+                ap_addr,
+                mh_addr,
+                Msg::HandoffTo { group, new_ap },
+                SimDuration::ZERO,
+            );
         });
     }
 
@@ -578,7 +589,12 @@ impl RingNetSim {
             if !w.topo.has_link(mh_addr, ap_addr) {
                 w.topo.connect_duplex(mh_addr, ap_addr, wireless.clone());
             }
-            w.inject(ap_addr, mh_addr, Msg::JoinCmd { group, ap }, SimDuration::ZERO);
+            w.inject(
+                ap_addr,
+                mh_addr,
+                Msg::JoinCmd { group, ap },
+                SimDuration::ZERO,
+            );
         });
     }
 
@@ -608,12 +624,7 @@ impl RingNetSim {
     /// drain the remaining events and return `(journal, transport stats)`.
     pub fn finish(mut self) -> (Vec<(SimTime, ProtoEvent)>, SimStats) {
         let group = self.spec.group;
-        let flush_targets: Vec<NodeAddr> = self
-            .addrs
-            .rev
-            .keys()
-            .copied()
-            .collect();
+        let flush_targets: Vec<NodeAddr> = self.addrs.rev.keys().copied().collect();
         {
             let w = self.sim.world();
             for addr in flush_targets {
@@ -712,11 +723,17 @@ mod tests {
         let delivered: Vec<u64> = journal
             .iter()
             .filter_map(|(_, e)| match e {
-                ProtoEvent::MhDeliver { mh: Guid(0), gsn, .. } => Some(gsn.0),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(0), gsn, ..
+                } => Some(gsn.0),
                 _ => None,
             })
             .collect();
-        assert_eq!(delivered.len(), 20, "no message lost across the handoff: {delivered:?}");
+        assert_eq!(
+            delivered.len(),
+            20,
+            "no message lost across the handoff: {delivered:?}"
+        );
     }
 
     #[test]
@@ -732,9 +749,9 @@ mod tests {
         net.run_until(SimTime::from_secs(6));
         let (journal, _) = net.finish();
         // Ring repair observed.
-        assert!(journal
-            .iter()
-            .any(|(_, e)| matches!(e, ProtoEvent::RingRepaired { failed, .. } if *failed == victim)));
+        assert!(journal.iter().any(
+            |(_, e)| matches!(e, ProtoEvent::RingRepaired { failed, .. } if *failed == victim)
+        ));
         // Ordering continued after the failure: late Ordered events exist.
         let last_ordered = journal
             .iter()
@@ -742,6 +759,9 @@ mod tests {
             .map(|(t, _)| *t)
             .max()
             .unwrap();
-        assert!(last_ordered > SimTime::from_secs(1), "ordering survived the failure");
+        assert!(
+            last_ordered > SimTime::from_secs(1),
+            "ordering survived the failure"
+        );
     }
 }

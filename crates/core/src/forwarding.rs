@@ -181,12 +181,27 @@ mod tests {
         // Node 20 forwards to 30.
         let mut n20 = ag(20);
         let mut out = Vec::new();
-        n20.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(1), data(1), &mut out);
-        assert_eq!(data_sends(&out), vec![(Endpoint::Ne(NodeId(30)), GlobalSeq(1))]);
+        n20.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(1),
+            data(1),
+            &mut out,
+        );
+        assert_eq!(
+            data_sends(&out),
+            vec![(Endpoint::Ne(NodeId(30)), GlobalSeq(1))]
+        );
         // Node 30's next is the leader 10 → no ring forward.
         let mut n30 = ag(30);
         out.clear();
-        n30.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(20)), GlobalSeq(1), data(1), &mut out);
+        n30.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(20)),
+            GlobalSeq(1),
+            data(1),
+            &mut out,
+        );
         assert!(data_sends(&out).is_empty());
     }
 
@@ -195,17 +210,47 @@ mod tests {
         let mut n10 = ag(10);
         n10.parent = Some(NodeId(1));
         let mut out = Vec::new();
-        n10.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(1)), GlobalSeq(1), data(1), &mut out);
-        assert_eq!(data_sends(&out), vec![(Endpoint::Ne(NodeId(20)), GlobalSeq(1))]);
+        n10.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(1)),
+            GlobalSeq(1),
+            data(1),
+            &mut out,
+        );
+        assert_eq!(
+            data_sends(&out),
+            vec![(Endpoint::Ne(NodeId(20)), GlobalSeq(1))]
+        );
     }
 
     #[test]
     fn delivery_fans_out_to_children_and_mhs() {
-        let mut ap = NeState::new_ap(G, NodeId(99), vec![NodeId(20)], true, vec![], ProtocolConfig::default());
-        ap.ap.as_mut().unwrap().wt.register(Guid(1), GlobalSeq::ZERO);
-        ap.ap.as_mut().unwrap().wt.register(Guid(2), GlobalSeq::ZERO);
+        let mut ap = NeState::new_ap(
+            G,
+            NodeId(99),
+            vec![NodeId(20)],
+            true,
+            vec![],
+            ProtocolConfig::default(),
+        );
+        ap.ap
+            .as_mut()
+            .unwrap()
+            .wt
+            .register(Guid(1), GlobalSeq::ZERO);
+        ap.ap
+            .as_mut()
+            .unwrap()
+            .wt
+            .register(Guid(2), GlobalSeq::ZERO);
         let mut out = Vec::new();
-        ap.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(20)), GlobalSeq(1), data(1), &mut out);
+        ap.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(20)),
+            GlobalSeq(1),
+            data(1),
+            &mut out,
+        );
         let sends = data_sends(&out);
         assert_eq!(
             sends,
@@ -221,9 +266,21 @@ mod tests {
     fn out_of_order_data_held_until_gap_fills() {
         let mut n20 = ag(20);
         let mut out = Vec::new();
-        n20.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(2), data(2), &mut out);
+        n20.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(2),
+            data(2),
+            &mut out,
+        );
         assert!(data_sends(&out).is_empty(), "gap at 1 blocks");
-        n20.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(1), data(1), &mut out);
+        n20.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(1),
+            data(1),
+            &mut out,
+        );
         let sends = data_sends(&out);
         assert_eq!(sends.len(), 2);
         assert_eq!(sends[0].1, GlobalSeq(1));
@@ -234,9 +291,21 @@ mod tests {
     fn duplicate_data_counted_not_reforwarded() {
         let mut n20 = ag(20);
         let mut out = Vec::new();
-        n20.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(1), data(1), &mut out);
+        n20.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(1),
+            data(1),
+            &mut out,
+        );
         out.clear();
-        n20.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(1), data(1), &mut out);
+        n20.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(1),
+            data(1),
+            &mut out,
+        );
         assert!(data_sends(&out).is_empty());
         assert_eq!(n20.counters.duplicates, 1);
     }
@@ -246,13 +315,25 @@ mod tests {
         let mut n20 = ag(20);
         n20.children.insert(NodeId(100), SimTime::ZERO);
         n20.wt_children.register(NodeId(100), GlobalSeq::ZERO);
-        n20.on_data_ack(SimTime::from_millis(1), Endpoint::Ne(NodeId(100)), GlobalSeq(4));
+        n20.on_data_ack(
+            SimTime::from_millis(1),
+            Endpoint::Ne(NodeId(100)),
+            GlobalSeq(4),
+        );
         assert_eq!(n20.wt_children.progress(NodeId(100)), Some(GlobalSeq(4)));
         // Ack from ring next (30).
-        n20.on_data_ack(SimTime::from_millis(1), Endpoint::Ne(NodeId(30)), GlobalSeq(2));
+        n20.on_data_ack(
+            SimTime::from_millis(1),
+            Endpoint::Ne(NodeId(30)),
+            GlobalSeq(2),
+        );
         assert_eq!(n20.ring.as_ref().unwrap().next_acked_mq, GlobalSeq(2));
         // Stale ring ack ignored.
-        n20.on_data_ack(SimTime::from_millis(2), Endpoint::Ne(NodeId(30)), GlobalSeq(1));
+        n20.on_data_ack(
+            SimTime::from_millis(2),
+            Endpoint::Ne(NodeId(30)),
+            GlobalSeq(1),
+        );
         assert_eq!(n20.ring.as_ref().unwrap().next_acked_mq, GlobalSeq(2));
     }
 
@@ -261,10 +342,20 @@ mod tests {
         let mut n20 = ag(20);
         let mut out = Vec::new();
         for g in 1..=3u64 {
-            n20.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(g), data(g), &mut out);
+            n20.on_data(
+                SimTime::ZERO,
+                Endpoint::Ne(NodeId(10)),
+                GlobalSeq(g),
+                data(g),
+                &mut out,
+            );
         }
         out.clear();
-        n20.on_data_nack(Endpoint::Ne(NodeId(30)), &[GlobalSeq(2), GlobalSeq(9)], &mut out);
+        n20.on_data_nack(
+            Endpoint::Ne(NodeId(30)),
+            &[GlobalSeq(2), GlobalSeq(9)],
+            &mut out,
+        );
         let sends = data_sends(&out);
         assert_eq!(sends, vec![(Endpoint::Ne(NodeId(30)), GlobalSeq(2))]);
         assert_eq!(n20.counters.retransmissions, 1);
@@ -274,7 +365,13 @@ mod tests {
     fn skip_records_emitted_for_lost_messages() {
         let mut n20 = ag(20);
         let mut out = Vec::new();
-        n20.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(3), data(3), &mut out);
+        n20.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(3),
+            data(3),
+            &mut out,
+        );
         // Exhaust the budget instantly.
         let (_, lost) = n20.mq.collect_nacks(0);
         assert_eq!(lost.len(), 2);

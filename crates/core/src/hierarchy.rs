@@ -32,6 +32,16 @@ pub enum TrafficPattern {
 }
 
 impl TrafficPattern {
+    /// Mean inter-message interval — the CBR equivalent of this pattern.
+    /// Single-ingest backends without a Poisson source (tunnel, RelM)
+    /// degrade Poisson traffic to CBR at this interval.
+    pub fn mean_interval(&self) -> SimDuration {
+        match *self {
+            TrafficPattern::Cbr { interval } => interval,
+            TrafficPattern::Poisson { rate } => SimDuration::from_secs_f64(1.0 / rate.max(1e-9)),
+        }
+    }
+
     /// Mean rate in messages per second.
     pub fn rate_per_sec(&self) -> f64 {
         match *self {
@@ -186,8 +196,7 @@ impl HierarchySpec {
             .iter()
             .flat_map(|r| r.members.iter().copied())
             .collect();
-        let all_aps: std::collections::BTreeSet<NodeId> =
-            self.aps.iter().map(|a| a.id).collect();
+        let all_aps: std::collections::BTreeSet<NodeId> = self.aps.iter().map(|a| a.id).collect();
         for ap in &self.aps {
             dup_check(ap.id, "AP", &mut problems);
             if ap.parent_candidates.is_empty() {
@@ -259,7 +268,11 @@ impl HierarchySpec {
                 .map(|n| n.to_string())
                 .collect::<Vec<_>>()
                 .join(" -> "),
-            self.top_ring.iter().min().map(|n| n.to_string()).unwrap_or_default()
+            self.top_ring
+                .iter()
+                .min()
+                .map(|n| n.to_string())
+                .unwrap_or_default()
         );
         for src in &self.sources {
             let _ = writeln!(
@@ -282,7 +295,11 @@ impl HierarchySpec {
                     .map(|n| n.to_string())
                     .collect::<Vec<_>>()
                     .join(" -> "),
-                ring.members.iter().min().map(|n| n.to_string()).unwrap_or_default()
+                ring.members
+                    .iter()
+                    .min()
+                    .map(|n| n.to_string())
+                    .unwrap_or_default()
             );
             for ap in self.aps.iter().filter(|a| {
                 a.parent_candidates
@@ -548,7 +565,11 @@ mod tests {
     fn ids_are_disjoint_across_tiers() {
         let spec = HierarchyBuilder::new(GroupId(1)).build();
         let mut all: Vec<u32> = spec.top_ring.iter().map(|n| n.0).collect();
-        all.extend(spec.ag_rings.iter().flat_map(|r| r.members.iter().map(|n| n.0)));
+        all.extend(
+            spec.ag_rings
+                .iter()
+                .flat_map(|r| r.members.iter().map(|n| n.0)),
+        );
         all.extend(spec.aps.iter().map(|a| a.id.0));
         let mut dedup = all.clone();
         dedup.sort_unstable();
@@ -587,7 +608,10 @@ mod tests {
             guid: spec2.mhs[0].guid,
             initial_ap: None,
         });
-        assert!(spec2.validate().iter().any(|p| p.contains("duplicate GUID")));
+        assert!(spec2
+            .validate()
+            .iter()
+            .any(|p| p.contains("duplicate GUID")));
 
         let mut spec3 = figure1(GroupId(1));
         spec3.aps[0].parent_candidates.clear();
@@ -602,12 +626,18 @@ mod tests {
         let mut spec = figure1(GroupId(1));
         let dup = spec.sources[0].clone();
         spec.sources.push(dup);
-        assert!(spec.validate().iter().any(|p| p.contains("multiple sources")));
+        assert!(spec
+            .validate()
+            .iter()
+            .any(|p| p.contains("multiple sources")));
     }
 
     #[test]
     fn neighbours_form_a_chain() {
-        let spec = HierarchyBuilder::new(GroupId(1)).ag_rings(1, 2).aps_per_ag(2).build();
+        let spec = HierarchyBuilder::new(GroupId(1))
+            .ag_rings(1, 2)
+            .aps_per_ag(2)
+            .build();
         let aps = &spec.aps;
         assert_eq!(aps.len(), 4);
         assert_eq!(aps[0].neighbours, vec![aps[1].id]);

@@ -145,7 +145,10 @@ pub struct LocalRange {
 impl LocalRange {
     /// Create a range; panics when `min > max` or either bound is invalid.
     pub fn new(min: LocalSeq, max: LocalSeq) -> Self {
-        assert!(min.is_valid() && max.is_valid() && min <= max, "bad range {min}..={max}");
+        assert!(
+            min.is_valid() && max.is_valid() && min <= max,
+            "bad range {min}..={max}"
+        );
         LocalRange { min, max }
     }
 
@@ -205,7 +208,13 @@ mod tests {
         assert!(!r.contains(LocalSeq(8)));
         assert_eq!(
             r.iter().collect::<Vec<_>>(),
-            vec![LocalSeq(3), LocalSeq(4), LocalSeq(5), LocalSeq(6), LocalSeq(7)]
+            vec![
+                LocalSeq(3),
+                LocalSeq(4),
+                LocalSeq(5),
+                LocalSeq(6),
+                LocalSeq(7)
+            ]
         );
     }
 

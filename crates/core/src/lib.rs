@@ -26,30 +26,31 @@
 //! The protocol logic is entirely sans-IO: state machines consume events
 //! and emit [`actions::Action`]s, making every algorithm unit-testable.
 //! [`engine`] instantiates whole hierarchies as deterministic `simnet`
-//! simulations, and [`analysis`] evaluates Theorem 5.1's closed forms for
-//! comparison against measurements.
+//! simulations, [`analysis`] evaluates Theorem 5.1's closed forms for
+//! comparison against measurements, and [`driver`] provides the
+//! protocol-generic facade (a [`Scenario`] description + the
+//! [`MulticastSim`] trait + a [`RunReport`]) that RingNet and every
+//! comparator baseline implement, with [`metrics`] summarising journals
+//! uniformly across protocols.
 //!
 //! ## Quick start
 //!
 //! ```
+//! use ringnet_core::driver::{MulticastSim, ScenarioBuilder};
 //! use ringnet_core::engine::RingNetSim;
-//! use ringnet_core::hierarchy::{HierarchyBuilder, TrafficPattern};
 //! use ringnet_core::ids::GroupId;
 //! use simnet::{SimDuration, SimTime};
 //!
-//! // The paper's Figure 1 topology, 100 msg/s source, 1 simulated second.
-//! let spec = HierarchyBuilder::new(GroupId(1))
-//!     .source_pattern(TrafficPattern::Cbr { interval: SimDuration::from_millis(10) })
-//!     .source_limit(50)
+//! // The paper's Figure 1 topology, 100 msg/s source, 2 simulated seconds.
+//! let scenario = ScenarioBuilder::figure1(GroupId(1))
+//!     .cbr(SimDuration::from_millis(10))
+//!     .message_limit(50)
+//!     .duration(SimTime::from_secs(2))
 //!     .build();
-//! let mut net = RingNetSim::build(spec, 42);
-//! net.run_until(SimTime::from_secs(2));
-//! let (journal, stats) = net.finish();
-//! assert!(stats.packets_delivered > 0);
-//! let delivered = journal.iter().filter(|(_, e)| {
-//!     matches!(e, ringnet_core::events::ProtoEvent::MhDeliver { .. })
-//! }).count();
-//! assert!(delivered > 0);
+//! let report = RingNetSim::run_scenario(&scenario, 42);
+//! assert!(report.stats.packets_delivered > 0);
+//! assert!(report.metrics.delivered > 0);
+//! assert_eq!(report.metrics.order_violations, 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -59,12 +60,14 @@ pub mod actions;
 pub mod analysis;
 pub mod config;
 pub mod delivering;
+pub mod driver;
 pub mod engine;
 pub mod events;
 pub mod forwarding;
 pub mod hierarchy;
 pub mod ids;
 pub mod membership;
+pub mod metrics;
 pub mod mh;
 pub mod mq;
 pub mod msg;
@@ -78,6 +81,9 @@ pub mod wt;
 
 pub use actions::{Action, Outbox};
 pub use config::ProtocolConfig;
+pub use driver::{
+    CoreShape, MulticastSim, RunMetrics, RunReport, Scenario, ScenarioBuilder, ScenarioEvent,
+};
 pub use engine::{AddrMap, RingNetSim};
 pub use events::ProtoEvent;
 pub use hierarchy::{figure1, HierarchyBuilder, HierarchySpec, TrafficPattern};

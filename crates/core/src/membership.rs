@@ -69,8 +69,8 @@ impl NeState {
             return;
         }
         r.hb_outstanding = 0; // next may have changed; restart the count
-        // Topology maintenance ran → hand Token-Loss to the multicast layer
-        // (it ignores the signal while ordering runs well).
+                              // Topology maintenance ran → hand Token-Loss to the multicast layer
+                              // (it ignores the signal while ordering runs well).
         if r.is_top {
             self.maybe_start_regen(now, out);
         }
@@ -134,11 +134,23 @@ impl NeState {
                     let peers: Vec<NodeId> =
                         r.alive.iter().copied().filter(|&m| m != self.id).collect();
                     for m in peers {
-                        out.push(Action::to_ne(m, Msg::RingFail { group, failed: next }));
+                        out.push(Action::to_ne(
+                            m,
+                            Msg::RingFail {
+                                group,
+                                failed: next,
+                            },
+                        ));
                         self.counters.control_sent += 1;
                     }
                     if new_next != self.id {
-                        out.push(Action::to_ne(new_next, Msg::NewPrev { group, prev: self.id }));
+                        out.push(Action::to_ne(
+                            new_next,
+                            Msg::NewPrev {
+                                group,
+                                prev: self.id,
+                            },
+                        ));
                         self.counters.control_sent += 1;
                     }
                     ring_changed = true;
@@ -182,7 +194,9 @@ impl NeState {
         let Some(r) = self.ring.as_ref() else { return };
         let next = r.next_of(me);
         let Some(ord) = self.ord.as_mut() else { return };
-        let Some(inf) = ord.inflight.as_mut() else { return };
+        let Some(inf) = ord.inflight.as_mut() else {
+            return;
+        };
         if inf.to != next && next != me {
             inf.to = next;
             inf.attempts = 1;
@@ -398,7 +412,10 @@ mod tests {
     fn hb_sends(out: &Outbox) -> Vec<NodeId> {
         out.iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(n), msg: Msg::Heartbeat { .. } } => Some(*n),
+                Action::Send {
+                    to: Endpoint::Ne(n),
+                    msg: Msg::Heartbeat { .. },
+                } => Some(*n),
                 _ => None,
             })
             .collect()
@@ -411,7 +428,10 @@ mod tests {
         n.on_heartbeat(SimTime::ZERO, Endpoint::Ne(NodeId(2)), &mut out);
         assert!(matches!(
             out[0],
-            Action::Send { to: Endpoint::Ne(NodeId(2)), msg: Msg::HeartbeatAck { .. } }
+            Action::Send {
+                to: Endpoint::Ne(NodeId(2)),
+                msg: Msg::HeartbeatAck { .. }
+            }
         ));
     }
 
@@ -439,11 +459,21 @@ mod tests {
         assert_eq!(n.ring_next(), Some(NodeId(2)));
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Record(ProtoEvent::RingRepaired { failed: NodeId(1), new_next: NodeId(2), .. })
+            Action::Record(ProtoEvent::RingRepaired {
+                failed: NodeId(1),
+                new_next: NodeId(2),
+                ..
+            })
         )));
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Send { to: Endpoint::Ne(NodeId(2)), msg: Msg::RingFail { failed: NodeId(1), .. } }
+            Action::Send {
+                to: Endpoint::Ne(NodeId(2)),
+                msg: Msg::RingFail {
+                    failed: NodeId(1),
+                    ..
+                }
+            }
         )));
     }
 
@@ -477,7 +507,13 @@ mod tests {
         assert_eq!(n.parent, Some(NodeId(1)));
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Send { to: Endpoint::Ne(NodeId(1)), msg: Msg::Graft { child: NodeId(20), .. } }
+            Action::Send {
+                to: Endpoint::Ne(NodeId(1)),
+                msg: Msg::Graft {
+                    child: NodeId(20),
+                    ..
+                }
+            }
         )));
     }
 
@@ -501,7 +537,10 @@ mod tests {
         assert_eq!(n.parent, Some(NodeId(21)), "rotated to the next candidate");
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Send { to: Endpoint::Ne(NodeId(21)), msg: Msg::Graft { .. } }
+            Action::Send {
+                to: Endpoint::Ne(NodeId(21)),
+                msg: Msg::Graft { .. }
+            }
         )));
     }
 
@@ -517,13 +556,23 @@ mod tests {
         assert!(n.wt_children.is_empty());
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Record(ProtoEvent::Pruned { child: NodeId(50), .. })
+            Action::Record(ProtoEvent::Pruned {
+                child: NodeId(50),
+                ..
+            })
         )));
     }
 
     #[test]
     fn stale_mhs_decrement_membership() {
-        let mut n = NeState::new_ap(G, NodeId(99), vec![NodeId(20)], true, vec![], ProtocolConfig::default());
+        let mut n = NeState::new_ap(
+            G,
+            NodeId(99),
+            vec![NodeId(20)],
+            true,
+            vec![],
+            ProtocolConfig::default(),
+        );
         let mut out = Vec::new();
         n.on_join(SimTime::ZERO, Guid(1), &mut out);
         assert_eq!(n.subtree_members, 1);
@@ -544,7 +593,10 @@ mod tests {
         n.flush_membership(&mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Send { to: Endpoint::Ne(NodeId(0)), msg: Msg::MembershipUpdate { delta: 5, .. } }
+            Action::Send {
+                to: Endpoint::Ne(NodeId(0)),
+                msg: Msg::MembershipUpdate { delta: 5, .. }
+            }
         )));
         assert_eq!(n.pending_delta, 0);
     }
@@ -568,11 +620,24 @@ mod tests {
     #[test]
     fn membership_upstream_resolution() {
         // AP → parent.
-        let mut ap = NeState::new_ap(G, NodeId(99), vec![NodeId(20)], true, vec![], ProtocolConfig::default());
+        let mut ap = NeState::new_ap(
+            G,
+            NodeId(99),
+            vec![NodeId(20)],
+            true,
+            vec![],
+            ProtocolConfig::default(),
+        );
         ap.parent = Some(NodeId(20));
         assert_eq!(ap.membership_upstream(), Some(NodeId(20)));
         // Non-top ring leader → parent.
-        let mut ag = NeState::new_ag(G, NodeId(10), vec![NodeId(10), NodeId(20)], vec![NodeId(1)], ProtocolConfig::default());
+        let mut ag = NeState::new_ag(
+            G,
+            NodeId(10),
+            vec![NodeId(10), NodeId(20)],
+            vec![NodeId(1)],
+            ProtocolConfig::default(),
+        );
         ag.parent = Some(NodeId(1));
         assert_eq!(ag.membership_upstream(), Some(NodeId(1)));
         // Top leader → none.
@@ -585,7 +650,14 @@ mod tests {
 
     #[test]
     fn inactive_ap_prunes_itself() {
-        let mut n = NeState::new_ap(G, NodeId(99), vec![NodeId(20)], false, vec![], ProtocolConfig::default());
+        let mut n = NeState::new_ap(
+            G,
+            NodeId(99),
+            vec![NodeId(20)],
+            false,
+            vec![],
+            ProtocolConfig::default(),
+        );
         let mut out = Vec::new();
         // Activate via a reservation, graft...
         n.on_reserve(SimTime::ZERO, NodeId(98), 1, &mut out);
@@ -597,7 +669,13 @@ mod tests {
         assert!(!n.ap.as_ref().unwrap().grafted);
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Send { to: Endpoint::Ne(NodeId(20)), msg: Msg::Prune { child: NodeId(99), .. } }
+            Action::Send {
+                to: Endpoint::Ne(NodeId(20)),
+                msg: Msg::Prune {
+                    child: NodeId(99),
+                    ..
+                }
+            }
         )));
     }
 }

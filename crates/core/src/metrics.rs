@@ -1,9 +1,15 @@
 //! Journal analysis: everything the experiments measure is derived from
 //! the protocol-event journal a simulation leaves behind.
+//!
+//! Lives in `ringnet-core` (rather than the harness) because every
+//! [`MulticastSim`](crate::driver::MulticastSim) backend summarises its run
+//! through these functions when building a
+//! [`RunReport`](crate::driver::RunReport); the harness re-exports this
+//! module unchanged.
 
 use std::collections::BTreeMap;
 
-use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, ProtoEvent};
+use crate::{GlobalSeq, Guid, LocalSeq, NodeId, ProtoEvent};
 use simnet::{Histogram, SimDuration, SimTime};
 
 /// A journal slice, as returned by the engines' `finish()`.
@@ -220,10 +226,7 @@ pub fn max_delivery_gap(
     if times.len() < 2 {
         return None;
     }
-    times
-        .windows(2)
-        .map(|w| w[1].saturating_since(w[0]))
-        .max()
+    times.windows(2).map(|w| w[1].saturating_since(w[0])).max()
 }
 
 /// Mean interval between `TokenPass` events observed at `node` — the
@@ -243,6 +246,63 @@ pub fn token_rotation_period(journal: &Journal, node: NodeId) -> Option<SimDurat
     Some(SimDuration::from_nanos(
         span.as_nanos() / (times.len() as u64 - 1),
     ))
+}
+
+/// Count of graft + prune events — distribution-tree maintenance churn
+/// (zero for backends without a shared tree, e.g. tunnelling).
+pub fn tree_churn(journal: &Journal) -> u64 {
+    journal
+        .iter()
+        .filter(|(_, e)| matches!(e, ProtoEvent::Grafted { .. } | ProtoEvent::Pruned { .. }))
+        .count() as u64
+}
+
+/// Number of source transmissions observed (`SourceSend` records).
+pub fn source_msgs(journal: &Journal) -> u64 {
+    journal
+        .iter()
+        .filter(|(_, e)| matches!(e, ProtoEvent::SourceSend { .. }))
+        .count() as u64
+}
+
+/// Sum of `data_sent` over the given entities' `NeFinal` records.
+pub fn data_sent_of(journal: &Journal, nodes: &std::collections::BTreeSet<NodeId>) -> u64 {
+    journal
+        .iter()
+        .map(|(_, e)| match e {
+            ProtoEvent::NeFinal {
+                node, data_sent, ..
+            } if nodes.contains(node) => *data_sent as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Largest `data_sent` among the given entities' `NeFinal` records.
+pub fn busiest_of(journal: &Journal, nodes: &std::collections::BTreeSet<NodeId>) -> u64 {
+    journal
+        .iter()
+        .filter_map(|(_, e)| match e {
+            ProtoEvent::NeFinal {
+                node, data_sent, ..
+            } if nodes.contains(node) => Some(*data_sent as u64),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Sum of `control_sent` over the given entities' `NeFinal` records.
+pub fn control_sent_of(journal: &Journal, nodes: &std::collections::BTreeSet<NodeId>) -> u64 {
+    journal
+        .iter()
+        .map(|(_, e)| match e {
+            ProtoEvent::NeFinal {
+                node, control_sent, ..
+            } if nodes.contains(node) => *control_sent as u64,
+            _ => 0,
+        })
+        .sum()
 }
 
 /// Time of the first event matching `pred` at or after `from`.
@@ -370,7 +430,7 @@ mod tests {
                     ProtoEvent::TokenPass {
                         node: NodeId(0),
                         rotation: i,
-                        epoch: ringnet_core::Epoch(0),
+                        epoch: crate::Epoch(0),
                         next_gsn: GlobalSeq(1),
                     },
                 )

@@ -192,7 +192,10 @@ impl MhState {
                     },
                 ));
             }
-            if self.hop_tick_count.is_multiple_of(self.cfg.ack_every as u64) {
+            if self
+                .hop_tick_count
+                .is_multiple_of(self.cfg.ack_every as u64)
+            {
                 out.push(Action::to_ne(
                     ap,
                     Msg::DataAck {
@@ -269,19 +272,32 @@ mod tests {
         let mut m = mh();
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
-        assert!(matches!(out[0], Action::Send { to: Endpoint::Ne(AP1), msg: Msg::Join { .. } }));
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                to: Endpoint::Ne(AP1),
+                msg: Msg::Join { .. }
+            }
+        ));
         out.clear();
         m.on_msg(
             SimTime::ZERO,
             Endpoint::Ne(AP1),
-            Msg::JoinAck { group: G, start_from: GlobalSeq::ZERO },
+            Msg::JoinAck {
+                group: G,
+                start_from: GlobalSeq::ZERO,
+            },
             &mut out,
         );
         for g in 1..=3u64 {
             m.on_msg(
                 SimTime::ZERO,
                 Endpoint::Ne(AP1),
-                Msg::Data { group: G, gsn: GlobalSeq(g), data: data(g) },
+                Msg::Data {
+                    group: G,
+                    gsn: GlobalSeq(g),
+                    data: data(g),
+                },
                 &mut out,
             );
         }
@@ -298,17 +314,28 @@ mod tests {
         m.on_msg(
             SimTime::ZERO,
             Endpoint::Ne(AP1),
-            Msg::JoinAck { group: G, start_from: GlobalSeq(40) },
+            Msg::JoinAck {
+                group: G,
+                start_from: GlobalSeq(40),
+            },
             &mut out,
         );
         out.clear();
         m.on_msg(
             SimTime::ZERO,
             Endpoint::Ne(AP1),
-            Msg::Data { group: G, gsn: GlobalSeq(41), data: data(41) },
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(41),
+                data: data(41),
+            },
             &mut out,
         );
-        assert_eq!(delivered_gsns(&out), vec![41], "no wait for history before 41");
+        assert_eq!(
+            delivered_gsns(&out),
+            vec![41],
+            "no wait for history before 41"
+        );
     }
 
     #[test]
@@ -317,16 +344,42 @@ mod tests {
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
         out.clear();
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(2), data: data(2) }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(2),
+                data: data(2),
+            },
+            &mut out,
+        );
         assert!(delivered_gsns(&out).is_empty());
         m.tick_hop(SimTime::from_millis(5), &mut out);
         let nacks: Vec<_> = out
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: Msg::DataNack { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: Msg::DataNack { .. },
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(nacks.len(), 1);
         // Retransmission arrives.
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(1), data: data(1) }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(1),
+                data: data(1),
+            },
+            &mut out,
+        );
         assert_eq!(delivered_gsns(&out), vec![1, 2]);
     }
 
@@ -336,13 +389,28 @@ mod tests {
         let mut m = MhState::new(G, Guid(7), cfg);
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(2), data: data(2) }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(2),
+                data: data(2),
+            },
+            &mut out,
+        );
         out.clear();
         m.tick_hop(SimTime::from_millis(5), &mut out);
         m.tick_hop(SimTime::from_millis(10), &mut out);
         assert_eq!(m.counters.skipped, 1);
         assert_eq!(delivered_gsns(&out), vec![2]);
-        assert!(out.iter().any(|a| matches!(a, Action::Record(ProtoEvent::MhSkip { gsn: GlobalSeq(1), .. }))));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Record(ProtoEvent::MhSkip {
+                gsn: GlobalSeq(1),
+                ..
+            })
+        )));
     }
 
     #[test]
@@ -351,22 +419,50 @@ mod tests {
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
         for g in 1..=5u64 {
-            m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(g), data: data(g) }, &mut out);
+            m.on_msg(
+                SimTime::ZERO,
+                Endpoint::Ne(AP1),
+                Msg::Data {
+                    group: G,
+                    gsn: GlobalSeq(g),
+                    data: data(g),
+                },
+                &mut out,
+            );
         }
         out.clear();
-        m.on_msg(SimTime::from_secs(1), Endpoint::Ne(AP2), Msg::HandoffTo { group: G, new_ap: AP2 }, &mut out);
+        m.on_msg(
+            SimTime::from_secs(1),
+            Endpoint::Ne(AP2),
+            Msg::HandoffTo {
+                group: G,
+                new_ap: AP2,
+            },
+            &mut out,
+        );
         assert_eq!(m.ap, Some(AP2));
         assert_eq!(m.counters.handoffs, 1);
         assert!(matches!(
             out[0],
             Action::Send {
                 to: Endpoint::Ne(AP2),
-                msg: Msg::HandoffRegister { resume_from: GlobalSeq(5), .. }
+                msg: Msg::HandoffRegister {
+                    resume_from: GlobalSeq(5),
+                    ..
+                }
             }
         ));
         // Handoff to the same AP is ignored.
         out.clear();
-        m.on_msg(SimTime::from_secs(2), Endpoint::Ne(AP2), Msg::HandoffTo { group: G, new_ap: AP2 }, &mut out);
+        m.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(AP2),
+            Msg::HandoffTo {
+                group: G,
+                new_ap: AP2,
+            },
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(m.counters.handoffs, 1);
     }
@@ -376,14 +472,35 @@ mod tests {
         let mut m = mh();
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(1), data: data(1) }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(1),
+                data: data(1),
+            },
+            &mut out,
+        );
         out.clear();
         m.tick_hop(SimTime::from_millis(5), &mut out); // tick 1: no ack
-        assert!(!out.iter().any(|a| matches!(a, Action::Send { msg: Msg::DataAck { .. }, .. })));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::DataAck { .. },
+                ..
+            }
+        )));
         m.tick_hop(SimTime::from_millis(10), &mut out); // tick 2: ack
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Send { msg: Msg::DataAck { upto: GlobalSeq(1), .. }, .. }
+            Action::Send {
+                msg: Msg::DataAck {
+                    upto: GlobalSeq(1),
+                    ..
+                },
+                ..
+            }
         )));
         // Delivered content GC'd.
         assert_eq!(m.mq.occupancy(), 0);
@@ -394,8 +511,26 @@ mod tests {
         let mut m = mh();
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(1), data: data(1) }, &mut out);
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(1), data: data(1) }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(1),
+                data: data(1),
+            },
+            &mut out,
+        );
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(1),
+                data: data(1),
+            },
+            &mut out,
+        );
         assert_eq!(m.counters.delivered, 1);
         assert_eq!(m.counters.duplicates, 1);
     }
@@ -406,11 +541,28 @@ mod tests {
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
         out.clear();
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Heartbeat { group: G }, &mut out);
-        assert!(matches!(out[0], Action::Send { to: Endpoint::Ne(AP1), msg: Msg::HeartbeatAck { .. } }));
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Heartbeat { group: G },
+            &mut out,
+        );
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                to: Endpoint::Ne(AP1),
+                msg: Msg::HeartbeatAck { .. }
+            }
+        ));
         out.clear();
         m.tick_heartbeat(SimTime::ZERO, &mut out);
-        assert!(matches!(out[0], Action::Send { to: Endpoint::Ne(AP1), msg: Msg::Heartbeat { .. } }));
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                to: Endpoint::Ne(AP1),
+                msg: Msg::Heartbeat { .. }
+            }
+        ));
     }
 
     #[test]
@@ -418,9 +570,23 @@ mod tests {
         let mut m = mh();
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(1), data: data(1) }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(1),
+                data: data(1),
+            },
+            &mut out,
+        );
         out.clear();
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::FlushStats { group: G }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::FlushStats { group: G },
+            &mut out,
+        );
         assert!(matches!(
             out[0],
             Action::Record(ProtoEvent::MhFinal { delivered: 1, .. })
@@ -432,9 +598,23 @@ mod tests {
         let mut m = mh();
         let mut out = Vec::new();
         m.join(SimTime::ZERO, AP1, &mut out);
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Kill { group: G }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Kill { group: G },
+            &mut out,
+        );
         out.clear();
-        m.on_msg(SimTime::ZERO, Endpoint::Ne(AP1), Msg::Data { group: G, gsn: GlobalSeq(1), data: data(1) }, &mut out);
+        m.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(AP1),
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(1),
+                data: data(1),
+            },
+            &mut out,
+        );
         m.tick_hop(SimTime::from_millis(5), &mut out);
         assert!(out.is_empty());
     }

@@ -344,7 +344,10 @@ mod tests {
         let items = q.poll_deliverable();
         assert_eq!(items.len(), 1);
         assert_eq!(q.front(), GlobalSeq(1));
-        assert!(matches!(q.slot(GlobalSeq(2)), Some(Slot::Missing { waiting: true, .. })));
+        assert!(matches!(
+            q.slot(GlobalSeq(2)),
+            Some(Slot::Missing { waiting: true, .. })
+        ));
         // Fill the gap: both 2 and 3 become deliverable.
         assert_eq!(q.insert(GlobalSeq(2), data(1, 2)), InsertOutcome::Stored);
         let items = q.poll_deliverable();
@@ -509,7 +512,10 @@ mod tests {
         let mut q = MessageQueue::new(16);
         q.fast_forward(GlobalSeq(100));
         assert_eq!(q.front(), GlobalSeq(100));
-        assert_eq!(q.insert(GlobalSeq(101), data(1, 101)), InsertOutcome::Stored);
+        assert_eq!(
+            q.insert(GlobalSeq(101), data(1, 101)),
+            InsertOutcome::Stored
+        );
         assert_eq!(q.poll_deliverable().len(), 1);
         assert_eq!(q.insert(GlobalSeq(99), data(1, 99)), InsertOutcome::Stale);
     }

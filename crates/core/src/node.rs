@@ -528,7 +528,11 @@ mod tests {
         assert_eq!(r.prev_of(NodeId(30)), NodeId(10));
         assert_eq!(r.alive_count(), 2);
         r.mark_dead(NodeId(30));
-        assert_eq!(r.next_of(NodeId(10)), NodeId(10), "sole survivor is its own next");
+        assert_eq!(
+            r.next_of(NodeId(10)),
+            NodeId(10),
+            "sole survivor is its own next"
+        );
     }
 
     #[test]
@@ -555,10 +559,22 @@ mod tests {
     fn upstream_resolution() {
         let cfg = ProtocolConfig::default();
         // Ring member (non-leader): upstream is prev.
-        let ag = NeState::new_ag(GroupId(1), NodeId(20), ring3(), vec![NodeId(1)], cfg.clone());
+        let ag = NeState::new_ag(
+            GroupId(1),
+            NodeId(20),
+            ring3(),
+            vec![NodeId(1)],
+            cfg.clone(),
+        );
         assert_eq!(ag.upstream(), Some(NodeId(10)));
         // Non-top ring leader: upstream is the parent.
-        let mut leader = NeState::new_ag(GroupId(1), NodeId(10), ring3(), vec![NodeId(1)], cfg.clone());
+        let mut leader = NeState::new_ag(
+            GroupId(1),
+            NodeId(10),
+            ring3(),
+            vec![NodeId(1)],
+            cfg.clone(),
+        );
         assert_eq!(leader.upstream(), None, "not grafted yet");
         leader.parent = Some(NodeId(1));
         assert_eq!(leader.upstream(), Some(NodeId(1)));

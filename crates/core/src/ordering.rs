@@ -121,7 +121,12 @@ impl NeState {
     }
 
     /// Cumulative pre-order ACK from the next ring node.
-    pub(crate) fn on_pre_order_ack(&mut self, from: Endpoint, corresponding: NodeId, upto: LocalSeq) {
+    pub(crate) fn on_pre_order_ack(
+        &mut self,
+        from: Endpoint,
+        corresponding: NodeId,
+        upto: LocalSeq,
+    ) {
         if Some(from) != self.ring_next().map(Endpoint::Ne) {
             return;
         }
@@ -138,7 +143,9 @@ impl NeState {
         missing: &[LocalSeq],
         out: &mut Outbox,
     ) {
-        let Endpoint::Ne(requester) = from else { return };
+        let Endpoint::Ne(requester) = from else {
+            return;
+        };
         let group = self.group;
         let Some(wq) = self.wq.as_ref() else { return };
         for &ls in missing {
@@ -169,7 +176,13 @@ impl NeState {
     }
 
     /// Handle an arriving `OrderingToken`.
-    pub(crate) fn on_token(&mut self, now: SimTime, from: Endpoint, token: OrderingToken, out: &mut Outbox) {
+    pub(crate) fn on_token(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        token: OrderingToken,
+        out: &mut Outbox,
+    ) {
         let me = self.id;
         let group = self.group;
         let Some(ord) = self.ord.as_mut() else { return };
@@ -400,14 +413,26 @@ mod tests {
         // must NOT be forwarded by node 2.
         let mut n2 = br(2);
         let mut out = Vec::new();
-        n2.on_pre_order(SimTime::ZERO, NodeId(0), LocalSeq(1), PayloadId(1), &mut out);
+        n2.on_pre_order(
+            SimTime::ZERO,
+            NodeId(0),
+            LocalSeq(1),
+            PayloadId(1),
+            &mut out,
+        );
         assert!(sends_of(&out).is_empty(), "stops at the node before origin");
         assert_eq!(n2.wq.as_ref().unwrap().rear_of(NodeId(0)), LocalSeq(1));
 
         // Node 1's next is node 2 ≠ corresponding 0 → forwards.
         let mut n1 = br(1);
         out.clear();
-        n1.on_pre_order(SimTime::ZERO, NodeId(0), LocalSeq(1), PayloadId(1), &mut out);
+        n1.on_pre_order(
+            SimTime::ZERO,
+            NodeId(0),
+            LocalSeq(1),
+            PayloadId(1),
+            &mut out,
+        );
         let sends = sends_of(&out);
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].0, NodeId(2));
@@ -417,9 +442,21 @@ mod tests {
     fn duplicate_pre_order_not_reforwarded() {
         let mut n1 = br(1);
         let mut out = Vec::new();
-        n1.on_pre_order(SimTime::ZERO, NodeId(0), LocalSeq(1), PayloadId(1), &mut out);
+        n1.on_pre_order(
+            SimTime::ZERO,
+            NodeId(0),
+            LocalSeq(1),
+            PayloadId(1),
+            &mut out,
+        );
         out.clear();
-        n1.on_pre_order(SimTime::ZERO, NodeId(0), LocalSeq(1), PayloadId(1), &mut out);
+        n1.on_pre_order(
+            SimTime::ZERO,
+            NodeId(0),
+            LocalSeq(1),
+            PayloadId(1),
+            &mut out,
+        );
         assert!(sends_of(&out).is_empty());
         assert_eq!(n1.counters.duplicates, 1);
     }
@@ -437,7 +474,9 @@ mod tests {
         let ordered: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Record(ProtoEvent::Ordered { gsn, local_seq, .. }) => Some((*local_seq, *gsn)),
+                Action::Record(ProtoEvent::Ordered { gsn, local_seq, .. }) => {
+                    Some((*local_seq, *gsn))
+                }
                 _ => None,
             })
             .collect();
@@ -481,20 +520,40 @@ mod tests {
         n.on_token(SimTime::ZERO, Endpoint::Ne(NodeId(0)), fresh, &mut out);
         out.clear();
         let stale = OrderingToken::new(G, NodeId(0)); // epoch 0
-        n.on_token(SimTime::from_millis(1), Endpoint::Ne(NodeId(0)), stale, &mut out);
+        n.on_token(
+            SimTime::from_millis(1),
+            Endpoint::Ne(NodeId(0)),
+            stale,
+            &mut out,
+        );
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Record(ProtoEvent::TokenDestroyed { epoch: Epoch(0), .. })
+            Action::Record(ProtoEvent::TokenDestroyed {
+                epoch: Epoch(0),
+                ..
+            })
         )));
         assert!(
             out.iter().any(|a| matches!(
                 a,
-                Action::Send { msg: Msg::TokenAck { epoch: Epoch(0), .. }, .. }
+                Action::Send {
+                    msg: Msg::TokenAck {
+                        epoch: Epoch(0),
+                        ..
+                    },
+                    ..
+                }
             )),
             "stale token still acked to silence the sender"
         );
         // And it must not have been forwarded.
-        assert!(!out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Token(_), .. })));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Token(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -521,16 +580,36 @@ mod tests {
         // tick, including from the OLD snapshot.
         let mut n = br(1);
         let mut out = Vec::new();
-        n.on_pre_order(SimTime::ZERO, NodeId(0), LocalSeq(1), PayloadId(1), &mut out);
+        n.on_pre_order(
+            SimTime::ZERO,
+            NodeId(0),
+            LocalSeq(1),
+            PayloadId(1),
+            &mut out,
+        );
         // Token pass 1 carries node 0's assignment for ls1 → gs1.
         let mut t1 = OrderingToken::new(G, NodeId(0));
-        t1.assign(NodeId(0), NodeId(0), LocalRange::new(LocalSeq(1), LocalSeq(1)));
-        n.on_token(SimTime::from_millis(5), Endpoint::Ne(NodeId(0)), t1, &mut out);
+        t1.assign(
+            NodeId(0),
+            NodeId(0),
+            LocalRange::new(LocalSeq(1), LocalSeq(1)),
+        );
+        n.on_token(
+            SimTime::from_millis(5),
+            Endpoint::Ne(NodeId(0)),
+            t1,
+            &mut out,
+        );
         // Token pass 2 (entry pruned from it) pushes pass 1 to OldOrderingToken.
         let mut t2 = OrderingToken::new(G, NodeId(0));
         t2.next_gsn = GlobalSeq(2);
         t2.rotation = 3;
-        n.on_token(SimTime::from_millis(10), Endpoint::Ne(NodeId(0)), t2, &mut out);
+        n.on_token(
+            SimTime::from_millis(10),
+            Endpoint::Ne(NodeId(0)),
+            t2,
+            &mut out,
+        );
         assert!(n.ord.as_ref().unwrap().old_token.is_some());
         out.clear();
         n.tick_order_assign(SimTime::from_millis(11), &mut out);
@@ -548,7 +627,13 @@ mod tests {
         );
         let mut out = Vec::new();
         ag.on_source_data(SimTime::ZERO, LocalSeq(1), PayloadId(1), &mut out);
-        ag.on_pre_order(SimTime::ZERO, NodeId(0), LocalSeq(1), PayloadId(1), &mut out);
+        ag.on_pre_order(
+            SimTime::ZERO,
+            NodeId(0),
+            LocalSeq(1),
+            PayloadId(1),
+            &mut out,
+        );
         ag.on_token(
             SimTime::ZERO,
             Endpoint::Ne(NodeId(0)),

@@ -164,7 +164,13 @@ mod tests {
         out.clear();
         n.on_token_loss_signal(SimTime::from_millis(1), &mut out);
         assert!(
-            !out.iter().any(|a| matches!(a, Action::Send { msg: Msg::TokenRegen { .. }, .. })),
+            !out.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: Msg::TokenRegen { .. },
+                    ..
+                }
+            )),
             "recent token ⇒ no regeneration"
         );
     }
@@ -178,9 +184,10 @@ mod tests {
         let regens: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(to), msg: Msg::TokenRegen { origin, .. } } => {
-                    Some((*to, *origin))
-                }
+                Action::Send {
+                    to: Endpoint::Ne(to),
+                    msg: Msg::TokenRegen { origin, .. },
+                } => Some((*to, *origin)),
                 _ => None,
             })
             .collect();
@@ -197,7 +204,12 @@ mod tests {
         let mut out = Vec::new();
         // Node 1 saw a token very recently.
         let tok = OrderingToken::new(G, NodeId(0));
-        n.on_token(SimTime::from_millis(100), Endpoint::Ne(NodeId(0)), tok, &mut out);
+        n.on_token(
+            SimTime::from_millis(100),
+            Endpoint::Ne(NodeId(0)),
+            tok,
+            &mut out,
+        );
         out.clear();
         n.on_token_regen(
             SimTime::from_millis(101),
@@ -214,7 +226,11 @@ mod tests {
         let t = quiet_time(&n.cfg);
         // Node 1's snapshot is ahead: next_gsn = 11.
         let mut mine = OrderingToken::new(G, NodeId(0));
-        mine.assign(NodeId(1), NodeId(1), LocalRange::new(LocalSeq(1), LocalSeq(10)));
+        mine.assign(
+            NodeId(1),
+            NodeId(1),
+            LocalRange::new(LocalSeq(1), LocalSeq(10)),
+        );
         n.ord.as_mut().unwrap().new_token = Some(mine);
         let mut out = Vec::new();
         let stale = OrderingToken::new(G, NodeId(0)); // next_gsn = 1
@@ -222,9 +238,10 @@ mod tests {
         let fwd: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(to), msg: Msg::TokenRegen { best, origin, .. } } => {
-                    Some((*to, *origin, best.next_gsn))
-                }
+                Action::Send {
+                    to: Endpoint::Ne(to),
+                    msg: Msg::TokenRegen { best, origin, .. },
+                } => Some((*to, *origin, best.next_gsn)),
                 _ => None,
             })
             .collect();
@@ -236,22 +253,36 @@ mod tests {
         let mut n = br(0);
         let t = quiet_time(&n.cfg);
         let mut best = OrderingToken::new(G, NodeId(2));
-        best.assign(NodeId(2), NodeId(2), LocalRange::new(LocalSeq(1), LocalSeq(5)));
+        best.assign(
+            NodeId(2),
+            NodeId(2),
+            LocalRange::new(LocalSeq(1), LocalSeq(5)),
+        );
         let mut out = Vec::new();
         // The message we originated comes back to us.
         n.on_token_regen(t, NodeId(0), best, &mut out);
         let regenerated: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Record(ProtoEvent::TokenRegenerated { epoch, next_gsn, .. }) => {
-                    Some((*epoch, *next_gsn))
-                }
+                Action::Record(ProtoEvent::TokenRegenerated {
+                    epoch, next_gsn, ..
+                }) => Some((*epoch, *next_gsn)),
                 _ => None,
             })
             .collect();
-        assert_eq!(regenerated, vec![(Epoch(1), GlobalSeq(6))], "sequence space preserved");
+        assert_eq!(
+            regenerated,
+            vec![(Epoch(1), GlobalSeq(6))],
+            "sequence space preserved"
+        );
         // And the new token started circulating.
-        assert!(out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Token(_), .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Token(_),
+                ..
+            }
+        )));
         assert_eq!(
             n.ord.as_ref().unwrap().best_instance,
             (Epoch(1), 0),
@@ -268,7 +299,10 @@ mod tests {
         n.on_token_loss_signal(t, &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Record(ProtoEvent::TokenRegenerated { epoch: Epoch(1), .. })
+            Action::Record(ProtoEvent::TokenRegenerated {
+                epoch: Epoch(1),
+                ..
+            })
         )));
     }
 
@@ -284,16 +318,30 @@ mod tests {
         n.on_token(t, Endpoint::Ne(NodeId(2)), stale, &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Record(ProtoEvent::TokenDestroyed { epoch: Epoch(0), .. })
+            Action::Record(ProtoEvent::TokenDestroyed {
+                epoch: Epoch(0),
+                ..
+            })
         )));
     }
 
     #[test]
     fn non_top_node_ignores_recovery_traffic() {
-        let mut ag = NeState::new_ag(G, NodeId(5), vec![NodeId(5), NodeId(6)], vec![], ProtocolConfig::default());
+        let mut ag = NeState::new_ag(
+            G,
+            NodeId(5),
+            vec![NodeId(5), NodeId(6)],
+            vec![],
+            ProtocolConfig::default(),
+        );
         let mut out = Vec::new();
         ag.on_token_loss_signal(SimTime::from_secs(10), &mut out);
-        ag.on_token_regen(SimTime::from_secs(10), NodeId(5), OrderingToken::new(G, NodeId(5)), &mut out);
+        ag.on_token_regen(
+            SimTime::from_secs(10),
+            NodeId(5),
+            OrderingToken::new(G, NodeId(5)),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 }

@@ -33,7 +33,13 @@ impl NeState {
         let (to_request, newly_lost) = self.mq.collect_nacks(self.cfg.nack_budget);
         if !to_request.is_empty() {
             if let Some(up) = self.upstream() {
-                out.push(Action::to_ne(up, Msg::DataNack { group, missing: to_request }));
+                out.push(Action::to_ne(
+                    up,
+                    Msg::DataNack {
+                        group,
+                        missing: to_request,
+                    },
+                ));
                 self.counters.control_sent += 1;
             }
         }
@@ -54,7 +60,11 @@ impl NeState {
                         }
                         out.push(Action::to_ne(
                             prev,
-                            Msg::PreOrderNack { group, corresponding: corr, missing },
+                            Msg::PreOrderNack {
+                                group,
+                                corresponding: corr,
+                                missing,
+                            },
                         ));
                         self.counters.control_sent += 1;
                     }
@@ -63,7 +73,10 @@ impl NeState {
         }
 
         // (3) Periodic cumulative ACKs.
-        if self.hop_tick_count.is_multiple_of(self.cfg.ack_every as u64) {
+        if self
+            .hop_tick_count
+            .is_multiple_of(self.cfg.ack_every as u64)
+        {
             let front = self.mq.front();
             let mut ack_targets: Vec<crate::ids::NodeId> = Vec::with_capacity(2);
             if let Some(up) = self.upstream() {
@@ -93,7 +106,11 @@ impl NeState {
                         for (corr, upto) in acks {
                             out.push(Action::to_ne(
                                 prev,
-                                Msg::PreOrderAck { group, corresponding: corr, upto },
+                                Msg::PreOrderAck {
+                                    group,
+                                    corresponding: corr,
+                                    upto,
+                                },
                             ));
                             self.counters.control_sent += 1;
                         }
@@ -113,7 +130,9 @@ impl NeState {
     /// single-node ring; give up after the retry budget.
     fn token_maintenance(&mut self, now: SimTime, out: &mut Outbox) {
         let me = self.id;
-        let Some(ring) = self.ring.as_ref() else { return };
+        let Some(ring) = self.ring.as_ref() else {
+            return;
+        };
         let sole = ring.alive_count() == 1;
         let next_now = ring.next_of(me);
         if self.ord.is_none() {
@@ -138,7 +157,9 @@ impl NeState {
         }
 
         let ord = self.ord.as_mut().expect("checked above");
-        let Some(inf) = ord.inflight.as_mut() else { return };
+        let Some(inf) = ord.inflight.as_mut() else {
+            return;
+        };
         if now.saturating_since(inf.sent_at) < self.cfg.token_retry_after {
             return;
         }
@@ -215,20 +236,31 @@ mod tests {
     fn gap_produces_nack_to_upstream() {
         let mut n = ag20();
         let mut out = Vec::new();
-        n.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(3), data(3), &mut out);
+        n.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(3),
+            data(3),
+            &mut out,
+        );
         out.clear();
         n.tick_hop(SimTime::from_millis(5), &mut out);
         let nacks: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(t), msg: Msg::DataNack { missing, .. } } => {
-                    Some((*t, missing.clone()))
-                }
+                Action::Send {
+                    to: Endpoint::Ne(t),
+                    msg: Msg::DataNack { missing, .. },
+                } => Some((*t, missing.clone())),
                 _ => None,
             })
             .collect();
         assert_eq!(nacks.len(), 1);
-        assert_eq!(nacks[0].0, NodeId(10), "nack goes to the previous ring node");
+        assert_eq!(
+            nacks[0].0,
+            NodeId(10),
+            "nack goes to the previous ring node"
+        );
         assert_eq!(nacks[0].1, vec![GlobalSeq(1), GlobalSeq(2)]);
     }
 
@@ -236,17 +268,32 @@ mod tests {
     fn acks_flow_upstream_on_schedule() {
         let mut n = ag20();
         let mut out = Vec::new();
-        n.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(1), data(1), &mut out);
+        n.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(1),
+            data(1),
+            &mut out,
+        );
         out.clear();
         // ack_every = 2 → first tick: no ack, second tick: ack.
         n.tick_hop(SimTime::from_millis(5), &mut out);
-        assert!(!out.iter().any(|a| matches!(a, Action::Send { msg: Msg::DataAck { .. }, .. })));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::DataAck { .. },
+                ..
+            }
+        )));
         out.clear();
         n.tick_hop(SimTime::from_millis(10), &mut out);
         let acks: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(t), msg: Msg::DataAck { upto, .. } } => Some((*t, *upto)),
+                Action::Send {
+                    to: Endpoint::Ne(t),
+                    msg: Msg::DataAck { upto, .. },
+                } => Some((*t, *upto)),
                 _ => None,
             })
             .collect();
@@ -269,7 +316,10 @@ mod tests {
         let targets: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(t), msg: Msg::DataAck { .. } } => Some(*t),
+                Action::Send {
+                    to: Endpoint::Ne(t),
+                    msg: Msg::DataAck { .. },
+                } => Some(*t),
                 _ => None,
             })
             .collect();
@@ -281,7 +331,13 @@ mod tests {
         let cfg = ProtocolConfig::default().with_nack_budget(1);
         let mut n = NeState::new_ag(G, NodeId(20), vec![NodeId(10), NodeId(20)], vec![], cfg);
         let mut out = Vec::new();
-        n.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(2), data(2), &mut out);
+        n.on_data(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            GlobalSeq(2),
+            data(2),
+            &mut out,
+        );
         out.clear();
         n.tick_hop(SimTime::from_millis(5), &mut out); // nack #1
         assert_eq!(n.mq.front(), GlobalSeq::ZERO);
@@ -297,23 +353,44 @@ mod tests {
         let mut n = NeState::new_br(G, NodeId(0), vec![NodeId(0), NodeId(1)], true, cfg);
         let mut out = Vec::new();
         n.originate_token(SimTime::ZERO, &mut out);
-        assert_eq!(n.ord.as_ref().unwrap().inflight.as_ref().unwrap().attempts, 1);
+        assert_eq!(
+            n.ord.as_ref().unwrap().inflight.as_ref().unwrap().attempts,
+            1
+        );
         // Before the retry timeout: nothing happens.
         out.clear();
         n.tick_hop(SimTime::ZERO + retry_after / 2, &mut out);
-        assert!(!out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Token(_), .. })));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Token(_),
+                ..
+            }
+        )));
         // After the timeout: resend.
         let mut t = SimTime::ZERO + retry_after;
         n.tick_hop(t, &mut out);
-        assert!(out.iter().any(|a| matches!(a, Action::Send { msg: Msg::Token(_), .. })));
-        assert_eq!(n.ord.as_ref().unwrap().inflight.as_ref().unwrap().attempts, 2);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Token(_),
+                ..
+            }
+        )));
+        assert_eq!(
+            n.ord.as_ref().unwrap().inflight.as_ref().unwrap().attempts,
+            2
+        );
         // Exhaust the budget.
         for _ in 0..budget {
             t += retry_after;
             out.clear();
             n.tick_hop(t, &mut out);
         }
-        assert!(n.ord.as_ref().unwrap().inflight.is_none(), "gave up after budget");
+        assert!(
+            n.ord.as_ref().unwrap().inflight.is_none(),
+            "gave up after budget"
+        );
     }
 
     #[test]
@@ -328,7 +405,10 @@ mod tests {
         // The self-pass assigned the pending message.
         assert!(out.iter().any(|a| matches!(
             a,
-            Action::Record(crate::events::ProtoEvent::Ordered { gsn: GlobalSeq(1), .. })
+            Action::Record(crate::events::ProtoEvent::Ordered {
+                gsn: GlobalSeq(1),
+                ..
+            })
         )));
     }
 
@@ -337,7 +417,13 @@ mod tests {
         let mut n = ag20();
         let mut out = Vec::new();
         for g in 1..=4u64 {
-            n.on_data(SimTime::ZERO, Endpoint::Ne(NodeId(10)), GlobalSeq(g), data(g), &mut out);
+            n.on_data(
+                SimTime::ZERO,
+                Endpoint::Ne(NodeId(10)),
+                GlobalSeq(g),
+                data(g),
+                &mut out,
+            );
         }
         // A child lagging at 1 pins the watermark.
         n.children.insert(NodeId(99), SimTime::ZERO);
@@ -345,9 +431,16 @@ mod tests {
         // Ring next acked everything.
         n.on_data_ack(SimTime::ZERO, Endpoint::Ne(NodeId(30)), GlobalSeq(4));
         n.tick_hop(SimTime::from_millis(5), &mut out);
-        assert!(n.mq.get(GlobalSeq(1)).is_some(), "retained for lagging child");
+        assert!(
+            n.mq.get(GlobalSeq(1)).is_some(),
+            "retained for lagging child"
+        );
         // Child catches up → GC proceeds (keeping the one-slot service tail).
-        n.on_data_ack(SimTime::from_millis(6), Endpoint::Ne(NodeId(99)), GlobalSeq(4));
+        n.on_data_ack(
+            SimTime::from_millis(6),
+            Endpoint::Ne(NodeId(99)),
+            GlobalSeq(4),
+        );
         n.tick_hop(SimTime::from_millis(10), &mut out);
         assert!(n.mq.get(GlobalSeq(2)).is_none());
         assert!(n.mq.get(GlobalSeq(4)).is_some());
@@ -366,19 +459,37 @@ mod tests {
     #[test]
     fn wq_nacks_go_to_prev_excluding_own_stream() {
         let cfg = ProtocolConfig::default();
-        let mut n = NeState::new_br(G, NodeId(1), vec![NodeId(0), NodeId(1), NodeId(2)], true, cfg);
+        let mut n = NeState::new_br(
+            G,
+            NodeId(1),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            true,
+            cfg,
+        );
         let mut out = Vec::new();
         // Hole in source 0's stream (ls 1 missing), own stream complete.
-        n.on_pre_order(SimTime::ZERO, NodeId(0), LocalSeq(2), PayloadId(2), &mut out);
+        n.on_pre_order(
+            SimTime::ZERO,
+            NodeId(0),
+            LocalSeq(2),
+            PayloadId(2),
+            &mut out,
+        );
         n.on_source_data(SimTime::ZERO, LocalSeq(1), PayloadId(1), &mut out);
         out.clear();
         n.tick_hop(SimTime::from_millis(5), &mut out);
         let nacks: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to: Endpoint::Ne(t), msg: Msg::PreOrderNack { corresponding, missing, .. } } => {
-                    Some((*t, *corresponding, missing.clone()))
-                }
+                Action::Send {
+                    to: Endpoint::Ne(t),
+                    msg:
+                        Msg::PreOrderNack {
+                            corresponding,
+                            missing,
+                            ..
+                        },
+                } => Some((*t, *corresponding, missing.clone())),
                 _ => None,
             })
             .collect();

@@ -85,7 +85,12 @@ impl OrderingToken {
 
     /// Assign global numbers to `range` of `source`'s messages, recorded as
     /// ordered by `ordering_node`. Returns the first assigned global number.
-    pub fn assign(&mut self, ordering_node: NodeId, source: NodeId, range: LocalRange) -> GlobalSeq {
+    pub fn assign(
+        &mut self,
+        ordering_node: NodeId,
+        source: NodeId,
+        range: LocalRange,
+    ) -> GlobalSeq {
         let min_gs = self.next_gsn;
         self.next_gsn = self.next_gsn.advance(range.len());
         self.wtsnp.push(SeqNoPair {
@@ -148,8 +153,16 @@ mod tests {
     #[test]
     fn assignment_is_contiguous() {
         let mut t = token();
-        let g1 = t.assign(NodeId(0), NodeId(0), LocalRange::new(LocalSeq(1), LocalSeq(3)));
-        let g2 = t.assign(NodeId(1), NodeId(1), LocalRange::new(LocalSeq(1), LocalSeq(2)));
+        let g1 = t.assign(
+            NodeId(0),
+            NodeId(0),
+            LocalRange::new(LocalSeq(1), LocalSeq(3)),
+        );
+        let g2 = t.assign(
+            NodeId(1),
+            NodeId(1),
+            LocalRange::new(LocalSeq(1), LocalSeq(2)),
+        );
         assert_eq!(g1, GlobalSeq(1));
         assert_eq!(g2, GlobalSeq(4));
         assert_eq!(t.next_gsn, GlobalSeq(6));
@@ -161,7 +174,11 @@ mod tests {
     #[test]
     fn global_for_maps_within_range() {
         let mut t = token();
-        t.assign(NodeId(0), NodeId(0), LocalRange::new(LocalSeq(5), LocalSeq(8)));
+        t.assign(
+            NodeId(0),
+            NodeId(0),
+            LocalRange::new(LocalSeq(5), LocalSeq(8)),
+        );
         let e = t.entries()[0];
         assert_eq!(e.global_for(LocalSeq(5)), Some(GlobalSeq(1)));
         assert_eq!(e.global_for(LocalSeq(8)), Some(GlobalSeq(4)));
@@ -172,9 +189,17 @@ mod tests {
     #[test]
     fn rotation_prunes_old_entries() {
         let mut t = token();
-        t.assign(NodeId(0), NodeId(0), LocalRange::new(LocalSeq(1), LocalSeq(1)));
+        t.assign(
+            NodeId(0),
+            NodeId(0),
+            LocalRange::new(LocalSeq(1), LocalSeq(1)),
+        );
         assert_eq!(t.complete_rotation(), 0); // rotation 1, entry from 0 kept
-        t.assign(NodeId(1), NodeId(1), LocalRange::new(LocalSeq(1), LocalSeq(1)));
+        t.assign(
+            NodeId(1),
+            NodeId(1),
+            LocalRange::new(LocalSeq(1), LocalSeq(1)),
+        );
         assert_eq!(t.complete_rotation(), 0); // rotation 2, entries from 0,1 kept
         assert_eq!(t.complete_rotation(), 1); // rotation 3: entry from 0 pruned
         assert_eq!(t.entries().len(), 1);
@@ -195,7 +220,10 @@ mod tests {
         b.origin = NodeId(9);
         assert!(b.wins_over(&a) && !a.wins_over(&b));
         b.origin = NodeId(0);
-        assert!(!a.wins_over(&b) && !b.wins_over(&a), "identical instances: neither wins");
+        assert!(
+            !a.wins_over(&b) && !b.wins_over(&a),
+            "identical instances: neither wins"
+        );
     }
 
     #[test]

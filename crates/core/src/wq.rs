@@ -158,7 +158,10 @@ impl WorkingQueue {
         payload: PayloadId,
     ) -> InsertOutcome {
         let cap = self.capacity_per_source;
-        let q = self.queues.entry(corresponding).or_insert_with(SourceQueue::new);
+        let q = self
+            .queues
+            .entry(corresponding)
+            .or_insert_with(SourceQueue::new);
         let outcome = q.insert(ls, payload, cap);
         if outcome == InsertOutcome::Overflow {
             self.overflow_drops += 1;
@@ -194,7 +197,12 @@ impl WorkingQueue {
         let mut out = Vec::new();
         for ls in range.iter() {
             let Some(i) = q.idx(ls) else { continue };
-            if let SqSlot::Present { payload, gsn, copied } = &mut q.slots[i] {
+            if let SqSlot::Present {
+                payload,
+                gsn,
+                copied,
+            } = &mut q.slots[i]
+            {
                 if *copied {
                     continue;
                 }
@@ -316,16 +324,29 @@ mod tests {
     fn insert_and_order_flow() {
         let mut wq = WorkingQueue::new(64);
         for ls in 1..=3u64 {
-            assert_eq!(wq.insert(N1, LocalSeq(ls), PayloadId(ls)), InsertOutcome::Stored);
+            assert_eq!(
+                wq.insert(N1, LocalSeq(ls), PayloadId(ls)),
+                InsertOutcome::Stored
+            );
         }
-        let out = wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(3)), GlobalSeq(10));
+        let out = wq.take_orderable(
+            N1,
+            N1,
+            LocalRange::new(LocalSeq(1), LocalSeq(3)),
+            GlobalSeq(10),
+        );
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].0, GlobalSeq(10));
         assert_eq!(out[2].0, GlobalSeq(12));
         assert_eq!(out[1].1.local_seq, LocalSeq(2));
         assert_eq!(out[0].1.ordering_node, N1);
         // Second call is a no-op: entries already copied.
-        let again = wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(3)), GlobalSeq(10));
+        let again = wq.take_orderable(
+            N1,
+            N1,
+            LocalRange::new(LocalSeq(1), LocalSeq(3)),
+            GlobalSeq(10),
+        );
         assert!(again.is_empty());
     }
 
@@ -334,13 +355,23 @@ mod tests {
         let mut wq = WorkingQueue::new(64);
         wq.insert(N1, LocalSeq(1), PayloadId(1));
         wq.insert(N1, LocalSeq(3), PayloadId(3)); // ls 2 missing
-        let out = wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(3)), GlobalSeq(5));
+        let out = wq.take_orderable(
+            N1,
+            N1,
+            LocalRange::new(LocalSeq(1), LocalSeq(3)),
+            GlobalSeq(5),
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, GlobalSeq(5)); // ls1 → gs5
         assert_eq!(out[1].0, GlobalSeq(7)); // ls3 → gs7 (gs6 reserved for ls2)
-        // ls2 arrives late: its reserved number is still assigned correctly.
+                                            // ls2 arrives late: its reserved number is still assigned correctly.
         wq.insert(N1, LocalSeq(2), PayloadId(2));
-        let late = wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(3)), GlobalSeq(5));
+        let late = wq.take_orderable(
+            N1,
+            N1,
+            LocalRange::new(LocalSeq(1), LocalSeq(3)),
+            GlobalSeq(5),
+        );
         assert_eq!(late.len(), 1);
         assert_eq!(late[0].0, GlobalSeq(6));
     }
@@ -350,7 +381,12 @@ mod tests {
         let mut wq = WorkingQueue::new(64);
         wq.insert(N1, LocalSeq(1), PayloadId(1));
         wq.insert(N1, LocalSeq(2), PayloadId(2));
-        wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(2)), GlobalSeq(1));
+        wq.take_orderable(
+            N1,
+            N1,
+            LocalRange::new(LocalSeq(1), LocalSeq(2)),
+            GlobalSeq(1),
+        );
         assert_eq!(wq.gc(), 0, "not acked by next yet");
         wq.ack_from_next(N1, LocalSeq(1));
         assert_eq!(wq.gc(), 1);
@@ -406,9 +442,18 @@ mod tests {
     #[test]
     fn overflow_counted() {
         let mut wq = WorkingQueue::new(2);
-        assert_eq!(wq.insert(N1, LocalSeq(1), PayloadId(1)), InsertOutcome::Stored);
-        assert_eq!(wq.insert(N1, LocalSeq(2), PayloadId(2)), InsertOutcome::Stored);
-        assert_eq!(wq.insert(N1, LocalSeq(3), PayloadId(3)), InsertOutcome::Overflow);
+        assert_eq!(
+            wq.insert(N1, LocalSeq(1), PayloadId(1)),
+            InsertOutcome::Stored
+        );
+        assert_eq!(
+            wq.insert(N1, LocalSeq(2), PayloadId(2)),
+            InsertOutcome::Stored
+        );
+        assert_eq!(
+            wq.insert(N1, LocalSeq(3), PayloadId(3)),
+            InsertOutcome::Overflow
+        );
         assert_eq!(wq.overflow_drops, 1);
     }
 
@@ -416,7 +461,10 @@ mod tests {
     fn duplicate_insert() {
         let mut wq = WorkingQueue::new(8);
         wq.insert(N1, LocalSeq(1), PayloadId(1));
-        assert_eq!(wq.insert(N1, LocalSeq(1), PayloadId(1)), InsertOutcome::Duplicate);
+        assert_eq!(
+            wq.insert(N1, LocalSeq(1), PayloadId(1)),
+            InsertOutcome::Duplicate
+        );
     }
 
     #[test]
@@ -425,7 +473,12 @@ mod tests {
         for ls in 1..=5u64 {
             wq.insert(N1, LocalSeq(ls), PayloadId(ls));
         }
-        wq.take_orderable(N1, N1, LocalRange::new(LocalSeq(1), LocalSeq(5)), GlobalSeq(1));
+        wq.take_orderable(
+            N1,
+            N1,
+            LocalRange::new(LocalSeq(1), LocalSeq(5)),
+            GlobalSeq(1),
+        );
         wq.ack_from_next(N1, LocalSeq(5));
         wq.gc();
         assert_eq!(wq.occupancy(), 0);

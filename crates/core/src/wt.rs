@@ -161,7 +161,10 @@ mod tests {
         wt.register(NodeId(2), GlobalSeq(10));
         wt.register(NodeId(3), GlobalSeq(7));
         let lag: Vec<_> = wt.lagging(GlobalSeq(8)).collect();
-        assert_eq!(lag, vec![(NodeId(1), GlobalSeq(5)), (NodeId(3), GlobalSeq(7))]);
+        assert_eq!(
+            lag,
+            vec![(NodeId(1), GlobalSeq(5)), (NodeId(3), GlobalSeq(7))]
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use ringnet_core::{
-    Action, Endpoint, GlobalSeq, GroupId, Guid, LocalSeq, MhState, Msg, NeState, NodeId,
-    PayloadId, ProtoEvent, ProtocolConfig,
+    Action, Endpoint, GlobalSeq, GroupId, Guid, LocalSeq, MhState, Msg, NeState, NodeId, PayloadId,
+    ProtoEvent, ProtocolConfig,
 };
 use simnet::{SimDuration, SimTime};
 
@@ -175,7 +175,10 @@ fn end_to_end_ordering_handshake() {
     let mut out = Vec::new();
     {
         let now = net.now;
-        net.nes.get_mut(&NodeId(0)).unwrap().originate_token(now, &mut out);
+        net.nes
+            .get_mut(&NodeId(0))
+            .unwrap()
+            .originate_token(now, &mut out);
     }
     net.absorb(Endpoint::Ne(NodeId(0)), out);
     net.settle();
@@ -210,7 +213,9 @@ fn end_to_end_ordering_handshake() {
         .records
         .iter()
         .filter_map(|e| match e {
-            ProtoEvent::MhDeliver { mh: Guid(7), gsn, .. } => Some(gsn.0),
+            ProtoEvent::MhDeliver {
+                mh: Guid(7), gsn, ..
+            } => Some(gsn.0),
             _ => None,
         })
         .collect();
@@ -305,7 +310,11 @@ fn handoff_between_aps_preserves_continuity() {
         ap.on_msg(
             now,
             Endpoint::Ne(NodeId(0)),
-            Msg::Data { group: G, gsn: GlobalSeq(6), data: mk(6) },
+            Msg::Data {
+                group: G,
+                gsn: GlobalSeq(6),
+                data: mk(6),
+            },
             &mut out,
         );
         net.absorb(Endpoint::Ne(NodeId(10)), out);
@@ -320,7 +329,11 @@ fn handoff_between_aps_preserves_continuity() {
             ap.on_msg(
                 now,
                 Endpoint::Ne(NodeId(0)),
-                Msg::Data { group: G, gsn: GlobalSeq(g), data: mk(g) },
+                Msg::Data {
+                    group: G,
+                    gsn: GlobalSeq(g),
+                    data: mk(g),
+                },
                 &mut out,
             );
         }
@@ -332,7 +345,10 @@ fn handoff_between_aps_preserves_continuity() {
         net.mhs.get_mut(&Guid(1)).unwrap().on_msg(
             now,
             Endpoint::Ne(NodeId(11)),
-            Msg::HandoffTo { group: G, new_ap: NodeId(11) },
+            Msg::HandoffTo {
+                group: G,
+                new_ap: NodeId(11),
+            },
             &mut out,
         );
         net.absorb(Endpoint::Mh(Guid(1)), out);
@@ -344,7 +360,9 @@ fn handoff_between_aps_preserves_continuity() {
         .records
         .iter()
         .filter_map(|e| match e {
-            ProtoEvent::MhDeliver { mh: Guid(1), gsn, .. } => Some(gsn.0),
+            ProtoEvent::MhDeliver {
+                mh: Guid(1), gsn, ..
+            } => Some(gsn.0),
             _ => None,
         })
         .collect();
@@ -360,7 +378,10 @@ fn token_survives_instant_two_node_circulation() {
     let mut out = Vec::new();
     {
         let now = net.now;
-        net.nes.get_mut(&NodeId(0)).unwrap().originate_token(now, &mut out);
+        net.nes
+            .get_mut(&NodeId(0))
+            .unwrap()
+            .originate_token(now, &mut out);
     }
     net.absorb(Endpoint::Ne(NodeId(0)), out);
     net.settle();
@@ -386,7 +407,13 @@ fn membership_counts_aggregate_to_top_leader() {
     let cfg = ProtocolConfig::default();
     let ring = vec![NodeId(0), NodeId(1)];
     let mut net = Net::new();
-    net.add_ne(NeState::new_br(G, NodeId(0), ring.clone(), true, cfg.clone()));
+    net.add_ne(NeState::new_br(
+        G,
+        NodeId(0),
+        ring.clone(),
+        true,
+        cfg.clone(),
+    ));
     net.add_ne(NeState::new_br(G, NodeId(1), ring, true, cfg.clone()));
     let mut ap = NeState::new_ap(G, NodeId(10), vec![NodeId(1)], true, vec![], cfg.clone());
     ap.parent = Some(NodeId(1));
@@ -416,7 +443,10 @@ fn membership_counts_aggregate_to_top_leader() {
         .iter()
         .rev()
         .find_map(|e| match e {
-            ProtoEvent::MembershipCount { node: NodeId(0), members } => Some(*members),
+            ProtoEvent::MembershipCount {
+                node: NodeId(0),
+                members,
+            } => Some(*members),
             _ => None,
         })
         .expect("top leader recorded the aggregate");

@@ -70,7 +70,10 @@ fn ap_failure_orphans_then_handoff_rescues() {
             _ => None,
         })
         .collect();
-    assert!(times.iter().any(|t| *t < SimTime::from_secs(2)), "delivered before failure");
+    assert!(
+        times.iter().any(|t| *t < SimTime::from_secs(2)),
+        "delivered before failure"
+    );
     assert!(
         times.iter().any(|t| *t > SimTime::from_secs(4)),
         "delivery resumed after the rescue handoff"
@@ -79,7 +82,9 @@ fn ap_failure_orphans_then_handoff_rescues() {
     let gsns: Vec<u64> = journal
         .iter()
         .filter_map(|(_, e)| match e {
-            ProtoEvent::MhDeliver { mh: Guid(0), gsn, .. } => Some(gsn.0),
+            ProtoEvent::MhDeliver {
+                mh: Guid(0), gsn, ..
+            } => Some(gsn.0),
             _ => None,
         })
         .collect();
@@ -212,7 +217,10 @@ fn reservation_expires_and_ap_prunes_itself() {
         .collect();
     assert!(grafted.len() >= 2, "grafts: {grafted:?}");
     let pruned = count(&journal, |e| matches!(e, ProtoEvent::Pruned { .. }));
-    assert!(pruned >= 1, "reservation-only APs must prune after TTL: {pruned}");
+    assert!(
+        pruned >= 1,
+        "reservation-only APs must prune after TTL: {pruned}"
+    );
     // The member's own AP stays grafted: deliveries continue to the end.
     let last = journal
         .iter()
@@ -268,7 +276,10 @@ fn killing_an_mh_stops_its_acks_and_frees_it() {
         })
         .collect();
     // 2 APs × 2 MHs = 4 members; the kill leaves 3.
-    assert!(counts.last().is_some_and(|&c| c == 3), "final membership: {counts:?}");
+    assert!(
+        counts.last().is_some_and(|&c| c == 3),
+        "final membership: {counts:?}"
+    );
 }
 
 #[test]
@@ -292,6 +303,9 @@ fn zero_mh_network_runs_clean() {
         count(&journal, |e| matches!(e, ProtoEvent::Ordered { .. })),
         100
     );
-    assert_eq!(count(&journal, |e| matches!(e, ProtoEvent::MhDeliver { .. })), 0);
+    assert_eq!(
+        count(&journal, |e| matches!(e, ProtoEvent::MhDeliver { .. })),
+        0
+    );
     assert_eq!(stats.packets_no_route, 0, "no dangling destinations");
 }

@@ -1,64 +1,71 @@
-//! Property-based tests of protocol-level invariants: ring navigation under
-//! arbitrary failure patterns, token instance ordering, and whole-network
-//! total order under randomized loss and traffic.
-
-use proptest::prelude::*;
+//! Randomized property tests of protocol-level invariants: ring navigation
+//! under arbitrary failure patterns, token instance ordering, and
+//! whole-network total order under randomized loss and traffic. Cases are
+//! drawn from seeded [`SimRng`] streams — reproducible, dependency-free.
 
 use ringnet_core::hierarchy::{LinkPlan, TrafficPattern};
 use ringnet_core::node::RingState;
-use ringnet_core::{
-    GroupId, HierarchyBuilder, NodeId, OrderingToken, ProtoEvent, RingNetSim,
-};
-use simnet::{LinkProfile, SimDuration, SimTime};
+use ringnet_core::{GroupId, HierarchyBuilder, NodeId, OrderingToken, ProtoEvent, RingNetSim};
+use simnet::{LinkProfile, SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// Ring navigation stays consistent under any failure subset that
-    /// leaves the owner alive: next/prev are inverse, the leader is the
-    /// minimum alive id, and iterating `next` visits every alive member.
-    #[test]
-    fn ring_navigation_consistent(
-        n in 2usize..12,
-        dead_mask in proptest::collection::vec(any::<bool>(), 12)
-    ) {
+/// Ring navigation stays consistent under any failure subset that
+/// leaves the owner alive: next/prev are inverse, the leader is the
+/// minimum alive id, and iterating `next` visits every alive member.
+#[test]
+fn ring_navigation_consistent() {
+    let mut rng = SimRng::from_seed(0xC1);
+    for case in 0..64 {
+        let n = rng.range_u64(2, 12) as usize;
+        let dead_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let order: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
         let me = NodeId(0);
         let mut ring = RingState::new(order.clone(), me, true);
-        for (i, &d) in dead_mask.iter().take(n).enumerate() {
+        for (i, &d) in dead_mask.iter().enumerate() {
             if d && i != 0 {
                 ring.mark_dead(NodeId(i as u32));
             }
         }
-        let alive: Vec<NodeId> = order.iter().copied().filter(|x| ring.alive.contains(x)).collect();
-        prop_assert_eq!(ring.leader(), alive[0], "leader = min alive");
+        let alive: Vec<NodeId> = order
+            .iter()
+            .copied()
+            .filter(|x| ring.alive.contains(x))
+            .collect();
+        assert_eq!(ring.leader(), alive[0], "case {case}: leader = min alive");
         // next/prev inverse on every alive member.
         for &a in &alive {
             let nx = ring.next_of(a);
-            prop_assert!(ring.alive.contains(&nx));
-            prop_assert_eq!(ring.prev_of(nx), a, "prev(next(a)) == a");
+            assert!(ring.alive.contains(&nx), "case {case}");
+            assert_eq!(ring.prev_of(nx), a, "case {case}: prev(next(a)) == a");
         }
         // Iterating next from me visits all alive members exactly once.
         let mut seen = vec![me];
         let mut cur = ring.next_of(me);
         while cur != me {
-            prop_assert!(!seen.contains(&cur), "cycle visits a member twice");
+            assert!(
+                !seen.contains(&cur),
+                "case {case}: cycle visits a member twice"
+            );
             seen.push(cur);
             cur = ring.next_of(cur);
         }
         seen.sort_unstable();
         let mut alive_sorted = alive.clone();
         alive_sorted.sort_unstable();
-        prop_assert_eq!(seen, alive_sorted);
+        assert_eq!(seen, alive_sorted, "case {case}");
     }
+}
 
-    /// The Multiple-Token keep-one relation is a strict weak order: at most
-    /// one of `a wins b` / `b wins a`, and transitivity holds across trios.
-    #[test]
-    fn token_instance_order_consistent(
-        ids in proptest::collection::vec((0u32..8, 0u32..8), 3..10)
-    ) {
-        let tokens: Vec<OrderingToken> = ids
-            .iter()
-            .map(|&(epoch, origin)| {
+/// The Multiple-Token keep-one relation is a strict weak order: at most
+/// one of `a wins b` / `b wins a`, and transitivity holds across trios.
+#[test]
+fn token_instance_order_consistent() {
+    let mut rng = SimRng::from_seed(0xC2);
+    for _case in 0..64 {
+        let count = rng.range_u64(3, 10) as usize;
+        let tokens: Vec<OrderingToken> = (0..count)
+            .map(|_| {
+                let epoch = rng.range_u64(0, 8) as u32;
+                let origin = rng.range_u64(0, 8) as u32;
                 let mut t = OrderingToken::new(GroupId(1), NodeId(origin));
                 t.epoch = ringnet_core::Epoch(epoch);
                 t
@@ -66,14 +73,14 @@ proptest! {
             .collect();
         for a in &tokens {
             for b in &tokens {
-                prop_assert!(!(a.wins_over(b) && b.wins_over(a)));
+                assert!(!(a.wins_over(b) && b.wins_over(a)));
             }
         }
         for a in &tokens {
             for b in &tokens {
                 for c in &tokens {
                     if a.wins_over(b) && b.wins_over(c) {
-                        prop_assert!(a.wins_over(c), "transitivity");
+                        assert!(a.wins_over(c), "transitivity");
                     }
                 }
             }
@@ -81,18 +88,16 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Whole-network invariant under randomized wireless loss, rates and
-    /// seeds: no MH ever observes a total-order violation, and global
-    /// sequence numbers are never assigned twice.
-    #[test]
-    fn total_order_never_violated(
-        seed in 0u64..10_000,
-        loss_pct in 0u32..30,
-        interval_ms in 5u64..25,
-    ) {
+/// Whole-network invariant under randomized wireless loss, rates and
+/// seeds: no MH ever observes a total-order violation, and global
+/// sequence numbers are never assigned twice.
+#[test]
+fn total_order_never_violated() {
+    let mut rng = SimRng::from_seed(0xC3);
+    for case in 0..8 {
+        let seed = rng.range_u64(0, 10_000);
+        let loss_pct = rng.range_u64(0, 30);
+        let interval_ms = rng.range_u64(5, 25);
         let spec = HierarchyBuilder::new(GroupId(1))
             .brs(3)
             .ag_rings(2, 2)
@@ -120,7 +125,11 @@ proptest! {
         for (_, e) in &journal {
             if let ProtoEvent::MhDeliver { mh, gsn, .. } = e {
                 let prev = last.insert(mh.0, gsn.0);
-                prop_assert!(prev.is_none_or(|p| p < gsn.0), "order violated at mh{}", mh.0);
+                assert!(
+                    prev.is_none_or(|p| p < gsn.0),
+                    "case {case}: order violated at mh{}",
+                    mh.0
+                );
             }
         }
         // Unique assignment.
@@ -134,7 +143,11 @@ proptest! {
         let n = gsns.len();
         gsns.sort_unstable();
         gsns.dedup();
-        prop_assert_eq!(gsns.len(), n, "duplicate global sequence numbers");
-        prop_assert_eq!(n, 80, "all 80 messages ordered exactly once");
+        assert_eq!(
+            gsns.len(),
+            n,
+            "case {case}: duplicate global sequence numbers"
+        );
+        assert_eq!(n, 80, "case {case}: all 80 messages ordered exactly once");
     }
 }

@@ -44,7 +44,9 @@ fn measure(cfg: ProtocolConfig, duration: SimTime) -> Point {
     let retransmissions = journal
         .iter()
         .map(|(_, e)| match e {
-            ProtoEvent::NeFinal { retransmissions, .. } => *retransmissions as u64,
+            ProtoEvent::NeFinal {
+                retransmissions, ..
+            } => *retransmissions as u64,
             _ => 0,
         })
         .sum();
@@ -68,7 +70,13 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "A1",
         "Ablations: WTSNP retention, old-token keeping, ACK batching",
-        &["variant", "p99 latency (ms)", "retransmissions", "MH skips", "top MQ peak"],
+        &[
+            "variant",
+            "p99 latency (ms)",
+            "retransmissions",
+            "MH skips",
+            "top MQ peak",
+        ],
     );
     let duration = SimTime::from_secs(if quick { 3 } else { 6 });
     let mut variants: Vec<(String, ProtocolConfig)> = Vec::new();

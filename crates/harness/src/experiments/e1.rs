@@ -5,15 +5,16 @@
 //! require large buffers when the ring becomes large. Each logical ring
 //! within our proposed RingNet model functions in a similar way, but it
 //! deals with only a local scope of the whole group." We grow the number
-//! of attachment points N and compare delivery latency and peak buffers.
+//! of attachment points N and compare delivery latency and peak buffers —
+//! **one scenario per N, two backends**: the flat ring ignores the
+//! hierarchy-shape hint, so the identical [`Scenario`] drives both sides
+//! of the comparison.
 
-use baselines::flat_ring::{FlatRingSim, FlatRingSpec};
-use ringnet_core::hierarchy::TrafficPattern;
-use ringnet_core::{GroupId, HierarchyBuilder};
+use baselines::FlatRingSim;
+use ringnet_core::driver::{CoreShape, MulticastSim, Scenario, ScenarioBuilder};
+use ringnet_core::RingNetSim;
 use simnet::{SimDuration, SimTime};
 
-use crate::experiments::{loss_free_links, run_spec};
-use crate::metrics;
 use crate::report::{fms, Table};
 
 /// Balanced hierarchy dimensions for N attachment points:
@@ -27,51 +28,37 @@ fn hierarchy_shape(n: usize) -> (usize, usize, usize) {
     }
 }
 
+/// The shared world for N attachment points; only the core-shape hint is
+/// RingNet-specific (and ignored by the flat ring).
+fn scenario(n: usize, duration: SimTime) -> Scenario {
+    let (rings, ags_per_ring, _) = hierarchy_shape(n);
+    ScenarioBuilder::new()
+        .attachments(n)
+        .walkers_per_attachment(1)
+        .sources(2.min(n))
+        .cbr(SimDuration::from_millis(10))
+        .loss_free_wireless()
+        .shape(CoreShape::Hierarchy {
+            brs: 4,
+            rings,
+            ags_per_ring,
+        })
+        .duration(duration)
+        .build()
+}
+
 struct Point {
     p50: SimDuration,
     p99: SimDuration,
     peak_buf: u32,
 }
 
-fn measure_flat(n: usize, duration: SimTime) -> Point {
-    let mut spec = FlatRingSpec::new(n, 1);
-    spec.sources = 2.min(n);
-    spec.pattern = TrafficPattern::Cbr {
-        interval: SimDuration::from_millis(10),
-    };
-    spec.wireless = simnet::LinkProfile::wired(SimDuration::from_millis(2));
-    let mut net = FlatRingSim::build(spec, 3);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    let h = metrics::end_to_end_latency(&journal);
-    let (wq, mq) = metrics::buffer_peaks(&journal);
+fn measure<S: MulticastSim>(sc: &Scenario) -> Point {
+    let report = S::run_scenario(sc, 3);
     Point {
-        p50: SimDuration::from_nanos(h.quantile(0.5)),
-        p99: SimDuration::from_nanos(h.quantile(0.99)),
-        peak_buf: wq + mq,
-    }
-}
-
-fn measure_hierarchy(n: usize, duration: SimTime) -> Point {
-    let (rings, ags, aps) = hierarchy_shape(n);
-    let spec = HierarchyBuilder::new(GroupId(1))
-        .brs(4)
-        .ag_rings(rings, ags)
-        .aps_per_ag(aps)
-        .mhs_per_ap(1)
-        .sources(2)
-        .source_pattern(TrafficPattern::Cbr {
-            interval: SimDuration::from_millis(10),
-        })
-        .links(loss_free_links())
-        .build();
-    let journal = run_spec(spec, 3, duration);
-    let h = metrics::end_to_end_latency(&journal);
-    let (wq, mq) = metrics::buffer_peaks(&journal);
-    Point {
-        p50: SimDuration::from_nanos(h.quantile(0.5)),
-        p99: SimDuration::from_nanos(h.quantile(0.99)),
-        peak_buf: wq + mq,
+        p50: SimDuration::from_nanos(report.metrics.e2e_latency.quantile(0.5)),
+        p99: SimDuration::from_nanos(report.metrics.e2e_latency.quantile(0.99)),
+        peak_buf: report.metrics.wq_peak + report.metrics.mq_peak,
     }
 }
 
@@ -80,14 +67,21 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E1",
         "RingNet hierarchy vs flat logical ring [16] — latency (ms) and peak buffers vs N",
-        &["N", "flat p50", "hier p50", "flat p99", "hier p99", "flat buf", "hier buf"],
+        &[
+            "N", "flat p50", "hier p50", "flat p99", "hier p99", "flat buf", "hier buf",
+        ],
     );
-    let ns: Vec<usize> = if quick { vec![4, 12] } else { vec![4, 8, 16, 32] };
+    let ns: Vec<usize> = if quick {
+        vec![4, 12]
+    } else {
+        vec![4, 8, 16, 32]
+    };
     let duration = SimTime::from_secs(if quick { 3 } else { 6 });
     let mut rows: Vec<(usize, Point, Point)> = Vec::new();
     for &n in &ns {
-        let flat = measure_flat(n, duration);
-        let hier = measure_hierarchy(n, duration);
+        let sc = scenario(n, duration);
+        let flat = measure::<FlatRingSim>(&sc);
+        let hier = measure::<RingNetSim>(&sc);
         table.row(vec![
             n.to_string(),
             fms(flat.p50),

@@ -9,13 +9,13 @@
 //! radius 0 (build-on-demand, MIP-RS-like), 1 and 2.
 
 use mobility::{ping_pong, CellGrid};
-use ringnet_core::hierarchy::TrafficPattern;
-use ringnet_core::{GroupId, Guid, ProtocolConfig, RingNetSim};
+use ringnet_core::driver::MulticastSim;
+use ringnet_core::{Guid, ProtocolConfig, RingNetSim};
 use simnet::{SimDuration, SimTime};
 
 use crate::metrics;
 use crate::report::{fms, fnum, Table};
-use crate::scenario::{apply_trace, mobile_deployment};
+use crate::scenario::mobile_scenario;
 
 struct Point {
     handoffs: u64,
@@ -29,37 +29,33 @@ fn measure(radius: u8, quick: bool) -> Point {
     let grid = CellGrid::new(4, 1, 100.0);
     let duration = SimTime::from_secs(if quick { 4 } else { 10 });
     let period = SimDuration::from_millis(800);
-    let trace = ping_pong(1, &grid, period, duration.saturating_since(SimTime::ZERO) - period);
-    let cfg = ProtocolConfig::default().with_reservation_radius(radius);
-    let mut dep = mobile_deployment(
-        GroupId(1),
+    let trace = ping_pong(
+        1,
         &grid,
-        &trace,
-        TrafficPattern::Cbr {
-            interval: SimDuration::from_millis(5),
-        },
-        cfg,
+        period,
+        duration.saturating_since(SimTime::ZERO) - period,
     );
-    // Loss-free wireless isolates the handoff effect from channel loss.
-    dep.spec.links.wireless = simnet::LinkProfile::wired(SimDuration::from_millis(2));
-    let mut net = RingNetSim::build(dep.spec.clone(), 21);
-    apply_trace(&mut net, &trace, &dep.ap_ids);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    let totals = metrics::mh_totals(&journal);
+    let scenario = mobile_scenario(&grid, &trace)
+        .config(ProtocolConfig::default().with_reservation_radius(radius))
+        .cbr(SimDuration::from_millis(5))
+        // Loss-free wireless isolates the handoff effect from channel loss.
+        .loss_free_wireless()
+        .duration(duration)
+        .build();
+    let report = RingNetSim::run_scenario(&scenario, 21);
     let max_gap = metrics::max_delivery_gap(
-        &journal,
+        &report.journal,
         Guid(0),
         SimTime::from_millis(500),
         duration,
     )
     .unwrap_or(SimDuration::MAX);
     Point {
-        handoffs: totals.handoffs,
+        handoffs: report.metrics.handoffs,
         max_gap,
-        skipped: totals.skipped,
-        duplicates: totals.duplicates,
-        ratio: totals.delivery_ratio(),
+        skipped: report.metrics.skipped,
+        duplicates: report.metrics.duplicates,
+        ratio: report.metrics.delivery_ratio(),
     }
 }
 
@@ -68,7 +64,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E2",
         "Handoff disruption vs path-reservation radius (ping-pong between cells)",
-        &["radius", "handoffs", "max gap (ms)", "skipped", "dups", "delivery ratio"],
+        &[
+            "radius",
+            "handoffs",
+            "max gap (ms)",
+            "skipped",
+            "dups",
+            "delivery ratio",
+        ],
     );
     let radii: Vec<u8> = if quick { vec![0, 1] } else { vec![0, 1, 2] };
     let mut gaps = Vec::new();
@@ -92,7 +95,9 @@ pub fn run(quick: bool) -> Table {
             fms(gaps.last().unwrap().1),
         ));
     }
-    table.note("paper: with reservation an MH 'can immediately receive multicast messages' after handoff");
+    table.note(
+        "paper: with reservation an MH 'can immediately receive multicast messages' after handoff",
+    );
     table
 }
 

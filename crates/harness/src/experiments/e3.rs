@@ -89,7 +89,15 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E3",
         "Token-loss recovery after a top-ring crash (kill at t=2s)",
-        &["victim", "seed", "max ordering stall", "violations", "dup gsn", "recovered", "regen used"],
+        &[
+            "victim",
+            "seed",
+            "max ordering stall",
+            "violations",
+            "dup gsn",
+            "recovered",
+            "regen used",
+        ],
     );
     let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
     for victim in [NodeId(2), NodeId(0)] {
@@ -110,8 +118,12 @@ pub fn run(quick: bool) -> Table {
             ]);
         }
     }
-    table.note("stall includes failure detection (heartbeat misses), quiet detection and ring traversal");
-    table.note("paper: the Token-Regeneration algorithm restarts ordering from NewOrderingToken snapshots");
+    table.note(
+        "stall includes failure detection (heartbeat misses), quiet detection and ring traversal",
+    );
+    table.note(
+        "paper: the Token-Regeneration algorithm restarts ordering from NewOrderingToken snapshots",
+    );
     table
 }
 

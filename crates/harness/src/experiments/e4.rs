@@ -4,45 +4,34 @@
 //! RingNet hierarchy will be more efficient and message latency will
 //! decrease due to the fact that ordering operations are not required in
 //! the top logical ring." Same hierarchy, same traffic, ordered vs
-//! unordered — the latency difference *is* the price of total order.
+//! unordered — the latency difference *is* the price of total order. One
+//! [`Scenario`] per rate drives both backends.
 
-use baselines::unordered::{UnorderedSim, UnorderedSpec};
-use ringnet_core::hierarchy::TrafficPattern;
-use ringnet_core::{GroupId, HierarchyBuilder};
+use baselines::UnorderedSim;
+use ringnet_core::driver::{CoreShape, MulticastSim, Scenario, ScenarioBuilder};
+use ringnet_core::RingNetSim;
 use simnet::{Histogram, SimDuration, SimTime};
 
-use crate::experiments::{loss_free_links, run_spec};
-use crate::metrics;
 use crate::report::{fms, Table};
 
-fn ordered_hist(lambda: f64, duration: SimTime) -> Histogram {
-    let spec = HierarchyBuilder::new(GroupId(1))
-        .brs(4)
-        .ag_rings(2, 2)
-        .aps_per_ag(1)
-        .mhs_per_ap(1)
+fn scenario(lambda: f64, duration: SimTime) -> Scenario {
+    ScenarioBuilder::new()
+        .attachments(4)
+        .walkers_per_attachment(1)
         .sources(2)
-        .source_pattern(TrafficPattern::Cbr {
-            interval: SimDuration::from_secs_f64(1.0 / lambda),
+        .cbr(SimDuration::from_secs_f64(1.0 / lambda))
+        .loss_free_wireless()
+        .shape(CoreShape::Hierarchy {
+            brs: 4,
+            rings: 2,
+            ags_per_ring: 2,
         })
-        .links(loss_free_links())
-        .build();
-    metrics::end_to_end_latency(&run_spec(spec, 13, duration))
+        .duration(duration)
+        .build()
 }
 
-fn unordered_hist(lambda: f64, duration: SimTime) -> Histogram {
-    let mut spec = UnorderedSpec::new();
-    spec.brs = 4;
-    spec.ag_rings = (2, 2);
-    spec.sources = 2;
-    spec.pattern = TrafficPattern::Cbr {
-        interval: SimDuration::from_secs_f64(1.0 / lambda),
-    };
-    spec.links.2 = simnet::LinkProfile::wired(SimDuration::from_millis(2));
-    let mut net = UnorderedSim::build(spec, 13);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    metrics::end_to_end_latency(&journal)
+fn latency<S: MulticastSim>(sc: &Scenario) -> Histogram {
+    S::run_scenario(sc, 13).metrics.e2e_latency
 }
 
 /// Run the experiment.
@@ -50,13 +39,25 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E4",
         "Ordering latency penalty (Remark 3): ordered vs unordered RingNet (ms)",
-        &["λ", "ordered p50", "unordered p50", "penalty p50", "ordered p99", "unordered p99"],
+        &[
+            "λ",
+            "ordered p50",
+            "unordered p50",
+            "penalty p50",
+            "ordered p99",
+            "unordered p99",
+        ],
     );
-    let lambdas: Vec<f64> = if quick { vec![100.0] } else { vec![50.0, 100.0, 400.0] };
+    let lambdas: Vec<f64> = if quick {
+        vec![100.0]
+    } else {
+        vec![50.0, 100.0, 400.0]
+    };
     let duration = SimTime::from_secs(if quick { 3 } else { 6 });
     for &lambda in &lambdas {
-        let ord = ordered_hist(lambda, duration);
-        let unord = unordered_hist(lambda, duration);
+        let sc = scenario(lambda, duration);
+        let ord = latency::<RingNetSim>(&sc);
+        let unord = latency::<UnorderedSim>(&sc);
         let op50 = SimDuration::from_nanos(ord.quantile(0.5));
         let up50 = SimDuration::from_nanos(unord.quantile(0.5));
         table.row(vec![

@@ -76,8 +76,12 @@ pub fn run(quick: bool) -> Table {
             ]);
         }
     }
-    table.note("budget 0 ⇒ first-touch loss is final (≈ raw channel); budget 5 recovers nearly everything");
-    table.note("paper: 'highly probable reliability can be expected when the network is highly stable'");
+    table.note(
+        "budget 0 ⇒ first-touch loss is final (≈ raw channel); budget 5 recovers nearly everything",
+    );
+    table.note(
+        "paper: 'highly probable reliability can be expected when the network is highly stable'",
+    );
     table
 }
 
@@ -95,10 +99,7 @@ mod tests {
             let loss: f64 = pair[0][0].parse().unwrap();
             // Residual loss with 5 rounds of (lossy) NACK+retransmit is
             // ≈ loss × (1-(1-loss)²)⁵ ≈ 1% at 30% channel loss.
-            assert!(
-                with > 0.96,
-                "budget-5 ratio at loss {loss}: {with}"
-            );
+            assert!(with > 0.96, "budget-5 ratio at loss {loss}: {with}");
             assert!(
                 with >= without,
                 "retransmission must not hurt: {with} vs {without}"
@@ -106,7 +107,10 @@ mod tests {
             // Without retransmission, delivery should visibly suffer at
             // non-trivial loss rates.
             if loss >= 0.1 {
-                assert!(without < 0.99, "budget-0 ratio suspiciously high: {without}");
+                assert!(
+                    without < 0.99,
+                    "budget-0 ratio suspiciously high: {without}"
+                );
             }
         }
     }

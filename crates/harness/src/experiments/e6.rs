@@ -9,26 +9,24 @@
 //! competitive, with many it scales linearly while the tree-based schemes
 //! stay near-constant.
 //!
-//! Wired copies count only transmissions between wired entities (BRs, AGs,
-//! the home agent); the final wireless hop is identical across schemes and
-//! excluded.
+//! One mobility [`Scenario`] per member count drives all three backends;
+//! wired copies count only transmissions inside each backend's wired core
+//! (the final wireless hop is identical across schemes and excluded).
+//!
+//! [`Scenario`]: ringnet_core::driver::Scenario
 
-use std::collections::BTreeSet;
-
-use baselines::tree::{remote_subscription_spec, tree_churn};
-use baselines::tunnel::{TunnelSim, TunnelSpec};
+use baselines::{TreeSim, TunnelSim};
 use mobility::{ping_pong, CellGrid};
-use ringnet_core::hierarchy::TrafficPattern;
-use ringnet_core::{GroupId, Guid, NodeId, ProtoEvent, ProtocolConfig, RingNetSim};
+use ringnet_core::driver::{MulticastSim, Scenario};
+use ringnet_core::{ProtocolConfig, RingNetSim};
 use simnet::{SimDuration, SimTime};
 
-use crate::metrics;
 use crate::report::{fnum, Table};
-use crate::scenario::{apply_trace, mobile_deployment};
+use crate::scenario::mobile_scenario;
 
 const APS: usize = 8;
 
-fn workload(walkers: usize, duration: SimTime) -> (CellGrid, mobility::HandoffTrace) {
+fn scenario(walkers: usize, duration: SimTime) -> Scenario {
     let grid = CellGrid::new(APS, 1, 100.0);
     let trace = ping_pong(
         walkers,
@@ -36,7 +34,12 @@ fn workload(walkers: usize, duration: SimTime) -> (CellGrid, mobility::HandoffTr
         SimDuration::from_millis(1000),
         duration.saturating_since(SimTime::ZERO) - SimDuration::from_secs(1),
     );
-    (grid, trace)
+    mobile_scenario(&grid, &trace)
+        .config(ProtocolConfig::default().with_reservation_radius(1))
+        .cbr(SimDuration::from_millis(10))
+        .loss_free_wireless()
+        .duration(duration)
+        .build()
 }
 
 struct Point {
@@ -46,118 +49,13 @@ struct Point {
     delivered: u64,
 }
 
-/// Sum `data_sent` over the given wired entities only.
-fn wired_data(journal: &[(SimTime, ProtoEvent)], wired: &BTreeSet<NodeId>) -> u64 {
-    journal
-        .iter()
-        .map(|(_, e)| match e {
-            ProtoEvent::NeFinal { node, data_sent, .. } if wired.contains(node) => {
-                *data_sent as u64
-            }
-            _ => 0,
-        })
-        .sum()
-}
-
-fn source_msgs(journal: &[(SimTime, ProtoEvent)]) -> u64 {
-    journal
-        .iter()
-        .filter(|(_, e)| matches!(e, ProtoEvent::SourceSend { .. }))
-        .count() as u64
-}
-
-fn measure_ringnet(walkers: usize, radius: u8, duration: SimTime, seed: u64) -> Point {
-    let (grid, trace) = workload(walkers, duration);
-    let cfg = ProtocolConfig::default().with_reservation_radius(radius);
-    let mut dep = mobile_deployment(
-        GroupId(1),
-        &grid,
-        &trace,
-        TrafficPattern::Cbr {
-            interval: SimDuration::from_millis(10),
-        },
-        cfg,
-    );
-    dep.spec.links.wireless = simnet::LinkProfile::wired(SimDuration::from_millis(2));
-    let wired: BTreeSet<NodeId> = dep
-        .spec
-        .top_ring
-        .iter()
-        .chain(dep.spec.ag_rings.iter().flat_map(|r| r.members.iter()))
-        .copied()
-        .collect();
-    let mut net = RingNetSim::build(dep.spec.clone(), seed);
-    apply_trace(&mut net, &trace, &dep.ap_ids);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    let totals = metrics::mh_totals(&journal);
+fn measure<S: MulticastSim>(sc: &Scenario) -> Point {
+    let report = S::run_scenario(sc, 31);
     Point {
-        handoffs: totals.handoffs,
-        churn: tree_churn(&journal),
-        wired_per_msg: wired_data(&journal, &wired) as f64 / source_msgs(&journal).max(1) as f64,
-        delivered: totals.delivered,
-    }
-}
-
-fn measure_tree(walkers: usize, duration: SimTime, seed: u64) -> Point {
-    let (_grid, trace) = workload(walkers, duration);
-    // A pure tree with the same AP count; walkers mapped onto its APs.
-    let mut spec = remote_subscription_spec(GroupId(1), 4, 2, 0, ProtocolConfig::default());
-    spec.mhs = trace
-        .initial
-        .iter()
-        .enumerate()
-        .map(|(w, &cell)| ringnet_core::hierarchy::MhSpec {
-            guid: Guid(w as u32),
-            initial_ap: Some(spec.aps[cell % spec.aps.len()].id),
-        })
-        .collect();
-    for s in &mut spec.sources {
-        s.pattern = TrafficPattern::Cbr {
-            interval: SimDuration::from_millis(10),
-        };
-    }
-    spec.links.wireless = simnet::LinkProfile::wired(SimDuration::from_millis(2));
-    let wired: BTreeSet<NodeId> = spec
-        .top_ring
-        .iter()
-        .chain(spec.ag_rings.iter().flat_map(|r| r.members.iter()))
-        .copied()
-        .collect();
-    let ap_ids: Vec<NodeId> = spec.aps.iter().map(|a| a.id).collect();
-    let mut net = RingNetSim::build(spec, seed);
-    apply_trace(&mut net, &trace, &ap_ids);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    let totals = metrics::mh_totals(&journal);
-    Point {
-        handoffs: totals.handoffs,
-        churn: tree_churn(&journal),
-        wired_per_msg: wired_data(&journal, &wired) as f64 / source_msgs(&journal).max(1) as f64,
-        delivered: totals.delivered,
-    }
-}
-
-fn measure_tunnel(walkers: usize, duration: SimTime, seed: u64) -> Point {
-    let (grid, trace) = workload(walkers, duration);
-    let mut spec = TunnelSpec::new(grid.len(), walkers);
-    spec.interval = SimDuration::from_millis(10);
-    spec.wireless = simnet::LinkProfile::wired(SimDuration::from_millis(2));
-    let mut net = TunnelSim::build(spec, seed);
-    for ev in &trace.events {
-        // Tunnel AP ids are 1-based grid cells.
-        net.schedule_handoff(ev.at, Guid(ev.walker as u32), NodeId(ev.to as u32 + 1));
-    }
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    let totals = metrics::mh_totals(&journal);
-    // The only wired data sender is the home agent (NodeId 0).
-    let wired: BTreeSet<NodeId> = std::iter::once(NodeId(0)).collect();
-    Point {
-        handoffs: totals.handoffs,
-        churn: 0, // no distribution tree to maintain
-        wired_per_msg: wired_data(&journal, &wired) as f64 / source_msgs(&journal).max(1) as f64,
-        delivered: totals.delivered,
+        handoffs: report.metrics.handoffs,
+        churn: report.metrics.tree_churn,
+        wired_per_msg: report.metrics.wired_copies_per_msg(),
+        delivered: report.metrics.delivered,
     }
 }
 
@@ -166,15 +64,23 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E6",
         "Mobility cost under an identical handoff workload (8 APs)",
-        &["scheme", "members", "handoffs", "graft+prune churn", "wired copies/msg", "delivered"],
+        &[
+            "scheme",
+            "members",
+            "handoffs",
+            "graft+prune churn",
+            "wired copies/msg",
+            "delivered",
+        ],
     );
     let duration = SimTime::from_secs(if quick { 4 } else { 10 });
     let member_counts: Vec<usize> = if quick { vec![4] } else { vec![4, 16] };
     for &walkers in &member_counts {
+        let sc = scenario(walkers, duration);
         let rows = [
-            ("RingNet (reservation r=1)", measure_ringnet(walkers, 1, duration, 31)),
-            ("tree rebuild (MIP-RS)", measure_tree(walkers, duration, 31)),
-            ("tunnelling (MIP-BT)", measure_tunnel(walkers, duration, 31)),
+            ("RingNet (reservation r=1)", measure::<RingNetSim>(&sc)),
+            ("tree rebuild (MIP-RS)", measure::<TreeSim>(&sc)),
+            ("tunnelling (MIP-BT)", measure::<TunnelSim>(&sc)),
         ];
         for (name, p) in rows {
             table.row(vec![

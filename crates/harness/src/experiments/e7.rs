@@ -32,8 +32,7 @@ fn measure(r: usize, duration: SimTime) -> Point {
     let mut net = FlatRingSim::build(spec, 19);
     net.run_until(duration);
     let (journal, _) = net.finish();
-    let rotation = metrics::token_rotation_period(&journal, NodeId(0))
-        .expect("token rotated");
+    let rotation = metrics::token_rotation_period(&journal, NodeId(0)).expect("token rotated");
     let rate = metrics::delivery_rate(&journal, SimTime::from_secs(1), duration);
     Point {
         rotation,

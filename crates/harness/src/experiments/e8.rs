@@ -5,73 +5,45 @@
 //! when the number of group members becomes very large." We grow the
 //! member count and compare the *busiest wired entity* of each scheme:
 //! RelM's SH sequences, buffers and processes every member's feedback;
-//! RingNet spreads exactly that work over APs, AGs and BRs.
+//! RingNet spreads exactly that work over APs, AGs and BRs. One
+//! [`Scenario`] per member count drives both backends — the wired-core
+//! definition (SH alone vs BRs + AGs) comes from each backend's
+//! `MulticastSim::finish`.
+//!
+//! [`Scenario`]: ringnet_core::driver::Scenario
 
-use baselines::relm::{RelmSim, RelmSpec};
-use ringnet_core::hierarchy::TrafficPattern;
-use ringnet_core::{GroupId, HierarchyBuilder, NodeId, ProtoEvent};
+use baselines::RelmSim;
+use ringnet_core::driver::{CoreShape, MulticastSim, Scenario, ScenarioBuilder};
+use ringnet_core::RingNetSim;
 use simnet::{SimDuration, SimTime};
 
-use crate::experiments::{loss_free_links, run_spec};
 use crate::report::Table;
 
 const ATTACH_POINTS: usize = 4;
 
-/// Busiest message count over the given *interior* entities. The last-hop
-/// tier (APs / MSSs) pays one wireless send per member in every scheme and
-/// is excluded; the comparison targets the wired core, where RelM
-/// concentrates per-member work in the SH.
-fn busiest_of(journal: &[(SimTime, ProtoEvent)], interior: &[NodeId]) -> u64 {
-    journal
-        .iter()
-        .filter_map(|(_, e)| match e {
-            ProtoEvent::NeFinal { node, data_sent, .. } if interior.contains(node) => {
-                Some(*data_sent as u64)
-            }
-            _ => None,
-        })
-        .max()
-        .unwrap_or(0)
-}
-
-fn measure_relm(members_per_ap: usize, duration: SimTime) -> (u64, u32) {
-    let mut spec = RelmSpec::new(ATTACH_POINTS, members_per_ap);
-    spec.interval = SimDuration::from_millis(10);
-    let mut net = RelmSim::build(spec, 41);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    let sh_buffer = journal
-        .iter()
-        .find_map(|(_, e)| match e {
-            ProtoEvent::NeFinal { node: NodeId(0), mq_peak, .. } => Some(*mq_peak),
-            _ => None,
-        })
-        .unwrap_or(0);
-    // RelM's only interior entity is the SH itself (NodeId 0).
-    (busiest_of(&journal, &[NodeId(0)]), sh_buffer)
-}
-
-fn measure_ringnet(members_per_ap: usize, duration: SimTime) -> (u64, u32) {
-    let spec = HierarchyBuilder::new(GroupId(1))
-        .brs(2)
-        .ag_rings(1, 2)
-        .aps_per_ag(2)
-        .mhs_per_ap(members_per_ap)
+fn scenario(members_per_ap: usize, duration: SimTime) -> Scenario {
+    ScenarioBuilder::new()
+        .attachments(ATTACH_POINTS)
+        .walkers_per_attachment(members_per_ap)
         .sources(1)
-        .source_pattern(TrafficPattern::Cbr {
-            interval: SimDuration::from_millis(10),
+        .cbr(SimDuration::from_millis(10))
+        .loss_free_wireless()
+        .shape(CoreShape::Hierarchy {
+            brs: 2,
+            rings: 1,
+            ags_per_ring: 2,
         })
-        .links(loss_free_links())
-        .build();
-    let interior: Vec<NodeId> = spec
-        .top_ring
-        .iter()
-        .chain(spec.ag_rings.iter().flat_map(|r| r.members.iter()))
-        .copied()
-        .collect();
-    let journal = run_spec(spec, 41, duration);
-    let (wq, mq) = crate::metrics::buffer_peaks(&journal);
-    (busiest_of(&journal, &interior), wq + mq)
+        .duration(duration)
+        .build()
+}
+
+/// `(busiest wired-core entity msgs, peak buffering)` for one backend.
+fn measure<S: MulticastSim>(sc: &Scenario) -> (u64, u32) {
+    let report = S::run_scenario(sc, 41);
+    (
+        report.metrics.busiest_core_msgs,
+        report.metrics.wq_peak + report.metrics.mq_peak,
+    )
 }
 
 /// Run the experiment.
@@ -79,15 +51,22 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E8",
         "Load concentration vs group size: RelM supervisor host vs RingNet (4 attach points)",
-        &["members", "RelM SH msgs", "RingNet busiest msgs", "RelM SH buffer", "RingNet max buffer"],
+        &[
+            "members",
+            "RelM SH msgs",
+            "RingNet busiest msgs",
+            "RelM SH buffer",
+            "RingNet max buffer",
+        ],
     );
     let sizes: Vec<usize> = if quick { vec![2, 8] } else { vec![2, 8, 32] };
     let duration = SimTime::from_secs(if quick { 3 } else { 6 });
     let mut rows = Vec::new();
     for &per_ap in &sizes {
         let members = per_ap * ATTACH_POINTS;
-        let (relm_msgs, relm_buf) = measure_relm(per_ap, duration);
-        let (rn_msgs, rn_buf) = measure_ringnet(per_ap, duration);
+        let sc = scenario(per_ap, duration);
+        let (relm_msgs, relm_buf) = measure::<RelmSim>(&sc);
+        let (rn_msgs, rn_buf) = measure::<RingNetSim>(&sc);
         table.row(vec![
             members.to_string(),
             relm_msgs.to_string(),

@@ -21,8 +21,16 @@ pub fn run(quick: bool) -> Table {
     let mut spec = figure1(GroupId(1));
     let problems = spec.validate();
     let (brs, ags, aps, mhs) = spec.tier_sizes();
-    table.row(vec!["BRT (top ring)".into(), brs.to_string(), "ring of 4, leader ne0".into()]);
-    table.row(vec!["AGT (rings)".into(), ags.to_string(), "3 rings × 3 AGs".into()]);
+    table.row(vec![
+        "BRT (top ring)".into(),
+        brs.to_string(),
+        "ring of 4, leader ne0".into(),
+    ]);
+    table.row(vec![
+        "AGT (rings)".into(),
+        ags.to_string(),
+        "3 rings × 3 AGs".into(),
+    ]);
     table.row(vec!["APT".into(), aps.to_string(), "one AP per AG".into()]);
     table.row(vec!["MHT".into(), mhs.to_string(), "one MH per AP".into()]);
     table.note(format!("spec validation problems: {}", problems.len()));

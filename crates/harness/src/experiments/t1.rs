@@ -53,12 +53,26 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "T1",
         "Theorem 5.1 — throughput: ordered vs unordered, target s·λ",
-        &["s", "λ (msg/s)", "target s·λ", "ordered", "unordered", "ord/target"],
+        &[
+            "s",
+            "λ (msg/s)",
+            "target s·λ",
+            "ordered",
+            "unordered",
+            "ord/target",
+        ],
     );
     let sweeps: Vec<(usize, f64)> = if quick {
         vec![(1, 50.0), (2, 50.0)]
     } else {
-        vec![(1, 50.0), (2, 50.0), (4, 50.0), (1, 200.0), (2, 200.0), (4, 200.0)]
+        vec![
+            (1, 50.0),
+            (2, 50.0),
+            (4, 50.0),
+            (1, 200.0),
+            (2, 200.0),
+            (4, 200.0),
+        ]
     };
     let duration = SimTime::from_secs(if quick { 4 } else { 8 });
     let warmup = SimTime::from_secs(1);

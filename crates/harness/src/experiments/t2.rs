@@ -84,13 +84,27 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "T2",
         "Theorem 5.1 — latency vs paper bound and corrected worst-case bound (ms)",
-        &["r", "τ", "paper bound", "worst bound", "p50", "p99", "max", "≤paper", "≤worst"],
+        &[
+            "r",
+            "τ",
+            "paper bound",
+            "worst bound",
+            "p50",
+            "p99",
+            "max",
+            "≤paper",
+            "≤worst",
+        ],
     );
     let rs: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8] };
     let taus = if quick {
         vec![SimDuration::from_millis(5)]
     } else {
-        vec![SimDuration::from_millis(2), SimDuration::from_millis(5), SimDuration::from_millis(10)]
+        vec![
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(10),
+        ]
     };
     let duration = SimTime::from_secs(if quick { 3 } else { 6 });
     let mut all_within_worst = true;
@@ -110,8 +124,16 @@ pub fn run(quick: bool) -> Table {
                 fms(p.p50),
                 fms(p.p99),
                 fms(p.max),
-                if within_paper { "yes".into() } else { "NO".into() },
-                if within_worst { "yes".into() } else { "NO".into() },
+                if within_paper {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                if within_worst {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

@@ -23,7 +23,15 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "T3",
         "Theorem 5.1 — peak buffer occupancy vs bounds (messages)",
-        &["λ (msg/s)", "WQ bound", "WQ peak", "ok", "MQ bound", "MQ peak", "ok"],
+        &[
+            "λ (msg/s)",
+            "WQ bound",
+            "WQ peak",
+            "ok",
+            "MQ bound",
+            "MQ peak",
+            "ok",
+        ],
     );
     let lambdas: Vec<f64> = if quick {
         vec![100.0, 500.0]

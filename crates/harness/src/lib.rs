@@ -18,8 +18,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
-pub mod metrics;
 pub mod report;
 pub mod scenario;
+
+/// Journal analysis lives in `ringnet-core` (the `MulticastSim` backends
+/// summarise their runs with it); re-exported here unchanged.
+pub use ringnet_core::metrics;
 
 pub use report::Table;

@@ -1,12 +1,12 @@
 //! Result tables: the common output format of every experiment.
 //!
 //! A [`Table`] renders as aligned plain text (for the terminal and
-//! `EXPERIMENTS.md`) and serialises to JSON for downstream tooling.
-
-use serde::{Deserialize, Serialize};
+//! `EXPERIMENTS.md`) and serialises to JSON for downstream tooling. The
+//! JSON emitter is hand-rolled ([`json`]) — the workspace is dependency
+//! free, and result tables only ever contain strings.
 
 /// One experiment's result table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Experiment identifier (e.g. "T1").
     pub id: String,
@@ -45,7 +45,55 @@ impl Table {
 
     /// Serialise to a JSON string.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialises")
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json::string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json::string(&self.title)));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            json::string_array(&self.columns)
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {}{sep}\n", json::string_array(row)));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"notes\": {}\n",
+            json::string_array(&self.notes)
+        ));
+        out.push('}');
+        out
+    }
+}
+
+/// Minimal JSON string/array emitters shared by the report and bench
+/// outputs.
+pub mod json {
+    /// Escape and quote one JSON string.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// A flat array of JSON strings.
+    pub fn string_array(xs: &[String]) -> String {
+        let cells: Vec<String> = xs.iter().map(|x| string(x)).collect();
+        format!("[{}]", cells.join(", "))
     }
 }
 
@@ -128,18 +176,30 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
-        let mut t = Table::new("T1", "throughput", &["s", "rate"]);
+    fn json_is_well_formed() {
+        let mut t = Table::new("T1", "throughput \"quoted\"", &["s", "rate"]);
         t.row(vec!["2".into(), "200".into()]);
+        t.note("line\nbreak");
         let json = t.to_json();
-        let back: Table = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
+        assert!(json.contains("\"id\": \"T1\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.contains("[\"2\", \"200\"]"));
+        // Balanced braces/brackets (crude but dependency-free check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_helpers_escape() {
+        assert_eq!(json::string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json::string("a\\b\n"), "\"a\\\\b\\n\"");
     }
 
     #[test]
     fn number_formatting() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(1.23456), "1.235");
         assert_eq!(fnum(42.123), "42.1");
         assert_eq!(fnum(1234.5), "1234");
         assert_eq!(fms(simnet::SimDuration::from_micros(1500)), "1.50");

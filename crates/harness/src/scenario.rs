@@ -1,155 +1,89 @@
-//! Scenario glue: turning mobility traces into protocol simulations.
+//! Scenario glue: turning mobility traces into protocol-agnostic
+//! [`Scenario`]s.
 //!
-//! Maps the identity-agnostic `mobility` crate (AP grid indices, walker
-//! numbers) onto a concrete [`HierarchySpec`] and schedules the resulting
-//! handoffs on a built [`RingNetSim`].
+//! The identity-agnostic `mobility` crate speaks in AP grid indices and
+//! walker numbers — exactly the vocabulary of
+//! [`ringnet_core::driver::Scenario`] — so the conversion is direct: cells
+//! become attachment points, walkers become walkers, and every handoff of
+//! the trace becomes a [`ScenarioEvent::Handoff`]. The resulting scenario
+//! runs unchanged on every [`MulticastSim`] backend.
+//!
+//! [`MulticastSim`]: ringnet_core::driver::MulticastSim
 
 use mobility::{CellGrid, HandoffTrace};
-use ringnet_core::hierarchy::{
-    AgRingSpec, ApSpec, HierarchySpec, LinkPlan, MhSpec, SourceSpec, TrafficPattern,
-};
-use ringnet_core::{GroupId, Guid, NodeId, ProtocolConfig, RingNetSim};
-use simnet::SimTime;
+use ringnet_core::driver::{ScenarioBuilder, ScenarioEvent};
 
-/// A hierarchy whose AP tier mirrors a cell grid: one AP per cell,
-/// neighbour lists from 4-connectivity (the reservation scope), APs
-/// activating on demand. Returns the spec plus the cell → `NodeId` map.
-pub struct MobileDeployment {
-    /// The buildable spec.
-    pub spec: HierarchySpec,
-    /// `ap_ids[cell_index]` is that cell's AP.
-    pub ap_ids: Vec<NodeId>,
-}
-
-/// Assemble a mobile deployment over `grid` with the walkers of `trace`
-/// as MHs (attached at their initial cells) and one CBR source.
-pub fn mobile_deployment(
-    group: GroupId,
-    grid: &CellGrid,
-    trace: &HandoffTrace,
-    pattern: TrafficPattern,
-    cfg: ProtocolConfig,
-) -> MobileDeployment {
-    let n_aps = grid.len();
-    // Tier sizing: two BRs on the ordering ring; AGs in one ring, roughly
-    // one AG per four cells.
-    let n_ags = (n_aps.div_ceil(4)).max(2);
-    let brs: Vec<NodeId> = (0..2u32).map(NodeId).collect();
-    let ags: Vec<NodeId> = (2..2 + n_ags as u32).map(NodeId).collect();
-    let ap_base = 2 + n_ags as u32;
-    let ap_ids: Vec<NodeId> = (0..n_aps as u32).map(|i| NodeId(ap_base + i)).collect();
-
-    let aps: Vec<ApSpec> = (0..n_aps)
-        .map(|cell| {
-            let ag = ags[cell % n_ags];
-            let backup = ags[(cell + 1) % n_ags];
-            ApSpec {
-                id: ap_ids[cell],
-                parent_candidates: if backup == ag { vec![ag] } else { vec![ag, backup] },
-                always_active: false,
-                neighbours: grid
-                    .neighbours4(cell)
-                    .into_iter()
-                    .map(|c| ap_ids[c])
-                    .collect(),
-            }
-        })
-        .collect();
-
-    let mhs: Vec<MhSpec> = trace
-        .initial
-        .iter()
-        .enumerate()
-        .map(|(walker, &cell)| MhSpec {
-            guid: Guid(walker as u32),
-            initial_ap: Some(ap_ids[cell]),
-        })
-        .collect();
-
-    let spec = HierarchySpec {
-        group,
-        cfg,
-        top_ring: brs.clone(),
-        ag_rings: vec![AgRingSpec {
-            members: ags,
-            parent_candidates: brs,
-        }],
-        aps,
-        mhs,
-        sources: vec![SourceSpec {
-            corresponding: NodeId(0),
-            pattern,
-            start: SimTime::ZERO,
-            stop: None,
-            limit: None,
-        }],
-        links: LinkPlan::default(),
-    };
-    MobileDeployment { spec, ap_ids }
-}
-
-/// Schedule every handoff of `trace` onto a built simulation
-/// (walker `i` → `Guid(i)`, cell index → `ap_ids`).
-pub fn apply_trace(net: &mut RingNetSim, trace: &HandoffTrace, ap_ids: &[NodeId]) {
-    for ev in &trace.events {
-        net.schedule_handoff(ev.at, Guid(ev.walker as u32), ap_ids[ev.to]);
-    }
+/// Start a [`ScenarioBuilder`] over `grid` with the walkers of `trace`
+/// placed at their initial cells, every handoff scheduled, and on-demand
+/// attachment activation (the mobility setting). Finish the builder with
+/// traffic, protocol config and duration.
+pub fn mobile_scenario(grid: &CellGrid, trace: &HandoffTrace) -> ScenarioBuilder {
+    ScenarioBuilder::new()
+        .grid(grid.cols(), grid.rows())
+        .walkers(trace.initial.iter().map(|&cell| Some(cell)).collect())
+        .aps_always_active(false)
+        .events(trace.events.iter().map(|ev| ScenarioEvent::Handoff {
+            at: ev.at,
+            walker: ev.walker,
+            to: ev.to,
+        }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mobility::ping_pong;
-    use simnet::SimDuration;
+    use ringnet_core::driver::MulticastSim;
+    use ringnet_core::engine::RingNetSim;
+    use simnet::{SimDuration, SimTime};
 
     #[test]
-    fn deployment_is_valid() {
+    fn trace_becomes_a_valid_scenario() {
         let grid = CellGrid::new(4, 2, 100.0);
-        let trace = ping_pong(3, &grid, SimDuration::from_secs(1), SimDuration::from_secs(2));
-        let dep = mobile_deployment(
-            GroupId(1),
+        let trace = ping_pong(
+            3,
             &grid,
-            &trace,
-            TrafficPattern::Cbr {
-                interval: SimDuration::from_millis(10),
-            },
-            ProtocolConfig::default(),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
         );
-        assert!(dep.spec.validate().is_empty(), "{:?}", dep.spec.validate());
-        assert_eq!(dep.ap_ids.len(), 8);
-        assert_eq!(dep.spec.mhs.len(), 3);
-        // Neighbour lists mirror grid adjacency.
-        let ap0 = &dep.spec.aps[0];
-        assert_eq!(ap0.neighbours.len(), 2, "corner cell has two neighbours");
-        assert!(dep.spec.aps.iter().all(|a| !a.always_active));
+        let sc = mobile_scenario(&grid, &trace)
+            .cbr(SimDuration::from_millis(10))
+            .build();
+        assert!(sc.validate().is_empty(), "{:?}", sc.validate());
+        assert_eq!(sc.attachments, 8);
+        assert_eq!(sc.walkers.len(), 3);
+        assert_eq!(sc.events.len(), trace.events.len());
+        assert!(!sc.aps_always_active);
+        // Corner cell has two neighbours under the grid arrangement.
+        assert_eq!(sc.neighbours_of(0).len(), 2);
     }
 
     #[test]
-    fn trace_application_runs() {
+    fn trace_scenario_runs_on_ringnet() {
         let grid = CellGrid::new(2, 1, 100.0);
-        let trace = ping_pong(1, &grid, SimDuration::from_millis(500), SimDuration::from_secs(2));
-        let mut dep = mobile_deployment(
-            GroupId(1),
+        let trace = ping_pong(
+            1,
             &grid,
-            &trace,
-            TrafficPattern::Cbr {
-                interval: SimDuration::from_millis(20),
-            },
-            ProtocolConfig::default(),
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
         );
-        for s in &mut dep.spec.sources {
-            s.limit = Some(50);
-        }
-        let mut net = RingNetSim::build(dep.spec.clone(), 7);
-        apply_trace(&mut net, &trace, &dep.ap_ids);
-        net.run_until(SimTime::from_secs(4));
-        let (journal, _) = net.finish();
-        let handoffs = journal
+        let sc = mobile_scenario(&grid, &trace)
+            .cbr(SimDuration::from_millis(20))
+            .message_limit(50)
+            .duration(SimTime::from_secs(4))
+            .build();
+        let report = RingNetSim::run_scenario(&sc, 7);
+        let handoffs = report
+            .journal
             .iter()
             .filter(|(_, e)| matches!(e, ringnet_core::ProtoEvent::HandoffRegistered { .. }))
             .count();
         assert!(handoffs >= 3, "handoffs registered: {handoffs}");
-        let totals = crate::metrics::mh_totals(&journal);
-        assert!(totals.delivered > 30, "delivered {}", totals.delivered);
+        assert!(
+            report.metrics.delivered > 30,
+            "delivered {}",
+            report.metrics.delivered
+        );
+        assert_eq!(report.metrics.order_violations, 0);
     }
 }

@@ -49,6 +49,16 @@ impl CellGrid {
         self.cols * self.rows
     }
 
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
     /// True when the grid has no cells (never, by construction).
     pub fn is_empty(&self) -> bool {
         false
@@ -134,7 +144,13 @@ mod tests {
     fn out_of_bounds_clamped() {
         let g = CellGrid::new(2, 2, 50.0);
         assert_eq!(g.ap_at(Pos { x: -10.0, y: -10.0 }), 0);
-        assert_eq!(g.ap_at(Pos { x: 1000.0, y: 1000.0 }), 3);
+        assert_eq!(
+            g.ap_at(Pos {
+                x: 1000.0,
+                y: 1000.0
+            }),
+            3
+        );
     }
 
     #[test]

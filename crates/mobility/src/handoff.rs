@@ -120,8 +120,8 @@ pub fn ping_pong(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::{RandomWaypoint, Scripted};
     use crate::grid::Pos;
+    use crate::models::{RandomWaypoint, Scripted};
 
     #[test]
     fn scripted_walker_produces_expected_handoffs() {
@@ -206,7 +206,12 @@ mod tests {
     #[test]
     fn ping_pong_alternates() {
         let grid = CellGrid::new(2, 1, 100.0);
-        let trace = ping_pong(2, &grid, SimDuration::from_secs(1), SimDuration::from_secs(3));
+        let trace = ping_pong(
+            2,
+            &grid,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+        );
         assert_eq!(trace.initial, vec![0, 1]);
         assert_eq!(trace.events.len(), 6, "3 flips × 2 walkers");
         let w0: Vec<_> = trace.for_walker(0).collect();

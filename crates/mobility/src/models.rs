@@ -210,7 +210,10 @@ impl Scripted {
             keyframes.windows(2).all(|w| w[0].0 <= w[1].0),
             "keyframes must be time-sorted"
         );
-        Scripted { keyframes, now: 0.0 }
+        Scripted {
+            keyframes,
+            now: 0.0,
+        }
     }
 
     fn at(&self, t: f64) -> Pos {

@@ -258,12 +258,7 @@ impl LinkState {
     /// Models, in order: bandwidth queueing (serialization, tail drop), then
     /// loss, then propagation delay. A lost packet still consumed serializer
     /// time — it was transmitted, just not received.
-    pub fn transmit(
-        &mut self,
-        now: SimTime,
-        size_bytes: usize,
-        rng: &mut SimRng,
-    ) -> TxOutcome {
+    pub fn transmit(&mut self, now: SimTime, size_bytes: usize, rng: &mut SimRng) -> TxOutcome {
         self.offered += 1;
         let depart = match self.profile.bandwidth {
             BandwidthModel::Unlimited => now,
@@ -279,8 +274,13 @@ impl LinkState {
                     self.queue_dropped += 1;
                     return TxOutcome::QueueDrop;
                 }
-                let start = if self.tx_free_at > now { self.tx_free_at } else { now };
-                let ser_ns = (size_bytes as u64 * 8).saturating_mul(1_000_000_000) / bits_per_sec.max(1);
+                let start = if self.tx_free_at > now {
+                    self.tx_free_at
+                } else {
+                    now
+                };
+                let ser_ns =
+                    (size_bytes as u64 * 8).saturating_mul(1_000_000_000) / bits_per_sec.max(1);
                 let done = start + SimDuration::from_nanos(ser_ns);
                 self.tx_free_at = done;
                 self.queued += 1;
@@ -309,7 +309,9 @@ mod tests {
         let mut link = LinkState::new(LinkProfile::wired(SimDuration::from_millis(5)));
         let mut r = rng();
         match link.transmit(SimTime::from_secs(1), 100, &mut r) {
-            TxOutcome::Deliver(t) => assert_eq!(t, SimTime::from_secs(1) + SimDuration::from_millis(5)),
+            TxOutcome::Deliver(t) => {
+                assert_eq!(t, SimTime::from_secs(1) + SimDuration::from_millis(5))
+            }
             other => panic!("unexpected outcome {other:?}"),
         }
     }
@@ -380,10 +382,11 @@ mod tests {
     #[test]
     fn bandwidth_serializes_packets() {
         // 8000 bits/s → a 100-byte (800-bit) packet takes 100 ms to serialize.
-        let profile = LinkProfile::wired(SimDuration::ZERO).with_bandwidth(BandwidthModel::Limited {
-            bits_per_sec: 8_000,
-            queue_limit: 16,
-        });
+        let profile =
+            LinkProfile::wired(SimDuration::ZERO).with_bandwidth(BandwidthModel::Limited {
+                bits_per_sec: 8_000,
+                queue_limit: 16,
+            });
         let mut link = LinkState::new(profile);
         let mut r = rng();
         let t0 = SimTime::ZERO;
@@ -395,19 +398,32 @@ mod tests {
 
     #[test]
     fn bandwidth_queue_tail_drops() {
-        let profile = LinkProfile::wired(SimDuration::ZERO).with_bandwidth(BandwidthModel::Limited {
-            bits_per_sec: 8_000,
-            queue_limit: 2,
-        });
+        let profile =
+            LinkProfile::wired(SimDuration::ZERO).with_bandwidth(BandwidthModel::Limited {
+                bits_per_sec: 8_000,
+                queue_limit: 2,
+            });
         let mut link = LinkState::new(profile);
         let mut r = rng();
-        assert!(matches!(link.transmit(SimTime::ZERO, 100, &mut r), TxOutcome::Deliver(_)));
-        assert!(matches!(link.transmit(SimTime::ZERO, 100, &mut r), TxOutcome::Deliver(_)));
-        assert_eq!(link.transmit(SimTime::ZERO, 100, &mut r), TxOutcome::QueueDrop);
+        assert!(matches!(
+            link.transmit(SimTime::ZERO, 100, &mut r),
+            TxOutcome::Deliver(_)
+        ));
+        assert!(matches!(
+            link.transmit(SimTime::ZERO, 100, &mut r),
+            TxOutcome::Deliver(_)
+        ));
+        assert_eq!(
+            link.transmit(SimTime::ZERO, 100, &mut r),
+            TxOutcome::QueueDrop
+        );
         assert_eq!(link.queue_dropped, 1);
         // After the horizon passes the queue drains and transmission resumes.
         let later = SimTime::from_secs(1);
-        assert!(matches!(link.transmit(later, 100, &mut r), TxOutcome::Deliver(_)));
+        assert!(matches!(
+            link.transmit(later, 100, &mut r),
+            TxOutcome::Deliver(_)
+        ));
     }
 
     #[test]

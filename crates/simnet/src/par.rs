@@ -3,13 +3,12 @@
 //! Experiments sweep protocol and workload parameters over many independent,
 //! deterministic simulation replicas. Replicas share nothing, so the natural
 //! parallelisation is fan-out across a thread pool: a work queue of replica
-//! indices drained by `crossbeam` scoped threads. Results return in input
+//! indices drained by `std::thread::scope` workers. Results return in input
 //! order regardless of completion order, so a parallel sweep is
 //! indistinguishable from a sequential one.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Run `job(i, &inputs[i])` for every input, in parallel, returning outputs
 /// in input order.
@@ -35,23 +34,26 @@ where
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = job(i, &inputs[i]);
-                *results[i].lock() = Some(out);
+                *results[i].lock().expect("replica slot poisoned") = Some(out);
             });
         }
-    })
-    .expect("replica worker panicked");
+    });
 
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("missing replica result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("replica slot poisoned")
+                .expect("missing replica result")
+        })
         .collect()
 }
 

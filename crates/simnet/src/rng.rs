@@ -6,9 +6,6 @@
 //! a pure function of `(config, seed)` and lets the parallel sweep runner
 //! fan replicas out across threads without losing reproducibility.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// splitmix64 — the standard cheap seed mixer. Used to derive independent
 /// stream seeds from `(root_seed, stream_id)` without correlation.
 #[inline]
@@ -22,22 +19,29 @@ pub fn splitmix64(mut x: u64) -> u64 {
 
 /// A named, seedable RNG stream.
 ///
-/// Thin wrapper around [`SmallRng`] with convenience draws used throughout
-/// the simulator. `SmallRng` is deliberately chosen over `StdRng`: loss and
-/// jitter draws sit on the per-packet hot path and need speed, not
-/// cryptographic strength.
+/// The generator is xoshiro256++ (Blackman & Vigna), self-contained so the
+/// workspace carries no external RNG dependency. Loss and jitter draws sit
+/// on the per-packet hot path and need speed, not cryptographic strength —
+/// xoshiro256++ gives sub-nanosecond draws with excellent statistical
+/// quality for simulation purposes.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create the stream identified by `stream_id` under `root_seed`.
     pub fn derive(root_seed: u64, stream_id: u64) -> Self {
         let mixed = splitmix64(root_seed ^ splitmix64(stream_id));
-        SimRng {
-            inner: SmallRng::seed_from_u64(mixed),
+        // Expand the 64-bit seed into the 256-bit state with splitmix64, the
+        // initialisation Vigna recommends (never all-zero).
+        let mut x = mixed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = splitmix64(x);
+            *slot = x;
         }
+        SimRng { s }
     }
 
     /// Create directly from a seed (stream id 0).
@@ -45,10 +49,26 @@ impl SimRng {
         Self::derive(seed, 0)
     }
 
+    /// The raw 64-bit draw (xoshiro256++ next()).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
     /// Uniform draw in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -59,7 +79,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -67,21 +87,26 @@ impl SimRng {
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        // Lemire's widening-multiply mapping; the bias for simulation-sized
+        // spans (≪ 2^64) is immeasurably small and determinism is what
+        // matters here.
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
     }
 
     /// Uniform usize in `[0, n)`. Panics if `n == 0`.
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() over empty domain");
-        self.inner.random_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Uniform float in `[lo, hi)`.
     #[inline]
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        lo + (hi - lo) * self.inner.random::<f64>()
+        lo + (hi - lo) * self.unit()
     }
 
     /// Exponential draw with rate `lambda` (mean `1/lambda`), for Poisson
@@ -90,14 +115,14 @@ impl SimRng {
     pub fn exponential(&mut self, lambda: f64) -> f64 {
         assert!(lambda > 0.0, "exponential rate must be positive");
         // Inverse-CDF; guard against ln(0).
-        let u = 1.0 - self.inner.random::<f64>();
+        let u = 1.0 - self.unit();
         -u.ln() / lambda
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.range_u64(0, i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -158,7 +183,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left slice unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left slice unchanged"
+        );
     }
 
     #[test]
@@ -168,5 +197,19 @@ mod tests {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SimRng::from_seed(5);
+        for _ in 0..10_000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+        }
+        let mean: f64 = (0..10_000)
+            .map(|_| r.range_u64(0, 1000) as f64)
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((mean - 499.5).abs() < 15.0, "mean {mean}");
     }
 }

@@ -93,8 +93,15 @@ impl<R> Journal<R> {
 type ControlFn<M, R> = Box<dyn FnOnce(&mut World<M, R>) + Send>;
 
 enum Ev<M, R> {
-    Packet { src: NodeAddr, dst: NodeAddr, msg: M },
-    Timer { node: NodeAddr, tag: u64 },
+    Packet {
+        src: NodeAddr,
+        dst: NodeAddr,
+        msg: M,
+    },
+    Timer {
+        node: NodeAddr,
+        tag: u64,
+    },
     Control(ControlFn<M, R>),
 }
 
@@ -536,7 +543,10 @@ mod tests {
         sim.add_node(Box::new(TimerActor { fired: vec![] }));
         assert!(sim.run_to_quiescence(100));
         let (records, stats) = sim.finish();
-        assert_eq!(records.iter().map(|(_, t)| *t).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            records.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
         assert_eq!(stats.timers_fired, 2);
     }
 

@@ -167,7 +167,10 @@ impl SimDuration {
     /// Multiply by a float factor (rounds to nearest nanosecond), saturating.
     #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor: {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
         let v = (self.0 as f64 * factor).round();
         if v >= u64::MAX as f64 {
             SimDuration(u64::MAX)

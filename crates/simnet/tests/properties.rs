@@ -1,16 +1,19 @@
-//! Property-based tests of the simulator substrate's invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests of the simulator substrate's invariants,
+//! driven by seeded [`SimRng`] streams (dependency-free, reproducible by
+//! seed).
 
 use simnet::event::EventQueue;
 use simnet::link::{LinkProfile, LinkState, LossModel, TxOutcome};
 use simnet::{SimDuration, SimRng, SimTime, Summary};
 
-proptest! {
-    /// The event queue is a stable priority queue: pops come out in
-    /// non-decreasing time order, and equal times preserve insertion order.
-    #[test]
-    fn event_queue_is_stable_priority(times in proptest::collection::vec(0u64..50, 1..200)) {
+/// The event queue is a stable priority queue: pops come out in
+/// non-decreasing time order, and equal times preserve insertion order.
+#[test]
+fn event_queue_is_stable_priority() {
+    let mut rng = SimRng::from_seed(0xB1);
+    for case in 0..64 {
+        let len = rng.range_u64(1, 200) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.range_u64(0, 50)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_millis(t), i);
@@ -19,62 +22,76 @@ proptest! {
         while let Some(x) = q.pop() {
             popped.push(x);
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len(), "case {case}");
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "case {case}: time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated within a timestamp");
+                assert!(
+                    w[0].1 < w[1].1,
+                    "case {case}: FIFO violated within a timestamp"
+                );
             }
         }
     }
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn event_queue_cancellation_exact(
-        n in 1usize..100,
-        cancel_mask in proptest::collection::vec(any::<bool>(), 100)
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn event_queue_cancellation_exact() {
+    let mut rng = SimRng::from_seed(0xB2);
+    for case in 0..64 {
+        let n = rng.range_u64(1, 100) as usize;
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut q = EventQueue::new();
-        let handles: Vec<_> = (0..n).map(|i| q.schedule(SimTime::from_millis(i as u64), i)).collect();
+        let handles: Vec<_> = (0..n)
+            .map(|i| q.schedule(SimTime::from_millis(i as u64), i))
+            .collect();
         let mut kept = Vec::new();
         for (i, h) in handles.into_iter().enumerate() {
             if cancel_mask[i] {
-                prop_assert!(q.cancel(h));
+                assert!(q.cancel(h), "case {case}");
             } else {
                 kept.push(i);
             }
         }
-        prop_assert_eq!(q.len(), kept.len());
+        assert_eq!(q.len(), kept.len(), "case {case}");
         let popped: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        prop_assert_eq!(popped, kept);
+        assert_eq!(popped, kept, "case {case}");
     }
+}
 
-    /// Bernoulli loss converges to its parameter (law of large numbers with
-    /// a generous tolerance; deterministic per seed).
-    #[test]
-    fn bernoulli_loss_calibrated(p in 0.05f64..0.95, seed in 0u64..1000) {
+/// Bernoulli loss converges to its parameter (law of large numbers with
+/// a generous tolerance; deterministic per seed).
+#[test]
+fn bernoulli_loss_calibrated() {
+    let mut rng = SimRng::from_seed(0xB3);
+    for case in 0..24 {
+        let p = rng.range_f64(0.05, 0.95);
+        let seed = rng.range_u64(0, 1000);
         let mut link = LinkState::new(
             LinkProfile::wired(SimDuration::from_millis(1)).with_loss(LossModel::Bernoulli(p)),
         );
-        let mut rng = SimRng::from_seed(seed);
+        let mut draw = SimRng::from_seed(seed);
         let n = 4000u32;
         let mut lost = 0u32;
         for _ in 0..n {
-            if matches!(link.transmit(SimTime::ZERO, 64, &mut rng), TxOutcome::Lost) {
+            if matches!(link.transmit(SimTime::ZERO, 64, &mut draw), TxOutcome::Lost) {
                 lost += 1;
             }
         }
         let rate = lost as f64 / n as f64;
-        prop_assert!((rate - p).abs() < 0.06, "rate {rate} vs p {p}");
+        assert!((rate - p).abs() < 0.06, "case {case}: rate {rate} vs p {p}");
     }
+}
 
-    /// Gilbert–Elliott steady-state matches the closed form.
-    #[test]
-    fn gilbert_elliott_steady_state(
-        p_gb in 0.01f64..0.5,
-        p_bg in 0.01f64..0.5,
-        seed in 0u64..100,
-    ) {
+/// Gilbert–Elliott steady-state matches the closed form.
+#[test]
+fn gilbert_elliott_steady_state() {
+    let mut rng = SimRng::from_seed(0xB4);
+    for case in 0..16 {
+        let p_gb = rng.range_f64(0.01, 0.5);
+        let p_bg = rng.range_f64(0.01, 0.5);
+        let seed = rng.range_u64(0, 100);
         let model = LossModel::GilbertElliott {
             p_good_to_bad: p_gb,
             p_bad_to_good: p_bg,
@@ -82,26 +99,32 @@ proptest! {
             loss_bad: 1.0,
         };
         let expected = model.steady_state_loss();
-        let mut link = LinkState::new(LinkProfile::wired(SimDuration::from_millis(1)).with_loss(model));
-        let mut rng = SimRng::from_seed(seed);
+        let mut link =
+            LinkState::new(LinkProfile::wired(SimDuration::from_millis(1)).with_loss(model));
+        let mut draw = SimRng::from_seed(seed);
         let n = 30_000u32;
         let mut lost = 0u32;
         for _ in 0..n {
-            if matches!(link.transmit(SimTime::ZERO, 64, &mut rng), TxOutcome::Lost) {
+            if matches!(link.transmit(SimTime::ZERO, 64, &mut draw), TxOutcome::Lost) {
                 lost += 1;
             }
         }
         let rate = lost as f64 / n as f64;
-        prop_assert!((rate - expected).abs() < 0.05, "rate {rate} vs steady {expected}");
+        assert!(
+            (rate - expected).abs() < 0.05,
+            "case {case}: rate {rate} vs steady {expected}"
+        );
     }
+}
 
-    /// Summary::merge is equivalent to sequential accumulation at any split.
-    #[test]
-    fn summary_merge_associative(
-        xs in proptest::collection::vec(-1e6f64..1e6, 2..200),
-        split_frac in 0.0f64..1.0,
-    ) {
-        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+/// Summary::merge is equivalent to sequential accumulation at any split.
+#[test]
+fn summary_merge_associative() {
+    let mut rng = SimRng::from_seed(0xB5);
+    for case in 0..64 {
+        let len = rng.range_u64(2, 200) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+        let split = (xs.len() as f64 * rng.unit()) as usize;
         let mut whole = Summary::new();
         for &x in &xs {
             whole.add(x);
@@ -115,25 +138,36 @@ proptest! {
             b.add(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
-        prop_assert_eq!(a.min(), whole.min());
-        prop_assert_eq!(a.max(), whole.max());
+        assert_eq!(a.count(), whole.count(), "case {case}");
+        assert!(
+            (a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()),
+            "case {case}"
+        );
+        assert!(
+            (a.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()),
+            "case {case}"
+        );
+        assert_eq!(a.min(), whole.min(), "case {case}");
+        assert_eq!(a.max(), whole.max(), "case {case}");
     }
+}
 
-    /// Deterministic replay: the same seed yields the same draw sequence
-    /// across all SimRng draw kinds.
-    #[test]
-    fn rng_streams_replay(seed in any::<u64>(), stream in any::<u64>()) {
+/// Deterministic replay: the same seed yields the same draw sequence
+/// across all SimRng draw kinds.
+#[test]
+fn rng_streams_replay() {
+    let mut rng = SimRng::from_seed(0xB6);
+    for _ in 0..32 {
+        let seed = rng.next_u64();
+        let stream = rng.next_u64();
         let mut a = SimRng::derive(seed, stream);
         let mut b = SimRng::derive(seed, stream);
         for i in 0..50u64 {
             match i % 4 {
-                0 => prop_assert_eq!(a.unit().to_bits(), b.unit().to_bits()),
-                1 => prop_assert_eq!(a.range_u64(0, 1000), b.range_u64(0, 1000)),
-                2 => prop_assert_eq!(a.chance(0.37), b.chance(0.37)),
-                _ => prop_assert_eq!(a.exponential(2.5).to_bits(), b.exponential(2.5).to_bits()),
+                0 => assert_eq!(a.unit().to_bits(), b.unit().to_bits()),
+                1 => assert_eq!(a.range_u64(0, 1000), b.range_u64(0, 1000)),
+                2 => assert_eq!(a.chance(0.37), b.chance(0.37)),
+                _ => assert_eq!(a.exponential(2.5).to_bits(), b.exponential(2.5).to_bits()),
             }
         }
     }

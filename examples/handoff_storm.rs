@@ -2,14 +2,16 @@
 //! while a source multicasts continuously — the scenario the paper's title
 //! promises ("for mobile Internet"). Prints per-walker handoff counts and
 //! the delivery disruption statistics, comparing path reservation on/off.
+//! The whole workload is one mobility-trace `Scenario`, rebuilt per radius.
 //!
 //! ```text
 //! cargo run --release --example handoff_storm
 //! ```
 
-use ringnet_repro::core::{GroupId, Guid, ProtocolConfig, RingNetSim, TrafficPattern};
+use ringnet_repro::core::driver::MulticastSim;
+use ringnet_repro::core::{Guid, ProtocolConfig, RingNetSim};
 use ringnet_repro::harness::metrics;
-use ringnet_repro::harness::scenario::{apply_trace, mobile_deployment};
+use ringnet_repro::harness::scenario::mobile_scenario;
 use ringnet_repro::mobility::{self, CellGrid, RandomWaypoint};
 use ringnet_repro::simnet::{SimDuration, SimRng, SimTime};
 
@@ -28,30 +30,22 @@ fn run(radius: u8) -> (u64, f64, f64, u64) {
         &mut rng,
     );
 
-    let cfg = ProtocolConfig::default().with_reservation_radius(radius);
-    let dep = mobile_deployment(
-        GroupId(1),
-        &grid,
-        &trace,
-        TrafficPattern::Cbr {
-            interval: SimDuration::from_millis(10),
-        },
-        cfg,
-    );
-    let mut net = RingNetSim::build(dep.spec.clone(), 7);
-    apply_trace(&mut net, &trace, &dep.ap_ids);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
+    let scenario = mobile_scenario(&grid, &trace)
+        .config(ProtocolConfig::default().with_reservation_radius(radius))
+        .cbr(SimDuration::from_millis(10))
+        .duration(duration)
+        .build();
+    let report = RingNetSim::run_scenario(&scenario, 7);
 
-    let totals = metrics::mh_totals(&journal);
+    let m = &report.metrics;
     let worst_gap = (0..8)
         .filter_map(|g| {
-            metrics::max_delivery_gap(&journal, Guid(g), SimTime::from_secs(1), duration)
+            metrics::max_delivery_gap(&report.journal, Guid(g), SimTime::from_secs(1), duration)
         })
         .max()
         .map(|d| d.as_nanos() as f64 / 1e6)
         .unwrap_or(f64::NAN);
-    (totals.handoffs, totals.delivery_ratio(), worst_gap, totals.duplicates)
+    (m.handoffs, m.delivery_ratio(), worst_gap, m.duplicates)
 }
 
 fn main() {

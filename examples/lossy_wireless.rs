@@ -1,15 +1,17 @@
 //! Lossy wireless: the best-effort local-scope retransmission scheme
 //! (§4.2.3) under a bursty Gilbert–Elliott channel. Shows delivery ratio
-//! and latency as the channel degrades, with the NACK budget on and off.
+//! and latency as the channel degrades, with the NACK budget on and off —
+//! one `Scenario` per (channel, budget) cell.
 //!
 //! ```text
 //! cargo run --release --example lossy_wireless
 //! ```
 
-use ringnet_repro::core::hierarchy::LinkPlan;
-use ringnet_repro::core::{GroupId, HierarchyBuilder, ProtocolConfig, RingNetSim, TrafficPattern};
-use ringnet_repro::harness::metrics;
-use ringnet_repro::simnet::{LatencyModel, LinkProfile, LossModel, SimDuration, SimTime};
+use ringnet_repro::core::driver::{CoreShape, MulticastSim, ScenarioBuilder};
+use ringnet_repro::core::{ProtocolConfig, RingNetSim};
+use ringnet_repro::simnet::{
+    BandwidthModel, LatencyModel, LinkProfile, LossModel, SimDuration, SimTime,
+};
 
 fn run(loss: LossModel, budget: u8) -> (f64, f64, u64) {
     let wireless = LinkProfile {
@@ -18,32 +20,30 @@ fn run(loss: LossModel, budget: u8) -> (f64, f64, u64) {
             jitter: SimDuration::from_millis(2),
         },
         loss,
-        bandwidth: ringnet_repro::simnet::BandwidthModel::Unlimited,
+        bandwidth: BandwidthModel::Unlimited,
     };
     let duration = SimTime::from_secs(8);
-    let spec = HierarchyBuilder::new(GroupId(1))
-        .brs(3)
-        .ag_rings(2, 2)
-        .aps_per_ag(1)
-        .mhs_per_ap(2)
+    let scenario = ScenarioBuilder::new()
+        .attachments(4)
+        .walkers_per_attachment(2)
         .sources(2)
-        .source_pattern(TrafficPattern::Poisson { rate: 100.0 })
-        .source_window(SimTime::ZERO, Some(duration - SimDuration::from_secs(1)))
+        .poisson(100.0)
+        .window(SimTime::ZERO, Some(duration - SimDuration::from_secs(1)))
         .config(ProtocolConfig::default().with_nack_budget(budget))
-        .links(LinkPlan {
-            wireless,
-            ..LinkPlan::default()
+        .wireless(wireless)
+        .shape(CoreShape::Hierarchy {
+            brs: 3,
+            rings: 2,
+            ags_per_ring: 2,
         })
+        .duration(duration)
         .build();
-    let mut net = RingNetSim::build(spec, 99);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    let totals = metrics::mh_totals(&journal);
-    let lat = metrics::end_to_end_latency(&journal);
+    let report = RingNetSim::run_scenario(&scenario, 99);
+    let m = &report.metrics;
     (
-        totals.delivery_ratio(),
-        lat.quantile(0.99) as f64 / 1e6,
-        totals.duplicates,
+        m.delivery_ratio(),
+        m.e2e_latency.quantile(0.99) as f64 / 1e6,
+        m.duplicates,
     )
 }
 

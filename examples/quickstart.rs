@@ -1,55 +1,55 @@
-//! Quickstart: build the paper's Figure 1 hierarchy, multicast through it,
-//! and verify totally-ordered delivery at every mobile host.
+//! Quickstart: describe the paper's Figure 1 deployment as a protocol-
+//! agnostic `Scenario`, run it through the RingNet backend, and verify
+//! totally-ordered delivery at every mobile host.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use ringnet_repro::core::{figure1, GroupId, ProtoEvent, RingNetSim, TrafficPattern};
+use ringnet_repro::core::driver::{ringnet_spec, MulticastSim, ScenarioBuilder};
+use ringnet_repro::core::{GroupId, RingNetSim};
 use ringnet_repro::harness::metrics;
 use ringnet_repro::simnet::{SimDuration, SimTime};
 
 fn main() {
-    // 1. Describe the deployment — here, exactly the paper's Figure 1.
-    let mut spec = figure1(GroupId(1));
-    println!("{}", spec.render());
+    // 1. Describe the deployment — here, exactly the paper's Figure 1,
+    //    with a 100 msg/s source sending 200 messages.
+    let scenario = ScenarioBuilder::figure1(GroupId(1))
+        .cbr(SimDuration::from_millis(10))
+        .message_limit(200)
+        .duration(SimTime::from_secs(5))
+        .build();
+    println!("{}", ringnet_spec(&scenario).render());
 
-    // 2. Attach a 100 msg/s source sending 200 messages.
-    for src in &mut spec.sources {
-        src.pattern = TrafficPattern::Cbr {
-            interval: SimDuration::from_millis(10),
-        };
-        src.limit = Some(200);
-    }
+    // 2. Run it through the RingNet backend. The same scenario would run
+    //    unchanged on any other `MulticastSim` (see `examples/scaling.rs`).
+    let report = RingNetSim::run_scenario(&scenario, 42);
 
-    // 3. Build the deterministic simulation and run it.
-    let mut net = RingNetSim::build(spec, 42);
-    net.run_until(SimTime::from_secs(5));
-    let (journal, stats) = net.finish();
+    // 3. Inspect the report.
+    let per_mh = metrics::deliveries_per_mh(&report.journal);
+    let m = &report.metrics;
 
-    // 4. Inspect the journal.
-    let ordered = journal
-        .iter()
-        .filter(|(_, e)| matches!(e, ProtoEvent::Ordered { .. }))
-        .count();
-    let per_mh = metrics::deliveries_per_mh(&journal);
-    let violations = metrics::order_violations(&journal);
-    let latency = metrics::end_to_end_latency(&journal);
-
-    println!("simulation events       : {}", stats.events);
-    println!("messages ordered        : {ordered}");
+    println!("simulation events       : {}", report.stats.events);
+    println!("messages ordered        : {}", m.ordered);
     println!("mobile hosts            : {}", per_mh.len());
     for (mh, seq) in &per_mh {
-        println!("  {mh}: {} messages, first gs{} … last gs{}",
-            seq.len(), seq.first().map(|x| x.1.0).unwrap_or(0), seq.last().map(|x| x.1.0).unwrap_or(0));
+        println!(
+            "  {mh}: {} messages, first gs{} … last gs{}",
+            seq.len(),
+            seq.first().map(|x| x.1 .0).unwrap_or(0),
+            seq.last().map(|x| x.1 .0).unwrap_or(0)
+        );
     }
-    println!("total-order violations  : {violations}");
+    println!("total-order violations  : {}", m.order_violations);
     println!(
         "end-to-end latency      : p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
-        latency.quantile(0.5) as f64 / 1e6,
-        latency.quantile(0.99) as f64 / 1e6,
-        latency.quantile(1.0) as f64 / 1e6,
+        m.e2e_latency.quantile(0.5) as f64 / 1e6,
+        m.e2e_latency.quantile(0.99) as f64 / 1e6,
+        m.e2e_latency.quantile(1.0) as f64 / 1e6,
     );
-    assert_eq!(violations, 0, "RingNet must never violate total order");
+    assert_eq!(
+        m.order_violations, 0,
+        "RingNet must never violate total order"
+    );
     println!("OK — every MH delivered the same totally-ordered stream");
 }

@@ -3,106 +3,54 @@
 //! centralized load, and RingNet's localized rings (the paper's core
 //! architectural argument, live).
 //!
+//! The point of the `MulticastSim` facade: ONE scenario per group size,
+//! three backends, zero per-protocol glue.
+//!
 //! ```text
 //! cargo run --release --example scaling
 //! ```
 
-use ringnet_repro::baselines::flat_ring::{FlatRingSim, FlatRingSpec};
-use ringnet_repro::baselines::relm::{RelmSim, RelmSpec};
-use ringnet_repro::core::hierarchy::LinkPlan;
-use ringnet_repro::core::{GroupId, HierarchyBuilder, NodeId, ProtoEvent, RingNetSim, TrafficPattern};
-use ringnet_repro::harness::metrics;
-use ringnet_repro::simnet::{LinkProfile, SimDuration, SimTime};
+use ringnet_repro::baselines::{FlatRingSim, RelmSim};
+use ringnet_repro::core::driver::{CoreShape, MulticastSim, Scenario, ScenarioBuilder};
+use ringnet_repro::core::RingNetSim;
+use ringnet_repro::simnet::{SimDuration, SimTime};
 
 const DURATION_SECS: u64 = 5;
 
-fn pattern() -> TrafficPattern {
-    TrafficPattern::Cbr {
-        interval: SimDuration::from_millis(10),
-    }
-}
-
-/// (p50 latency ms, busiest wired entity msgs)
-fn run_ringnet(n: usize) -> (f64, u64) {
-    let shape = |n: usize| match n {
-        0..=8 => (2, 2, (n / 4).max(1)),
-        _ => (4, 2, n / 8),
+fn scenario(n: usize) -> Scenario {
+    let (rings, ags_per_ring) = match n {
+        0..=8 => (2, 2),
+        _ => (4, 2),
     };
-    let (rings, ags, aps) = shape(n);
-    let spec = HierarchyBuilder::new(GroupId(1))
-        .brs(4)
-        .ag_rings(rings, ags)
-        .aps_per_ag(aps)
-        .mhs_per_ap(1)
-        .sources(2)
-        .source_pattern(pattern())
-        .links(LinkPlan {
-            wireless: LinkProfile::wired(SimDuration::from_millis(2)),
-            ..LinkPlan::default()
+    // One source so the single-ingest RelM carries the *same* traffic as
+    // the multi-ingest backends — columns stay comparable.
+    ScenarioBuilder::new()
+        .attachments(n)
+        .walkers_per_attachment(1)
+        .sources(1)
+        .cbr(SimDuration::from_millis(10))
+        .loss_free_wireless()
+        // RingNet's core shape; the flat ring and RelM ignore the hint.
+        .shape(CoreShape::Hierarchy {
+            brs: 4,
+            rings,
+            ags_per_ring,
         })
-        .build();
-    let interior: Vec<NodeId> = spec
-        .top_ring
-        .iter()
-        .chain(spec.ag_rings.iter().flat_map(|r| r.members.iter()))
-        .copied()
-        .collect();
-    let mut net = RingNetSim::build(spec, 5);
-    net.run_until(SimTime::from_secs(DURATION_SECS));
-    let (journal, _) = net.finish();
-    let h = metrics::end_to_end_latency(&journal);
-    let busiest = journal
-        .iter()
-        .filter_map(|(_, e)| match e {
-            ProtoEvent::NeFinal { node, data_sent, .. } if interior.contains(node) => {
-                Some(*data_sent as u64)
-            }
-            _ => None,
-        })
-        .max()
-        .unwrap_or(0);
-    (h.quantile(0.5) as f64 / 1e6, busiest)
+        .duration(SimTime::from_secs(DURATION_SECS))
+        .build()
 }
 
-fn run_flat(n: usize) -> (f64, u64) {
-    let mut spec = FlatRingSpec::new(n, 1);
-    spec.sources = 2;
-    spec.pattern = pattern();
-    spec.wireless = LinkProfile::wired(SimDuration::from_millis(2));
-    let mut net = FlatRingSim::build(spec, 5);
-    net.run_until(SimTime::from_secs(DURATION_SECS));
-    let (journal, _) = net.finish();
-    let h = metrics::end_to_end_latency(&journal);
-    let busiest = journal
-        .iter()
-        .filter_map(|(_, e)| match e {
-            ProtoEvent::NeFinal { data_sent, .. } => Some(*data_sent as u64),
-            _ => None,
-        })
-        .max()
-        .unwrap_or(0);
-    (h.quantile(0.5) as f64 / 1e6, busiest)
-}
-
-fn run_relm(n: usize) -> (f64, u64) {
-    let mut spec = RelmSpec::new(n.div_ceil(2).max(1), 2);
-    spec.interval = SimDuration::from_millis(10);
-    let mut net = RelmSim::build(spec, 5);
-    net.run_until(SimTime::from_secs(DURATION_SECS));
-    let (journal, _) = net.finish();
-    let h = metrics::end_to_end_latency(&journal);
-    let sh = journal
-        .iter()
-        .find_map(|(_, e)| match e {
-            ProtoEvent::NeFinal { node: NodeId(0), data_sent, .. } => Some(*data_sent as u64),
-            _ => None,
-        })
-        .unwrap_or(0);
-    (h.quantile(0.5) as f64 / 1e6, sh)
+/// (p50 latency ms, busiest wired-core entity msgs)
+fn measure<S: MulticastSim>(sc: &Scenario) -> (f64, u64) {
+    let report = S::run_scenario(sc, 5);
+    (
+        report.metrics.e2e_latency.quantile(0.5) as f64 / 1e6,
+        report.metrics.busiest_core_msgs,
+    )
 }
 
 fn main() {
-    println!("group size sweep, 2×100 msg/s, {DURATION_SECS} simulated seconds\n");
+    println!("group size sweep, 100 msg/s, {DURATION_SECS} simulated seconds\n");
     println!(
         "{:>5} | {:>32} | {:>32}",
         "", "p50 latency (ms)", "busiest wired entity (msgs)"
@@ -112,9 +60,10 @@ fn main() {
         "N", "RingNet", "flat ring", "RelM SH", "RingNet", "flat ring", "RelM SH"
     );
     for n in [4usize, 8, 16, 32] {
-        let (rn_lat, rn_load) = run_ringnet(n);
-        let (fl_lat, fl_load) = run_flat(n);
-        let (re_lat, re_load) = run_relm(n);
+        let sc = scenario(n);
+        let (rn_lat, rn_load) = measure::<RingNetSim>(&sc);
+        let (fl_lat, fl_load) = measure::<FlatRingSim>(&sc);
+        let (re_lat, re_load) = measure::<RelmSim>(&sc);
         println!(
             "{:>5} | {:>10.1} {:>10.1} {:>10.1} | {:>10} {:>10} {:>10}",
             n, rn_lat, fl_lat, re_lat, rn_load, fl_load, re_load

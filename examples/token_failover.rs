@@ -1,44 +1,61 @@
 //! Token failover: crash top-ring nodes one after another and watch the
 //! membership layer repair the ring and the Token-Regeneration algorithm
 //! (§4.2.1) restore ordering from the NewOrderingToken snapshots — with a
-//! full event timeline.
+//! full event timeline. The failures are part of the `Scenario`'s fault
+//! schedule, not per-sim glue.
 //!
 //! ```text
 //! cargo run --release --example token_failover
 //! ```
 
-use ringnet_repro::core::{
-    GroupId, HierarchyBuilder, NodeId, ProtoEvent, RingNetSim, TrafficPattern,
-};
-use ringnet_repro::harness::metrics;
+use ringnet_repro::core::driver::{CoreShape, MulticastSim, ScenarioBuilder, ScenarioEvent};
+use ringnet_repro::core::{ProtoEvent, RingNetSim};
 use ringnet_repro::simnet::{SimDuration, SimTime};
 
 fn main() {
-    let spec = HierarchyBuilder::new(GroupId(1))
-        .brs(5)
-        .ag_rings(2, 2)
-        .aps_per_ag(1)
-        .mhs_per_ap(1)
+    // Five BRs on the ordering ring; kill two of them mid-run, including
+    // the leader/token-origin (core index 0).
+    let scenario = ScenarioBuilder::new()
+        .attachments(4)
+        .walkers_per_attachment(1)
         .sources(2)
-        .source_pattern(TrafficPattern::Cbr {
-            interval: SimDuration::from_millis(10),
+        .cbr(SimDuration::from_millis(10))
+        .shape(CoreShape::Hierarchy {
+            brs: 5,
+            rings: 2,
+            ags_per_ring: 2,
         })
+        .event(ScenarioEvent::KillCore {
+            at: SimTime::from_secs(2),
+            index: 3,
+        })
+        .event(ScenarioEvent::KillCore {
+            at: SimTime::from_secs(4),
+            index: 0,
+        })
+        .duration(SimTime::from_secs(8))
         .build();
-    let mut net = RingNetSim::build(spec, 5);
-    // Kill two of the five BRs, including the leader/token-origin ne0.
-    net.schedule_kill_ne(SimTime::from_secs(2), NodeId(3));
-    net.schedule_kill_ne(SimTime::from_secs(4), NodeId(0));
-    net.run_until(SimTime::from_secs(8));
-    let (journal, _) = net.finish();
+    let report = RingNetSim::run_scenario(&scenario, 5);
 
     println!("timeline (ring repairs, token events):");
-    for (t, e) in &journal {
+    for (t, e) in &report.journal {
         match e {
-            ProtoEvent::RingRepaired { node, failed, new_next } => {
+            ProtoEvent::RingRepaired {
+                node,
+                failed,
+                new_next,
+            } => {
                 println!("  {t}  {node} detected {failed} dead, new next {new_next}");
             }
-            ProtoEvent::TokenRegenerated { node, epoch, next_gsn } => {
-                println!("  {t}  {node} REGENERATED token epoch {} from {next_gsn}", epoch.0);
+            ProtoEvent::TokenRegenerated {
+                node,
+                epoch,
+                next_gsn,
+            } => {
+                println!(
+                    "  {t}  {node} REGENERATED token epoch {} from {next_gsn}",
+                    epoch.0
+                );
             }
             ProtoEvent::TokenDestroyed { node, epoch } => {
                 println!("  {t}  {node} destroyed stale token epoch {}", epoch.0);
@@ -48,7 +65,8 @@ fn main() {
     }
 
     // Ordering gaps around each failure.
-    let ordered: Vec<SimTime> = journal
+    let ordered: Vec<SimTime> = report
+        .journal
         .iter()
         .filter_map(|(t, e)| matches!(e, ProtoEvent::Ordered { .. }).then_some(*t))
         .collect();
@@ -57,14 +75,16 @@ fn main() {
         .map(|w| w[1].saturating_since(w[0]))
         .max()
         .unwrap();
-    let violations = metrics::order_violations(&journal);
-    let totals = metrics::mh_totals(&journal);
+    let m = &report.metrics;
 
     println!("\nmessages ordered        : {}", ordered.len());
     println!("longest ordering stall  : {max_gap}");
-    println!("total-order violations  : {violations}");
-    println!("messages delivered      : {} across {} MHs", totals.delivered, totals.mhs);
-    assert_eq!(violations, 0);
+    println!("total-order violations  : {}", m.order_violations);
+    println!(
+        "messages delivered      : {} across {} MHs",
+        m.delivered, m.mhs
+    );
+    assert_eq!(m.order_violations, 0);
     assert!(
         *ordered.last().unwrap() > SimTime::from_secs(5),
         "ordering must survive both failures"

@@ -6,7 +6,11 @@ use ringnet_repro::harness::experiments;
 #[test]
 fn all_experiments_produce_tables() {
     let tables = experiments::run_all(true);
-    assert_eq!(tables.len(), 13, "one table per paper artefact plus E8/A1 extensions");
+    assert_eq!(
+        tables.len(),
+        13,
+        "one table per paper artefact plus E8/A1 extensions"
+    );
     let expected_ids = [
         "F1", "T1", "T2", "T3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1",
     ];

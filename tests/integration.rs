@@ -1,75 +1,68 @@
 //! Cross-crate integration tests: whole-system properties that span the
-//! simulator, the protocol, mobility and the baselines.
+//! simulator, the protocol, mobility and the baselines — driven through
+//! the protocol-generic `Scenario` facade wherever a scenario can express
+//! the setup (spec-level engine details keep their direct tests).
 
-use ringnet_repro::core::hierarchy::LinkPlan;
-use ringnet_repro::core::{
-    figure1, GroupId, Guid, HierarchyBuilder, NodeId, ProtoEvent, ProtocolConfig, RingNetSim,
-    TrafficPattern,
-};
+use ringnet_repro::core::driver::{CoreShape, MulticastSim, ScenarioBuilder, ScenarioEvent};
+use ringnet_repro::core::{figure1, GroupId, Guid, NodeId, ProtoEvent, RingNetSim, TrafficPattern};
 use ringnet_repro::harness::metrics;
-use ringnet_repro::harness::scenario::{apply_trace, mobile_deployment};
+use ringnet_repro::harness::scenario::mobile_scenario;
 use ringnet_repro::mobility::{self, CellGrid, RandomWaypoint};
-use ringnet_repro::simnet::{LinkProfile, SimDuration, SimRng, SimTime};
-
-fn cbr(ms: u64) -> TrafficPattern {
-    TrafficPattern::Cbr {
-        interval: SimDuration::from_millis(ms),
-    }
-}
+use ringnet_repro::simnet::{SimDuration, SimRng, SimTime};
 
 /// The headline guarantee: every MH delivers a subsequence of the same
 /// total order, complete when nothing is lost.
 #[test]
 fn total_order_complete_delivery_on_figure1() {
-    let mut spec = figure1(GroupId(1));
-    for s in &mut spec.sources {
-        s.pattern = cbr(10);
-        s.limit = Some(150);
-    }
-    spec.links.wireless = LinkProfile::wired(SimDuration::from_millis(2));
-    let mut net = RingNetSim::build(spec, 1234);
-    net.run_until(SimTime::from_secs(5));
-    let (journal, _) = net.finish();
-    let per = metrics::deliveries_per_mh(&journal);
+    let scenario = ScenarioBuilder::figure1(GroupId(1))
+        .cbr(SimDuration::from_millis(10))
+        .message_limit(150)
+        .loss_free_wireless()
+        .duration(SimTime::from_secs(5))
+        .build();
+    let report = RingNetSim::run_scenario(&scenario, 1234);
+    let per = metrics::deliveries_per_mh(&report.journal);
     assert_eq!(per.len(), 9);
     for (mh, seq) in &per {
         let gsns: Vec<u64> = seq.iter().map(|(_, g)| g.0).collect();
         assert_eq!(gsns, (1..=150).collect::<Vec<_>>(), "{mh} incomplete");
     }
-    assert_eq!(metrics::order_violations(&journal), 0);
-    assert!(metrics::pairwise_agreement(&journal));
+    assert_eq!(report.metrics.order_violations, 0);
+    assert!(metrics::pairwise_agreement(&report.journal));
 }
 
 /// Multiple sources: global numbers interleave across sources but stay
 /// unique, and every MH sees the identical interleaving.
 #[test]
 fn multi_source_interleaving_is_identical_everywhere() {
-    let spec = HierarchyBuilder::new(GroupId(1))
-        .brs(4)
-        .ag_rings(2, 3)
-        .aps_per_ag(1)
-        .mhs_per_ap(1)
+    let scenario = ScenarioBuilder::new()
+        .attachments(6)
+        .walkers_per_attachment(1)
         .sources(4)
-        .source_pattern(cbr(7))
-        .source_limit(60)
-        .links(LinkPlan {
-            wireless: LinkProfile::wired(SimDuration::from_millis(2)),
-            ..LinkPlan::default()
+        .cbr(SimDuration::from_millis(7))
+        .message_limit(60)
+        .loss_free_wireless()
+        .shape(CoreShape::Hierarchy {
+            brs: 4,
+            rings: 2,
+            ags_per_ring: 3,
         })
+        .duration(SimTime::from_secs(6))
         .build();
-    let mut net = RingNetSim::build(spec, 77);
-    net.run_until(SimTime::from_secs(6));
-    let (journal, _) = net.finish();
-    let per = metrics::deliveries_per_mh(&journal);
-    // Reconstruct each MH's (source, ls) sequence; all must be equal.
-    let mut sequences: Vec<Vec<(u32, u64, u64)>> = Vec::new();
-    for _seq in per.values() {
-        sequences.push(Vec::new());
-    }
+    let report = RingNetSim::run_scenario(&scenario, 77);
     let mut by_mh: std::collections::BTreeMap<u32, Vec<(u32, u64, u64)>> = Default::default();
-    for (_, e) in &journal {
-        if let ProtoEvent::MhDeliver { mh, gsn, source, local_seq } = e {
-            by_mh.entry(mh.0).or_default().push((source.0, local_seq.0, gsn.0));
+    for (_, e) in &report.journal {
+        if let ProtoEvent::MhDeliver {
+            mh,
+            gsn,
+            source,
+            local_seq,
+        } = e
+        {
+            by_mh
+                .entry(mh.0)
+                .or_default()
+                .push((source.0, local_seq.0, gsn.0));
         }
     }
     let first = by_mh.values().next().unwrap().clone();
@@ -79,8 +72,16 @@ fn multi_source_interleaving_is_identical_everywhere() {
     }
     // Per-source FIFO preserved inside the total order.
     for src in 0..4u32 {
-        let ls_seq: Vec<u64> = first.iter().filter(|(s, _, _)| *s == src).map(|(_, ls, _)| *ls).collect();
-        assert_eq!(ls_seq, (1..=60).collect::<Vec<_>>(), "source {src} not FIFO");
+        let ls_seq: Vec<u64> = first
+            .iter()
+            .filter(|(s, _, _)| *s == src)
+            .map(|(_, ls, _)| *ls)
+            .collect();
+        assert_eq!(
+            ls_seq,
+            (1..=60).collect::<Vec<_>>(),
+            "source {src} not FIFO"
+        );
     }
 }
 
@@ -88,16 +89,12 @@ fn multi_source_interleaving_is_identical_everywhere() {
 /// journals; different seeds differ.
 #[test]
 fn full_stack_determinism() {
-    fn run(seed: u64) -> Vec<(SimTime, ProtoEvent)> {
-        let mut spec = figure1(GroupId(1));
-        for s in &mut spec.sources {
-            s.pattern = TrafficPattern::Poisson { rate: 80.0 };
-            s.limit = Some(60);
-        }
-        let mut net = RingNetSim::build(spec, seed);
-        net.run_until(SimTime::from_secs(3));
-        net.finish().0
-    }
+    let scenario = ScenarioBuilder::figure1(GroupId(1))
+        .poisson(80.0)
+        .message_limit(60)
+        .duration(SimTime::from_secs(3))
+        .build();
+    let run = |seed: u64| RingNetSim::run_scenario(&scenario, seed).journal;
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6));
 }
@@ -120,102 +117,111 @@ fn mobility_scenario_preserves_order() {
         &mut rng,
     );
     assert!(!trace.events.is_empty(), "walkers must hand off");
-    let dep = mobile_deployment(GroupId(1), &grid, &trace, cbr(10), ProtocolConfig::default());
-    let mut net = RingNetSim::build(dep.spec.clone(), 3);
-    apply_trace(&mut net, &trace, &dep.ap_ids);
-    net.run_until(duration);
-    let (journal, _) = net.finish();
-    assert_eq!(metrics::order_violations(&journal), 0);
-    let totals = metrics::mh_totals(&journal);
-    assert!(totals.handoffs as usize >= trace.events.len() / 2);
+    let scenario = mobile_scenario(&grid, &trace)
+        .cbr(SimDuration::from_millis(10))
+        .duration(duration)
+        .build();
+    let report = RingNetSim::run_scenario(&scenario, 3);
+    assert_eq!(report.metrics.order_violations, 0);
+    assert!(report.metrics.handoffs as usize >= trace.events.len() / 2);
     assert!(
-        totals.delivery_ratio() > 0.95,
+        report.metrics.delivery_ratio() > 0.95,
         "ratio {}",
-        totals.delivery_ratio()
+        report.metrics.delivery_ratio()
     );
 }
 
 /// Failure of an interior AG: its APs fail over to the backup parent and
-/// delivery continues.
+/// delivery continues. The AG is addressed through the scenario's
+/// wired-core index space (BRs first, then AGs).
 #[test]
 fn ag_failure_fails_over_to_backup_parent() {
-    let spec = HierarchyBuilder::new(GroupId(1))
-        .brs(2)
-        .ag_rings(1, 3)
-        .aps_per_ag(1)
-        .mhs_per_ap(1)
+    let scenario = ScenarioBuilder::new()
+        .attachments(3)
+        .walkers_per_attachment(1)
         .sources(1)
-        .source_pattern(cbr(10))
-        .links(LinkPlan {
-            wireless: LinkProfile::wired(SimDuration::from_millis(2)),
-            ..LinkPlan::default()
+        .cbr(SimDuration::from_millis(10))
+        .loss_free_wireless()
+        .shape(CoreShape::Hierarchy {
+            brs: 2,
+            rings: 1,
+            ags_per_ring: 3,
         })
+        // Core index 2 = first AG (after the two BRs).
+        .event(ScenarioEvent::KillCore {
+            at: SimTime::from_secs(2),
+            index: 2,
+        })
+        .duration(SimTime::from_secs(8))
         .build();
-    // First AG in the ring hosts the first AP; kill it.
-    let victim = spec.ag_rings[0].members[0];
-    let mut net = RingNetSim::build(spec, 8);
-    net.schedule_kill_ne(SimTime::from_secs(2), victim);
-    net.run_until(SimTime::from_secs(8));
-    let (journal, _) = net.finish();
+    let report = RingNetSim::run_scenario(&scenario, 8);
     // The orphaned AP re-grafted somewhere after the failure.
-    let regraft = journal.iter().any(|(t, e)| {
-        *t > SimTime::from_secs(2)
-            && matches!(e, ProtoEvent::Grafted { .. })
-    });
+    let regraft = report
+        .journal
+        .iter()
+        .any(|(t, e)| *t > SimTime::from_secs(2) && matches!(e, ProtoEvent::Grafted { .. }));
     assert!(regraft, "no re-graft after AG failure");
     // Deliveries continue well past the failure.
-    let last_delivery = journal
+    let last_delivery = report
+        .journal
         .iter()
         .filter_map(|(t, e)| matches!(e, ProtoEvent::MhDeliver { .. }).then_some(*t))
         .max()
         .unwrap();
-    assert!(last_delivery > SimTime::from_secs(7), "delivery stalled at {last_delivery}");
-    assert_eq!(metrics::order_violations(&journal), 0);
+    assert!(
+        last_delivery > SimTime::from_secs(7),
+        "delivery stalled at {last_delivery}"
+    );
+    assert_eq!(report.metrics.order_violations, 0);
 }
 
 /// Late joiners skip history: a join at t=2s must not deliver messages
 /// ordered long before the join.
 #[test]
 fn late_joiner_skips_history() {
-    let mut spec = HierarchyBuilder::new(GroupId(1))
-        .brs(2)
-        .ag_rings(1, 2)
-        .aps_per_ag(1)
-        .mhs_per_ap(1)
+    let scenario = ScenarioBuilder::new()
+        .attachments(2)
+        .walkers(vec![Some(0), Some(1), None])
         .sources(1)
-        .source_pattern(cbr(10))
+        .cbr(SimDuration::from_millis(10))
+        .shape(CoreShape::Hierarchy {
+            brs: 2,
+            rings: 1,
+            ags_per_ring: 2,
+        })
+        .event(ScenarioEvent::Join {
+            at: SimTime::from_secs(2),
+            walker: 2,
+            at_ap: 0,
+        })
+        .duration(SimTime::from_secs(4))
         .build();
-    let late_guid = Guid(1000);
-    spec.mhs.push(ringnet_repro::core::hierarchy::MhSpec {
-        guid: late_guid,
-        initial_ap: None,
-    });
-    let ap = spec.aps[0].id;
-    let mut net = RingNetSim::build(spec, 9);
-    net.schedule_join(SimTime::from_secs(2), late_guid, ap);
-    net.run_until(SimTime::from_secs(4));
-    let (journal, _) = net.finish();
-    let per = metrics::deliveries_per_mh(&journal);
-    let late = per.get(&late_guid).expect("late joiner delivered");
+    let report = RingNetSim::run_scenario(&scenario, 9);
+    let per = metrics::deliveries_per_mh(&report.journal);
+    let late = per.get(&Guid(2)).expect("late joiner delivered");
     // ~100 msg/s: by t=2s about 200 messages have passed; the joiner must
     // start near there, not at 1.
     let first = late.first().unwrap().1 .0;
     assert!(first > 150, "late joiner started at gs{first}");
-    assert_eq!(metrics::order_violations(&journal), 0);
+    assert_eq!(report.metrics.order_violations, 0);
 }
 
-/// The engine refuses structurally invalid specs.
+/// The engine refuses structurally invalid specs (spec-level test; the
+/// scenario layer has its own validation, exercised in driver tests).
 #[test]
 #[should_panic(expected = "invalid spec")]
 fn invalid_spec_is_rejected() {
     let mut spec = figure1(GroupId(1));
-    spec.sources.push(ringnet_repro::core::hierarchy::SourceSpec {
-        corresponding: NodeId(9999),
-        pattern: cbr(10),
-        start: SimTime::ZERO,
-        stop: None,
-        limit: None,
-    });
+    spec.sources
+        .push(ringnet_repro::core::hierarchy::SourceSpec {
+            corresponding: NodeId(9999),
+            pattern: TrafficPattern::Cbr {
+                interval: SimDuration::from_millis(10),
+            },
+            start: SimTime::ZERO,
+            stop: None,
+            limit: None,
+        });
     let _ = RingNetSim::build(spec, 1);
 }
 
@@ -230,34 +236,38 @@ fn churn_plus_failure_torture() {
         SimDuration::from_millis(700),
         SimDuration::from_secs(6),
     );
-    let dep = mobile_deployment(GroupId(1), &grid, &trace, cbr(10), ProtocolConfig::default());
-    let victim = dep.spec.top_ring[1];
-    let mut net = RingNetSim::build(dep.spec.clone(), 11);
-    apply_trace(&mut net, &trace, &dep.ap_ids);
-    net.schedule_kill_ne(SimTime::from_secs(3), victim);
-    net.run_until(SimTime::from_secs(8));
-    let (journal, _) = net.finish();
-    assert_eq!(metrics::order_violations(&journal), 0);
-    assert!(metrics::pairwise_agreement(&journal));
-    let totals = metrics::mh_totals(&journal);
-    assert!(totals.delivered > 500, "delivered {}", totals.delivered);
+    let scenario = mobile_scenario(&grid, &trace)
+        .cbr(SimDuration::from_millis(10))
+        // Core index 1 = the second top-ring BR.
+        .event(ScenarioEvent::KillCore {
+            at: SimTime::from_secs(3),
+            index: 1,
+        })
+        .duration(SimTime::from_secs(8))
+        .build();
+    let report = RingNetSim::run_scenario(&scenario, 11);
+    assert_eq!(report.metrics.order_violations, 0);
+    assert!(metrics::pairwise_agreement(&report.journal));
+    assert!(
+        report.metrics.delivered > 500,
+        "delivered {}",
+        report.metrics.delivered
+    );
 }
 
 /// The parallel replica runner reproduces the sequential results for whole
 /// protocol simulations (the hpc-parallel sweep path).
 #[test]
 fn parallel_sweep_matches_sequential() {
+    let scenario = ScenarioBuilder::figure1(GroupId(1))
+        .cbr(SimDuration::from_millis(10))
+        .message_limit(30)
+        .duration(SimTime::from_secs(2))
+        .build();
     let seeds: Vec<u64> = (0..8).collect();
     let job = |_: usize, &seed: &u64| {
-        let mut spec = figure1(GroupId(1));
-        for s in &mut spec.sources {
-            s.pattern = cbr(10);
-            s.limit = Some(30);
-        }
-        let mut net = RingNetSim::build(spec, seed);
-        net.run_until(SimTime::from_secs(2));
-        let (journal, stats) = net.finish();
-        (journal.len(), stats.packets_delivered)
+        let report = RingNetSim::run_scenario(&scenario, seed);
+        (report.journal.len(), report.stats.packets_delivered)
     };
     let sequential: Vec<_> = seeds.iter().enumerate().map(|(i, s)| job(i, s)).collect();
     let parallel = ringnet_repro::simnet::run_replicas(&seeds, 4, job);
