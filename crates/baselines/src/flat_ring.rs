@@ -16,7 +16,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use ringnet_core::driver::{MulticastSim, RunReport, Scenario, ScenarioEvent};
+use ringnet_core::driver::{MulticastSim, Reporting, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::engine::{
     boxed_mh_actor, boxed_ne_actor, boxed_source_actor, wire_size, AddrMap,
 };
@@ -88,6 +88,9 @@ pub struct FlatRingSim {
     pub addrs: Arc<AddrMap>,
     /// The spec it was built from.
     pub spec: FlatRingSpec,
+    /// Report assembly mode (batch by default; the [`MulticastSim`] facade
+    /// switches it to streaming when journal retention is off).
+    pub reporting: Reporting,
 }
 
 impl FlatRingSim {
@@ -194,6 +197,7 @@ impl FlatRingSim {
             sim,
             addrs: map,
             spec,
+            reporting: Reporting::default(),
         }
     }
 
@@ -287,7 +291,10 @@ impl MulticastSim for FlatRingSim {
         spec.limit = scenario.limit;
         spec.ring_link = scenario.links.top_ring.clone();
         spec.wireless = scenario.links.wireless.clone();
-        FlatRingSim::build(spec, seed)
+        let mut sim = FlatRingSim::build(spec, seed);
+        let core: BTreeSet<NodeId> = (0..sim.spec.stations as u32).map(NodeId).collect();
+        sim.reporting = Reporting::install(&mut sim.sim, scenario, core);
+        sim
     }
 
     fn schedule(&mut self, event: ScenarioEvent) {
@@ -318,10 +325,11 @@ impl MulticastSim for FlatRingSim {
         FlatRingSim::run_until(self, t);
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self) -> RunReport {
         let core: BTreeSet<NodeId> = (0..self.spec.stations as u32).map(NodeId).collect();
+        let reporting = std::mem::take(&mut self.reporting);
         let (journal, stats) = FlatRingSim::finish(self);
-        RunReport::new(journal, stats, &core)
+        reporting.finish(journal, stats, &core)
     }
 }
 

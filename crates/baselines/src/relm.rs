@@ -14,7 +14,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use ringnet_core::driver::{MulticastSim, RunReport, Scenario, ScenarioEvent};
+use ringnet_core::driver::{MulticastSim, Reporting, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, PayloadId, ProtoEvent};
 use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimStats, SimTime};
 
@@ -367,6 +367,9 @@ pub struct RelmSim {
     /// The underlying simulator.
     pub sim: Sim<RelmMsg, ProtoEvent>,
     map: Arc<RelmMap>,
+    /// Report assembly mode (batch by default; the [`MulticastSim`] facade
+    /// switches it to streaming when journal retention is off).
+    pub reporting: Reporting,
 }
 
 impl RelmSim {
@@ -471,7 +474,11 @@ impl RelmSim {
             w.topo
                 .connect_duplex(map.mh[&g], map.mss[&mss], spec.wireless.clone());
         }
-        RelmSim { sim, map }
+        RelmSim {
+            sim,
+            map,
+            reporting: Reporting::default(),
+        }
     }
 
     /// Run until simulated time `t`.
@@ -514,7 +521,10 @@ impl MulticastSim for RelmSim {
         spec.limit = scenario.limit;
         spec.wired = scenario.links.br_ag.clone();
         spec.wireless = scenario.links.wireless.clone();
-        RelmSim::build(spec, seed)
+        let mut sim = RelmSim::build(spec, seed);
+        let core: BTreeSet<NodeId> = std::iter::once(NodeId(0)).collect();
+        sim.reporting = Reporting::install(&mut sim.sim, scenario, core);
+        sim
     }
 
     fn schedule(&mut self, _event: ScenarioEvent) {
@@ -525,10 +535,11 @@ impl MulticastSim for RelmSim {
         RelmSim::run_until(self, t);
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self) -> RunReport {
         let core: BTreeSet<NodeId> = std::iter::once(NodeId(0)).collect();
+        let reporting = std::mem::take(&mut self.reporting);
         let (journal, stats) = RelmSim::finish(self);
-        RunReport::new(journal, stats, &core)
+        reporting.finish(journal, stats, &core)
     }
 }
 

@@ -17,7 +17,8 @@
 //! the tunnelling baseline.
 
 use ringnet_core::driver::{
-    degenerate_tree_spec, hierarchy_core, MulticastSim, RunReport, Scenario, ScenarioEvent,
+    degenerate_tree_spec, hierarchy_core, MulticastSim, Reporting, RunReport, Scenario,
+    ScenarioEvent,
 };
 use ringnet_core::engine::RingNetSim;
 use ringnet_core::hierarchy::{HierarchySpec, TrafficPattern};
@@ -76,7 +77,9 @@ pub struct TreeSim(pub RingNetSim);
 
 impl MulticastSim for TreeSim {
     fn build(scenario: &Scenario, seed: u64) -> Self {
-        TreeSim(RingNetSim::build(degenerate_tree_spec(scenario), seed))
+        let mut inner = RingNetSim::build(degenerate_tree_spec(scenario), seed);
+        inner.reporting = Reporting::install(&mut inner.sim, scenario, hierarchy_core(&inner.spec));
+        TreeSim(inner)
     }
 
     fn schedule(&mut self, event: ScenarioEvent) {
@@ -87,10 +90,11 @@ impl MulticastSim for TreeSim {
         self.0.run_until(t);
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self) -> RunReport {
         let core = hierarchy_core(&self.0.spec);
+        let reporting = std::mem::take(&mut self.0.reporting);
         let (journal, stats) = self.0.finish();
-        RunReport::new(journal, stats, &core)
+        reporting.finish(journal, stats, &core)
     }
 }
 

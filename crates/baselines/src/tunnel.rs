@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use ringnet_core::driver::{MulticastSim, RunReport, Scenario, ScenarioEvent};
+use ringnet_core::driver::{MulticastSim, Reporting, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, PayloadId, ProtoEvent};
 use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimStats, SimTime};
 
@@ -318,6 +318,9 @@ pub struct TunnelSim {
     pub sim: Sim<TunMsg, ProtoEvent>,
     map: Arc<TunMap>,
     spec: TunnelSpec,
+    /// Report assembly mode (batch by default; the [`MulticastSim`] facade
+    /// switches it to streaming when journal retention is off).
+    pub reporting: Reporting,
 }
 
 impl TunnelSim {
@@ -408,7 +411,12 @@ impl TunnelSim {
                 .connect_duplex(map.mh[&g], map.ap[&home], spec.wireless.clone());
         }
 
-        TunnelSim { sim, map, spec }
+        TunnelSim {
+            sim,
+            map,
+            spec,
+            reporting: Reporting::default(),
+        }
     }
 
     /// Schedule an MH handoff: rewire the radio and stimulate a care-of
@@ -474,7 +482,10 @@ impl MulticastSim for TunnelSim {
         spec.limit = scenario.limit;
         spec.wired = scenario.links.top_ring.clone();
         spec.wireless = scenario.links.wireless.clone();
-        TunnelSim::build(spec, seed)
+        let mut sim = TunnelSim::build(spec, seed);
+        let core: BTreeSet<NodeId> = std::iter::once(NodeId(0)).collect();
+        sim.reporting = Reporting::install(&mut sim.sim, scenario, core);
+        sim
     }
 
     fn schedule(&mut self, event: ScenarioEvent) {
@@ -495,10 +506,11 @@ impl MulticastSim for TunnelSim {
         TunnelSim::run_until(self, t);
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self) -> RunReport {
         let core: BTreeSet<NodeId> = std::iter::once(NodeId(0)).collect();
+        let reporting = std::mem::take(&mut self.reporting);
         let (journal, stats) = TunnelSim::finish(self);
-        RunReport::new(journal, stats, &core)
+        reporting.finish(journal, stats, &core)
     }
 }
 

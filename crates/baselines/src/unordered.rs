@@ -16,7 +16,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use ringnet_core::driver::{CoreShape, MulticastSim, RunReport, Scenario, ScenarioEvent};
+use ringnet_core::driver::{
+    CoreShape, MulticastSim, Reporting, RunReport, Scenario, ScenarioEvent,
+};
 use ringnet_core::hierarchy::TrafficPattern;
 use ringnet_core::{
     GlobalSeq, Guid, LocalSeq, MessageQueue, MsgData, NodeId, PayloadId, ProtoEvent,
@@ -580,6 +582,9 @@ pub struct UnorderedSim {
     addrs: Arc<UnAddrMap>,
     /// Wired-core entity ids (BRs + AGs), for run-report comparisons.
     core: BTreeSet<NodeId>,
+    /// Report assembly mode (batch by default; the [`MulticastSim`] facade
+    /// switches it to streaming when journal retention is off).
+    pub reporting: Reporting,
 }
 
 impl UnorderedSim {
@@ -827,6 +832,7 @@ impl UnorderedSim {
             sim,
             addrs: map,
             core,
+            reporting: Reporting::default(),
         }
     }
 
@@ -894,7 +900,10 @@ impl MulticastSim for UnorderedSim {
             scenario.links.ag_ring.clone(),
             scenario.links.wireless.clone(),
         );
-        UnorderedSim::build(spec, seed)
+        let mut sim = UnorderedSim::build(spec, seed);
+        let core = sim.core.clone();
+        sim.reporting = Reporting::install(&mut sim.sim, scenario, core);
+        sim
     }
 
     fn schedule(&mut self, _event: ScenarioEvent) {
@@ -905,10 +914,11 @@ impl MulticastSim for UnorderedSim {
         UnorderedSim::run_until(self, t);
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self) -> RunReport {
         let core = self.core.clone();
+        let reporting = std::mem::take(&mut self.reporting);
         let (journal, stats) = UnorderedSim::finish(self);
-        RunReport::new(journal, stats, &core)
+        reporting.finish(journal, stats, &core)
     }
 }
 

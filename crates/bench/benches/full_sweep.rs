@@ -1,0 +1,11 @@
+//! `cargo bench -p ringnet-bench --bench full_sweep`
+//!
+//! Full-sweep-scale measurement: report construction over 100k+ journal
+//! entries and end-to-end cost at 128 walkers (with and without journal
+//! retention).
+
+fn main() {
+    let mut r = ringnet_bench::micro::Runner::new().samples(10);
+    ringnet_bench::suites::full_sweep(&mut r);
+    println!("{}", r.report());
+}

@@ -2,20 +2,29 @@
 //! `BENCH_ringnet.json` perf-trajectory document.
 //!
 //! ```text
-//! cargo run --release -p ringnet-bench --bin bench_report [-- <path>]
+//! cargo run --release -p ringnet-bench --bin bench_report [-- [quick] [<path>]]
 //! ```
 //!
-//! Defaults to `BENCH_ringnet.json` in the current directory.
+//! Defaults to `BENCH_ringnet.json` in the current directory and 5 timed
+//! samples per benchmark. `quick` drops to a single sample — the CI smoke
+//! mode that exercises every bench path without asserting timings.
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let path = args
+        .iter()
+        .find(|a| a.as_str() != "quick")
+        .cloned()
         .unwrap_or_else(|| "BENCH_ringnet.json".to_string());
-    let mut r = ringnet_bench::micro::Runner::new().samples(5);
+    let samples = if quick { 1 } else { 5 };
+    let mut r = ringnet_bench::micro::Runner::new().samples(samples);
     eprintln!("datastructures suite…");
     ringnet_bench::suites::datastructures(&mut r);
     eprintln!("simulation suite…");
     ringnet_bench::suites::simulation(&mut r);
+    eprintln!("full_sweep suite…");
+    ringnet_bench::suites::full_sweep(&mut r);
     eprintln!("experiments (quick) suite…");
     ringnet_bench::suites::experiments(&mut r);
     std::fs::write(&path, r.to_json()).expect("write bench json");

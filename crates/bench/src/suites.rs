@@ -3,12 +3,13 @@
 
 use std::hint::black_box;
 
+use ringnet_core::driver::{hierarchy_core, ringnet_spec, MulticastSim, Scenario};
 use ringnet_core::hierarchy::TrafficPattern;
 use ringnet_core::{
-    GlobalSeq, GroupId, HierarchyBuilder, LocalRange, LocalSeq, MessageQueue, MsgData, NodeId,
-    OrderingToken, PayloadId, RingNetSim, WorkingQueue, WorkingTable,
+    metrics, GlobalSeq, GroupId, HierarchyBuilder, LocalRange, LocalSeq, MessageQueue, MsgData,
+    NodeId, OrderingToken, PayloadId, RingNetSim, WorkingQueue, WorkingTable,
 };
-use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimTime};
+use simnet::{Actor, Ctx, EventQueue, LinkProfile, NodeAddr, Sim, SimDuration, SimTime};
 
 use crate::micro::Runner;
 
@@ -112,6 +113,36 @@ pub fn datastructures(r: &mut Runner) {
         }
         black_box((h.quantile(0.5), h.quantile(0.99)))
     });
+
+    // The pending-event set under the dominant simulation pattern: a
+    // steady-state churn of short-delay timers/packets with a sprinkle of
+    // far-future entries and cancellations (the two-level calendar queue's
+    // target workload).
+    r.bench("eventq", "short_delay_churn", Some(N), || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut now = 0u64;
+        let mut pending = std::collections::VecDeque::new();
+        for i in 0..N {
+            // ~64 in flight: link-latency (1–10 ms) and timer (5 ms) scale.
+            let delay = 1_000_000 + (i % 16) * 550_000;
+            pending.push_back(q.schedule(SimTime::from_nanos(now + delay), i));
+            if i % 7 == 0 {
+                q.schedule(SimTime::from_nanos(now + 500_000_000), i); // far
+            }
+            if i % 11 == 0 {
+                if let Some(h) = pending.pop_front() {
+                    q.cancel(h);
+                }
+            }
+            if i >= 64 {
+                if let Some((t, _)) = q.pop() {
+                    now = t.as_nanos();
+                }
+            }
+        }
+        while q.pop().is_some() {}
+        black_box(now)
+    });
 }
 
 /// Minimal two-node ping-pong: measures pure event-loop + link overhead.
@@ -174,6 +205,82 @@ pub fn simulation(r: &mut Runner) {
         let spec = HierarchyBuilder::new(GroupId(1)).build();
         black_box(RingNetSim::build(spec, 7).sim.node_count())
     });
+}
+
+/// The full-sweep deployment: a 8×4 cell grid with 4 walkers per cell —
+/// 128 walkers, >10× the Figure-1 deployment — and two 200 msg/s sources,
+/// sized so one run's journal lands in the hundreds of thousands of
+/// entries.
+fn full_sweep_scenario() -> Scenario {
+    Scenario::builder()
+        .grid(8, 4)
+        .walkers_per_attachment(4)
+        .sources(2)
+        .cbr(SimDuration::from_millis(5))
+        .message_limit(600)
+        .loss_free_wireless()
+        .duration(SimTime::from_secs(4))
+        .build()
+}
+
+/// Full-sweep-scale benchmarks: `RunReport` construction over a journal in
+/// the hundreds of thousands of entries — the legacy multi-pass assembly
+/// vs the single-pass `MetricsAccumulator` — plus the end-to-end cost of a
+/// simulated second at 128 walkers, with and without journal retention.
+pub fn full_sweep(r: &mut Runner) {
+    let sc = full_sweep_scenario();
+    let core = hierarchy_core(&ringnet_spec(&sc));
+    let report = RingNetSim::run_scenario(&sc, 11);
+    let journal = report.journal;
+    let entries = journal.len() as u64;
+    assert!(
+        entries > 100_000,
+        "full-sweep journal must be at 100k+ entries, got {entries}"
+    );
+
+    r.bench(
+        "full_sweep",
+        "report_multipass_legacy",
+        Some(entries),
+        || black_box(metrics::multipass_metrics(&journal, &core).delivered),
+    );
+
+    r.bench("full_sweep", "report_single_pass", Some(entries), || {
+        let mut acc = metrics::MetricsAccumulator::new(core.clone());
+        acc.observe_journal(&journal);
+        black_box(acc.finish().delivered)
+    });
+
+    // Sanity: the two must agree (cheap here, priceless in a bench run).
+    {
+        let mut acc = metrics::MetricsAccumulator::new(core.clone());
+        acc.observe_journal(&journal);
+        assert!(acc.finish() == metrics::multipass_metrics(&journal, &core));
+    }
+
+    let mut one_sec = full_sweep_scenario();
+    one_sec.duration = SimTime::from_secs(1);
+    one_sec.limit = Some(150);
+
+    r.bench(
+        "full_sweep",
+        "ringnet_128_walkers_one_sim_second",
+        None,
+        || black_box(RingNetSim::run_scenario(&one_sec, 7).metrics.delivered),
+    );
+
+    let mut streaming = one_sec.clone();
+    streaming.retain_journal = false;
+    r.bench(
+        "full_sweep",
+        "ringnet_128_walkers_one_sim_second_streaming",
+        None,
+        || {
+            let rep = RingNetSim::run_scenario(&streaming, 7);
+            assert!(rep.journal.is_empty());
+            black_box(rep.metrics.delivered)
+        },
+    );
 }
 
 /// One bench per paper table/figure (DESIGN.md §4): each runs the

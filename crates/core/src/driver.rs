@@ -42,8 +42,9 @@
 //! ```
 
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 
-use simnet::{Histogram, LinkProfile, SimDuration, SimStats, SimTime};
+use simnet::{Histogram, LinkProfile, Sim, SimDuration, SimStats, SimTime};
 
 use crate::engine::RingNetSim;
 use crate::hierarchy::{
@@ -177,6 +178,13 @@ pub struct Scenario {
     pub events: Vec<ScenarioEvent>,
     /// How long [`MulticastSim::run_scenario`] runs before tearing down.
     pub duration: SimTime,
+    /// Whether the run retains the full protocol-event journal in
+    /// [`RunReport::journal`] (default `true` — tests and diagnostics read
+    /// it). Disable for full-sweep-scale runs: metrics then stream through
+    /// a [`metrics::MetricsAccumulator`] fed online from the journal sink,
+    /// the journal `Vec` is never materialized, and `RunReport::journal`
+    /// comes back empty.
+    pub retain_journal: bool,
 }
 
 impl Scenario {
@@ -283,6 +291,34 @@ impl Scenario {
         }
     }
 
+    /// Expected journal size, used to pre-size the record storage before a
+    /// run (an estimate from the workload: per-message fan-out to every
+    /// walker plus ordering records and teardown finals; capped so a
+    /// mis-declared scenario cannot balloon the pre-allocation).
+    pub fn journal_capacity_hint(&self) -> usize {
+        let per_source: u64 = match self.limit {
+            Some(l) => l,
+            None => {
+                let window = self
+                    .stop
+                    .unwrap_or(self.duration)
+                    .saturating_since(self.start);
+                let per_sec = match self.pattern {
+                    TrafficPattern::Cbr { interval } => 1e9 / interval.as_nanos().max(1) as f64,
+                    TrafficPattern::Poisson { rate } => rate.max(0.0),
+                };
+                (window.as_secs_f64() * per_sec).ceil() as u64
+            }
+        };
+        let msgs = per_source.saturating_mul(self.sources as u64);
+        let walkers = self.walkers.len() as u64;
+        let estimate = msgs
+            .saturating_mul(walkers + 2)
+            .saturating_add(walkers.saturating_mul(8))
+            .saturating_add(256);
+        estimate.min(1 << 20) as usize
+    }
+
     /// The initial attachment of every walker for static-membership
     /// backends (unordered, RelM): walkers with an initial attachment keep
     /// it; a late joiner is attached at its [`ScenarioEvent::Join`] target
@@ -333,6 +369,7 @@ impl ScenarioBuilder {
                 aps_always_active: true,
                 events: Vec::new(),
                 duration: SimTime::from_secs(5),
+                retain_journal: true,
             },
             walkers_per_attachment: Some(1),
         }
@@ -482,6 +519,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Whether to retain the full protocol-event journal (default `true`).
+    /// Pass `false` for full-sweep-scale runs: metrics stream online and
+    /// [`RunReport::journal`] comes back empty (see
+    /// [`Scenario::retain_journal`]).
+    pub fn retain_journal(mut self, retain: bool) -> Self {
+        self.sc.retain_journal = retain;
+        self
+    }
+
     /// Finish. Panics on an invalid scenario (use [`Scenario::validate`]
     /// on the built value for graceful handling).
     pub fn build(mut self) -> Scenario {
@@ -505,8 +551,8 @@ impl Default for ScenarioBuilder {
 // ------------------------------------------------------------- run report
 
 /// Protocol-agnostic summary metrics of one finished run, derived from the
-/// journal with [`crate::metrics`].
-#[derive(Debug, Clone)]
+/// protocol events in one scan by [`metrics::MetricsAccumulator`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Messages delivered to applications (sum over walkers).
     pub delivered: u64,
@@ -579,33 +625,82 @@ impl RunReport {
         stats: SimStats,
         wired_core: &BTreeSet<NodeId>,
     ) -> Self {
-        let totals = metrics::mh_totals(&journal);
-        let (wq_peak, mq_peak) = metrics::buffer_peaks(&journal);
-        let ordered = journal
-            .iter()
-            .filter(|(_, e)| matches!(e, ProtoEvent::Ordered { .. }))
-            .count() as u64;
-        let m = RunMetrics {
-            delivered: totals.delivered,
-            skipped: totals.skipped,
-            duplicates: totals.duplicates,
-            handoffs: totals.handoffs,
-            mhs: totals.mhs,
-            ordered,
-            source_msgs: metrics::source_msgs(&journal),
-            order_violations: metrics::order_violations(&journal),
-            e2e_latency: metrics::end_to_end_latency(&journal),
-            wq_peak,
-            mq_peak,
-            tree_churn: metrics::tree_churn(&journal),
-            wired_core_data_sent: metrics::data_sent_of(&journal, wired_core),
-            busiest_core_msgs: metrics::busiest_of(&journal, wired_core),
-            wired_core_control_sent: metrics::control_sent_of(&journal, wired_core),
-        };
+        let mut acc = metrics::MetricsAccumulator::new(wired_core.clone());
+        acc.observe_journal(&journal); // the one and only pass
         RunReport {
             journal,
             stats,
-            metrics: m,
+            metrics: acc.finish(),
+        }
+    }
+}
+
+// ------------------------------------------------------------- reporting
+
+/// How a backend's run turns into a [`RunReport`], honouring the
+/// scenario's [`Scenario::retain_journal`] flag. Every [`MulticastSim`]
+/// backend calls [`Reporting::install`] right after constructing its
+/// simulator and [`Reporting::finish`] at teardown:
+///
+/// * retention **on** (default): the journal storage is pre-sized from the
+///   scenario's workload and kept; metrics are computed in one batch pass
+///   at teardown.
+/// * retention **off**: a [`metrics::MetricsAccumulator`] is attached to
+///   the simulator's journal sink and fed online; the journal `Vec` is
+///   never materialized and the report's journal is empty.
+#[derive(Debug, Default)]
+pub struct Reporting {
+    online: Option<Arc<Mutex<metrics::MetricsAccumulator>>>,
+}
+
+impl Reporting {
+    /// Configure journalling on `sim` per the scenario (see the type docs).
+    /// `wired_core` names the backend's interior entities — the same set
+    /// the backend passes to [`Reporting::finish`].
+    pub fn install<M>(
+        sim: &mut Sim<M, ProtoEvent>,
+        scenario: &Scenario,
+        wired_core: BTreeSet<NodeId>,
+    ) -> Reporting {
+        let world = sim.world();
+        if scenario.retain_journal {
+            world.journal.reserve(scenario.journal_capacity_hint());
+            Reporting { online: None }
+        } else {
+            world.journal.set_retention(false);
+            let acc = Arc::new(Mutex::new(metrics::MetricsAccumulator::new(wired_core)));
+            let sink = Arc::clone(&acc);
+            world.journal.set_sink(move |t, e| {
+                sink.lock().expect("metrics sink poisoned").observe(t, e);
+            });
+            Reporting { online: Some(acc) }
+        }
+    }
+
+    /// Assemble the report from a finished run. In online mode the metrics
+    /// come from the streamed accumulator (and `journal` is the empty
+    /// `Vec` the disabled journal returned); in batch mode they are
+    /// computed here in one pass.
+    pub fn finish(
+        self,
+        journal: Vec<(SimTime, ProtoEvent)>,
+        stats: SimStats,
+        wired_core: &BTreeSet<NodeId>,
+    ) -> RunReport {
+        match self.online {
+            Some(acc) => {
+                // The simulator (and with it the sink closure) is already
+                // dropped, so this is the last reference.
+                let acc = Arc::try_unwrap(acc)
+                    .map(|m| m.into_inner().expect("metrics sink poisoned"))
+                    .unwrap_or_else(|arc| arc.lock().expect("metrics sink poisoned").clone());
+                RunReport {
+                    journal,
+                    stats,
+                    metrics: acc.finish(),
+                }
+            }
+            None => RunReport::new(journal, stats, wired_core),
         }
     }
 }
@@ -816,7 +911,9 @@ pub fn hierarchy_core(spec: &HierarchySpec) -> BTreeSet<NodeId> {
 
 impl MulticastSim for RingNetSim {
     fn build(scenario: &Scenario, seed: u64) -> Self {
-        RingNetSim::build(ringnet_spec(scenario), seed)
+        let mut sim = RingNetSim::build(ringnet_spec(scenario), seed);
+        sim.reporting = Reporting::install(&mut sim.sim, scenario, hierarchy_core(&sim.spec));
+        sim
     }
 
     fn schedule(&mut self, event: ScenarioEvent) {
@@ -855,10 +952,11 @@ impl MulticastSim for RingNetSim {
         RingNetSim::run_until(self, t);
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self) -> RunReport {
         let core = hierarchy_core(&self.spec);
+        let reporting = std::mem::take(&mut self.reporting);
         let (journal, stats) = RingNetSim::finish(self);
-        RunReport::new(journal, stats, &core)
+        reporting.finish(journal, stats, &core)
     }
 }
 

@@ -94,21 +94,47 @@ struct NeActor {
     st: NeState,
     map: Arc<AddrMap>,
     out: Outbox,
+    /// Reused destination buffer for fan-out batching.
+    dst_buf: Vec<NodeAddr>,
     originate_token: bool,
 }
 
 impl NeActor {
     fn flush(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
-        for action in self.out.drain(..) {
+        let mut dsts = std::mem::take(&mut self.dst_buf);
+        let mut it = self.out.drain(..).peekable();
+        while let Some(action) = it.next() {
             match action {
+                Action::Record(ev) => ctx.record(ev),
                 Action::Send { to, msg } => {
+                    dsts.clear();
                     if let Some(addr) = self.map.resolve(to) {
-                        ctx.send(addr, msg);
+                        dsts.push(addr);
+                    }
+                    // A delivery fan-out (ring + children + attached MHs)
+                    // emits consecutive sends of the same message; batch
+                    // the run into one interned multicast so the payload
+                    // is stored once instead of cloned per hop.
+                    while let Some(Action::Send { msg: next, .. }) = it.peek() {
+                        if *next != msg {
+                            break;
+                        }
+                        let Some(Action::Send { to, .. }) = it.next() else {
+                            unreachable!("peeked a send");
+                        };
+                        if let Some(addr) = self.map.resolve(to) {
+                            dsts.push(addr);
+                        }
+                    }
+                    match dsts.as_slice() {
+                        [] => {}
+                        [one] => ctx.send(*one, msg),
+                        many => ctx.multicast(many, msg),
                     }
                 }
-                Action::Record(ev) => ctx.record(ev),
             }
         }
+        self.dst_buf = dsts;
     }
 }
 
@@ -305,6 +331,7 @@ pub fn boxed_ne_actor(
         st,
         map,
         out: Vec::with_capacity(32),
+        dst_buf: Vec::new(),
         originate_token,
     })
 }
@@ -351,6 +378,10 @@ pub struct RingNetSim {
     pub addrs: Arc<AddrMap>,
     /// The spec this simulation was built from.
     pub spec: HierarchySpec,
+    /// Report assembly mode, set by the [`MulticastSim`] facade (defaults
+    /// to batch; [`crate::driver::Reporting::install`] switches it to the
+    /// streaming accumulator when journal retention is off).
+    pub reporting: crate::driver::Reporting,
 }
 
 impl RingNetSim {
@@ -406,6 +437,7 @@ impl RingNetSim {
                 st,
                 map: Arc::clone(&map),
                 out: Vec::with_capacity(32),
+                dst_buf: Vec::new(),
                 originate_token: token_origin == Some(br),
             }));
             debug_assert_eq!(Some(addr), map.ne(br));
@@ -423,6 +455,7 @@ impl RingNetSim {
                     st,
                     map: Arc::clone(&map),
                     out: Vec::with_capacity(32),
+                    dst_buf: Vec::new(),
                     originate_token: false,
                 }));
             }
@@ -440,6 +473,7 @@ impl RingNetSim {
                 st,
                 map: Arc::clone(&map),
                 out: Vec::with_capacity(32),
+                dst_buf: Vec::new(),
                 originate_token: false,
             }));
         }
@@ -539,10 +573,17 @@ impl RingNetSim {
             }
         }
 
+        // Pre-size the pending-event slab from the deployment scale so the
+        // hot path starts steady-state (≈ a few in-flight events per link
+        // plus the periodic timers).
+        let nodes = sim.node_count();
+        sim.world().reserve_events(nodes * 8);
+
         RingNetSim {
             sim,
             addrs: map,
             spec,
+            reporting: crate::driver::Reporting::default(),
         }
     }
 

@@ -3,17 +3,255 @@
 //!
 //! Lives in `ringnet-core` (rather than the harness) because every
 //! [`MulticastSim`](crate::driver::MulticastSim) backend summarises its run
-//! through these functions when building a
+//! through [`MetricsAccumulator`] when building a
 //! [`RunReport`](crate::driver::RunReport); the harness re-exports this
 //! module unchanged.
+//!
+//! Two layers live here:
+//!
+//! * [`MetricsAccumulator`] — the streaming summariser: every
+//!   [`RunMetrics`](crate::driver::RunMetrics) field in **one scan** over
+//!   the events, fed either from a finished journal slice or *online*
+//!   through the simulator's journal sink (so a big sweep never
+//!   materializes the journal `Vec` at all).
+//! * The standalone per-metric functions below it — each a separate pass.
+//!   They remain the readable oracle the accumulator is tested against,
+//!   and serve the journal-dependent diagnostics (delivery gaps, token
+//!   rotation, windowed rates) that only make sense with a retained
+//!   journal.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
+use crate::driver::RunMetrics;
 use crate::{GlobalSeq, Guid, LocalSeq, NodeId, ProtoEvent};
 use simnet::{Histogram, SimDuration, SimTime};
 
+/// FxHash-style multiply-rotate hasher (the rustc hash): not DoS-hardened
+/// — irrelevant for simulation-internal integer keys — and several times
+/// faster than SipHash on the small fixed-width keys the metrics hot path
+/// looks up once per delivery.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Computes every [`RunMetrics`] field in a single pass over the protocol
+/// events, in any feeding mode:
+///
+/// * **batch** — [`MetricsAccumulator::observe_journal`] over a finished
+///   journal slice (what [`RunReport::new`](crate::driver::RunReport::new)
+///   does);
+/// * **online** — [`MetricsAccumulator::observe`] from the simnet journal
+///   sink as records are emitted, with journal retention off (see
+///   [`Reporting`](crate::driver::Reporting)).
+///
+/// Feeding the same events in the same order produces identical
+/// [`RunMetrics`] either way; `tests/metrics_equivalence.rs` holds both
+/// modes against the legacy multi-pass functions for all six backends.
+#[derive(Debug, Clone)]
+pub struct MetricsAccumulator {
+    wired_core: BTreeSet<NodeId>,
+    totals: MhTotals,
+    ordered: u64,
+    source_msgs: u64,
+    order_violations: u64,
+    /// Last delivered GSN per MH (order-violation check).
+    last_gsn: FxMap<Guid, GlobalSeq>,
+    /// First `SourceSend` time per `(source, local_seq)` (latency matching).
+    sent: FxMap<(NodeId, LocalSeq), SimTime>,
+    e2e: Histogram,
+    wq_peak: u32,
+    mq_peak: u32,
+    tree_churn: u64,
+    core_data_sent: u64,
+    core_busiest: u64,
+    core_control_sent: u64,
+}
+
+impl MetricsAccumulator {
+    /// An empty accumulator. `wired_core` names the backend's interior
+    /// (wired) entities, whose `NeFinal` records feed the per-core load
+    /// metrics.
+    pub fn new(wired_core: BTreeSet<NodeId>) -> Self {
+        MetricsAccumulator {
+            wired_core,
+            totals: MhTotals::default(),
+            ordered: 0,
+            source_msgs: 0,
+            order_violations: 0,
+            last_gsn: FxMap::default(),
+            sent: FxMap::default(),
+            e2e: Histogram::new(),
+            wq_peak: 0,
+            mq_peak: 0,
+            tree_churn: 0,
+            core_data_sent: 0,
+            core_busiest: 0,
+            core_control_sent: 0,
+        }
+    }
+
+    /// Fold one event in. Events must arrive in journal (emission) order.
+    #[inline]
+    pub fn observe(&mut self, t: SimTime, e: &ProtoEvent) {
+        match *e {
+            ProtoEvent::SourceSend { source, local_seq } => {
+                self.source_msgs += 1;
+                self.sent.entry((source, local_seq)).or_insert(t);
+            }
+            ProtoEvent::Ordered { .. } => self.ordered += 1,
+            ProtoEvent::MhDeliver {
+                mh,
+                gsn,
+                source,
+                local_seq,
+            } => {
+                match self.last_gsn.entry(mh) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        if gsn <= *o.get() {
+                            self.order_violations += 1;
+                        }
+                        o.insert(gsn);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(gsn);
+                    }
+                }
+                if let Some(&t0) = self.sent.get(&(source, local_seq)) {
+                    self.e2e.add(t.saturating_since(t0).as_nanos());
+                }
+            }
+            ProtoEvent::MhFinal {
+                delivered,
+                skipped,
+                duplicates,
+                handoffs,
+                ..
+            } => {
+                self.totals.delivered += delivered as u64;
+                self.totals.skipped += skipped as u64;
+                self.totals.duplicates += duplicates as u64;
+                self.totals.handoffs += handoffs as u64;
+                self.totals.mhs += 1;
+            }
+            ProtoEvent::NeFinal {
+                node,
+                wq_peak,
+                mq_peak,
+                data_sent,
+                control_sent,
+                ..
+            } => {
+                self.wq_peak = self.wq_peak.max(wq_peak);
+                self.mq_peak = self.mq_peak.max(mq_peak);
+                if self.wired_core.contains(&node) {
+                    self.core_data_sent += data_sent as u64;
+                    self.core_busiest = self.core_busiest.max(data_sent as u64);
+                    self.core_control_sent += control_sent as u64;
+                }
+            }
+            ProtoEvent::Grafted { .. } | ProtoEvent::Pruned { .. } => self.tree_churn += 1,
+            _ => {}
+        }
+    }
+
+    /// Fold a whole journal in — the single batch pass.
+    pub fn observe_journal(&mut self, journal: &Journal) {
+        for (t, e) in journal {
+            self.observe(*t, e);
+        }
+    }
+
+    /// Consume the accumulator into the finished metrics.
+    pub fn finish(self) -> RunMetrics {
+        RunMetrics {
+            delivered: self.totals.delivered,
+            skipped: self.totals.skipped,
+            duplicates: self.totals.duplicates,
+            handoffs: self.totals.handoffs,
+            mhs: self.totals.mhs,
+            ordered: self.ordered,
+            source_msgs: self.source_msgs,
+            order_violations: self.order_violations,
+            e2e_latency: self.e2e,
+            wq_peak: self.wq_peak,
+            mq_peak: self.mq_peak,
+            tree_churn: self.tree_churn,
+            wired_core_data_sent: self.core_data_sent,
+            busiest_core_msgs: self.core_busiest,
+            wired_core_control_sent: self.core_control_sent,
+        }
+    }
+}
+
 /// A journal slice, as returned by the engines' `finish()`.
 pub type Journal = [(SimTime, ProtoEvent)];
+
+/// Assemble [`RunMetrics`] the pre-accumulator way: one legacy pass per
+/// metric. This is the **oracle** the single-pass [`MetricsAccumulator`]
+/// is pinned to (`tests/metrics_equivalence.rs`) and the measured
+/// "before" of the `full_sweep/report_multipass_legacy` benchmark — it
+/// must keep using the standalone per-metric functions below, not the
+/// accumulator.
+pub fn multipass_metrics(journal: &Journal, wired_core: &BTreeSet<NodeId>) -> RunMetrics {
+    let totals = mh_totals(journal);
+    let (wq_peak, mq_peak) = buffer_peaks(journal);
+    RunMetrics {
+        delivered: totals.delivered,
+        skipped: totals.skipped,
+        duplicates: totals.duplicates,
+        handoffs: totals.handoffs,
+        mhs: totals.mhs,
+        ordered: journal
+            .iter()
+            .filter(|(_, e)| matches!(e, ProtoEvent::Ordered { .. }))
+            .count() as u64,
+        source_msgs: source_msgs(journal),
+        order_violations: order_violations(journal),
+        e2e_latency: end_to_end_latency(journal),
+        wq_peak,
+        mq_peak,
+        tree_churn: tree_churn(journal),
+        wired_core_data_sent: data_sent_of(journal, wired_core),
+        busiest_core_msgs: busiest_of(journal, wired_core),
+        wired_core_control_sent: control_sent_of(journal, wired_core),
+    }
+}
 
 /// Per-MH delivery records: `(time, gsn)` in delivery order.
 pub fn deliveries_per_mh(journal: &Journal) -> BTreeMap<Guid, Vec<(SimTime, GlobalSeq)>> {
@@ -42,23 +280,40 @@ pub fn order_violations(journal: &Journal) -> u64 {
     violations
 }
 
-/// True when two MHs ever delivered the same pair of messages in opposite
-/// relative orders (direct pairwise agreement check, stronger diagnostics
-/// than [`order_violations`] but O(n²) per MH pair — use on small runs).
+/// True when no two MHs ever delivered the same pair of messages in
+/// opposite relative orders (direct pairwise agreement check, stronger
+/// diagnostics than [`order_violations`]).
+///
+/// Position maps are built once per MH — a duplicate GSN within a single
+/// stream is itself a disagreement (the old diagonal self-check) — and
+/// each unordered pair is checked once: an inversion between `a` and `b`
+/// is the same inversion between `b` and `a`.
 pub fn pairwise_agreement(journal: &Journal) -> bool {
     let per = deliveries_per_mh(journal);
     let orders: Vec<Vec<GlobalSeq>> = per
         .values()
         .map(|v| v.iter().map(|(_, g)| *g).collect())
         .collect();
-    for a in &orders {
-        for b in &orders {
-            // Positions of shared messages must be ordered identically.
-            let pos_b: BTreeMap<GlobalSeq, usize> =
-                b.iter().enumerate().map(|(i, g)| (*g, i)).collect();
-            let shared: Vec<usize> = a.iter().filter_map(|g| pos_b.get(g).copied()).collect();
-            if shared.windows(2).any(|w| w[1] <= w[0]) {
-                return false;
+    let mut positions: Vec<FxMap<GlobalSeq, usize>> = Vec::with_capacity(orders.len());
+    for order in &orders {
+        let mut pos = FxMap::with_capacity_and_hasher(order.len(), Default::default());
+        for (i, g) in order.iter().enumerate() {
+            if pos.insert(*g, i).is_some() {
+                return false; // one MH delivered the same message twice
+            }
+        }
+        positions.push(pos);
+    }
+    for (ai, a) in orders.iter().enumerate() {
+        for pos_b in positions.iter().skip(ai + 1) {
+            // Positions of shared messages must increase along `a`'s order.
+            let mut last: Option<usize> = None;
+            for g in a {
+                let Some(&p) = pos_b.get(g) else { continue };
+                if last.is_some_and(|l| p <= l) {
+                    return false;
+                }
+                last = Some(p);
             }
         }
     }
@@ -350,6 +605,83 @@ mod tests {
         assert!(pairwise_agreement(&ok));
         let bad = vec![deliver(1, 0, 2), deliver(2, 0, 1)];
         assert_eq!(order_violations(&bad), 1);
+    }
+
+    #[test]
+    fn pairwise_duplicate_within_one_stream_detected() {
+        // The legacy diagonal self-check caught an MH delivering the same
+        // GSN twice; the pair-halved rewrite must keep catching it.
+        let j = vec![deliver(1, 0, 1), deliver(2, 0, 1)];
+        assert!(!pairwise_agreement(&j));
+        // ... even when another MH delivered it once.
+        let j2 = vec![deliver(1, 0, 1), deliver(1, 1, 1), deliver(2, 1, 1)];
+        assert!(!pairwise_agreement(&j2));
+    }
+
+    #[test]
+    fn accumulator_matches_legacy_passes() {
+        let mut j = vec![
+            send(10, 1),
+            send(20, 2),
+            (
+                SimTime::from_millis(25),
+                ProtoEvent::Ordered {
+                    node: NodeId(0),
+                    source: NodeId(0),
+                    local_seq: LocalSeq(1),
+                    gsn: GlobalSeq(1),
+                },
+            ),
+            deliver(35, 0, 1),
+            deliver(45, 1, 1),
+            deliver(50, 1, 2),
+            deliver(55, 1, 1), // out of order at MH 1
+            (
+                SimTime::from_millis(90),
+                ProtoEvent::Grafted {
+                    parent: NodeId(0),
+                    child: NodeId(1),
+                },
+            ),
+            (
+                SimTime::from_millis(100),
+                ProtoEvent::NeFinal {
+                    node: NodeId(0),
+                    wq_peak: 3,
+                    mq_peak: 9,
+                    mq_overflow: 0,
+                    wq_overflow: 0,
+                    control_sent: 11,
+                    data_sent: 17,
+                    retransmissions: 0,
+                },
+            ),
+        ];
+        j.push((
+            SimTime::from_millis(100),
+            ProtoEvent::MhFinal {
+                mh: Guid(0),
+                delivered: 4,
+                skipped: 1,
+                duplicates: 2,
+                handoffs: 3,
+            },
+        ));
+        let core: BTreeSet<NodeId> = [NodeId(0)].into_iter().collect();
+        let mut acc = MetricsAccumulator::new(core.clone());
+        acc.observe_journal(&j);
+        let m = acc.finish();
+        assert_eq!(m.source_msgs, source_msgs(&j));
+        assert_eq!(m.order_violations, order_violations(&j));
+        assert_eq!(m.e2e_latency, end_to_end_latency(&j));
+        assert_eq!(m.tree_churn, tree_churn(&j));
+        let totals = mh_totals(&j);
+        assert_eq!((m.delivered, m.skipped, m.mhs), (totals.delivered, 1, 1));
+        assert_eq!((m.wq_peak, m.mq_peak), buffer_peaks(&j));
+        assert_eq!(m.wired_core_data_sent, data_sent_of(&j, &core));
+        assert_eq!(m.busiest_core_msgs, busiest_of(&j, &core));
+        assert_eq!(m.wired_core_control_sent, control_sent_of(&j, &core));
+        assert_eq!(m.ordered, 1);
     }
 
     #[test]

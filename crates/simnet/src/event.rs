@@ -1,39 +1,80 @@
-//! Deterministic pending-event set.
+//! Deterministic pending-event set: a two-level calendar queue.
 //!
-//! A thin wrapper over a binary heap keyed by `(time, seq)` where `seq` is a
-//! monotonically increasing insertion counter. The counter guarantees a
-//! *total, reproducible* order even when many events share a timestamp —
-//! the property every deterministic discrete-event simulator depends on.
+//! Discrete-event protocol simulations schedule almost everything a few
+//! link-latencies or timer-ticks ahead of `now`, so the classic global
+//! `BinaryHeap` pays `O(log n)` sift cost on a structure dominated by
+//! short-delay entries. This queue splits the future in two:
+//!
+//! * **near** — a ring of [`NUM_BUCKETS`] calendar buckets, each
+//!   [`BUCKET_NS`] nanoseconds wide (~134 ms of horizon). An entry lands in
+//!   its time bucket in `O(1)`; each bucket is a tiny binary heap, so pops
+//!   cost `O(log k)` for the handful of entries sharing a bucket.
+//! * **far** — one overflow heap for entries beyond the horizon. As the
+//!   cursor sweeps forward, far entries migrate into near exactly once.
+//!
+//! The heaps store only slim 24-byte *keys* `(time, seq, slot)`; payloads
+//! are written once into a slab and never moved again. `seq` is a
+//! monotonically increasing insertion counter, so the pop order —
+//! `(time, seq)` lexicographic — is the same *total, reproducible* order
+//! the previous global-heap implementation produced, including
+//! insertion-order tie-breaks. That order is the determinism contract every
+//! simulation in this workspace depends on; `simnet/tests/properties.rs`
+//! checks it against a reference model.
+//!
+//! Cancellation is `O(1)` and eager on the payload: the slab slot is freed
+//! immediately (dropping the payload) and the stale key is discarded when
+//! it surfaces. Slot reuse is ABA-safe because a key only matches a slot
+//! that still holds its own `seq`.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::slab::Slab;
 use crate::time::SimTime;
+
+/// Width of one near bucket: 2^19 ns ≈ 0.52 ms — below the smallest
+/// protocol timer, a fraction of typical link latencies.
+const BUCKET_BITS: u32 = 19;
+/// Nanoseconds per near bucket.
+pub const BUCKET_NS: u64 = 1 << BUCKET_BITS;
+/// Buckets on the near ring: 256 × 0.52 ms ≈ 134 ms of horizon, beyond
+/// every periodic protocol timer in this workspace.
+pub const NUM_BUCKETS: usize = 256;
+
+#[inline]
+fn bucket_of(t: SimTime) -> u64 {
+    t.as_nanos() >> BUCKET_BITS
+}
 
 /// Handle to a scheduled entry, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventHandle(u64);
-
-struct Entry<E> {
-    time: SimTime,
+pub struct EventHandle {
+    slot: u32,
     seq: u64,
-    payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+/// Slim heap entry: scheduling key plus the slab slot of the payload.
+#[derive(Debug, Clone, Copy)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for Key {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to get earliest-first.
         other
@@ -43,16 +84,25 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic future-event list.
-///
-/// Cancellation is *lazy*: a cancelled handle is remembered in a side set and
-/// the entry is dropped when it reaches the top of the heap. This keeps both
-/// scheduling and cancellation `O(log n)` amortised.
+/// A deterministic future-event list (see the module docs for the
+/// two-level structure and the determinism contract).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Calendar ring; bucket `b` (absolute) lives at index `b % NUM_BUCKETS`.
+    near: Vec<BinaryHeap<Key>>,
+    /// Entries at or beyond the near horizon.
+    far: BinaryHeap<Key>,
+    /// Absolute bucket index of the scan position. Invariant: every key in
+    /// `near` has bucket in `[cursor, cursor + NUM_BUCKETS)` (past-time
+    /// entries are clamped into the cursor bucket), every key in `far` has
+    /// bucket `>= cursor + NUM_BUCKETS`.
+    cursor: u64,
+    /// Keys currently stored in `near` (live or stale).
+    near_keys: usize,
+    /// Payloads (with their seq, for ABA-safe handle/key matching),
+    /// indexed by `Key::slot` / `EventHandle::slot`.
+    slots: Slab<(u64, E)>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
-    /// Number of live (not cancelled) entries.
+    /// Number of live (not cancelled, not popped) entries.
     live: usize,
 }
 
@@ -66,63 +116,137 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            near: (0..NUM_BUCKETS).map(|_| BinaryHeap::new()).collect(),
+            far: BinaryHeap::new(),
+            cursor: 0,
+            near_keys: 0,
+            slots: Slab::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
             live: 0,
         }
+    }
+
+    /// Pre-size the payload slab for roughly `additional` more concurrent
+    /// pending entries (used by builders that know the workload scale).
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+    }
+
+    /// True when `key` still refers to a pending (not cancelled) payload.
+    #[inline]
+    fn key_live(&self, key: Key) -> bool {
+        matches!(self.slots.get(key.slot), Some((seq, _)) if *seq == key.seq)
+    }
+
+    fn push_key(&mut self, key: Key) {
+        let b = bucket_of(key.time);
+        if b >= self.cursor + NUM_BUCKETS as u64 {
+            self.far.push(key);
+        } else {
+            // Past-time entries (clock clamps, zero-delay injections) land
+            // in the cursor bucket; the per-bucket heap keeps them first.
+            let b = b.max(self.cursor);
+            self.near[(b % NUM_BUCKETS as u64) as usize].push(key);
+            self.near_keys += 1;
+        }
+    }
+
+    /// Move the window forward one bucket and pull newly covered far
+    /// entries into the calendar.
+    fn advance(&mut self) {
+        self.cursor += 1;
+        self.migrate();
+    }
+
+    /// Pull far entries whose bucket fell inside the near horizon.
+    fn migrate(&mut self) {
+        let horizon = self.cursor + NUM_BUCKETS as u64;
+        while let Some(k) = self.far.peek() {
+            if bucket_of(k.time) >= horizon {
+                break;
+            }
+            let k = self.far.pop().expect("peeked");
+            let b = bucket_of(k.time).max(self.cursor);
+            self.near[(b % NUM_BUCKETS as u64) as usize].push(k);
+            self.near_keys += 1;
+        }
+    }
+
+    /// When the calendar is empty, jump the window to the earliest far
+    /// entry (if any) and migrate. Returns `false` when nothing is pending.
+    fn refill_near(&mut self) -> bool {
+        debug_assert_eq!(self.near_keys, 0);
+        let Some(k) = self.far.peek() else {
+            return false;
+        };
+        self.cursor = self.cursor.max(bucket_of(k.time));
+        self.migrate();
+        debug_assert!(self.near_keys > 0);
+        true
     }
 
     /// Schedule `payload` at absolute time `time`.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let slot = self.slots.insert((seq, payload));
+        self.push_key(Key { time, seq, slot });
         self.live += 1;
-        EventHandle(seq)
+        EventHandle { slot, seq }
     }
 
     /// Cancel a previously scheduled entry. Returns `true` if the handle was
-    /// still pending (i.e. not yet popped or cancelled).
+    /// still pending (i.e. not yet popped or cancelled). The payload is
+    /// dropped immediately; the stale key is discarded lazily.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
+        if !matches!(self.slots.get(handle.slot), Some((seq, _)) if *seq == handle.seq) {
             return false;
         }
-        if self.cancelled.insert(handle.0) {
-            // May refer to an already-popped entry; popping reconciles `live`
-            // lazily, so over-counting here is corrected in `pop`.
-            self.live = self.live.saturating_sub(1);
-            true
-        } else {
-            false
-        }
+        drop(self.slots.remove(handle.slot));
+        self.live -= 1;
+        true
     }
 
     /// Remove and return the earliest live entry.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        loop {
+            if self.near_keys == 0 && !self.refill_near() {
+                return None;
             }
-            self.live = self.live.saturating_sub(1);
-            return Some((entry.time, entry.payload));
+            let idx = (self.cursor % NUM_BUCKETS as u64) as usize;
+            match self.near[idx].pop() {
+                Some(key) => {
+                    self.near_keys -= 1;
+                    if self.key_live(key) {
+                        self.live -= 1;
+                        let (_, payload) = self.slots.remove(key.slot);
+                        return Some((key.time, payload));
+                    }
+                    // Stale key of a cancelled entry: keep scanning.
+                }
+                None => self.advance(),
+            }
         }
-        None
     }
 
     /// Time of the earliest live entry without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain cancelled entries off the top so the peek is accurate.
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(entry.time);
+        loop {
+            if self.near_keys == 0 && !self.refill_near() {
+                return None;
+            }
+            let idx = (self.cursor % NUM_BUCKETS as u64) as usize;
+            match self.near[idx].peek().copied() {
+                Some(key) => {
+                    if self.key_live(key) {
+                        return Some(key.time);
+                    }
+                    self.near[idx].pop();
+                    self.near_keys -= 1;
+                }
+                None => self.advance(),
             }
         }
-        None
     }
 
     /// Number of live (schedulable) entries.
@@ -137,9 +261,14 @@ impl<E> EventQueue<E> {
 
     /// Drop every pending entry.
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.cancelled.clear();
+        for bucket in &mut self.near {
+            bucket.clear();
+        }
+        self.far.clear();
+        self.slots.clear();
+        self.near_keys = 0;
         self.live = 0;
+        self.cursor = 0;
     }
 }
 
@@ -185,11 +314,16 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_handle_is_noop() {
-        let mut q = EventQueue::<u32>::new();
-        assert!(!q.cancel(EventHandle(99)));
-        q.schedule(SimTime::ZERO, 1);
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::ZERO, 1);
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 1)));
+        assert!(!q.cancel(h), "cancelling a popped handle must report false");
+        // The slot was reused; a stale handle must not kill the new entry.
+        let h2 = q.schedule(SimTime::from_millis(1), 2);
+        assert!(!q.cancel(h));
         assert_eq!(q.len(), 1);
+        assert!(q.cancel(h2));
     }
 
     #[test]
@@ -212,5 +346,68 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_entries_migrate_in_order() {
+        // Entries far beyond the horizon, interleaved with near ones, pop
+        // in global (time, seq) order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "far-b");
+        q.schedule(SimTime::from_millis(1), "near");
+        q.schedule(SimTime::from_secs(10), "far-c"); // same time: insertion order
+        q.schedule(SimTime::from_secs(2), "mid");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["near", "mid", "far-b", "far-c"]);
+    }
+
+    #[test]
+    fn window_jump_then_near_schedule() {
+        // After the window jumps to a far-future bucket, newly scheduled
+        // short-delay entries still order correctly around it.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "a");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        q.schedule(
+            SimTime::from_secs(5) + crate::SimDuration::from_micros(10),
+            "b",
+        );
+        q.schedule(SimTime::from_secs(6), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn bucket_ring_wraps_many_horizons() {
+        // March time across many full ring wraps.
+        let mut q = EventQueue::new();
+        let step = crate::SimDuration::from_millis(97); // not bucket aligned
+        let mut t = SimTime::ZERO;
+        for i in 0..500u64 {
+            q.schedule(t, i);
+            t += step;
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut q = EventQueue::new();
+        for round in 0..1000u64 {
+            let h = q.schedule(SimTime::from_nanos(round), round);
+            if round % 3 == 0 {
+                assert!(q.cancel(h));
+            } else {
+                assert!(q.pop().is_some());
+            }
+        }
+        assert!(q.is_empty());
+        // Steady-state single-entry churn must not grow the slab.
+        assert!(
+            q.slots.slot_count() <= 2,
+            "slab grew to {}",
+            q.slots.slot_count()
+        );
     }
 }

@@ -46,10 +46,12 @@ pub mod link;
 pub mod par;
 pub mod rng;
 pub mod sim;
+mod slab;
 pub mod stats;
 pub mod time;
 pub mod topo;
 
+pub use event::{EventHandle, EventQueue};
 pub use link::{BandwidthModel, LatencyModel, LinkProfile, LossModel};
 pub use par::run_replicas;
 pub use rng::SimRng;

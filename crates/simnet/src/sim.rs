@@ -13,6 +13,7 @@
 use crate::event::{EventHandle, EventQueue};
 use crate::link::{LinkProfile, TxOutcome};
 use crate::rng::SimRng;
+use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
 use crate::topo::{NodeAddr, Topology};
 
@@ -51,31 +52,62 @@ pub struct SimStats {
 }
 
 /// Time-stamped record sink. Actors append protocol-level observations that
-/// the measurement layer reads back after the run.
+/// the measurement layer reads back after the run — or consumes *online*
+/// through an attached streaming sink, in which case retaining the record
+/// `Vec` is optional (big sweeps run with retention off and never
+/// materialize the journal).
 pub struct Journal<R> {
-    enabled: bool,
+    retain: bool,
     records: Vec<(SimTime, R)>,
+    sink: Option<JournalSink<R>>,
 }
 
+/// A streaming journal observer (see [`Journal::set_sink`]).
+pub type JournalSink<R> = Box<dyn FnMut(SimTime, &R) + Send>;
+
 impl<R> Journal<R> {
-    fn new(enabled: bool) -> Self {
+    fn new(retain: bool) -> Self {
         Journal {
-            enabled,
+            retain,
             records: Vec::new(),
+            sink: None,
         }
     }
 
-    /// Append a record (no-op when journalling is disabled).
+    /// Append a record: feed the streaming sink (if any), then retain the
+    /// record (if retention is on). A no-op when neither is configured.
     #[inline]
     pub fn record(&mut self, now: SimTime, rec: R) {
-        if self.enabled {
+        if let Some(sink) = &mut self.sink {
+            sink(now, &rec);
+        }
+        if self.retain {
             self.records.push((now, rec));
         }
     }
 
     /// True when records are being kept.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.retain
+    }
+
+    /// Turn record retention on or off (already-retained records stay).
+    pub fn set_retention(&mut self, retain: bool) {
+        self.retain = retain;
+    }
+
+    /// Attach a streaming observer called with every record as it is
+    /// emitted, before (and independent of) retention. One sink at a time;
+    /// a second call replaces the first.
+    pub fn set_sink(&mut self, sink: impl FnMut(SimTime, &R) + Send + 'static) {
+        self.sink = Some(Box::new(sink));
+    }
+
+    /// Pre-size the retained-record storage (no-op when retention is off).
+    pub fn reserve(&mut self, records: usize) {
+        if self.retain {
+            self.records.reserve(records);
+        }
     }
 
     /// All records in emission order.
@@ -98,11 +130,53 @@ enum Ev<M, R> {
         dst: NodeAddr,
         msg: M,
     },
+    /// A multicast copy: the payload is interned once in the world's
+    /// shared-message pool and referenced by slot, so an n-way fan-out
+    /// stores one message instead of n clones.
+    SharedPacket {
+        src: NodeAddr,
+        dst: NodeAddr,
+        slot: u32,
+    },
     Timer {
         node: NodeAddr,
         tag: u64,
     },
     Control(ControlFn<M, R>),
+}
+
+/// Interned payloads shared by multicast fan-outs: one slot per distinct
+/// message, reference-counted by the number of pending copies. The last
+/// pending copy takes the payload by move; earlier ones clone.
+struct SharedPool<M> {
+    slots: Slab<(M, u32)>,
+}
+
+impl<M> SharedPool<M> {
+    fn new() -> Self {
+        SharedPool { slots: Slab::new() }
+    }
+
+    fn put(&mut self, msg: M, refs: u32) -> u32 {
+        debug_assert!(refs > 0);
+        self.slots.insert((msg, refs))
+    }
+
+    fn take(&mut self, slot: u32) -> M
+    where
+        M: Clone,
+    {
+        let (msg, refs) = self
+            .slots
+            .get_mut(slot)
+            .expect("shared slot taken past its refcount");
+        if *refs > 1 {
+            *refs -= 1;
+            msg.clone()
+        } else {
+            self.slots.remove(slot).0
+        }
+    }
 }
 
 /// Everything in the simulation except the actors themselves. Actors receive
@@ -111,6 +185,10 @@ enum Ev<M, R> {
 pub struct World<M, R> {
     now: SimTime,
     queue: EventQueue<Ev<M, R>>,
+    /// Interned multicast payloads (see [`Ev::SharedPacket`]).
+    shared: SharedPool<M>,
+    /// Reused scratch buffer for multicast delivery planning.
+    mc_buf: Vec<(NodeAddr, SimTime)>,
     /// The link table. Public so control events and scenario code can rewire
     /// the network mid-run (handoffs, failures).
     pub topo: Topology,
@@ -151,6 +229,13 @@ impl<M, R> World<M, R> {
         }
     }
 
+    /// Pre-size the pending-event slab for roughly `additional` more
+    /// concurrent events (builders that know the workload scale call this
+    /// so the hot path never grows the slab).
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
     /// Inject a packet that arrives at `dst` after `delay`, bypassing links.
     /// Used by scenario code to model out-of-band stimuli (e.g. an MH's radio
     /// detecting a new AP).
@@ -170,6 +255,47 @@ impl<M, R> World<M, R> {
     /// Cancel a pending timer. Returns `true` if it had not fired yet.
     pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
         self.queue.cancel(handle.0)
+    }
+
+    /// Transmit one `msg` from `src` to every destination in `dsts`,
+    /// applying each link's bandwidth, loss and latency independently —
+    /// byte-for-byte equivalent to calling [`World::send`] once per
+    /// destination (same RNG draw order, same tie-break order), but the
+    /// payload is interned once and shared by all pending copies instead
+    /// of being cloned per hop.
+    pub fn multicast(&mut self, src: NodeAddr, dsts: &[NodeAddr], msg: M)
+    where
+        M: Clone,
+    {
+        let size = (self.sizer)(&msg);
+        let mut deliveries = std::mem::take(&mut self.mc_buf);
+        deliveries.clear();
+        for &dst in dsts {
+            self.stats.packets_sent += 1;
+            let Some(link) = self.topo.link_mut(src, dst) else {
+                self.stats.packets_no_route += 1;
+                continue;
+            };
+            match link.transmit(self.now, size, &mut self.rng) {
+                TxOutcome::Deliver(at) => deliveries.push((dst, at)),
+                TxOutcome::Lost => self.stats.packets_lost += 1,
+                TxOutcome::QueueDrop => self.stats.packets_queue_dropped += 1,
+            }
+        }
+        match deliveries.len() {
+            0 => {}
+            1 => {
+                let (dst, at) = deliveries[0];
+                self.queue.schedule(at, Ev::Packet { src, dst, msg });
+            }
+            n => {
+                let slot = self.shared.put(msg, n as u32);
+                for &(dst, at) in &deliveries {
+                    self.queue.schedule(at, Ev::SharedPacket { src, dst, slot });
+                }
+            }
+        }
+        self.mc_buf = deliveries;
     }
 
     /// Schedule a control closure to run over the world at `at`.
@@ -206,6 +332,17 @@ impl<'a, M, R> Ctx<'a, M, R> {
     #[inline]
     pub fn send(&mut self, dst: NodeAddr, msg: M) {
         self.world.send(self.me, dst, msg);
+    }
+
+    /// Send one `msg` to every destination in `dsts` (see
+    /// [`World::multicast`]: equivalent to per-destination sends, but the
+    /// payload is interned once instead of cloned per hop).
+    #[inline]
+    pub fn multicast(&mut self, dsts: &[NodeAddr], msg: M)
+    where
+        M: Clone,
+    {
+        self.world.multicast(self.me, dsts, msg);
     }
 
     /// Set a timer on this node.
@@ -271,6 +408,8 @@ impl<M, R> Sim<M, R> {
             world: World {
                 now: SimTime::ZERO,
                 queue: EventQueue::new(),
+                shared: SharedPool::new(),
+                mc_buf: Vec::new(),
                 topo: Topology::new(),
                 rng: SimRng::from_seed(seed),
                 journal: Journal::new(journal),
@@ -352,8 +491,30 @@ impl<M, R> Sim<M, R> {
         }
     }
 
+    fn deliver_packet(&mut self, src: NodeAddr, dst: NodeAddr, msg: M) {
+        let idx = dst.index();
+        if idx >= self.actors.len() {
+            return; // destination never existed; count as routed-to-nowhere
+        }
+        let Some(mut actor) = self.actors[idx].take() else {
+            return;
+        };
+        self.world.stats.packets_delivered += 1;
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            me: dst,
+        };
+        actor.on_packet(&mut ctx, src, msg);
+        self.actors[idx] = Some(actor);
+    }
+
     /// Process a single event. Returns `false` when the queue is exhausted.
-    pub fn step(&mut self) -> bool {
+    /// (`M: Clone` because a multicast payload is interned once and cloned
+    /// only as its pending copies surface — see [`World::multicast`].)
+    pub fn step(&mut self) -> bool
+    where
+        M: Clone,
+    {
         self.start_if_needed();
         let Some((time, ev)) = self.world.queue.pop() else {
             return false;
@@ -363,20 +524,11 @@ impl<M, R> Sim<M, R> {
         self.world.stats.events += 1;
         match ev {
             Ev::Packet { src, dst, msg } => {
-                let idx = dst.index();
-                if idx >= self.actors.len() {
-                    return true; // destination never existed; count as routed-to-nowhere
-                }
-                let Some(mut actor) = self.actors[idx].take() else {
-                    return true;
-                };
-                self.world.stats.packets_delivered += 1;
-                let mut ctx = Ctx {
-                    world: &mut self.world,
-                    me: dst,
-                };
-                actor.on_packet(&mut ctx, src, msg);
-                self.actors[idx] = Some(actor);
+                self.deliver_packet(src, dst, msg);
+            }
+            Ev::SharedPacket { src, dst, slot } => {
+                let msg = self.world.shared.take(slot);
+                self.deliver_packet(src, dst, msg);
             }
             Ev::Timer { node, tag } => {
                 let idx = node.index();
@@ -401,7 +553,10 @@ impl<M, R> Sim<M, R> {
 
     /// Run until the queue empties or simulated time would exceed `until`.
     /// Events at exactly `until` are processed.
-    pub fn run_until(&mut self, until: SimTime) {
+    pub fn run_until(&mut self, until: SimTime)
+    where
+        M: Clone,
+    {
         self.start_if_needed();
         loop {
             match self.world.queue.peek_time() {
@@ -418,7 +573,10 @@ impl<M, R> Sim<M, R> {
 
     /// Run until the event queue is exhausted, up to `max_events` (guards
     /// against protocol livelock in tests).
-    pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> bool
+    where
+        M: Clone,
+    {
         self.start_if_needed();
         let budget_end = self.world.stats.events + max_events;
         while self.world.stats.events < budget_end {
@@ -600,5 +758,81 @@ mod tests {
         let mut sim: Sim<(), ()> = Sim::new(0);
         sim.run_until(SimTime::from_secs(3));
         assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn multicast_matches_per_destination_sends() {
+        struct Echo;
+        impl Actor<u32, (NodeAddr, u32)> for Echo {
+            fn on_packet(
+                &mut self,
+                ctx: &mut Ctx<'_, u32, (NodeAddr, u32)>,
+                _: NodeAddr,
+                msg: u32,
+            ) {
+                ctx.record((ctx.me(), msg));
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32, (NodeAddr, u32)>, _: u64) {}
+        }
+        type Arrivals = Vec<(SimTime, (NodeAddr, u32))>;
+        fn run(fan_out: bool) -> (Arrivals, SimStats) {
+            let mut sim: Sim<u32, (NodeAddr, u32)> = Sim::new(3);
+            let src = sim.add_node(Box::new(Echo));
+            let dsts: Vec<NodeAddr> = (0..4).map(|_| sim.add_node(Box::new(Echo))).collect();
+            for &d in &dsts {
+                // Lossy links so the RNG draw order matters.
+                sim.world().topo.connect(
+                    src,
+                    d,
+                    LinkProfile::wireless(
+                        SimDuration::from_millis(1),
+                        SimDuration::from_millis(2),
+                        0.3,
+                    ),
+                );
+            }
+            sim.world().schedule_control(SimTime::ZERO, move |w| {
+                if fan_out {
+                    w.multicast(src, &dsts, 7);
+                } else {
+                    for &d in &dsts {
+                        w.send(src, d, 7);
+                    }
+                }
+            });
+            sim.run_until(SimTime::from_secs(1));
+            sim.finish()
+        }
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn journal_sink_observes_without_retention() {
+        use std::sync::{Arc, Mutex};
+        struct Emitter;
+        impl Actor<(), u32> for Emitter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, (), u32>) {
+                ctx.record(1);
+                ctx.record(2);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, (), u32>, _: NodeAddr, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, (), u32>, _: u64) {}
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sim: Sim<(), u32> = Sim::new(0);
+        sim.add_node(Box::new(Emitter));
+        let sink_seen = Arc::clone(&seen);
+        sim.world().journal.set_retention(false);
+        sim.world()
+            .journal
+            .set_sink(move |t, r| sink_seen.lock().unwrap().push((t, *r)));
+        sim.run_until(SimTime::from_millis(1));
+        let (records, _) = sim.finish();
+        assert!(records.is_empty(), "retention off keeps nothing");
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(SimTime::ZERO, 1), (SimTime::ZERO, 2)],
+            "sink observed every record in order"
+        );
     }
 }

@@ -1,0 +1,136 @@
+//! Free-list slab: stable `u32`-indexed storage with O(1) insert/remove
+//! and slot reuse. Shared by the event queue's payload storage and the
+//! multicast shared-message pool — write-once payloads referenced by slim
+//! index keys, no per-entry allocation in steady state.
+//!
+//! Slot indices are reused, so a caller that can observe stale indices
+//! (e.g. cancellation handles) must pair the index with its own
+//! generation check — see `EventQueue`'s `(slot, seq)` handles.
+
+const NO_SLOT: u32 = u32::MAX;
+
+enum Entry<T> {
+    Free { next: u32 },
+    Used(T),
+}
+
+pub(crate) struct Slab<T> {
+    slots: Vec<Entry<T>>,
+    free_head: u32,
+}
+
+impl<T> Slab<T> {
+    pub(crate) fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+        }
+    }
+
+    /// Store `value`, returning its slot index.
+    pub(crate) fn insert(&mut self, value: T) -> u32 {
+        if self.free_head != NO_SLOT {
+            let slot = self.free_head;
+            match self.slots[slot as usize] {
+                Entry::Free { next } => self.free_head = next,
+                Entry::Used(_) => unreachable!("free list points at used slot"),
+            }
+            self.slots[slot as usize] = Entry::Used(value);
+            slot
+        } else {
+            assert!(self.slots.len() < NO_SLOT as usize, "slab full");
+            self.slots.push(Entry::Used(value));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// The value at `slot`, if occupied.
+    #[inline]
+    pub(crate) fn get(&self, slot: u32) -> Option<&T> {
+        match self.slots.get(slot as usize) {
+            Some(Entry::Used(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value at `slot`, if occupied.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, slot: u32) -> Option<&mut T> {
+        match self.slots.get_mut(slot as usize) {
+            Some(Entry::Used(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the value at `slot`. Panics on a free slot —
+    /// callers guard with their own liveness check first.
+    pub(crate) fn remove(&mut self, slot: u32) -> T {
+        let taken = std::mem::replace(
+            &mut self.slots[slot as usize],
+            Entry::Free {
+                next: self.free_head,
+            },
+        );
+        self.free_head = slot;
+        match taken {
+            Entry::Used(v) => v,
+            Entry::Free { .. } => unreachable!("removing a free slot"),
+        }
+    }
+
+    /// Drop every entry and reset the free list.
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = NO_SLOT;
+    }
+
+    /// Pre-size the backing storage for roughly `additional` more entries.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+    }
+
+    /// Slots allocated so far, free or used (growth watermark, for tests).
+    #[cfg(test)]
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.get(a), None);
+        *s.get_mut(b).unwrap() = "b2";
+        assert_eq!(s.remove(b), "b2");
+    }
+
+    #[test]
+    fn slots_are_reused_lifo() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let b = s.insert(2);
+        s.remove(a);
+        s.remove(b);
+        assert_eq!(s.insert(3), b, "most recently freed slot first");
+        assert_eq!(s.insert(4), a);
+        assert_eq!(s.slot_count(), 2, "no growth on reuse");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.clear();
+        assert_eq!(s.get(a), None);
+        s.insert(5);
+        assert_eq!(s.slot_count(), 1);
+    }
+}

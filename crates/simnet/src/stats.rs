@@ -116,7 +116,7 @@ impl Summary {
 /// Buckets have ~1% relative width: value `v` maps to bucket
 /// `floor(log2(v)) * SUB + sub-index`, giving bounded relative error for
 /// quantile queries without storing samples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,

@@ -172,3 +172,131 @@ fn rng_streams_replay() {
         }
     }
 }
+
+/// Reference model for the two-level calendar queue: a flat list scanned
+/// for the `(time, seq)` minimum, with explicit cancellation. Slow but
+/// obviously correct.
+struct ModelQueue {
+    pending: Vec<(SimTime, u64, u64)>, // (time, seq, payload)
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn new() -> Self {
+        ModelQueue {
+            pending: Vec::new(),
+            next_seq: 0,
+        }
+    }
+    fn schedule(&mut self, time: SimTime, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((time, seq, payload));
+        seq
+    }
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.pending.iter().position(|&(_, s, _)| s == seq) {
+            Some(i) => {
+                self.pending.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        let i = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, s, _))| (t, s))
+            .map(|(i, _)| i)?;
+        let (t, _, p) = self.pending.swap_remove(i);
+        Some((t, p))
+    }
+}
+
+/// Randomized interleavings of `schedule`/`cancel`/`pop` agree with the
+/// reference model — including insertion-order tie-breaks, zero delays,
+/// same-time bursts, sub-bucket jitter, cross-bucket delays and far-future
+/// entries that exercise calendar migration and window jumps. This is the
+/// determinism contract `simnet::sim` (and every journal in the workspace)
+/// rests on.
+#[test]
+fn event_queue_matches_reference_model() {
+    let mut rng = SimRng::from_seed(0xB7);
+    for case in 0..40 {
+        let mut q = EventQueue::new();
+        let mut model = ModelQueue::new();
+        let mut live: Vec<(simnet::event::EventHandle, u64)> = Vec::new(); // (handle, model seq)
+        let mut now = SimTime::ZERO;
+        let mut next_payload = 0u64;
+        let ops = rng.range_u64(50, 1200);
+        for op in 0..ops {
+            match rng.index(10) {
+                // Schedule (heaviest weight, mixed delay regimes).
+                0..=4 => {
+                    let delay = match rng.index(6) {
+                        0 => 0,                                // same instant
+                        1 => rng.range_u64(0, 1 << 10),        // sub-bucket jitter
+                        2 => rng.range_u64(0, 1 << 20),        // ≈ bucket width
+                        3 => rng.range_u64(0, 20_000_000),     // a few buckets
+                        4 => rng.range_u64(0, 200_000_000),    // near-horizon
+                        _ => rng.range_u64(0, 30_000_000_000), // far heap
+                    };
+                    let t = SimTime::from_nanos(now.as_nanos() + delay);
+                    let p = next_payload;
+                    next_payload += 1;
+                    let h = q.schedule(t, p);
+                    let seq = model.schedule(t, p);
+                    live.push((h, seq));
+                }
+                // Same-time burst (tie-break stress).
+                5 => {
+                    let t = SimTime::from_nanos(now.as_nanos() + rng.range_u64(0, 1 << 21));
+                    for _ in 0..rng.range_u64(2, 8) {
+                        let p = next_payload;
+                        next_payload += 1;
+                        let h = q.schedule(t, p);
+                        let seq = model.schedule(t, p);
+                        live.push((h, seq));
+                    }
+                }
+                // Cancel a random pending entry (and sometimes re-cancel).
+                6 | 7 => {
+                    if !live.is_empty() {
+                        let i = rng.index(live.len());
+                        let (h, seq) = live.swap_remove(i);
+                        assert_eq!(q.cancel(h), model.cancel(seq), "case {case} op {op}");
+                        if rng.chance(0.2) {
+                            assert!(!q.cancel(h), "case {case} op {op}: double cancel");
+                        }
+                    }
+                }
+                // Pop.
+                _ => {
+                    let got = q.pop();
+                    let want = model.pop();
+                    assert_eq!(got, want, "case {case} op {op}");
+                    if let Some((t, p)) = got {
+                        assert!(t >= now, "case {case}: time went backwards");
+                        now = t;
+                        // Every schedule advances payload and model seq in
+                        // lockstep, so the popped payload IS its model seq.
+                        live.retain(|&(_, s)| s != p);
+                    }
+                }
+            }
+            assert_eq!(q.len(), model.pending.len(), "case {case} op {op}");
+        }
+        // Drain both completely: the full remaining order must agree.
+        loop {
+            let got = q.pop();
+            let want = model.pop();
+            assert_eq!(got, want, "case {case} drain");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert!(q.is_empty());
+    }
+}
