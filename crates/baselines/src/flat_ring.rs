@@ -242,6 +242,22 @@ impl FlatRingSim {
         });
     }
 
+    /// Schedule forced token loss at `at`: every station (they are all on
+    /// the one ordering ring) is armed to black-hole the next current-epoch
+    /// token it receives.
+    pub fn schedule_token_drop(&mut self, at: SimTime) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        let stations: Vec<NodeId> = (0..self.spec.stations as u32).map(NodeId).collect();
+        self.sim.world().schedule_control(at, move |w| {
+            for &st in &stations {
+                if let Some(addr) = map.ne(st) {
+                    w.inject(addr, addr, Msg::DropToken { group }, SimDuration::ZERO);
+                }
+            }
+        });
+    }
+
     /// Schedule a crash-stop failure of an MH at `at`.
     pub fn schedule_kill_mh(&mut self, at: SimTime, guid: Guid) {
         let map = Arc::clone(&self.addrs);
@@ -318,6 +334,17 @@ impl MulticastSim for FlatRingSim {
             ScenarioEvent::KillWalker { at, walker } => {
                 self.schedule_kill_mh(at, Guid(walker as u32));
             }
+            ScenarioEvent::DropToken { at } => {
+                self.schedule_token_drop(at);
+            }
+            // A flat station is a member of the one ordering ring:
+            // crash-restart of ring members is not modelled (use KillCore
+            // for permanent station failure), and there is no non-ordering
+            // wired segment to partition.
+            ScenarioEvent::ApCrash { .. }
+            | ScenarioEvent::ApRestart { .. }
+            | ScenarioEvent::PartitionCore { .. }
+            | ScenarioEvent::HealCore { .. } => {}
         }
     }
 

@@ -498,7 +498,15 @@ impl MulticastSim for TunnelSim {
             ScenarioEvent::Join { at, walker, at_ap } => {
                 self.schedule_handoff(at, Guid(walker as u32), NodeId(at_ap as u32 + 1));
             }
-            ScenarioEvent::KillCore { .. } | ScenarioEvent::KillWalker { .. } => {}
+            // The tunnel baseline models no failures: crashes, restarts,
+            // partitions and token faults are ignored (there is no token).
+            ScenarioEvent::KillCore { .. }
+            | ScenarioEvent::KillWalker { .. }
+            | ScenarioEvent::ApCrash { .. }
+            | ScenarioEvent::ApRestart { .. }
+            | ScenarioEvent::PartitionCore { .. }
+            | ScenarioEvent::HealCore { .. }
+            | ScenarioEvent::DropToken { .. } => {}
         }
     }
 

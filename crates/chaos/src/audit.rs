@@ -1,0 +1,557 @@
+//! The online total-order / reliability auditor.
+//!
+//! An [`Auditor`] folds protocol events in one at a time — from a finished
+//! journal ([`Auditor::observe_journal`]) or *online* from the simulator's
+//! journal sink, exactly like the streaming metrics accumulator — and
+//! checks the protocol's safety claims **per delivery**, not as an
+//! after-the-fact summary:
+//!
+//! * **Total order**: every walker's delivered global sequence numbers
+//!   strictly increase, and the `GSN ↔ (source, local_seq)` mapping agreed
+//!   on by ordering nodes and walkers is a function — no GSN is assigned
+//!   or delivered for two different messages, which together with per-walker
+//!   monotonicity gives pairwise agreement across members.
+//! * **No duplicates**: no walker delivers the same GSN twice, no ordering
+//!   node assigns the same GSN twice.
+//! * **Per-stream FIFO**: per `(walker, stream)` the per-source sequence
+//!   numbers strictly increase (the one safety property even the unordered
+//!   baseline promises).
+//! * **Gap-freedom**: a walker's merged deliver/skip chain advances by
+//!   exactly one GSN at a time after its join point — a message can be
+//!   *skipped* (really lost, and recorded as such) but never silently
+//!   dropped. Only meaningful for backends that record per-GSN skips (the
+//!   RingNet-engine family).
+//! * **Liveness** (optional, checked at [`Auditor::finish`]): every
+//!   non-exempt walker delivered or skipped something within the closing
+//!   window of the run — faults must heal, not strand members.
+//!
+//! The first violation is kept with full context; later events still feed
+//! the counters so a report can say how widespread the damage was.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, ProtoEvent};
+use simnet::{SimDuration, SimTime};
+
+/// What kind of safety property a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A walker delivered a GSN ≤ one it had already delivered.
+    OrderInversion,
+    /// A walker delivered the same GSN twice.
+    DuplicateDelivery,
+    /// An ordering node assigned the same GSN twice.
+    DuplicateAssignment,
+    /// The same GSN was observed for two different `(source, local_seq)`
+    /// messages (ordering nodes and walkers disagree on what the GSN is).
+    AssignmentMismatch,
+    /// Per `(walker, stream)` sequence numbers did not strictly increase.
+    FifoViolation,
+    /// A walker's deliver/skip chain jumped over a GSN with no skip record.
+    GsnGap,
+    /// A walker went silent: nothing delivered or skipped within the
+    /// closing liveness window.
+    Silence,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::OrderInversion => "order inversion",
+            ViolationKind::DuplicateDelivery => "duplicate delivery",
+            ViolationKind::DuplicateAssignment => "duplicate GSN assignment",
+            ViolationKind::AssignmentMismatch => "GSN/message mismatch",
+            ViolationKind::FifoViolation => "per-stream FIFO violation",
+            ViolationKind::GsnGap => "unexplained GSN gap",
+            ViolationKind::Silence => "walker silent in liveness window",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected safety violation, with the context needed to chase it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Simulation time of the offending event (end of run for
+    /// [`ViolationKind::Silence`]).
+    pub at: SimTime,
+    /// Which property broke.
+    pub kind: ViolationKind,
+    /// Human-readable context: walker, GSN, expected vs observed.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.kind, self.detail)
+    }
+}
+
+/// Liveness configuration (see [`AuditConfig::liveness`]).
+#[derive(Debug, Clone)]
+pub struct LivenessCheck {
+    /// Every audited walker must deliver or skip something within this
+    /// window before the end of the run.
+    pub window: SimDuration,
+    /// The walkers expected to be live at the end of the run.
+    pub walkers: Vec<u32>,
+}
+
+/// Which checks the auditor runs — not every backend makes every promise.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// GSN-based checks: per-walker monotonicity, duplicate assignment,
+    /// assignment agreement. Off for the unordered baseline, whose
+    /// `MhDeliver.gsn` is a per-stream number.
+    pub check_gsn_order: bool,
+    /// Gap-freedom of the merged deliver/skip chain. Only for backends
+    /// that record per-GSN skips (the RingNet-engine family).
+    pub check_gap_freedom: bool,
+    /// End-of-run liveness (None = not checked).
+    pub liveness: Option<LivenessCheck>,
+}
+
+impl Default for AuditConfig {
+    /// Full safety checks, no liveness.
+    fn default() -> Self {
+        AuditConfig {
+            check_gsn_order: true,
+            check_gap_freedom: true,
+            liveness: None,
+        }
+    }
+}
+
+/// Everything the auditor saw, summarised. Produced by [`Auditor::finish`].
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// The first violation, with context (None = clean run).
+    pub first_violation: Option<Violation>,
+    /// Total violations observed (the first is kept verbatim).
+    pub violations: u64,
+    /// Application deliveries audited.
+    pub deliveries: u64,
+    /// Skip records audited.
+    pub skips: u64,
+    /// Distinct walkers that delivered or skipped something.
+    pub walkers_seen: usize,
+}
+
+impl AuditReport {
+    /// True when no check tripped.
+    pub fn is_clean(&self) -> bool {
+        self.first_violation.is_none()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct WalkerState {
+    /// Merged deliver/skip chain position (last GSN consumed).
+    last_gsn: Option<GlobalSeq>,
+    /// Last per-stream sequence number, keyed by stream (source).
+    streams: BTreeMap<NodeId, LocalSeq>,
+    /// Last time this walker delivered or skipped.
+    last_progress: SimTime,
+}
+
+/// The streaming auditor. Feed with [`Auditor::observe`] (or a whole
+/// journal via [`Auditor::observe_journal`]), then [`Auditor::finish`].
+#[derive(Debug)]
+pub struct Auditor {
+    cfg: AuditConfig,
+    walkers: BTreeMap<Guid, WalkerState>,
+    /// What each GSN means, agreed across ordering nodes and walkers.
+    gsn_meaning: BTreeMap<GlobalSeq, (NodeId, LocalSeq)>,
+    /// GSNs that appeared in an `Ordered` record (duplicate-assignment check).
+    assigned: BTreeMap<GlobalSeq, NodeId>,
+    first_violation: Option<Violation>,
+    violations: u64,
+    deliveries: u64,
+    skips: u64,
+}
+
+impl Auditor {
+    /// A fresh auditor with the given checks.
+    pub fn new(cfg: AuditConfig) -> Self {
+        Auditor {
+            cfg,
+            walkers: BTreeMap::new(),
+            gsn_meaning: BTreeMap::new(),
+            assigned: BTreeMap::new(),
+            first_violation: None,
+            violations: 0,
+            deliveries: 0,
+            skips: 0,
+        }
+    }
+
+    fn violate(&mut self, at: SimTime, kind: ViolationKind, detail: String) {
+        self.violations += 1;
+        if self.first_violation.is_none() {
+            self.first_violation = Some(Violation { at, kind, detail });
+        }
+    }
+
+    /// Register what a GSN means; trip on disagreement.
+    fn meaning(&mut self, at: SimTime, gsn: GlobalSeq, source: NodeId, ls: LocalSeq, who: &str) {
+        match self.gsn_meaning.get(&gsn) {
+            None => {
+                self.gsn_meaning.insert(gsn, (source, ls));
+            }
+            Some(&(s0, l0)) if (s0, l0) != (source, ls) => {
+                self.violate(
+                    at,
+                    ViolationKind::AssignmentMismatch,
+                    format!(
+                        "{who}: gsn {} means (src {}, seq {}) but was first seen as (src {}, seq {})",
+                        gsn.0, source.0, ls.0, s0.0, l0.0
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Fold one event in. Events must arrive in journal (emission) order.
+    pub fn observe(&mut self, t: SimTime, e: &ProtoEvent) {
+        match *e {
+            ProtoEvent::Ordered {
+                node,
+                source,
+                local_seq,
+                gsn,
+            } if self.cfg.check_gsn_order => {
+                if let Some(prev) = self.assigned.insert(gsn, node) {
+                    self.violate(
+                        t,
+                        ViolationKind::DuplicateAssignment,
+                        format!(
+                            "gsn {} assigned at node {} but already assigned at node {}",
+                            gsn.0, node.0, prev.0
+                        ),
+                    );
+                }
+                self.meaning(t, gsn, source, local_seq, "ordering node");
+            }
+            ProtoEvent::MhDeliver {
+                mh,
+                gsn,
+                source,
+                local_seq,
+            } => {
+                self.deliveries += 1;
+                if self.cfg.check_gsn_order {
+                    self.meaning(t, gsn, source, local_seq, "walker");
+                }
+                let check_gsn = self.cfg.check_gsn_order;
+                let check_gap = self.cfg.check_gap_freedom;
+                let st = self.walkers.entry(mh).or_default();
+                st.last_progress = t;
+                let last = st.last_gsn;
+                // Per-stream FIFO — the one promise every backend makes.
+                // Checked after the GSN properties so an ordered backend's
+                // inversion is labelled as such, not as its FIFO shadow.
+                let fifo_bad = match st.streams.get(&source) {
+                    Some(&prev) if local_seq <= prev => Some(prev),
+                    _ => None,
+                };
+                st.streams.insert(source, local_seq);
+                if check_gsn {
+                    match last {
+                        Some(prev) if gsn == prev => {
+                            self.violate(
+                                t,
+                                ViolationKind::DuplicateDelivery,
+                                format!("walker {} delivered gsn {} twice", mh.0, gsn.0),
+                            );
+                        }
+                        Some(prev) if gsn < prev => {
+                            self.violate(
+                                t,
+                                ViolationKind::OrderInversion,
+                                format!(
+                                    "walker {} delivered gsn {} after gsn {}",
+                                    mh.0, gsn.0, prev.0
+                                ),
+                            );
+                        }
+                        Some(prev) if check_gap && gsn.0 != prev.0 + 1 => {
+                            self.violate(
+                                t,
+                                ViolationKind::GsnGap,
+                                format!(
+                                    "walker {} jumped from gsn {} to {} with no skip records",
+                                    mh.0, prev.0, gsn.0
+                                ),
+                            );
+                        }
+                        _ => {}
+                    }
+                    self.walkers.get_mut(&mh).expect("just inserted").last_gsn =
+                        Some(last.map_or(gsn, |p| p.max(gsn)));
+                }
+                if let Some(prev) = fifo_bad {
+                    self.violate(
+                        t,
+                        ViolationKind::FifoViolation,
+                        format!(
+                            "walker {} stream {}: seq {} after seq {}",
+                            mh.0, source.0, local_seq.0, prev.0
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::MhSkip { mh, gsn } if self.cfg.check_gsn_order => {
+                self.skips += 1;
+                let check_gap = self.cfg.check_gap_freedom;
+                let st = self.walkers.entry(mh).or_default();
+                st.last_progress = t;
+                let last = st.last_gsn;
+                match last {
+                    Some(prev) if gsn <= prev => {
+                        self.violate(
+                            t,
+                            ViolationKind::OrderInversion,
+                            format!(
+                                "walker {} skipped gsn {} at or below its front {}",
+                                mh.0, gsn.0, prev.0
+                            ),
+                        );
+                    }
+                    Some(prev) if check_gap && gsn.0 != prev.0 + 1 => {
+                        self.violate(
+                            t,
+                            ViolationKind::GsnGap,
+                            format!(
+                                "walker {} skipped from gsn {} to {} leaving a hole",
+                                mh.0, prev.0, gsn.0
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+                self.walkers.get_mut(&mh).expect("just inserted").last_gsn =
+                    Some(last.map_or(gsn, |p| p.max(gsn)));
+            }
+            _ => {}
+        }
+    }
+
+    /// Fold a whole journal in (batch feeding of the same streaming path).
+    pub fn observe_journal(&mut self, journal: &[(SimTime, ProtoEvent)]) {
+        for (t, e) in journal {
+            self.observe(*t, e);
+        }
+    }
+
+    /// Close the audit at simulated time `end`, running the liveness check.
+    pub fn finish(mut self, end: SimTime) -> AuditReport {
+        if let Some(liveness) = self.cfg.liveness.take() {
+            for &w in &liveness.walkers {
+                let late_enough = match self.walkers.get(&Guid(w)) {
+                    Some(st) => st.last_progress + liveness.window >= end,
+                    None => false,
+                };
+                if !late_enough {
+                    let last = self
+                        .walkers
+                        .get(&Guid(w))
+                        .map(|s| s.last_progress.to_string())
+                        .unwrap_or_else(|| "never".into());
+                    self.violate(
+                        end,
+                        ViolationKind::Silence,
+                        format!(
+                            "walker {w} made no progress in the last {} (last progress: {last})",
+                            liveness.window
+                        ),
+                    );
+                }
+            }
+        }
+        AuditReport {
+            first_violation: self.first_violation,
+            violations: self.violations,
+            deliveries: self.deliveries,
+            skips: self.skips,
+            walkers_seen: self.walkers.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(t: u64, mh: u32, gsn: u64) -> (SimTime, ProtoEvent) {
+        (
+            SimTime::from_millis(t),
+            ProtoEvent::MhDeliver {
+                mh: Guid(mh),
+                gsn: GlobalSeq(gsn),
+                source: NodeId(0),
+                local_seq: LocalSeq(gsn),
+            },
+        )
+    }
+
+    fn skip(t: u64, mh: u32, gsn: u64) -> (SimTime, ProtoEvent) {
+        (
+            SimTime::from_millis(t),
+            ProtoEvent::MhSkip {
+                mh: Guid(mh),
+                gsn: GlobalSeq(gsn),
+            },
+        )
+    }
+
+    fn audit(journal: &[(SimTime, ProtoEvent)]) -> AuditReport {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.observe_journal(journal);
+        a.finish(SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn clean_chain_passes() {
+        let j = vec![
+            deliver(1, 0, 1),
+            deliver(2, 0, 2),
+            skip(3, 0, 3),
+            deliver(4, 0, 4),
+        ];
+        let r = audit(&j);
+        assert!(r.is_clean(), "{:?}", r.first_violation);
+        assert_eq!(r.deliveries, 3);
+        assert_eq!(r.skips, 1);
+    }
+
+    #[test]
+    fn inversion_and_duplicate_detected() {
+        let r = audit(&[deliver(1, 0, 2), deliver(2, 0, 1)]);
+        assert_eq!(
+            r.first_violation.unwrap().kind,
+            ViolationKind::OrderInversion
+        );
+        let r = audit(&[deliver(1, 0, 1), deliver(2, 0, 1)]);
+        assert_eq!(
+            r.first_violation.unwrap().kind,
+            ViolationKind::DuplicateDelivery
+        );
+    }
+
+    #[test]
+    fn unexplained_gap_detected_and_skip_explains_it() {
+        let r = audit(&[deliver(1, 0, 1), deliver(2, 0, 3)]);
+        assert_eq!(r.first_violation.unwrap().kind, ViolationKind::GsnGap);
+        let r = audit(&[deliver(1, 0, 1), skip(2, 0, 2), deliver(3, 0, 3)]);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn join_point_may_start_anywhere() {
+        let r = audit(&[deliver(1, 0, 41), deliver(2, 0, 42)]);
+        assert!(r.is_clean(), "{:?}", r.first_violation);
+    }
+
+    #[test]
+    fn assignment_disagreement_detected() {
+        let j = vec![
+            (
+                SimTime::from_millis(1),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(0),
+                    gsn: GlobalSeq(1),
+                    source: NodeId(0),
+                    local_seq: LocalSeq(1),
+                },
+            ),
+            (
+                SimTime::from_millis(2),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(1),
+                    gsn: GlobalSeq(1),
+                    source: NodeId(0),
+                    local_seq: LocalSeq(2), // different message, same gsn
+                },
+            ),
+        ];
+        let r = audit(&j);
+        assert_eq!(
+            r.first_violation.unwrap().kind,
+            ViolationKind::AssignmentMismatch
+        );
+    }
+
+    #[test]
+    fn duplicate_assignment_detected() {
+        let ordered = |t: u64, node: u32, gsn: u64| {
+            (
+                SimTime::from_millis(t),
+                ProtoEvent::Ordered {
+                    node: NodeId(node),
+                    source: NodeId(node),
+                    local_seq: LocalSeq(1),
+                    gsn: GlobalSeq(gsn),
+                },
+            )
+        };
+        let r = audit(&[ordered(1, 0, 7), ordered(2, 1, 7)]);
+        assert_eq!(
+            r.first_violation.unwrap().kind,
+            ViolationKind::DuplicateAssignment
+        );
+    }
+
+    #[test]
+    fn fifo_checked_even_without_gsn_checks() {
+        let j = vec![deliver(1, 0, 1), {
+            // Same stream seq again, new "gsn" — unordered-style journal.
+            (
+                SimTime::from_millis(2),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(0),
+                    gsn: GlobalSeq(9),
+                    source: NodeId(0),
+                    local_seq: LocalSeq(1),
+                },
+            )
+        }];
+        let mut a = Auditor::new(AuditConfig {
+            check_gsn_order: false,
+            check_gap_freedom: false,
+            liveness: None,
+        });
+        a.observe_journal(&j);
+        let r = a.finish(SimTime::from_secs(1));
+        assert_eq!(
+            r.first_violation.unwrap().kind,
+            ViolationKind::FifoViolation
+        );
+    }
+
+    #[test]
+    fn silence_detected_and_exemptions_respected() {
+        let j = vec![deliver(100, 0, 1), deliver(5_900, 1, 1)];
+        let run = |walkers: Vec<u32>| {
+            let mut a = Auditor::new(AuditConfig {
+                liveness: Some(LivenessCheck {
+                    window: SimDuration::from_secs(2),
+                    walkers,
+                }),
+                ..AuditConfig::default()
+            });
+            a.observe_journal(&j);
+            a.finish(SimTime::from_secs(6))
+        };
+        // Walker 0 stalled at t=0.1s of a 6s run.
+        let r = run(vec![0, 1]);
+        assert_eq!(r.first_violation.unwrap().kind, ViolationKind::Silence);
+        // Exempting it (e.g. it was killed) passes.
+        let r = run(vec![1]);
+        assert!(r.is_clean());
+        // A walker that never appears at all is silent too.
+        let r = run(vec![2]);
+        assert_eq!(r.first_violation.unwrap().kind, ViolationKind::Silence);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based chaos soak over the `MulticastSim` backends.
+//!
+//! ```text
+//! chaos_soak [--seeds N] [--start S] [--seed K] [--backends a,b,c]
+//!            [--quick] [--no-shrink]
+//! ```
+//!
+//! * `--seeds N` — soak seeds `start..start+N` (default 50, start 0).
+//! * `--seed K` — reproduce a single seed verbosely (prints the scenario).
+//! * `--backends` — comma-separated subset (default: all six).
+//! * `--quick` — the CI-sized generator space (smaller worlds/runs).
+//! * `--no-shrink` — skip minimization on failure.
+//!
+//! Exit status: 0 when every audited run is clean, 1 on the first
+//! violation (after printing the shrunk reproduction).
+
+use chaos::{generate, soak_seed, Backend, ChaosConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos_soak [--seeds N] [--start S] [--seed K] \
+         [--backends a,b,c] [--quick] [--no-shrink]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut seeds: u64 = 50;
+    let mut start: u64 = 0;
+    let mut single: Option<u64> = None;
+    let mut backends: Vec<Backend> = Backend::ALL.to_vec();
+    let mut quick = false;
+    let mut shrink = true;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let num = |it: &mut std::slice::Iter<'_, String>| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = num(&mut it),
+            "--start" => start = num(&mut it),
+            "--seed" => single = Some(num(&mut it)),
+            "--quick" => quick = true,
+            "--no-shrink" => shrink = false,
+            "--backends" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                backends = list
+                    .split(',')
+                    .map(|s| Backend::parse(s.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            _ => usage(),
+        }
+    }
+
+    let cfg = if quick {
+        ChaosConfig::quick()
+    } else {
+        ChaosConfig::default()
+    };
+
+    let range: Vec<u64> = match single {
+        Some(k) => {
+            let sc = generate(&cfg, k);
+            println!("seed {k} scenario:\n{sc:#?}\n");
+            vec![k]
+        }
+        None => (start..start + seeds).collect(),
+    };
+
+    let names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
+    println!(
+        "chaos soak: {} seed(s) × [{}]{}",
+        range.len(),
+        names.join(", "),
+        if quick { " (quick space)" } else { "" }
+    );
+
+    let mut total_deliveries = 0u64;
+    let mut total_skips = 0u64;
+    let mut runs = 0usize;
+    for (i, &seed) in range.iter().enumerate() {
+        match soak_seed(&cfg, seed, &backends, shrink) {
+            Ok(outcomes) => {
+                for o in &outcomes {
+                    total_deliveries += o.deliveries;
+                    total_skips += o.skips;
+                    runs += 1;
+                }
+                if single.is_some() {
+                    for o in &outcomes {
+                        println!(
+                            "  {:<10} clean ({} deliveries, {} skips)",
+                            o.backend.name(),
+                            o.deliveries,
+                            o.skips
+                        );
+                    }
+                } else if (i + 1) % 25 == 0 || i + 1 == range.len() {
+                    println!(
+                        "  {}/{} seeds clean ({} runs, {} deliveries audited)",
+                        i + 1,
+                        range.len(),
+                        runs,
+                        total_deliveries
+                    );
+                }
+            }
+            Err(failure) => {
+                eprintln!(
+                    "\nVIOLATION on {} at seed {}:\n  {}\n",
+                    failure.backend.name(),
+                    failure.seed,
+                    failure.violation
+                );
+                eprintln!(
+                    "shrunk reproduction ({} of {} events kept):\n{:#?}",
+                    failure.shrunk_events, failure.original_events, failure.shrunk
+                );
+                eprintln!(
+                    "\nreproduce with: chaos_soak --seed {} --backends {}{}",
+                    failure.seed,
+                    failure.backend.name(),
+                    if quick { " --quick" } else { "" }
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "OK: {} runs clean — {} deliveries and {} skips audited, zero violations",
+        runs, total_deliveries, total_skips
+    );
+}

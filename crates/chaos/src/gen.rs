@@ -1,0 +1,350 @@
+//! Seeded random scenario generation.
+//!
+//! [`generate`] samples a *valid* [`Scenario`] from a bounded parameter
+//! space: world shape (chain or grid), walker population (including late
+//! joiners), traffic pattern, wireless link profile (up to Gilbert–Elliott
+//! bursty loss), a handoff schedule, and a fault schedule drawn from the
+//! full repertoire. The construction is deliberately conservative about
+//! *recoverability*: every AP crash gets a matching restart, every
+//! partition a matching heal, no source-bearing core entity is killed, and
+//! fault times leave room for recovery before the end of the run — so a
+//! clean protocol produces a clean audit, and an auditor violation means a
+//! protocol bug, not an impossible world.
+//!
+//! Determinism: the scenario is a pure function of `(ChaosConfig, seed)`.
+
+use ringnet_core::driver::{Scenario, ScenarioBuilder, ScenarioEvent};
+use ringnet_core::hierarchy::TrafficPattern;
+use simnet::{LinkProfile, LossModel, SimDuration, SimRng, SimTime};
+
+/// Bounds and toggles of the scenario space.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Largest attachment-point count (chains and grids both honour it).
+    pub max_attachments: usize,
+    /// Largest initial walkers-per-attachment count.
+    pub max_walkers_per_attachment: usize,
+    /// Largest source count (clamped to the attachment count).
+    pub max_sources: usize,
+    /// Shortest run.
+    pub min_duration: SimDuration,
+    /// Longest run.
+    pub max_duration: SimDuration,
+    /// Sample lossy wireless profiles (Bernoulli, Gilbert–Elliott).
+    pub allow_lossy_wireless: bool,
+    /// Schedule random handoffs.
+    pub allow_mobility: bool,
+    /// Add late-joining walkers.
+    pub allow_late_joins: bool,
+    /// Schedule walker crash-stops.
+    pub allow_walker_kills: bool,
+    /// Schedule wired-core crash-stops (never a source-bearing entity).
+    pub allow_core_kills: bool,
+    /// Schedule AP crash + restart pairs.
+    pub allow_ap_crash_restart: bool,
+    /// Schedule wired-core partition + heal pairs.
+    pub allow_partitions: bool,
+    /// Schedule forced token loss.
+    pub allow_token_drop: bool,
+    /// The liveness window the soak audits with; fault times stay clear of
+    /// the last `liveness_window + 1s` of the run so recovery can complete.
+    pub liveness_window: SimDuration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            max_attachments: 9,
+            max_walkers_per_attachment: 2,
+            max_sources: 3,
+            min_duration: SimDuration::from_secs(5),
+            max_duration: SimDuration::from_secs(7),
+            allow_lossy_wireless: true,
+            allow_mobility: true,
+            allow_late_joins: true,
+            allow_walker_kills: true,
+            allow_core_kills: true,
+            allow_ap_crash_restart: true,
+            allow_partitions: true,
+            allow_token_drop: true,
+            liveness_window: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A CI-sized space: smaller worlds, shorter runs, same fault mix.
+    pub fn quick() -> Self {
+        ChaosConfig {
+            max_attachments: 6,
+            max_walkers_per_attachment: 1,
+            max_sources: 2,
+            min_duration: SimDuration::from_millis(4_500),
+            max_duration: SimDuration::from_millis(5_500),
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// The wired-core sizes every KillCore-implementing backend would build
+    /// for this scenario shape: `(ringnet_brs, min core length)`. KillCore
+    /// and PartitionCore indices must stay below the minimum so one
+    /// scenario drives every backend without panicking.
+    fn core_bounds(attachments: usize, sources: usize) -> (usize, usize) {
+        let brs = sources.max(2);
+        let ringnet = brs + attachments.div_ceil(4).max(2);
+        let tree = 1 + attachments.div_ceil(2).max(1);
+        let flat = attachments;
+        (brs, ringnet.min(tree).min(flat))
+    }
+}
+
+fn ms(rng: &mut SimRng, lo: SimDuration, hi: SimDuration) -> SimTime {
+    let lo = lo.as_nanos() / 1_000_000;
+    let hi = hi.as_nanos() / 1_000_000;
+    SimTime::from_millis(rng.range_u64(lo, hi.max(lo + 1)))
+}
+
+fn wireless_profile(rng: &mut SimRng, allow_lossy: bool) -> LinkProfile {
+    let choice = rng.index(if allow_lossy { 4 } else { 2 });
+    match choice {
+        0 => LinkProfile::wired(SimDuration::from_millis(2)),
+        1 => LinkProfile::wireless(
+            SimDuration::from_millis(1 + rng.range_u64(0, 2)),
+            SimDuration::from_millis(rng.range_u64(0, 3)),
+            0.0,
+        ),
+        2 => LinkProfile::wireless(
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(1),
+            rng.range_f64(0.002, 0.03),
+        ),
+        _ => LinkProfile::wired(SimDuration::from_millis(2)).with_loss(LossModel::lossy_wireless()),
+    }
+}
+
+/// Sample one valid scenario. Panics only on a generator bug (the built
+/// scenario is validated).
+pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
+    let mut rng = SimRng::derive(seed, 0xC4A0_5EED);
+    let duration_d = SimDuration::from_nanos(
+        rng.range_u64(cfg.min_duration.as_nanos(), cfg.max_duration.as_nanos() + 1),
+    );
+    let duration = SimTime::ZERO + duration_d;
+    // Faults must finish recovering before the closing liveness window.
+    let fault_hi = duration_d.saturating_sub(cfg.liveness_window + SimDuration::from_secs(1));
+    let fault_lo = SimDuration::from_millis(800);
+    let can_fault = fault_hi > SimDuration::from_millis(1_500);
+
+    // ---- world shape --------------------------------------------------
+    let mut b = ScenarioBuilder::new();
+    let attachments;
+    if rng.chance(0.4) {
+        let cols = 2 + rng.index(2); // 2..=3
+                                     // Rows clamped so cols × rows honours max_attachments.
+        let max_rows = (cfg.max_attachments.max(2) / cols).clamp(1, 3);
+        let rows = 1 + rng.index(max_rows);
+        attachments = cols * rows;
+        b = b.grid(cols, rows);
+    } else {
+        attachments = (2 + rng.index(cfg.max_attachments.saturating_sub(1).max(1)))
+            .min(cfg.max_attachments.max(2));
+        b = b.attachments(attachments);
+    }
+    let sources = (1 + rng.index(cfg.max_sources.max(1))).min(attachments);
+    let (_brs, core_len) = ChaosConfig::core_bounds(attachments, sources);
+
+    // ---- population ---------------------------------------------------
+    let mut placements: Vec<Option<usize>> = Vec::new();
+    for a in 0..attachments {
+        for _ in 0..1 + rng.index(cfg.max_walkers_per_attachment.max(1)) {
+            placements.push(Some(a));
+        }
+    }
+    let late_joiners = if cfg.allow_late_joins {
+        rng.index(3) // 0..=2
+    } else {
+        0
+    };
+    for _ in 0..late_joiners {
+        placements.push(None);
+    }
+    let walkers = placements.len();
+
+    // ---- traffic ------------------------------------------------------
+    let pattern = if rng.chance(0.7) {
+        TrafficPattern::Cbr {
+            interval: SimDuration::from_millis(5 + rng.range_u64(0, 21)),
+        }
+    } else {
+        TrafficPattern::Poisson {
+            rate: rng.range_f64(40.0, 160.0),
+        }
+    };
+    let start = SimTime::from_millis(100 + rng.range_u64(0, 200));
+
+    // ---- events -------------------------------------------------------
+    let mut events: Vec<ScenarioEvent> = Vec::new();
+    // Late joins: in the first half so joiners are audit-worthy by the end.
+    let join_hi = duration_d / 2;
+    for w in walkers - late_joiners..walkers {
+        events.push(ScenarioEvent::Join {
+            at: ms(&mut rng, SimDuration::from_millis(300), join_hi),
+            walker: w,
+            at_ap: rng.index(attachments),
+        });
+    }
+    // Handoffs: walk each mover's attachment chain so every hop goes to a
+    // *different* attachment (same-attachment handoffs are no-ops).
+    if cfg.allow_mobility && attachments >= 2 {
+        let handoff_hi = duration_d.saturating_sub(SimDuration::from_secs(1));
+        for (w, placement) in placements.iter().enumerate().take(walkers - late_joiners) {
+            let hops = rng.index(4); // 0..=3
+            if hops == 0 {
+                continue;
+            }
+            let mut times: Vec<SimTime> = (0..hops)
+                .map(|_| ms(&mut rng, SimDuration::from_millis(400), handoff_hi))
+                .collect();
+            times.sort_unstable();
+            let mut current = placement.expect("initial walkers are placed");
+            for at in times {
+                let mut to = rng.index(attachments);
+                if to == current {
+                    to = (to + 1) % attachments;
+                }
+                events.push(ScenarioEvent::Handoff { at, walker: w, to });
+                current = to;
+            }
+        }
+    }
+    // Faults. Heavy faults (core kill, partition, token drop) are capped at
+    // two per scenario so recoveries do not pile past the closing window.
+    let mut heavy = 0;
+    if can_fault {
+        let fault_time = |rng: &mut SimRng| ms(rng, fault_lo, fault_hi);
+        if cfg.allow_walker_kills && walkers > 2 && rng.chance(0.25) {
+            events.push(ScenarioEvent::KillWalker {
+                at: fault_time(&mut rng),
+                walker: rng.index(walkers - late_joiners),
+            });
+        }
+        if cfg.allow_ap_crash_restart && rng.chance(0.35) {
+            let ap = rng.index(attachments);
+            let crash = fault_time(&mut rng);
+            let latest = duration - (cfg.liveness_window + SimDuration::from_millis(500));
+            let restart =
+                (crash + SimDuration::from_millis(300 + rng.range_u64(0, 900))).min(latest);
+            events.push(ScenarioEvent::ApCrash { at: crash, ap });
+            events.push(ScenarioEvent::ApRestart {
+                at: restart.max(crash),
+                ap,
+            });
+        }
+        if cfg.allow_core_kills && core_len > sources + 1 && rng.chance(0.3) {
+            // Never a source-bearing entity (indices < sources in every
+            // KillCore-implementing backend).
+            events.push(ScenarioEvent::KillCore {
+                at: fault_time(&mut rng),
+                index: sources + rng.index(core_len - sources),
+            });
+            heavy += 1;
+        }
+        if cfg.allow_partitions && heavy < 2 && rng.chance(0.3) {
+            // One endpoint below the RingNet BR tier, one in the AG tier —
+            // never a top-ring pair (a partitioned ordering ring is a
+            // split-brain world no total-order protocol can win).
+            let brs = sources.max(2);
+            if core_len > brs {
+                let a = rng.index(brs);
+                let b = brs + rng.index(core_len - brs);
+                let down = fault_time(&mut rng);
+                let latest = duration - cfg.liveness_window;
+                let heal =
+                    (down + SimDuration::from_millis(300 + rng.range_u64(0, 700))).min(latest);
+                events.push(ScenarioEvent::PartitionCore { at: down, a, b });
+                events.push(ScenarioEvent::HealCore {
+                    at: heal.max(down),
+                    a,
+                    b,
+                });
+                heavy += 1;
+            }
+        }
+        if cfg.allow_token_drop && heavy < 2 && rng.chance(0.3) {
+            events.push(ScenarioEvent::DropToken {
+                at: fault_time(&mut rng),
+            });
+        }
+    }
+    events.sort_by_key(|e| e.at());
+
+    let sc = b
+        .walkers(placements)
+        .sources(sources)
+        .pattern(pattern)
+        .window(start, None)
+        .wireless(wireless_profile(&mut rng, cfg.allow_lossy_wireless))
+        .aps_always_active(rng.chance(0.5))
+        .events(events)
+        .duration(duration)
+        .build();
+    debug_assert!(sc.validate().is_empty());
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_scenarios_are_valid_and_deterministic() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..64 {
+            let sc = generate(&cfg, seed);
+            assert!(sc.validate().is_empty(), "seed {seed}: {:?}", sc.validate());
+            let again = generate(&cfg, seed);
+            assert_eq!(sc.events, again.events, "seed {seed} not deterministic");
+            assert_eq!(sc.walkers, again.walkers);
+        }
+    }
+
+    #[test]
+    fn space_is_actually_explored() {
+        let cfg = ChaosConfig::default();
+        let mut saw_grid = false;
+        let mut saw_fault = false;
+        let mut saw_joiner = false;
+        let mut saw_lossy = false;
+        for seed in 0..128 {
+            let sc = generate(&cfg, seed);
+            saw_grid |= sc.grid_cols.is_some();
+            saw_joiner |= sc.walkers.iter().any(|w| w.is_none());
+            saw_fault |= sc.events.iter().any(|e| {
+                !matches!(
+                    e,
+                    ScenarioEvent::Handoff { .. } | ScenarioEvent::Join { .. }
+                )
+            });
+            saw_lossy |= sc.links.wireless.loss.steady_state_loss() > 0.0;
+        }
+        assert!(saw_grid && saw_fault && saw_joiner && saw_lossy);
+    }
+
+    #[test]
+    fn toggles_suppress_their_faults() {
+        let cfg = ChaosConfig {
+            allow_mobility: false,
+            allow_late_joins: false,
+            allow_walker_kills: false,
+            allow_core_kills: false,
+            allow_ap_crash_restart: false,
+            allow_partitions: false,
+            allow_token_drop: false,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..32 {
+            let sc = generate(&cfg, seed);
+            assert!(sc.events.is_empty(), "seed {seed}: {:?}", sc.events);
+        }
+    }
+}

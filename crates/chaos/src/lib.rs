@@ -1,0 +1,48 @@
+//! # chaos — randomized scenarios, fault injection and an online auditor
+//!
+//! The paper's whole claim is that the protocol stays reliable and totally
+//! ordered *under mobility and failure* — yet a hand-written scenario only
+//! exercises the failures its author thought of. This crate turns the
+//! [`MulticastSim`](ringnet_core::driver::MulticastSim) facade into a
+//! property-based testing rig:
+//!
+//! * [`gen`] — a seeded **scenario generator** that samples valid random
+//!   [`Scenario`](ringnet_core::driver::Scenario)s: grid shape, walker
+//!   counts, traffic pattern, link profiles (incl. Gilbert–Elliott bursty
+//!   wireless), handoff schedules, late joins, and a fault schedule drawn
+//!   from the full repertoire (walker/core kills, AP crash + restart,
+//!   wired-core partitions with heal, forced token loss).
+//! * [`audit`] — an **online auditor** fed one protocol event at a time
+//!   (from a finished journal or straight from the simulator's journal
+//!   sink, like the streaming metrics accumulator) that checks, per
+//!   delivery, total-order agreement across members, gap-freedom per
+//!   stream modulo recorded skips, duplicate-free GSN assignment, and
+//!   post-fault liveness windows — reporting the *first* violation with
+//!   full context.
+//! * [`shrink`] — a delta-debugging **shrinker** that minimizes a failing
+//!   scenario by deleting events and truncating the run window while the
+//!   failure still reproduces.
+//! * [`soak`] — the generate → run → audit → (on failure) shrink loop over
+//!   every backend, driven by the `chaos_soak` binary:
+//!
+//! ```text
+//! cargo run --release -p ringnet-chaos --bin chaos_soak -- --seeds 200
+//! cargo run --release -p ringnet-chaos --bin chaos_soak -- --seed 1337   # reproduce
+//! ```
+//!
+//! Determinism contract: `(ChaosConfig, seed)` fully determines the
+//! scenario, and `(scenario, seed)` fully determines every backend's run,
+//! so a failing seed printed by the soak reproduces exactly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+pub mod gen;
+pub mod shrink;
+pub mod soak;
+
+pub use audit::{AuditConfig, AuditReport, Auditor, LivenessCheck, Violation, ViolationKind};
+pub use gen::{generate, ChaosConfig};
+pub use shrink::shrink;
+pub use soak::{audit_scenario_run, soak_seed, Backend, SoakFailure, SoakOutcome};

@@ -1,0 +1,133 @@
+//! Scenario minimization (delta debugging).
+//!
+//! [`shrink`] takes a failing scenario and a predicate that re-runs the
+//! failure check, and greedily simplifies while the predicate still holds:
+//! first events are deleted in shrinking chunks (classic ddmin), then the
+//! run window is truncated. The result is the smallest schedule this
+//! procedure can find that still reproduces the failure — usually one or
+//! two events instead of a dozen, which turns "seed 1337 fails" into a
+//! diagnosis.
+//!
+//! The predicate receives every candidate; it is expected to re-run the
+//! backend and the auditor (and, ideally, match on the original violation
+//! *kind* so the minimization cannot drift onto an unrelated failure).
+//! Candidates are pre-validated — the predicate never sees an invalid
+//! scenario.
+
+use ringnet_core::driver::Scenario;
+use simnet::{SimDuration, SimTime};
+
+/// Minimize `sc` while `still_fails` holds. See the module docs.
+pub fn shrink(sc: &Scenario, mut still_fails: impl FnMut(&Scenario) -> bool) -> Scenario {
+    let mut best = sc.clone();
+
+    // ---- ddmin over the event schedule --------------------------------
+    let mut chunk = best.events.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < best.events.len() {
+            let mut cand = best.clone();
+            let hi = (i + chunk).min(cand.events.len());
+            cand.events.drain(i..hi);
+            if cand.validate().is_empty() && still_fails(&cand) {
+                best = cand;
+                removed_any = true;
+                // Do not advance: the next chunk slid into position i.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // ---- truncate the run window --------------------------------------
+    // Shortest window that still covers every remaining event plus a
+    // little tail; then try binary-search-style halvings above that floor.
+    let last_event = best
+        .events
+        .iter()
+        .map(|e| e.at())
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let floor = last_event + SimDuration::from_millis(500);
+    let mut lo = floor;
+    while lo < best.duration {
+        let mid = SimTime::from_nanos((lo.as_nanos() + best.duration.as_nanos()) / 2);
+        if mid >= best.duration {
+            break;
+        }
+        let mut cand = best.clone();
+        cand.duration = mid;
+        if cand.validate().is_empty() && still_fails(&cand) {
+            best = cand;
+            lo = floor;
+        } else {
+            lo = mid + SimDuration::from_nanos(1);
+        }
+        // Stop once the bracket is below measurement noise.
+        if best.duration.saturating_since(lo) < SimDuration::from_millis(200) {
+            break;
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringnet_core::driver::{ScenarioBuilder, ScenarioEvent};
+
+    fn scenario_with_events(n: usize) -> Scenario {
+        let mut b = ScenarioBuilder::new()
+            .attachments(4)
+            .walkers_per_attachment(1)
+            .duration(SimTime::from_secs(10));
+        for i in 0..n {
+            b = b.event(ScenarioEvent::Handoff {
+                at: SimTime::from_millis(500 + 100 * i as u64),
+                walker: i % 4,
+                to: (i + 1) % 4,
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit_event() {
+        let sc = scenario_with_events(16);
+        let culprit = sc.events[11];
+        // "Fails" whenever the culprit event is still in the schedule.
+        let shrunk = shrink(&sc, |cand| cand.events.contains(&culprit));
+        assert_eq!(shrunk.events, vec![culprit]);
+        // Duration truncated toward the culprit's time.
+        assert!(shrunk.duration < SimTime::from_secs(10));
+        assert!(shrunk.duration >= culprit.at());
+    }
+
+    #[test]
+    fn shrinks_pairs_that_must_stay_together() {
+        let sc = scenario_with_events(12);
+        let a = sc.events[2];
+        let b = sc.events[9];
+        let shrunk = shrink(&sc, |cand| {
+            cand.events.contains(&a) && cand.events.contains(&b)
+        });
+        assert_eq!(shrunk.events, vec![a, b]);
+    }
+
+    #[test]
+    fn unshrinkable_failure_keeps_everything_needed() {
+        let sc = scenario_with_events(3);
+        // Failure independent of events: everything is deleted.
+        let shrunk = shrink(&sc, |_| true);
+        assert!(shrunk.events.is_empty());
+    }
+}

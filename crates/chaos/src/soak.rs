@@ -1,0 +1,312 @@
+//! The generate → run → audit → (on failure) shrink loop.
+//!
+//! A [`Backend`] names one of the six [`MulticastSim`] implementations;
+//! [`soak_seed`] drives one generated scenario through a set of backends
+//! and audits each run with the checks that backend actually promises
+//! (see [`Backend::audit_config`]). On a violation, the scenario is
+//! minimized with [`shrink`](crate::shrink::shrink) against the *same*
+//! backend and violation kind before being reported.
+
+use std::collections::BTreeSet;
+
+use baselines::{FlatRingSim, RelmSim, TreeSim, TunnelSim, UnorderedSim};
+use ringnet_core::driver::{MulticastSim, RunReport, Scenario, ScenarioEvent};
+use ringnet_core::RingNetSim;
+use simnet::{SimDuration, SimTime};
+
+use crate::audit::{AuditConfig, AuditReport, Auditor, LivenessCheck, Violation};
+use crate::gen::ChaosConfig;
+
+/// One of the six `MulticastSim` backends, dispatchable by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The paper's protocol on the BR/AG/AP hierarchy.
+    RingNet,
+    /// One flat logical ring over every station.
+    FlatRing,
+    /// Degenerate-ring (MIP-RS style) tree multicast.
+    Tree,
+    /// RingNet without total ordering (per-source FIFO only).
+    Unordered,
+    /// MIP-BT home-agent tunnelling.
+    Tunnel,
+    /// RelM-style centralized supervisor.
+    Relm,
+}
+
+impl Backend {
+    /// All six, in the order the conformance suite uses.
+    pub const ALL: [Backend; 6] = [
+        Backend::RingNet,
+        Backend::FlatRing,
+        Backend::Tree,
+        Backend::Relm,
+        Backend::Tunnel,
+        Backend::Unordered,
+    ];
+
+    /// Stable name (CLI + reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::RingNet => "ringnet",
+            Backend::FlatRing => "flat_ring",
+            Backend::Tree => "tree",
+            Backend::Unordered => "unordered",
+            Backend::Tunnel => "tunnel",
+            Backend::Relm => "relm",
+        }
+    }
+
+    /// Parse a [`Backend::name`].
+    pub fn parse(s: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == s)
+    }
+
+    /// Run one scenario end to end on this backend.
+    pub fn run(self, sc: &Scenario, seed: u64) -> RunReport {
+        match self {
+            Backend::RingNet => RingNetSim::run_scenario(sc, seed),
+            Backend::FlatRing => FlatRingSim::run_scenario(sc, seed),
+            Backend::Tree => TreeSim::run_scenario(sc, seed),
+            Backend::Unordered => UnorderedSim::run_scenario(sc, seed),
+            Backend::Tunnel => TunnelSim::run_scenario(sc, seed),
+            Backend::Relm => RelmSim::run_scenario(sc, seed),
+        }
+    }
+
+    /// The audit this backend's promises support:
+    ///
+    /// * GSN checks for every totally-ordered backend (all but unordered,
+    ///   whose `gsn` field is a per-stream number);
+    /// * gap-freedom only for the RingNet-engine family, which records
+    ///   per-GSN skips (tunnel/RelM drop silently under loss);
+    /// * liveness only for RingNet — the one backend that claims to
+    ///   *recover* from the whole fault repertoire. `window` comes from
+    ///   the chaos config; exemptions are derived from the scenario.
+    pub fn audit_config(self, sc: &Scenario, cfg: &ChaosConfig) -> AuditConfig {
+        let (gsn, gaps) = match self {
+            Backend::RingNet | Backend::FlatRing | Backend::Tree => (true, true),
+            Backend::Tunnel | Backend::Relm => (true, false),
+            Backend::Unordered => (false, false),
+        };
+        let liveness = match self {
+            Backend::RingNet => Some(LivenessCheck {
+                window: cfg.liveness_window,
+                walkers: live_walkers(sc, cfg),
+            }),
+            _ => None,
+        };
+        AuditConfig {
+            check_gsn_order: gsn,
+            check_gap_freedom: gaps,
+            liveness,
+        }
+    }
+}
+
+/// The walkers expected to still make progress at the end of the run:
+/// everyone except crash-stopped walkers, late joiners that never (or too
+/// late) join, and walkers that can be stranded on an attachment that
+/// crashed and never restarted.
+pub fn live_walkers(sc: &Scenario, cfg: &ChaosConfig) -> Vec<u32> {
+    let mut exempt: BTreeSet<usize> = BTreeSet::new();
+    let join_cutoff = sc.duration - (cfg.liveness_window + SimDuration::from_millis(500));
+    for (w, initial) in sc.walkers.iter().enumerate() {
+        if initial.is_none() {
+            let joins_in_time = sc.events.iter().any(|e| {
+                matches!(e, ScenarioEvent::Join { walker, at, .. }
+                         if *walker == w && *at <= join_cutoff)
+            });
+            if !joins_in_time {
+                exempt.insert(w);
+            }
+        }
+    }
+    for ev in &sc.events {
+        if let ScenarioEvent::KillWalker { walker, .. } = ev {
+            exempt.insert(*walker);
+        }
+    }
+    // Attachments that crash and never restart strand their residents.
+    for ev in &sc.events {
+        let ScenarioEvent::ApCrash { at: crash, ap } = *ev else {
+            continue;
+        };
+        let restarted = sc.events.iter().any(
+            |e| matches!(e, ScenarioEvent::ApRestart { at, ap: r } if *r == ap && *at >= crash),
+        );
+        if restarted {
+            continue;
+        }
+        for w in 0..sc.walkers.len() {
+            if resides_at(sc, w, ap, crash) {
+                exempt.insert(w);
+            }
+        }
+    }
+    (0..sc.walkers.len() as u32)
+        .filter(|w| !exempt.contains(&(*w as usize)))
+        .collect()
+}
+
+/// True when walker `w`'s scheduled attachment chain places it at
+/// attachment `ap` at any time in `[from, duration]`: it is there at
+/// `from`, or a later scheduled join/handoff moves it there.
+fn resides_at(sc: &Scenario, w: usize, ap: usize, from: SimTime) -> bool {
+    let mut chain: Vec<(SimTime, usize)> = Vec::new();
+    if let Some(initial) = sc.walkers[w] {
+        chain.push((SimTime::ZERO, initial));
+    }
+    chain.extend(sc.events.iter().filter_map(|e| match *e {
+        ScenarioEvent::Join { at, walker, at_ap } if walker == w => Some((at, at_ap)),
+        ScenarioEvent::Handoff { at, walker, to } if walker == w => Some((at, to)),
+        _ => None,
+    }));
+    chain.sort_by_key(|(t, _)| *t);
+    let at_from = chain
+        .iter()
+        .rev()
+        .find(|(t, _)| *t <= from)
+        .map(|(_, a)| *a);
+    at_from == Some(ap)
+        || chain
+            .iter()
+            .any(|(t, a)| *t > from && *t <= sc.duration && *a == ap)
+}
+
+/// Run one `(scenario, seed)` on one backend and audit the journal through
+/// the streaming auditor. Returns the audit report.
+pub fn audit_scenario_run(
+    sc: &Scenario,
+    seed: u64,
+    backend: Backend,
+    cfg: &ChaosConfig,
+) -> AuditReport {
+    let report = backend.run(sc, seed);
+    let mut auditor = Auditor::new(backend.audit_config(sc, cfg));
+    auditor.observe_journal(&report.journal);
+    auditor.finish(sc.duration)
+}
+
+/// What one soaked seed produced on one backend.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    /// Which backend ran.
+    pub backend: Backend,
+    /// Deliveries audited.
+    pub deliveries: u64,
+    /// Skips audited.
+    pub skips: u64,
+}
+
+/// A violating seed, with the minimized reproduction.
+#[derive(Debug)]
+pub struct SoakFailure {
+    /// The backend that violated.
+    pub backend: Backend,
+    /// The generator seed (reproduce with `chaos_soak --seed N`).
+    pub seed: u64,
+    /// The first violation of the *original* scenario.
+    pub violation: Violation,
+    /// The shrunk scenario that still reproduces the violation kind.
+    pub shrunk: Scenario,
+    /// Events remaining after shrinking (of the original count).
+    pub shrunk_events: usize,
+    /// Events in the generated scenario.
+    pub original_events: usize,
+}
+
+/// Generate the seed's scenario, run it on every requested backend, audit,
+/// and on the first violation shrink and return the failure.
+pub fn soak_seed(
+    cfg: &ChaosConfig,
+    seed: u64,
+    backends: &[Backend],
+    shrink_failures: bool,
+) -> Result<Vec<SoakOutcome>, Box<SoakFailure>> {
+    let sc = crate::gen::generate(cfg, seed);
+    let mut outcomes = Vec::with_capacity(backends.len());
+    for &backend in backends {
+        let report = audit_scenario_run(&sc, seed, backend, cfg);
+        if let Some(violation) = report.first_violation {
+            let kind = violation.kind;
+            let shrunk = if shrink_failures {
+                crate::shrink::shrink(&sc, |cand| {
+                    audit_scenario_run(cand, seed, backend, cfg)
+                        .first_violation
+                        .is_some_and(|v| v.kind == kind)
+                })
+            } else {
+                sc.clone()
+            };
+            return Err(Box::new(SoakFailure {
+                backend,
+                seed,
+                violation,
+                original_events: sc.events.len(),
+                shrunk_events: shrunk.events.len(),
+                shrunk,
+            }));
+        }
+        outcomes.push(SoakOutcome {
+            backend,
+            deliveries: report.deliveries,
+            skips: report.skips,
+        });
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_walker_derivation() {
+        let cfg = ChaosConfig::default();
+        let mut sc = ringnet_core::driver::ScenarioBuilder::new()
+            .attachments(3)
+            .walkers(vec![Some(0), Some(1), Some(2), None])
+            .duration(SimTime::from_secs(6))
+            .build();
+        // Walker 3 never joins → exempt. Walker 1 killed → exempt.
+        sc.events.push(ScenarioEvent::KillWalker {
+            at: SimTime::from_secs(2),
+            walker: 1,
+        });
+        assert_eq!(live_walkers(&sc, &cfg), vec![0, 2]);
+        // Walker 2 rides out the run on attachment 2; crash it for good.
+        sc.events.push(ScenarioEvent::ApCrash {
+            at: SimTime::from_secs(3),
+            ap: 2,
+        });
+        assert_eq!(live_walkers(&sc, &cfg), vec![0]);
+        // A restart un-strands it.
+        sc.events.push(ScenarioEvent::ApRestart {
+            at: SimTime::from_secs(4),
+            ap: 2,
+        });
+        assert_eq!(live_walkers(&sc, &cfg), vec![0, 2]);
+    }
+
+    #[test]
+    fn handoff_into_dead_ap_strands() {
+        let cfg = ChaosConfig::default();
+        let mut sc = ringnet_core::driver::ScenarioBuilder::new()
+            .attachments(3)
+            .walkers(vec![Some(0)])
+            .duration(SimTime::from_secs(6))
+            .build();
+        sc.events.push(ScenarioEvent::ApCrash {
+            at: SimTime::from_secs(2),
+            ap: 1,
+        });
+        assert_eq!(live_walkers(&sc, &cfg), vec![0], "not resident at 1");
+        sc.events.push(ScenarioEvent::Handoff {
+            at: SimTime::from_secs(3),
+            walker: 0,
+            to: 1,
+        });
+        assert!(live_walkers(&sc, &cfg).is_empty(), "walks into the outage");
+    }
+}

@@ -17,17 +17,28 @@ use crate::node::NeState;
 
 impl NeState {
     /// A child attaches (or re-attaches) and asks for the stream after
-    /// `resume_from`.
+    /// `resume_from`. A `resync` child (crash-restart with empty state)
+    /// is registered at our *current* front instead: it will fast-forward
+    /// there from the `GraftAck`, so replaying the retained window would
+    /// only be discarded as stale on arrival.
     pub(crate) fn on_graft(
         &mut self,
         now: SimTime,
         child: NodeId,
         resume_from: GlobalSeq,
+        resync: bool,
         out: &mut Outbox,
     ) {
+        let resume_from = if resync { self.mq.front() } else { resume_from };
         let newly = self.children.insert(child, now).is_none();
         self.wt_children.register(child, resume_from);
-        out.push(Action::to_ne(child, Msg::GraftAck { group: self.group }));
+        out.push(Action::to_ne(
+            child,
+            Msg::GraftAck {
+                group: self.group,
+                front: self.mq.front(),
+            },
+        ));
         self.counters.control_sent += 1;
         if newly {
             out.push(Action::Record(ProtoEvent::Grafted {
@@ -38,13 +49,20 @@ impl NeState {
         self.send_catchup(Endpoint::Ne(child), resume_from, out);
     }
 
-    /// Our own graft was accepted by the parent.
-    pub(crate) fn on_graft_ack(&mut self, _now: SimTime, from: Endpoint) {
+    /// Our own graft was accepted by the parent. After a crash-restart the
+    /// first accepted graft fast-forwards the (freshly empty) `MQ` to the
+    /// parent's announced front: history from before the crash is not
+    /// recoverable, and chasing it would only produce NACK storms.
+    pub(crate) fn on_graft_ack(&mut self, _now: SimTime, from: Endpoint, front: GlobalSeq) {
         let Endpoint::Ne(p) = from else { return };
         if self.parent == Some(p) {
             self.parent_hb_outstanding = 0;
             if let Some(ap) = self.ap.as_mut() {
                 ap.grafted = true;
+            }
+            if self.resync_on_graft {
+                self.resync_on_graft = false;
+                self.mq.fast_forward(front);
             }
         }
     }
@@ -168,6 +186,7 @@ impl NeState {
     pub(crate) fn ensure_active_grafted(&mut self, now: SimTime, out: &mut Outbox) {
         let group = self.group;
         let resume_from = self.mq.front();
+        let resync = self.resync_on_graft;
         let Some(ap) = self.ap.as_mut() else { return };
         if !ap.should_be_active(now) || ap.grafted {
             return;
@@ -188,6 +207,7 @@ impl NeState {
                 group,
                 child: self.id,
                 resume_from,
+                resync,
             },
         ));
         self.counters.control_sent += 1;
@@ -293,7 +313,7 @@ mod tests {
     fn graft_registers_child_and_replays_window() {
         let mut n = ag_with_content(5);
         let mut out = Vec::new();
-        n.on_graft(SimTime::ZERO, NodeId(99), GlobalSeq(2), &mut out);
+        n.on_graft(SimTime::ZERO, NodeId(99), GlobalSeq(2), false, &mut out);
         assert!(n.children.contains_key(&NodeId(99)));
         assert_eq!(n.wt_children.progress(NodeId(99)), Some(GlobalSeq(2)));
         let datas: Vec<GlobalSeq> = out
@@ -319,7 +339,13 @@ mod tests {
             .any(|a| matches!(a, Action::Record(ProtoEvent::Grafted { .. }))));
         // Re-graft: no second Grafted record.
         out.clear();
-        n.on_graft(SimTime::from_millis(1), NodeId(99), GlobalSeq(5), &mut out);
+        n.on_graft(
+            SimTime::from_millis(1),
+            NodeId(99),
+            GlobalSeq(5),
+            false,
+            &mut out,
+        );
         assert!(!out
             .iter()
             .any(|a| matches!(a, Action::Record(ProtoEvent::Grafted { .. }))));
@@ -329,7 +355,7 @@ mod tests {
     fn prune_removes_child() {
         let mut n = ag_with_content(1);
         let mut out = Vec::new();
-        n.on_graft(SimTime::ZERO, NodeId(99), GlobalSeq::ZERO, &mut out);
+        n.on_graft(SimTime::ZERO, NodeId(99), GlobalSeq::ZERO, false, &mut out);
         out.clear();
         n.on_prune(SimTime::ZERO, NodeId(99), &mut out);
         assert!(n.children.is_empty());
@@ -456,8 +482,46 @@ mod tests {
         assert_eq!(grafts.len(), 1);
         assert_eq!(n.parent, Some(NodeId(20)));
         // GraftAck completes the attachment.
-        n.on_graft_ack(SimTime::ZERO, Endpoint::Ne(NodeId(20)));
+        n.on_graft_ack(SimTime::ZERO, Endpoint::Ne(NodeId(20)), GlobalSeq::ZERO);
         assert!(n.ap.as_ref().unwrap().grafted);
+    }
+
+    #[test]
+    fn restart_resync_fast_forwards_to_parent_front() {
+        let mut n = ap(true, vec![]);
+        let mut out = Vec::new();
+        // Crash and restart: state wiped, resync armed, re-graft sent.
+        n.kill();
+        n.restart(SimTime::from_secs(1), &mut out);
+        assert!(n.resync_on_graft);
+        assert_eq!(n.mq.front(), GlobalSeq::ZERO);
+        // Parent accepts, announcing its front at 40.
+        n.on_graft_ack(
+            SimTime::from_secs(1),
+            Endpoint::Ne(NodeId(20)),
+            GlobalSeq(41),
+        );
+        assert!(!n.resync_on_graft, "resync consumed");
+        assert_eq!(
+            n.mq.front(),
+            GlobalSeq(41),
+            "fresh MQ fast-forwarded to the parent's front"
+        );
+        // A later re-graft ack must NOT fast-forward again.
+        out.clear();
+        n.on_data(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(20)),
+            GlobalSeq(42),
+            data(42),
+            &mut out,
+        );
+        n.on_graft_ack(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(20)),
+            GlobalSeq(50),
+        );
+        assert_eq!(n.mq.front(), GlobalSeq(42), "established child unaffected");
     }
 
     #[test]

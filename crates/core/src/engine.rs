@@ -97,9 +97,30 @@ struct NeActor {
     /// Reused destination buffer for fan-out batching.
     dst_buf: Vec<NodeAddr>,
     originate_token: bool,
+    /// Crash-restart generation, encoded into every periodic-timer tag
+    /// (`base | gen << 3`). Pending pre-crash timers survive in the event
+    /// queue across a revival; their stale generation makes them fall dead
+    /// instead of rescheduling a duplicate tick chain.
+    timer_gen: u64,
 }
 
 impl NeActor {
+    fn tag(&self, base: u64) -> u64 {
+        base | (self.timer_gen << 3)
+    }
+
+    /// Arm the periodic tick chains (start-up and crash-restart revival).
+    fn arm_periodic(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
+        let cfg = &self.st.cfg;
+        ctx.set_timer(cfg.hop_tick, self.tag(TAG_HOP));
+        ctx.set_timer(cfg.heartbeat_period, self.tag(TAG_HEARTBEAT));
+        if self.st.is_top_ring() {
+            ctx.set_timer(cfg.order_assign_period, self.tag(TAG_ORDER_ASSIGN));
+        }
+        if !cfg.stats_sample_period.is_zero() {
+            ctx.set_timer(cfg.stats_sample_period, self.tag(TAG_STATS));
+        }
+    }
     fn flush(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
         let mut dsts = std::mem::take(&mut self.dst_buf);
         let mut it = self.out.drain(..).peekable();
@@ -141,15 +162,7 @@ impl NeActor {
 impl Actor<Msg, ProtoEvent> for NeActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
         let now = ctx.now();
-        let cfg = self.st.cfg.clone();
-        ctx.set_timer(cfg.hop_tick, TAG_HOP);
-        ctx.set_timer(cfg.heartbeat_period, TAG_HEARTBEAT);
-        if self.st.is_top_ring() {
-            ctx.set_timer(cfg.order_assign_period, TAG_ORDER_ASSIGN);
-        }
-        if !cfg.stats_sample_period.is_zero() {
-            ctx.set_timer(cfg.stats_sample_period, TAG_STATS);
-        }
+        self.arm_periodic(ctx);
         if self.originate_token {
             self.st.originate_token(now, &mut self.out);
         }
@@ -162,27 +175,39 @@ impl Actor<Msg, ProtoEvent> for NeActor {
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>, from: NodeAddr, msg: Msg) {
         let from_ep = self.map.endpoint_of(from);
         let now = ctx.now();
+        let was_alive = self.st.alive;
         self.st.on_msg(now, from_ep, msg, &mut self.out);
+        if !was_alive && self.st.alive {
+            // Crash-restart revival: the periodic timers died with the
+            // entity (dead entities stop rescheduling); re-arm them under
+            // a new generation so pre-crash pending timers fall dead
+            // instead of doubling the tick chains.
+            self.timer_gen += 1;
+            self.arm_periodic(ctx);
+        }
         self.flush(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>, tag: u64) {
+        if (tag >> 3) != self.timer_gen {
+            return; // stale chain from before a crash-restart
+        }
         if !self.st.alive {
             return; // dead entities stop rescheduling
         }
         let now = ctx.now();
-        match tag {
+        match tag & 0x7 {
             TAG_ORDER_ASSIGN => {
                 self.st.tick_order_assign(now, &mut self.out);
-                ctx.set_timer(self.st.cfg.order_assign_period, TAG_ORDER_ASSIGN);
+                ctx.set_timer(self.st.cfg.order_assign_period, self.tag(TAG_ORDER_ASSIGN));
             }
             TAG_HOP => {
                 self.st.tick_hop(now, &mut self.out);
-                ctx.set_timer(self.st.cfg.hop_tick, TAG_HOP);
+                ctx.set_timer(self.st.cfg.hop_tick, self.tag(TAG_HOP));
             }
             TAG_HEARTBEAT => {
                 self.st.tick_heartbeat(now, &mut self.out);
-                ctx.set_timer(self.st.cfg.heartbeat_period, TAG_HEARTBEAT);
+                ctx.set_timer(self.st.cfg.heartbeat_period, self.tag(TAG_HEARTBEAT));
             }
             TAG_STATS => {
                 self.out.push(Action::Record(ProtoEvent::BufferSample {
@@ -190,7 +215,7 @@ impl Actor<Msg, ProtoEvent> for NeActor {
                     wq: self.st.wq.as_ref().map_or(0, |w| w.occupancy() as u32),
                     mq: self.st.mq.occupancy() as u32,
                 }));
-                ctx.set_timer(self.st.cfg.stats_sample_period, TAG_STATS);
+                ctx.set_timer(self.st.cfg.stats_sample_period, self.tag(TAG_STATS));
             }
             _ => {}
         }
@@ -333,6 +358,7 @@ pub fn boxed_ne_actor(
         out: Vec::with_capacity(32),
         dst_buf: Vec::new(),
         originate_token,
+        timer_gen: 0,
     })
 }
 
@@ -439,6 +465,7 @@ impl RingNetSim {
                 out: Vec::with_capacity(32),
                 dst_buf: Vec::new(),
                 originate_token: token_origin == Some(br),
+                timer_gen: 0,
             }));
             debug_assert_eq!(Some(addr), map.ne(br));
         }
@@ -457,6 +484,7 @@ impl RingNetSim {
                     out: Vec::with_capacity(32),
                     dst_buf: Vec::new(),
                     originate_token: false,
+                    timer_gen: 0,
                 }));
             }
         }
@@ -475,6 +503,7 @@ impl RingNetSim {
                 out: Vec::with_capacity(32),
                 dst_buf: Vec::new(),
                 originate_token: false,
+                timer_gen: 0,
             }));
         }
         for (i, src) in spec.sources.iter().enumerate() {
@@ -646,6 +675,46 @@ impl RingNetSim {
         self.sim.world().schedule_control(at, move |w| {
             if let Some(addr) = map.ne(node) {
                 w.inject(addr, addr, Msg::Kill { group }, SimDuration::ZERO);
+            }
+        });
+    }
+
+    /// Schedule a restart of a crashed access proxy at `at` (see
+    /// [`crate::node::NeState::restart`]). Non-AP entities ignore it.
+    pub fn schedule_restart_ne(&mut self, at: SimTime, node: NodeId) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        self.sim.world().schedule_control(at, move |w| {
+            if let Some(addr) = map.ne(node) {
+                w.inject(addr, addr, Msg::Restart { group }, SimDuration::ZERO);
+            }
+        });
+    }
+
+    /// Schedule an administrative up/down change of every direct link
+    /// between two entities at `at` (wired partition / heal fault
+    /// injection). Pairs without a direct link are a no-op.
+    pub fn schedule_link_state(&mut self, at: SimTime, a: NodeId, b: NodeId, up: bool) {
+        let map = Arc::clone(&self.addrs);
+        self.sim.world().schedule_control(at, move |w| {
+            if let (Some(aa), Some(ba)) = (map.ne(a), map.ne(b)) {
+                w.topo.set_duplex_up(aa, ba, up);
+            }
+        });
+    }
+
+    /// Schedule forced token loss at `at`: every top-ring node is armed to
+    /// black-hole the next current-epoch token it receives (the first
+    /// transfer after `at` vanishes; Token-Regeneration must recover).
+    pub fn schedule_token_drop(&mut self, at: SimTime) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        let ring = self.spec.top_ring.clone();
+        self.sim.world().schedule_control(at, move |w| {
+            for &node in &ring {
+                if let Some(addr) = map.ne(node) {
+                    w.inject(addr, addr, Msg::DropToken { group }, SimDuration::ZERO);
+                }
             }
         });
     }

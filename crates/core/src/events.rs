@@ -96,6 +96,15 @@ pub enum ProtoEvent {
         /// Epoch of the destroyed instance.
         epoch: Epoch,
     },
+    /// A token was black-holed by fault injection ([`forced token
+    /// loss`](crate::msg::Msg::DropToken)); the Token-Regeneration
+    /// machinery is expected to recover from this point.
+    TokenDropped {
+        /// The node that swallowed the token.
+        node: NodeId,
+        /// Epoch of the dropped instance.
+        epoch: Epoch,
+    },
     /// A ring node bypassed a dead neighbour.
     RingRepaired {
         /// The repairing node.

@@ -38,10 +38,19 @@ impl NeState {
                 out.push(Action::to_ne(n, Msg::HeartbeatAck { group }));
             }
             Endpoint::Mh(g) => {
+                let mut known = false;
                 if let Some(ap) = self.ap.as_mut() {
                     if ap.wt.progress(g).is_some() {
                         ap.last_heard.insert(g, now);
+                        known = true;
                     }
+                }
+                if !known && self.ap.is_some() {
+                    // An MH we do not know keeps probing us: our WT entry is
+                    // gone (crash-restart amnesia) or its registration was
+                    // lost on the wireless hop. Ask it to register again.
+                    out.push(Action::to_mh(g, Msg::ReRegister { group }));
+                    self.counters.control_sent += 1;
                 }
                 out.push(Action::to_mh(g, Msg::HeartbeatAck { group }));
             }
@@ -64,6 +73,13 @@ impl NeState {
 
     /// Another ring member announced a bypassed failure.
     pub(crate) fn on_ring_fail(&mut self, now: SimTime, failed: NodeId, out: &mut Outbox) {
+        if failed == self.id {
+            // A false conviction: a partitioned neighbour declared us dead,
+            // but we are processing this message, so we are not. Marking
+            // ourselves dead would corrupt our own ring view (up to an
+            // empty alive set); ignore the announcement instead.
+            return;
+        }
         let Some(r) = self.ring.as_mut() else { return };
         if !r.mark_dead(failed) {
             return;
@@ -223,6 +239,7 @@ impl NeState {
                         group,
                         child: self.id,
                         resume_from: self.mq.front(),
+                        resync: false,
                     },
                 ));
                 self.counters.control_sent += 1;
@@ -264,6 +281,7 @@ impl NeState {
                             group,
                             child: self.id,
                             resume_from: self.mq.front(),
+                            resync: self.resync_on_graft,
                         },
                     ));
                     self.counters.control_sent += 1;
@@ -478,6 +496,50 @@ mod tests {
     }
 
     #[test]
+    fn heartbeat_from_unknown_mh_solicits_reregistration() {
+        let mut n = NeState::new_ap(
+            G,
+            NodeId(99),
+            vec![NodeId(20)],
+            true,
+            vec![],
+            ProtocolConfig::default(),
+        );
+        let mut out = Vec::new();
+        n.on_heartbeat(SimTime::ZERO, Endpoint::Mh(Guid(7)), &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::Mh(Guid(7)),
+                msg: Msg::ReRegister { .. }
+            }
+        )));
+        // A registered MH is not solicited.
+        n.on_join(SimTime::ZERO, Guid(7), &mut out);
+        out.clear();
+        n.on_heartbeat(SimTime::from_millis(1), Endpoint::Mh(Guid(7)), &mut out);
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::ReRegister { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn false_self_conviction_is_ignored() {
+        let mut n = br(1);
+        let mut out = Vec::new();
+        n.on_ring_fail(SimTime::from_secs(1), NodeId(1), &mut out);
+        assert!(out.is_empty());
+        assert!(
+            n.ring.as_ref().unwrap().alive.contains(&NodeId(1)),
+            "a live node never marks itself dead"
+        );
+    }
+
+    #[test]
     fn ring_fail_broadcast_updates_view() {
         let mut n = br(2);
         let mut out = Vec::new();
@@ -661,7 +723,7 @@ mod tests {
         let mut out = Vec::new();
         // Activate via a reservation, graft...
         n.on_reserve(SimTime::ZERO, NodeId(98), 1, &mut out);
-        n.on_graft_ack(SimTime::ZERO, Endpoint::Ne(NodeId(20)));
+        n.on_graft_ack(SimTime::ZERO, Endpoint::Ne(NodeId(20)), GlobalSeq::ZERO);
         assert!(n.ap.as_ref().unwrap().grafted);
         // ...then let the reservation lapse.
         out.clear();

@@ -93,12 +93,31 @@ impl MhState {
     }
 
     /// Dispatch one received message.
-    pub fn on_msg(&mut self, now: SimTime, _from: Endpoint, msg: Msg, out: &mut Outbox) {
+    pub fn on_msg(&mut self, now: SimTime, from: Endpoint, msg: Msg, out: &mut Outbox) {
         if !self.alive {
             return;
         }
         match msg {
             Msg::Data { gsn, data, .. } => self.on_data(now, gsn, data, out),
+            Msg::ReRegister { .. } => {
+                // Our AP no longer knows us (crash-restart amnesia or a lost
+                // registration). Register again with our own resume point;
+                // the AP side is idempotent. Only honour the *current* AP —
+                // a stale solicitation from a previous AP must not re-attach
+                // us there.
+                if let (Endpoint::Ne(n), Some(ap)) = (from, self.ap) {
+                    if n == ap {
+                        out.push(Action::to_ne(
+                            ap,
+                            Msg::HandoffRegister {
+                                group: self.group,
+                                guid: self.guid,
+                                resume_from: self.mq.front(),
+                            },
+                        ));
+                    }
+                }
+            }
             Msg::JoinAck { start_from, .. } => {
                 // Skip history from before our join point.
                 self.mq.fast_forward(start_from);
@@ -465,6 +484,52 @@ mod tests {
         );
         assert!(out.is_empty());
         assert_eq!(m.counters.handoffs, 1);
+    }
+
+    #[test]
+    fn reregister_solicitation_answered_by_current_ap_only() {
+        let mut m = mh();
+        let mut out = Vec::new();
+        m.join(SimTime::ZERO, AP1, &mut out);
+        for g in 1..=3u64 {
+            m.on_msg(
+                SimTime::ZERO,
+                Endpoint::Ne(AP1),
+                Msg::Data {
+                    group: G,
+                    gsn: GlobalSeq(g),
+                    data: data(g),
+                },
+                &mut out,
+            );
+        }
+        out.clear();
+        m.on_msg(
+            SimTime::from_secs(1),
+            Endpoint::Ne(AP1),
+            Msg::ReRegister { group: G },
+            &mut out,
+        );
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                to: Endpoint::Ne(AP1),
+                msg: Msg::HandoffRegister {
+                    resume_from: GlobalSeq(3),
+                    ..
+                }
+            }
+        ));
+        assert_eq!(m.counters.handoffs, 0, "re-registration is not a handoff");
+        // A stale AP's solicitation is ignored.
+        out.clear();
+        m.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(AP2),
+            Msg::ReRegister { group: G },
+            &mut out,
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

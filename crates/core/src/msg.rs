@@ -124,11 +124,21 @@ pub enum Msg {
         child: NodeId,
         /// Deliver from this global sequence number (exclusive).
         resume_from: GlobalSeq,
+        /// The child restarted with empty state and will fast-forward to
+        /// the parent's front from the `GraftAck`: serve from "now", do
+        /// not replay the retained window (it would be discarded wholesale
+        /// as stale after the fast-forward).
+        resync: bool,
     },
-    /// Parent accepts a graft.
+    /// Parent accepts a graft, announcing its own delivery front. A child
+    /// recovering from a crash-restart (see [`Msg::Restart`]) fast-forwards
+    /// its empty `MQ` to this front instead of chasing unrecoverable
+    /// history; established children ignore the field.
     GraftAck {
         /// Group.
         group: GroupId,
+        /// The parent's contiguous-delivery front at graft time.
+        front: GlobalSeq,
     },
     /// Child detaches from its parent (no members and no reservation left).
     Prune {
@@ -198,6 +208,15 @@ pub enum Msg {
         /// First delivery will be `start_from + 1`.
         start_from: GlobalSeq,
     },
+    /// AP → MH: "I do not know you — register again." Sent when an AP
+    /// hears from an MH missing from its `WT`: after an AP crash-restart
+    /// wiped the table, or when the original registration was lost on the
+    /// wireless hop. The MH answers with [`Msg::HandoffRegister`] carrying
+    /// its resume point, which is idempotent on the AP side.
+    ReRegister {
+        /// Group.
+        group: GroupId,
+    },
 
     // ------------------------------------------------------------ recovery
     /// Membership layer → multicast layer: the token may have been lost
@@ -239,6 +258,22 @@ pub enum Msg {
         /// Group.
         group: GroupId,
     },
+    /// Fault injection: restart a crashed access proxy with factory-fresh
+    /// protocol state (volatile queues and tables lost). Not part of the
+    /// protocol; injected by scenario code. Non-AP entities ignore it —
+    /// ring re-entry of a restarted BR/AG is not modelled.
+    Restart {
+        /// Group.
+        group: GroupId,
+    },
+    /// Fault injection: arm the receiving top-ring node to black-hole the
+    /// next ordering token of the current epoch it receives (forced token
+    /// loss; the Token-Regeneration machinery must recover). Not part of
+    /// the protocol; injected by scenario code.
+    DropToken {
+        /// Group.
+        group: GroupId,
+    },
     /// Teardown probe: the receiver emits its final-statistics journal
     /// record. Not part of the protocol.
     FlushStats {
@@ -263,7 +298,7 @@ impl Msg {
             | Msg::HeartbeatAck { group }
             | Msg::NewPrev { group, .. }
             | Msg::Graft { group, .. }
-            | Msg::GraftAck { group }
+            | Msg::GraftAck { group, .. }
             | Msg::Prune { group, .. }
             | Msg::MembershipUpdate { group, .. }
             | Msg::Join { group, .. }
@@ -272,11 +307,14 @@ impl Msg {
             | Msg::HandoffRegister { group, .. }
             | Msg::Reserve { group, .. }
             | Msg::JoinAck { group, .. }
+            | Msg::ReRegister { group }
             | Msg::TokenLossSignal { group }
             | Msg::TokenRegen { group, .. }
             | Msg::RingFail { group, .. }
             | Msg::JoinCmd { group, .. }
             | Msg::Kill { group }
+            | Msg::Restart { group }
+            | Msg::DropToken { group }
             | Msg::FlushStats { group } => *group,
             Msg::Token(t) => t.group,
         }
@@ -305,10 +343,15 @@ impl Msg {
             | Msg::HandoffRegister { .. }
             | Msg::Reserve { .. }
             | Msg::JoinAck { .. }
+            | Msg::ReRegister { .. }
             | Msg::TokenLossSignal { .. }
             | Msg::RingFail { .. } => 24,
             // Engine-control messages are not real traffic.
-            Msg::JoinCmd { .. } | Msg::Kill { .. } | Msg::FlushStats { .. } => 0,
+            Msg::JoinCmd { .. }
+            | Msg::Kill { .. }
+            | Msg::Restart { .. }
+            | Msg::DropToken { .. }
+            | Msg::FlushStats { .. } => 0,
         }
     }
 

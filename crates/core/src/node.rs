@@ -154,6 +154,14 @@ pub struct OrderingState {
     pub last_regen_at: SimTime,
     /// Best token instance `(epoch, origin)` observed (Multiple-Token rule).
     pub best_instance: (crate::ids::Epoch, u32),
+    /// Forced-token-loss arming ([`Msg::DropToken`]): when set, the next
+    /// token arriving with an epoch ≤ the armed epoch is acknowledged and
+    /// silently discarded. Any token arrival disarms.
+    pub drop_armed: Option<crate::ids::Epoch>,
+    /// This node ceded its outstanding Token-Regeneration round to a
+    /// smaller-origin round it forwarded (concurrent-round arbitration);
+    /// its own returning round message must be dropped, not adopted.
+    pub regen_ceded: bool,
 }
 
 impl OrderingState {
@@ -168,6 +176,8 @@ impl OrderingState {
             last_token_seen: SimTime::ZERO,
             last_regen_at: SimTime::ZERO,
             best_instance: (crate::ids::Epoch(0), 0),
+            drop_armed: None,
+            regen_ceded: false,
         }
     }
 }
@@ -190,7 +200,7 @@ pub struct ApMhState {
 }
 
 impl ApMhState {
-    fn new(always_active: bool, neighbours: Vec<NodeId>) -> Self {
+    pub(crate) fn new(always_active: bool, neighbours: Vec<NodeId>) -> Self {
         ApMhState {
             wt: WorkingTable::new(),
             last_heard: BTreeMap::new(),
@@ -260,6 +270,10 @@ pub struct NeState {
     pub counters: NeCounters,
     /// Crash-stop flag: a dead entity ignores everything.
     pub alive: bool,
+    /// Set by a crash-restart ([`NeState::restart`]): the next `GraftAck`
+    /// fast-forwards the (freshly empty) `MQ` to the parent's announced
+    /// front instead of chasing unrecoverable history.
+    pub resync_on_graft: bool,
 }
 
 impl NeState {
@@ -293,6 +307,7 @@ impl NeState {
             hop_tick_count: 0,
             counters: NeCounters::default(),
             alive: true,
+            resync_on_graft: false,
             cfg,
         }
     }
@@ -324,6 +339,7 @@ impl NeState {
             hop_tick_count: 0,
             counters: NeCounters::default(),
             alive: true,
+            resync_on_graft: false,
             cfg,
         }
     }
@@ -371,6 +387,7 @@ impl NeState {
             hop_tick_count: 0,
             counters: NeCounters::default(),
             alive: true,
+            resync_on_graft: false,
             cfg,
         }
     }
@@ -420,6 +437,11 @@ impl NeState {
     /// Dispatch one received message. `from` is the sending endpoint as
     /// resolved by the engine. Outputs are appended to `out`.
     pub fn on_msg(&mut self, now: SimTime, from: Endpoint, msg: Msg, out: &mut Outbox) {
+        if let Msg::Restart { .. } = msg {
+            // The one stimulus a crashed entity still reacts to.
+            self.restart(now, out);
+            return;
+        }
         if !self.alive {
             return;
         }
@@ -455,9 +477,12 @@ impl NeState {
             Msg::HeartbeatAck { .. } => self.on_heartbeat_ack(now, from),
             Msg::NewPrev { prev, .. } => self.on_new_prev(from, prev),
             Msg::Graft {
-                child, resume_from, ..
-            } => self.on_graft(now, child, resume_from, out),
-            Msg::GraftAck { .. } => self.on_graft_ack(now, from),
+                child,
+                resume_from,
+                resync,
+                ..
+            } => self.on_graft(now, child, resume_from, resync, out),
+            Msg::GraftAck { front, .. } => self.on_graft_ack(now, from, front),
             Msg::Prune { child, .. } => self.on_prune(now, child, out),
             Msg::MembershipUpdate { delta, .. } => self.on_membership_update(delta),
             Msg::Join { guid, .. } => self.on_join(now, guid, out),
@@ -472,8 +497,13 @@ impl NeState {
             Msg::TokenRegen { origin, best, .. } => self.on_token_regen(now, origin, *best, out),
             Msg::RingFail { failed, .. } => self.on_ring_fail(now, failed, out),
             Msg::Kill { .. } => self.kill(),
+            Msg::DropToken { .. } => self.arm_token_drop(),
             Msg::FlushStats { .. } => self.flush_final_stats(out),
-            Msg::HandoffTo { .. } | Msg::JoinAck { .. } | Msg::JoinCmd { .. } => {
+            Msg::Restart { .. } => unreachable!("handled before the alive check"),
+            Msg::HandoffTo { .. }
+            | Msg::JoinAck { .. }
+            | Msg::JoinCmd { .. }
+            | Msg::ReRegister { .. } => {
                 // MH-only messages; NEs ignore them.
             }
         }
@@ -498,6 +528,45 @@ impl NeState {
     /// Crash-stop this entity (scenario fault injection).
     pub fn kill(&mut self) {
         self.alive = false;
+    }
+
+    /// Restart a crashed access proxy with factory-fresh protocol state
+    /// (scenario fault injection). Volatile state — `MQ`, child and MH
+    /// tables, tree attachment — is lost; identity, configuration and the
+    /// cumulative statistics counters survive. The restarted AP re-grafts
+    /// on demand: immediately when `always_active`, otherwise when an MH
+    /// re-registers (solicited via [`Msg::ReRegister`] when the AP hears
+    /// from an MH it no longer knows). The first `GraftAck` fast-forwards
+    /// the fresh `MQ` to the parent's announced front.
+    ///
+    /// Non-AP entities ignore the stimulus: re-entry of a restarted ring
+    /// member into a repaired ring is not modelled.
+    pub fn restart(&mut self, now: SimTime, out: &mut Outbox) {
+        if self.tier != Tier::Ap {
+            return;
+        }
+        self.alive = true;
+        self.parent = None;
+        self.parent_hb_outstanding = 0;
+        self.children.clear();
+        self.wt_children = WorkingTable::new();
+        self.mq = MessageQueue::new(self.cfg.mq_capacity);
+        self.pending_delta = 0;
+        self.subtree_members = 0;
+        if let Some(ap) = self.ap.as_mut() {
+            *ap = ApMhState::new(ap.always_active, std::mem::take(&mut ap.neighbours));
+        }
+        self.resync_on_graft = true;
+        self.ensure_active_grafted(now, out);
+    }
+
+    /// Arm forced token loss (scenario fault injection): the next token of
+    /// the currently-best epoch this node receives is acknowledged and
+    /// black-holed (see [`Msg::DropToken`]). No-op off the top ring.
+    pub fn arm_token_drop(&mut self) {
+        if let Some(ord) = self.ord.as_mut() {
+            ord.drop_armed = Some(ord.best_instance.0);
+        }
     }
 }
 
@@ -599,6 +668,60 @@ mod tests {
         assert!(ap.should_be_active(SimTime::from_secs(3)));
         let always = ApMhState::new(true, vec![]);
         assert!(always.should_be_active(now));
+    }
+
+    #[test]
+    fn restart_revives_ap_with_fresh_state() {
+        let cfg = ProtocolConfig::default();
+        let mut ap = NeState::new_ap(
+            GroupId(1),
+            NodeId(99),
+            vec![NodeId(20)],
+            true,
+            vec![NodeId(98)],
+            cfg,
+        );
+        let mut out = Vec::new();
+        ap.on_join(SimTime::ZERO, Guid(1), &mut out);
+        ap.kill();
+        out.clear();
+        ap.on_msg(
+            SimTime::from_secs(1),
+            Endpoint::Ne(NodeId(99)),
+            Msg::Restart { group: GroupId(1) },
+            &mut out,
+        );
+        assert!(ap.alive, "restart revives");
+        assert!(ap.resync_on_graft, "next graft ack resyncs the MQ");
+        let st = ap.ap.as_ref().unwrap();
+        assert!(st.wt.is_empty(), "MH table wiped");
+        assert_eq!(st.neighbours, vec![NodeId(98)], "static config survives");
+        assert!(st.always_active);
+        assert_eq!(ap.subtree_members, 0);
+        // Always-active AP re-grafts immediately.
+        assert!(out.iter().any(|a| matches!(
+            a,
+            crate::actions::Action::Send {
+                msg: Msg::Graft { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn restart_is_ignored_by_ring_entities() {
+        let cfg = ProtocolConfig::default();
+        let mut br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg);
+        br.kill();
+        let mut out = Vec::new();
+        br.on_msg(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(10)),
+            Msg::Restart { group: GroupId(1) },
+            &mut out,
+        );
+        assert!(!br.alive, "ring re-entry is not modelled");
+        assert!(out.is_empty());
     }
 
     #[test]

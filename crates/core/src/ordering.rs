@@ -219,9 +219,24 @@ impl NeState {
                 return;
             }
         }
+        // Forced-token-loss fault injection: a single armed drop swallows
+        // the live token of the epoch current at arming time (acked above,
+        // so the sender will not retransmit — the instance is simply gone
+        // and Token-Regeneration must recover). A token from a *newer*
+        // epoch means the drop opportunity has passed; disarm and process.
+        if let Some(armed) = ord.drop_armed.take() {
+            if token.epoch <= armed {
+                out.push(Action::Record(ProtoEvent::TokenDropped {
+                    node: me,
+                    epoch: token.epoch,
+                }));
+                return;
+            }
+        }
         ord.last_pass = Some(fingerprint);
         ord.best_instance = token.instance();
         ord.last_token_seen = now;
+        ord.regen_ceded = false; // ordering works again; any cede is stale
         self.process_and_forward_token(now, token, out);
     }
 
@@ -554,6 +569,73 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn armed_drop_swallows_live_token_once() {
+        let mut n = br(1);
+        n.arm_token_drop();
+        let mut out = Vec::new();
+        let tok = OrderingToken::new(G, NodeId(0));
+        n.on_token(
+            SimTime::ZERO,
+            Endpoint::Ne(NodeId(0)),
+            tok.clone(),
+            &mut out,
+        );
+        // Acked (sender must stop retransmitting) but neither processed nor
+        // forwarded — the token is gone.
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::TokenAck { .. },
+                ..
+            }
+        )));
+        assert!(!out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Token(_),
+                ..
+            }
+        )));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Action::Record(ProtoEvent::TokenDropped { .. }))));
+        assert!(n.ord.as_ref().unwrap().new_token.is_none());
+        // Disarmed: the next (e.g. regenerated) token is processed normally.
+        out.clear();
+        let mut regen = OrderingToken::new(G, NodeId(0));
+        regen.epoch = Epoch(1);
+        n.on_token(
+            SimTime::from_millis(1),
+            Endpoint::Ne(NodeId(0)),
+            regen,
+            &mut out,
+        );
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Token(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn armed_drop_lets_newer_epoch_pass() {
+        let mut n = br(1);
+        n.arm_token_drop(); // armed at epoch 0
+        let mut out = Vec::new();
+        let mut regen = OrderingToken::new(G, NodeId(0));
+        regen.epoch = Epoch(2);
+        n.on_token(SimTime::ZERO, Endpoint::Ne(NodeId(0)), regen, &mut out);
+        assert!(
+            !out.iter()
+                .any(|a| matches!(a, Action::Record(ProtoEvent::TokenDropped { .. }))),
+            "newer epoch means the drop window passed"
+        );
+        assert!(n.ord.as_ref().unwrap().drop_armed.is_none(), "disarmed");
     }
 
     #[test]

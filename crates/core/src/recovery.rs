@@ -52,6 +52,7 @@ impl NeState {
                 return; // damping: one round at a time
             }
             ord.last_regen_at = now;
+            ord.regen_ceded = false;
             ord.new_token
                 .clone()
                 .unwrap_or_else(|| OrderingToken::new(group, me))
@@ -85,10 +86,23 @@ impl NeState {
         let group = self.group;
         let quiet = self.cfg.token_quiet_after;
         let best = {
-            let Some(ord) = self.ord.as_ref() else { return };
+            let Some(ord) = self.ord.as_mut() else { return };
             if now.saturating_since(ord.last_token_seen) < quiet {
                 // Ordering runs well here: destroy the message.
                 return;
+            }
+            if origin != me && now.saturating_since(ord.last_regen_at) < quiet {
+                // Concurrent-round arbitration: our own round may still be
+                // circulating. Exactly one round may adopt — two concurrent
+                // adoptions would assign overlapping GSN ranges before the
+                // Multiple-Token rule could destroy either lineage. The
+                // smaller origin wins, deterministically:
+                if me < origin {
+                    return; // destroy theirs; our round continues
+                }
+                // Theirs wins: forward it and refuse to adopt our own
+                // round when (if ever) it comes back.
+                ord.regen_ceded = true;
             }
             // Upgrade the snapshot if ours has assigned further.
             match &ord.new_token {
@@ -97,6 +111,13 @@ impl NeState {
             }
         };
         if origin == me {
+            let ord = self.ord.as_mut().expect("checked above");
+            if ord.regen_ceded {
+                // We ceded to a smaller-origin round mid-flight; dropping
+                // our returning round keeps the adoption unique.
+                ord.regen_ceded = false;
+                return;
+            }
             // Full circle of quiet nodes: restart with the best snapshot.
             self.adopt_regenerated(now, best, out);
             return;
@@ -127,6 +148,7 @@ impl NeState {
         let ord = self.ord.as_mut().expect("ordering state");
         ord.best_instance = token.instance();
         ord.last_token_seen = now;
+        ord.regen_ceded = false;
         out.push(Action::Record(ProtoEvent::TokenRegenerated {
             node: me,
             epoch: token.epoch,
@@ -287,6 +309,56 @@ mod tests {
             n.ord.as_ref().unwrap().best_instance,
             (Epoch(1), 0),
             "instance updated to the regenerated lineage"
+        );
+    }
+
+    #[test]
+    fn concurrent_rounds_resolve_to_the_smaller_origin() {
+        let t = quiet_time(&ProtocolConfig::default());
+        // Node 0 has its own round outstanding; node 2's round arrives.
+        let mut n0 = br(0);
+        let mut out = Vec::new();
+        n0.on_token_loss_signal(t, &mut out); // originates (sets last_regen_at)
+        out.clear();
+        n0.on_token_regen(t, NodeId(2), OrderingToken::new(G, NodeId(2)), &mut out);
+        assert!(out.is_empty(), "larger-origin round destroyed at node 0");
+        assert!(!n0.ord.as_ref().unwrap().regen_ceded);
+
+        // Node 2 has its own round outstanding; node 0's round arrives:
+        // node 2 cedes, forwards node 0's message, and later drops its own
+        // returning round instead of adopting.
+        let mut n2 = br(2);
+        let mut out = Vec::new();
+        n2.on_token_loss_signal(t, &mut out);
+        out.clear();
+        n2.on_token_regen(t, NodeId(0), OrderingToken::new(G, NodeId(0)), &mut out);
+        assert!(
+            out.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: Msg::TokenRegen {
+                        origin: NodeId(0),
+                        ..
+                    },
+                    ..
+                }
+            )),
+            "smaller-origin round forwarded"
+        );
+        assert!(n2.ord.as_ref().unwrap().regen_ceded);
+        out.clear();
+        n2.on_token_regen(t, NodeId(2), OrderingToken::new(G, NodeId(2)), &mut out);
+        assert!(out.is_empty(), "ceded round is not adopted");
+        assert!(!n2.ord.as_ref().unwrap().regen_ceded, "cede consumed");
+        // The next round node 2 originates is a fresh claim again.
+        let t2 = t + ProtocolConfig::default().token_quiet_after * 3;
+        out.clear();
+        n2.on_token_loss_signal(t2, &mut out);
+        n2.on_token_regen(t2, NodeId(2), OrderingToken::new(G, NodeId(2)), &mut out);
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, Action::Record(ProtoEvent::TokenRegenerated { .. }))),
+            "un-ceded round adopts normally"
         );
     }
 

@@ -5,15 +5,61 @@
 //! throughput as s·λ messages each time unit." We run both protocols on
 //! the same hierarchy and traffic, measure the steady per-MH delivery rate
 //! and compare it with the offered load s·λ.
+//!
+//! The rates are counted *online* through the journal sink with retention
+//! off (like the streaming metrics accumulator) — the full-mode sweeps
+//! never materialize a journal.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 
 use baselines::unordered::{UnorderedSim, UnorderedSpec};
 use ringnet_core::hierarchy::TrafficPattern;
-use ringnet_core::{GroupId, HierarchyBuilder};
-use simnet::{SimDuration, SimTime};
+use ringnet_core::{GroupId, HierarchyBuilder, ProtoEvent, RingNetSim};
+use simnet::{Journal, SimDuration, SimTime};
 
-use crate::experiments::{loss_free_links, run_spec};
-use crate::metrics;
+use crate::experiments::loss_free_links;
 use crate::report::{fnum, Table};
+
+/// Streaming substitute for `metrics::delivery_rate`: count per-MH
+/// deliveries inside `[warmup, duration]` as records are emitted, divide
+/// by the number of MHs that delivered anything and the window span.
+struct RateCounter {
+    in_window: u64,
+    mhs: BTreeSet<u32>,
+}
+
+fn install_rate_counter(
+    journal: &mut Journal<ProtoEvent>,
+    warmup: SimTime,
+    duration: SimTime,
+) -> Arc<Mutex<RateCounter>> {
+    let counter = Arc::new(Mutex::new(RateCounter {
+        in_window: 0,
+        mhs: BTreeSet::new(),
+    }));
+    let sink = Arc::clone(&counter);
+    journal.set_retention(false);
+    journal.add_sink(move |t, e| {
+        if let ProtoEvent::MhDeliver { mh, .. } = e {
+            let mut c = sink.lock().expect("rate counter poisoned");
+            c.mhs.insert(mh.0);
+            if t >= warmup && t <= duration {
+                c.in_window += 1;
+            }
+        }
+    });
+    counter
+}
+
+fn finish_rate(counter: &Mutex<RateCounter>, warmup: SimTime, duration: SimTime) -> f64 {
+    let span = duration.saturating_since(warmup).as_secs_f64();
+    let c = counter.lock().expect("rate counter poisoned");
+    if c.mhs.is_empty() || span <= 0.0 {
+        return 0.0;
+    }
+    c.in_window as f64 / c.mhs.len() as f64 / span
+}
 
 fn ordered_rate(s: usize, lambda: f64, duration: SimTime, warmup: SimTime) -> f64 {
     let spec = HierarchyBuilder::new(GroupId(1))
@@ -27,8 +73,11 @@ fn ordered_rate(s: usize, lambda: f64, duration: SimTime, warmup: SimTime) -> f6
         })
         .links(loss_free_links())
         .build();
-    let journal = run_spec(spec, 42, duration);
-    metrics::delivery_rate(&journal, warmup, duration)
+    let mut net = RingNetSim::build(spec, 42);
+    let counter = install_rate_counter(&mut net.sim.world().journal, warmup, duration);
+    net.run_until(duration);
+    let _ = net.finish();
+    finish_rate(&counter, warmup, duration)
 }
 
 fn unordered_rate(s: usize, lambda: f64, duration: SimTime, warmup: SimTime) -> f64 {
@@ -43,9 +92,10 @@ fn unordered_rate(s: usize, lambda: f64, duration: SimTime, warmup: SimTime) -> 
     };
     spec.links.2 = simnet::LinkProfile::wired(SimDuration::from_millis(2));
     let mut net = UnorderedSim::build(spec, 42);
+    let counter = install_rate_counter(&mut net.sim.world().journal, warmup, duration);
     net.run_until(duration);
-    let (journal, _) = net.finish();
-    metrics::delivery_rate(&journal, warmup, duration)
+    let _ = net.finish();
+    finish_rate(&counter, warmup, duration)
 }
 
 /// Run the experiment.

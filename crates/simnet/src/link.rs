@@ -183,6 +183,9 @@ pub enum TxOutcome {
     Lost,
     /// Packet was dropped before transmission (full bandwidth queue).
     QueueDrop,
+    /// Packet was dropped because the link is administratively down
+    /// (partition fault injection).
+    Down,
 }
 
 /// Mutable runtime state of a link: channel memory plus the time at which the
@@ -191,6 +194,12 @@ pub enum TxOutcome {
 pub struct LinkState {
     profile: LinkProfile,
     channel: ChannelState,
+    /// Administrative up/down state: a downed link drops every packet
+    /// without consuming serializer time or advancing the loss channel
+    /// (the cable is unplugged, not noisy). Scenario fault injection
+    /// (wired-core partitions) toggles this; profile and channel memory
+    /// survive a down/up cycle.
+    up: bool,
     /// Earliest time the serializer can start on the next packet.
     tx_free_at: SimTime,
     /// Packets currently waiting for the serializer (only for `Limited`).
@@ -201,6 +210,8 @@ pub struct LinkState {
     pub lost: u64,
     /// Packets dropped by the bandwidth queue.
     pub queue_dropped: u64,
+    /// Packets dropped while the link was administratively down.
+    pub down_dropped: u64,
 }
 
 impl LinkState {
@@ -209,12 +220,26 @@ impl LinkState {
         LinkState {
             profile,
             channel: ChannelState::Good,
+            up: true,
             tx_free_at: SimTime::ZERO,
             queued: 0,
             offered: 0,
             lost: 0,
             queue_dropped: 0,
+            down_dropped: 0,
         }
+    }
+
+    /// Administrative up/down state (see [`LinkState::set_up`]).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Bring the link administratively down (every packet drops) or back
+    /// up. State other than the up/down flag is untouched, so a healed
+    /// link resumes with its channel memory and transmit horizon intact.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
     }
 
     /// Read access to the profile.
@@ -260,6 +285,10 @@ impl LinkState {
     /// time — it was transmitted, just not received.
     pub fn transmit(&mut self, now: SimTime, size_bytes: usize, rng: &mut SimRng) -> TxOutcome {
         self.offered += 1;
+        if !self.up {
+            self.down_dropped += 1;
+            return TxOutcome::Down;
+        }
         let depart = match self.profile.bandwidth {
             BandwidthModel::Unlimited => now,
             BandwidthModel::Limited {
@@ -422,6 +451,24 @@ mod tests {
         let later = SimTime::from_secs(1);
         assert!(matches!(
             link.transmit(later, 100, &mut r),
+            TxOutcome::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn downed_link_drops_everything_until_up() {
+        let mut link = LinkState::new(LinkProfile::wired(SimDuration::from_millis(1)));
+        let mut r = rng();
+        link.set_up(false);
+        assert!(!link.is_up());
+        for _ in 0..3 {
+            assert_eq!(link.transmit(SimTime::ZERO, 64, &mut r), TxOutcome::Down);
+        }
+        assert_eq!(link.down_dropped, 3);
+        assert_eq!(link.offered, 3);
+        link.set_up(true);
+        assert!(matches!(
+            link.transmit(SimTime::ZERO, 64, &mut r),
             TxOutcome::Deliver(_)
         ));
     }

@@ -47,6 +47,8 @@ pub struct SimStats {
     pub packets_no_route: u64,
     /// Packets dropped by full bandwidth queues.
     pub packets_queue_dropped: u64,
+    /// Packets dropped on administratively-down links (partitions).
+    pub packets_link_down: u64,
     /// Timers fired.
     pub timers_fired: u64,
 }
@@ -59,7 +61,7 @@ pub struct SimStats {
 pub struct Journal<R> {
     retain: bool,
     records: Vec<(SimTime, R)>,
-    sink: Option<JournalSink<R>>,
+    sinks: Vec<JournalSink<R>>,
 }
 
 /// A streaming journal observer (see [`Journal::set_sink`]).
@@ -70,15 +72,15 @@ impl<R> Journal<R> {
         Journal {
             retain,
             records: Vec::new(),
-            sink: None,
+            sinks: Vec::new(),
         }
     }
 
-    /// Append a record: feed the streaming sink (if any), then retain the
+    /// Append a record: feed the streaming sinks (if any), then retain the
     /// record (if retention is on). A no-op when neither is configured.
     #[inline]
     pub fn record(&mut self, now: SimTime, rec: R) {
-        if let Some(sink) = &mut self.sink {
+        for sink in &mut self.sinks {
             sink(now, &rec);
         }
         if self.retain {
@@ -97,10 +99,19 @@ impl<R> Journal<R> {
     }
 
     /// Attach a streaming observer called with every record as it is
-    /// emitted, before (and independent of) retention. One sink at a time;
-    /// a second call replaces the first.
+    /// emitted, before (and independent of) retention, replacing any
+    /// previously attached observers. Use [`Journal::add_sink`] to attach
+    /// several independent observers (e.g. streaming metrics *and* an
+    /// online auditor).
     pub fn set_sink(&mut self, sink: impl FnMut(SimTime, &R) + Send + 'static) {
-        self.sink = Some(Box::new(sink));
+        self.sinks.clear();
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// Attach an additional streaming observer without disturbing the ones
+    /// already installed. Observers run in attachment order.
+    pub fn add_sink(&mut self, sink: impl FnMut(SimTime, &R) + Send + 'static) {
+        self.sinks.push(Box::new(sink));
     }
 
     /// Pre-size the retained-record storage (no-op when retention is off).
@@ -226,6 +237,7 @@ impl<M, R> World<M, R> {
             }
             TxOutcome::Lost => self.stats.packets_lost += 1,
             TxOutcome::QueueDrop => self.stats.packets_queue_dropped += 1,
+            TxOutcome::Down => self.stats.packets_link_down += 1,
         }
     }
 
@@ -280,6 +292,7 @@ impl<M, R> World<M, R> {
                 TxOutcome::Deliver(at) => deliveries.push((dst, at)),
                 TxOutcome::Lost => self.stats.packets_lost += 1,
                 TxOutcome::QueueDrop => self.stats.packets_queue_dropped += 1,
+                TxOutcome::Down => self.stats.packets_link_down += 1,
             }
         }
         match deliveries.len() {
@@ -804,6 +817,74 @@ mod tests {
             sim.finish()
         }
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn downed_links_blackhole_and_count() {
+        struct Echo;
+        impl Actor<u32, u32> for Echo {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, u32>, _: NodeAddr, msg: u32) {
+                ctx.record(msg);
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32, u32>, _: u64) {}
+        }
+        let mut sim: Sim<u32, u32> = Sim::new(0);
+        let a = sim.add_node(Box::new(Echo));
+        let b = sim.add_node(Box::new(Echo));
+        sim.world()
+            .topo
+            .connect_duplex(a, b, LinkProfile::wired(SimDuration::from_millis(1)));
+        // Partition at t=0, heal at t=10ms; sends at 5ms (down) and 20ms (up).
+        sim.world().schedule_control(SimTime::ZERO, move |w| {
+            w.topo.set_duplex_up(a, b, false);
+        });
+        sim.world()
+            .schedule_control(SimTime::from_millis(5), move |w| {
+                w.send(a, b, 1);
+            });
+        sim.world()
+            .schedule_control(SimTime::from_millis(10), move |w| {
+                w.topo.set_duplex_up(a, b, true);
+            });
+        sim.world()
+            .schedule_control(SimTime::from_millis(20), move |w| {
+                w.send(a, b, 2);
+            });
+        sim.run_until(SimTime::from_secs(1));
+        let (records, stats) = sim.finish();
+        assert_eq!(records, vec![(SimTime::from_millis(21), 2)]);
+        assert_eq!(stats.packets_link_down, 1);
+        assert_eq!(stats.packets_delivered, 1);
+    }
+
+    #[test]
+    fn multiple_sinks_all_observe() {
+        use std::sync::{Arc, Mutex};
+        struct Emitter;
+        impl Actor<(), u32> for Emitter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, (), u32>) {
+                ctx.record(7);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_, (), u32>, _: NodeAddr, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, (), u32>, _: u64) {}
+        }
+        let first = Arc::new(Mutex::new(Vec::new()));
+        let second = Arc::new(Mutex::new(Vec::new()));
+        let mut sim: Sim<(), u32> = Sim::new(0);
+        sim.add_node(Box::new(Emitter));
+        let s1 = Arc::clone(&first);
+        let s2 = Arc::clone(&second);
+        sim.world()
+            .journal
+            .add_sink(move |_, r| s1.lock().unwrap().push(*r));
+        sim.world()
+            .journal
+            .add_sink(move |_, r| s2.lock().unwrap().push(*r));
+        sim.run_until(SimTime::from_millis(1));
+        let (records, _) = sim.finish();
+        assert_eq!(records.len(), 1, "retention stays on alongside sinks");
+        assert_eq!(*first.lock().unwrap(), vec![7]);
+        assert_eq!(*second.lock().unwrap(), vec![7]);
     }
 
     #[test]

@@ -66,6 +66,27 @@ impl Topology {
         self.links.contains_key(&(src, dst))
     }
 
+    /// Set the administrative up/down state of the directed link
+    /// `src → dst`. Returns `true` when the link exists.
+    pub fn set_link_up(&mut self, src: NodeAddr, dst: NodeAddr, up: bool) -> bool {
+        match self.links.get_mut(&(src, dst)) {
+            Some(l) => {
+                l.set_up(up);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Set the up/down state of both directions between `a` and `b`
+    /// (partition / heal fault injection). Returns `true` when at least
+    /// one direction exists.
+    pub fn set_duplex_up(&mut self, a: NodeAddr, b: NodeAddr, up: bool) -> bool {
+        let fwd = self.set_link_up(a, b, up);
+        let rev = self.set_link_up(b, a, up);
+        fwd || rev
+    }
+
     /// Mutable access to a directed link's runtime state.
     pub fn link_mut(&mut self, src: NodeAddr, dst: NodeAddr) -> Option<&mut LinkState> {
         self.links.get_mut(&(src, dst))
@@ -136,6 +157,19 @@ mod tests {
         t.connect(NodeAddr(8), NodeAddr(0), p());
         let ns: Vec<u32> = t.neighbours(NodeAddr(7)).map(|n| n.0).collect();
         assert_eq!(ns, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn duplex_up_down_toggles_both_directions() {
+        let mut t = Topology::new();
+        t.connect_duplex(NodeAddr(0), NodeAddr(1), p());
+        assert!(t.set_duplex_up(NodeAddr(0), NodeAddr(1), false));
+        assert!(!t.link(NodeAddr(0), NodeAddr(1)).unwrap().is_up());
+        assert!(!t.link(NodeAddr(1), NodeAddr(0)).unwrap().is_up());
+        assert!(t.set_duplex_up(NodeAddr(0), NodeAddr(1), true));
+        assert!(t.link(NodeAddr(0), NodeAddr(1)).unwrap().is_up());
+        // No such link: reports false.
+        assert!(!t.set_duplex_up(NodeAddr(5), NodeAddr(6), false));
     }
 
     #[test]

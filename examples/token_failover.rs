@@ -1,20 +1,29 @@
-//! Token failover: crash top-ring nodes one after another and watch the
-//! membership layer repair the ring and the Token-Regeneration algorithm
-//! (§4.2.1) restore ordering from the NewOrderingToken snapshots — with a
-//! full event timeline. The failures are part of the `Scenario`'s fault
-//! schedule, not per-sim glue.
+//! Token failover under the full fault repertoire — with the chaos
+//! auditor watching every delivery.
+//!
+//! The scenario stacks three faults from the `Scenario` fault schedule:
+//! a forced token loss (§4.2.1's Token-Regeneration must recover), a
+//! crash of the ordering leader (ring repair + regeneration again), and an
+//! AP crash + restart (the amnesiac AP re-learns its members and resumes
+//! delivery; the outage surfaces as per-walker skips, never as disorder).
+//! The event timeline is printed, then the journal is replayed through the
+//! online auditor: total order, duplicate-free assignment, gap-freedom
+//! modulo skips, and end-of-run liveness for every walker must all hold.
 //!
 //! ```text
 //! cargo run --release --example token_failover
 //! ```
 
+use ringnet_repro::chaos::{AuditConfig, Auditor, LivenessCheck};
 use ringnet_repro::core::driver::{CoreShape, MulticastSim, ScenarioBuilder, ScenarioEvent};
 use ringnet_repro::core::{ProtoEvent, RingNetSim};
 use ringnet_repro::simnet::{SimDuration, SimTime};
 
 fn main() {
-    // Five BRs on the ordering ring; kill two of them mid-run, including
-    // the leader/token-origin (core index 0).
+    // Five BRs on the ordering ring, 2×2 AGs, four APs with one walker
+    // each. Fault schedule: token black-holed at 2 s, leader (core index
+    // 0, the token origin) killed at 4 s, AP 2 crashes at 5.5 s and comes
+    // back at 6.5 s.
     let scenario = ScenarioBuilder::new()
         .attachments(4)
         .walkers_per_attachment(1)
@@ -25,46 +34,55 @@ fn main() {
             rings: 2,
             ags_per_ring: 2,
         })
-        .event(ScenarioEvent::KillCore {
+        .event(ScenarioEvent::DropToken {
             at: SimTime::from_secs(2),
-            index: 3,
         })
         .event(ScenarioEvent::KillCore {
             at: SimTime::from_secs(4),
             index: 0,
         })
-        .duration(SimTime::from_secs(8))
+        .event(ScenarioEvent::ApCrash {
+            at: SimTime::from_millis(5_500),
+            ap: 2,
+        })
+        .event(ScenarioEvent::ApRestart {
+            at: SimTime::from_millis(6_500),
+            ap: 2,
+        })
+        .duration(SimTime::from_secs(10))
         .build();
     let report = RingNetSim::run_scenario(&scenario, 5);
 
-    println!("timeline (ring repairs, token events):");
+    println!("timeline (ring repairs, token events, AP recovery):");
     for (t, e) in &report.journal {
         match e {
             ProtoEvent::RingRepaired {
                 node,
                 failed,
                 new_next,
-            } => {
-                println!("  {t}  {node} detected {failed} dead, new next {new_next}");
+            } => println!("  {t}  {node} detected {failed} dead, new next {new_next}"),
+            ProtoEvent::TokenDropped { node, epoch } => {
+                println!("  {t}  {node} BLACK-HOLED token epoch {} (fault)", epoch.0);
             }
             ProtoEvent::TokenRegenerated {
                 node,
                 epoch,
                 next_gsn,
-            } => {
-                println!(
-                    "  {t}  {node} REGENERATED token epoch {} from {next_gsn}",
-                    epoch.0
-                );
-            }
+            } => println!(
+                "  {t}  {node} REGENERATED token epoch {} from {next_gsn}",
+                epoch.0
+            ),
             ProtoEvent::TokenDestroyed { node, epoch } => {
                 println!("  {t}  {node} destroyed stale token epoch {}", epoch.0);
+            }
+            ProtoEvent::HandoffRegistered { mh, ap, .. } if *t > SimTime::from_secs(6) => {
+                println!("  {t}  {ap} re-registered walker {} after restart", mh.0);
             }
             _ => {}
         }
     }
 
-    // Ordering gaps around each failure.
+    // Ordering stalls around each failure.
     let ordered: Vec<SimTime> = report
         .journal
         .iter()
@@ -75,19 +93,51 @@ fn main() {
         .map(|w| w[1].saturating_since(w[0]))
         .max()
         .unwrap();
-    let m = &report.metrics;
 
+    // Replay the journal through the online auditor: every delivery is
+    // checked for total order, agreement, gap-freedom and — at the end —
+    // liveness of all four walkers.
+    let mut auditor = Auditor::new(AuditConfig {
+        liveness: Some(LivenessCheck {
+            window: SimDuration::from_secs(2),
+            walkers: vec![0, 1, 2, 3],
+        }),
+        ..AuditConfig::default()
+    });
+    auditor.observe_journal(&report.journal);
+    let audit = auditor.finish(scenario.duration);
+
+    let m = &report.metrics;
     println!("\nmessages ordered        : {}", ordered.len());
     println!("longest ordering stall  : {max_gap}");
-    println!("total-order violations  : {}", m.order_violations);
     println!(
-        "messages delivered      : {} across {} MHs",
-        m.delivered, m.mhs
+        "deliveries / skips      : {} / {} across {} MHs",
+        m.delivered, m.skipped, m.mhs
     );
-    assert_eq!(m.order_violations, 0);
+    println!(
+        "audit                   : {} deliveries + {} skips checked, {} violations",
+        audit.deliveries, audit.skips, audit.violations
+    );
+    if let Some(v) = &audit.first_violation {
+        panic!("auditor found: {v}");
+    }
     assert!(
-        *ordered.last().unwrap() > SimTime::from_secs(5),
-        "ordering must survive both failures"
+        *ordered.last().unwrap() > SimTime::from_secs(9),
+        "ordering must survive all three faults"
     );
-    println!("OK — ordering survived two BR crashes, including the leader");
+    assert!(
+        report
+            .journal
+            .iter()
+            .any(|(_, e)| matches!(e, ProtoEvent::TokenDropped { .. })),
+        "the forced loss must actually fire"
+    );
+    assert!(
+        report
+            .journal
+            .iter()
+            .any(|(_, e)| matches!(e, ProtoEvent::TokenRegenerated { .. })),
+        "regeneration must have run"
+    );
+    println!("OK — token loss, leader crash and AP crash/restart all healed; auditor clean");
 }

@@ -14,6 +14,9 @@
 //!   home-agent tunnelling.
 //! * [`harness`] — metrics, scenarios and the experiment suite
 //!   (EXPERIMENTS.md).
+//! * [`chaos`] — randomized scenario generation, the expanded fault
+//!   repertoire, the online total-order/reliability auditor and the
+//!   `chaos_soak` property-testing binary.
 //!
 //! ```
 //! use ringnet_repro::core::{HierarchyBuilder, GroupId, RingNetSim, TrafficPattern};
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub use baselines;
+pub use chaos;
 pub use harness;
 pub use mobility;
 pub use ringnet_core as core;
