@@ -242,6 +242,20 @@ impl FlatRingSim {
         });
     }
 
+    /// Schedule a restart of a previously crashed station at `at`: it
+    /// re-enters the ring through the rejoin handshake and its MHs
+    /// re-register (solicited when the amnesiac station hears from an MH
+    /// it no longer knows).
+    pub fn schedule_restart_station(&mut self, at: SimTime, node: NodeId) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        self.sim.world().schedule_control(at, move |w| {
+            if let Some(addr) = map.ne(node) {
+                w.inject(addr, addr, Msg::Restart { group }, SimDuration::ZERO);
+            }
+        });
+    }
+
     /// Schedule forced token loss at `at`: every station (they are all on
     /// the one ordering ring) is armed to black-hole the next current-epoch
     /// token it receives.
@@ -337,10 +351,17 @@ impl MulticastSim for FlatRingSim {
             ScenarioEvent::DropToken { at } => {
                 self.schedule_token_drop(at);
             }
-            // A flat station is a member of the one ordering ring:
-            // crash-restart of ring members is not modelled (use KillCore
-            // for permanent station failure), and there is no non-ordering
-            // wired segment to partition.
+            ScenarioEvent::RingRejoin { at, index } => {
+                assert!(
+                    index < self.spec.stations,
+                    "RingRejoin index {index} out of range ({} stations)",
+                    self.spec.stations
+                );
+                self.schedule_restart_station(at, NodeId(index as u32));
+            }
+            // A flat station doubles as the attachment entity (use
+            // KillCore/RingRejoin for station crash-restart), and there is
+            // no non-ordering wired segment to partition.
             ScenarioEvent::ApCrash { .. }
             | ScenarioEvent::ApRestart { .. }
             | ScenarioEvent::PartitionCore { .. }

@@ -506,7 +506,8 @@ impl MulticastSim for TunnelSim {
             | ScenarioEvent::ApRestart { .. }
             | ScenarioEvent::PartitionCore { .. }
             | ScenarioEvent::HealCore { .. }
-            | ScenarioEvent::DropToken { .. } => {}
+            | ScenarioEvent::DropToken { .. }
+            | ScenarioEvent::RingRejoin { .. } => {}
         }
     }
 

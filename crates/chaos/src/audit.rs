@@ -53,6 +53,9 @@ pub enum ViolationKind {
     /// A walker went silent: nothing delivered or skipped within the
     /// closing liveness window.
     Silence,
+    /// Ordering never demonstrably resumed after the last scheduled
+    /// recovery event (e.g. a ring rejoin): no delivery at or after it.
+    OrderingStalled,
 }
 
 impl fmt::Display for ViolationKind {
@@ -65,6 +68,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::FifoViolation => "per-stream FIFO violation",
             ViolationKind::GsnGap => "unexplained GSN gap",
             ViolationKind::Silence => "walker silent in liveness window",
+            ViolationKind::OrderingStalled => "ordering stalled after recovery",
         };
         f.write_str(s)
     }
@@ -110,6 +114,11 @@ pub struct AuditConfig {
     pub check_gap_freedom: bool,
     /// End-of-run liveness (None = not checked).
     pub liveness: Option<LivenessCheck>,
+    /// Require at least one application delivery at or after this time —
+    /// the post-rejoin total-order check: a ring rejoin (or other
+    /// recovery) must leave the ordering pipeline demonstrably running,
+    /// not just the walkers un-stranded. (None = not checked.)
+    pub ordering_resumed_after: Option<SimTime>,
 }
 
 impl Default for AuditConfig {
@@ -119,6 +128,7 @@ impl Default for AuditConfig {
             check_gsn_order: true,
             check_gap_freedom: true,
             liveness: None,
+            ordering_resumed_after: None,
         }
     }
 }
@@ -169,6 +179,8 @@ pub struct Auditor {
     violations: u64,
     deliveries: u64,
     skips: u64,
+    /// Time of the most recent application delivery (any walker).
+    last_delivery: Option<SimTime>,
 }
 
 impl Auditor {
@@ -183,6 +195,7 @@ impl Auditor {
             violations: 0,
             deliveries: 0,
             skips: 0,
+            last_delivery: None,
         }
     }
 
@@ -241,6 +254,7 @@ impl Auditor {
                 local_seq,
             } => {
                 self.deliveries += 1;
+                self.last_delivery = Some(t);
                 if self.cfg.check_gsn_order {
                     self.meaning(t, gsn, source, local_seq, "walker");
                 }
@@ -345,8 +359,26 @@ impl Auditor {
         }
     }
 
-    /// Close the audit at simulated time `end`, running the liveness check.
+    /// Close the audit at simulated time `end`, running the liveness and
+    /// post-recovery ordering checks.
     pub fn finish(mut self, end: SimTime) -> AuditReport {
+        if let Some(after) = self.cfg.ordering_resumed_after.take() {
+            let resumed = self.last_delivery.is_some_and(|t| t >= after);
+            if !resumed {
+                let last = self
+                    .last_delivery
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "never".into());
+                self.violate(
+                    end,
+                    ViolationKind::OrderingStalled,
+                    format!(
+                        "no application delivery at or after {after} \
+                         (last delivery: {last})"
+                    ),
+                );
+            }
+        }
         if let Some(liveness) = self.cfg.liveness.take() {
             for &w in &liveness.walkers {
                 let late_enough = match self.walkers.get(&Guid(w)) {
@@ -521,6 +553,7 @@ mod tests {
             check_gsn_order: false,
             check_gap_freedom: false,
             liveness: None,
+            ordering_resumed_after: None,
         });
         a.observe_journal(&j);
         let r = a.finish(SimTime::from_secs(1));

@@ -2,24 +2,32 @@
 //!
 //! ```text
 //! chaos_soak [--seeds N] [--start S] [--seed K] [--backends a,b,c]
-//!            [--quick] [--no-shrink]
+//!            [--quick | --stress] [--no-shrink] [--equivalence N]
 //! ```
 //!
 //! * `--seeds N` — soak seeds `start..start+N` (default 50, start 0).
 //! * `--seed K` — reproduce a single seed verbosely (prints the scenario).
 //! * `--backends` — comma-separated subset (default: all six).
 //! * `--quick` — the CI-sized generator space (smaller worlds/runs).
+//! * `--stress` — the opt-in production-scale space (tens of attachments,
+//!   hundreds of walkers). Not run in CI.
 //! * `--no-shrink` — skip minimization on failure.
+//! * `--equivalence N` — additionally run the cross-backend delivery-set
+//!   equivalence audit over `start..start+N`: each seed's world stripped
+//!   to loss-free links and an empty fault schedule must produce
+//!   *identical* per-walker delivered-message sets on every backend.
+//!   Pass `--seeds 0` to run only the equivalence audit.
 //!
 //! Exit status: 0 when every audited run is clean, 1 on the first
-//! violation (after printing the shrunk reproduction).
+//! violation or delivery-set mismatch (after printing the reproduction).
 
-use chaos::{generate, soak_seed, Backend, ChaosConfig};
+use chaos::{check_equivalence, generate, soak_seed, Backend, ChaosConfig, SoakTier};
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos_soak [--seeds N] [--start S] [--seed K] \
-         [--backends a,b,c] [--quick] [--no-shrink]"
+         [--backends a,b,c] [--quick | --stress] [--no-shrink] \
+         [--equivalence N]"
     );
     std::process::exit(2)
 }
@@ -29,8 +37,9 @@ fn main() {
     let mut start: u64 = 0;
     let mut single: Option<u64> = None;
     let mut backends: Vec<Backend> = Backend::ALL.to_vec();
-    let mut quick = false;
+    let mut tier = SoakTier::Default;
     let mut shrink = true;
+    let mut equivalence: u64 = 0;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -44,8 +53,10 @@ fn main() {
             "--seeds" => seeds = num(&mut it),
             "--start" => start = num(&mut it),
             "--seed" => single = Some(num(&mut it)),
-            "--quick" => quick = true,
+            "--quick" => tier = SoakTier::Quick,
+            "--stress" => tier = SoakTier::Stress,
             "--no-shrink" => shrink = false,
+            "--equivalence" => equivalence = num(&mut it),
             "--backends" => {
                 let list = it.next().unwrap_or_else(|| usage());
                 backends = list
@@ -57,11 +68,7 @@ fn main() {
         }
     }
 
-    let cfg = if quick {
-        ChaosConfig::quick()
-    } else {
-        ChaosConfig::default()
-    };
+    let cfg = ChaosConfig::tier(tier);
 
     let range: Vec<u64> = match single {
         Some(k) => {
@@ -77,7 +84,11 @@ fn main() {
         "chaos soak: {} seed(s) × [{}]{}",
         range.len(),
         names.join(", "),
-        if quick { " (quick space)" } else { "" }
+        match tier {
+            SoakTier::Quick => " (quick space)",
+            SoakTier::Default => "",
+            SoakTier::Stress => " (stress space)",
+        }
     );
 
     let mut total_deliveries = 0u64;
@@ -125,7 +136,11 @@ fn main() {
                     "\nreproduce with: chaos_soak --seed {} --backends {}{}",
                     failure.seed,
                     failure.backend.name(),
-                    if quick { " --quick" } else { "" }
+                    match tier {
+                        SoakTier::Quick => " --quick",
+                        SoakTier::Default => "",
+                        SoakTier::Stress => " --stress",
+                    }
                 );
                 std::process::exit(1);
             }
@@ -135,4 +150,28 @@ fn main() {
         "OK: {} runs clean — {} deliveries and {} skips audited, zero violations",
         runs, total_deliveries, total_skips
     );
+
+    if equivalence > 0 {
+        println!(
+            "equivalence audit: {equivalence} loss-free seed(s) × [{}]",
+            names.join(", ")
+        );
+        let mut compared = 0u64;
+        for seed in start..start + equivalence {
+            match check_equivalence(&cfg, seed, &backends) {
+                Ok(n) => compared += n,
+                Err(f) => {
+                    eprintln!(
+                        "\nDELIVERY-SET MISMATCH at seed {}: {} vs {} — {}",
+                        f.seed,
+                        f.baseline.name(),
+                        f.backend.name(),
+                        f.detail
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("OK: delivery sets identical across backends ({compared} deliveries compared)");
+    }
 }

@@ -4,18 +4,36 @@
 //! space: world shape (chain or grid), walker population (including late
 //! joiners), traffic pattern, wireless link profile (up to Gilbert–Elliott
 //! bursty loss), a handoff schedule, and a fault schedule drawn from the
-//! full repertoire. The construction is deliberately conservative about
-//! *recoverability*: every AP crash gets a matching restart, every
+//! full repertoire — including kill → restart → **ring rejoin** cycles on
+//! wired-core entities. The construction is deliberately conservative
+//! about *recoverability*: every AP crash gets a matching restart, every
 //! partition a matching heal, no source-bearing core entity is killed, and
 //! fault times leave room for recovery before the end of the run — so a
 //! clean protocol produces a clean audit, and an auditor violation means a
 //! protocol bug, not an impossible world.
+//!
+//! Three [`SoakTier`]s bound the space: `Quick` (CI-sized), `Default`, and
+//! the opt-in `Stress` tier (tens of attachments, hundreds of walkers —
+//! the ROADMAP's production-scale worlds), selected via
+//! [`ChaosConfig::tier`].
 //!
 //! Determinism: the scenario is a pure function of `(ChaosConfig, seed)`.
 
 use ringnet_core::driver::{Scenario, ScenarioBuilder, ScenarioEvent};
 use ringnet_core::hierarchy::TrafficPattern;
 use simnet::{LinkProfile, LossModel, SimDuration, SimRng, SimTime};
+
+/// The three sizes of generated world, selected via [`ChaosConfig::tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoakTier {
+    /// CI-sized: small worlds, short runs, full fault mix.
+    Quick,
+    /// The standard soak space.
+    Default,
+    /// Opt-in production-scale worlds: tens of attachments, hundreds of
+    /// walkers. Not run in CI (wall-time); `chaos_soak --stress`.
+    Stress,
+}
 
 /// Bounds and toggles of the scenario space.
 #[derive(Debug, Clone)]
@@ -40,6 +58,10 @@ pub struct ChaosConfig {
     pub allow_walker_kills: bool,
     /// Schedule wired-core crash-stops (never a source-bearing entity).
     pub allow_core_kills: bool,
+    /// Pair a wired-core kill with a restart + ring-rejoin
+    /// ([`ScenarioEvent::RingRejoin`]): the killed BR/AG comes back and is
+    /// spliced into its repaired ring at a token boundary.
+    pub allow_core_rejoin: bool,
     /// Schedule AP crash + restart pairs.
     pub allow_ap_crash_restart: bool,
     /// Schedule wired-core partition + heal pairs.
@@ -64,6 +86,7 @@ impl Default for ChaosConfig {
             allow_late_joins: true,
             allow_walker_kills: true,
             allow_core_kills: true,
+            allow_core_rejoin: true,
             allow_ap_crash_restart: true,
             allow_partitions: true,
             allow_token_drop: true,
@@ -82,6 +105,29 @@ impl ChaosConfig {
             min_duration: SimDuration::from_millis(4_500),
             max_duration: SimDuration::from_millis(5_500),
             ..ChaosConfig::default()
+        }
+    }
+
+    /// The opt-in production-scale space (ROADMAP: "tens of attachments,
+    /// hundreds of walkers"): grids up to 6×6, up to six walkers per
+    /// attachment plus late joiners, same full fault mix.
+    pub fn stress() -> Self {
+        ChaosConfig {
+            max_attachments: 36,
+            max_walkers_per_attachment: 6,
+            max_sources: 3,
+            min_duration: SimDuration::from_secs(6),
+            max_duration: SimDuration::from_secs(8),
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// The config for one [`SoakTier`].
+    pub fn tier(tier: SoakTier) -> Self {
+        match tier {
+            SoakTier::Quick => ChaosConfig::quick(),
+            SoakTier::Default => ChaosConfig::default(),
+            SoakTier::Stress => ChaosConfig::stress(),
         }
     }
 
@@ -139,9 +185,12 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
     let mut b = ScenarioBuilder::new();
     let attachments;
     if rng.chance(0.4) {
-        let cols = 2 + rng.index(2); // 2..=3
-                                     // Rows clamped so cols × rows honours max_attachments.
-        let max_rows = (cfg.max_attachments.max(2) / cols).clamp(1, 3);
+        // Grid side bounds scale with the tier: up to 3 for the small
+        // spaces (unchanged sampling), up to 6 for the stress tier.
+        let side_cap = if cfg.max_attachments >= 16 { 6 } else { 3 };
+        let cols = 2 + rng.index(side_cap - 1); // 2..=side_cap
+                                                // Rows clamped so cols × rows honours max_attachments.
+        let max_rows = (cfg.max_attachments.max(2) / cols).clamp(1, side_cap);
         let rows = 1 + rng.index(max_rows);
         attachments = cols * rows;
         b = b.grid(cols, rows);
@@ -243,11 +292,22 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
         if cfg.allow_core_kills && core_len > sources + 1 && rng.chance(0.3) {
             // Never a source-bearing entity (indices < sources in every
             // KillCore-implementing backend).
-            events.push(ScenarioEvent::KillCore {
-                at: fault_time(&mut rng),
-                index: sources + rng.index(core_len - sources),
-            });
+            let index = sources + rng.index(core_len - sources);
+            let kill_at = fault_time(&mut rng);
+            events.push(ScenarioEvent::KillCore { at: kill_at, index });
             heavy += 1;
+            if cfg.allow_core_rejoin && rng.chance(0.6) {
+                // Kill → restart → rejoin: the entity comes back (possibly
+                // before its ring even noticed the crash) and must splice
+                // into the repaired ring without forking GSN assignment.
+                let latest = duration - (cfg.liveness_window + SimDuration::from_millis(500));
+                let rejoin =
+                    (kill_at + SimDuration::from_millis(300 + rng.range_u64(0, 1_200))).min(latest);
+                events.push(ScenarioEvent::RingRejoin {
+                    at: rejoin.max(kill_at),
+                    index,
+                });
+            }
         }
         if cfg.allow_partitions && heavy < 2 && rng.chance(0.3) {
             // One endpoint below the RingNet BR tier, one in the AG tier —
@@ -315,6 +375,7 @@ mod tests {
         let mut saw_fault = false;
         let mut saw_joiner = false;
         let mut saw_lossy = false;
+        let mut saw_rejoin = false;
         for seed in 0..128 {
             let sc = generate(&cfg, seed);
             saw_grid |= sc.grid_cols.is_some();
@@ -326,8 +387,41 @@ mod tests {
                 )
             });
             saw_lossy |= sc.links.wireless.loss.steady_state_loss() > 0.0;
+            // Every rejoin follows a kill of the same core index.
+            for ev in &sc.events {
+                if let ScenarioEvent::RingRejoin { at, index } = *ev {
+                    saw_rejoin = true;
+                    assert!(
+                        sc.events.iter().any(|e| matches!(e,
+                            ScenarioEvent::KillCore { at: k, index: i }
+                                if *i == index && *k <= at)),
+                        "seed {seed}: rejoin without a preceding kill"
+                    );
+                }
+            }
         }
-        assert!(saw_grid && saw_fault && saw_joiner && saw_lossy);
+        assert!(saw_grid && saw_fault && saw_joiner && saw_lossy && saw_rejoin);
+    }
+
+    #[test]
+    fn stress_tier_reaches_production_scale() {
+        let cfg = ChaosConfig::tier(SoakTier::Stress);
+        let mut max_attachments = 0;
+        let mut max_walkers = 0;
+        for seed in 0..64 {
+            let sc = generate(&cfg, seed);
+            assert!(sc.validate().is_empty(), "seed {seed}: {:?}", sc.validate());
+            max_attachments = max_attachments.max(sc.attachments);
+            max_walkers = max_walkers.max(sc.walkers.len());
+        }
+        assert!(
+            max_attachments >= 20,
+            "tens of attachments (saw {max_attachments})"
+        );
+        assert!(
+            max_walkers >= 100,
+            "hundreds of walkers (saw {max_walkers})"
+        );
     }
 
     #[test]
@@ -337,6 +431,7 @@ mod tests {
             allow_late_joins: false,
             allow_walker_kills: false,
             allow_core_kills: false,
+            allow_core_rejoin: false,
             allow_ap_crash_restart: false,
             allow_partitions: false,
             allow_token_drop: false,

@@ -10,8 +10,10 @@
 //!   [`Scenario`](ringnet_core::driver::Scenario)s: grid shape, walker
 //!   counts, traffic pattern, link profiles (incl. Gilbert–Elliott bursty
 //!   wireless), handoff schedules, late joins, and a fault schedule drawn
-//!   from the full repertoire (walker/core kills, AP crash + restart,
-//!   wired-core partitions with heal, forced token loss).
+//!   from the full repertoire (walker/core kills, core kill → restart →
+//!   ring-rejoin cycles, AP crash + restart, wired-core partitions with
+//!   heal, forced token loss), in three sizes ([`SoakTier`]) up to an
+//!   opt-in production-scale stress tier.
 //! * [`audit`] — an **online auditor** fed one protocol event at a time
 //!   (from a finished journal or straight from the simulator's journal
 //!   sink, like the streaming metrics accumulator) that checks, per
@@ -23,7 +25,10 @@
 //!   scenario by deleting events and truncating the run window while the
 //!   failure still reproduces.
 //! * [`soak`] — the generate → run → audit → (on failure) shrink loop over
-//!   every backend, driven by the `chaos_soak` binary:
+//!   every backend, plus the cross-backend **delivery-set equivalence**
+//!   audit ([`check_equivalence`]): on loss-free, fault-free worlds all
+//!   six backends must deliver *identical* per-walker message sets. Both
+//!   are driven by the `chaos_soak` binary:
 //!
 //! ```text
 //! cargo run --release -p ringnet-chaos --bin chaos_soak -- --seeds 200
@@ -43,6 +48,9 @@ pub mod shrink;
 pub mod soak;
 
 pub use audit::{AuditConfig, AuditReport, Auditor, LivenessCheck, Violation, ViolationKind};
-pub use gen::{generate, ChaosConfig};
+pub use gen::{generate, ChaosConfig, SoakTier};
 pub use shrink::shrink;
-pub use soak::{audit_scenario_run, soak_seed, Backend, SoakFailure, SoakOutcome};
+pub use soak::{
+    audit_scenario_run, check_equivalence, delivery_sets, equivalence_scenario, soak_seed, Backend,
+    EquivalenceFailure, SoakFailure, SoakOutcome,
+};

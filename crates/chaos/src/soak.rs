@@ -82,7 +82,12 @@ impl Backend {
     ///   per-GSN skips (tunnel/RelM drop silently under loss);
     /// * liveness only for RingNet — the one backend that claims to
     ///   *recover* from the whole fault repertoire. `window` comes from
-    ///   the chaos config; exemptions are derived from the scenario.
+    ///   the chaos config; exemptions are derived from the scenario;
+    /// * post-rejoin resumption for the rejoin-implementing backends
+    ///   (RingNet, flat ring, tree): when the schedule contains a
+    ///   [`ScenarioEvent::RingRejoin`], at least one application delivery
+    ///   must land at or after the last rejoin — the spliced ring must
+    ///   demonstrably keep ordering and delivering.
     pub fn audit_config(self, sc: &Scenario, cfg: &ChaosConfig) -> AuditConfig {
         let (gsn, gaps) = match self {
             Backend::RingNet | Backend::FlatRing | Backend::Tree => (true, true),
@@ -96,10 +101,22 @@ impl Backend {
             }),
             _ => None,
         };
+        let ordering_resumed_after = match self {
+            Backend::RingNet | Backend::FlatRing | Backend::Tree => sc
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    ScenarioEvent::RingRejoin { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .max(),
+            _ => None,
+        };
         AuditConfig {
             check_gsn_order: gsn,
             check_gap_freedom: gaps,
             liveness,
+            ordering_resumed_after,
         }
     }
 }
@@ -255,6 +272,133 @@ pub fn soak_seed(
         });
     }
     Ok(outcomes)
+}
+
+// ------------------------------------------------------------ equivalence
+
+/// The scenario used for the cross-backend delivery-set equivalence audit,
+/// derived from the same generator seed: identical world shape and walker
+/// population, but **loss-free** wireless, **no** scheduled events,
+/// always-active attachments, a single CBR source, and a source window
+/// that closes two simulated seconds before teardown so every backend
+/// fully drains. In such a world all six backends promise the same thing —
+/// every walker receives every message — so their delivered-message sets
+/// must be *identical*, not merely clean.
+pub fn equivalence_scenario(cfg: &ChaosConfig, seed: u64) -> Scenario {
+    let mut sc = crate::gen::generate(cfg, seed);
+    sc.events.clear();
+    // Late joiners are placed from the start (the static backends would
+    // place them differently otherwise).
+    sc.walkers = sc.walkers.iter().map(|w| Some(w.unwrap_or(0))).collect();
+    // One source: the single-ingest backends (tunnel, RelM) clamp source
+    // counts, which would make multi-source delivery sets incomparable.
+    sc.sources = 1;
+    // CBR only: Poisson draws come from per-backend RNG streams, so the
+    // sent set itself would differ across backends.
+    if let ringnet_core::TrafficPattern::Poisson { .. } = sc.pattern {
+        sc.pattern = ringnet_core::TrafficPattern::Cbr {
+            interval: simnet::SimDuration::from_millis(10),
+        };
+    }
+    sc.links.wireless = simnet::LinkProfile::wired(SimDuration::from_millis(2));
+    sc.aps_always_active = true;
+    sc.start = SimTime::from_millis(200);
+    sc.stop = Some(sc.duration - SimDuration::from_secs(2));
+    sc.limit = None;
+    sc.retain_journal = true;
+    debug_assert!(sc.validate().is_empty(), "{:?}", sc.validate());
+    sc
+}
+
+/// Per-walker delivered-message sets of one run: walker →
+/// `{(source rank, local_seq)}`. Source node ids differ per backend, so
+/// they are normalized to their rank among the sources observed.
+pub fn delivery_sets(
+    report: &RunReport,
+) -> std::collections::BTreeMap<u32, BTreeSet<(usize, u64)>> {
+    use ringnet_core::ProtoEvent;
+    let mut source_ids: BTreeSet<ringnet_core::NodeId> = BTreeSet::new();
+    for (_, e) in &report.journal {
+        if let ProtoEvent::MhDeliver { source, .. } = e {
+            source_ids.insert(*source);
+        }
+    }
+    let rank: std::collections::BTreeMap<_, _> = source_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    let mut sets: std::collections::BTreeMap<u32, BTreeSet<(usize, u64)>> = Default::default();
+    for (_, e) in &report.journal {
+        if let ProtoEvent::MhDeliver {
+            mh,
+            source,
+            local_seq,
+            ..
+        } = e
+        {
+            sets.entry(mh.0)
+                .or_default()
+                .insert((rank[source], local_seq.0));
+        }
+    }
+    sets
+}
+
+/// A cross-backend delivery-set mismatch on a loss-free, fault-free world.
+#[derive(Debug)]
+pub struct EquivalenceFailure {
+    /// The generator seed the world was derived from.
+    pub seed: u64,
+    /// The reference backend (first in the requested list).
+    pub baseline: Backend,
+    /// The backend whose delivery sets diverged.
+    pub backend: Backend,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+/// Run the seed's loss-free world on every requested backend and compare
+/// the per-walker delivered-message sets against the first backend's.
+/// Returns the number of deliveries compared on success.
+pub fn check_equivalence(
+    cfg: &ChaosConfig,
+    seed: u64,
+    backends: &[Backend],
+) -> Result<u64, Box<EquivalenceFailure>> {
+    let sc = equivalence_scenario(cfg, seed);
+    let baseline = backends[0];
+    let reference = delivery_sets(&baseline.run(&sc, seed));
+    let mut compared: u64 = reference.values().map(|s| s.len() as u64).sum();
+    for &backend in &backends[1..] {
+        let sets = delivery_sets(&backend.run(&sc, seed));
+        compared += sets.values().map(|s| s.len() as u64).sum::<u64>();
+        if sets == reference {
+            continue;
+        }
+        // Pin down the first divergent walker for the report.
+        let detail = reference
+            .keys()
+            .chain(sets.keys())
+            .find(|w| reference.get(w) != sets.get(w))
+            .map(|w| {
+                let a = reference.get(w).map_or(0, |s| s.len());
+                let b = sets.get(w).map_or(0, |s| s.len());
+                format!(
+                    "walker {w}: {} delivered {a} distinct messages, {} delivered {b}",
+                    baseline.name(),
+                    backend.name()
+                )
+            })
+            .unwrap_or_else(|| "walker sets differ".into());
+        return Err(Box::new(EquivalenceFailure {
+            seed,
+            baseline,
+            backend,
+            detail,
+        }));
+    }
+    Ok(compared)
 }
 
 #[cfg(test)]

@@ -145,6 +145,7 @@ fn reordered_stream_without_gsn_checks_is_caught() {
         check_gsn_order: false,
         check_gap_freedom: false,
         liveness: None,
+        ordering_resumed_after: None,
     });
     a.observe_journal(&j);
     let v = a.finish(SimTime::from_secs(3)).first_violation;

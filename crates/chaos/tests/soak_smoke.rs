@@ -21,6 +21,45 @@ fn quick_seeds_run_clean_on_every_backend() {
 }
 
 #[test]
+fn delivery_sets_are_equivalent_on_loss_free_worlds() {
+    let cfg = ChaosConfig::quick();
+    for seed in 0..2 {
+        match chaos::check_equivalence(&cfg, seed, &Backend::ALL) {
+            Ok(compared) => assert!(compared > 0, "seed {seed}: nothing compared"),
+            Err(f) => panic!(
+                "seed {seed}: {} vs {} delivery sets differ — {}",
+                f.baseline.name(),
+                f.backend.name(),
+                f.detail
+            ),
+        }
+    }
+}
+
+#[test]
+fn rejoin_faults_soak_clean() {
+    // A fixed quick-space seed whose schedule contains a core kill → ring
+    // rejoin cycle must pass the full audit (including the post-rejoin
+    // ordering-resumed check) on every implementing backend.
+    let cfg = ChaosConfig::quick();
+    let seed = (0..256)
+        .find(|&s| {
+            chaos::generate(&cfg, s)
+                .events
+                .iter()
+                .any(|e| matches!(e, ringnet_core::driver::ScenarioEvent::RingRejoin { .. }))
+        })
+        .expect("quick space generates rejoin faults");
+    if let Err(failure) = soak_seed(&cfg, seed, &Backend::ALL, false) {
+        panic!(
+            "rejoin seed {seed} violated on {}: {}",
+            failure.backend.name(),
+            failure.violation
+        );
+    }
+}
+
+#[test]
 fn shrinker_engages_on_a_planted_failure() {
     // Plant an "oracle" failure — a predicate unrelated to real audits —
     // through the public soak path: shrink a generated scenario against a

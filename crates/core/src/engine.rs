@@ -679,8 +679,10 @@ impl RingNetSim {
         });
     }
 
-    /// Schedule a restart of a crashed access proxy at `at` (see
-    /// [`crate::node::NeState::restart`]). Non-AP entities ignore it.
+    /// Schedule a restart of a crashed entity at `at` (see
+    /// [`crate::node::NeState::restart`]): a restarted AP re-grafts on
+    /// demand; a restarted BR/AG re-enters its repaired ring via the
+    /// rejoin handshake.
     pub fn schedule_restart_ne(&mut self, at: SimTime, node: NodeId) {
         let map = Arc::clone(&self.addrs);
         let group = self.spec.group;

@@ -114,6 +114,14 @@ pub enum ProtoEvent {
         /// The new next node.
         new_next: NodeId,
     },
+    /// A restarted ring member was spliced back into its repaired ring
+    /// (recorded by the granting node at the token boundary).
+    RingRejoined {
+        /// The granting node.
+        node: NodeId,
+        /// The re-admitted member.
+        member: NodeId,
+    },
     /// An MH registered at an AP after a handoff.
     HandoffRegistered {
         /// The mobile host.

@@ -21,7 +21,10 @@
 //! * token loss and multiple-token hazards are repaired from the per-node
 //!   token snapshots ([`recovery`]);
 //! * membership, liveness, ring repair and leader failover are provided by
-//!   the membership layer the paper assumes ([`membership`]).
+//!   the membership layer the paper assumes ([`membership`]), with every
+//!   ring-membership transition routed through an explicit per-ring
+//!   lifecycle state machine ([`ring_lifecycle`]) that also models the
+//!   re-entry of restarted BRs/AGs into their repaired rings.
 //!
 //! The protocol logic is entirely sans-IO: state machines consume events
 //! and emit [`actions::Action`]s, making every algorithm unit-testable.
@@ -75,6 +78,7 @@ pub mod node;
 pub mod ordering;
 pub mod recovery;
 pub mod retransmit;
+pub mod ring_lifecycle;
 pub mod token;
 pub mod wq;
 pub mod wt;
@@ -92,6 +96,7 @@ pub use mh::MhState;
 pub use mq::{DeliverItem, InsertOutcome, MessageQueue, MsgData};
 pub use msg::Msg;
 pub use node::{NeState, Tier};
+pub use ring_lifecycle::{LifecycleEvent, MemberState, RingLifecycle, Transition};
 pub use token::OrderingToken;
 pub use wq::WorkingQueue;
 pub use wt::WorkingTable;

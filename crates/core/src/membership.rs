@@ -14,6 +14,10 @@
 //! * **Leader / parent failover**: a non-top ring's new leader grafts onto
 //!   a candidate parent; entities whose parent died rotate to the next
 //!   configured candidate.
+//! * **Ring re-entry**: a restarted BR/AG runs the
+//!   `RejoinRequest`/`RejoinGrant` handshake and is spliced back into its
+//!   repaired ring (see [`crate::ring_lifecycle`] — every membership
+//!   transition in this module goes through that state machine).
 //! * **Membership aggregation**: member deltas batch upward along
 //!   AP → AG → ring leader → BR → top leader (the "batched update scheme").
 
@@ -64,6 +68,7 @@ impl NeState {
         if self.ring_next() == Some(n) {
             if let Some(r) = self.ring.as_mut() {
                 r.hb_outstanding = 0;
+                r.refute(n);
             }
         }
         if self.parent == Some(n) {
@@ -128,6 +133,12 @@ impl NeState {
         if !self.alive {
             return;
         }
+        if self.is_rejoining() {
+            // Not in the cycle yet: the only periodic duty is retrying the
+            // rejoin handshake (rotating static targets until granted).
+            self.send_rejoin_request(now, out);
+            return;
+        }
         let group = self.group;
         let misses = self.cfg.heartbeat_misses;
 
@@ -148,7 +159,7 @@ impl NeState {
                         new_next,
                     }));
                     let peers: Vec<NodeId> =
-                        r.alive.iter().copied().filter(|&m| m != self.id).collect();
+                        r.members_in_ring().filter(|&m| m != self.id).collect();
                     for m in peers {
                         out.push(Action::to_ne(
                             m,
@@ -171,6 +182,10 @@ impl NeState {
                     }
                     ring_changed = true;
                 } else {
+                    if r.hb_outstanding > 0 {
+                        // The previous probe went unanswered.
+                        r.suspect(next);
+                    }
                     r.hb_outstanding += 1;
                     out.push(Action::to_ne(next, Msg::Heartbeat { group }));
                     self.counters.control_sent += 1;
@@ -239,7 +254,7 @@ impl NeState {
                         group,
                         child: self.id,
                         resume_from: self.mq.front(),
-                        resync: false,
+                        resync: self.resync_on_graft,
                     },
                 ));
                 self.counters.control_sent += 1;
@@ -399,7 +414,7 @@ impl NeState {
         let position = r
             .order
             .iter()
-            .filter(|n| r.alive.contains(n))
+            .filter(|&&n| r.is_in_ring(n))
             .position(|&n| n == me)
             .unwrap_or(0) as u64;
         let threshold = quiet * (2 + position);
@@ -534,7 +549,7 @@ mod tests {
         n.on_ring_fail(SimTime::from_secs(1), NodeId(1), &mut out);
         assert!(out.is_empty());
         assert!(
-            n.ring.as_ref().unwrap().alive.contains(&NodeId(1)),
+            n.ring.as_ref().unwrap().is_in_ring(NodeId(1)),
             "a live node never marks itself dead"
         );
     }

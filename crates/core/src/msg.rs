@@ -242,6 +242,35 @@ pub enum Msg {
         /// The dead ring member.
         failed: NodeId,
     },
+    /// A restarted ring member asks to re-enter its repaired ring. Retried
+    /// against rotating static ring members (Remark 2) until a
+    /// [`Msg::RejoinGrant`] arrives. On the top ring the receiver defers
+    /// the grant to its next token boundary so GSN assignment never forks;
+    /// non-top rings grant immediately.
+    RejoinRequest {
+        /// Group.
+        group: GroupId,
+        /// The member asking to re-enter.
+        member: NodeId,
+    },
+    /// Ring-membership broadcast completing a rejoin: `member` is spliced
+    /// back into the cycle. Sent both to the rejoiner (which fast-forwards
+    /// its fresh `MQ` to `front`) and to every other in-ring member (which
+    /// re-admits `member` to its cycle view; `front`/`pass` are ignored).
+    RejoinGrant {
+        /// Group.
+        group: GroupId,
+        /// The re-admitted member.
+        member: NodeId,
+        /// The granter's contiguous-delivery front at splice time.
+        front: GlobalSeq,
+        /// The live token pass `(epoch, origin, rotation)` known to the
+        /// granter (top ring: the token in hand at the splice boundary).
+        /// Seeds the rejoiner's duplicate-transfer and keep-one state so a
+        /// stale retransmitted token copy cannot be mistaken for the live
+        /// one and fork GSN assignment.
+        pass: Option<(crate::ids::Epoch, u32, u64)>,
+    },
 
     // -------------------------------------------------- engine control only
     /// Scenario stimulus to an MH: join the group at `ap` now. Not part of
@@ -258,10 +287,11 @@ pub enum Msg {
         /// Group.
         group: GroupId,
     },
-    /// Fault injection: restart a crashed access proxy with factory-fresh
+    /// Fault injection: restart a crashed entity with factory-fresh
     /// protocol state (volatile queues and tables lost). Not part of the
-    /// protocol; injected by scenario code. Non-AP entities ignore it —
-    /// ring re-entry of a restarted BR/AG is not modelled.
+    /// protocol; injected by scenario code. A restarted AP re-grafts on
+    /// demand; a restarted BR/AG re-enters its repaired ring via the
+    /// [`Msg::RejoinRequest`]/[`Msg::RejoinGrant`] handshake.
     Restart {
         /// Group.
         group: GroupId,
@@ -311,6 +341,8 @@ impl Msg {
             | Msg::TokenLossSignal { group }
             | Msg::TokenRegen { group, .. }
             | Msg::RingFail { group, .. }
+            | Msg::RejoinRequest { group, .. }
+            | Msg::RejoinGrant { group, .. }
             | Msg::JoinCmd { group, .. }
             | Msg::Kill { group }
             | Msg::Restart { group }
@@ -345,7 +377,9 @@ impl Msg {
             | Msg::JoinAck { .. }
             | Msg::ReRegister { .. }
             | Msg::TokenLossSignal { .. }
-            | Msg::RingFail { .. } => 24,
+            | Msg::RingFail { .. }
+            | Msg::RejoinRequest { .. } => 24,
+            Msg::RejoinGrant { .. } => 32,
             // Engine-control messages are not real traffic.
             Msg::JoinCmd { .. }
             | Msg::Kill { .. }

@@ -14,7 +14,7 @@
 //! tick), `recovery` (Token-Loss / Multiple-Token) and `membership`
 //! (heartbeats, ring repair, membership aggregation).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use simnet::SimTime;
 
@@ -23,6 +23,7 @@ use crate::config::ProtocolConfig;
 use crate::ids::{Endpoint, GlobalSeq, GroupId, Guid, LocalSeq, NodeId};
 use crate::mq::MessageQueue;
 use crate::msg::Msg;
+use crate::ring_lifecycle::{LifecycleEvent, MemberState, RingLifecycle};
 use crate::token::OrderingToken;
 use crate::wq::WorkingQueue;
 use crate::wt::WorkingTable;
@@ -38,13 +39,16 @@ pub enum Tier {
     Ap,
 }
 
-/// Ring-membership state for BRs and AGs.
+/// Ring-membership state for BRs and AGs. All membership transitions go
+/// through the embedded [`RingLifecycle`] — see that module's docs for the
+/// state machine.
 #[derive(Debug, Clone)]
 pub struct RingState {
     /// The statically configured ring cycle, in ring order (Remark 2).
     pub order: Vec<NodeId>,
-    /// Members currently believed alive (always contains the owner).
-    pub alive: BTreeSet<NodeId>,
+    /// Per-member lifecycle states (the single source of truth for who is
+    /// in the ring cycle).
+    pub lifecycle: RingLifecycle,
     /// True for the top logical ring (the ordering ring).
     pub is_top: bool,
     /// Heartbeats sent to `next` without an answer.
@@ -57,10 +61,10 @@ impl RingState {
     /// Create ring state for `me` over the configured `order`.
     pub fn new(order: Vec<NodeId>, me: NodeId, is_top: bool) -> Self {
         assert!(order.contains(&me), "ring order must include the owner");
-        let alive = order.iter().copied().collect();
+        let lifecycle = RingLifecycle::new(order.iter().copied());
         RingState {
             order,
-            alive,
+            lifecycle,
             is_top,
             hb_outstanding: 0,
             next_acked_mq: GlobalSeq::ZERO,
@@ -74,46 +78,89 @@ impl RingState {
             .expect("node not in ring order")
     }
 
-    /// The next alive node after `me` in the cycle (may be `me` itself when
-    /// it is the only survivor).
+    /// True when the member takes part in the ring cycle.
+    pub fn is_in_ring(&self, id: NodeId) -> bool {
+        self.lifecycle.is_in_ring(id)
+    }
+
+    /// Lifecycle state of a member.
+    pub fn state_of(&self, id: NodeId) -> MemberState {
+        self.lifecycle.state(id)
+    }
+
+    /// The next in-ring node after `me` in the cycle (may be `me` itself
+    /// when it is the only member in the cycle).
     pub fn next_of(&self, me: NodeId) -> NodeId {
         let n = self.order.len();
         let start = self.pos(me);
         for step in 1..=n {
             let cand = self.order[(start + step) % n];
-            if self.alive.contains(&cand) {
+            if self.lifecycle.is_in_ring(cand) {
                 return cand;
             }
         }
         me
     }
 
-    /// The previous alive node before `me` in the cycle.
+    /// The previous in-ring node before `me` in the cycle.
     pub fn prev_of(&self, me: NodeId) -> NodeId {
         let n = self.order.len();
         let start = self.pos(me);
         for step in 1..=n {
             let cand = self.order[(start + n - step) % n];
-            if self.alive.contains(&cand) {
+            if self.lifecycle.is_in_ring(cand) {
                 return cand;
             }
         }
         me
     }
 
-    /// The ring leader: smallest alive node id (DESIGN.md §6).
+    /// The ring leader: smallest in-ring node id (DESIGN.md §6).
     pub fn leader(&self) -> NodeId {
-        *self.alive.iter().next().expect("ring has no alive member")
+        self.lifecycle
+            .in_ring()
+            .next()
+            .expect("ring has no member in the cycle")
     }
 
-    /// Mark a member dead. Returns true if it was believed alive.
+    /// Excise a member (local detection or `RingFail` broadcast). Returns
+    /// true if it was in the ring cycle until now.
     pub fn mark_dead(&mut self, id: NodeId) -> bool {
-        self.alive.remove(&id)
+        let was_in = self.lifecycle.is_in_ring(id);
+        self.lifecycle.apply(id, LifecycleEvent::Excise);
+        was_in
     }
 
-    /// Number of alive members.
+    /// A liveness probe to `id` went unanswered.
+    pub fn suspect(&mut self, id: NodeId) {
+        self.lifecycle.apply(id, LifecycleEvent::Suspect);
+    }
+
+    /// Liveness evidence for `id` arrived while it was suspected.
+    pub fn refute(&mut self, id: NodeId) {
+        self.lifecycle.apply(id, LifecycleEvent::Refute);
+    }
+
+    /// Number of members in the ring cycle.
     pub fn alive_count(&self) -> usize {
-        self.alive.len()
+        self.lifecycle.in_ring_count()
+    }
+
+    /// Members currently in the ring cycle, in identity order.
+    pub fn members_in_ring(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.lifecycle.in_ring()
+    }
+
+    /// Reset this ring view after a crash-restart of the owner: peers are
+    /// assumed in-ring until proven otherwise (normal liveness probing
+    /// re-excises the dead), and the owner itself enters the rejoin path
+    /// (`Excised → Rejoining` — its crash was its excision).
+    pub(crate) fn reset_for_rejoin(&mut self, me: NodeId) {
+        self.lifecycle = RingLifecycle::new(self.order.iter().copied());
+        self.lifecycle.apply(me, LifecycleEvent::Excise);
+        self.lifecycle.apply(me, LifecycleEvent::RejoinStart);
+        self.hb_outstanding = 0;
+        self.next_acked_mq = GlobalSeq::ZERO;
     }
 }
 
@@ -274,6 +321,21 @@ pub struct NeState {
     /// fast-forwards the (freshly empty) `MQ` to the parent's announced
     /// front instead of chasing unrecoverable history.
     pub resync_on_graft: bool,
+    /// Set by a crash-restart of a top-ring node: the first post-restart
+    /// own-source message re-baselines `MinLocalSeqNo` so already-ordered
+    /// local numbers are never assigned a second global number.
+    pub resync_source: bool,
+    /// Rejoin requests received from restarted ring members, granted at the
+    /// next token boundary (top ring; non-top rings grant immediately).
+    pub pending_rejoins: Vec<NodeId>,
+    /// Rotating index into the static ring order for [`Msg::RejoinRequest`]
+    /// retries while this entity is itself rejoining.
+    pub rejoin_target: usize,
+    /// Rejoin requests sent without a grant yet. Past a budget
+    /// proportional to the ring size, the rejoiner concludes nobody is
+    /// left to grant (every static peer dead or unreachable) and splices
+    /// itself in; normal liveness probing then re-excises the dead peers.
+    pub rejoin_attempts: u32,
 }
 
 impl NeState {
@@ -308,6 +370,10 @@ impl NeState {
             counters: NeCounters::default(),
             alive: true,
             resync_on_graft: false,
+            resync_source: false,
+            pending_rejoins: Vec::new(),
+            rejoin_target: 0,
+            rejoin_attempts: 0,
             cfg,
         }
     }
@@ -340,6 +406,10 @@ impl NeState {
             counters: NeCounters::default(),
             alive: true,
             resync_on_graft: false,
+            resync_source: false,
+            pending_rejoins: Vec::new(),
+            rejoin_target: 0,
+            rejoin_attempts: 0,
             cfg,
         }
     }
@@ -388,6 +458,10 @@ impl NeState {
             counters: NeCounters::default(),
             alive: true,
             resync_on_graft: false,
+            resync_source: false,
+            pending_rejoins: Vec::new(),
+            rejoin_target: 0,
+            rejoin_attempts: 0,
             cfg,
         }
     }
@@ -496,6 +570,13 @@ impl NeState {
             Msg::TokenLossSignal { .. } => self.on_token_loss_signal(now, out),
             Msg::TokenRegen { origin, best, .. } => self.on_token_regen(now, origin, *best, out),
             Msg::RingFail { failed, .. } => self.on_ring_fail(now, failed, out),
+            Msg::RejoinRequest { member, .. } => self.on_rejoin_request(now, member, out),
+            Msg::RejoinGrant {
+                member,
+                front,
+                pass,
+                ..
+            } => self.on_rejoin_grant(now, member, front, pass, out),
             Msg::Kill { .. } => self.kill(),
             Msg::DropToken { .. } => self.arm_token_drop(),
             Msg::FlushStats { .. } => self.flush_final_stats(out),
@@ -530,21 +611,25 @@ impl NeState {
         self.alive = false;
     }
 
-    /// Restart a crashed access proxy with factory-fresh protocol state
-    /// (scenario fault injection). Volatile state — `MQ`, child and MH
-    /// tables, tree attachment — is lost; identity, configuration and the
-    /// cumulative statistics counters survive. The restarted AP re-grafts
-    /// on demand: immediately when `always_active`, otherwise when an MH
-    /// re-registers (solicited via [`Msg::ReRegister`] when the AP hears
-    /// from an MH it no longer knows). The first `GraftAck` fast-forwards
-    /// the fresh `MQ` to the parent's announced front.
+    /// Restart a crashed entity with factory-fresh protocol state
+    /// (scenario fault injection). Volatile state — `MQ`/`WQ`, ordering
+    /// state, child and MH tables, tree attachment — is lost; identity,
+    /// static configuration (the Remark-2 ring order and candidate
+    /// parents) and the cumulative statistics counters survive.
     ///
-    /// Non-AP entities ignore the stimulus: re-entry of a restarted ring
-    /// member into a repaired ring is not modelled.
+    /// * A restarted **AP** re-grafts on demand: immediately when
+    ///   `always_active`, otherwise when an MH re-registers (solicited via
+    ///   [`Msg::ReRegister`] when the AP hears from an MH it no longer
+    ///   knows). The first `GraftAck` fast-forwards the fresh `MQ` to the
+    ///   parent's announced front.
+    /// * A restarted **BR/AG** re-enters its repaired ring through the
+    ///   lifecycle layer: its own state becomes `Rejoining`
+    ///   ([`RingState::reset_for_rejoin`]) and it runs the
+    ///   [`Msg::RejoinRequest`]/[`Msg::RejoinGrant`] handshake, retried on
+    ///   the heartbeat tick against rotating static ring members until a
+    ///   grant splices it back in at a token boundary (see
+    ///   [`NeState::on_rejoin_request`]).
     pub fn restart(&mut self, now: SimTime, out: &mut Outbox) {
-        if self.tier != Tier::Ap {
-            return;
-        }
         self.alive = true;
         self.parent = None;
         self.parent_hb_outstanding = 0;
@@ -553,11 +638,246 @@ impl NeState {
         self.mq = MessageQueue::new(self.cfg.mq_capacity);
         self.pending_delta = 0;
         self.subtree_members = 0;
+        self.resync_on_graft = true;
+        self.pending_rejoins.clear();
         if let Some(ap) = self.ap.as_mut() {
             *ap = ApMhState::new(ap.always_active, std::mem::take(&mut ap.neighbours));
         }
-        self.resync_on_graft = true;
-        self.ensure_active_grafted(now, out);
+        if self.is_top_ring() {
+            let mut wq = WorkingQueue::new(self.cfg.wq_capacity);
+            wq.mark_resync();
+            self.wq = Some(wq);
+            self.ord = Some(OrderingState::new());
+            self.resync_source = true;
+        }
+        if let Some(r) = self.ring.as_mut() {
+            r.reset_for_rejoin(self.id);
+            if r.alive_count() == 0 {
+                // Sole member of its ring (degenerate rings-of-one, e.g. the
+                // tree baseline's routers): there is nobody to grant, so the
+                // splice is immediate.
+                self.complete_own_rejoin(now, self.mq.front(), None, out);
+            } else {
+                self.send_rejoin_request(now, out);
+            }
+        } else {
+            self.ensure_active_grafted(now, out);
+        }
+    }
+
+    /// True while this ring entity is waiting to be spliced back in.
+    pub fn is_rejoining(&self) -> bool {
+        self.ring
+            .as_ref()
+            .is_some_and(|r| r.state_of(self.id) == MemberState::Rejoining)
+    }
+
+    /// Send (or retry) the rejoin request, rotating through the static ring
+    /// order so a dead first pick cannot stall re-entry. Past a budget of
+    /// unanswered requests covering every peer several times over, nobody
+    /// is left to grant (every static peer dead or unreachable): the
+    /// rejoiner splices itself in and lets normal liveness probing
+    /// re-excise the dead peers one by one.
+    pub(crate) fn send_rejoin_request(&mut self, now: SimTime, out: &mut Outbox) {
+        let group = self.group;
+        let me = self.id;
+        let Some(r) = self.ring.as_ref() else { return };
+        let n = r.order.len();
+        let budget = (n as u32) * (self.cfg.heartbeat_misses as u32 + 2);
+        if self.rejoin_attempts >= budget {
+            self.complete_own_rejoin(now, self.mq.front(), None, out);
+            return;
+        }
+        self.rejoin_attempts += 1;
+        for _ in 0..n {
+            let cand = r.order[self.rejoin_target % n];
+            self.rejoin_target = (self.rejoin_target + 1) % n;
+            if cand != me {
+                out.push(crate::actions::Action::to_ne(
+                    cand,
+                    Msg::RejoinRequest { group, member: me },
+                ));
+                self.counters.control_sent += 1;
+                return;
+            }
+        }
+    }
+
+    /// A restarted ring member asked to re-enter.
+    ///
+    /// A member we had excised needs a real splice: non-top rings grant
+    /// immediately, the top ring defers to the next token boundary
+    /// ([`NeState::process_and_forward_token`]) so the splice happens
+    /// while the granter holds the token exclusively and GSN assignment
+    /// cannot fork.
+    ///
+    /// A member still `Active` in our cycle (we never excised it — it
+    /// restarted before detection, or a duplicate request raced its own
+    /// grant) is granted immediately *with* the ring-wide broadcast: our
+    /// view may not be everyone's (a `RingFail` about the member can still
+    /// be in flight), and the member stops requesting once it completes —
+    /// without the broadcast, peers that did excise it would exclude it
+    /// forever with no repair path. Receivers treat the broadcast
+    /// idempotently, so the cost of a stale duplicate request is a few
+    /// no-op control messages.
+    pub(crate) fn on_rejoin_request(&mut self, now: SimTime, member: NodeId, out: &mut Outbox) {
+        if member == self.id {
+            return; // misrouted echo
+        }
+        let Some(r) = self.ring.as_mut() else { return };
+        if r.state_of(self.id) != MemberState::Active {
+            return; // a rejoining/suspected node is no authority
+        }
+        if !r.order.contains(&member) {
+            return; // not a member of this ring's static order
+        }
+        r.lifecycle.apply(member, LifecycleEvent::RejoinStart);
+        match r.state_of(member) {
+            MemberState::Rejoining if r.is_top => {
+                if !self.pending_rejoins.contains(&member) {
+                    self.pending_rejoins.push(member);
+                }
+            }
+            MemberState::Rejoining => self.grant_rejoin(now, member, None, out),
+            MemberState::Active => {
+                let pass = self.known_token_pass();
+                self.grant_rejoin(now, member, pass, out);
+            }
+            MemberState::Suspected | MemberState::Excised => {
+                unreachable!("RejoinStart leaves a member active or rejoining")
+            }
+        }
+    }
+
+    /// The live token pass `(epoch, origin, rotation)` as last seen here,
+    /// for seeding a rejoiner's duplicate-transfer suppression state.
+    fn known_token_pass(&self) -> Option<(crate::ids::Epoch, u32, u64)> {
+        let ord = self.ord.as_ref()?;
+        let t = ord.new_token.as_ref()?;
+        Some((t.epoch, t.origin.0, t.rotation))
+    }
+
+    /// Splice `member` back into the ring: complete its lifecycle
+    /// transition, tell it (and every other in-ring member) via
+    /// [`Msg::RejoinGrant`], and reset the neighbour bookkeeping the splice
+    /// may have invalidated. `pass` is the live token pass in hand at a
+    /// top-ring splice boundary (None on non-top rings). The broadcast is
+    /// sent even when the member is already `Active` here — peers whose
+    /// view diverged (an excision we never saw) re-admit it; the
+    /// bookkeeping resets and the journal record happen only on a real
+    /// splice.
+    pub(crate) fn grant_rejoin(
+        &mut self,
+        _now: SimTime,
+        member: NodeId,
+        pass: Option<(crate::ids::Epoch, u32, u64)>,
+        out: &mut Outbox,
+    ) {
+        let group = self.group;
+        let me = self.id;
+        let front = self.mq.front();
+        let Some(r) = self.ring.as_mut() else { return };
+        let spliced = r
+            .lifecycle
+            .apply(member, LifecycleEvent::RejoinComplete)
+            .changed();
+        if spliced {
+            r.hb_outstanding = 0;
+            if r.next_of(me) == member {
+                // The rejoined member is our new next: its ACK progress
+                // starts over (pins GC until its first post-rejoin
+                // cumulative ACK).
+                r.next_acked_mq = GlobalSeq::ZERO;
+            }
+        }
+        let targets: Vec<NodeId> = r.members_in_ring().filter(|&m| m != me).collect();
+        for t in targets {
+            out.push(crate::actions::Action::to_ne(
+                t,
+                Msg::RejoinGrant {
+                    group,
+                    member,
+                    front,
+                    pass,
+                },
+            ));
+            self.counters.control_sent += 1;
+        }
+        if spliced {
+            out.push(crate::actions::Action::Record(
+                crate::events::ProtoEvent::RingRejoined { node: me, member },
+            ));
+        }
+    }
+
+    /// A rejoin grant arrived: either we are the rejoined member (complete
+    /// the splice, fast-forward the fresh `MQ` to the granter's front) or a
+    /// peer was rejoined (re-admit it to our cycle view).
+    pub(crate) fn on_rejoin_grant(
+        &mut self,
+        now: SimTime,
+        member: NodeId,
+        front: GlobalSeq,
+        pass: Option<(crate::ids::Epoch, u32, u64)>,
+        out: &mut Outbox,
+    ) {
+        if member == self.id {
+            self.complete_own_rejoin(now, front, pass, out);
+            return;
+        }
+        let me = self.id;
+        let Some(r) = self.ring.as_mut() else { return };
+        if !r.order.contains(&member) {
+            return;
+        }
+        let t = r.lifecycle.apply(member, LifecycleEvent::RejoinComplete);
+        if t.changed() {
+            r.hb_outstanding = 0;
+            if r.next_of(me) == member {
+                r.next_acked_mq = GlobalSeq::ZERO;
+            }
+        }
+    }
+
+    /// Finish our own re-entry: become `Active`, fast-forward the fresh
+    /// `MQ` to the granter's announced front (history from before the crash
+    /// is unrecoverable — chasing it would only produce NACK storms), seed
+    /// the token-duplicate guards from the granter's known pass, and
+    /// re-acquire a parent when we lead a non-top ring.
+    pub(crate) fn complete_own_rejoin(
+        &mut self,
+        now: SimTime,
+        front: GlobalSeq,
+        pass: Option<(crate::ids::Epoch, u32, u64)>,
+        out: &mut Outbox,
+    ) {
+        let me = self.id;
+        let Some(r) = self.ring.as_mut() else { return };
+        let t = r.lifecycle.apply(me, LifecycleEvent::RejoinComplete);
+        if !t.changed() {
+            return; // duplicate grant: the splice already happened
+        }
+        r.hb_outstanding = 0;
+        self.mq.fast_forward(front);
+        if let Some(ord) = self.ord.as_mut() {
+            // Suppress an immediate self-started regeneration round: the
+            // live token will reach us within a rotation.
+            ord.last_token_seen = now;
+            if let Some((epoch, origin, rotation)) = pass {
+                // Our pre-crash incarnation may have left unacknowledged
+                // token transfers behind; with factory-fresh guards a
+                // retransmitted stale copy would pass the keep-one and
+                // duplicate-transfer checks and fork a second live token.
+                // Seed both guards from the granter's pass — one rotation
+                // back, so the live pass it is about to forward (same
+                // rotation) is still processed. On the very first rotation
+                // there is no earlier pass to guard against: leave the
+                // fingerprint unset rather than blocking the live pass.
+                ord.best_instance = (epoch, origin);
+                ord.last_pass = (rotation > 0).then(|| (epoch, origin, rotation - 1));
+            }
+        }
+        self.after_ring_change(now, out);
     }
 
     /// Arm forced token loss (scenario fault injection): the next token of
@@ -709,19 +1029,361 @@ mod tests {
     }
 
     #[test]
-    fn restart_is_ignored_by_ring_entities() {
+    fn restart_puts_ring_entities_on_the_rejoin_path() {
         let cfg = ProtocolConfig::default();
         let mut br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg);
         br.kill();
         let mut out = Vec::new();
         br.on_msg(
-            SimTime::ZERO,
+            SimTime::from_secs(1),
             Endpoint::Ne(NodeId(10)),
             Msg::Restart { group: GroupId(1) },
             &mut out,
         );
-        assert!(!br.alive, "ring re-entry is not modelled");
-        assert!(out.is_empty());
+        assert!(br.alive, "restart revives ring entities");
+        assert!(br.is_rejoining(), "not in the cycle until granted");
+        assert!(br.resync_source, "own-source numbering re-baselines");
+        // A rejoin request went out to a static ring peer.
+        let requests: Vec<NodeId> = out
+            .iter()
+            .filter_map(|a| match a {
+                crate::actions::Action::Send {
+                    to: Endpoint::Ne(n),
+                    msg:
+                        Msg::RejoinRequest {
+                            member: NodeId(10), ..
+                        },
+                } => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(requests, vec![NodeId(20)]);
+        // Retries rotate through the remaining static members.
+        out.clear();
+        br.send_rejoin_request(SimTime::from_secs(1), &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            crate::actions::Action::Send {
+                to: Endpoint::Ne(NodeId(30)),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rejoin_grant_completes_the_splice_and_fast_forwards() {
+        let cfg = ProtocolConfig::default();
+        let mut br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg);
+        br.kill();
+        let mut out = Vec::new();
+        br.restart(SimTime::from_secs(1), &mut out);
+        out.clear();
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(20)),
+            Msg::RejoinGrant {
+                group: GroupId(1),
+                member: NodeId(10),
+                front: GlobalSeq(41),
+                pass: None,
+            },
+            &mut out,
+        );
+        assert!(!br.is_rejoining(), "grant completes the splice");
+        assert_eq!(br.mq.front(), GlobalSeq(41), "MQ fast-forwarded");
+        // A duplicate grant (second granter) must not fast-forward again.
+        let mut out2 = Vec::new();
+        br.on_data(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(30)),
+            GlobalSeq(42),
+            crate::mq::MsgData {
+                source: NodeId(0),
+                local_seq: LocalSeq(1),
+                ordering_node: NodeId(0),
+                payload: crate::ids::PayloadId(1),
+            },
+            &mut out2,
+        );
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(30)),
+            Msg::RejoinGrant {
+                group: GroupId(1),
+                member: NodeId(10),
+                front: GlobalSeq(50),
+                pass: None,
+            },
+            &mut out2,
+        );
+        assert_eq!(br.mq.front(), GlobalSeq(42), "duplicate grant is a no-op");
+    }
+
+    #[test]
+    fn peer_grant_readmits_member_to_the_cycle() {
+        let cfg = ProtocolConfig::default();
+        let mut br = NeState::new_br(GroupId(1), NodeId(30), ring3(), true, cfg);
+        let mut out = Vec::new();
+        br.on_ring_fail(SimTime::from_secs(1), NodeId(10), &mut out);
+        assert_eq!(br.ring_next(), Some(NodeId(20)), "10 excised");
+        out.clear();
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(20)),
+            Msg::RejoinGrant {
+                group: GroupId(1),
+                member: NodeId(10),
+                front: GlobalSeq(7),
+                pass: None,
+            },
+            &mut out,
+        );
+        assert_eq!(br.ring_next(), Some(NodeId(10)), "10 back in the cycle");
+        assert_eq!(
+            br.ring.as_ref().unwrap().next_acked_mq,
+            GlobalSeq::ZERO,
+            "ACK progress of the new next starts over"
+        );
+    }
+
+    #[test]
+    fn rejoining_node_ignores_tokens_until_granted() {
+        // A token reaching a not-yet-spliced node could be a stale
+        // retransmission; it must be ignored without an ack (the live
+        // sender retries; the grant seeds the duplicate guards first).
+        let cfg = ProtocolConfig::default();
+        let mut br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg);
+        br.kill();
+        let mut out = Vec::new();
+        br.restart(SimTime::from_secs(1), &mut out);
+        out.clear();
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(30)),
+            Msg::Token(Box::new(OrderingToken::new(GroupId(1), NodeId(20)))),
+            &mut out,
+        );
+        assert!(out.is_empty(), "no ack, no processing, no forward");
+        assert!(br.is_rejoining());
+        assert!(br.ord.as_ref().unwrap().new_token.is_none());
+    }
+
+    #[test]
+    fn grant_seeds_token_guards_against_stale_retransmissions() {
+        let cfg = ProtocolConfig::default();
+        let mut br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg);
+        br.kill();
+        let mut out = Vec::new();
+        br.restart(SimTime::from_secs(1), &mut out);
+        out.clear();
+        // Grant carries the live pass (epoch 1, origin 20, rotation 5).
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(20)),
+            Msg::RejoinGrant {
+                group: GroupId(1),
+                member: NodeId(10),
+                front: GlobalSeq(9),
+                pass: Some((crate::ids::Epoch(1), 20, 5)),
+            },
+            &mut out,
+        );
+        let ord = br.ord.as_ref().unwrap();
+        assert_eq!(ord.best_instance, (crate::ids::Epoch(1), 20));
+        assert_eq!(ord.last_pass, Some((crate::ids::Epoch(1), 20, 4)));
+        // A stale same-instance retransmission (rotation 3) is suppressed…
+        out.clear();
+        let mut stale = OrderingToken::new(GroupId(1), NodeId(20));
+        stale.epoch = crate::ids::Epoch(1);
+        stale.rotation = 3;
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(30)),
+            Msg::Token(Box::new(stale)),
+            &mut out,
+        );
+        assert!(
+            !out.iter().any(|a| matches!(
+                a,
+                crate::actions::Action::Send {
+                    msg: Msg::Token(_),
+                    ..
+                }
+            )),
+            "stale pass must not be re-processed (would fork the token)"
+        );
+        // …while the live pass (rotation 5, as seeded) is processed.
+        out.clear();
+        let mut live = OrderingToken::new(GroupId(1), NodeId(20));
+        live.epoch = crate::ids::Epoch(1);
+        live.rotation = 5;
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(30)),
+            Msg::Token(Box::new(live)),
+            &mut out,
+        );
+        assert!(out.iter().any(|a| matches!(
+            a,
+            crate::actions::Action::Send {
+                msg: Msg::Token(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rejoiner_with_no_live_peers_splices_itself_after_budget() {
+        // Both static peers are permanently dead: the requests can never be
+        // answered. After a budget covering every peer several times the
+        // rejoiner must splice itself in rather than stall forever.
+        let cfg = ProtocolConfig::default();
+        let mut ag = NeState::new_ag(
+            GroupId(1),
+            NodeId(10),
+            ring3(),
+            vec![NodeId(1)],
+            cfg.clone(),
+        );
+        ag.kill();
+        let mut out = Vec::new();
+        ag.restart(SimTime::from_secs(1), &mut out);
+        let budget = ring3().len() as u64 * (cfg.heartbeat_misses as u64 + 2);
+        for i in 0..=budget + 1 {
+            out.clear();
+            ag.tick_heartbeat(SimTime::from_millis(1_000 + 50 * (i + 1)), &mut out);
+            if !ag.is_rejoining() {
+                break;
+            }
+        }
+        assert!(!ag.is_rejoining(), "self-splice after the request budget");
+    }
+
+    #[test]
+    fn active_member_request_is_granted_with_broadcast() {
+        // Fast restart: the granter never excised the member, but a
+        // RingFail about it may still be in flight to other peers — the
+        // grant must be broadcast ring-wide so diverged views re-admit it.
+        let cfg = ProtocolConfig::default();
+        let mut ag = NeState::new_ag(GroupId(1), NodeId(20), ring3(), vec![NodeId(1)], cfg);
+        let mut out = Vec::new();
+        ag.on_rejoin_request(SimTime::from_secs(1), NodeId(10), &mut out);
+        let grant_targets: Vec<NodeId> = out
+            .iter()
+            .filter_map(|a| match a {
+                crate::actions::Action::Send {
+                    to: Endpoint::Ne(n),
+                    msg:
+                        Msg::RejoinGrant {
+                            member: NodeId(10), ..
+                        },
+                } => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            grant_targets,
+            vec![NodeId(10), NodeId(30)],
+            "grant goes to the member AND every other in-ring peer"
+        );
+        // No false splice record: the member never left this cycle view.
+        assert!(!out
+            .iter()
+            .any(|a| matches!(a, crate::actions::Action::Record(_))));
+    }
+
+    #[test]
+    fn reexcised_pending_member_is_not_resurrected_at_the_boundary() {
+        let cfg = ProtocolConfig::default();
+        let mut br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg);
+        let mut out = Vec::new();
+        // Member 20 dies, asks to rejoin (queued for the token boundary)…
+        br.on_ring_fail(SimTime::from_secs(1), NodeId(20), &mut out);
+        br.on_rejoin_request(SimTime::from_secs(2), NodeId(20), &mut out);
+        assert_eq!(br.pending_rejoins, vec![NodeId(20)]);
+        // …then crashes again before the boundary.
+        br.on_ring_fail(SimTime::from_secs(3), NodeId(20), &mut out);
+        out.clear();
+        br.originate_token(SimTime::from_secs(4), &mut out);
+        assert!(
+            !out.iter().any(|a| matches!(
+                a,
+                crate::actions::Action::Send {
+                    msg: Msg::RejoinGrant { .. },
+                    ..
+                }
+            )),
+            "a re-excised member must not be spliced back in"
+        );
+        assert!(
+            !br.ring.as_ref().unwrap().is_in_ring(NodeId(20)),
+            "still excised"
+        );
+    }
+
+    #[test]
+    fn rotation_zero_grant_does_not_block_the_live_pass() {
+        let cfg = ProtocolConfig::default();
+        let mut br = NeState::new_br(GroupId(1), NodeId(10), ring3(), true, cfg);
+        br.kill();
+        let mut out = Vec::new();
+        br.restart(SimTime::from_secs(1), &mut out);
+        out.clear();
+        // Grant carries a first-rotation pass (rotation 0).
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(20)),
+            Msg::RejoinGrant {
+                group: GroupId(1),
+                member: NodeId(10),
+                front: GlobalSeq::ZERO,
+                pass: Some((crate::ids::Epoch(1), 20, 0)),
+            },
+            &mut out,
+        );
+        assert_eq!(
+            br.ord.as_ref().unwrap().last_pass,
+            None,
+            "no earlier pass exists to guard against"
+        );
+        // The live rotation-0 pass must be processed, not discarded.
+        out.clear();
+        let mut live = OrderingToken::new(GroupId(1), NodeId(20));
+        live.epoch = crate::ids::Epoch(1);
+        br.on_msg(
+            SimTime::from_secs(2),
+            Endpoint::Ne(NodeId(30)),
+            Msg::Token(Box::new(live)),
+            &mut out,
+        );
+        assert!(out.iter().any(|a| matches!(
+            a,
+            crate::actions::Action::Send {
+                msg: Msg::Token(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn sole_member_ring_rejoins_itself_immediately() {
+        let cfg = ProtocolConfig::default();
+        let mut ag = NeState::new_ag(GroupId(1), NodeId(5), vec![NodeId(5)], vec![NodeId(1)], cfg);
+        ag.kill();
+        let mut out = Vec::new();
+        ag.restart(SimTime::from_secs(1), &mut out);
+        assert!(!ag.is_rejoining(), "nobody to ask: immediate splice");
+        assert_eq!(ag.parent, Some(NodeId(1)), "leader re-acquired a parent");
+        assert!(
+            out.iter().any(|a| matches!(
+                a,
+                crate::actions::Action::Send {
+                    msg: Msg::Graft { resync: true, .. },
+                    ..
+                }
+            )),
+            "re-graft resyncs from the parent's front"
+        );
     }
 
     #[test]

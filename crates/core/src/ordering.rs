@@ -37,9 +37,17 @@ impl NeState {
     ) {
         let me = self.id;
         let group = self.group;
+        let resync = std::mem::take(&mut self.resync_source);
         let (Some(ord), Some(wq)) = (self.ord.as_mut(), self.wq.as_mut()) else {
             return; // only top-ring nodes accept source traffic
         };
+        if resync {
+            // First own-source message after a crash-restart: local numbers
+            // below `ls` were (potentially) assigned global numbers by the
+            // pre-crash incarnation; re-baselining `MinLocalSeqNo` keeps
+            // every `(source, local_seq)` pair mapped to at most one GSN.
+            ord.min_unordered = ls;
+        }
         if ls <= ord.max_local {
             self.counters.duplicates += 1;
             return;
@@ -185,6 +193,17 @@ impl NeState {
     ) {
         let me = self.id;
         let group = self.group;
+        if self.is_rejoining() {
+            // Not spliced in yet: this copy could equally be the live pass
+            // racing our RejoinGrant or a stale retransmission our
+            // pre-crash incarnation never acknowledged — and our
+            // factory-fresh duplicate-transfer/keep-one guards cannot tell
+            // them apart (processing a stale copy would fork a second live
+            // token). Ignore it *without* acknowledging: a live sender
+            // simply retries after `token_retry_after`, by which time the
+            // grant (which seeds the guards) has landed.
+            return;
+        }
         let Some(ord) = self.ord.as_mut() else { return };
         // Always acknowledge receipt so the sender stops retransmitting —
         // even a stale instance, which would otherwise be re-sent forever.
@@ -249,6 +268,25 @@ impl NeState {
         out: &mut Outbox,
     ) {
         let me = self.id;
+        // Holding the token is the one moment this node owns the GSN
+        // stream exclusively: splice any restarted members waiting to
+        // rejoin *now*, so the re-entry can never interleave with a
+        // concurrent assignment elsewhere (re-entry at a token boundary).
+        if !self.pending_rejoins.is_empty() {
+            let pass = Some((token.epoch, token.origin.0, token.rotation));
+            let pending = std::mem::take(&mut self.pending_rejoins);
+            for member in pending {
+                // A member that crashed *again* while queued (a RingFail
+                // moved it back to Excised) must not be resurrected; its
+                // next restart sends a fresh request.
+                let still_rejoining = self.ring.as_ref().is_some_and(|r| {
+                    r.state_of(member) == crate::ring_lifecycle::MemberState::Rejoining
+                });
+                if still_rejoining {
+                    self.grant_rejoin(now, member, pass, out);
+                }
+            }
+        }
         // The ring leader marks each completed rotation; WTSNP pruning keys
         // off this counter.
         if self.is_ring_leader() {

@@ -21,6 +21,14 @@
 //! are resolved by the keep-one rule in `ordering::on_token`: the instance
 //! `(epoch, origin)` order decides, and stale instances are destroyed at
 //! the first node that has seen a better one.
+//!
+//! Recovery reads the ring exclusively through the lifecycle-backed views
+//! (`ring_next`, in-ring membership — see [`crate::ring_lifecycle`]), so a
+//! member mid-rejoin is never handed a Token-Regeneration round: it only
+//! rejoins the traversal after a grant splices it back in. Conversely,
+//! adopting a regenerated token *is* a token boundary — any rejoin
+//! requests queued at the adopter are granted there, exactly as on a
+//! normal pass (`process_and_forward_token`).
 
 use simnet::SimTime;
 

@@ -125,6 +125,9 @@ impl SourceQueue {
 pub struct WorkingQueue {
     queues: BTreeMap<NodeId, SourceQueue>,
     capacity_per_source: usize,
+    /// Resync mode ([`WorkingQueue::mark_resync`]): each stream's first
+    /// entry re-baselines that stream instead of chasing pre-crash history.
+    resync_streams: bool,
     /// Entries dropped because a per-source queue was full.
     pub overflow_drops: u64,
     peak_total: usize,
@@ -137,6 +140,7 @@ impl WorkingQueue {
         WorkingQueue {
             queues: BTreeMap::new(),
             capacity_per_source: capacity,
+            resync_streams: false,
             overflow_drops: 0,
             peak_total: 0,
         }
@@ -149,6 +153,16 @@ impl WorkingQueue {
         }
     }
 
+    /// Switch this (freshly created) queue into resync mode: a stream's
+    /// first entry re-baselines the stream at its own local number instead
+    /// of opening a gap back to `LocalSeq::FIRST`. Used after a
+    /// crash-restart, where a ring-rejoined node picks every stream up
+    /// mid-flight — pre-crash history is unrecoverable and chasing it would
+    /// only burn the NACK budget (or overflow the per-source capacity).
+    pub fn mark_resync(&mut self) {
+        self.resync_streams = true;
+    }
+
     /// Offer a message `(corresponding_node, local_seq)`; used both for the
     /// own source's fresh messages and for ring-forwarded ones.
     pub fn insert(
@@ -158,10 +172,14 @@ impl WorkingQueue {
         payload: PayloadId,
     ) -> InsertOutcome {
         let cap = self.capacity_per_source;
+        let resync = self.resync_streams;
         let q = self
             .queues
             .entry(corresponding)
             .or_insert_with(SourceQueue::new);
+        if resync && q.slots.is_empty() && q.rear == LocalSeq::ZERO && q.base == LocalSeq::FIRST {
+            q.base = ls;
+        }
         let outcome = q.insert(ls, payload, cap);
         if outcome == InsertOutcome::Overflow {
             self.overflow_drops += 1;
@@ -319,6 +337,41 @@ mod tests {
 
     const N1: NodeId = NodeId(1);
     const N2: NodeId = NodeId(2);
+
+    #[test]
+    fn resync_rebases_each_stream_at_its_first_entry() {
+        let mut wq = WorkingQueue::new(8);
+        wq.mark_resync();
+        // A rejoined node picks the stream up at ls 500: no gap back to 1
+        // (which would NACK-storm and overflow the 8-slot capacity).
+        assert_eq!(
+            wq.insert(N1, LocalSeq(500), PayloadId(500)),
+            InsertOutcome::Stored
+        );
+        let (requests, lost) = wq.collect_nacks(3);
+        assert!(requests.is_empty(), "{requests:?}");
+        assert_eq!(lost, 0);
+        assert_eq!(wq.contiguous_prefix(N1), LocalSeq(500));
+        // Later entries of the SAME stream chase gaps normally.
+        assert_eq!(
+            wq.insert(N1, LocalSeq(502), PayloadId(502)),
+            InsertOutcome::Stored
+        );
+        let (requests, _) = wq.collect_nacks(3);
+        assert_eq!(requests, vec![(N1, vec![LocalSeq(501)])]);
+        // A second stream rebases independently.
+        assert_eq!(
+            wq.insert(N2, LocalSeq(9_000), PayloadId(1)),
+            InsertOutcome::Stored
+        );
+        assert_eq!(wq.contiguous_prefix(N2), LocalSeq(9_000));
+        // Without resync the same first insert overflows the capacity.
+        let mut plain = WorkingQueue::new(8);
+        assert_eq!(
+            plain.insert(N1, LocalSeq(500), PayloadId(500)),
+            InsertOutcome::Overflow
+        );
+    }
 
     #[test]
     fn insert_and_order_flow() {

@@ -28,13 +28,13 @@ fn ring_navigation_consistent() {
         let alive: Vec<NodeId> = order
             .iter()
             .copied()
-            .filter(|x| ring.alive.contains(x))
+            .filter(|&x| ring.is_in_ring(x))
             .collect();
         assert_eq!(ring.leader(), alive[0], "case {case}: leader = min alive");
         // next/prev inverse on every alive member.
         for &a in &alive {
             let nx = ring.next_of(a);
-            assert!(ring.alive.contains(&nx), "case {case}");
+            assert!(ring.is_in_ring(nx), "case {case}");
             assert_eq!(ring.prev_of(nx), a, "case {case}: prev(next(a)) == a");
         }
         // Iterating next from me visits all alive members exactly once.
