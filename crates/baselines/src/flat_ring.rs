@@ -18,7 +18,8 @@ use std::sync::Arc;
 
 use ringnet_core::driver::{MulticastSim, Reporting, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::engine::{
-    boxed_mh_actor, boxed_ne_actor, boxed_source_actor, wire_size, AddrMap,
+    apply_ring_isolation, boxed_mh_actor, boxed_ne_actor, boxed_source_actor,
+    inject_control_replay, wire_size, AddrMap,
 };
 use ringnet_core::hierarchy::{SourceSpec, TrafficPattern};
 use ringnet_core::{GroupId, Guid, MhState, Msg, NeState, NodeId, ProtoEvent, ProtocolConfig};
@@ -272,6 +273,46 @@ impl FlatRingSim {
         });
     }
 
+    /// The other stations — `member`'s ring peers (all stations share the
+    /// one ordering ring here).
+    fn station_peers_of(&self, member: NodeId) -> Vec<NodeId> {
+        (0..self.spec.stations as u32)
+            .map(NodeId)
+            .filter(|&s| s != member)
+            .collect()
+    }
+
+    /// Schedule a ring partition (or its heal) at `at`: every direct link
+    /// between `member` and the other stations goes administratively down
+    /// (`up = false`) or comes back (`up = true`). Same shared mechanism
+    /// as `RingNetSim::schedule_ring_isolation` — the isolated station
+    /// fences itself via the ring-epoch layer's primary-component rule
+    /// and merges after heal.
+    pub fn schedule_ring_isolation(&mut self, at: SimTime, member: NodeId, up: bool) {
+        let map = Arc::clone(&self.addrs);
+        let peers = self.station_peers_of(member);
+        self.sim.world().schedule_control(at, move |w| {
+            apply_ring_isolation(w, &map, member, &peers, up);
+        });
+    }
+
+    /// Schedule a Byzantine-ish control replay at `at` (see
+    /// [`ringnet_core::driver::ReplayKind`]): a duplicated, delayed copy
+    /// of a Token / RingFail / RejoinGrant concerning `member`.
+    pub fn schedule_control_replay(
+        &mut self,
+        at: SimTime,
+        kind: ringnet_core::driver::ReplayKind,
+        member: NodeId,
+    ) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        let peers = self.station_peers_of(member);
+        self.sim.world().schedule_control(at, move |w| {
+            inject_control_replay(w, &map, group, kind, member, &peers);
+        });
+    }
+
     /// Schedule a crash-stop failure of an MH at `at`.
     pub fn schedule_kill_mh(&mut self, at: SimTime, guid: Guid) {
         let map = Arc::clone(&self.addrs);
@@ -358,6 +399,30 @@ impl MulticastSim for FlatRingSim {
                     self.spec.stations
                 );
                 self.schedule_restart_station(at, NodeId(index as u32));
+            }
+            ScenarioEvent::PartitionRing { at, isolate } => {
+                assert!(
+                    isolate < self.spec.stations,
+                    "PartitionRing index {isolate} out of range ({} stations)",
+                    self.spec.stations
+                );
+                self.schedule_ring_isolation(at, NodeId(isolate as u32), false);
+            }
+            ScenarioEvent::HealRing { at, isolate } => {
+                assert!(
+                    isolate < self.spec.stations,
+                    "HealRing index {isolate} out of range ({} stations)",
+                    self.spec.stations
+                );
+                self.schedule_ring_isolation(at, NodeId(isolate as u32), true);
+            }
+            ScenarioEvent::ReplayControl { at, kind, index } => {
+                assert!(
+                    index < self.spec.stations,
+                    "ReplayControl index {index} out of range ({} stations)",
+                    self.spec.stations
+                );
+                self.schedule_control_replay(at, kind, NodeId(index as u32));
             }
             // A flat station doubles as the attachment entity (use
             // KillCore/RingRejoin for station crash-restart), and there is
@@ -460,6 +525,88 @@ mod tests {
         gsns.sort_unstable();
         gsns.dedup();
         assert_eq!(gsns.len(), n, "no duplicate global numbers");
+    }
+
+    #[test]
+    fn ring_partition_stalls_then_merges_station_and_walkers() {
+        use ringnet_core::driver::{MulticastSim, ScenarioBuilder, ScenarioEvent};
+        // 3 stations, 1 walker each, station 2 isolated from the ring for
+        // 1.5 s. Its walker stalls while fenced, then resumes after the
+        // merge (missed GSNs are repaired from retention or skipped — but
+        // never delivered out of order or twice).
+        let mut sc = ScenarioBuilder::new()
+            .attachments(3)
+            .walkers_per_attachment(1)
+            .sources(1)
+            .cbr(SimDuration::from_millis(10))
+            .loss_free_wireless()
+            .duration(SimTime::from_secs(8))
+            .build();
+        sc.events = vec![
+            ScenarioEvent::PartitionRing {
+                at: SimTime::from_secs(2),
+                isolate: 2,
+            },
+            ScenarioEvent::HealRing {
+                at: SimTime::from_millis(3_500),
+                isolate: 2,
+            },
+        ];
+        let report = FlatRingSim::run_scenario(&sc, 41);
+        assert_eq!(report.metrics.order_violations, 0);
+        // The isolated station fenced itself and merged back.
+        assert!(report.journal.iter().any(|(_, e)| matches!(
+            e,
+            ProtoEvent::RingPartitioned {
+                node: NodeId(2),
+                ..
+            }
+        )));
+        assert!(report.journal.iter().any(|(_, e)| matches!(
+            e,
+            ProtoEvent::RingMerged {
+                node: NodeId(2),
+                ..
+            }
+        )));
+        // Its walker (walker 2) resumed strictly monotone delivery after
+        // the heal and kept going to the end of the run.
+        let w2: Vec<(SimTime, u64)> = report
+            .journal
+            .iter()
+            .filter_map(|(t, e)| match e {
+                ProtoEvent::MhDeliver {
+                    mh: ringnet_core::Guid(2),
+                    gsn,
+                    ..
+                } => Some((*t, gsn.0)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            w2.windows(2).all(|w| w[0].1 < w[1].1),
+            "walker 2 delivered strictly in order across the partition"
+        );
+        let last = w2.last().expect("walker 2 delivered").0;
+        assert!(
+            last > SimTime::from_secs(7),
+            "walker 2 delivering again after the merge (last at {last})"
+        );
+        // And no GSN ever meant two different messages group-wide.
+        let mut meaning = std::collections::BTreeMap::new();
+        for (_, e) in &report.journal {
+            if let ProtoEvent::MhDeliver {
+                gsn,
+                source,
+                local_seq,
+                ..
+            } = e
+            {
+                if let Some(prev) = meaning.insert(gsn.0, (*source, *local_seq)) {
+                    assert_eq!(prev, (*source, *local_seq), "forked gsn {}", gsn.0);
+                }
+            }
+        }
     }
 
     #[test]

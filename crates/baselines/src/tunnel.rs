@@ -507,7 +507,10 @@ impl MulticastSim for TunnelSim {
             | ScenarioEvent::PartitionCore { .. }
             | ScenarioEvent::HealCore { .. }
             | ScenarioEvent::DropToken { .. }
-            | ScenarioEvent::RingRejoin { .. } => {}
+            | ScenarioEvent::RingRejoin { .. }
+            | ScenarioEvent::PartitionRing { .. }
+            | ScenarioEvent::HealRing { .. }
+            | ScenarioEvent::ReplayControl { .. } => {}
         }
     }
 

@@ -19,7 +19,7 @@
 //!
 //! Determinism: the scenario is a pure function of `(ChaosConfig, seed)`.
 
-use ringnet_core::driver::{Scenario, ScenarioBuilder, ScenarioEvent};
+use ringnet_core::driver::{ReplayKind, Scenario, ScenarioBuilder, ScenarioEvent};
 use ringnet_core::hierarchy::TrafficPattern;
 use simnet::{LinkProfile, LossModel, SimDuration, SimRng, SimTime};
 
@@ -66,6 +66,22 @@ pub struct ChaosConfig {
     pub allow_ap_crash_restart: bool,
     /// Schedule wired-core partition + heal pairs.
     pub allow_partitions: bool,
+    /// Schedule *ordering-ring* partition + heal pairs
+    /// ([`ScenarioEvent::PartitionRing`]): a sourceless top-ring member is
+    /// isolated from its ring peers, must fence itself via the epoch
+    /// layer's primary-component rule, and merge back after the
+    /// always-scheduled heal. Only generated in single-source worlds —
+    /// the one shape where the isolated member is sourceless on *every*
+    /// backend, so a partitioned minority that (correctly) assigns
+    /// nothing is also the world's ground truth. Mutually exclusive with
+    /// core kills in one scenario (a killed majority would leave no
+    /// primary component to keep the GSN stream alive).
+    pub allow_ring_partition: bool,
+    /// Schedule Byzantine-ish control replays
+    /// ([`ScenarioEvent::ReplayControl`]): duplicated, delayed
+    /// Token / RingFail / RejoinGrant copies the lifecycle idempotency and
+    /// epoch fence must absorb.
+    pub allow_control_replay: bool,
     /// Schedule forced token loss.
     pub allow_token_drop: bool,
     /// The liveness window the soak audits with; fault times stay clear of
@@ -89,6 +105,8 @@ impl Default for ChaosConfig {
             allow_core_rejoin: true,
             allow_ap_crash_restart: true,
             allow_partitions: true,
+            allow_ring_partition: true,
+            allow_control_replay: true,
             allow_token_drop: true,
             liveness_window: SimDuration::from_secs(2),
         }
@@ -289,13 +307,47 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
                 ap,
             });
         }
-        if cfg.allow_core_kills && core_len > sources + 1 && rng.chance(0.3) {
+        // Ordering-ring partition with a guaranteed heal: isolate the
+        // sourceless BR (core index 1 — the only index that is past every
+        // source yet on the top ring of every backend, which exists
+        // exactly in single-source worlds). The minority side must fence
+        // itself via the primary-component rule, assign nothing while
+        // fenced, and merge back after the heal. Exclusive with core
+        // kills: a kill on top of a partition could leave no primary
+        // component at all.
+        let mut ring_partitioned = false;
+        if cfg.allow_ring_partition && sources == 1 && rng.chance(0.3) {
+            let down = fault_time(&mut rng);
+            let latest = duration - (cfg.liveness_window + SimDuration::from_millis(500));
+            let heal = (down + SimDuration::from_millis(400 + rng.range_u64(0, 1_100))).min(latest);
+            events.push(ScenarioEvent::PartitionRing {
+                at: down,
+                isolate: 1,
+            });
+            events.push(ScenarioEvent::HealRing {
+                at: heal.max(down),
+                isolate: 1,
+            });
+            ring_partitioned = true;
+            heavy += 1;
+        }
+        if cfg.allow_core_kills && !ring_partitioned && core_len > sources + 1 && rng.chance(0.3) {
             // Never a source-bearing entity (indices < sources in every
             // KillCore-implementing backend).
             let index = sources + rng.index(core_len - sources);
             let kill_at = fault_time(&mut rng);
             events.push(ScenarioEvent::KillCore { at: kill_at, index });
             heavy += 1;
+            if cfg.allow_control_replay && rng.chance(0.4) {
+                // A delayed duplicate of the RingFail broadcast lands while
+                // the victim is still down (strictly before any rejoin —
+                // the idempotent excision must absorb it).
+                events.push(ScenarioEvent::ReplayControl {
+                    at: kill_at + SimDuration::from_millis(100 + rng.range_u64(0, 150)),
+                    kind: ReplayKind::RingFail,
+                    index,
+                });
+            }
             if cfg.allow_core_rejoin && rng.chance(0.6) {
                 // Kill → restart → rejoin: the entity comes back (possibly
                 // before its ring even noticed the crash) and must splice
@@ -303,11 +355,31 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
                 let latest = duration - (cfg.liveness_window + SimDuration::from_millis(500));
                 let rejoin =
                     (kill_at + SimDuration::from_millis(300 + rng.range_u64(0, 1_200))).min(latest);
-                events.push(ScenarioEvent::RingRejoin {
-                    at: rejoin.max(kill_at),
-                    index,
-                });
+                let rejoin = rejoin.max(kill_at);
+                events.push(ScenarioEvent::RingRejoin { at: rejoin, index });
+                if cfg.allow_control_replay && rng.chance(0.4) {
+                    // A delayed duplicate of the grant broadcast reaches
+                    // the peers after the splice settled.
+                    let grant_replay = (rejoin
+                        + SimDuration::from_millis(300 + rng.range_u64(0, 500)))
+                    .min(duration - cfg.liveness_window);
+                    events.push(ScenarioEvent::ReplayControl {
+                        at: grant_replay.max(rejoin),
+                        kind: ReplayKind::RejoinGrant,
+                        index,
+                    });
+                }
             }
+        }
+        if cfg.allow_control_replay && rng.chance(0.25) {
+            // A duplicated, delayed copy of an ordering-token pass: core
+            // entity 0 re-sends its kept snapshot; the receiver's epoch
+            // fence must suppress whichever copy arrives second.
+            events.push(ScenarioEvent::ReplayControl {
+                at: fault_time(&mut rng),
+                kind: ReplayKind::Token,
+                index: 0,
+            });
         }
         if cfg.allow_partitions && heavy < 2 && rng.chance(0.3) {
             // One endpoint below the RingNet BR tier, one in the AG tier —
@@ -376,7 +448,9 @@ mod tests {
         let mut saw_joiner = false;
         let mut saw_lossy = false;
         let mut saw_rejoin = false;
-        for seed in 0..128 {
+        let mut saw_ring_partition = false;
+        let mut saw_replay = [false; 3];
+        for seed in 0..192 {
             let sc = generate(&cfg, seed);
             saw_grid |= sc.grid_cols.is_some();
             saw_joiner |= sc.walkers.iter().any(|w| w.is_none());
@@ -389,18 +463,49 @@ mod tests {
             saw_lossy |= sc.links.wireless.loss.steady_state_loss() > 0.0;
             // Every rejoin follows a kill of the same core index.
             for ev in &sc.events {
-                if let ScenarioEvent::RingRejoin { at, index } = *ev {
-                    saw_rejoin = true;
-                    assert!(
-                        sc.events.iter().any(|e| matches!(e,
-                            ScenarioEvent::KillCore { at: k, index: i }
-                                if *i == index && *k <= at)),
-                        "seed {seed}: rejoin without a preceding kill"
-                    );
+                match *ev {
+                    ScenarioEvent::RingRejoin { at, index } => {
+                        saw_rejoin = true;
+                        assert!(
+                            sc.events.iter().any(|e| matches!(e,
+                                ScenarioEvent::KillCore { at: k, index: i }
+                                    if *i == index && *k <= at)),
+                            "seed {seed}: rejoin without a preceding kill"
+                        );
+                    }
+                    ScenarioEvent::PartitionRing { at, isolate } => {
+                        saw_ring_partition = true;
+                        assert_eq!(sc.sources, 1, "ring partitions only in 1-source worlds");
+                        assert!(
+                            sc.events.iter().any(|e| matches!(e,
+                                ScenarioEvent::HealRing { at: h, isolate: i }
+                                    if *i == isolate && *h >= at)),
+                            "seed {seed}: ring partition without a heal"
+                        );
+                        assert!(
+                            !sc.events
+                                .iter()
+                                .any(|e| matches!(e, ScenarioEvent::KillCore { .. })),
+                            "seed {seed}: ring partition mixed with core kills"
+                        );
+                    }
+                    ScenarioEvent::ReplayControl { kind, .. } => {
+                        saw_replay[match kind {
+                            ringnet_core::driver::ReplayKind::Token => 0,
+                            ringnet_core::driver::ReplayKind::RingFail => 1,
+                            ringnet_core::driver::ReplayKind::RejoinGrant => 2,
+                        }] = true;
+                    }
+                    _ => {}
                 }
             }
         }
         assert!(saw_grid && saw_fault && saw_joiner && saw_lossy && saw_rejoin);
+        assert!(saw_ring_partition, "ring partitions are generated");
+        assert!(
+            saw_replay.iter().all(|&s| s),
+            "all three control-replay kinds are generated: {saw_replay:?}"
+        );
     }
 
     #[test]
@@ -434,6 +539,8 @@ mod tests {
             allow_core_rejoin: false,
             allow_ap_crash_restart: false,
             allow_partitions: false,
+            allow_ring_partition: false,
+            allow_control_replay: false,
             allow_token_drop: false,
             ..ChaosConfig::default()
         };

@@ -82,12 +82,18 @@ impl Backend {
     ///   per-GSN skips (tunnel/RelM drop silently under loss);
     /// * liveness only for RingNet — the one backend that claims to
     ///   *recover* from the whole fault repertoire. `window` comes from
-    ///   the chaos config; exemptions are derived from the scenario;
-    /// * post-rejoin resumption for the rejoin-implementing backends
-    ///   (RingNet, flat ring, tree): when the schedule contains a
-    ///   [`ScenarioEvent::RingRejoin`], at least one application delivery
-    ///   must land at or after the last rejoin — the spliced ring must
-    ///   demonstrably keep ordering and delivering.
+    ///   the chaos config; exemptions are derived from the scenario.
+    ///   Minority-side silence under an **unhealed** ring partition is
+    ///   liveness-exempt (which walkers sit on the minority side is a
+    ///   backend-topology fact the scenario cannot name, so the exemption
+    ///   is blanket); a *healed* partition exempts nobody — ordering must
+    ///   resume for everyone after the merge;
+    /// * post-recovery resumption for the ring backends (RingNet, flat
+    ///   ring, tree): when the schedule contains a
+    ///   [`ScenarioEvent::RingRejoin`] or a [`ScenarioEvent::HealRing`],
+    ///   at least one application delivery must land at or after the last
+    ///   such recovery point — the spliced/merged ring must demonstrably
+    ///   keep ordering and delivering.
     pub fn audit_config(self, sc: &Scenario, cfg: &ChaosConfig) -> AuditConfig {
         let (gsn, gaps) = match self {
             Backend::RingNet | Backend::FlatRing | Backend::Tree => (true, true),
@@ -107,6 +113,7 @@ impl Backend {
                 .iter()
                 .filter_map(|e| match e {
                     ScenarioEvent::RingRejoin { at, .. } => Some(*at),
+                    ScenarioEvent::HealRing { at, .. } => Some(*at),
                     _ => None,
                 })
                 .max(),
@@ -123,9 +130,22 @@ impl Backend {
 
 /// The walkers expected to still make progress at the end of the run:
 /// everyone except crash-stopped walkers, late joiners that never (or too
-/// late) join, and walkers that can be stranded on an attachment that
-/// crashed and never restarted.
+/// late) join, walkers that can be stranded on an attachment that crashed
+/// and never restarted — and, when the schedule leaves a ring partition
+/// **unhealed**, everyone (the minority side legitimately stays silent,
+/// and which walkers sit under it is backend topology the scenario cannot
+/// name; the generator always schedules the heal, so generated worlds
+/// never take this blanket exemption).
 pub fn live_walkers(sc: &Scenario, cfg: &ChaosConfig) -> Vec<u32> {
+    let unhealed_partition = sc.events.iter().any(|e| {
+        matches!(*e, ScenarioEvent::PartitionRing { at, isolate }
+                 if !sc.events.iter().any(|h| matches!(*h,
+                     ScenarioEvent::HealRing { at: ha, isolate: hi }
+                         if hi == isolate && ha >= at)))
+    });
+    if unhealed_partition {
+        return Vec::new();
+    }
     let mut exempt: BTreeSet<usize> = BTreeSet::new();
     let join_cutoff = sc.duration - (cfg.liveness_window + SimDuration::from_millis(500));
     for (w, initial) in sc.walkers.iter().enumerate() {

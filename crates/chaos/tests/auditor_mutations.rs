@@ -133,6 +133,67 @@ fn duplicated_assignment_is_caught() {
 }
 
 #[test]
+fn forged_minority_side_gsn_is_still_flagged() {
+    // The partition exemptions are *liveness-only*: a journal from a
+    // partition→heal run in which the fenced minority node "somehow"
+    // assigned a GSN the primary also assigned must still trip the safety
+    // checks — even with the heal-aware audit configuration installed.
+    use chaos::{audit_scenario_run, Backend, ChaosConfig};
+    use ringnet_core::driver::ScenarioEvent;
+    let mut sc = ScenarioBuilder::new()
+        .attachments(4)
+        .walkers_per_attachment(1)
+        .sources(1)
+        .cbr(SimDuration::from_millis(10))
+        .loss_free_wireless()
+        .duration(SimTime::from_secs(8))
+        .build();
+    sc.events = vec![
+        ScenarioEvent::PartitionRing {
+            at: SimTime::from_secs(2),
+            isolate: 1,
+        },
+        ScenarioEvent::HealRing {
+            at: SimTime::from_millis(3_500),
+            isolate: 1,
+        },
+    ];
+    let cfg = ChaosConfig::default();
+    // The genuine run is clean under the heal-aware config.
+    let clean = audit_scenario_run(&sc, 51, Backend::RingNet, &cfg);
+    assert!(clean.is_clean(), "{:?}", clean.first_violation);
+
+    // Forge a minority-side assignment: re-issue an existing GSN from the
+    // fenced node for a different message, mid-partition.
+    let report = Backend::RingNet.run(&sc, 51);
+    let mut j = report.journal.clone();
+    let (i, mut forged) = j
+        .iter()
+        .enumerate()
+        .find_map(|(i, (_, e))| match e {
+            ProtoEvent::Ordered { .. } => Some((i, *e)),
+            _ => None,
+        })
+        .expect("journal has Ordered records");
+    if let ProtoEvent::Ordered {
+        node, local_seq, ..
+    } = &mut forged
+    {
+        node.0 += 1; // "the minority node"
+        local_seq.0 += 9_000; // a different message
+    }
+    j.insert(i + 1, (SimTime::from_millis(2_800), forged));
+    let mut a = Auditor::new(Backend::RingNet.audit_config(&sc, &cfg));
+    a.observe_journal(&j);
+    let v = a.finish(sc.duration).first_violation;
+    assert_eq!(
+        v.map(|v| v.kind),
+        Some(ViolationKind::DuplicateAssignment),
+        "a forged minority-side GSN must be flagged despite partition exemptions"
+    );
+}
+
+#[test]
 fn reordered_stream_without_gsn_checks_is_caught() {
     // The unordered-backend configuration still pins per-stream FIFO.
     let mut j = good_journal();

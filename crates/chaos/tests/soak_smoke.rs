@@ -73,3 +73,48 @@ fn shrinker_engages_on_a_planted_failure() {
     assert_eq!(shrunk.events, vec![target]);
     assert!(shrunk.duration <= sc.duration);
 }
+
+#[test]
+fn ring_partition_faults_soak_clean() {
+    // A fixed quick-space seed whose schedule contains a top-ring
+    // partition → heal cycle must pass the full audit (including the
+    // post-heal ordering-resumed check) on every implementing backend.
+    let cfg = ChaosConfig::quick();
+    let seed = (0..256)
+        .find(|&s| {
+            chaos::generate(&cfg, s)
+                .events
+                .iter()
+                .any(|e| matches!(e, ringnet_core::driver::ScenarioEvent::PartitionRing { .. }))
+        })
+        .expect("quick space generates ring partitions");
+    if let Err(failure) = soak_seed(&cfg, seed, &Backend::ALL, false) {
+        panic!(
+            "ring-partition seed {seed} violated on {}: {}",
+            failure.backend.name(),
+            failure.violation
+        );
+    }
+}
+
+#[test]
+fn control_replay_faults_soak_clean() {
+    // Likewise for a seed whose schedule contains a Byzantine-ish control
+    // replay (duplicated/delayed Token, RingFail or RejoinGrant copy).
+    let cfg = ChaosConfig::quick();
+    let seed = (0..256)
+        .find(|&s| {
+            chaos::generate(&cfg, s)
+                .events
+                .iter()
+                .any(|e| matches!(e, ringnet_core::driver::ScenarioEvent::ReplayControl { .. }))
+        })
+        .expect("quick space generates control replays");
+    if let Err(failure) = soak_seed(&cfg, seed, &Backend::ALL, false) {
+        panic!(
+            "control-replay seed {seed} violated on {}: {}",
+            failure.backend.name(),
+            failure.violation
+        );
+    }
+}

@@ -57,6 +57,7 @@ impl NeState {
         let Endpoint::Ne(p) = from else { return };
         if self.parent == Some(p) {
             self.parent_hb_outstanding = 0;
+            self.graft_pending = false;
             if let Some(ap) = self.ap.as_mut() {
                 ap.grafted = true;
             }

@@ -202,6 +202,76 @@ pub enum ScenarioEvent {
         /// Index into the backend's wired-core entity list.
         index: usize,
     },
+    /// Partition the *ordering ring*: every wired link between the
+    /// `isolate`-th wired-core entity (same indexing as
+    /// [`ScenarioEvent::KillCore`]) and the other members of **its own
+    /// logical ring** goes administratively down until the matching
+    /// [`ScenarioEvent::HealRing`]. The isolated side evaluates the
+    /// ring-epoch layer's primary-component rule, fences itself
+    /// (`Partitioned` lifecycle state — no GSN assignment, no token
+    /// regeneration, submissions queue) and merges back after the heal.
+    /// Implemented by the RingNet-engine backends and the flat ring; a
+    /// ring-of-one member (the tree backend) has no ring links to sever,
+    /// so the event degenerates to a no-op there; static baselines ignore
+    /// it. Out-of-range indices panic, exactly like `KillCore`.
+    PartitionRing {
+        /// When the links go down.
+        at: SimTime,
+        /// Index of the core entity isolated from its ring peers.
+        isolate: usize,
+    },
+    /// Heal a ring partition: the links between the `isolate`-th core
+    /// entity and its ring peers come back up. The fenced minority then
+    /// detects the heal by probing and runs the epoch-fenced merge.
+    HealRing {
+        /// When the links come back.
+        at: SimTime,
+        /// Index of the previously isolated core entity.
+        isolate: usize,
+    },
+    /// Byzantine-ish control-message fault: re-inject a *duplicated,
+    /// delayed* copy of a control message concerning the `index`-th core
+    /// entity (see [`ReplayKind`]). The protocol's idempotency and epoch
+    /// fences must absorb the copy. Implemented by the RingNet-engine
+    /// backends and the flat ring; static baselines ignore it.
+    ReplayControl {
+        /// When the stale copy is injected.
+        at: SimTime,
+        /// Which control message is duplicated.
+        kind: ReplayKind,
+        /// Index into the backend's wired-core entity list.
+        index: usize,
+    },
+}
+
+/// Which control message a [`ScenarioEvent::ReplayControl`] duplicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayKind {
+    /// The `index`-th core entity re-sends its kept ordering-token
+    /// snapshot to its ring next — a delayed duplicate of a pass it
+    /// already forwarded. The receiver's epoch fence must suppress
+    /// whichever copy arrives second.
+    Token,
+    /// A duplicate of the `RingFail` broadcast about the `index`-th core
+    /// entity is re-delivered to every static member of its ring.
+    /// Requires a preceding [`ScenarioEvent::KillCore`] of the same
+    /// entity (and must precede any [`ScenarioEvent::RingRejoin`] of it —
+    /// a delayed conviction landing *after* a completed re-entry would be
+    /// indistinguishable from a fresh failure).
+    RingFail,
+    /// A duplicate of the `RejoinGrant` broadcast about the `index`-th
+    /// core entity is re-delivered to its ring peers (not the member
+    /// itself — peers ignore the grant's `front`/`pass` payload).
+    /// Requires a preceding [`ScenarioEvent::RingRejoin`] of the same
+    /// entity; note that is the *restart*, not the splice — when the
+    /// genuine token-boundary grant is delayed (e.g. a regeneration is in
+    /// flight) the copy can land **early**, flipping the still-rejoining
+    /// member `Active` in peers' views ahead of its splice. The protocol
+    /// must absorb both cases: a late copy is an idempotent no-op, an
+    /// early one briefly routes ring traffic at a member that ignores it
+    /// un-acked (bounded retries) until its next request completes the
+    /// real splice.
+    RejoinGrant,
 }
 
 impl ScenarioEvent {
@@ -217,7 +287,10 @@ impl ScenarioEvent {
             | ScenarioEvent::PartitionCore { at, .. }
             | ScenarioEvent::HealCore { at, .. }
             | ScenarioEvent::DropToken { at }
-            | ScenarioEvent::RingRejoin { at, .. } => at,
+            | ScenarioEvent::RingRejoin { at, .. }
+            | ScenarioEvent::PartitionRing { at, .. }
+            | ScenarioEvent::HealRing { at, .. }
+            | ScenarioEvent::ReplayControl { at, .. } => at,
         }
     }
 }
@@ -355,6 +428,88 @@ impl Scenario {
                 | ScenarioEvent::HealCore { a, b, .. } => {
                     if a == b {
                         problems.push(format!("partition/heal between core entity {a} and itself"));
+                    }
+                    (None, None)
+                }
+                // A ring partition must heal into a still-partitioned ring
+                // never: at most one unhealed PartitionRing at a time.
+                ScenarioEvent::PartitionRing { at, isolate } => {
+                    let unhealed_before = self.events.iter().any(|e| {
+                        let ScenarioEvent::PartitionRing {
+                            at: p,
+                            isolate: other,
+                        } = *e
+                        else {
+                            return false;
+                        };
+                        if p > at || (p, other) == (at, isolate) {
+                            return false;
+                        }
+                        // Healed strictly inside (p, at]?
+                        !self.events.iter().any(|h| {
+                            matches!(h, ScenarioEvent::HealRing { at: ha, isolate: hi }
+                                     if *hi == other && *ha >= p && *ha <= at)
+                        })
+                    });
+                    if unhealed_before {
+                        problems.push(format!(
+                            "PartitionRing of core entity {isolate} at {at} while an \
+                             earlier ring partition is still unhealed"
+                        ));
+                    }
+                    (None, None)
+                }
+                ScenarioEvent::HealRing { at, isolate } => {
+                    let partitioned_before = self.events.iter().any(|e| {
+                        matches!(e, ScenarioEvent::PartitionRing { at: p, isolate: i }
+                                 if *i == isolate && *p <= at)
+                    });
+                    if !partitioned_before {
+                        problems.push(format!(
+                            "HealRing of core entity {isolate} at {at} without a \
+                             preceding PartitionRing of the same entity"
+                        ));
+                    }
+                    (None, None)
+                }
+                ScenarioEvent::ReplayControl { at, kind, index } => {
+                    match kind {
+                        ReplayKind::Token => {}
+                        ReplayKind::RingFail => {
+                            let killed_before = self.events.iter().any(|e| {
+                                matches!(e, ScenarioEvent::KillCore { at: k, index: i }
+                                         if *i == index && *k <= at)
+                            });
+                            if !killed_before {
+                                problems.push(format!(
+                                    "RingFail replay for core entity {index} at {at} \
+                                     without a preceding KillCore of the same entity"
+                                ));
+                            }
+                            let rejoined_first = self.events.iter().any(|e| {
+                                matches!(e, ScenarioEvent::RingRejoin { at: r, index: i }
+                                         if *i == index && *r <= at)
+                            });
+                            if rejoined_first {
+                                problems.push(format!(
+                                    "RingFail replay for core entity {index} at {at} \
+                                     after its RingRejoin — a delayed conviction landing \
+                                     post-re-entry would be a fresh failure, not a duplicate"
+                                ));
+                            }
+                        }
+                        ReplayKind::RejoinGrant => {
+                            let rejoined_before = self.events.iter().any(|e| {
+                                matches!(e, ScenarioEvent::RingRejoin { at: r, index: i }
+                                         if *i == index && *r <= at)
+                            });
+                            if !rejoined_before {
+                                problems.push(format!(
+                                    "RejoinGrant replay for core entity {index} at {at} \
+                                     without a preceding RingRejoin of the same entity"
+                                ));
+                            }
+                        }
                     }
                     (None, None)
                 }
@@ -1113,6 +1268,18 @@ impl MulticastSim for RingNetSim {
                 let member = core_entity(&self.spec, index, "RingRejoin");
                 self.schedule_restart_ne(at, member);
             }
+            ScenarioEvent::PartitionRing { at, isolate } => {
+                let member = core_entity(&self.spec, isolate, "PartitionRing");
+                self.schedule_ring_isolation(at, member, false);
+            }
+            ScenarioEvent::HealRing { at, isolate } => {
+                let member = core_entity(&self.spec, isolate, "HealRing");
+                self.schedule_ring_isolation(at, member, true);
+            }
+            ScenarioEvent::ReplayControl { at, kind, index } => {
+                let member = core_entity(&self.spec, index, "ReplayControl");
+                self.schedule_control_replay(at, kind, member);
+            }
         }
     }
 
@@ -1509,6 +1676,265 @@ mod tests {
             "rejoined AG must tick at the same rate as a healthy one \
              ({restarted} vs {healthy} samples)"
         );
+    }
+
+    #[test]
+    fn ring_partition_fences_minority_and_merges_on_heal() {
+        // sources = 1 → auto shape builds 2 BRs; BR index 1 carries no
+        // source and is isolated from the ordering ring for 1.5 s.
+        let mut sc = small();
+        sc.sources = 1;
+        sc.limit = None;
+        sc.duration = SimTime::from_secs(8);
+        sc.events = vec![
+            ScenarioEvent::PartitionRing {
+                at: SimTime::from_secs(2),
+                isolate: 1,
+            },
+            ScenarioEvent::HealRing {
+                at: SimTime::from_millis(3_500),
+                isolate: 1,
+            },
+        ];
+        let report = RingNetSim::run_scenario(&sc, 31);
+        assert_eq!(report.metrics.order_violations, 0);
+        let member = {
+            let spec = ringnet_spec(&sc);
+            spec_core_order(&spec)[1]
+        };
+        // The isolated BR fenced itself…
+        let fenced_at = report
+            .journal
+            .iter()
+            .find_map(|(t, e)| match e {
+                ProtoEvent::RingPartitioned { node, .. } if *node == member => Some(*t),
+                _ => None,
+            })
+            .expect("minority side fenced itself");
+        assert!(fenced_at > SimTime::from_secs(2));
+        // …never assigned a GSN while fenced…
+        assert!(
+            !report.journal.iter().any(|(t, e)| matches!(e,
+                ProtoEvent::Ordered { node, .. } if *node == member && *t >= fenced_at)),
+            "a fenced minority node must not assign GSNs"
+        );
+        // …and merged back after the heal.
+        let merged_at = report
+            .journal
+            .iter()
+            .find_map(|(t, e)| match e {
+                ProtoEvent::RingMerged { node, .. } if *node == member => Some(*t),
+                _ => None,
+            })
+            .expect("the fenced member merged back");
+        assert!(merged_at >= SimTime::from_millis(3_500));
+        // The merged member demonstrably participates in ordering again.
+        assert!(
+            report.journal.iter().any(|(t, e)| matches!(e,
+                ProtoEvent::TokenPass { node, .. } if *node == member && *t > merged_at)),
+            "merged BR resumed token passing"
+        );
+        // No GSN was ever assigned twice across the partition→merge cycle.
+        let mut seen = std::collections::BTreeMap::new();
+        for (_, e) in &report.journal {
+            if let ProtoEvent::Ordered {
+                gsn,
+                source,
+                local_seq,
+                ..
+            } = e
+            {
+                if let Some(prev) = seen.insert(*gsn, (*source, *local_seq)) {
+                    assert_eq!(
+                        prev,
+                        (*source, *local_seq),
+                        "gsn {gsn:?} assigned to two different messages"
+                    );
+                }
+            }
+        }
+        // And ordering as a whole ran to the end of the window.
+        let last_ordered = report
+            .journal
+            .iter()
+            .filter_map(|(t, e)| matches!(e, ProtoEvent::Ordered { .. }).then_some(*t))
+            .max()
+            .unwrap();
+        assert!(last_ordered > SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn control_replays_are_absorbed() {
+        // Kill an AG, replay its RingFail broadcast while it is down,
+        // rejoin it, then replay the grant broadcast and a token snapshot:
+        // every duplicate must be absorbed by the idempotent lifecycle and
+        // the epoch fence.
+        let mut sc = small();
+        sc.limit = None;
+        sc.duration = SimTime::from_secs(8);
+        sc.events = vec![
+            ScenarioEvent::KillCore {
+                at: SimTime::from_secs(2),
+                index: 3,
+            },
+            ScenarioEvent::ReplayControl {
+                at: SimTime::from_millis(2_600),
+                kind: ReplayKind::RingFail,
+                index: 3,
+            },
+            ScenarioEvent::RingRejoin {
+                at: SimTime::from_secs(3),
+                index: 3,
+            },
+            ScenarioEvent::ReplayControl {
+                at: SimTime::from_secs(4),
+                kind: ReplayKind::RejoinGrant,
+                index: 3,
+            },
+            ScenarioEvent::ReplayControl {
+                at: SimTime::from_millis(4_500),
+                kind: ReplayKind::Token,
+                index: 0,
+            },
+        ];
+        assert!(sc.validate().is_empty(), "{:?}", sc.validate());
+        let report = RingNetSim::run_scenario(&sc, 37);
+        assert_eq!(report.metrics.order_violations, 0);
+        assert_eq!(report.metrics.duplicates, 0, "no duplicate deliveries");
+        let last_ordered = report
+            .journal
+            .iter()
+            .filter_map(|(t, e)| matches!(e, ProtoEvent::Ordered { .. }).then_some(*t))
+            .max()
+            .unwrap();
+        assert!(last_ordered > SimTime::from_secs(7), "ordering unharmed");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_partition_schedules() {
+        let base = || {
+            ScenarioBuilder::new()
+                .duration(SimTime::from_secs(6))
+                .build()
+        };
+        // Heal without a preceding partition.
+        let mut sc = base();
+        sc.events.push(ScenarioEvent::HealRing {
+            at: SimTime::from_secs(2),
+            isolate: 1,
+        });
+        assert!(
+            sc.validate()
+                .iter()
+                .any(|p| p.contains("without a preceding PartitionRing")),
+            "{:?}",
+            sc.validate()
+        );
+        // Partition of an already-partitioned ring.
+        let mut sc = base();
+        sc.events.push(ScenarioEvent::PartitionRing {
+            at: SimTime::from_secs(1),
+            isolate: 1,
+        });
+        sc.events.push(ScenarioEvent::PartitionRing {
+            at: SimTime::from_secs(2),
+            isolate: 2,
+        });
+        assert!(
+            sc.validate().iter().any(|p| p.contains("still unhealed")),
+            "{:?}",
+            sc.validate()
+        );
+        // Healing in between makes the second partition legal.
+        let mut sc = base();
+        sc.events.extend([
+            ScenarioEvent::PartitionRing {
+                at: SimTime::from_secs(1),
+                isolate: 1,
+            },
+            ScenarioEvent::HealRing {
+                at: SimTime::from_millis(1_500),
+                isolate: 1,
+            },
+            ScenarioEvent::PartitionRing {
+                at: SimTime::from_secs(2),
+                isolate: 2,
+            },
+            ScenarioEvent::HealRing {
+                at: SimTime::from_secs(3),
+                isolate: 2,
+            },
+        ]);
+        assert!(sc.validate().is_empty(), "{:?}", sc.validate());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_replays() {
+        let base = || {
+            ScenarioBuilder::new()
+                .duration(SimTime::from_secs(6))
+                .build()
+        };
+        // RingFail replay without the kill.
+        let mut sc = base();
+        sc.events.push(ScenarioEvent::ReplayControl {
+            at: SimTime::from_secs(2),
+            kind: ReplayKind::RingFail,
+            index: 1,
+        });
+        assert!(
+            sc.validate()
+                .iter()
+                .any(|p| p.contains("without a preceding KillCore")),
+            "{:?}",
+            sc.validate()
+        );
+        // RingFail replay after the member already rejoined.
+        let mut sc = base();
+        sc.events.extend([
+            ScenarioEvent::KillCore {
+                at: SimTime::from_secs(1),
+                index: 1,
+            },
+            ScenarioEvent::RingRejoin {
+                at: SimTime::from_secs(2),
+                index: 1,
+            },
+            ScenarioEvent::ReplayControl {
+                at: SimTime::from_secs(3),
+                kind: ReplayKind::RingFail,
+                index: 1,
+            },
+        ]);
+        assert!(
+            sc.validate()
+                .iter()
+                .any(|p| p.contains("after its RingRejoin")),
+            "{:?}",
+            sc.validate()
+        );
+        // Grant replay without the rejoin.
+        let mut sc = base();
+        sc.events.push(ScenarioEvent::ReplayControl {
+            at: SimTime::from_secs(2),
+            kind: ReplayKind::RejoinGrant,
+            index: 1,
+        });
+        assert!(
+            sc.validate()
+                .iter()
+                .any(|p| p.contains("without a preceding RingRejoin")),
+            "{:?}",
+            sc.validate()
+        );
+        // Token replays need no precondition.
+        let mut sc = base();
+        sc.events.push(ScenarioEvent::ReplayControl {
+            at: SimTime::from_secs(2),
+            kind: ReplayKind::Token,
+            index: 0,
+        });
+        assert!(sc.validate().is_empty(), "{:?}", sc.validate());
     }
 
     #[test]

@@ -88,6 +88,80 @@ pub fn wire_size(msg: &Msg) -> usize {
     msg.base_wire_size() + if msg.carries_payload() { 512 } else { 0 }
 }
 
+/// Sever (or restore) every direct link between `member` and `peers` —
+/// the [`crate::driver::ScenarioEvent::PartitionRing`] /
+/// [`crate::driver::ScenarioEvent::HealRing`] mechanism, shared by every
+/// ring-running backend (the peer list is the one backend-specific part).
+pub fn apply_ring_isolation(
+    w: &mut simnet::World<Msg, ProtoEvent>,
+    map: &AddrMap,
+    member: NodeId,
+    peers: &[NodeId],
+    up: bool,
+) {
+    let Some(ma) = map.ne(member) else { return };
+    for &p in peers {
+        if let Some(pa) = map.ne(p) {
+            w.topo.set_duplex_up(ma, pa, up);
+        }
+    }
+}
+
+/// Inject one Byzantine-ish control replay (see
+/// [`crate::driver::ReplayKind`]): a duplicated, delayed copy of a Token /
+/// RingFail / RejoinGrant concerning `member`, re-delivered to `peers`.
+/// Shared by every ring-running backend so the injected fault can never
+/// silently diverge between them.
+pub fn inject_control_replay(
+    w: &mut simnet::World<Msg, ProtoEvent>,
+    map: &AddrMap,
+    group: GroupId,
+    kind: crate::driver::ReplayKind,
+    member: NodeId,
+    peers: &[NodeId],
+) {
+    let Some(ma) = map.ne(member) else { return };
+    match kind {
+        crate::driver::ReplayKind::Token => {
+            // The member re-sends its kept snapshot — a delayed duplicate
+            // of a pass it already forwarded.
+            w.inject(ma, ma, Msg::ReplayToken { group }, SimDuration::ZERO);
+        }
+        crate::driver::ReplayKind::RingFail => {
+            for &p in peers {
+                if let Some(pa) = map.ne(p) {
+                    w.inject(
+                        ma,
+                        pa,
+                        Msg::RingFail {
+                            group,
+                            failed: member,
+                        },
+                        SimDuration::ZERO,
+                    );
+                }
+            }
+        }
+        crate::driver::ReplayKind::RejoinGrant => {
+            for &p in peers {
+                if let Some(pa) = map.ne(p) {
+                    w.inject(
+                        ma,
+                        pa,
+                        Msg::RejoinGrant {
+                            group,
+                            member,
+                            front: crate::ids::GlobalSeq::ZERO,
+                            pass: None,
+                        },
+                        SimDuration::ZERO,
+                    );
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------- actors
 
 struct NeActor {
@@ -702,6 +776,51 @@ impl RingNetSim {
             if let (Some(aa), Some(ba)) = (map.ne(a), map.ne(b)) {
                 w.topo.set_duplex_up(aa, ba, up);
             }
+        });
+    }
+
+    /// The static ring peers of `member`: its fellow top-ring members when
+    /// it is a BR, the other members of its AG ring otherwise.
+    fn ring_peers_of(&self, member: NodeId) -> Vec<NodeId> {
+        let ring: &[NodeId] = if self.spec.top_ring.contains(&member) {
+            &self.spec.top_ring
+        } else {
+            self.spec
+                .ag_rings
+                .iter()
+                .find(|r| r.members.contains(&member))
+                .map(|r| r.members.as_slice())
+                .unwrap_or(&[])
+        };
+        ring.iter().copied().filter(|&m| m != member).collect()
+    }
+
+    /// Schedule a ring partition (or its heal) at `at`: every direct link
+    /// between `member` and the other members of its logical ring goes
+    /// administratively down (`up = false`) or comes back (`up = true`).
+    /// A ring-of-one member has no ring links, so this is a no-op there.
+    pub fn schedule_ring_isolation(&mut self, at: SimTime, member: NodeId, up: bool) {
+        let map = Arc::clone(&self.addrs);
+        let peers = self.ring_peers_of(member);
+        self.sim.world().schedule_control(at, move |w| {
+            apply_ring_isolation(w, &map, member, &peers, up);
+        });
+    }
+
+    /// Schedule a Byzantine-ish control replay at `at` (see
+    /// [`crate::driver::ReplayKind`]): a duplicated, delayed copy of a
+    /// Token / RingFail / RejoinGrant concerning `member` is re-injected.
+    pub fn schedule_control_replay(
+        &mut self,
+        at: SimTime,
+        kind: crate::driver::ReplayKind,
+        member: NodeId,
+    ) {
+        let map = Arc::clone(&self.addrs);
+        let group = self.spec.group;
+        let peers = self.ring_peers_of(member);
+        self.sim.world().schedule_control(at, move |w| {
+            inject_control_replay(w, &map, group, kind, member, &peers);
         });
     }
 

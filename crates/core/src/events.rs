@@ -122,6 +122,27 @@ pub enum ProtoEvent {
         /// The re-admitted member.
         member: NodeId,
     },
+    /// A top-ring node concluded (via the ring-epoch layer's
+    /// primary-component rule) that its side of a split ordering ring is
+    /// the minority and fenced itself off: from here until a merge it
+    /// assigns no GSNs, adopts no regenerated token and queues its own
+    /// source's submissions.
+    RingPartitioned {
+        /// The fenced node.
+        node: NodeId,
+        /// Members (including the node) still in its minority cycle view.
+        in_ring: u32,
+    },
+    /// A fenced minority node completed its whole-component merge back
+    /// into the primary ring (recorded by the merging node when the grant
+    /// lands).
+    RingMerged {
+        /// The merged node.
+        node: NodeId,
+        /// Queued own-source pre-orders resubmitted for fresh GSNs in the
+        /// merged epoch.
+        resubmitted: u32,
+    },
     /// An MH registered at an AP after a handoff.
     HandoffRegistered {
         /// The mobile host.

@@ -24,7 +24,12 @@
 //!   the membership layer the paper assumes ([`membership`]), with every
 //!   ring-membership transition routed through an explicit per-ring
 //!   lifecycle state machine ([`ring_lifecycle`]) that also models the
-//!   re-entry of restarted BRs/AGs into their repaired rings.
+//!   re-entry of restarted BRs/AGs into their repaired rings;
+//! * ring epochs are a first-class ordering layer ([`ring_epoch`]): an
+//!   `EpochFence` owns token admission and every epoch bump, and a
+//!   deterministic primary-component rule lets the majority side of a
+//!   partitioned ordering ring keep assigning while the fenced minority
+//!   queues, then merges back after the heal.
 //!
 //! The protocol logic is entirely sans-IO: state machines consume events
 //! and emit [`actions::Action`]s, making every algorithm unit-testable.
@@ -78,6 +83,7 @@ pub mod node;
 pub mod ordering;
 pub mod recovery;
 pub mod retransmit;
+pub mod ring_epoch;
 pub mod ring_lifecycle;
 pub mod token;
 pub mod wq;
@@ -96,6 +102,7 @@ pub use mh::MhState;
 pub use mq::{DeliverItem, InsertOutcome, MessageQueue, MsgData};
 pub use msg::Msg;
 pub use node::{NeState, Tier};
+pub use ring_epoch::{primary_component, EpochFence, TokenAdmission};
 pub use ring_lifecycle::{LifecycleEvent, MemberState, RingLifecycle, Transition};
 pub use token::OrderingToken;
 pub use wq::WorkingQueue;

@@ -63,8 +63,11 @@ impl NeState {
     }
 
     /// A probe we sent was answered.
-    pub(crate) fn on_heartbeat_ack(&mut self, _now: SimTime, from: Endpoint) {
+    pub(crate) fn on_heartbeat_ack(&mut self, now: SimTime, from: Endpoint, out: &mut Outbox) {
         let Endpoint::Ne(n) = from else { return };
+        // An answer from an *excised* peer while we sit fenced on the
+        // minority side of a partition is heal evidence: start the merge.
+        self.on_heal_evidence(now, from, out);
         if self.ring_next() == Some(n) {
             if let Some(r) = self.ring.as_mut() {
                 r.hb_outstanding = 0;
@@ -138,6 +141,21 @@ impl NeState {
             // rejoin handshake (rotating static targets until granted).
             self.send_rejoin_request(now, out);
             return;
+        }
+        if self.is_merging() {
+            // Heal evidence arrived: retry the whole-component merge
+            // handshake (the same rotating-request machinery) until a
+            // grant splices this side back in.
+            self.send_rejoin_request(now, out);
+            return;
+        }
+        if self.is_partition_fenced() {
+            // Fenced on the minority side: additionally probe one rotating
+            // excised peer per tick — the first answered probe is heal
+            // evidence. Normal minority-side duties (probing the remaining
+            // minority neighbours, serving children) continue below; every
+            // GSN-assigning path is gated inside the epoch layer.
+            self.tick_partition_probe(out);
         }
         let group = self.group;
         let misses = self.cfg.heartbeat_misses;
@@ -219,9 +237,18 @@ impl NeState {
         self.token_quiet_fallback(now, out);
     }
 
-    /// Re-aim an unacknowledged token transfer after a ring repair.
+    /// Re-aim an unacknowledged token transfer after a ring repair. When
+    /// the repair left this node outside the primary component the copy is
+    /// dropped instead — re-aiming it into the minority loop would keep
+    /// the stale lineage circulating on the fenced side.
     fn redirect_inflight_token(&mut self, now: SimTime, out: &mut Outbox) {
         let me = self.id;
+        if self.is_partition_fenced() || !self.top_ring_primary() {
+            if let Some(ord) = self.ord.as_mut() {
+                ord.inflight = None;
+            }
+            return;
+        }
         let Some(r) = self.ring.as_ref() else { return };
         let next = r.next_of(me);
         let Some(ord) = self.ord.as_mut() else { return };
@@ -240,14 +267,19 @@ impl NeState {
 
     /// A ring membership change may have made us leader of a non-top ring
     /// (need a parent) or changed who we deliver to. Also used by the engine
-    /// at start-up so ring leaders acquire their initial parent.
+    /// at start-up so ring leaders acquire their initial parent. On the top
+    /// ring this is additionally the single point where the epoch layer
+    /// re-evaluates the primary-component rule (every excision path funnels
+    /// through here).
     pub(crate) fn after_ring_change(&mut self, now: SimTime, out: &mut Outbox) {
+        self.check_partition_fence(now, out);
         let group = self.group;
         let Some(r) = self.ring.as_ref() else { return };
         if !r.is_top && r.leader() == self.id && self.parent.is_none() {
             if let Some(&parent) = self.parent_candidates.first() {
                 self.parent = Some(parent);
                 self.parent_hb_outstanding = 0;
+                self.graft_pending = self.ap.is_none();
                 out.push(Action::to_ne(
                     parent,
                     Msg::Graft {
@@ -290,6 +322,7 @@ impl NeState {
             match next_candidate {
                 Some(c) => {
                     self.parent = Some(c);
+                    self.graft_pending = self.ap.is_none();
                     out.push(Action::to_ne(
                         c,
                         Msg::Graft {
@@ -310,6 +343,23 @@ impl NeState {
             // APs that should be active but missed their GraftAck re-graft.
             if self.ap.as_ref().is_some_and(|a| !a.grafted) {
                 self.ensure_active_grafted(now, out);
+            }
+            // Ring leaders likewise retry an unacknowledged graft: the
+            // parent may have lost it (down link) while still answering
+            // heartbeats — without the retry the leader would believe
+            // itself attached while the parent serves it nothing,
+            // stranding the leader's whole ring.
+            if self.ap.is_none() && self.graft_pending {
+                out.push(Action::to_ne(
+                    p,
+                    Msg::Graft {
+                        group,
+                        child: self.id,
+                        resume_from: self.mq.front(),
+                        resync: self.resync_on_graft,
+                    },
+                ));
+                self.counters.control_sent += 1;
             }
         }
     }
@@ -475,7 +525,7 @@ mod tests {
         n.tick_heartbeat(SimTime::from_millis(50), &mut out);
         assert_eq!(hb_sends(&out), vec![NodeId(1)]);
         assert_eq!(n.ring.as_ref().unwrap().hb_outstanding, 1);
-        n.on_heartbeat_ack(SimTime::from_millis(51), Endpoint::Ne(NodeId(1)));
+        n.on_heartbeat_ack(SimTime::from_millis(51), Endpoint::Ne(NodeId(1)), &mut out);
         assert_eq!(n.ring.as_ref().unwrap().hb_outstanding, 0);
     }
 
@@ -619,6 +669,52 @@ mod tests {
                 msg: Msg::Graft { .. }
             }
         )));
+    }
+
+    #[test]
+    fn ring_leader_retries_unacknowledged_graft() {
+        // A leader's Graft can be lost (administratively-down link) while
+        // the parent still answers heartbeats: without a retry the leader
+        // believes itself attached while the parent serves it nothing,
+        // stranding its whole ring (found by the partition soak).
+        let mut n = NeState::new_ag(
+            G,
+            NodeId(10),
+            vec![NodeId(10), NodeId(20)],
+            vec![NodeId(1)],
+            ProtocolConfig::default(),
+        );
+        let mut out = Vec::new();
+        n.after_ring_change(SimTime::ZERO, &mut out); // leader grafts
+        assert_eq!(n.parent, Some(NodeId(1)));
+        assert!(n.graft_pending);
+        // The graft was lost; every heartbeat tick re-sends it.
+        out.clear();
+        n.tick_heartbeat(SimTime::from_millis(50), &mut out);
+        let grafts = |out: &Outbox| {
+            out.iter()
+                .filter(|a| {
+                    matches!(
+                        a,
+                        Action::Send {
+                            to: Endpoint::Ne(NodeId(1)),
+                            msg: Msg::Graft { .. }
+                        }
+                    )
+                })
+                .count()
+        };
+        assert_eq!(grafts(&out), 1, "unacknowledged graft is retried");
+        // The ack stops the retries.
+        n.on_graft_ack(
+            SimTime::from_millis(51),
+            Endpoint::Ne(NodeId(1)),
+            crate::ids::GlobalSeq::ZERO,
+        );
+        assert!(!n.graft_pending);
+        out.clear();
+        n.tick_heartbeat(SimTime::from_millis(100), &mut out);
+        assert_eq!(grafts(&out), 0, "acknowledged graft is not re-sent");
     }
 
     #[test]

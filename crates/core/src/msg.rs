@@ -304,6 +304,16 @@ pub enum Msg {
         /// Group.
         group: GroupId,
     },
+    /// Fault injection: the receiving top-ring node re-sends its kept
+    /// token snapshot to its ring next — a *duplicated, delayed* copy of a
+    /// pass it already forwarded (Byzantine-ish control fault). The
+    /// receiver's epoch fence must suppress the stale copy (or, when the
+    /// replay overtakes the original, the original). Not part of the
+    /// protocol; injected by scenario code.
+    ReplayToken {
+        /// Group.
+        group: GroupId,
+    },
     /// Teardown probe: the receiver emits its final-statistics journal
     /// record. Not part of the protocol.
     FlushStats {
@@ -347,6 +357,7 @@ impl Msg {
             | Msg::Kill { group }
             | Msg::Restart { group }
             | Msg::DropToken { group }
+            | Msg::ReplayToken { group }
             | Msg::FlushStats { group } => *group,
             Msg::Token(t) => t.group,
         }
@@ -385,6 +396,7 @@ impl Msg {
             | Msg::Kill { .. }
             | Msg::Restart { .. }
             | Msg::DropToken { .. }
+            | Msg::ReplayToken { .. }
             | Msg::FlushStats { .. } => 0,
         }
     }

@@ -190,17 +190,15 @@ pub struct OrderingState {
     pub max_local: LocalSeq,
     /// Outstanding reliable token transfer to the next node.
     pub inflight: Option<InflightToken>,
-    /// Fingerprint `(epoch, origin, rotation)` of the last token pass
-    /// processed here. A retransmitted transfer (sender missed our ack)
-    /// matches this fingerprint and must be re-acknowledged but *not*
-    /// re-processed — re-processing would fork a second live token.
-    pub last_pass: Option<(crate::ids::Epoch, u32, u64)>,
+    /// The ring-epoch fence: owns the keep-one instance order, the
+    /// duplicate-pass fingerprint and every epoch bump (see
+    /// [`crate::ring_epoch`]). Every token acceptance, regeneration round
+    /// and rejoin-grant seeding validates against it.
+    pub fence: crate::ring_epoch::EpochFence,
     /// Last time a live token was processed here ("ordering runs well").
     pub last_token_seen: SimTime,
     /// Last time this node originated a Token-Regeneration round.
     pub last_regen_at: SimTime,
-    /// Best token instance `(epoch, origin)` observed (Multiple-Token rule).
-    pub best_instance: (crate::ids::Epoch, u32),
     /// Forced-token-loss arming ([`Msg::DropToken`]): when set, the next
     /// token arriving with an epoch ≤ the armed epoch is acknowledged and
     /// silently discarded. Any token arrival disarms.
@@ -219,10 +217,9 @@ impl OrderingState {
             min_unordered: LocalSeq::FIRST,
             max_local: LocalSeq::ZERO,
             inflight: None,
-            last_pass: None,
+            fence: crate::ring_epoch::EpochFence::new(),
             last_token_seen: SimTime::ZERO,
             last_regen_at: SimTime::ZERO,
-            best_instance: (crate::ids::Epoch(0), 0),
             drop_armed: None,
             regen_ceded: false,
         }
@@ -336,6 +333,18 @@ pub struct NeState {
     /// left to grant (every static peer dead or unreachable) and splices
     /// itself in; normal liveness probing then re-excises the dead peers.
     pub rejoin_attempts: u32,
+    /// Rotating index into the static ring order for the partition-heal
+    /// probes a [`MemberState::Partitioned`] node sends to its excised
+    /// peers (see [`crate::ring_epoch`]).
+    pub merge_probe_target: usize,
+    /// A ring leader's `Graft` to its parent has not been acknowledged
+    /// yet. The parent may have lost the graft (administratively-down
+    /// link, loss) while still answering heartbeats — without a retry the
+    /// leader would believe itself attached while the parent serves it
+    /// nothing, stranding its whole ring. Retried on the heartbeat tick;
+    /// cleared by [`Msg::GraftAck`]. (APs track the equivalent via
+    /// `ApMhState::grafted` + `ensure_active_grafted`.)
+    pub graft_pending: bool,
 }
 
 impl NeState {
@@ -374,6 +383,8 @@ impl NeState {
             pending_rejoins: Vec::new(),
             rejoin_target: 0,
             rejoin_attempts: 0,
+            merge_probe_target: 0,
+            graft_pending: false,
             cfg,
         }
     }
@@ -410,6 +421,8 @@ impl NeState {
             pending_rejoins: Vec::new(),
             rejoin_target: 0,
             rejoin_attempts: 0,
+            merge_probe_target: 0,
+            graft_pending: false,
             cfg,
         }
     }
@@ -462,6 +475,8 @@ impl NeState {
             pending_rejoins: Vec::new(),
             rejoin_target: 0,
             rejoin_attempts: 0,
+            merge_probe_target: 0,
+            graft_pending: false,
             cfg,
         }
     }
@@ -548,7 +563,7 @@ impl NeState {
             Msg::DataAck { upto, .. } => self.on_data_ack(now, from, upto),
             Msg::DataNack { missing, .. } => self.on_data_nack(from, &missing, out),
             Msg::Heartbeat { .. } => self.on_heartbeat(now, from, out),
-            Msg::HeartbeatAck { .. } => self.on_heartbeat_ack(now, from),
+            Msg::HeartbeatAck { .. } => self.on_heartbeat_ack(now, from, out),
             Msg::NewPrev { prev, .. } => self.on_new_prev(from, prev),
             Msg::Graft {
                 child,
@@ -579,6 +594,7 @@ impl NeState {
             } => self.on_rejoin_grant(now, member, front, pass, out),
             Msg::Kill { .. } => self.kill(),
             Msg::DropToken { .. } => self.arm_token_drop(),
+            Msg::ReplayToken { .. } => self.replay_token(out),
             Msg::FlushStats { .. } => self.flush_final_stats(out),
             Msg::Restart { .. } => unreachable!("handled before the alive check"),
             Msg::HandoffTo { .. }
@@ -640,6 +656,7 @@ impl NeState {
         self.subtree_members = 0;
         self.resync_on_graft = true;
         self.pending_rejoins.clear();
+        self.merge_probe_target = 0;
         if let Some(ap) = self.ap.as_mut() {
             *ap = ApMhState::new(ap.always_active, std::mem::take(&mut ap.neighbours));
         }
@@ -685,6 +702,18 @@ impl NeState {
         let n = r.order.len();
         let budget = (n as u32) * (self.cfg.heartbeat_misses as u32 + 2);
         if self.rejoin_attempts >= budget {
+            if self.is_merging() {
+                // The heal evidence went stale: the link flapped back down
+                // before any grant arrived. A partition-merging node must
+                // not take the crash-rejoiner's solo splice (its side is
+                // still the fenced minority) — fall back to `Partitioned`
+                // probing until fresh heal evidence arrives.
+                let r = self.ring.as_mut().expect("checked above");
+                r.lifecycle
+                    .apply(self.id, LifecycleEvent::PartitionMinority);
+                self.rejoin_attempts = 0;
+                return;
+            }
             self.complete_own_rejoin(now, self.mq.front(), None, out);
             return;
         }
@@ -745,6 +774,9 @@ impl NeState {
             }
             MemberState::Suspected | MemberState::Excised => {
                 unreachable!("RejoinStart leaves a member active or rejoining")
+            }
+            MemberState::Partitioned | MemberState::Merging => {
+                unreachable!("partition states are self-only; peers see Excised")
             }
         }
     }
@@ -811,8 +843,10 @@ impl NeState {
     }
 
     /// A rejoin grant arrived: either we are the rejoined member (complete
-    /// the splice, fast-forward the fresh `MQ` to the granter's front) or a
-    /// peer was rejoined (re-admit it to our cycle view).
+    /// the splice — a crash-rejoiner fast-forwards its fresh `MQ` to the
+    /// granter's front, a partition-merging member keeps its `MQ` and
+    /// resubmits its queued pre-orders) or a peer was rejoined (re-admit it
+    /// to our cycle view).
     pub(crate) fn on_rejoin_grant(
         &mut self,
         now: SimTime,
@@ -822,7 +856,11 @@ impl NeState {
         out: &mut Outbox,
     ) {
         if member == self.id {
-            self.complete_own_rejoin(now, front, pass, out);
+            if self.is_partition_fenced() {
+                self.complete_own_merge(now, pass, out);
+            } else {
+                self.complete_own_rejoin(now, front, pass, out);
+            }
             return;
         }
         let me = self.id;
@@ -863,18 +901,14 @@ impl NeState {
             // Suppress an immediate self-started regeneration round: the
             // live token will reach us within a rotation.
             ord.last_token_seen = now;
-            if let Some((epoch, origin, rotation)) = pass {
+            if let Some(pass) = pass {
                 // Our pre-crash incarnation may have left unacknowledged
-                // token transfers behind; with factory-fresh guards a
+                // token transfers behind; with a factory-fresh fence a
                 // retransmitted stale copy would pass the keep-one and
                 // duplicate-transfer checks and fork a second live token.
-                // Seed both guards from the granter's pass — one rotation
-                // back, so the live pass it is about to forward (same
-                // rotation) is still processed. On the very first rotation
-                // there is no earlier pass to guard against: leave the
-                // fingerprint unset rather than blocking the live pass.
-                ord.best_instance = (epoch, origin);
-                ord.last_pass = (rotation > 0).then(|| (epoch, origin, rotation - 1));
+                // Seed the fence from the granter's pass (see
+                // `EpochFence::seed_from_pass` for the rotation-0 edge).
+                ord.fence.seed_from_pass(pass);
             }
         }
         self.after_ring_change(now, out);
@@ -885,7 +919,7 @@ impl NeState {
     /// black-holed (see [`Msg::DropToken`]). No-op off the top ring.
     pub fn arm_token_drop(&mut self) {
         if let Some(ord) = self.ord.as_mut() {
-            ord.drop_armed = Some(ord.best_instance.0);
+            ord.drop_armed = Some(ord.fence.best_instance().0);
         }
     }
 }
@@ -1189,8 +1223,8 @@ mod tests {
             &mut out,
         );
         let ord = br.ord.as_ref().unwrap();
-        assert_eq!(ord.best_instance, (crate::ids::Epoch(1), 20));
-        assert_eq!(ord.last_pass, Some((crate::ids::Epoch(1), 20, 4)));
+        assert_eq!(ord.fence.best_instance(), (crate::ids::Epoch(1), 20));
+        assert_eq!(ord.fence.last_pass(), Some((crate::ids::Epoch(1), 20, 4)));
         // A stale same-instance retransmission (rotation 3) is suppressed…
         out.clear();
         let mut stale = OrderingToken::new(GroupId(1), NodeId(20));
@@ -1342,7 +1376,7 @@ mod tests {
             &mut out,
         );
         assert_eq!(
-            br.ord.as_ref().unwrap().last_pass,
+            br.ord.as_ref().unwrap().fence.last_pass(),
             None,
             "no earlier pass exists to guard against"
         );

@@ -38,6 +38,7 @@ impl NeState {
         let me = self.id;
         let group = self.group;
         let resync = std::mem::take(&mut self.resync_source);
+        let fenced = self.is_partition_fenced();
         let (Some(ord), Some(wq)) = (self.ord.as_mut(), self.wq.as_mut()) else {
             return; // only top-ring nodes accept source traffic
         };
@@ -58,6 +59,14 @@ impl NeState {
             source: me,
             local_seq: ls,
         }));
+        if fenced {
+            // Minority side of a partitioned ring: the message queues in
+            // the WQ unassigned and un-circulated — it is resubmitted for
+            // a fresh GSN in the merged epoch (`complete_own_merge`).
+            // Crucially it must not be marked acked (the degenerate
+            // single-node branch below would release it for GC).
+            return;
+        }
         // Circulate around the ring (stops before returning to us).
         let next = self.ring_next().expect("top-ring node has a ring");
         if next != me {
@@ -178,7 +187,7 @@ impl NeState {
         assert!(self.is_top_ring(), "only top-ring nodes originate tokens");
         let token = OrderingToken::new(self.group, self.id);
         let ord = self.ord.as_mut().expect("top-ring node has ordering state");
-        ord.best_instance = token.instance();
+        ord.fence.commit(&token);
         ord.last_token_seen = now;
         self.process_and_forward_token(now, token, out);
     }
@@ -193,15 +202,16 @@ impl NeState {
     ) {
         let me = self.id;
         let group = self.group;
-        if self.is_rejoining() {
-            // Not spliced in yet: this copy could equally be the live pass
-            // racing our RejoinGrant or a stale retransmission our
-            // pre-crash incarnation never acknowledged — and our
-            // factory-fresh duplicate-transfer/keep-one guards cannot tell
-            // them apart (processing a stale copy would fork a second live
-            // token). Ignore it *without* acknowledging: a live sender
-            // simply retries after `token_retry_after`, by which time the
-            // grant (which seeds the guards) has landed.
+        if self.is_rejoining() || self.is_partition_fenced() {
+            // Not spliced in (rejoining) or fenced on the minority side of
+            // a partition: this copy could equally be the live pass racing
+            // our RejoinGrant or a stale (pre-crash / pre-partition)
+            // retransmission — and the fence cannot tell them apart until
+            // a grant seeds it (processing a stale copy would fork a
+            // second live token; a minority-side pass extending the old
+            // lineage is the split brain itself). Ignore it *without*
+            // acknowledging: a live sender simply retries after
+            // `token_retry_after`, by which time the grant has landed.
             return;
         }
         let Some(ord) = self.ord.as_mut() else { return };
@@ -220,23 +230,20 @@ impl NeState {
                 self.counters.control_sent += 1;
             }
         }
-        // Multiple-Token rule: keep only the best instance ever seen.
-        if token.instance() < ord.best_instance {
-            out.push(Action::Record(ProtoEvent::TokenDestroyed {
-                node: me,
-                epoch: token.epoch,
-            }));
-            return;
-        }
-        // Duplicate-transfer suppression: a retransmission of a pass we
-        // already processed (the sender missed our ack) must not be
-        // processed again — that would fork a second live token and break
-        // the uniqueness of global sequence numbers.
-        let fingerprint = (token.epoch, token.origin.0, token.rotation);
-        if let Some(last) = ord.last_pass {
-            if (last.0, last.1) == (fingerprint.0, fingerprint.1) && fingerprint.2 <= last.2 {
+        // The ring-epoch fence owns both the Multiple-Token keep-one rule
+        // and duplicate-transfer suppression (a retransmission of a pass
+        // we already processed must be re-acked but never re-processed —
+        // that would fork a second live token).
+        match ord.fence.admit(&token) {
+            crate::ring_epoch::TokenAdmission::Stale => {
+                out.push(Action::Record(ProtoEvent::TokenDestroyed {
+                    node: me,
+                    epoch: token.epoch,
+                }));
                 return;
             }
+            crate::ring_epoch::TokenAdmission::DuplicatePass => return,
+            crate::ring_epoch::TokenAdmission::Admit => {}
         }
         // Forced-token-loss fault injection: a single armed drop swallows
         // the live token of the epoch current at arming time (acked above,
@@ -252,8 +259,7 @@ impl NeState {
                 return;
             }
         }
-        ord.last_pass = Some(fingerprint);
-        ord.best_instance = token.instance();
+        ord.fence.commit(&token);
         ord.last_token_seen = now;
         ord.regen_ceded = false; // ordering works again; any cede is stale
         self.process_and_forward_token(now, token, out);

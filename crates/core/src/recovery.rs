@@ -34,7 +34,7 @@ use simnet::SimTime;
 
 use crate::actions::{Action, Outbox};
 use crate::events::ProtoEvent;
-use crate::ids::{Epoch, NodeId};
+use crate::ids::NodeId;
 use crate::msg::Msg;
 use crate::node::NeState;
 use crate::token::OrderingToken;
@@ -45,12 +45,17 @@ impl NeState {
         self.maybe_start_regen(now, out);
     }
 
-    /// Originate a Token-Regeneration round unless ordering runs well here
-    /// or a round was originated too recently (damping).
+    /// Originate a Token-Regeneration round unless ordering runs well here,
+    /// a round was originated too recently (damping), or the ring-epoch
+    /// layer fences this node (a partitioned minority creating a new
+    /// lineage *is* the split brain — see [`crate::ring_epoch`]).
     pub(crate) fn maybe_start_regen(&mut self, now: SimTime, out: &mut Outbox) {
         let me = self.id;
         let group = self.group;
         let quiet = self.cfg.token_quiet_after;
+        if self.is_partition_fenced() || !self.top_ring_primary() {
+            return;
+        }
         let best = {
             let Some(ord) = self.ord.as_mut() else { return };
             if now.saturating_since(ord.last_token_seen) < quiet {
@@ -93,6 +98,11 @@ impl NeState {
         let me = self.id;
         let group = self.group;
         let quiet = self.cfg.token_quiet_after;
+        if self.is_partition_fenced() {
+            // A fenced minority node destroys regeneration rounds: its side
+            // must not extend or revive any token lineage.
+            return;
+        }
         let best = {
             let Some(ord) = self.ord.as_mut() else { return };
             if now.saturating_since(ord.last_token_seen) < quiet {
@@ -148,13 +158,17 @@ impl NeState {
     }
 
     /// Restart Message-Ordering here with `base` under a bumped epoch.
+    /// The bump itself lives in [`crate::ring_epoch::EpochFence`]; adoption
+    /// is the one fork-critical moment, so the primary-component rule is
+    /// re-checked even though every caller is already gated.
     fn adopt_regenerated(&mut self, now: SimTime, base: OrderingToken, out: &mut Outbox) {
         let me = self.id;
+        if !self.top_ring_primary() {
+            return;
+        }
         let mut token = base;
-        token.epoch = Epoch(token.epoch.0 + 1);
-        token.origin = me;
         let ord = self.ord.as_mut().expect("ordering state");
-        ord.best_instance = token.instance();
+        ord.fence.regenerate(&mut token, me);
         ord.last_token_seen = now;
         ord.regen_ceded = false;
         out.push(Action::Record(ProtoEvent::TokenRegenerated {
@@ -170,7 +184,7 @@ impl NeState {
 mod tests {
     use super::*;
     use crate::config::ProtocolConfig;
-    use crate::ids::{Endpoint, GlobalSeq, GroupId, LocalRange, LocalSeq};
+    use crate::ids::{Endpoint, Epoch, GlobalSeq, GroupId, LocalRange, LocalSeq};
 
     const G: GroupId = GroupId(1);
 
@@ -314,7 +328,7 @@ mod tests {
             }
         )));
         assert_eq!(
-            n.ord.as_ref().unwrap().best_instance,
+            n.ord.as_ref().unwrap().fence.best_instance(),
             (Epoch(1), 0),
             "instance updated to the regenerated lineage"
         );

@@ -130,6 +130,11 @@ impl NeState {
     /// single-node ring; give up after the retry budget.
     fn token_maintenance(&mut self, now: SimTime, out: &mut Outbox) {
         let me = self.id;
+        if self.is_partition_fenced() {
+            // The minority side neither retries nor self-passes: its token
+            // lineage is fenced off until the merge (see `ring_epoch`).
+            return;
+        }
         let Some(ring) = self.ring.as_ref() else {
             return;
         };
@@ -140,6 +145,12 @@ impl NeState {
         }
 
         if sole {
+            if !self.top_ring_primary() {
+                // A lone survivor outside the primary component must not
+                // keep the GSN stream alive (belt-and-suspenders: the
+                // fence entry above normally catches this first).
+                return;
+            }
             // Single-node top ring: re-process the kept token locally so
             // ordering keeps making progress.
             let token = {

@@ -11,6 +11,12 @@
 //!     │                   ▼                  ▼
 //!     └──────────────────────────────── Rejoining
 //!                  RejoinComplete
+//!
+//!            PartitionMinority           MergeStart
+//!   Active ───────────────────▶ Partitioned ─────────▶ Merging
+//!     ▲                              │                     │
+//!     └──────────────────────────────┴─────────────────────┘
+//!                           RejoinComplete
 //! ```
 //!
 //! Historically these transitions were smeared across the membership layer
@@ -22,6 +28,19 @@
 //! goes through [`RingLifecycle::apply`]. Members in [`MemberState::Active`]
 //! or [`MemberState::Suspected`] are *in the ring* (part of the
 //! next/prev/leader cycle); `Excised` and `Rejoining` members are not.
+//!
+//! The two partition states are **self-only**: a node applies
+//! [`LifecycleEvent::PartitionMinority`] to *itself* when the epoch layer
+//! ([`crate::ring_epoch`]) concludes its side of a split top ring is not
+//! the primary component. Peers never observe these states — from the
+//! majority side a partitioned member is simply `Excised`. Both states
+//! keep the node in its own cycle view (so degenerate leader lookups
+//! must not panic) but it assigns nothing and grants nothing until a
+//! merge grant moves it back to `Active`. A `Partitioned` node carries on
+//! its periodic duties (probing its minority-side neighbours, serving
+//! children) plus the heal probe; a `Merging` node suspends everything
+//! except retrying the merge handshake — the grant (or the retry budget
+//! falling back to `Partitioned`) is expected within a few ticks.
 //!
 //! The state machine is deliberately strict: transitions that can only
 //! arise from a protocol-logic bug (suspecting a member that is not even in
@@ -48,6 +67,13 @@ pub enum MemberState {
     /// A restarted member asked to re-enter and is being spliced back in;
     /// not part of the cycle until [`LifecycleEvent::RejoinComplete`].
     Rejoining,
+    /// Self-only: this node sits on the minority side of a partitioned
+    /// ordering ring. It stays in its own (minority) cycle view but is
+    /// fenced off from every GSN-assigning path until a merge.
+    Partitioned,
+    /// Self-only: heal evidence arrived and the whole-component merge
+    /// handshake (`RejoinRequest`/`RejoinGrant`) is in flight.
+    Merging,
 }
 
 impl fmt::Display for MemberState {
@@ -57,6 +83,8 @@ impl fmt::Display for MemberState {
             MemberState::Suspected => "suspected",
             MemberState::Excised => "excised",
             MemberState::Rejoining => "rejoining",
+            MemberState::Partitioned => "partitioned",
+            MemberState::Merging => "merging",
         })
     }
 }
@@ -75,8 +103,14 @@ pub enum LifecycleEvent {
     /// The member asked to re-enter the ring (`RejoinRequest` received).
     RejoinStart,
     /// The member was spliced back into the ring (`RejoinGrant` issued or
-    /// observed).
+    /// observed). Also completes a partition merge.
     RejoinComplete,
+    /// Self-only: the epoch layer concluded this node's side of a split
+    /// top ring is not the primary component.
+    PartitionMinority,
+    /// Self-only: heal evidence arrived while partitioned; the merge
+    /// handshake starts.
+    MergeStart,
 }
 
 impl fmt::Display for LifecycleEvent {
@@ -87,6 +121,8 @@ impl fmt::Display for LifecycleEvent {
             LifecycleEvent::Excise => "excise",
             LifecycleEvent::RejoinStart => "rejoin-start",
             LifecycleEvent::RejoinComplete => "rejoin-complete",
+            LifecycleEvent::PartitionMinority => "partition-minority",
+            LifecycleEvent::MergeStart => "merge-start",
         })
     }
 }
@@ -150,20 +186,24 @@ impl RingLifecycle {
             // --- liveness suspicion --------------------------------------
             (S::Active, E::Suspect) => Some(S::Suspected),
             (S::Suspected, E::Suspect) => None,
-            (S::Excised | S::Rejoining, E::Suspect) => panic!(
+            (S::Excised | S::Rejoining | S::Partitioned | S::Merging, E::Suspect) => panic!(
                 "illegal ring-lifecycle transition: cannot suspect node {} \
-                 while it is {} (only in-ring members are probed)",
+                 while it is {} (only in-cycle peers are probed)",
                 id.0, from
             ),
             // --- suspicion refuted ---------------------------------------
             (S::Suspected, E::Refute) => Some(S::Active),
             // Late liveness evidence from a member already excised (or mid
-            // rejoin) must not resurrect it outside the rejoin handshake.
-            (S::Active | S::Excised | S::Rejoining, E::Refute) => None,
+            // rejoin/merge) must not resurrect it outside the handshakes.
+            (S::Active | S::Excised | S::Rejoining | S::Partitioned | S::Merging, E::Refute) => {
+                None
+            }
             // --- excision ------------------------------------------------
             (S::Active | S::Suspected, E::Excise) => Some(S::Excised),
-            // A member that crashes again mid-rejoin is excised again.
-            (S::Rejoining, E::Excise) => Some(S::Excised),
+            // A member that crashes again mid-rejoin is excised again; a
+            // `RingFail` about a partitioned/merging self is a (stale)
+            // peer conviction — the merge path re-enters via the grant.
+            (S::Rejoining | S::Partitioned | S::Merging, E::Excise) => Some(S::Excised),
             (S::Excised, E::Excise) => None, // duplicate RingFail broadcast
             // --- re-entry ------------------------------------------------
             (S::Excised, E::RejoinStart) => Some(S::Rejoining),
@@ -172,8 +212,35 @@ impl RingLifecycle {
             // proof; any suspicion is refuted and the grant is a welcome.
             (S::Suspected, E::RejoinStart) => Some(S::Active),
             (S::Active, E::RejoinStart) => None,
-            (S::Rejoining | S::Excised | S::Suspected, E::RejoinComplete) => Some(S::Active),
+            // A partitioned/merging self observing a request about itself
+            // (a looped-back duplicate) changes nothing.
+            (S::Partitioned | S::Merging, E::RejoinStart) => None,
+            (
+                S::Rejoining | S::Excised | S::Suspected | S::Partitioned | S::Merging,
+                E::RejoinComplete,
+            ) => Some(S::Active),
             (S::Active, E::RejoinComplete) => None, // duplicate grant
+            // --- partition fencing (self-only states) --------------------
+            (S::Active | S::Suspected, E::PartitionMinority) => Some(S::Partitioned),
+            (S::Partitioned, E::PartitionMinority) => None, // re-evaluation
+            // A fresh split while the previous merge was still in flight.
+            (S::Merging, E::PartitionMinority) => Some(S::Partitioned),
+            (S::Excised | S::Rejoining, E::PartitionMinority) => panic!(
+                "illegal ring-lifecycle transition: node {} cannot enter a \
+                 partition minority while it is {} (only in-cycle members \
+                 evaluate the primary component)",
+                id.0, from
+            ),
+            (S::Partitioned, E::MergeStart) => Some(S::Merging),
+            (S::Merging, E::MergeStart) => None, // repeated heal evidence
+            // Stale heal evidence after the merge already completed (or
+            // before any partition) changes nothing.
+            (S::Active | S::Suspected, E::MergeStart) => None,
+            (S::Excised | S::Rejoining, E::MergeStart) => panic!(
+                "illegal ring-lifecycle transition: node {} cannot start a \
+                 merge while it is {} (merges leave the partitioned state)",
+                id.0, from
+            ),
         };
         match to {
             Some(to) => {
@@ -185,15 +252,32 @@ impl RingLifecycle {
     }
 
     /// True when the member takes part in the ring cycle (next/prev/leader).
+    /// `Partitioned`/`Merging` are self-only states: the node stays in its
+    /// own minority-side cycle view (it keeps probing minority peers and a
+    /// leader lookup on the degenerate view must not panic).
     pub fn is_in_ring(&self, id: NodeId) -> bool {
-        matches!(self.state(id), MemberState::Active | MemberState::Suspected)
+        matches!(
+            self.state(id),
+            MemberState::Active
+                | MemberState::Suspected
+                | MemberState::Partitioned
+                | MemberState::Merging
+        )
     }
 
     /// Members currently in the ring cycle, in identity order.
     pub fn in_ring(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.states
             .iter()
-            .filter(|(_, s)| matches!(s, MemberState::Active | MemberState::Suspected))
+            .filter(|(_, s)| {
+                matches!(
+                    s,
+                    MemberState::Active
+                        | MemberState::Suspected
+                        | MemberState::Partitioned
+                        | MemberState::Merging
+                )
+            })
             .map(|(&id, _)| id)
     }
 
@@ -226,6 +310,13 @@ mod tests {
                 lc.apply(M, E::Excise);
                 lc.apply(M, E::RejoinStart);
             }
+            S::Partitioned => {
+                lc.apply(M, E::PartitionMinority);
+            }
+            S::Merging => {
+                lc.apply(M, E::PartitionMinority);
+                lc.apply(M, E::MergeStart);
+            }
         }
         assert_eq!(lc.state(M), state);
         lc
@@ -233,19 +324,24 @@ mod tests {
 
     /// The full transition table: `(from, event, expected)` where
     /// `Some(to)` is a state change, `None` a legal idempotent no-op.
-    /// The two missing `(from, event)` combinations — Suspect on Excised
-    /// and Suspect on Rejoining — are the illegal ones (tested below).
+    /// The missing `(from, event)` combinations — Suspect outside the
+    /// Active/Suspected pair, and PartitionMinority/MergeStart on
+    /// Excised/Rejoining — are the illegal ones (tested below).
     const TABLE: &[(S, E, Option<S>)] = &[
         (S::Active, E::Suspect, Some(S::Suspected)),
         (S::Active, E::Refute, None),
         (S::Active, E::Excise, Some(S::Excised)),
         (S::Active, E::RejoinStart, None),
         (S::Active, E::RejoinComplete, None),
+        (S::Active, E::PartitionMinority, Some(S::Partitioned)),
+        (S::Active, E::MergeStart, None),
         (S::Suspected, E::Suspect, None),
         (S::Suspected, E::Refute, Some(S::Active)),
         (S::Suspected, E::Excise, Some(S::Excised)),
         (S::Suspected, E::RejoinStart, Some(S::Active)),
         (S::Suspected, E::RejoinComplete, Some(S::Active)),
+        (S::Suspected, E::PartitionMinority, Some(S::Partitioned)),
+        (S::Suspected, E::MergeStart, None),
         (S::Excised, E::Refute, None),
         (S::Excised, E::Excise, None),
         (S::Excised, E::RejoinStart, Some(S::Rejoining)),
@@ -254,6 +350,18 @@ mod tests {
         (S::Rejoining, E::Excise, Some(S::Excised)),
         (S::Rejoining, E::RejoinStart, None),
         (S::Rejoining, E::RejoinComplete, Some(S::Active)),
+        (S::Partitioned, E::Refute, None),
+        (S::Partitioned, E::Excise, Some(S::Excised)),
+        (S::Partitioned, E::RejoinStart, None),
+        (S::Partitioned, E::RejoinComplete, Some(S::Active)),
+        (S::Partitioned, E::PartitionMinority, None),
+        (S::Partitioned, E::MergeStart, Some(S::Merging)),
+        (S::Merging, E::Refute, None),
+        (S::Merging, E::Excise, Some(S::Excised)),
+        (S::Merging, E::RejoinStart, None),
+        (S::Merging, E::RejoinComplete, Some(S::Active)),
+        (S::Merging, E::PartitionMinority, Some(S::Partitioned)),
+        (S::Merging, E::MergeStart, None),
     ];
 
     #[test]
@@ -291,9 +399,68 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "cannot suspect node 7 while it is partitioned")]
+    fn suspecting_a_partitioned_member_panics() {
+        at(S::Partitioned).apply(M, E::Suspect);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot suspect node 7 while it is merging")]
+    fn suspecting_a_merging_member_panics() {
+        at(S::Merging).apply(M, E::Suspect);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot enter a partition minority while it is excised")]
+    fn partitioning_an_excised_member_panics() {
+        at(S::Excised).apply(M, E::PartitionMinority);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot start a merge while it is rejoining")]
+    fn merging_a_rejoining_member_panics() {
+        at(S::Rejoining).apply(M, E::MergeStart);
+    }
+
+    #[test]
     #[should_panic(expected = "not a member of this ring")]
     fn unknown_member_panics() {
         at(S::Active).state(NodeId(99));
+    }
+
+    #[test]
+    fn partitioned_member_stays_in_its_own_cycle_view() {
+        let mut lc = RingLifecycle::new([NodeId(1), NodeId(2)]);
+        lc.apply(NodeId(2), E::Excise); // the majority side, unreachable
+        lc.apply(NodeId(1), E::PartitionMinority);
+        assert!(
+            lc.is_in_ring(NodeId(1)),
+            "a partitioned self stays in its own cycle (leader lookups must not panic)"
+        );
+        assert_eq!(lc.in_ring_count(), 1);
+        lc.apply(NodeId(1), E::MergeStart);
+        assert!(lc.is_in_ring(NodeId(1)));
+        lc.apply(NodeId(1), E::RejoinComplete);
+        assert_eq!(lc.state(NodeId(1)), S::Active);
+    }
+
+    #[test]
+    fn full_partition_merge_cycle() {
+        let mut lc = RingLifecycle::new([NodeId(1), NodeId(2)]);
+        assert!(lc.apply(NodeId(1), E::PartitionMinority).changed());
+        assert_eq!(
+            lc.apply(NodeId(1), E::PartitionMinority),
+            Transition::Unchanged
+        );
+        assert!(lc.apply(NodeId(1), E::MergeStart).changed());
+        assert_eq!(lc.apply(NodeId(1), E::MergeStart), Transition::Unchanged);
+        assert!(lc.apply(NodeId(1), E::RejoinComplete).changed());
+        assert_eq!(lc.state(NodeId(1)), S::Active);
+        // A duplicate merge grant is idempotent.
+        assert_eq!(
+            lc.apply(NodeId(1), E::RejoinComplete),
+            Transition::Unchanged
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ impl<K: Ord + Copy> WorkingTable<K> {
     /// Add a downstream with initial progress `upto` (usually zero, or the
     /// resume point announced during a handoff). Keeps the larger value when
     /// the key is already present.
+    #[inline]
     pub fn register(&mut self, key: K, upto: GlobalSeq) {
         let e = self.entries.entry(key).or_insert(upto);
         if upto > *e {
@@ -50,6 +51,7 @@ impl<K: Ord + Copy> WorkingTable<K> {
 
     /// Record a cumulative ACK. Regressions are ignored (stale ACKs).
     /// Returns true when the entry existed.
+    #[inline]
     pub fn ack(&mut self, key: K, upto: GlobalSeq) -> bool {
         match self.entries.get_mut(&key) {
             Some(e) => {
@@ -63,17 +65,20 @@ impl<K: Ord + Copy> WorkingTable<K> {
     }
 
     /// Progress of one downstream.
+    #[inline]
     pub fn progress(&self, key: K) -> Option<GlobalSeq> {
         self.entries.get(&key).copied()
     }
 
     /// `MaxGlobalSeqNo` delivered to *all* downstreams — the minimum over
     /// entries; `None` when the table is empty (delivery is then vacuous).
+    #[inline]
     pub fn min_progress(&self) -> Option<GlobalSeq> {
         self.entries.values().copied().min()
     }
 
     /// Number of downstreams tracked.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }

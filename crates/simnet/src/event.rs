@@ -7,8 +7,13 @@
 //!
 //! * **near** — a ring of [`NUM_BUCKETS`] calendar buckets, each
 //!   [`BUCKET_NS`] nanoseconds wide (~134 ms of horizon). An entry lands in
-//!   its time bucket in `O(1)`; each bucket is a tiny binary heap, so pops
-//!   cost `O(log k)` for the handful of entries sharing a bucket.
+//!   its time bucket in `O(1)` (a plain `Vec` push); when the cursor
+//!   reaches a bucket it is sorted **once** (descending, so draining pops
+//!   from the back) and drained in order — the *sorted-ring drain*. The
+//!   rare entry scheduled into the bucket mid-drain is placed by binary
+//!   search. This replaces the former per-bucket `BinaryHeap`s: a bucket
+//!   of `k` entries pays one `k log k` sort per sweep instead of `2k`
+//!   sift passes, and every pop is a branch-light `Vec::pop`.
 //! * **far** — one overflow heap for entries beyond the horizon. As the
 //!   cursor sweeps forward, far entries migrate into near exactly once.
 //!
@@ -88,7 +93,10 @@ impl Ord for Key {
 /// two-level structure and the determinism contract).
 pub struct EventQueue<E> {
     /// Calendar ring; bucket `b` (absolute) lives at index `b % NUM_BUCKETS`.
-    near: Vec<BinaryHeap<Key>>,
+    /// Non-cursor buckets are unsorted append logs; the cursor bucket is
+    /// kept descending by `(time, seq)` while `cursor_sorted` holds, so
+    /// the in-order drain is `Vec::pop` from the back.
+    near: Vec<Vec<Key>>,
     /// Entries at or beyond the near horizon.
     far: BinaryHeap<Key>,
     /// Absolute bucket index of the scan position. Invariant: every key in
@@ -96,6 +104,9 @@ pub struct EventQueue<E> {
     /// entries are clamped into the cursor bucket), every key in `far` has
     /// bucket `>= cursor + NUM_BUCKETS`.
     cursor: u64,
+    /// The cursor bucket has been sorted for draining; entries pushed into
+    /// it while this holds are placed by binary search instead.
+    cursor_sorted: bool,
     /// Keys currently stored in `near` (live or stale).
     near_keys: usize,
     /// Payloads (with their seq, for ABA-safe handle/key matching),
@@ -116,9 +127,10 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            near: (0..NUM_BUCKETS).map(|_| BinaryHeap::new()).collect(),
+            near: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
             far: BinaryHeap::new(),
             cursor: 0,
+            cursor_sorted: false,
             near_keys: 0,
             slots: Slab::new(),
             next_seq: 0,
@@ -138,16 +150,47 @@ impl<E> EventQueue<E> {
         matches!(self.slots.get(key.slot), Some((seq, _)) if *seq == key.seq)
     }
 
+    /// Descending `(time, seq)` — the sorted-drain order (pop from back =
+    /// earliest first).
+    #[inline]
+    fn drain_order(a: &Key, b: &Key) -> Ordering {
+        b.time.cmp(&a.time).then_with(|| b.seq.cmp(&a.seq))
+    }
+
+    /// Place a key into a near bucket. The cursor bucket, once sorted for
+    /// draining, stays sorted via binary-search insertion; every other
+    /// bucket is a plain append.
+    #[inline]
+    fn push_near(&mut self, b: u64, key: Key) {
+        let idx = (b % NUM_BUCKETS as u64) as usize;
+        let bucket = &mut self.near[idx];
+        if b == self.cursor && self.cursor_sorted {
+            let at = bucket.partition_point(|k| Self::drain_order(k, &key) == Ordering::Less);
+            bucket.insert(at, key);
+        } else {
+            bucket.push(key);
+        }
+        self.near_keys += 1;
+    }
+
     fn push_key(&mut self, key: Key) {
         let b = bucket_of(key.time);
         if b >= self.cursor + NUM_BUCKETS as u64 {
             self.far.push(key);
         } else {
             // Past-time entries (clock clamps, zero-delay injections) land
-            // in the cursor bucket; the per-bucket heap keeps them first.
-            let b = b.max(self.cursor);
-            self.near[(b % NUM_BUCKETS as u64) as usize].push(key);
-            self.near_keys += 1;
+            // in the cursor bucket; the drain order keeps them first.
+            self.push_near(b.max(self.cursor), key);
+        }
+    }
+
+    /// Sort the cursor bucket for draining (once per sweep).
+    #[inline]
+    fn sort_cursor_bucket(&mut self) {
+        if !self.cursor_sorted {
+            let idx = (self.cursor % NUM_BUCKETS as u64) as usize;
+            self.near[idx].sort_unstable_by(Self::drain_order);
+            self.cursor_sorted = true;
         }
     }
 
@@ -155,6 +198,7 @@ impl<E> EventQueue<E> {
     /// entries into the calendar.
     fn advance(&mut self) {
         self.cursor += 1;
+        self.cursor_sorted = false;
         self.migrate();
     }
 
@@ -167,8 +211,7 @@ impl<E> EventQueue<E> {
             }
             let k = self.far.pop().expect("peeked");
             let b = bucket_of(k.time).max(self.cursor);
-            self.near[(b % NUM_BUCKETS as u64) as usize].push(k);
-            self.near_keys += 1;
+            self.push_near(b, k);
         }
     }
 
@@ -180,6 +223,7 @@ impl<E> EventQueue<E> {
             return false;
         };
         self.cursor = self.cursor.max(bucket_of(k.time));
+        self.cursor_sorted = false;
         self.migrate();
         debug_assert!(self.near_keys > 0);
         true
@@ -213,6 +257,7 @@ impl<E> EventQueue<E> {
             if self.near_keys == 0 && !self.refill_near() {
                 return None;
             }
+            self.sort_cursor_bucket();
             let idx = (self.cursor % NUM_BUCKETS as u64) as usize;
             match self.near[idx].pop() {
                 Some(key) => {
@@ -235,8 +280,9 @@ impl<E> EventQueue<E> {
             if self.near_keys == 0 && !self.refill_near() {
                 return None;
             }
+            self.sort_cursor_bucket();
             let idx = (self.cursor % NUM_BUCKETS as u64) as usize;
-            match self.near[idx].peek().copied() {
+            match self.near[idx].last().copied() {
                 Some(key) => {
                     if self.key_live(key) {
                         return Some(key.time);
@@ -269,6 +315,7 @@ impl<E> EventQueue<E> {
         self.near_keys = 0;
         self.live = 0;
         self.cursor = 0;
+        self.cursor_sorted = false;
     }
 }
 
