@@ -157,7 +157,8 @@ impl FlatRingSim {
             };
             let addr = sim.add_node(boxed_source_actor(
                 spec.group,
-                map.ne(src.corresponding).unwrap(),
+                map.ne(src.corresponding)
+                    .expect("sources attach to declared stations"),
                 &src,
             ));
             debug_assert_eq!(addr, source_addrs[i]);
@@ -172,26 +173,22 @@ impl FlatRingSim {
         let w = sim.world();
         for (i, &a) in station_ids.iter().enumerate() {
             for &b in station_ids.iter().skip(i + 1) {
-                w.topo.connect_duplex(
-                    map.ne(a).unwrap(),
-                    map.ne(b).unwrap(),
-                    spec.ring_link.clone(),
-                );
+                let ne = |id| map.ne(id).expect("every station is in the address map");
+                w.topo.connect_duplex(ne(a), ne(b), spec.ring_link.clone());
             }
         }
         for (i, addr) in source_addrs.iter().enumerate() {
             w.topo.connect_duplex(
                 *addr,
-                map.ne(station_ids[i]).unwrap(),
+                map.ne(station_ids[i])
+                    .expect("every station is in the address map"),
                 LinkProfile::wired(SimDuration::from_micros(100)),
             );
         }
         for &(g, st) in &mh_assignments {
-            w.topo.connect_duplex(
-                map.mh(g).unwrap(),
-                map.ne(st).unwrap(),
-                spec.wireless.clone(),
-            );
+            let mh = map.mh(g).expect("every MH is in the address map");
+            let st = map.ne(st).expect("MHs start at declared stations");
+            w.topo.connect_duplex(mh, st, spec.wireless.clone());
         }
 
         FlatRingSim {

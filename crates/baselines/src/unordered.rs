@@ -681,7 +681,12 @@ impl UnorderedSim {
                 .iter()
                 .enumerate()
                 .filter(|(ri, _)| ri % brs.len() == i)
-                .map(|(_, ring)| ring.iter().map(|m| m.0).min().unwrap())
+                .map(|(_, ring)| {
+                    ring.iter()
+                        .map(|m| m.0)
+                        .min()
+                        .expect("spec validation rejects empty rings")
+                })
                 .collect();
             let role = UnRole {
                 next: (next != id).then_some(next),
@@ -704,7 +709,10 @@ impl UnorderedSim {
         }
         for (ri, ring) in rings.iter().enumerate() {
             let ids: Vec<NodeId> = ring.iter().map(|m| m.0).collect();
-            let leader = *ids.iter().min().unwrap();
+            let leader = *ids
+                .iter()
+                .min()
+                .expect("spec validation rejects empty rings");
             let parent_br = br_ids[ri % br_ids.len()];
             for (i, &(id, _)) in ring.iter().enumerate() {
                 let next = ids[(i + 1) % ids.len()];
@@ -806,7 +814,10 @@ impl UnorderedSim {
             }
         }
         for &(_, ap_addr, parent) in &aps {
-            let parent_addr = *map.ne.get(&parent).unwrap();
+            let parent_addr = *map
+                .ne
+                .get(&parent)
+                .expect("AP parents are declared ring members");
             w.topo
                 .connect_duplex(ap_addr, parent_addr, spec.links.1.clone());
         }
@@ -818,7 +829,7 @@ impl UnorderedSim {
             );
         }
         for &(_, mh_addr, ap) in &mhs {
-            let ap_addr = *map.ne.get(&ap).unwrap();
+            let ap_addr = *map.ne.get(&ap).expect("MHs start at declared APs");
             w.topo
                 .connect_duplex(mh_addr, ap_addr, spec.links.2.clone());
         }

@@ -606,73 +606,59 @@ impl RingNetSim {
 
         // ---- Wire the topology.
         let w = sim.world();
+        // Spec validation admitted only declared entities, so every id the
+        // wiring below resolves must be present in the address map.
+        let ne_addr = |id: NodeId| map.ne(id).expect("validated spec wires a declared NE");
+        let mh_addr = |guid: Guid| map.mh(guid).expect("validated spec wires a declared MH");
         // Top ring: duplex links between every pair of ring members — the
         // ring is logical, the underlying unicast routes exist between any
         // two BRs (needed for repair paths after failures).
         for (i, &a) in spec.top_ring.iter().enumerate() {
             for &b in spec.top_ring.iter().skip(i + 1) {
-                w.topo.connect_duplex(
-                    map.ne(a).unwrap(),
-                    map.ne(b).unwrap(),
-                    spec.links.top_ring.clone(),
-                );
+                w.topo
+                    .connect_duplex(ne_addr(a), ne_addr(b), spec.links.top_ring.clone());
             }
         }
         for ring in &spec.ag_rings {
             // AG ring mesh (same rationale).
             for (i, &a) in ring.members.iter().enumerate() {
                 for &b in ring.members.iter().skip(i + 1) {
-                    w.topo.connect_duplex(
-                        map.ne(a).unwrap(),
-                        map.ne(b).unwrap(),
-                        spec.links.ag_ring.clone(),
-                    );
+                    w.topo
+                        .connect_duplex(ne_addr(a), ne_addr(b), spec.links.ag_ring.clone());
                 }
             }
             // Every ring member can reach every candidate parent BR.
             for &ag in &ring.members {
                 for &br in &ring.parent_candidates {
-                    w.topo.connect_duplex(
-                        map.ne(ag).unwrap(),
-                        map.ne(br).unwrap(),
-                        spec.links.br_ag.clone(),
-                    );
+                    w.topo
+                        .connect_duplex(ne_addr(ag), ne_addr(br), spec.links.br_ag.clone());
                 }
             }
         }
         for ap in &spec.aps {
             for &ag in &ap.parent_candidates {
-                w.topo.connect_duplex(
-                    map.ne(ap.id).unwrap(),
-                    map.ne(ag).unwrap(),
-                    spec.links.ag_ap.clone(),
-                );
+                w.topo
+                    .connect_duplex(ne_addr(ap.id), ne_addr(ag), spec.links.ag_ap.clone());
             }
             // AP ↔ AP neighbour links (reservation traffic).
             for &nb in &ap.neighbours {
                 if nb > ap.id {
-                    w.topo.connect_duplex(
-                        map.ne(ap.id).unwrap(),
-                        map.ne(nb).unwrap(),
-                        spec.links.ag_ap.clone(),
-                    );
+                    w.topo
+                        .connect_duplex(ne_addr(ap.id), ne_addr(nb), spec.links.ag_ap.clone());
                 }
             }
         }
         for (i, src) in spec.sources.iter().enumerate() {
             w.topo.connect_duplex(
                 source_addrs[i],
-                map.ne(src.corresponding).unwrap(),
+                ne_addr(src.corresponding),
                 spec.links.source.clone(),
             );
         }
         for mh in &spec.mhs {
             if let Some(ap) = mh.initial_ap {
-                w.topo.connect_duplex(
-                    map.mh(mh.guid).unwrap(),
-                    map.ne(ap).unwrap(),
-                    spec.links.wireless.clone(),
-                );
+                w.topo
+                    .connect_duplex(mh_addr(mh.guid), ne_addr(ap), spec.links.wireless.clone());
             }
         }
 

@@ -470,7 +470,11 @@ impl HierarchyBuilder {
                 for _ in 0..self.aps_per_ag {
                     let id = take(1)[0];
                     // Backup parent: the next AG in the same ring.
-                    let pos = ring.members.iter().position(|&m| m == ag).unwrap();
+                    let pos = ring
+                        .members
+                        .iter()
+                        .position(|&m| m == ag)
+                        .expect("AG ids come from iterating this very ring");
                     let backup = ring.members[(pos + 1) % ring.members.len()];
                     let parent_candidates = if backup == ag {
                         vec![ag]

@@ -41,6 +41,13 @@ pub struct GlobalSeq(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Epoch(pub u32);
 
+impl Epoch {
+    /// The epoch every group's initial token starts in. Every later epoch
+    /// is minted by `ring_epoch::EpochFence::regenerate` — nothing else
+    /// constructs a raw `Epoch` (enforced by ringlint's `epoch-fence`).
+    pub const ZERO: Epoch = Epoch(0);
+}
+
 /// Identifies an application payload. The simulation does not carry payload
 /// bytes; the wire-size model charges a configured payload size instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

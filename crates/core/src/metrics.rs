@@ -20,7 +20,7 @@
 //!   rotation, windowed rates) that only make sense with a retained
 //!   journal.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::driver::RunMetrics;
@@ -68,7 +68,12 @@ impl Hasher for FxHasher {
     }
 }
 
-type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+// ringlint: allow(determinism) — audited: every FxMap here is keyed-lookup-only
+// (entry/get per delivery); nothing iterates one, and every emitted aggregate is
+// accumulated into scalars/Histograms or ordered via BTree collections before
+// emission, so the unspecified iteration order can never reach a journal or
+// report. Iteration over these maps would itself be flagged by this rule.
+type FxMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Computes every [`RunMetrics`] field in a single pass over the protocol
 /// events, in any feeding mode:
@@ -497,7 +502,10 @@ pub fn token_rotation_period(journal: &Journal, node: NodeId) -> Option<SimDurat
     if times.len() < 2 {
         return None;
     }
-    let span = times.last().unwrap().saturating_since(times[0]);
+    let span = times
+        .last()
+        .expect("guarded above: at least two pass times")
+        .saturating_since(times[0]);
     Some(SimDuration::from_nanos(
         span.as_nanos() / (times.len() as u64 - 1),
     ))

@@ -783,10 +783,10 @@ impl NeState {
 
     /// The live token pass `(epoch, origin, rotation)` as last seen here,
     /// for seeding a rejoiner's duplicate-transfer suppression state.
-    fn known_token_pass(&self) -> Option<(crate::ids::Epoch, u32, u64)> {
+    fn known_token_pass(&self) -> Option<crate::ring_epoch::PassId> {
         let ord = self.ord.as_ref()?;
         let t = ord.new_token.as_ref()?;
-        Some((t.epoch, t.origin.0, t.rotation))
+        Some(t.pass_id())
     }
 
     /// Splice `member` back into the ring: complete its lifecycle

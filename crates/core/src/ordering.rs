@@ -83,7 +83,10 @@ impl NeState {
         } else {
             // Degenerate single-node ring: nothing downstream will ever ack
             // this stream; release it for GC once copied.
-            self.wq.as_mut().unwrap().ack_from_next(me, ls);
+            self.wq
+                .as_mut()
+                .expect("copy_wq_to_token runs only on WQ-bearing ordering nodes")
+                .ack_from_next(me, ls);
         }
     }
 
@@ -251,7 +254,7 @@ impl NeState {
         // and Token-Regeneration must recover). A token from a *newer*
         // epoch means the drop opportunity has passed; disarm and process.
         if let Some(armed) = ord.drop_armed.take() {
-            if token.epoch <= armed {
+            if crate::ring_epoch::arm_covers(armed, token.epoch) {
                 out.push(Action::Record(ProtoEvent::TokenDropped {
                     node: me,
                     epoch: token.epoch,
@@ -279,7 +282,7 @@ impl NeState {
         // rejoin *now*, so the re-entry can never interleave with a
         // concurrent assignment elsewhere (re-entry at a token boundary).
         if !self.pending_rejoins.is_empty() {
-            let pass = Some((token.epoch, token.origin.0, token.rotation));
+            let pass = Some(token.pass_id());
             let pending = std::mem::take(&mut self.pending_rejoins);
             for member in pending {
                 // A member that crashed *again* while queued (a RingFail
@@ -371,7 +374,9 @@ impl NeState {
         let Some(ord) = self.ord.as_mut() else { return };
         let Endpoint::Ne(sender) = from else { return };
         if let Some(inf) = &ord.inflight {
-            if inf.to == sender && inf.token.epoch == epoch && inf.token.rotation == rotation {
+            if inf.to == sender
+                && crate::ring_epoch::ack_matches_pass(inf.token.pass_id(), epoch, rotation)
+            {
                 ord.inflight = None;
             }
         }

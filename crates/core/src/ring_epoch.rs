@@ -131,6 +131,27 @@ impl EpochFence {
     }
 }
 
+/// Does an armed forced-drop fault (armed while `armed` was the live
+/// epoch) still apply to an arriving token of `token_epoch`? The arm
+/// captures the lineage current at arming time; a token from a newer
+/// epoch means Token-Regeneration already replaced the targeted lineage,
+/// so the drop opportunity has passed and the arm must disarm. One of the
+/// two raw-epoch orderings the fence's module owns on behalf of the
+/// fault-injection path (the other being the keep-one rule in `admit`).
+pub fn arm_covers(armed: Epoch, token_epoch: Epoch) -> bool {
+    token_epoch <= armed
+}
+
+/// Does a `TokenAck { epoch, rotation }` acknowledge exactly the pass
+/// `pass`? Acks carry no origin, but within one admitted instance the
+/// `(epoch, rotation)` pair identifies the pass uniquely: the keep-one
+/// rule retires an older epoch before a new lineage circulates, so a
+/// stale-instance ack can never alias a live in-flight transfer.
+pub fn ack_matches_pass(pass: PassId, epoch: Epoch, rotation: u64) -> bool {
+    let (e, _origin, r) = pass;
+    e == epoch && r == rotation
+}
+
 /// The deterministic primary-component rule over one ring's static order:
 /// a side may create or revive a token lineage iff it holds a strict
 /// majority of the static members, or exactly half of them including the

@@ -75,7 +75,7 @@ impl OrderingToken {
     pub fn new(group: GroupId, origin: NodeId) -> Self {
         OrderingToken {
             group,
-            epoch: Epoch(0),
+            epoch: Epoch::ZERO,
             origin,
             next_gsn: GlobalSeq::FIRST,
             rotation: 0,
@@ -123,6 +123,12 @@ impl OrderingToken {
     /// wins; ties break on the (re)generating node id.
     pub fn instance(&self) -> (Epoch, u32) {
         (self.epoch, self.origin.0)
+    }
+
+    /// Identity of this token pass, in the form the epoch fence orders
+    /// ([`crate::ring_epoch::PassId`]): `(epoch, origin id, rotation)`.
+    pub fn pass_id(&self) -> crate::ring_epoch::PassId {
+        (self.epoch, self.origin.0, self.rotation)
     }
 
     /// True when `self` beats `other` under the keep-one rule.

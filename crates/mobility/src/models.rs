@@ -235,7 +235,9 @@ impl Scripted {
                 };
             }
         }
-        kfs.last().unwrap().1
+        kfs.last()
+            .expect("Scripted paths carry at least one keyframe")
+            .1
     }
 }
 

@@ -1,0 +1,17 @@
+// Fixture: deterministic-by-construction code — BTree iteration, keyed
+// hash lookups under an audited allow, simnet time only.
+
+use simnet::SimTime;
+use std::collections::BTreeMap;
+
+// ringlint: allow(determinism) — audited: keyed lookups only; nothing
+// iterates this map and every aggregate is a scalar.
+type Lookup = std::collections::HashMap<u32, u64>;
+
+fn good(seen: &Lookup, ordered: &BTreeMap<u32, u64>, now: SimTime) -> u64 {
+    let mut total = now.as_nanos();
+    for (_k, v) in ordered {
+        total += v; // BTreeMap iterates in key order — deterministic
+    }
+    total + seen.get(&7).copied().unwrap_or(0)
+}

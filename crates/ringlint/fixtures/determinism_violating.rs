@@ -1,0 +1,20 @@
+// Fixture: every determinism hazard the rule hunts in the sim path.
+
+use std::time::Instant; // wall-clock source
+
+type Cache = std::collections::HashMap<u32, u64>; // un-audited hash container
+
+fn bad(cache: &Cache) -> u64 {
+    let t0 = Instant::now(); // wall-clock read
+    std::thread::sleep(core::time::Duration::from_millis(1)); // wall-clock stall
+    let mut total = 0;
+    for (_k, v) in cache {
+        // direct iteration over a hash-typed binding
+        total += v;
+    }
+    for k in cache.keys() {
+        // method iteration over a hash-typed binding
+        total += u64::from(*k);
+    }
+    total + t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,18 @@
+// Fixture: legal epoch handling — carrying an `Epoch` value around and
+// routing every ordering decision through the ring_epoch fence.
+
+fn carry(token: &OrderingToken) -> Epoch {
+    token.epoch // reading / moving the value is fine; ordering it is not
+}
+
+fn admit(fence: &mut EpochFence, token: &OrderingToken) -> bool {
+    fence.admit(token.pass_id())
+}
+
+fn covered(armed: Epoch, token: &OrderingToken) -> bool {
+    crate::ring_epoch::arm_covers(armed, token.epoch)
+}
+
+struct EpochHolder {
+    epoch: Epoch, // a field *named* epoch is fine; only `.epoch` ordering is fenced
+}

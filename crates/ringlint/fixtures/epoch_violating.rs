@@ -1,0 +1,22 @@
+// Fixture: every shape of raw epoch handling the `epoch-fence` rule bans.
+// Linted as if it lived at crates/core/src/ordering.rs (not an allowed file).
+
+fn bad_construct() -> Epoch {
+    Epoch(3) // raw construction: epochs are minted only by EpochFence::regenerate
+}
+
+fn bad_forward_cmp(token: &OrderingToken, armed: Epoch) -> bool {
+    token.epoch <= armed // forward comparison through `.epoch`
+}
+
+fn bad_reverse_cmp(token: &OrderingToken, armed: Epoch) -> bool {
+    armed == token.epoch // reversed comparison (receiver chain on the right)
+}
+
+fn bad_assign(token: &mut OrderingToken, e: Epoch) {
+    token.epoch = e; // direct field assignment
+}
+
+fn bad_peel(token: &OrderingToken) -> u64 {
+    token.epoch.0 // peeling the inner integer
+}

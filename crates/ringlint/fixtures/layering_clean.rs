@@ -1,0 +1,11 @@
+// Fixture: legal baseline imports — the core facade, crate-root
+// re-exports, and the crates below it.
+
+use ringnet_core::driver::{MulticastSim, RunReport};
+use ringnet_core::metrics::MetricsAccumulator;
+use ringnet_core::NodeId; // crate-root re-export, not a module path
+use simnet::{SimDuration, SimTime};
+
+fn run(sim: &mut dyn MulticastSim, until: SimTime) -> RunReport {
+    sim.run_until(until)
+}

@@ -1,0 +1,9 @@
+// Fixture: layering breaches, linted as the `baselines` crate.
+
+use harness::scenario::Scenario; // upward dependency: baselines may not see harness
+use ringnet_core::ordering::OrderingToken; // protocol internal, not a facade module
+
+fn peek(t: &OrderingToken) -> u64 {
+    let _ = ringnet_core::recovery::TokenRegeneration::default(); // inline path breach
+    t.rotation
+}

@@ -1,0 +1,21 @@
+// Fixture: legal lifecycle interaction — reads, event feeds, match arms.
+
+fn feed(lc: &mut RingLifecycle, m: NodeId) {
+    lc.apply(m, LifecycleEvent::SuspectTimeout);
+}
+
+fn read(lc: &RingLifecycle, m: NodeId) -> bool {
+    lc.state(m) == MemberState::Active // `==` is a distinct token, not `=`
+}
+
+fn arm(s: MemberState) -> u8 {
+    match s {
+        MemberState::Active => 0, // `=>` is a distinct token, not `=`
+        _ => 1,
+    }
+}
+
+impl RingLifecycle {
+    // `impl RingLifecycle {` is a definition site, not a struct literal.
+    fn helper(&self) {}
+}

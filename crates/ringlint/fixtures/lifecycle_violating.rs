@@ -1,0 +1,15 @@
+// Fixture: membership mutations that bypass RingLifecycle::apply.
+
+fn bad_assign(states: &mut BTreeMap<NodeId, MemberState>, m: NodeId) {
+    // Direct state store instead of a LifecycleEvent through apply().
+    states.insert(m, MemberState::Suspect);
+    let slot = states.get_mut(&m).unwrap_or_else(|| panic!("present"));
+    *slot = MemberState::Active;
+}
+
+fn bad_literal() -> RingLifecycle {
+    // Struct-literal construction bypasses new()'s everyone-starts-Active rule.
+    RingLifecycle {
+        states: Default::default(),
+    }
+}

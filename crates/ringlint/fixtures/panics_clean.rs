@@ -1,0 +1,14 @@
+// Fixture: disciplined panics — every expect names its broken assumption,
+// infallible paths use unwrap_or — and the test exemption.
+
+fn good(x: Option<u32>, xs: &[u32]) -> u32 {
+    x.expect("caller validated presence in the spec") + xs.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_legal_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

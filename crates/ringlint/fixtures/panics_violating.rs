@@ -1,0 +1,5 @@
+// Fixture: anonymous panics in protocol code.
+
+fn bad(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    x.unwrap() + y.expect("")
+}

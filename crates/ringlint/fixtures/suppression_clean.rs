@@ -1,0 +1,9 @@
+// Fixture: a well-formed audited suppression.
+
+// ringlint: allow(determinism) — audited: the map is keyed-lookup-only and
+// never iterated; no aggregate derived from it reaches the journal.
+type Cache = std::collections::HashMap<u32, u64>;
+
+fn f(c: &Cache) -> u64 {
+    c.get(&1).copied().unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+// Fixture: malformed suppressions — the meta-rule's two failure shapes.
+
+// ringlint: allow(determinism)
+type Cache = std::collections::HashMap<u32, u64>; // NOT suppressed: the allow has no justification
+
+// ringlint: allow(no-such-rule) — believed fine
+fn f() {}

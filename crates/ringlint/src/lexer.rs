@@ -1,0 +1,474 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for lint-grade
+//! token scanning (the container has no crates.io access, so no `syn`).
+//!
+//! The token stream is *lossy by design*: we keep identifiers, literals,
+//! punctuation and comments with their line numbers, and guarantee the
+//! tricky cases are classified correctly so rules never fire inside a
+//! string or comment:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, raw strings
+//!   `r"…"`/`r#"…"#`/`br##"…"##` with any hash count;
+//! * char literals (including `'\''`, `'\u{1F600}'`) vs. lifetimes
+//!   (`'a`, `'static`) — the classic ambiguity on `'`;
+//! * raw identifiers (`r#match`) vs. raw strings (`r#"…"#`);
+//! * maximal-munch multi-char operators (`::`, `=>`, `==`, `<=`, …) so
+//!   rules can tell `=` from `==` and `=>`.
+
+/// What a token is. Comments are kept (the suppression parser reads
+/// them); rules normally scan the "significant" (non-comment) stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `Epoch`, `r#match` — the raw-ident
+    /// prefix is stripped, `text` holds `match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`), quote stripped.
+    Lifetime,
+    /// A character literal, quotes kept (`'x'`, `'\''`).
+    Char,
+    /// A string / byte-string / raw-string literal; `text` holds the
+    /// *content* (delimiters stripped) so rules can test emptiness.
+    Str,
+    /// A numeric literal (integers, floats, any base, suffixes kept).
+    Num,
+    /// Punctuation / operator, maximal-munch (`::`, `==`, `=>`, `<`, …).
+    Punct,
+    /// A `//…` comment, marker stripped, newline excluded.
+    LineComment,
+    /// A `/* … */` comment (possibly nested), markers kept out.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this token the exact identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this token the exact punctuation `s`?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Multi-char operators, longest first so maximal munch wins.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+];
+
+/// Lex `src` into tokens. Unknown bytes are skipped (lint-grade: we never
+/// fail, we just keep scanning).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek_at(1) == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let text = cur.eat_while(|c| c != '\n');
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text,
+                    line,
+                });
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            text.push_str("/*");
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        }
+                        (Some(c), _) => {
+                            text.push(c);
+                            cur.bump();
+                        }
+                        (None, _) => break, // unterminated: tolerate
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text,
+                    line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&cur) => {
+                let tok = lex_prefixed_literal(&mut cur, line);
+                toks.push(tok);
+            }
+            c if is_ident_start(c) => {
+                let text = cur.eat_while(is_ident_continue);
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let text = lex_number(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text,
+                    line,
+                });
+            }
+            '"' => {
+                cur.bump();
+                let text = lex_string_body(&mut cur, '"');
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+            }
+            '\'' => {
+                let tok = lex_quote(&mut cur, line);
+                toks.push(tok);
+            }
+            _ => {
+                // Operator / punctuation: maximal munch.
+                let mut matched = None;
+                for op in OPS {
+                    if src_matches(&cur, op) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                if let Some(op) = matched {
+                    for _ in 0..op.chars().count() {
+                        cur.bump();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Punct,
+                        text: op.to_string(),
+                        line,
+                    });
+                } else {
+                    cur.bump();
+                    toks.push(Tok {
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                }
+            }
+        }
+    }
+    toks
+}
+
+fn src_matches(cur: &Cursor, s: &str) -> bool {
+    s.chars()
+        .enumerate()
+        .all(|(i, c)| cur.peek_at(i) == Some(c))
+}
+
+/// At a `r` or `b`: does a raw string / byte string / raw identifier
+/// follow (rather than a plain identifier starting with r/b)?
+fn starts_raw_or_byte_literal(cur: &Cursor) -> bool {
+    match cur.peek() {
+        Some('r') => {
+            // r"…", r#"…"# (any hash count), or r#ident.
+            let mut i = 1;
+            while cur.peek_at(i) == Some('#') {
+                i += 1;
+            }
+            match cur.peek_at(i) {
+                Some('"') => true,
+                // r#ident: exactly one hash (i advanced 1 → 2) then an
+                // ident start. Without a hash this is an ordinary ident
+                // that merely begins with `r`.
+                Some(c) if i == 2 && is_ident_start(c) => true,
+                _ => false,
+            }
+        }
+        Some('b') => match cur.peek_at(1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => {
+                let mut i = 2;
+                while cur.peek_at(i) == Some('#') {
+                    i += 1;
+                }
+                cur.peek_at(i) == Some('"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Lex a literal starting with `r` / `b` / `br` (raw string, byte string,
+/// byte char, raw identifier). Assumes `starts_raw_or_byte_literal`.
+fn lex_prefixed_literal(cur: &mut Cursor, line: u32) -> Tok {
+    let first = cur.bump().expect("caller peeked");
+    let raw = if first == 'r' {
+        true
+    } else {
+        // b…: byte char, byte string, or br raw byte string.
+        match cur.peek() {
+            Some('\'') => {
+                cur.bump();
+                let text = lex_char_body(cur);
+                return Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                };
+            }
+            Some('"') => {
+                cur.bump();
+                let text = lex_string_body(cur, '"');
+                return Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                };
+            }
+            Some('r') => {
+                cur.bump();
+                true
+            }
+            _ => unreachable!("guarded by starts_raw_or_byte_literal"),
+        }
+    };
+    debug_assert!(raw);
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() == Some('"') {
+        cur.bump();
+        // Raw string: runs to `"` followed by `hashes` hashes.
+        let mut text = String::new();
+        loop {
+            match cur.peek() {
+                None => break, // unterminated: tolerate
+                Some('"') => {
+                    let mut all = true;
+                    for i in 0..hashes {
+                        if cur.peek_at(1 + i) != Some('#') {
+                            all = false;
+                            break;
+                        }
+                    }
+                    if all {
+                        cur.bump();
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                    text.push('"');
+                    cur.bump();
+                }
+                Some(c) => {
+                    text.push(c);
+                    cur.bump();
+                }
+            }
+        }
+        Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+        }
+    } else {
+        // r#ident (exactly one hash, guaranteed by the guard).
+        let text = cur.eat_while(is_ident_continue);
+        Tok {
+            kind: TokKind::Ident,
+            text,
+            line,
+        }
+    }
+}
+
+/// After the opening `'`: lifetime or char literal?
+fn lex_quote(cur: &mut Cursor, line: u32) -> Tok {
+    cur.bump(); // the '
+                // An escape is always a char literal.
+    if cur.peek() == Some('\\') {
+        let text = lex_char_body(cur);
+        return Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+        };
+    }
+    // `'a'` is a char; `'a` / `'static` are lifetimes: decide by whether
+    // a closing quote follows the ident run.
+    if cur.peek().is_some_and(is_ident_start) {
+        let mut i = 1;
+        while cur.peek_at(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        if cur.peek_at(i) == Some('\'') && i == 1 {
+            let text = lex_char_body(cur);
+            return Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+            };
+        }
+        let text = cur.eat_while(is_ident_continue);
+        return Tok {
+            kind: TokKind::Lifetime,
+            text,
+            line,
+        };
+    }
+    // Anything else ('(' say) closed by a quote: a char literal.
+    let text = lex_char_body(cur);
+    Tok {
+        kind: TokKind::Char,
+        text,
+        line,
+    }
+}
+
+/// Consume a char-literal body up to and including the closing `'`.
+fn lex_char_body(cur: &mut Cursor) -> String {
+    let mut text = String::from("'");
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('\\') => {
+                text.push('\\');
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            Some('\'') => {
+                text.push('\'');
+                break;
+            }
+            Some(c) => text.push(c),
+        }
+    }
+    text
+}
+
+/// Consume a (non-raw) string body up to the closing delimiter, handling
+/// escapes. Returns the content without delimiters.
+fn lex_string_body(cur: &mut Cursor, delim: char) -> String {
+    let mut text = String::new();
+    loop {
+        match cur.bump() {
+            None => break, // unterminated: tolerate
+            Some('\\') => {
+                if let Some(esc) = cur.bump() {
+                    text.push('\\');
+                    text.push(esc);
+                }
+            }
+            Some(c) if c == delim => break,
+            Some(c) => text.push(c),
+        }
+    }
+    text
+}
+
+/// Numbers: any base, underscores, float dots (but not `..` ranges),
+/// exponents and suffixes are all absorbed into one token.
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // `1..n` must not eat the range operator.
+            if cur.peek_at(1) == Some('.') {
+                break;
+            }
+            // `1.method()` — field/method access off a literal, stop.
+            if cur.peek_at(1).is_some_and(is_ident_start) {
+                break;
+            }
+            text.push('.');
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}

@@ -1,0 +1,173 @@
+//! # ringlint — the workspace's architectural-invariant enforcer
+//!
+//! A self-contained static-analysis pass (hand-rolled lexer + `use`-tree
+//! resolver over `std::fs`; the container has no crates.io access, so no
+//! `syn`) that walks every workspace crate and enforces the invariants
+//! the protocol's safety story rests on:
+//!
+//! | rule | invariant | since |
+//! |------|-----------|-------|
+//! | `epoch-fence` | raw `Epoch` ordering confined to `ring_epoch` | PR 5 |
+//! | `lifecycle-confinement` | membership changes only via `RingLifecycle::apply` | PR 4 |
+//! | `determinism` | no wall clocks / unordered-map iteration in the sim path | PR 1-2 |
+//! | `panic-discipline` | no bare `unwrap()` / empty `expect("")` in protocol code | PR 6 |
+//! | `layering` | crate deps point one way; baselines use the core facade | PR 1 |
+//!
+//! Findings print as `file:line: [rule] message` and exit nonzero. A
+//! finding is suppressed — and counted — by an audited comment on or
+//! directly above the offending line:
+//!
+//! ```text
+//! // ringlint: allow(determinism) — keyed lookups only; output is sorted before emission.
+//! ```
+//!
+//! A suppression without a justification (or naming an unknown rule) is
+//! itself a finding. Test code (`#[cfg(test)]`, `#[test]`, `tests/`
+//! directories) is exempt: the invariants bind protocol code, and tests
+//! exercise internals on purpose.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod usetree;
+pub mod workspace;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use rules::{known_rule, run_rules, Ctx};
+pub use rules::{Finding, RuleInfo, RULES, SUPPRESSION_RULE};
+use source::SourceFile;
+use workspace::{core_pub_modules, rust_files, CrateSpec, CRATES};
+
+/// The outcome of a full workspace lint.
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// How many findings audited suppressions absorbed.
+    pub suppressed: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Justified `allow` comments per rule id (the audit surface — the
+    /// golden test pins its total so it cannot grow unnoticed).
+    pub suppression_counts: BTreeMap<String, usize>,
+}
+
+/// Lint one in-memory source as if it were `rel_path` inside `krate` —
+/// the fixture-test entry point. Suppressions are applied; returns the
+/// surviving findings.
+pub fn lint_text(
+    krate: &CrateSpec,
+    rel_path: &str,
+    text: &str,
+    core_modules: &[String],
+) -> Vec<Finding> {
+    let file = SourceFile::parse(rel_path, text);
+    let ctx = Ctx {
+        krate,
+        file: &file,
+        core_modules,
+    };
+    let (kept, _suppressed, _counts) = lint_parsed(&ctx);
+    kept
+}
+
+/// Lint every crate in the workspace table under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let core_modules = core_pub_modules(root);
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut files_scanned = 0usize;
+    let mut suppression_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for krate in CRATES {
+        let dir = root.join(krate.src_dir);
+        for path in rust_files(&dir) {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let file = SourceFile::parse(&rel, &text);
+            let ctx = Ctx {
+                krate,
+                file: &file,
+                core_modules: &core_modules,
+            };
+            let (kept, n_suppressed, counts) = lint_parsed(&ctx);
+            findings.extend(kept);
+            suppressed += n_suppressed;
+            for (rule, n) in counts {
+                *suppression_counts.entry(rule).or_default() += n;
+            }
+            files_scanned += 1;
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report {
+        findings,
+        suppressed,
+        files_scanned,
+        suppression_counts,
+    })
+}
+
+/// Run rules + suppression meta-checks over one parsed file. Returns
+/// (surviving findings, suppressed count, justified-allow counts).
+fn lint_parsed(ctx: &Ctx<'_>) -> (Vec<Finding>, usize, BTreeMap<String, usize>) {
+    let mut raw = run_rules(ctx);
+    // Suppression meta-rule: unknown rule names and missing
+    // justifications are findings in their own right.
+    for s in &ctx.file.suppressions {
+        if ctx.file.is_test_line(s.line) {
+            continue;
+        }
+        if s.justification.is_empty() {
+            ctx.emit(
+                &mut raw,
+                s.line,
+                SUPPRESSION_RULE,
+                "suppression without a written justification — append `— <why this is \
+                 safe>` after the allow"
+                    .into(),
+            );
+        }
+        for r in &s.rules {
+            if !known_rule(r) {
+                ctx.emit(
+                    &mut raw,
+                    s.line,
+                    SUPPRESSION_RULE,
+                    format!("suppression names unknown rule `{r}` (see --list-rules)"),
+                );
+            }
+        }
+    }
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        if ctx
+            .file
+            .suppressions
+            .iter()
+            .any(|s| s.covers(f.rule, f.line))
+        {
+            suppressed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    let mut counts = BTreeMap::new();
+    for s in &ctx.file.suppressions {
+        if s.justification.is_empty() || ctx.file.is_test_line(s.line) {
+            continue;
+        }
+        for r in &s.rules {
+            if known_rule(r) {
+                *counts.entry(r.clone()).or_default() += 1;
+            }
+        }
+    }
+    (kept, suppressed, counts)
+}

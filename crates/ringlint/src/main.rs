@@ -1,0 +1,90 @@
+//! `ringlint` CLI.
+//!
+//! ```text
+//! ringlint                 lint the workspace; nonzero exit on findings
+//! ringlint --list-rules    print each rule's id, rationale and audited
+//!                          suppression count
+//! ringlint --root <path>   lint a specific workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ringlint::{lint_workspace, workspace, RULES};
+
+fn main() -> ExitCode {
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ringlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("ringlint: unknown argument `{other}`");
+                eprintln!("usage: ringlint [--list-rules] [--root <workspace>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(default_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("ringlint: could not locate the workspace root (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ringlint: io error while scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if list_rules {
+        println!("ringlint rules ({} files scanned)\n", report.files_scanned);
+        for rule in RULES {
+            let n = report.suppression_counts.get(rule.id).copied().unwrap_or(0);
+            println!("{}", rule.id);
+            println!("    {}", rule.rationale);
+            println!("    audited suppressions: {n}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
+    }
+    let audited: usize = report.suppression_counts.values().sum();
+    if report.findings.is_empty() {
+        println!(
+            "ringlint: clean — {} files, {} audited suppressions",
+            report.files_scanned, audited
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "ringlint: {} finding(s) across {} files ({} suppressed by audit)",
+            report.findings.len(),
+            report.files_scanned,
+            report.suppressed
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Default root: the workspace this binary was built from (compile-time
+/// manifest dir, two levels up), falling back to an upward search from
+/// the current directory.
+fn default_root() -> Option<PathBuf> {
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = workspace::find_root(compiled.parent()?.parent()?) {
+        return Some(root);
+    }
+    workspace::find_root(&std::env::current_dir().ok()?)
+}

@@ -1,0 +1,237 @@
+//! **determinism** — the simulation path replays byte-identically.
+//!
+//! PR 1-2 made journal byte-identity across runs (and across data-
+//! structure swaps) the workhorse regression oracle, which silently
+//! forbids two things anywhere in the deterministic sim path (`simnet`,
+//! `ringnet_core`, `mobility`, `baselines`, `chaos`):
+//!
+//! * **wall-clock sources** — `Instant`, `SystemTime`, `UNIX_EPOCH`,
+//!   `thread::sleep`: sim time is `simnet::SimTime`, full stop;
+//! * **unordered-map iteration** — `HashMap`/`HashSet` iteration order is
+//!   unspecified, so anything derived from it diverges between runs.
+//!   Keyed lookups stay legal, but every hash container *introduced* in
+//!   these crates must carry an audited `ringlint: allow(determinism)`
+//!   stating why its contents never reach output unsorted, and every
+//!   iteration over a known hash-typed binding is flagged outright.
+
+use super::{Ctx, Finding};
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
+
+pub const RULE: &str = "determinism";
+
+const TIME_SOURCES: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.krate.sim_path {
+        return;
+    }
+    let toks = &ctx.file.toks;
+    let hash_types = hash_type_names(ctx);
+    let hash_bound = hash_bound_names(ctx, &hash_types);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if TIME_SOURCES.contains(&t.text.as_str()) {
+            ctx.emit(
+                out,
+                t.line,
+                RULE,
+                format!(
+                    "wall-clock source `{}` in the deterministic sim path — time is \
+                     simnet::SimTime only",
+                    t.text
+                ),
+            );
+        }
+        if t.text == "sleep"
+            && i >= 2
+            && toks[i - 1].is_punct("::")
+            && toks[i - 2].is_ident("thread")
+        {
+            ctx.emit(
+                out,
+                t.line,
+                RULE,
+                "`thread::sleep` in the deterministic sim path — simulated delay is an \
+                 event, not a wall-clock stall"
+                    .into(),
+            );
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            ctx.emit(
+                out,
+                t.line,
+                RULE,
+                format!(
+                    "`{}` introduced in the deterministic sim path — iteration order is \
+                     unspecified; keep keyed-lookup-only and add an audited \
+                     `ringlint: allow(determinism)` explaining why nothing iterates it \
+                     into output",
+                    t.text
+                ),
+            );
+        }
+        // Iteration over a binding known to be hash-typed.
+        if hash_bound.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+        {
+            ctx.emit(
+                out,
+                t.line,
+                RULE,
+                format!(
+                    "`{}.{}()` iterates a hash container in the deterministic sim path — \
+                     iteration order is unspecified; use a BTree collection or sort first",
+                    t.text,
+                    toks[i + 2].text
+                ),
+            );
+        }
+        // `for x in [&[mut]] …name {` over a hash-typed binding.
+        if t.is_ident("for") {
+            check_for_loop(ctx, out, i, &hash_bound);
+        }
+    }
+}
+
+/// `HashMap`/`HashSet` plus every local `type` alias that (transitively)
+/// expands to one — `type FxMap<K, V> = HashMap<…>` makes `FxMap` hash-
+/// typed too.
+fn hash_type_names(ctx: &Ctx<'_>) -> BTreeSet<String> {
+    let toks = &ctx.file.toks;
+    let mut names: BTreeSet<String> = ["HashMap", "HashSet"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    // Two passes: aliases may chain once.
+    for _ in 0..2 {
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].is_ident("type") && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            {
+                let alias = toks[i + 1].text.clone();
+                let mut j = i + 2;
+                let mut is_hash = false;
+                while j < toks.len() && !toks[j].is_punct(";") {
+                    if toks[j].kind == TokKind::Ident && names.contains(&toks[j].text) {
+                        is_hash = true;
+                    }
+                    j += 1;
+                }
+                if is_hash {
+                    names.insert(alias);
+                }
+                i = j;
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Names bound to a hash type: `name: FxMap<…>` (fields, lets, params)
+/// and `name = FxMap::new()`-style constructor bindings.
+fn hash_bound_names(ctx: &Ctx<'_>, hash_types: &BTreeSet<String>) -> BTreeSet<String> {
+    let toks = &ctx.file.toks;
+    let mut bound = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(sep) = toks.get(i + 1) else { continue };
+        if sep.is_punct(":") || sep.is_punct("=") {
+            // Scan a short window of the type/constructor expression for a
+            // hash-type head (skipping `&`, `mut` and path prefixes like
+            // `std::collections::`).
+            let mut j = i + 2;
+            let limit = (i + 10).min(toks.len());
+            while j < limit {
+                let t = &toks[j];
+                if t.kind == TokKind::Ident && hash_types.contains(&t.text) {
+                    bound.insert(toks[i].text.clone());
+                    break;
+                }
+                let transparent = t.is_punct("&")
+                    || t.is_punct("::")
+                    || t.is_ident("mut")
+                    || (t.kind == TokKind::Ident
+                        && matches!(t.text.as_str(), "std" | "collections"));
+                if !transparent {
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    bound
+}
+
+/// At a `for` keyword: if the loop iterates a hash-typed binding
+/// directly (`for x in &self.sent {`), flag it. Method-call iterations
+/// are caught by the `.iter()`-style scan.
+fn check_for_loop(ctx: &Ctx<'_>, out: &mut Vec<Finding>, for_idx: usize, bound: &BTreeSet<String>) {
+    let toks = &ctx.file.toks;
+    // Find `in` before the loop body opens (trait impls — `impl X for Y
+    // {` — have no `in` and fall through).
+    let mut i = for_idx + 1;
+    let mut in_idx = None;
+    while i < toks.len() && !toks[i].is_punct("{") {
+        if toks[i].is_ident("in") {
+            in_idx = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    let Some(in_idx) = in_idx else { return };
+    // The iterated expression runs to the body `{` at depth 0.
+    let mut depth = 0i32;
+    let mut j = in_idx + 1;
+    let mut last: Option<&crate::lexer::Tok> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_punct("{") && depth == 0 {
+            break;
+        }
+        last = Some(t);
+        j += 1;
+    }
+    if let Some(t) = last {
+        if t.kind == TokKind::Ident && bound.contains(&t.text) {
+            ctx.emit(
+                out,
+                t.line,
+                RULE,
+                format!(
+                    "`for … in {}` iterates a hash container in the deterministic sim \
+                     path — iteration order is unspecified; use a BTree collection or \
+                     sort first",
+                    t.text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! **epoch-fence** — epoch ordering is confined to `ring_epoch`.
+//!
+//! PR 5 made `EpochFence` the one owner of the keep-one instance order,
+//! duplicate-pass suppression and every epoch bump. This rule keeps it
+//! that way: outside `ring_epoch.rs` (and the `ids.rs` newtype
+//! definition), protocol code may *carry* an `Epoch` around but may not
+//! construct one from a raw integer, compare one, assign through
+//! `.epoch`, or peel the `.0` out of one.
+
+use super::{Ctx, Finding};
+use crate::lexer::TokKind;
+
+pub const RULE: &str = "epoch-fence";
+
+/// Files that legitimately manipulate raw epochs: the newtype definition
+/// and the fence itself.
+const ALLOWED_FILES: &[&str] = &["crates/core/src/ids.rs", "crates/core/src/ring_epoch.rs"];
+
+const CMP_OPS: &[&str] = &["==", "!=", "<", ">", "<=", ">="];
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if ALLOWED_FILES.iter().any(|f| ctx.file.rel_path == *f) {
+        return;
+    }
+    let toks = &ctx.file.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `Epoch(` — raw construction (struct definitions excepted; the
+        // one real definition lives in the allowed ids.rs anyway).
+        if t.is_ident("Epoch")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("struct"))
+        {
+            ctx.emit(
+                out,
+                t.line,
+                RULE,
+                "raw `Epoch(..)` construction outside ring_epoch — epoch numbers are minted \
+                 only by EpochFence::regenerate (use Epoch::ZERO for the initial epoch)"
+                    .into(),
+            );
+        }
+        // `.epoch` field follow-ups.
+        if t.is_punct(".") && toks.get(i + 1).is_some_and(|n| n.is_ident("epoch")) {
+            let line = toks[i + 1].line;
+            if let Some(next) = toks.get(i + 2) {
+                if next.kind == TokKind::Punct && CMP_OPS.contains(&next.text.as_str()) {
+                    ctx.emit(
+                        out,
+                        line,
+                        RULE,
+                        "raw epoch comparison outside ring_epoch — route it through \
+                         EpochFence::admit or a ring_epoch helper"
+                            .into(),
+                    );
+                }
+                if next.is_punct("=") {
+                    ctx.emit(
+                        out,
+                        line,
+                        RULE,
+                        "direct `.epoch` assignment outside ring_epoch — epochs move only \
+                         through EpochFence::regenerate/seed_from_pass"
+                            .into(),
+                    );
+                }
+                if next.is_punct(".")
+                    && toks
+                        .get(i + 3)
+                        .is_some_and(|n| n.kind == TokKind::Num && n.text == "0")
+                {
+                    ctx.emit(
+                        out,
+                        line,
+                        RULE,
+                        "raw `.epoch.0` access outside ring_epoch — the inner integer is an \
+                         implementation detail of the fence"
+                            .into(),
+                    );
+                }
+            }
+            // Reversed comparison (`armed <= token.epoch`): walk back over
+            // the receiver chain and look at what precedes it.
+            let mut k = i;
+            while k > 0 {
+                let p = &toks[k - 1];
+                if p.kind == TokKind::Ident || p.is_punct(".") || p.is_punct("::") {
+                    k -= 1;
+                } else {
+                    break;
+                }
+            }
+            if k > 0 {
+                let p = &toks[k - 1];
+                if p.kind == TokKind::Punct && CMP_OPS.contains(&p.text.as_str()) {
+                    ctx.emit(
+                        out,
+                        line,
+                        RULE,
+                        "raw epoch comparison outside ring_epoch — route it through \
+                         EpochFence::admit or a ring_epoch helper"
+                            .into(),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! **layering** — crate dependencies point one way.
+//!
+//! PR 1 fixed the workspace shape: `simnet` at the bottom (imports no
+//! workspace crate), `ringnet_core` and `mobility` above it, `baselines`
+//! and `chaos` above those, `harness`/`bench`/the umbrella crate on top.
+//! The allowed-deps table lives in [`crate::workspace::CRATES`]; this
+//! rule checks every `use` declaration and inline qualified path against
+//! it, plus the **facade** restriction: baselines reach `ringnet_core`
+//! only through its public facade modules (`driver`, `engine`,
+//! `hierarchy`, `metrics`) or crate-root re-exports — never through
+//! protocol internals like `ordering` or `recovery`.
+
+use super::{Ctx, Finding};
+use crate::usetree::{inline_paths, use_paths, PathRef};
+use crate::workspace::WORKSPACE_LIBS;
+
+pub const RULE: &str = "layering";
+
+/// Path roots that never name a workspace crate.
+const NEUTRAL_ROOTS: &[&str] = &["crate", "self", "super", "std", "core", "alloc"];
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    let mut paths = use_paths(&ctx.file.toks);
+    paths.extend(inline_paths(&ctx.file.toks));
+    for p in &paths {
+        check_path(ctx, out, p);
+    }
+}
+
+fn check_path(ctx: &Ctx<'_>, out: &mut Vec<Finding>, p: &PathRef) {
+    let Some(root) = p.segs.first() else { return };
+    let root = root.as_str();
+    if NEUTRAL_ROOTS.contains(&root) || !WORKSPACE_LIBS.contains(&root) {
+        return;
+    }
+    if root != ctx.krate.lib && !ctx.krate.deps.contains(&root) {
+        ctx.emit(
+            out,
+            p.line,
+            RULE,
+            format!(
+                "`{}` must not depend on `{root}` — the dependency direction is fixed by \
+                 the layering table (see ringlint --list-rules)",
+                ctx.krate.lib
+            ),
+        );
+        return;
+    }
+    if let Some(facade) = &ctx.krate.facade {
+        if root == facade.target && p.segs.len() >= 2 {
+            let module = p.segs[1].as_str();
+            if ctx.core_modules.iter().any(|m| m == module)
+                && !facade.allowed_modules.contains(&module)
+            {
+                ctx.emit(
+                    out,
+                    p.line,
+                    RULE,
+                    format!(
+                        "`{}` reaches `{root}::{module}` — baselines use the core only \
+                         through its facade modules ({}) or crate-root re-exports",
+                        ctx.krate.lib,
+                        facade.allowed_modules.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! **lifecycle-confinement** — membership state changes only flow through
+//! `RingLifecycle::apply`.
+//!
+//! PR 4 extracted the ring-membership state machine into
+//! `ring_lifecycle`; the transition table (with its idempotence and
+//! panic-on-illegal rules) is the single authority. Outside that module,
+//! code may *read* member states and *feed* lifecycle events, but may not
+//! assign a `MemberState` into anything or conjure a `RingLifecycle` by
+//! struct literal (bypassing the initial-state invariant of `new`).
+
+use super::{Ctx, Finding};
+
+pub const RULE: &str = "lifecycle-confinement";
+
+const ALLOWED_FILE: &str = "crates/core/src/ring_lifecycle.rs";
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if ctx.file.rel_path == ALLOWED_FILE {
+        return;
+    }
+    let toks = &ctx.file.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `= MemberState::…` — a state stored directly instead of a
+        // LifecycleEvent routed through apply(). (`==`, `=>` and `!=` are
+        // distinct tokens, so reads and match arms never match here.)
+        if t.is_punct("=")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("MemberState"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("::"))
+        {
+            ctx.emit(
+                out,
+                toks[i + 1].line,
+                RULE,
+                "member state assigned directly — every membership transition must go \
+                 through RingLifecycle::apply"
+                    .into(),
+            );
+        }
+        // `RingLifecycle { … }` — struct-literal construction. Excepted
+        // when the name sits in a non-expression position: after `impl` /
+        // `for` (impl blocks) or `->` (a return type followed by the
+        // function body's brace).
+        if t.is_ident("RingLifecycle")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("{"))
+            && !(i > 0
+                && (toks[i - 1].is_ident("impl")
+                    || toks[i - 1].is_ident("for")
+                    || toks[i - 1].is_punct("->")))
+        {
+            ctx.emit(
+                out,
+                t.line,
+                RULE,
+                "RingLifecycle built by struct literal — construct it with \
+                 RingLifecycle::new so every member starts Active"
+                    .into(),
+            );
+        }
+    }
+}

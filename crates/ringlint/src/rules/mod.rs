@@ -1,0 +1,106 @@
+//! The rule registry. Each rule family lives in its own module and scans
+//! one [`SourceFile`] at a time through a shared [`Ctx`]; findings on
+//! `#[cfg(test)]`/`#[test]` lines are dropped centrally (the invariants
+//! bind protocol code — tests exercise internals on purpose).
+
+use crate::source::SourceFile;
+use crate::workspace::CrateSpec;
+
+pub mod determinism;
+pub mod epoch;
+pub mod layering;
+pub mod lifecycle;
+pub mod panics;
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+/// Per-file lint context.
+pub struct Ctx<'a> {
+    pub krate: &'a CrateSpec,
+    pub file: &'a SourceFile,
+    /// Top-level `pub mod` names of `ringnet_core` (facade rule).
+    pub core_modules: &'a [String],
+}
+
+impl Ctx<'_> {
+    /// Record a finding unless it sits on a test-only line.
+    pub fn emit(&self, out: &mut Vec<Finding>, line: u32, rule: &'static str, msg: String) {
+        if !self.file.is_test_line(line) {
+            out.push(Finding {
+                file: self.file.rel_path.clone(),
+                line,
+                rule,
+                msg,
+            });
+        }
+    }
+}
+
+/// Static description of one rule, for `--list-rules` and the README.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub rationale: &'static str,
+}
+
+/// The meta-rule id for malformed suppressions (unknown rule name, or an
+/// `allow` with no written justification).
+pub const SUPPRESSION_RULE: &str = "suppression";
+
+/// Every enforced rule family.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: epoch::RULE,
+        rationale: "ring epochs are ordered only by ring_epoch::EpochFence (PR 5): no raw \
+                    Epoch construction, comparison, mutation or .0 access elsewhere",
+    },
+    RuleInfo {
+        id: lifecycle::RULE,
+        rationale: "ring-membership state changes only through RingLifecycle::apply (PR 4): \
+                    no direct MemberState assignment or RingLifecycle struct literal elsewhere",
+    },
+    RuleInfo {
+        id: determinism::RULE,
+        rationale: "journals are byte-identical across runs (PR 1-2): no wall-clock sources \
+                    and no unordered-map iteration in the deterministic sim path; every hash \
+                    container there carries an audited allow",
+    },
+    RuleInfo {
+        id: panics::RULE,
+        rationale: "protocol code never panics without naming the violated assumption: bare \
+                    unwrap() and message-less expect() are banned outside tests",
+    },
+    RuleInfo {
+        id: layering::RULE,
+        rationale: "crate dependencies point one way (PR 1): simnet imports nothing, core only \
+                    simnet, baselines reach core only through its facade modules",
+    },
+    RuleInfo {
+        id: SUPPRESSION_RULE,
+        rationale: "every `ringlint: allow(rule)` must name a known rule and carry a written \
+                    justification after a dash",
+    },
+];
+
+/// Is `id` a known rule id (including the suppression meta-rule)?
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Run every rule family over one file.
+pub fn run_rules(ctx: &Ctx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    epoch::check(ctx, &mut out);
+    lifecycle::check(ctx, &mut out);
+    determinism::check(ctx, &mut out);
+    panics::check(ctx, &mut out);
+    layering::check(ctx, &mut out);
+    out
+}

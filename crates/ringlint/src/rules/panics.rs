@@ -1,0 +1,55 @@
+//! **panic-discipline** — protocol panics must name the violated
+//! assumption.
+//!
+//! The state machines *do* panic on illegal transitions — deliberately,
+//! with messages that say which protocol assumption broke (see
+//! `ring_lifecycle`). What is banned in non-test sim-path code is the
+//! anonymous version: a bare `unwrap()` or a message-less `expect("")`
+//! turns a protocol-logic bug into an unlocatable
+//! `called Option::unwrap() on a None value`.
+
+use super::{Ctx, Finding};
+use crate::lexer::TokKind;
+
+pub const RULE: &str = "panic-discipline";
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.krate.sim_path {
+        return;
+    }
+    let toks = &ctx.file.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_punct(".") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.is_ident("unwrap")
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(")"))
+        {
+            ctx.emit(
+                out,
+                name.line,
+                RULE,
+                "bare `unwrap()` in protocol code — use `expect(\"<which assumption \
+                 broke>\")` so the panic names its invariant"
+                    .into(),
+            );
+        }
+        if name.is_ident("expect")
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| n.kind == TokKind::Str && n.text.is_empty())
+        {
+            ctx.emit(
+                out,
+                name.line,
+                RULE,
+                "message-less `expect(\"\")` in protocol code — say which assumption broke".into(),
+            );
+        }
+    }
+}

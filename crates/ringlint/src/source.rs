@@ -1,0 +1,206 @@
+//! Per-file source model: the significant (non-comment) token stream, a
+//! mask of test-only lines, and the parsed `ringlint: allow(...)`
+//! suppressions.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One `// ringlint: allow(rule-a, rule-b) — justification` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rule ids named inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// The text after the closing paren (dashes stripped). Empty means
+    /// the suppression is invalid and is itself reported.
+    pub justification: String,
+    /// Last line this suppression covers (its own line for a trailing
+    /// comment; the next code line for a standalone comment).
+    pub last_covered_line: u32,
+}
+
+impl Suppression {
+    /// Does this suppression cover `rule` findings on `line`?
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        !self.justification.is_empty()
+            && self.rules.iter().any(|r| r == rule)
+            && line >= self.line
+            && line <= self.last_covered_line
+    }
+}
+
+/// A lexed file plus the derived lint context.
+pub struct SourceFile {
+    /// Workspace-relative path (what findings print).
+    pub rel_path: String,
+    /// Significant tokens only (comments stripped).
+    pub toks: Vec<Tok>,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+    test_lines: Vec<bool>, // index 0 unused; 1-based lines
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let all = lex(src);
+        let nlines = src.lines().count() + 2;
+        let toks: Vec<Tok> = all
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .cloned()
+            .collect();
+        let test_lines = test_line_mask(&toks, nlines);
+        let suppressions = parse_suppressions(&all, &toks);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            toks,
+            suppressions,
+            test_lines,
+        }
+    }
+
+    /// Is `line` inside `#[cfg(test)]` / `#[test]` code?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Mark every line belonging to an item annotated `#[cfg(test)]` (module
+/// or otherwise) or `#[test]`. Works on the significant token stream:
+/// find the attribute, skip any further attributes, then span the item to
+/// its closing brace (or semicolon).
+fn test_line_mask(toks: &[Tok], nlines: usize) -> Vec<bool> {
+    let mut mask = vec![false; nlines + 1];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let (is_test, after_attr) = attr_is_test(toks, i + 1);
+            if is_test {
+                let start_line = toks[i].line;
+                let end = item_end(toks, after_attr);
+                let end_line = toks
+                    .get(end.saturating_sub(1))
+                    .map(|t| t.line)
+                    .unwrap_or(start_line);
+                for l in start_line..=end_line {
+                    if let Some(slot) = mask.get_mut(l as usize) {
+                        *slot = true;
+                    }
+                }
+                i = end;
+                continue;
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// `open` indexes the `[` of an attribute. Returns whether the attribute
+/// mentions the ident `test` (covers `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(any(test, …))]`) and the index just past the closing `]`.
+fn attr_is_test(toks: &[Tok], open: usize) -> (bool, usize) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (is_test, i + 1);
+            }
+        } else if t.is_ident("test") {
+            is_test = true;
+        }
+        i += 1;
+    }
+    (is_test, i)
+}
+
+/// From the token after an item's attributes, find the index just past
+/// the end of the item: the matching `}` of its first brace block, or the
+/// first `;` before any brace opens. Skips over further attributes.
+fn item_end(toks: &[Tok], mut i: usize) -> usize {
+    // Skip stacked attributes (`#[test] #[ignore] fn …`).
+    while i < toks.len()
+        && toks[i].is_punct("#")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("["))
+    {
+        let (_, after) = attr_is_test(toks, i + 1);
+        i = after;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse every `ringlint: allow(...)` line comment. `all` is the full
+/// token stream (comments included); `sig` the significant stream (to
+/// find the next code line a standalone comment covers).
+fn parse_suppressions(all: &[Tok], sig: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in all {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let Some(pos) = t.text.find("ringlint:") else {
+            continue;
+        };
+        let rest = t.text[pos + "ringlint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let args = args.trim_start();
+        let (rules_raw, tail) = match args.strip_prefix('(').and_then(|a| a.split_once(')')) {
+            Some(split) => split,
+            None => ("", args), // malformed: reported as unjustified
+        };
+        let rules: Vec<String> = rules_raw
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let justification = tail
+            .trim_start()
+            .trim_start_matches(['—', '–', '-'])
+            .trim()
+            .to_string();
+        // A standalone comment (no code on its line) covers the next code
+        // line; a trailing comment covers its own line only.
+        let standalone = !sig.iter().any(|s| s.line == t.line);
+        let last_covered_line = if standalone {
+            sig.iter()
+                .map(|s| s.line)
+                .filter(|&l| l > t.line)
+                .min()
+                .unwrap_or(t.line)
+        } else {
+            t.line
+        };
+        out.push(Suppression {
+            line: t.line,
+            rules,
+            justification,
+            last_covered_line,
+        });
+    }
+    out
+}

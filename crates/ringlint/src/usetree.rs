@@ -1,0 +1,151 @@
+//! A lightweight `use`-tree parser and inline-path collector over the
+//! significant token stream. Produces flat segment paths
+//! (`["ringnet_core", "driver", "MulticastSim"]`) with the source line of
+//! each leaf — everything the layering rule needs, nothing more.
+
+use crate::lexer::Tok;
+
+/// One flattened import or inline path reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRef {
+    pub segs: Vec<String>,
+    pub line: u32,
+}
+
+/// Every path a `use` declaration in `toks` brings in, flattened through
+/// nested `{...}` groups, `as` renames and trailing `*` globs.
+pub fn use_paths(toks: &[Tok]) -> Vec<PathRef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("use") && is_item_position(toks, i) {
+            let (paths, after) = parse_tree(toks, i + 1, &[]);
+            out.extend(paths);
+            i = after;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Is the `use` at `i` an item (not `fn use_thing` etc.)? Heuristic: the
+/// previous significant token ends an item or opens a block.
+fn is_item_position(toks: &[Tok], i: usize) -> bool {
+    match i.checked_sub(1).and_then(|p| toks.get(p)) {
+        None => true,
+        Some(prev) => {
+            prev.is_punct(";")
+                || prev.is_punct("{")
+                || prev.is_punct("}")
+                || prev.is_punct("]") // end of an attribute
+                || prev.is_ident("pub")
+                || prev.is_punct(")") // pub(crate)
+        }
+    }
+}
+
+/// Parse one use-tree starting at `i` with `prefix` segments already
+/// accumulated. Returns the flattened paths and the index just past the
+/// tree (past the `;` at top level, past `}`/`,` inside a group).
+fn parse_tree(toks: &[Tok], mut i: usize, prefix: &[String]) -> (Vec<PathRef>, usize) {
+    let mut segs: Vec<String> = prefix.to_vec();
+    let mut out = Vec::new();
+    let mut last_line = toks.get(i).map(|t| t.line).unwrap_or(0);
+    while i < toks.len() {
+        let t = &toks[i];
+        last_line = t.line;
+        match t.kind {
+            crate::lexer::TokKind::Ident if t.text == "as" => {
+                // Skip the rename ident.
+                i += 2;
+            }
+            crate::lexer::TokKind::Ident => {
+                segs.push(t.text.clone());
+                i += 1;
+            }
+            _ if t.is_punct("::") => {
+                i += 1;
+            }
+            _ if t.is_punct("*") => {
+                segs.push("*".to_string());
+                i += 1;
+            }
+            _ if t.is_punct("{") => {
+                // A group: parse each comma-separated subtree.
+                i += 1;
+                loop {
+                    match toks.get(i) {
+                        None => return (out, i),
+                        Some(t) if t.is_punct("}") => {
+                            i += 1;
+                            break;
+                        }
+                        Some(t) if t.is_punct(",") => {
+                            i += 1;
+                        }
+                        Some(_) => {
+                            let (sub, after) = parse_tree(toks, i, &segs);
+                            out.extend(sub);
+                            i = after;
+                        }
+                    }
+                }
+                return (out, i);
+            }
+            _ => break, // `;`, `,`, `}` — end of this subtree
+        }
+    }
+    if segs.len() > prefix.len() {
+        out.push(PathRef {
+            segs,
+            line: last_line,
+        });
+    }
+    // Step past a terminating `;` so the caller resumes cleanly.
+    if toks.get(i).is_some_and(|t| t.is_punct(";")) {
+        i += 1;
+    }
+    (out, i)
+}
+
+/// Inline qualified paths: maximal `A::B::…` ident chains outside `use`
+/// declarations (those are handled by [`use_paths`]). The layering rule
+/// matches their first segment against workspace crate names, so chains
+/// rooted at variables or types are harmless noise it ignores.
+pub fn inline_paths(toks: &[Tok]) -> Vec<PathRef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut in_use = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("use") && is_item_position(toks, i) {
+            in_use = true;
+        } else if in_use && t.is_punct(";") {
+            in_use = false;
+        }
+        let chain_start = t.kind == crate::lexer::TokKind::Ident
+            && !in_use
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            // Not the continuation of a chain we already recorded.
+            && !(i > 0 && toks[i - 1].is_punct("::"));
+        if chain_start {
+            let line = t.line;
+            let mut segs = vec![t.text.clone()];
+            let mut j = i + 1;
+            while toks.get(j).is_some_and(|n| n.is_punct("::"))
+                && toks
+                    .get(j + 1)
+                    .is_some_and(|n| n.kind == crate::lexer::TokKind::Ident)
+            {
+                segs.push(toks[j + 1].text.clone());
+                j += 2;
+            }
+            out.push(PathRef { segs, line });
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,189 @@
+//! The workspace model: which crates exist, where their sources live,
+//! which direction their dependencies may point, and which of them carry
+//! the deterministic-simulation obligations.
+//!
+//! `ringlint` itself is deliberately absent: it is a dev tool, not
+//! protocol code, and its rule sources quote the very patterns the rules
+//! hunt for.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Restriction on *how* a crate may reach one of its dependencies: only
+/// through the listed top-level modules (plus crate-root re-exports).
+pub struct Facade {
+    /// The dependency the restriction applies to (lib identifier).
+    pub target: &'static str,
+    /// Allowed top-level modules of `target`.
+    pub allowed_modules: &'static [&'static str],
+}
+
+/// One workspace crate as the linter sees it.
+pub struct CrateSpec {
+    /// The identifier used in `use` paths (lib name).
+    pub lib: &'static str,
+    /// Source directory relative to the workspace root.
+    pub src_dir: &'static str,
+    /// Workspace crates this crate may import (its own name is implied).
+    pub deps: &'static [&'static str],
+    /// Deterministic-simulation path: the determinism and
+    /// panic-discipline rules apply.
+    pub sim_path: bool,
+    /// Optional module-level facade restriction.
+    pub facade: Option<Facade>,
+}
+
+/// Every lib identifier that names a workspace crate (used to tell a
+/// cross-crate path from an ordinary one).
+pub const WORKSPACE_LIBS: &[&str] = &[
+    "simnet",
+    "ringnet_core",
+    "mobility",
+    "baselines",
+    "harness",
+    "chaos",
+    "ringnet_bench",
+    "ringnet_repro",
+];
+
+/// The dependency-direction table. This is the **layering invariant**:
+/// anything not listed here is an illegal import for that crate.
+pub const CRATES: &[CrateSpec] = &[
+    CrateSpec {
+        lib: "simnet",
+        src_dir: "crates/simnet/src",
+        deps: &[],
+        sim_path: true,
+        facade: None,
+    },
+    CrateSpec {
+        lib: "ringnet_core",
+        src_dir: "crates/core/src",
+        deps: &["simnet"],
+        sim_path: true,
+        facade: None,
+    },
+    CrateSpec {
+        lib: "mobility",
+        src_dir: "crates/mobility/src",
+        deps: &["simnet"],
+        sim_path: true,
+        facade: None,
+    },
+    CrateSpec {
+        lib: "baselines",
+        src_dir: "crates/baselines/src",
+        deps: &["simnet", "ringnet_core"],
+        sim_path: true,
+        // Baselines are comparator protocols: they drive the core only
+        // through its public facade, never its protocol internals.
+        facade: Some(Facade {
+            target: "ringnet_core",
+            allowed_modules: &["driver", "engine", "hierarchy", "metrics"],
+        }),
+    },
+    CrateSpec {
+        lib: "chaos",
+        src_dir: "crates/chaos/src",
+        deps: &["simnet", "ringnet_core", "baselines"],
+        sim_path: true,
+        facade: None,
+    },
+    CrateSpec {
+        lib: "harness",
+        src_dir: "crates/harness/src",
+        deps: &["simnet", "ringnet_core", "mobility", "baselines"],
+        sim_path: false,
+        facade: None,
+    },
+    CrateSpec {
+        lib: "ringnet_bench",
+        src_dir: "crates/bench/src",
+        deps: &["simnet", "ringnet_core", "harness"],
+        sim_path: false,
+        facade: None,
+    },
+    CrateSpec {
+        lib: "ringnet_repro",
+        src_dir: "src",
+        deps: &[
+            "simnet",
+            "ringnet_core",
+            "mobility",
+            "baselines",
+            "harness",
+            "chaos",
+        ],
+        sim_path: false,
+        facade: None,
+    },
+];
+
+/// Look a crate up by lib name (for tests and fixtures).
+pub fn crate_spec(lib: &str) -> Option<&'static CrateSpec> {
+    CRATES.iter().find(|c| c.lib == lib)
+}
+
+/// Locate the workspace root: an explicit `--root`, else walk upward from
+/// `start` to the first directory holding both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for stable output.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The top-level `pub mod` names of `ringnet_core`, resolved from its
+/// crate root — the module universe the facade rule distinguishes from
+/// crate-root re-exports.
+pub fn core_pub_modules(root: &Path) -> Vec<String> {
+    let lib = root.join("crates/core/src/lib.rs");
+    let Ok(src) = fs::read_to_string(&lib) else {
+        return Vec::new();
+    };
+    let toks: Vec<_> = crate::lexer::lex(&src)
+        .into_iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                crate::lexer::TokKind::LineComment | crate::lexer::TokKind::BlockComment
+            )
+        })
+        .collect();
+    let mut mods = Vec::new();
+    for w in toks.windows(3) {
+        // `pub mod name` (declaration or inline module).
+        if w[0].is_ident("pub") && w[1].is_ident("mod") {
+            mods.push(w[2].text.clone());
+        }
+    }
+    mods.sort();
+    mods.dedup();
+    mods
+}

@@ -1,0 +1,120 @@
+//! Unit tests for the hand-rolled lexer: the tricky token shapes every
+//! rule relies on being classified correctly.
+
+use ringlint::lexer::{lex, TokKind};
+
+/// Non-trivia tokens as `(kind, text)` pairs.
+fn toks(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_strip_completely() {
+    let ts = toks("a /* outer /* inner */ still outer */ b");
+    assert_eq!(
+        ts,
+        vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into()),]
+    );
+}
+
+#[test]
+fn comment_text_is_not_code() {
+    // "Instantiate" in a doc comment must not look like the `Instant` ident.
+    let ts = toks("/// Instantiate the HashMap of doom\nfn f() {}");
+    assert!(ts.iter().all(|(_, s)| s != "Instantiate" && s != "HashMap"));
+    assert_eq!(ts[0], (TokKind::Ident, "fn".into()));
+}
+
+#[test]
+fn raw_strings_any_hash_depth() {
+    let ts = toks(r####"let s = r##"quote " and hash "# inside"##;"####);
+    let (kind, text) = &ts[3];
+    assert_eq!(*kind, TokKind::Str);
+    assert_eq!(text, r##"quote " and hash "# inside"##);
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let ts = toks(r###"(b"bytes", br#"raw bytes"#)"###);
+    assert_eq!(ts[1], (TokKind::Str, "bytes".into()));
+    assert_eq!(ts[3], (TokKind::Str, "raw bytes".into()));
+}
+
+#[test]
+fn string_escapes_do_not_terminate_early() {
+    let ts = toks(r#"x.expect("a \" b")"#);
+    assert_eq!(ts.last().unwrap().0, TokKind::Punct);
+    let s = ts.iter().find(|(k, _)| *k == TokKind::Str).unwrap();
+    assert_eq!(s.1, r#"a \" b"#);
+}
+
+#[test]
+fn empty_string_is_empty_text() {
+    // The panic-discipline rule tests `expect("")` by Str emptiness.
+    let ts = toks(r#"y.expect("")"#);
+    let s = ts.iter().find(|(k, _)| *k == TokKind::Str).unwrap();
+    assert!(s.1.is_empty());
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    let ts = toks("fn f<'a>(x: &'a str) -> char { 'x' }");
+    let lifetimes: Vec<_> = ts.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+    assert_eq!(lifetimes.len(), 2);
+    assert!(lifetimes.iter().all(|(_, s)| s == "a"));
+    let chars: Vec<_> = ts.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+    assert_eq!(chars.len(), 1);
+}
+
+#[test]
+fn escaped_char_literals() {
+    let ts = toks(r"('\'', '\n', '\\')");
+    assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+}
+
+#[test]
+fn raw_identifiers_strip_prefix() {
+    let ts = toks("let r#type = r#match;");
+    assert_eq!(ts[1], (TokKind::Ident, "type".into()));
+    assert_eq!(ts[3], (TokKind::Ident, "match".into()));
+}
+
+#[test]
+fn maximal_munch_operators() {
+    // `=` vs `==` vs `=>` and `::` vs `:` must be distinct tokens — the
+    // lifecycle rule depends on it.
+    let ps: Vec<String> = lex("a = b == c => d :: e : f <= g")
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Punct)
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(ps, vec!["=", "==", "=>", "::", ":", "<="]);
+}
+
+#[test]
+fn numbers_stop_before_ranges_and_methods() {
+    let ts = toks("0..n");
+    assert_eq!(ts[0], (TokKind::Num, "0".into()));
+    assert_eq!(ts[1], (TokKind::Punct, "..".into()));
+    let ts = toks("1.max(2)");
+    assert_eq!(ts[0], (TokKind::Num, "1".into()));
+    assert_eq!(ts[1], (TokKind::Punct, ".".into()));
+    assert_eq!(ts[2], (TokKind::Ident, "max".into()));
+    let ts = toks("1.5 + 0x1f_u64");
+    assert_eq!(ts[0], (TokKind::Num, "1.5".into()));
+    assert_eq!(ts[2], (TokKind::Num, "0x1f_u64".into()));
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "a\n/* two\nlines */\nb\n\"str\nacross\"\nc";
+    let ts = lex(src);
+    let a = ts.iter().find(|t| t.is_ident("a")).unwrap();
+    let b = ts.iter().find(|t| t.is_ident("b")).unwrap();
+    let c = ts.iter().find(|t| t.is_ident("c")).unwrap();
+    assert_eq!((a.line, b.line, c.line), (1, 4, 7));
+}
