@@ -281,6 +281,33 @@ pub fn full_sweep(r: &mut Runner) {
             black_box(rep.metrics.delivered)
         },
     );
+
+    // Parallel-simulation scaling: one simulated second of a 1024-walker
+    // world (16×16 cells × 4 walkers, two 100 msg/s sources) at 1/2/4/8
+    // event-queue shards. `elements = 1` simulated second turns the JSON
+    // `throughput_per_sec` into sim-seconds-per-wall-second — the scaling
+    // figure EXPERIMENTS.md quotes. Speedup is bounded by the host's core
+    // count; the shard protocol itself is exercised identically either way.
+    let mut shard_world = Scenario::builder()
+        .grid(16, 16)
+        .walkers_per_attachment(4)
+        .sources(2)
+        .cbr(SimDuration::from_millis(10))
+        .message_limit(80)
+        .loss_free_wireless()
+        .duration(SimTime::from_secs(1))
+        .build();
+    shard_world.retain_journal = false;
+    for shards in [1usize, 2, 4, 8] {
+        let mut sc = shard_world.clone();
+        sc.shards = shards;
+        r.bench(
+            "full_sweep",
+            &format!("sim_rate_1k_walkers_shards_{shards}"),
+            Some(1),
+            || black_box(RingNetSim::run_scenario(&sc, 7).metrics.delivered),
+        );
+    }
 }
 
 /// One bench per paper table/figure (DESIGN.md §4): each runs the

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! chaos_soak [--seeds N] [--start S] [--seed K] [--backends a,b,c]
-//!            [--quick | --stress] [--no-shrink] [--equivalence N]
+//!            [--quick | --stress | --massive] [--shards N] [--no-shrink]
+//!            [--equivalence N]
 //! ```
 //!
 //! * `--seeds N` — soak seeds `start..start+N` (default 50, start 0).
@@ -11,6 +12,11 @@
 //! * `--quick` — the CI-sized generator space (smaller worlds/runs).
 //! * `--stress` — the opt-in production-scale space (tens of attachments,
 //!   hundreds of walkers). Not run in CI.
+//! * `--massive` — the sharded-execution scale space (thousands of
+//!   walkers on the parallel event-queue engine). Pair with
+//!   `--backends ringnet` — only the ringnet backend shards.
+//! * `--shards N` — override the tier's event-queue shard count (clamped
+//!   to each generated world's attachment count).
 //! * `--no-shrink` — skip minimization on failure.
 //! * `--equivalence N` — additionally run the cross-backend delivery-set
 //!   equivalence audit over `start..start+N`: each seed's world stripped
@@ -26,8 +32,8 @@ use chaos::{check_equivalence, generate, soak_seed, Backend, ChaosConfig, SoakTi
 fn usage() -> ! {
     eprintln!(
         "usage: chaos_soak [--seeds N] [--start S] [--seed K] \
-         [--backends a,b,c] [--quick | --stress] [--no-shrink] \
-         [--equivalence N]"
+         [--backends a,b,c] [--quick | --stress | --massive] [--shards N] \
+         [--no-shrink] [--equivalence N]"
     );
     std::process::exit(2)
 }
@@ -40,6 +46,7 @@ fn main() {
     let mut tier = SoakTier::Default;
     let mut shrink = true;
     let mut equivalence: u64 = 0;
+    let mut shards_override: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -55,6 +62,8 @@ fn main() {
             "--seed" => single = Some(num(&mut it)),
             "--quick" => tier = SoakTier::Quick,
             "--stress" => tier = SoakTier::Stress,
+            "--massive" => tier = SoakTier::Massive,
+            "--shards" => shards_override = Some(num(&mut it) as usize),
             "--no-shrink" => shrink = false,
             "--equivalence" => equivalence = num(&mut it),
             "--backends" => {
@@ -68,7 +77,13 @@ fn main() {
         }
     }
 
-    let cfg = ChaosConfig::tier(tier);
+    let mut cfg = ChaosConfig::tier(tier);
+    if let Some(n) = shards_override {
+        if n == 0 {
+            usage();
+        }
+        cfg.shards = n;
+    }
 
     let range: Vec<u64> = match single {
         Some(k) => {
@@ -88,6 +103,7 @@ fn main() {
             SoakTier::Quick => " (quick space)",
             SoakTier::Default => "",
             SoakTier::Stress => " (stress space)",
+            SoakTier::Massive => " (massive sharded space)",
         }
     );
 
@@ -140,6 +156,7 @@ fn main() {
                         SoakTier::Quick => " --quick",
                         SoakTier::Default => "",
                         SoakTier::Stress => " --stress",
+                        SoakTier::Massive => " --massive",
                     }
                 );
                 std::process::exit(1);

@@ -12,9 +12,10 @@
 //! clean protocol produces a clean audit, and an auditor violation means a
 //! protocol bug, not an impossible world.
 //!
-//! Three [`SoakTier`]s bound the space: `Quick` (CI-sized), `Default`, and
-//! the opt-in `Stress` tier (tens of attachments, hundreds of walkers —
-//! the ROADMAP's production-scale worlds), selected via
+//! Four [`SoakTier`]s bound the space: `Quick` (CI-sized), `Default`, the
+//! opt-in `Stress` tier (tens of attachments, hundreds of walkers — the
+//! ROADMAP's production-scale worlds), and the `Massive` tier (thousands
+//! of walkers on the sharded parallel engine), selected via
 //! [`ChaosConfig::tier`].
 //!
 //! Determinism: the scenario is a pure function of `(ChaosConfig, seed)`.
@@ -23,7 +24,7 @@ use ringnet_core::driver::{ReplayKind, Scenario, ScenarioBuilder, ScenarioEvent}
 use ringnet_core::hierarchy::TrafficPattern;
 use simnet::{LinkProfile, LossModel, SimDuration, SimRng, SimTime};
 
-/// The three sizes of generated world, selected via [`ChaosConfig::tier`].
+/// The four sizes of generated world, selected via [`ChaosConfig::tier`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SoakTier {
     /// CI-sized: small worlds, short runs, full fault mix.
@@ -33,6 +34,13 @@ pub enum SoakTier {
     /// Opt-in production-scale worlds: tens of attachments, hundreds of
     /// walkers. Not run in CI (wall-time); `chaos_soak --stress`.
     Stress,
+    /// Sharded-execution scale proof: thousands of walkers (5k–12k) on
+    /// wide attachment chains, run through the parallel event-queue shards
+    /// (`chaos_soak --massive`). Trades the fault repertoire for raw scale
+    /// — runs are fault-free mobility worlds whose whole point is that the
+    /// sharded engine keeps every audit promise at populations the
+    /// sequential soak tiers never reach.
+    Massive,
 }
 
 /// Bounds and toggles of the scenario space.
@@ -40,8 +48,20 @@ pub enum SoakTier {
 pub struct ChaosConfig {
     /// Largest attachment-point count (chains and grids both honour it).
     pub max_attachments: usize,
+    /// Smallest attachment-point count (grid shapes are skipped when they
+    /// cannot reach it — the massive tier uses this to guarantee scale).
+    pub min_attachments: usize,
     /// Largest initial walkers-per-attachment count.
     pub max_walkers_per_attachment: usize,
+    /// Smallest initial walkers-per-attachment count.
+    pub min_walkers_per_attachment: usize,
+    /// Event-queue shards the generated scenario requests from
+    /// parallel-capable backends (clamped to the attachment count; `1` =
+    /// sequential execution everywhere).
+    pub shards: usize,
+    /// Force CBR traffic (the massive tier bounds its event volume this
+    /// way; Poisson rates are unbounded enough to blow up 10k-walker runs).
+    pub force_cbr: bool,
     /// Largest source count (clamped to the attachment count).
     pub max_sources: usize,
     /// Shortest run.
@@ -93,7 +113,11 @@ impl Default for ChaosConfig {
     fn default() -> Self {
         ChaosConfig {
             max_attachments: 9,
+            min_attachments: 2,
             max_walkers_per_attachment: 2,
+            min_walkers_per_attachment: 1,
+            shards: 1,
+            force_cbr: false,
             max_sources: 3,
             min_duration: SimDuration::from_secs(5),
             max_duration: SimDuration::from_secs(7),
@@ -140,12 +164,35 @@ impl ChaosConfig {
         }
     }
 
+    /// The sharded-execution scale space ([`SoakTier::Massive`]): chains
+    /// of 64–80 attachments carrying 100–160 walkers each (≈6.5k–12.8k
+    /// walkers), CBR-only traffic, eight event-queue shards, and a run
+    /// too short for the fault scheduler to fit a recoverable fault — the
+    /// tier proves scale, the other tiers prove faults.
+    pub fn massive() -> Self {
+        ChaosConfig {
+            max_attachments: 80,
+            min_attachments: 64,
+            max_walkers_per_attachment: 160,
+            min_walkers_per_attachment: 100,
+            shards: 8,
+            force_cbr: true,
+            max_sources: 2,
+            min_duration: SimDuration::from_secs(3),
+            max_duration: SimDuration::from_millis(3_500),
+            allow_lossy_wireless: false,
+            allow_late_joins: false,
+            ..ChaosConfig::default()
+        }
+    }
+
     /// The config for one [`SoakTier`].
     pub fn tier(tier: SoakTier) -> Self {
         match tier {
             SoakTier::Quick => ChaosConfig::quick(),
             SoakTier::Default => ChaosConfig::default(),
             SoakTier::Stress => ChaosConfig::stress(),
+            SoakTier::Massive => ChaosConfig::massive(),
         }
     }
 
@@ -201,11 +248,12 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
 
     // ---- world shape --------------------------------------------------
     let mut b = ScenarioBuilder::new();
+    // Grid side bounds scale with the tier: up to 3 for the small
+    // spaces (unchanged sampling), up to 6 for the stress tier. Grids
+    // that cannot reach the tier's attachment floor are skipped.
+    let side_cap = if cfg.max_attachments >= 16 { 6 } else { 3 };
     let attachments;
-    if rng.chance(0.4) {
-        // Grid side bounds scale with the tier: up to 3 for the small
-        // spaces (unchanged sampling), up to 6 for the stress tier.
-        let side_cap = if cfg.max_attachments >= 16 { 6 } else { 3 };
+    if rng.chance(0.4) && side_cap * side_cap >= cfg.min_attachments {
         let cols = 2 + rng.index(side_cap - 1); // 2..=side_cap
                                                 // Rows clamped so cols × rows honours max_attachments.
         let max_rows = (cfg.max_attachments.max(2) / cols).clamp(1, side_cap);
@@ -213,8 +261,9 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
         attachments = cols * rows;
         b = b.grid(cols, rows);
     } else {
-        attachments = (2 + rng.index(cfg.max_attachments.saturating_sub(1).max(1)))
-            .min(cfg.max_attachments.max(2));
+        let lo = cfg.min_attachments.max(2);
+        let hi = cfg.max_attachments.max(lo);
+        attachments = lo + rng.index(hi - lo + 1);
         b = b.attachments(attachments);
     }
     let sources = (1 + rng.index(cfg.max_sources.max(1))).min(attachments);
@@ -222,8 +271,10 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
 
     // ---- population ---------------------------------------------------
     let mut placements: Vec<Option<usize>> = Vec::new();
+    let wpa_lo = cfg.min_walkers_per_attachment.max(1);
+    let wpa_hi = cfg.max_walkers_per_attachment.max(wpa_lo);
     for a in 0..attachments {
-        for _ in 0..1 + rng.index(cfg.max_walkers_per_attachment.max(1)) {
+        for _ in 0..wpa_lo + rng.index(wpa_hi - wpa_lo + 1) {
             placements.push(Some(a));
         }
     }
@@ -238,7 +289,7 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
     let walkers = placements.len();
 
     // ---- traffic ------------------------------------------------------
-    let pattern = if rng.chance(0.7) {
+    let pattern = if rng.chance(0.7) || cfg.force_cbr {
         TrafficPattern::Cbr {
             interval: SimDuration::from_millis(5 + rng.range_u64(0, 21)),
         }
@@ -413,6 +464,7 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
     let sc = b
         .walkers(placements)
         .sources(sources)
+        .shards(cfg.shards.clamp(1, attachments))
         .pattern(pattern)
         .window(start, None)
         .wireless(wireless_profile(&mut rng, cfg.allow_lossy_wireless))
@@ -527,6 +579,25 @@ mod tests {
             max_walkers >= 100,
             "hundreds of walkers (saw {max_walkers})"
         );
+    }
+
+    #[test]
+    fn massive_tier_reaches_sharded_scale() {
+        let cfg = ChaosConfig::tier(SoakTier::Massive);
+        for seed in 0..8 {
+            let sc = generate(&cfg, seed);
+            assert!(sc.validate().is_empty(), "seed {seed}: {:?}", sc.validate());
+            assert!(
+                sc.walkers.len() >= 5_000,
+                "seed {seed}: massive worlds carry thousands of walkers (saw {})",
+                sc.walkers.len()
+            );
+            assert_eq!(sc.shards, 8, "massive worlds run sharded");
+            assert!(
+                matches!(sc.pattern, TrafficPattern::Cbr { .. }),
+                "massive traffic is CBR-bounded"
+            );
+        }
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //!   wireless), handoff schedules, late joins, and a fault schedule drawn
 //!   from the full repertoire (walker/core kills, core kill → restart →
 //!   ring-rejoin cycles, AP crash + restart, wired-core partitions with
-//!   heal, forced token loss), in three sizes ([`SoakTier`]) up to an
-//!   opt-in production-scale stress tier.
+//!   heal, forced token loss), in four sizes ([`SoakTier`]) up to an
+//!   opt-in production-scale stress tier and a sharded-execution massive
+//!   tier (thousands of walkers on the parallel event-queue engine).
 //! * [`audit`] — an **online auditor** fed one protocol event at a time
 //!   (from a finished journal or straight from the simulator's journal
 //!   sink, like the streaming metrics accumulator) that checks, per
@@ -51,6 +52,6 @@ pub use audit::{AuditConfig, AuditReport, Auditor, LivenessCheck, Violation, Vio
 pub use gen::{generate, ChaosConfig, SoakTier};
 pub use shrink::shrink;
 pub use soak::{
-    audit_scenario_run, check_equivalence, delivery_sets, equivalence_scenario, soak_seed, Backend,
-    EquivalenceFailure, SoakFailure, SoakOutcome,
+    audit_scenario_run, check_equivalence, check_shard_equivalence, delivery_sets,
+    equivalence_scenario, soak_seed, Backend, EquivalenceFailure, SoakFailure, SoakOutcome,
 };

@@ -345,6 +345,12 @@ pub struct Scenario {
     /// the journal `Vec` is never materialized, and `RunReport::journal`
     /// comes back empty.
     pub retain_journal: bool,
+    /// Event-queue shards for backends that support intra-world parallel
+    /// execution (currently the ringnet backend; others ignore it). `1` =
+    /// classic sequential run. Results are byte-identical per `(seed,
+    /// shards)` and semantically equivalent across shard counts; see
+    /// `simnet::shard`.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -361,6 +367,15 @@ impl Scenario {
         }
         if self.sources == 0 {
             problems.push("no sources".into());
+        }
+        if self.shards == 0 {
+            problems.push("shards must be at least 1 (1 = sequential run)".into());
+        } else if self.shards > self.attachments {
+            problems.push(format!(
+                "{} shards requested but only {} attachment subtrees exist to \
+                 partition — use at most one shard per attachment",
+                self.shards, self.attachments
+            ));
         }
         for (w, att) in self.walkers.iter().enumerate() {
             if let Some(a) = att {
@@ -647,6 +662,7 @@ impl ScenarioBuilder {
                 events: Vec::new(),
                 duration: SimTime::from_secs(5),
                 retain_journal: true,
+                shards: 1,
             },
             walkers_per_attachment: Some(1),
         }
@@ -715,6 +731,13 @@ impl ScenarioBuilder {
     /// Number of multicast sources.
     pub fn sources(mut self, n: usize) -> Self {
         self.sc.sources = n;
+        self
+    }
+
+    /// Event-queue shards for parallel-capable backends (`1` = sequential;
+    /// must not exceed the attachment count — see [`Scenario::validate`]).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.sc.shards = n;
         self
     }
 
@@ -939,15 +962,25 @@ impl Reporting {
         scenario: &Scenario,
         wired_core: BTreeSet<NodeId>,
     ) -> Reporting {
-        let world = sim.world();
+        Self::install_journal(&mut sim.world().journal, scenario, wired_core)
+    }
+
+    /// [`Reporting::install`] against a bare journal — the common body, and
+    /// the entry point for worlds whose journal is not reached through a
+    /// [`Sim`] (the sharded ringnet backend's merge-fed master journal).
+    pub fn install_journal(
+        journal: &mut simnet::Journal<ProtoEvent>,
+        scenario: &Scenario,
+        wired_core: BTreeSet<NodeId>,
+    ) -> Reporting {
         if scenario.retain_journal {
-            world.journal.reserve(scenario.journal_capacity_hint());
+            journal.reserve(scenario.journal_capacity_hint());
             Reporting { online: None }
         } else {
-            world.journal.set_retention(false);
+            journal.set_retention(false);
             let acc = Arc::new(Mutex::new(metrics::MetricsAccumulator::new(wired_core)));
             let sink = Arc::clone(&acc);
-            world.journal.set_sink(move |t, e| {
+            journal.set_sink(move |t, e| {
                 sink.lock().expect("metrics sink poisoned").observe(t, e);
             });
             Reporting { online: Some(acc) }
@@ -1221,8 +1254,13 @@ fn attachment_entity(spec: &HierarchySpec, index: usize, what: &str) -> NodeId {
 
 impl MulticastSim for RingNetSim {
     fn build(scenario: &Scenario, seed: u64) -> Self {
-        let mut sim = RingNetSim::build(ringnet_spec(scenario), seed);
-        sim.reporting = Reporting::install(&mut sim.sim, scenario, hierarchy_core(&sim.spec));
+        let mut sim = if scenario.shards > 1 {
+            RingNetSim::build_sharded(ringnet_spec(scenario), seed, scenario.shards, 0)
+        } else {
+            RingNetSim::build(ringnet_spec(scenario), seed)
+        };
+        let core = hierarchy_core(&sim.spec);
+        sim.reporting = Reporting::install_journal(sim.journal_mut(), scenario, core);
         sim
     }
 

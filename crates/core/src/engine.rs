@@ -10,7 +10,9 @@
 
 use std::sync::Arc;
 
-use simnet::{Actor, Ctx, NodeAddr, Sim, SimDuration, SimStats, SimTime};
+use simnet::{
+    Actor, Ctx, LinkProfile, NetOps, NodeAddr, ShardedSim, Sim, SimDuration, SimStats, SimTime,
+};
 
 use crate::actions::{Action, Outbox};
 use crate::events::ProtoEvent;
@@ -92,8 +94,8 @@ pub fn wire_size(msg: &Msg) -> usize {
 /// the [`crate::driver::ScenarioEvent::PartitionRing`] /
 /// [`crate::driver::ScenarioEvent::HealRing`] mechanism, shared by every
 /// ring-running backend (the peer list is the one backend-specific part).
-pub fn apply_ring_isolation(
-    w: &mut simnet::World<Msg, ProtoEvent>,
+pub fn apply_ring_isolation<N: NetOps<Msg> + ?Sized>(
+    w: &mut N,
     map: &AddrMap,
     member: NodeId,
     peers: &[NodeId],
@@ -102,7 +104,7 @@ pub fn apply_ring_isolation(
     let Some(ma) = map.ne(member) else { return };
     for &p in peers {
         if let Some(pa) = map.ne(p) {
-            w.topo.set_duplex_up(ma, pa, up);
+            w.set_duplex_up(ma, pa, up);
         }
     }
 }
@@ -112,8 +114,8 @@ pub fn apply_ring_isolation(
 /// RingFail / RejoinGrant concerning `member`, re-delivered to `peers`.
 /// Shared by every ring-running backend so the injected fault can never
 /// silently diverge between them.
-pub fn inject_control_replay(
-    w: &mut simnet::World<Msg, ProtoEvent>,
+pub fn inject_control_replay<N: NetOps<Msg> + ?Sized>(
+    w: &mut N,
     map: &AddrMap,
     group: GroupId,
     kind: crate::driver::ReplayKind,
@@ -468,12 +470,257 @@ pub fn boxed_source_actor(
     })
 }
 
+// ------------------------------------------------------- build machinery
+
+/// The construction surface shared by the sequential [`Sim`] and the
+/// sharded [`ShardedSim`]: one `assemble` body builds either, so the two
+/// execution modes can never drift apart structurally.
+trait Assemble {
+    fn add(&mut self, actor: Box<dyn Actor<Msg, ProtoEvent> + Send>) -> NodeAddr;
+    fn link(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile);
+    fn reserve(&mut self, additional: usize);
+}
+
+impl Assemble for Sim<Msg, ProtoEvent> {
+    fn add(&mut self, actor: Box<dyn Actor<Msg, ProtoEvent> + Send>) -> NodeAddr {
+        self.add_node(actor)
+    }
+    fn link(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile) {
+        self.world().topo.connect_duplex(a, b, profile);
+    }
+    fn reserve(&mut self, additional: usize) {
+        self.world().reserve_events(additional);
+    }
+}
+
+impl Assemble for ShardedSim<Msg, ProtoEvent> {
+    fn add(&mut self, actor: Box<dyn Actor<Msg, ProtoEvent> + Send>) -> NodeAddr {
+        self.add_node(actor)
+    }
+    fn link(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile) {
+        self.connect_duplex(a, b, profile);
+    }
+    fn reserve(&mut self, additional: usize) {
+        self.reserve_events(additional);
+    }
+}
+
+/// The shard ownership map for `spec` (global node order: BRs, AG rings,
+/// APs, sources, MHs). The wired core (BRs + AGs) and the sources live on
+/// shard 0; APs split into `shards` contiguous blocks of attachment
+/// subtrees; each MH lives with its initial AP (late joiners on shard 0).
+fn shard_map(spec: &HierarchySpec, shards: usize) -> Vec<u32> {
+    let n_aps = spec.aps.len();
+    assert!(
+        shards <= n_aps,
+        "{shards} shards requested but the world has only {n_aps} attachment subtrees"
+    );
+    let mut map = Vec::new();
+    let n_core = spec.top_ring.len() + spec.ag_rings.iter().map(|r| r.members.len()).sum::<usize>();
+    map.resize(n_core, 0);
+    let ap_shard_of_index = |i: usize| (i * shards / n_aps) as u32;
+    for i in 0..n_aps {
+        map.push(ap_shard_of_index(i));
+    }
+    map.resize(map.len() + spec.sources.len(), 0);
+    let ap_index: std::collections::BTreeMap<NodeId, usize> = spec
+        .aps
+        .iter()
+        .enumerate()
+        .map(|(i, ap)| (ap.id, i))
+        .collect();
+    for mh in &spec.mhs {
+        let shard = mh
+            .initial_ap
+            .and_then(|ap| ap_index.get(&ap).copied())
+            .map_or(0, ap_shard_of_index);
+        map.push(shard);
+    }
+    map
+}
+
+/// Build the address map, actors and topology of `spec` into `net` —
+/// the one construction body behind both execution modes.
+fn assemble(spec: &HierarchySpec, net: &mut impl Assemble) -> Arc<AddrMap> {
+    // ---- Pre-compute the address map (creation order = address order).
+    let mut map = AddrMap::default();
+    let mut next = 0u32;
+    let mut claim_ne = |map: &mut AddrMap, id: NodeId| {
+        let addr = NodeAddr(next);
+        next += 1;
+        map.ne.insert(id, addr);
+        map.rev.insert(addr, Endpoint::Ne(id));
+    };
+    for &br in &spec.top_ring {
+        claim_ne(&mut map, br);
+    }
+    for ring in &spec.ag_rings {
+        for &ag in &ring.members {
+            claim_ne(&mut map, ag);
+        }
+    }
+    for ap in &spec.aps {
+        claim_ne(&mut map, ap.id);
+    }
+    let mut source_addrs = Vec::with_capacity(spec.sources.len());
+    for _ in &spec.sources {
+        source_addrs.push(NodeAddr(next));
+        next += 1;
+    }
+    for mh in &spec.mhs {
+        let addr = NodeAddr(next);
+        next += 1;
+        map.mh.insert(mh.guid, addr);
+        map.rev.insert(addr, Endpoint::Mh(mh.guid));
+    }
+    let map = Arc::new(map);
+
+    // ---- Create actors in exactly the claimed order.
+    let cfg = &spec.cfg;
+    let token_origin = spec.top_ring.iter().min().copied();
+    for &br in &spec.top_ring {
+        let st = NeState::new_br(spec.group, br, spec.top_ring.clone(), true, cfg.clone());
+        let addr = net.add(Box::new(NeActor {
+            st,
+            map: Arc::clone(&map),
+            out: Vec::with_capacity(32),
+            dst_buf: Vec::new(),
+            originate_token: token_origin == Some(br),
+            timer_gen: 0,
+        }));
+        debug_assert_eq!(Some(addr), map.ne(br));
+    }
+    for ring in &spec.ag_rings {
+        for &ag in &ring.members {
+            let st = NeState::new_ag(
+                spec.group,
+                ag,
+                ring.members.clone(),
+                ring.parent_candidates.clone(),
+                cfg.clone(),
+            );
+            net.add(Box::new(NeActor {
+                st,
+                map: Arc::clone(&map),
+                out: Vec::with_capacity(32),
+                dst_buf: Vec::new(),
+                originate_token: false,
+                timer_gen: 0,
+            }));
+        }
+    }
+    for ap in &spec.aps {
+        let st = NeState::new_ap(
+            spec.group,
+            ap.id,
+            ap.parent_candidates.clone(),
+            ap.always_active,
+            ap.neighbours.clone(),
+            cfg.clone(),
+        );
+        net.add(Box::new(NeActor {
+            st,
+            map: Arc::clone(&map),
+            out: Vec::with_capacity(32),
+            dst_buf: Vec::new(),
+            originate_token: false,
+            timer_gen: 0,
+        }));
+    }
+    for (i, src) in spec.sources.iter().enumerate() {
+        let target = map.ne(src.corresponding).expect("validated");
+        let addr = net.add(Box::new(SourceActor {
+            group: spec.group,
+            target,
+            pattern: src.pattern,
+            start: src.start,
+            stop: src.stop,
+            limit: src.limit,
+            next_ls: LocalSeq::FIRST,
+            sent: 0,
+        }));
+        debug_assert_eq!(addr, source_addrs[i]);
+    }
+    for mh in &spec.mhs {
+        let st = MhState::new(spec.group, mh.guid, cfg.clone());
+        net.add(Box::new(MhActor {
+            st,
+            map: Arc::clone(&map),
+            out: Vec::with_capacity(16),
+            initial_ap: mh.initial_ap,
+        }));
+    }
+
+    // ---- Wire the topology.
+    // Spec validation admitted only declared entities, so every id the
+    // wiring below resolves must be present in the address map.
+    let ne_addr = |id: NodeId| map.ne(id).expect("validated spec wires a declared NE");
+    let mh_addr = |guid: Guid| map.mh(guid).expect("validated spec wires a declared MH");
+    // Top ring: duplex links between every pair of ring members — the
+    // ring is logical, the underlying unicast routes exist between any
+    // two BRs (needed for repair paths after failures).
+    for (i, &a) in spec.top_ring.iter().enumerate() {
+        for &b in spec.top_ring.iter().skip(i + 1) {
+            net.link(ne_addr(a), ne_addr(b), spec.links.top_ring.clone());
+        }
+    }
+    for ring in &spec.ag_rings {
+        // AG ring mesh (same rationale).
+        for (i, &a) in ring.members.iter().enumerate() {
+            for &b in ring.members.iter().skip(i + 1) {
+                net.link(ne_addr(a), ne_addr(b), spec.links.ag_ring.clone());
+            }
+        }
+        // Every ring member can reach every candidate parent BR.
+        for &ag in &ring.members {
+            for &br in &ring.parent_candidates {
+                net.link(ne_addr(ag), ne_addr(br), spec.links.br_ag.clone());
+            }
+        }
+    }
+    for ap in &spec.aps {
+        for &ag in &ap.parent_candidates {
+            net.link(ne_addr(ap.id), ne_addr(ag), spec.links.ag_ap.clone());
+        }
+        // AP ↔ AP neighbour links (reservation traffic).
+        for &nb in &ap.neighbours {
+            if nb > ap.id {
+                net.link(ne_addr(ap.id), ne_addr(nb), spec.links.ag_ap.clone());
+            }
+        }
+    }
+    for (i, src) in spec.sources.iter().enumerate() {
+        net.link(
+            source_addrs[i],
+            ne_addr(src.corresponding),
+            spec.links.source.clone(),
+        );
+    }
+    for mh in &spec.mhs {
+        if let Some(ap) = mh.initial_ap {
+            net.link(mh_addr(mh.guid), ne_addr(ap), spec.links.wireless.clone());
+        }
+    }
+
+    // Pre-size the pending-event slab from the deployment scale so the
+    // hot path starts steady-state (≈ a few in-flight events per link
+    // plus the periodic timers).
+    net.reserve(next as usize * 8);
+
+    map
+}
+
 // ------------------------------------------------------------- the engine
 
 /// A built RingNet simulation plus its scenario API.
 pub struct RingNetSim {
-    /// The underlying simulator.
+    /// The underlying simulator. In sharded mode (see
+    /// [`RingNetSim::build_sharded`]) this is an inert zero-node husk kept
+    /// for API compatibility — the world lives in `sharded` instead, and
+    /// every `RingNetSim` method dispatches accordingly.
     pub sim: Sim<Msg, ProtoEvent>,
+    /// The sharded world, when built with [`RingNetSim::build_sharded`].
+    sharded: Option<ShardedSim<Msg, ProtoEvent>>,
     /// Identity ↔ address translation.
     pub addrs: Arc<AddrMap>,
     /// The spec this simulation was built from.
@@ -494,182 +741,36 @@ impl RingNetSim {
         // always reads the low-volume records (Ordered, handoffs, finals);
         // the config flags gate only the per-delivery firehose.
         let mut sim: Sim<Msg, ProtoEvent> = Sim::with_options(seed, true, wire_size);
-
-        // ---- Pre-compute the address map (creation order = address order).
-        let mut map = AddrMap::default();
-        let mut next = 0u32;
-        let mut claim_ne = |map: &mut AddrMap, id: NodeId| {
-            let addr = NodeAddr(next);
-            next += 1;
-            map.ne.insert(id, addr);
-            map.rev.insert(addr, Endpoint::Ne(id));
-        };
-        for &br in &spec.top_ring {
-            claim_ne(&mut map, br);
-        }
-        for ring in &spec.ag_rings {
-            for &ag in &ring.members {
-                claim_ne(&mut map, ag);
-            }
-        }
-        for ap in &spec.aps {
-            claim_ne(&mut map, ap.id);
-        }
-        let mut source_addrs = Vec::with_capacity(spec.sources.len());
-        for _ in &spec.sources {
-            source_addrs.push(NodeAddr(next));
-            next += 1;
-        }
-        for mh in &spec.mhs {
-            let addr = NodeAddr(next);
-            next += 1;
-            map.mh.insert(mh.guid, addr);
-            map.rev.insert(addr, Endpoint::Mh(mh.guid));
-        }
-        let map = Arc::new(map);
-
-        // ---- Create actors in exactly the claimed order.
-        let cfg = &spec.cfg;
-        let token_origin = spec.top_ring.iter().min().copied();
-        for &br in &spec.top_ring {
-            let st = NeState::new_br(spec.group, br, spec.top_ring.clone(), true, cfg.clone());
-            let addr = sim.add_node(Box::new(NeActor {
-                st,
-                map: Arc::clone(&map),
-                out: Vec::with_capacity(32),
-                dst_buf: Vec::new(),
-                originate_token: token_origin == Some(br),
-                timer_gen: 0,
-            }));
-            debug_assert_eq!(Some(addr), map.ne(br));
-        }
-        for ring in &spec.ag_rings {
-            for &ag in &ring.members {
-                let st = NeState::new_ag(
-                    spec.group,
-                    ag,
-                    ring.members.clone(),
-                    ring.parent_candidates.clone(),
-                    cfg.clone(),
-                );
-                sim.add_node(Box::new(NeActor {
-                    st,
-                    map: Arc::clone(&map),
-                    out: Vec::with_capacity(32),
-                    dst_buf: Vec::new(),
-                    originate_token: false,
-                    timer_gen: 0,
-                }));
-            }
-        }
-        for ap in &spec.aps {
-            let st = NeState::new_ap(
-                spec.group,
-                ap.id,
-                ap.parent_candidates.clone(),
-                ap.always_active,
-                ap.neighbours.clone(),
-                cfg.clone(),
-            );
-            sim.add_node(Box::new(NeActor {
-                st,
-                map: Arc::clone(&map),
-                out: Vec::with_capacity(32),
-                dst_buf: Vec::new(),
-                originate_token: false,
-                timer_gen: 0,
-            }));
-        }
-        for (i, src) in spec.sources.iter().enumerate() {
-            let target = map.ne(src.corresponding).expect("validated");
-            let addr = sim.add_node(Box::new(SourceActor {
-                group: spec.group,
-                target,
-                pattern: src.pattern,
-                start: src.start,
-                stop: src.stop,
-                limit: src.limit,
-                next_ls: LocalSeq::FIRST,
-                sent: 0,
-            }));
-            debug_assert_eq!(addr, source_addrs[i]);
-        }
-        for mh in &spec.mhs {
-            let st = MhState::new(spec.group, mh.guid, cfg.clone());
-            sim.add_node(Box::new(MhActor {
-                st,
-                map: Arc::clone(&map),
-                out: Vec::with_capacity(16),
-                initial_ap: mh.initial_ap,
-            }));
-        }
-
-        // ---- Wire the topology.
-        let w = sim.world();
-        // Spec validation admitted only declared entities, so every id the
-        // wiring below resolves must be present in the address map.
-        let ne_addr = |id: NodeId| map.ne(id).expect("validated spec wires a declared NE");
-        let mh_addr = |guid: Guid| map.mh(guid).expect("validated spec wires a declared MH");
-        // Top ring: duplex links between every pair of ring members — the
-        // ring is logical, the underlying unicast routes exist between any
-        // two BRs (needed for repair paths after failures).
-        for (i, &a) in spec.top_ring.iter().enumerate() {
-            for &b in spec.top_ring.iter().skip(i + 1) {
-                w.topo
-                    .connect_duplex(ne_addr(a), ne_addr(b), spec.links.top_ring.clone());
-            }
-        }
-        for ring in &spec.ag_rings {
-            // AG ring mesh (same rationale).
-            for (i, &a) in ring.members.iter().enumerate() {
-                for &b in ring.members.iter().skip(i + 1) {
-                    w.topo
-                        .connect_duplex(ne_addr(a), ne_addr(b), spec.links.ag_ring.clone());
-                }
-            }
-            // Every ring member can reach every candidate parent BR.
-            for &ag in &ring.members {
-                for &br in &ring.parent_candidates {
-                    w.topo
-                        .connect_duplex(ne_addr(ag), ne_addr(br), spec.links.br_ag.clone());
-                }
-            }
-        }
-        for ap in &spec.aps {
-            for &ag in &ap.parent_candidates {
-                w.topo
-                    .connect_duplex(ne_addr(ap.id), ne_addr(ag), spec.links.ag_ap.clone());
-            }
-            // AP ↔ AP neighbour links (reservation traffic).
-            for &nb in &ap.neighbours {
-                if nb > ap.id {
-                    w.topo
-                        .connect_duplex(ne_addr(ap.id), ne_addr(nb), spec.links.ag_ap.clone());
-                }
-            }
-        }
-        for (i, src) in spec.sources.iter().enumerate() {
-            w.topo.connect_duplex(
-                source_addrs[i],
-                ne_addr(src.corresponding),
-                spec.links.source.clone(),
-            );
-        }
-        for mh in &spec.mhs {
-            if let Some(ap) = mh.initial_ap {
-                w.topo
-                    .connect_duplex(mh_addr(mh.guid), ne_addr(ap), spec.links.wireless.clone());
-            }
-        }
-
-        // Pre-size the pending-event slab from the deployment scale so the
-        // hot path starts steady-state (≈ a few in-flight events per link
-        // plus the periodic timers).
-        let nodes = sim.node_count();
-        sim.world().reserve_events(nodes * 8);
-
+        let map = assemble(&spec, &mut sim);
         RingNetSim {
             sim,
+            sharded: None,
+            addrs: map,
+            spec,
+            reporting: crate::driver::Reporting::default(),
+        }
+    }
+
+    /// Instantiate `spec` as a conservatively parallel world of `shards`
+    /// event-queue shards (one per attachment-subtree block; the wired
+    /// core rides on shard 0 — see [`simnet::shard`] for the window
+    /// protocol). `workers` caps the drain threads (`0` = available
+    /// parallelism); it affects wall-clock only, never results. Journals
+    /// are byte-identical per `(seed, shards)`, and semantically
+    /// equivalent to the sequential build.
+    pub fn build_sharded(spec: HierarchySpec, seed: u64, shards: usize, workers: usize) -> Self {
+        let problems = spec.validate();
+        assert!(problems.is_empty(), "invalid spec: {problems:?}");
+        if shards <= 1 {
+            return Self::build(spec, seed);
+        }
+        let mut net: ShardedSim<Msg, ProtoEvent> =
+            ShardedSim::new(seed, shards, shard_map(&spec, shards), true, wire_size);
+        net.set_workers(workers);
+        let map = assemble(&spec, &mut net);
+        RingNetSim {
+            sim: Sim::with_options(seed, true, wire_size),
+            sharded: Some(net),
             addrs: map,
             spec,
             reporting: crate::driver::Reporting::default(),
@@ -678,7 +779,46 @@ impl RingNetSim {
 
     /// Run until simulated time `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        self.sim.run_until(t);
+        match &mut self.sharded {
+            None => self.sim.run_until(t),
+            Some(s) => s.run_until(t),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        match &self.sharded {
+            None => self.sim.now(),
+            Some(s) => s.now(),
+        }
+    }
+
+    /// Transport-level statistics (aggregated over shards when sharded).
+    pub fn stats(&self) -> SimStats {
+        match &self.sharded {
+            None => self.sim.stats(),
+            Some(s) => s.stats(),
+        }
+    }
+
+    /// The journal receiving this run's protocol events (the master,
+    /// merge-fed journal in sharded mode).
+    pub fn journal_mut(&mut self) -> &mut simnet::Journal<ProtoEvent> {
+        match &mut self.sharded {
+            None => &mut self.sim.world().journal,
+            Some(s) => s.journal_mut(),
+        }
+    }
+
+    /// Schedule a scenario control: one closure body written against
+    /// [`NetOps`] drives both execution modes (sequential controls run in
+    /// event order; sharded controls run coordinator-side at a window
+    /// barrier spanning every shard).
+    fn schedule_ctl(&mut self, at: SimTime, f: impl FnOnce(&mut dyn NetOps<Msg>) + Send + 'static) {
+        match &mut self.sharded {
+            None => self.sim.world().schedule_control(at, move |w| f(w)),
+            Some(s) => s.schedule_control(at, move |v| f(v)),
+        }
     }
 
     /// Schedule an MH handoff at `at`: the radio detaches from the current
@@ -687,16 +827,16 @@ impl RingNetSim {
         let map = Arc::clone(&self.addrs);
         let group = self.spec.group;
         let wireless = self.spec.links.wireless.clone();
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             let Some(mh_addr) = map.mh(guid) else { return };
             let Some(ap_addr) = map.ne(new_ap) else {
                 return;
             };
-            let old: Vec<NodeAddr> = w.topo.neighbours(mh_addr).collect();
+            let old: Vec<NodeAddr> = w.neighbours_of(mh_addr);
             for o in old {
-                w.topo.disconnect_duplex(mh_addr, o);
+                w.disconnect_duplex(mh_addr, o);
             }
-            w.topo.connect_duplex(mh_addr, ap_addr, wireless.clone());
+            w.connect_duplex(mh_addr, ap_addr, wireless.clone());
             w.inject(
                 ap_addr,
                 mh_addr,
@@ -712,12 +852,12 @@ impl RingNetSim {
         let map = Arc::clone(&self.addrs);
         let group = self.spec.group;
         let wireless = self.spec.links.wireless.clone();
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             let (Some(mh_addr), Some(ap_addr)) = (map.mh(guid), map.ne(ap)) else {
                 return;
             };
-            if !w.topo.has_link(mh_addr, ap_addr) {
-                w.topo.connect_duplex(mh_addr, ap_addr, wireless.clone());
+            if !w.has_link(mh_addr, ap_addr) {
+                w.connect_duplex(mh_addr, ap_addr, wireless.clone());
             }
             w.inject(
                 ap_addr,
@@ -732,7 +872,7 @@ impl RingNetSim {
     pub fn schedule_kill_ne(&mut self, at: SimTime, node: NodeId) {
         let map = Arc::clone(&self.addrs);
         let group = self.spec.group;
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             if let Some(addr) = map.ne(node) {
                 w.inject(addr, addr, Msg::Kill { group }, SimDuration::ZERO);
             }
@@ -746,7 +886,7 @@ impl RingNetSim {
     pub fn schedule_restart_ne(&mut self, at: SimTime, node: NodeId) {
         let map = Arc::clone(&self.addrs);
         let group = self.spec.group;
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             if let Some(addr) = map.ne(node) {
                 w.inject(addr, addr, Msg::Restart { group }, SimDuration::ZERO);
             }
@@ -758,9 +898,9 @@ impl RingNetSim {
     /// injection). Pairs without a direct link are a no-op.
     pub fn schedule_link_state(&mut self, at: SimTime, a: NodeId, b: NodeId, up: bool) {
         let map = Arc::clone(&self.addrs);
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             if let (Some(aa), Some(ba)) = (map.ne(a), map.ne(b)) {
-                w.topo.set_duplex_up(aa, ba, up);
+                w.set_duplex_up(aa, ba, up);
             }
         });
     }
@@ -788,7 +928,7 @@ impl RingNetSim {
     pub fn schedule_ring_isolation(&mut self, at: SimTime, member: NodeId, up: bool) {
         let map = Arc::clone(&self.addrs);
         let peers = self.ring_peers_of(member);
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             apply_ring_isolation(w, &map, member, &peers, up);
         });
     }
@@ -805,7 +945,7 @@ impl RingNetSim {
         let map = Arc::clone(&self.addrs);
         let group = self.spec.group;
         let peers = self.ring_peers_of(member);
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             inject_control_replay(w, &map, group, kind, member, &peers);
         });
     }
@@ -817,7 +957,7 @@ impl RingNetSim {
         let map = Arc::clone(&self.addrs);
         let group = self.spec.group;
         let ring = self.spec.top_ring.clone();
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             for &node in &ring {
                 if let Some(addr) = map.ne(node) {
                     w.inject(addr, addr, Msg::DropToken { group }, SimDuration::ZERO);
@@ -830,7 +970,7 @@ impl RingNetSim {
     pub fn schedule_kill_mh(&mut self, at: SimTime, guid: Guid) {
         let map = Arc::clone(&self.addrs);
         let group = self.spec.group;
-        self.sim.world().schedule_control(at, move |w| {
+        self.schedule_ctl(at, move |w| {
             if let Some(addr) = map.mh(guid) {
                 w.inject(addr, addr, Msg::Kill { group }, SimDuration::ZERO);
             }
@@ -842,16 +982,30 @@ impl RingNetSim {
     pub fn finish(mut self) -> (Vec<(SimTime, ProtoEvent)>, SimStats) {
         let group = self.spec.group;
         let flush_targets: Vec<NodeAddr> = self.addrs.rev.keys().copied().collect();
-        {
-            let w = self.sim.world();
-            for addr in flush_targets {
-                w.inject(addr, addr, Msg::FlushStats { group }, SimDuration::ZERO);
+        match self.sharded {
+            None => {
+                let w = self.sim.world();
+                for addr in flush_targets {
+                    w.inject(addr, addr, Msg::FlushStats { group }, SimDuration::ZERO);
+                }
+                // Drain only the flush events: advance a hair past `now`.
+                let t = self.sim.now() + SimDuration::from_nanos(1);
+                self.sim.run_until(t);
+                self.sim.finish()
+            }
+            Some(mut s) => {
+                // Flush via a barrier control so every shard observes it at
+                // the same window edge, then drain a hair past `now`.
+                let at = s.now();
+                s.schedule_control(at, move |v| {
+                    for addr in flush_targets {
+                        v.inject(addr, addr, Msg::FlushStats { group }, SimDuration::ZERO);
+                    }
+                });
+                s.run_until(at + SimDuration::from_nanos(1));
+                s.finish()
             }
         }
-        // Drain only the flush events: advance a hair past `now`.
-        let t = self.sim.now() + SimDuration::from_nanos(1);
-        self.sim.run_until(t);
-        self.sim.finish()
     }
 }
 
@@ -980,5 +1134,96 @@ mod tests {
             last_ordered > SimTime::from_secs(1),
             "ordering survived the failure"
         );
+    }
+
+    /// Per-MH delivered GSN sequences — the semantic equivalence surface
+    /// across execution modes (event interleaving may differ between shard
+    /// counts, but every walker must see the same ordered stream).
+    fn delivery_sets(
+        journal: &[(SimTime, ProtoEvent)],
+    ) -> std::collections::BTreeMap<u32, Vec<u64>> {
+        let mut per_mh: std::collections::BTreeMap<u32, Vec<u64>> = Default::default();
+        for (_, e) in journal {
+            if let ProtoEvent::MhDeliver { mh, gsn, .. } = e {
+                per_mh.entry(mh.0).or_default().push(gsn.0);
+            }
+        }
+        per_mh
+    }
+
+    #[test]
+    fn sharded_build_matches_sequential_deliveries() {
+        let mut seq = RingNetSim::build(small_spec(), 42);
+        seq.run_until(SimTime::from_secs(3));
+        let (seq_journal, _) = seq.finish();
+
+        let mut par = RingNetSim::build_sharded(small_spec(), 42, 2, 1);
+        par.run_until(SimTime::from_secs(3));
+        let (par_journal, par_stats) = par.finish();
+
+        assert!(par_stats.packets_delivered > 0);
+        assert_eq!(
+            delivery_sets(&seq_journal),
+            delivery_sets(&par_journal),
+            "sharded world delivers the same ordered stream to every walker"
+        );
+    }
+
+    #[test]
+    fn sharded_journal_is_byte_identical_per_shard_count() {
+        fn run(workers: usize) -> Vec<(SimTime, ProtoEvent)> {
+            let mut net = RingNetSim::build_sharded(small_spec(), 9, 2, workers);
+            net.run_until(SimTime::from_secs(2));
+            net.finish().0
+        }
+        let a = run(1);
+        let b = run(1);
+        let c = run(4);
+        assert_eq!(a, b, "same (seed, shards) ⇒ same journal");
+        assert_eq!(a, c, "worker count never changes results");
+    }
+
+    #[test]
+    fn sharded_handoff_crosses_shards() {
+        let mut net = RingNetSim::build_sharded(small_spec(), 3, 2, 0);
+        // The last AP lives in the last shard block; MH 0 starts in the
+        // first, so this handoff rewires a cross-shard wireless link via
+        // the barrier-side NetView.
+        let target_ap = net.spec.aps.last().unwrap().id;
+        net.schedule_handoff(SimTime::from_secs(1), Guid(0), target_ap);
+        net.run_until(SimTime::from_secs(4));
+        let (journal, _) = net.finish();
+        let registered = journal.iter().any(|(_, e)| {
+            matches!(e, ProtoEvent::HandoffRegistered { mh: Guid(0), ap, .. } if *ap == target_ap)
+        });
+        assert!(registered, "cross-shard handoff registration recorded");
+        let delivered = delivery_sets(&journal).remove(&0).unwrap_or_default();
+        assert_eq!(
+            delivered.len(),
+            20,
+            "no message lost across the sharded handoff: {delivered:?}"
+        );
+    }
+
+    #[test]
+    fn shard_map_partitions_by_attachment_block() {
+        let spec = small_spec();
+        let map = shard_map(&spec, 2);
+        let n_core =
+            spec.top_ring.len() + spec.ag_rings.iter().map(|r| r.members.len()).sum::<usize>();
+        assert!(map[..n_core].iter().all(|&s| s == 0), "core rides shard 0");
+        assert_eq!(
+            map.len(),
+            n_core + spec.aps.len() + spec.sources.len() + spec.mhs.len()
+        );
+        let used: std::collections::BTreeSet<u32> = map.iter().copied().collect();
+        assert_eq!(used.len(), 2, "both shards own at least one node");
+    }
+
+    #[test]
+    #[should_panic(expected = "attachment subtrees")]
+    fn shard_map_rejects_more_shards_than_aps() {
+        let spec = small_spec();
+        shard_map(&spec, 64);
     }
 }

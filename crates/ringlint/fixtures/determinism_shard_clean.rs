@@ -1,0 +1,37 @@
+// Fixture: the deterministic shard-worker pattern — dense Vec-indexed
+// shard cells, mpsc fan-out under a scoped-thread barrier, and a
+// (time, shard, seq)-sorted merge point so worker completion order never
+// reaches output. Virtual time only; channels and scopes are legal.
+
+use simnet::SimTime;
+use std::sync::mpsc;
+
+struct Shard {
+    queue: Vec<(SimTime, u64)>,
+}
+
+fn drain_window(cells: &mut [Option<Shard>], w_end: SimTime) -> Vec<(SimTime, u32, u64)> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for (idx, cell) in cells.iter_mut().enumerate() {
+            let Some(shard) = cell.as_mut() else { continue };
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut out = Vec::new();
+                while let Some(&(t, seq)) = shard.queue.first() {
+                    if t >= w_end {
+                        break;
+                    }
+                    out.push((t, idx as u32, seq));
+                    shard.queue.remove(0);
+                }
+                tx.send(out).expect("coordinator holds the receiver open");
+            });
+        }
+    });
+    drop(tx);
+    let mut merged: Vec<(SimTime, u32, u64)> = rx.into_iter().flatten().collect();
+    // The total order at the merge point: deterministic per shard count.
+    merged.sort_unstable();
+    merged
+}

@@ -1,0 +1,29 @@
+// Fixture: the shard-worker hazards the determinism rule hunts — a
+// parallel drain loop that deadlines its window on the wall clock, keeps
+// shard ownership in a hash map, and merges worker results in hash
+// iteration order (worker interleaving leaks straight into the journal).
+
+use std::time::Instant; // wall-clock window deadline
+
+struct Workers {
+    owners: std::collections::HashMap<u32, Vec<u64>>, // un-audited shard map
+}
+
+fn drain_window(w: &mut Workers) -> u64 {
+    let deadline = Instant::now(); // wall-clock read
+    let mut merged = 0u64;
+    for shard in w.owners.values() {
+        // merge order follows hash iteration — differs between runs
+        merged += shard.len() as u64;
+    }
+    let mut spun = 0u64;
+    for bucket in &w.owners {
+        // direct iteration over the hash-typed shard map
+        spun += bucket.1.len() as u64;
+    }
+    while merged == 0 {
+        std::thread::sleep(core::time::Duration::from_micros(50)); // wall stall
+        merged = spun;
+    }
+    merged + deadline.elapsed().as_micros() as u64
+}

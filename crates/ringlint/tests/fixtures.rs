@@ -106,6 +106,31 @@ fn determinism_fixture_pair() {
 }
 
 #[test]
+fn determinism_shard_fixture_pair() {
+    // The shard-worker module pattern (simnet::shard): parallel drain
+    // workers are legal exactly when every merge point imposes a total
+    // order and the window protocol runs on virtual time.
+    let bad = lint_as(
+        "simnet",
+        include_str!("../fixtures/determinism_shard_violating.rs"),
+    );
+    let det: Vec<_> = bad.iter().filter(|f| f.rule == "determinism").collect();
+    assert_eq!(
+        det.len(),
+        6,
+        "2×Instant, HashMap, .values(), for-in, sleep: {det:?}"
+    );
+    let clean = lint_as(
+        "simnet",
+        include_str!("../fixtures/determinism_shard_clean.rs"),
+    );
+    assert!(
+        clean.is_empty(),
+        "mpsc fan-out + scoped threads + sorted merge are legal: {clean:?}"
+    );
+}
+
+#[test]
 fn determinism_rule_ignores_non_sim_crates() {
     let krate = crate_spec("harness").unwrap();
     let bad = include_str!("../fixtures/determinism_violating.rs");

@@ -45,6 +45,7 @@ pub mod event;
 pub mod link;
 pub mod par;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 mod slab;
 pub mod stats;
@@ -55,7 +56,8 @@ pub use event::{EventHandle, EventQueue};
 pub use link::{BandwidthModel, LatencyModel, LinkProfile, LossModel};
 pub use par::run_replicas;
 pub use rng::SimRng;
-pub use sim::{Actor, Ctx, Journal, Sim, SimStats, TimerHandle, World};
+pub use shard::{NetView, ShardedSim};
+pub use sim::{Actor, Ctx, Journal, NetOps, Sim, SimStats, TimerHandle, World};
 pub use stats::{Gauge, Histogram, RateSeries, Summary};
 pub use time::{SimDuration, SimTime};
 pub use topo::{NodeAddr, Topology};

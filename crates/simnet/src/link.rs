@@ -46,6 +46,16 @@ impl LatencyModel {
             LatencyModel::Jittered { base, jitter } => *base + *jitter,
         }
     }
+
+    /// Lower bound of the delay this model can produce — the conservative
+    /// lookahead a sharded run may claim across a link with this profile.
+    #[inline]
+    pub fn min_delay(&self) -> SimDuration {
+        match self {
+            LatencyModel::Fixed(d) => *d,
+            LatencyModel::Jittered { base, .. } => *base,
+        }
+    }
 }
 
 /// Packet-loss model for a link.

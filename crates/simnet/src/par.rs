@@ -2,13 +2,11 @@
 //!
 //! Experiments sweep protocol and workload parameters over many independent,
 //! deterministic simulation replicas. Replicas share nothing, so the natural
-//! parallelisation is fan-out across a thread pool: a work queue of replica
-//! indices drained by `std::thread::scope` workers. Results return in input
-//! order regardless of completion order, so a parallel sweep is
-//! indistinguishable from a sequential one.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! parallelisation is fan-out across `std::thread::scope` workers, each
+//! owning a contiguous chunk of the output vector (`chunks_mut` hands every
+//! worker a disjoint `&mut` slice — no locks, no result shuffling). Results
+//! return in input order regardless of completion order, so a parallel sweep
+//! is indistinguishable from a sequential one.
 
 /// Run `job(i, &inputs[i])` for every input, in parallel, returning outputs
 /// in input order.
@@ -31,29 +29,25 @@ where
         return inputs.iter().enumerate().map(|(i, x)| job(i, x)).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    let job = &job;
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for (t, out) in results.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (off, slot) in out.iter_mut().enumerate() {
+                    let i = start + off;
+                    *slot = Some(job(i, &inputs[i]));
                 }
-                let out = job(i, &inputs[i]);
-                *results[i].lock().expect("replica slot poisoned") = Some(out);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("replica slot poisoned")
-                .expect("missing replica result")
-        })
+        .map(|slot| slot.expect("every chunk filled its slots"))
         .collect()
 }
 

@@ -68,7 +68,7 @@ pub struct Journal<R> {
 pub type JournalSink<R> = Box<dyn FnMut(SimTime, &R) + Send>;
 
 impl<R> Journal<R> {
-    fn new(retain: bool) -> Self {
+    pub(crate) fn new(retain: bool) -> Self {
         Journal {
             retain,
             records: Vec::new(),
@@ -126,6 +126,13 @@ impl<R> Journal<R> {
         &self.records
     }
 
+    /// Drain the retained records in emission order, keeping the buffer's
+    /// capacity. The sharded runtime uses this to move each window's
+    /// per-shard records into the merged master journal.
+    pub(crate) fn drain_records(&mut self) -> std::vec::Drain<'_, (SimTime, R)> {
+        self.records.drain(..)
+    }
+
     /// Consume the journal, yielding its records.
     pub fn into_records(self) -> Vec<(SimTime, R)> {
         self.records
@@ -133,9 +140,9 @@ impl<R> Journal<R> {
 }
 
 /// A deferred closure run over the world (scenario control events).
-type ControlFn<M, R> = Box<dyn FnOnce(&mut World<M, R>) + Send>;
+pub(crate) type ControlFn<M, R> = Box<dyn FnOnce(&mut World<M, R>) + Send>;
 
-enum Ev<M, R> {
+pub(crate) enum Ev<M, R> {
     Packet {
         src: NodeAddr,
         dst: NodeAddr,
@@ -190,6 +197,54 @@ impl<M> SharedPool<M> {
     }
 }
 
+/// Cross-shard routing state carried by a shard's [`World`] (`None` in
+/// sequential simulations). Deliveries whose destination lives on another
+/// shard are diverted to the outbox instead of the local event queue; the
+/// sharded coordinator drains outboxes at every window barrier and merges
+/// them into the destination shards by `(time, src_shard, seq)`.
+pub(crate) struct ShardRoute<M> {
+    /// This world's shard id.
+    pub(crate) my_shard: u32,
+    /// Global node → owning shard (shared, immutable for the run).
+    pub(crate) shard_of: std::sync::Arc<Vec<u32>>,
+    /// Deliveries bound for other shards, accumulated during one window.
+    pub(crate) outbox: Vec<Outgoing<M>>,
+    /// Monotonic per-shard send counter (cross-shard tie-break).
+    pub(crate) seq: u64,
+}
+
+/// One cross-shard delivery: already past the link models, just waiting to
+/// be admitted into the destination shard's queue at the next barrier.
+pub(crate) struct Outgoing<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) src: NodeAddr,
+    pub(crate) dst: NodeAddr,
+    pub(crate) msg: M,
+}
+
+impl<M> ShardRoute<M> {
+    #[inline]
+    fn is_remote(&self, dst: NodeAddr) -> bool {
+        self.shard_of
+            .get(dst.index())
+            .is_some_and(|&s| s != self.my_shard)
+    }
+
+    #[inline]
+    fn push(&mut self, at: SimTime, src: NodeAddr, dst: NodeAddr, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.outbox.push(Outgoing {
+            at,
+            seq,
+            src,
+            dst,
+            msg,
+        });
+    }
+}
+
 /// Everything in the simulation except the actors themselves. Actors receive
 /// `&mut World` through [`Ctx`] while the actor is temporarily detached, so
 /// no aliasing is possible.
@@ -200,6 +255,8 @@ pub struct World<M, R> {
     shared: SharedPool<M>,
     /// Reused scratch buffer for multicast delivery planning.
     mc_buf: Vec<(NodeAddr, SimTime)>,
+    /// Cross-shard routing (sharded runs only, see [`ShardRoute`]).
+    route: Option<Box<ShardRoute<M>>>,
     /// The link table. Public so control events and scenario code can rewire
     /// the network mid-run (handoffs, failures).
     pub topo: Topology,
@@ -214,10 +271,73 @@ pub struct World<M, R> {
 }
 
 impl<M, R> World<M, R> {
+    pub(crate) fn new_inner(rng: SimRng, journal: bool, sizer: fn(&M) -> usize) -> Self {
+        World {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            shared: SharedPool::new(),
+            mc_buf: Vec::new(),
+            route: None,
+            topo: Topology::new(),
+            rng,
+            journal: Journal::new(journal),
+            stats: SimStats::default(),
+            sizer,
+        }
+    }
+
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Attach cross-shard routing (sharded runs only).
+    pub(crate) fn set_route(&mut self, my_shard: u32, shard_of: std::sync::Arc<Vec<u32>>) {
+        self.route = Some(Box::new(ShardRoute {
+            my_shard,
+            shard_of,
+            outbox: Vec::new(),
+            seq: 0,
+        }));
+    }
+
+    /// Move out the cross-shard deliveries accumulated this window.
+    pub(crate) fn take_outbox(&mut self, into: &mut Vec<Outgoing<M>>) {
+        if let Some(route) = &mut self.route {
+            into.append(&mut route.outbox);
+        }
+    }
+
+    /// Earliest pending local event, if any.
+    pub(crate) fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pop the earliest local event (sharded drain loop).
+    pub(crate) fn pop_event(&mut self) -> Option<(SimTime, Ev<M, R>)> {
+        self.queue.pop()
+    }
+
+    /// Force the local clock (window barriers in sharded runs).
+    pub(crate) fn set_now(&mut self, now: SimTime) {
+        debug_assert!(now >= self.now, "shard clock went backwards");
+        self.now = now;
+    }
+
+    /// Schedule an already-transmitted packet at its arrival time (cross-
+    /// shard admission; bypasses the link models, which already ran on the
+    /// sending shard).
+    pub(crate) fn admit_packet(&mut self, at: SimTime, src: NodeAddr, dst: NodeAddr, msg: M) {
+        self.queue.schedule(at, Ev::Packet { src, dst, msg });
+    }
+
+    /// Resolve a shared-pool slot on delivery.
+    pub(crate) fn take_shared(&mut self, slot: u32) -> M
+    where
+        M: Clone,
+    {
+        self.shared.take(slot)
     }
 
     /// Transmit `msg` from `src` to `dst` over the configured link, applying
@@ -233,6 +353,12 @@ impl<M, R> World<M, R> {
         };
         match link.transmit(self.now, size, &mut self.rng) {
             TxOutcome::Deliver(at) => {
+                if let Some(route) = &mut self.route {
+                    if route.is_remote(dst) {
+                        route.push(at, src, dst, msg);
+                        return;
+                    }
+                }
                 self.queue.schedule(at, Ev::Packet { src, dst, msg });
             }
             TxOutcome::Lost => self.stats.packets_lost += 1,
@@ -252,8 +378,14 @@ impl<M, R> World<M, R> {
     /// Used by scenario code to model out-of-band stimuli (e.g. an MH's radio
     /// detecting a new AP).
     pub fn inject(&mut self, src: NodeAddr, dst: NodeAddr, msg: M, delay: SimDuration) {
-        self.queue
-            .schedule(self.now + delay, Ev::Packet { src, dst, msg });
+        let at = self.now + delay;
+        if let Some(route) = &mut self.route {
+            if route.is_remote(dst) {
+                route.push(at, src, dst, msg);
+                return;
+            }
+        }
+        self.queue.schedule(at, Ev::Packet { src, dst, msg });
     }
 
     /// Set a timer for `node` firing after `delay` with the given tag.
@@ -295,6 +427,24 @@ impl<M, R> World<M, R> {
                 TxOutcome::Down => self.stats.packets_link_down += 1,
             }
         }
+        // Cross-shard copies leave through the outbox (cloned per copy —
+        // the shared pool is shard-local); local copies keep the interned
+        // fan-out representation.
+        if let Some(route) = &mut self.route {
+            if deliveries.iter().any(|&(dst, _)| route.is_remote(dst)) {
+                let mut kept = 0usize;
+                for i in 0..deliveries.len() {
+                    let (dst, at) = deliveries[i];
+                    if route.is_remote(dst) {
+                        route.push(at, src, dst, msg.clone());
+                    } else {
+                        deliveries[kept] = (dst, at);
+                        kept += 1;
+                    }
+                }
+                deliveries.truncate(kept);
+            }
+        }
         match deliveries.len() {
             0 => {}
             1 => {
@@ -322,6 +472,60 @@ impl<M, R> World<M, R> {
     }
 }
 
+/// The network-mutation surface scenario control closures run against.
+///
+/// Implemented by the sequential [`World`] and by the sharded runtime's
+/// barrier-time view ([`crate::shard::NetView`]), so one control body —
+/// handoffs, joins, partitions, fault injection — drives either execution
+/// mode without caring which is underneath.
+pub trait NetOps<M> {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Inject a packet arriving at `dst` after `delay`, bypassing links.
+    fn inject(&mut self, src: NodeAddr, dst: NodeAddr, msg: M, delay: SimDuration);
+    /// Install a duplex link between `a` and `b`.
+    fn connect_duplex(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile);
+    /// Remove both link directions between `a` and `b`.
+    fn disconnect_duplex(&mut self, a: NodeAddr, b: NodeAddr);
+    /// Set the administrative up/down state of both directions. Returns
+    /// `true` when either direction exists.
+    fn set_duplex_up(&mut self, a: NodeAddr, b: NodeAddr, up: bool) -> bool;
+    /// True when the directed link `src → dst` exists.
+    fn has_link(&self, src: NodeAddr, dst: NodeAddr) -> bool;
+    /// `src`'s outgoing neighbours, in address order.
+    fn neighbours_of(&self, src: NodeAddr) -> Vec<NodeAddr>;
+}
+
+impl<M, R> NetOps<M> for World<M, R> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn inject(&mut self, src: NodeAddr, dst: NodeAddr, msg: M, delay: SimDuration) {
+        World::inject(self, src, dst, msg, delay);
+    }
+
+    fn connect_duplex(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile) {
+        self.topo.connect_duplex(a, b, profile);
+    }
+
+    fn disconnect_duplex(&mut self, a: NodeAddr, b: NodeAddr) {
+        self.topo.disconnect_duplex(a, b);
+    }
+
+    fn set_duplex_up(&mut self, a: NodeAddr, b: NodeAddr, up: bool) -> bool {
+        self.topo.set_duplex_up(a, b, up)
+    }
+
+    fn has_link(&self, src: NodeAddr, dst: NodeAddr) -> bool {
+        self.topo.has_link(src, dst)
+    }
+
+    fn neighbours_of(&self, src: NodeAddr) -> Vec<NodeAddr> {
+        self.topo.neighbours(src).collect()
+    }
+}
+
 /// The view an [`Actor`] callback receives: the world plus its own address.
 pub struct Ctx<'a, M, R> {
     world: &'a mut World<M, R>,
@@ -329,6 +533,12 @@ pub struct Ctx<'a, M, R> {
 }
 
 impl<'a, M, R> Ctx<'a, M, R> {
+    /// Crate-internal constructor (the sharded drain loop builds contexts
+    /// outside this module).
+    pub(crate) fn new(world: &'a mut World<M, R>, me: NodeAddr) -> Self {
+        Ctx { world, me }
+    }
+
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -418,17 +628,7 @@ impl<M, R> Sim<M, R> {
     pub fn with_options(seed: u64, journal: bool, sizer: fn(&M) -> usize) -> Self {
         Sim {
             actors: Vec::new(),
-            world: World {
-                now: SimTime::ZERO,
-                queue: EventQueue::new(),
-                shared: SharedPool::new(),
-                mc_buf: Vec::new(),
-                topo: Topology::new(),
-                rng: SimRng::from_seed(seed),
-                journal: Journal::new(journal),
-                stats: SimStats::default(),
-                sizer,
-            },
+            world: World::new_inner(SimRng::from_seed(seed), journal, sizer),
             started: false,
         }
     }
