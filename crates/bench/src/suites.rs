@@ -269,6 +269,20 @@ pub fn full_sweep(r: &mut Runner) {
         || black_box(RingNetSim::run_scenario(&one_sec, 7).metrics.delivered),
     );
 
+    // Telemetry overhead: the identical 128-walker simulated second with
+    // the flight recorder and metrics registry on. The delta against
+    // `ringnet_128_walkers_one_sim_second` is the whole cost of the
+    // telemetry layer; the disabled path is the row above — every
+    // telemetry call starts with an `if !self.on` return, so "off" must
+    // stay indistinguishable from the pre-telemetry engine.
+    let mut with_telemetry = one_sec.clone();
+    with_telemetry.cfg.telemetry = true;
+    r.bench("full_sweep", "telemetry_overhead", None, || {
+        let rep = RingNetSim::run_scenario(&with_telemetry, 7);
+        assert!(rep.telemetry.is_some());
+        black_box(rep.metrics.delivered)
+    });
+
     let mut streaming = one_sec.clone();
     streaming.retain_journal = false;
     r.bench(

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! chaos_soak [--seeds N] [--start S] [--seed K] [--backends a,b,c]
-//!            [--quick | --stress | --massive] [--shards N] [--no-shrink]
-//!            [--equivalence N]
+//!            [--quick | --stress | --massive] [--shards N] [--telemetry]
+//!            [--no-shrink] [--equivalence N]
 //! ```
 //!
 //! * `--seeds N` — soak seeds `start..start+N` (default 50, start 0).
@@ -17,6 +17,12 @@
 //!   `--backends ringnet` — only the ringnet backend shards.
 //! * `--shards N` — override the tier's event-queue shard count (clamped
 //!   to each generated world's attachment count).
+//! * `--telemetry` — enable the deterministic telemetry layer on every
+//!   generated scenario. On a violation the shrunk reproduction is
+//!   re-run with per-node flight recorders and the postmortem is written
+//!   to `flight_recorder_<backend>_<seed>.json` (this happens on failure
+//!   even without the flag — the flag additionally proves the soak stays
+//!   clean *with* the recorders on).
 //! * `--no-shrink` — skip minimization on failure.
 //! * `--equivalence N` — additionally run the cross-backend delivery-set
 //!   equivalence audit over `start..start+N`: each seed's world stripped
@@ -33,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: chaos_soak [--seeds N] [--start S] [--seed K] \
          [--backends a,b,c] [--quick | --stress | --massive] [--shards N] \
-         [--no-shrink] [--equivalence N]"
+         [--telemetry] [--no-shrink] [--equivalence N]"
     );
     std::process::exit(2)
 }
@@ -47,6 +53,7 @@ fn main() {
     let mut shrink = true;
     let mut equivalence: u64 = 0;
     let mut shards_override: Option<usize> = None;
+    let mut telemetry = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -64,6 +71,7 @@ fn main() {
             "--stress" => tier = SoakTier::Stress,
             "--massive" => tier = SoakTier::Massive,
             "--shards" => shards_override = Some(num(&mut it) as usize),
+            "--telemetry" => telemetry = true,
             "--no-shrink" => shrink = false,
             "--equivalence" => equivalence = num(&mut it),
             "--backends" => {
@@ -84,6 +92,7 @@ fn main() {
         }
         cfg.shards = n;
     }
+    cfg.telemetry = telemetry;
 
     let range: Vec<u64> = match single {
         Some(k) => {
@@ -148,8 +157,12 @@ fn main() {
                     "shrunk reproduction ({} of {} events kept):\n{:#?}",
                     failure.shrunk_events, failure.original_events, failure.shrunk
                 );
+                match chaos::write_dump(&failure) {
+                    Ok(name) => eprintln!("\nflight-recorder postmortem: {name}"),
+                    Err(e) => eprintln!("\nflight-recorder postmortem failed: {e}"),
+                }
                 eprintln!(
-                    "\nreproduce with: chaos_soak --seed {} --backends {}{}",
+                    "\nreproduce with: chaos_soak --seed {} --backends {}{}{}{}",
                     failure.seed,
                     failure.backend.name(),
                     match tier {
@@ -157,7 +170,13 @@ fn main() {
                         SoakTier::Default => "",
                         SoakTier::Stress => " --stress",
                         SoakTier::Massive => " --massive",
-                    }
+                    },
+                    if cfg.shards > 1 {
+                        format!(" --shards {}", cfg.shards)
+                    } else {
+                        String::new()
+                    },
+                    if telemetry { " --telemetry" } else { "" }
                 );
                 std::process::exit(1);
             }

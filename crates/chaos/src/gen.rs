@@ -107,6 +107,13 @@ pub struct ChaosConfig {
     /// The liveness window the soak audits with; fault times stay clear of
     /// the last `liveness_window + 1s` of the run so recovery can complete.
     pub liveness_window: SimDuration,
+    /// Enable the deterministic telemetry layer
+    /// ([`ProtocolConfig::telemetry`](ringnet_core::ProtocolConfig)) on
+    /// every generated scenario, so a violating run carries per-node
+    /// flight recorders for the postmortem dump. Off by default: telemetry
+    /// never changes a journal, but the soak's job is to prove that, not
+    /// assume it.
+    pub telemetry: bool,
 }
 
 impl Default for ChaosConfig {
@@ -133,6 +140,7 @@ impl Default for ChaosConfig {
             allow_control_replay: true,
             allow_token_drop: true,
             liveness_window: SimDuration::from_secs(2),
+            telemetry: false,
         }
     }
 }
@@ -465,6 +473,7 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
         .walkers(placements)
         .sources(sources)
         .shards(cfg.shards.clamp(1, attachments))
+        .telemetry(cfg.telemetry)
         .pattern(pattern)
         .window(start, None)
         .wireless(wireless_profile(&mut rng, cfg.allow_lossy_wireless))

@@ -25,6 +25,12 @@
 //! * [`shrink`] — a delta-debugging **shrinker** that minimizes a failing
 //!   scenario by deleting events and truncating the run window while the
 //!   failure still reproduces.
+//! * [`postmortem`] — **flight-recorder dumps** for convicted seeds: the
+//!   shrunk reproduction is re-run with the deterministic telemetry layer
+//!   forced on (journal byte-identity guarantees the re-run *is* the
+//!   convicted run) and every per-node recorder is serialised next to the
+//!   violation into one JSON document (`flight_recorder_<backend>_
+//!   <seed>.json`).
 //! * [`soak`] — the generate → run → audit → (on failure) shrink loop over
 //!   every backend, plus the cross-backend **delivery-set equivalence**
 //!   audit ([`check_equivalence`]): on loss-free, fault-free worlds all
@@ -45,11 +51,13 @@
 
 pub mod audit;
 pub mod gen;
+pub mod postmortem;
 pub mod shrink;
 pub mod soak;
 
 pub use audit::{AuditConfig, AuditReport, Auditor, LivenessCheck, Violation, ViolationKind};
 pub use gen::{generate, ChaosConfig, SoakTier};
+pub use postmortem::{dump_json, failure_dump, write_dump};
 pub use shrink::shrink;
 pub use soak::{
     audit_scenario_run, check_equivalence, check_shard_equivalence, delivery_sets,

@@ -66,6 +66,14 @@ pub struct ProtocolConfig {
     /// Keep `OldOrderingToken` in addition to `NewOrderingToken` (§4.1's
     /// two-version scheme; disabling it is ablation knob A1).
     pub keep_old_token: bool,
+    /// Enable the deterministic telemetry layer: per-node metrics,
+    /// protocol-phase trace records and the flight recorder
+    /// ([`crate::telemetry`]). Off by default; disabled it costs one
+    /// branch per instrumentation site and never perturbs the journal.
+    pub telemetry: bool,
+    /// Flight-recorder depth: how many recent trace records each node
+    /// retains. Must be positive.
+    pub telemetry_capacity: usize,
 }
 
 impl Default for ProtocolConfig {
@@ -90,6 +98,8 @@ impl Default for ProtocolConfig {
             payload_bytes: 512,
             wtsnp_retain_rotations: 2,
             keep_old_token: true,
+            telemetry: false,
+            telemetry_capacity: 256,
         }
     }
 }
@@ -155,6 +165,9 @@ impl ProtocolConfig {
         if self.wtsnp_retain_rotations == 0 {
             problems.push("wtsnp_retain_rotations must be positive".into());
         }
+        if self.telemetry_capacity == 0 {
+            problems.push("telemetry_capacity must be positive".into());
+        }
         problems
     }
 }
@@ -197,6 +210,17 @@ mod tests {
         };
         let problems = c.validate();
         assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn validation_rejects_zero_telemetry_capacity() {
+        let c = ProtocolConfig {
+            telemetry_capacity: 0,
+            ..ProtocolConfig::default()
+        };
+        let problems = c.validate();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("telemetry_capacity"));
     }
 
     #[test]

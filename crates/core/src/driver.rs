@@ -368,6 +368,9 @@ impl Scenario {
         if self.sources == 0 {
             problems.push("no sources".into());
         }
+        if self.cfg.telemetry_capacity == 0 {
+            problems.push("telemetry_capacity must be positive (flight recorder depth)".into());
+        }
         if self.shards == 0 {
             problems.push("shards must be at least 1 (1 = sequential run)".into());
         } else if self.shards > self.attachments {
@@ -828,6 +831,24 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enable the deterministic telemetry layer (per-node metrics,
+    /// protocol-phase traces and the flight recorder — see
+    /// [`crate::telemetry`]). Off by default; the enabled run's journal is
+    /// byte-identical to the disabled run's, and the telemetry lands in
+    /// [`RunReport::telemetry`] on supporting backends.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.sc.cfg.telemetry = on;
+        self
+    }
+
+    /// Flight-recorder depth per node (how many recent trace records
+    /// survive for the postmortem dump). Zero is rejected by
+    /// [`Scenario::validate`].
+    pub fn telemetry_capacity(mut self, capacity: usize) -> Self {
+        self.sc.cfg.telemetry_capacity = capacity;
+        self
+    }
+
     /// Finish. Panics on an invalid scenario (use [`Scenario::validate`]
     /// on the built value for graceful handling).
     pub fn build(mut self) -> Scenario {
@@ -912,6 +933,11 @@ pub struct RunReport {
     pub stats: SimStats,
     /// Protocol-agnostic summary metrics.
     pub metrics: RunMetrics,
+    /// Harvested telemetry (per-node metrics + flight recorders), present
+    /// only when the scenario enabled [`crate::config::ProtocolConfig::
+    /// telemetry`] **and** the backend supports harvesting (currently the
+    /// ringnet backend; baselines leave it `None`).
+    pub telemetry: Option<crate::telemetry::TelemetryReport>,
 }
 
 impl RunReport {
@@ -931,6 +957,7 @@ impl RunReport {
             journal,
             stats,
             metrics: acc.finish(),
+            telemetry: None,
         }
     }
 }
@@ -1008,6 +1035,7 @@ impl Reporting {
                     journal,
                     stats,
                     metrics: acc.finish(),
+                    telemetry: None,
                 }
             }
             None => RunReport::new(journal, stats, wired_core),
@@ -1328,8 +1356,19 @@ impl MulticastSim for RingNetSim {
     fn finish(mut self) -> RunReport {
         let core = hierarchy_core(&self.spec);
         let reporting = std::mem::take(&mut self.reporting);
+        let bank = self.telemetry_bank.take();
+        let shard_of = std::mem::take(&mut self.telemetry_shards);
         let (journal, stats) = RingNetSim::finish(self);
-        reporting.finish(journal, stats, &core)
+        let mut report = reporting.finish(journal, stats, &core);
+        if let Some(bank) = bank {
+            // The actors (and with them the `Arc` clones) died with the
+            // simulator; unwrap without cloning when we hold the last ref.
+            let bank = Arc::try_unwrap(bank)
+                .map(|m| m.into_inner().expect("telemetry bank poisoned"))
+                .unwrap_or_else(|arc| arc.lock().expect("telemetry bank poisoned").clone());
+            report.telemetry = Some(crate::telemetry::TelemetryReport::new(bank, shard_of));
+        }
+        report
     }
 }
 

@@ -8,7 +8,7 @@
 //! ([`NodeId`]/[`Guid`]) and simulator addresses ([`NodeAddr`]) goes through
 //! one immutable [`AddrMap`] shared by every actor.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use simnet::{
     Actor, Ctx, LinkProfile, NetOps, NodeAddr, ShardedSim, Sim, SimDuration, SimStats, SimTime,
@@ -21,6 +21,7 @@ use crate::ids::{Endpoint, GroupId, Guid, LocalSeq, NodeId, PayloadId};
 use crate::mh::MhState;
 use crate::msg::Msg;
 use crate::node::NeState;
+use crate::telemetry::TelemetryBank;
 
 /// Timer tags shared by all actors.
 const TAG_ORDER_ASSIGN: u64 = 1;
@@ -178,6 +179,12 @@ struct NeActor {
     /// queue across a revival; their stale generation makes them fall dead
     /// instead of rescheduling a duplicate tick chain.
     timer_gen: u64,
+    /// Telemetry harvest sink, shared with the driver. `None` unless the
+    /// scenario enables telemetry; the state machine's recorder is
+    /// dumped here when the teardown `FlushStats` sweep reaches this
+    /// actor (the map is keyed, so insertion order — and hence worker
+    /// scheduling — cannot affect the result).
+    bank: Option<Arc<Mutex<TelemetryBank>>>,
 }
 
 impl NeActor {
@@ -252,7 +259,20 @@ impl Actor<Msg, ProtoEvent> for NeActor {
         let from_ep = self.map.endpoint_of(from);
         let now = ctx.now();
         let was_alive = self.st.alive;
+        let is_flush = matches!(msg, Msg::FlushStats { .. });
         self.st.on_msg(now, from_ep, msg, &mut self.out);
+        if is_flush {
+            // Harvest even when the entity died mid-run: a crashed node's
+            // flight recorder is exactly the postmortem evidence wanted.
+            if let Some(bank) = &self.bank {
+                if let Some(dump) = self.st.telemetry.dump() {
+                    bank.lock()
+                        .expect("telemetry bank poisoned")
+                        .nodes
+                        .insert(self.st.id, dump);
+                }
+            }
+        }
         if !was_alive && self.st.alive {
             // Crash-restart revival: the periodic timers died with the
             // entity (dead entities stop rescheduling); re-arm them under
@@ -435,6 +455,7 @@ pub fn boxed_ne_actor(
         dst_buf: Vec::new(),
         originate_token,
         timer_gen: 0,
+        bank: None,
     })
 }
 
@@ -541,7 +562,11 @@ fn shard_map(spec: &HierarchySpec, shards: usize) -> Vec<u32> {
 
 /// Build the address map, actors and topology of `spec` into `net` —
 /// the one construction body behind both execution modes.
-fn assemble(spec: &HierarchySpec, net: &mut impl Assemble) -> Arc<AddrMap> {
+fn assemble(
+    spec: &HierarchySpec,
+    net: &mut impl Assemble,
+    bank: Option<&Arc<Mutex<TelemetryBank>>>,
+) -> Arc<AddrMap> {
     // ---- Pre-compute the address map (creation order = address order).
     let mut map = AddrMap::default();
     let mut next = 0u32;
@@ -587,6 +612,7 @@ fn assemble(spec: &HierarchySpec, net: &mut impl Assemble) -> Arc<AddrMap> {
             dst_buf: Vec::new(),
             originate_token: token_origin == Some(br),
             timer_gen: 0,
+            bank: bank.cloned(),
         }));
         debug_assert_eq!(Some(addr), map.ne(br));
     }
@@ -606,6 +632,7 @@ fn assemble(spec: &HierarchySpec, net: &mut impl Assemble) -> Arc<AddrMap> {
                 dst_buf: Vec::new(),
                 originate_token: false,
                 timer_gen: 0,
+                bank: bank.cloned(),
             }));
         }
     }
@@ -625,6 +652,7 @@ fn assemble(spec: &HierarchySpec, net: &mut impl Assemble) -> Arc<AddrMap> {
             dst_buf: Vec::new(),
             originate_token: false,
             timer_gen: 0,
+            bank: bank.cloned(),
         }));
     }
     for (i, src) in spec.sources.iter().enumerate() {
@@ -729,6 +757,13 @@ pub struct RingNetSim {
     /// to batch; [`crate::driver::Reporting::install`] switches it to the
     /// streaming accumulator when journal retention is off).
     pub reporting: crate::driver::Reporting,
+    /// Telemetry harvest sink shared with every `NeActor`; `Some` only
+    /// when `spec.cfg.telemetry` is on. Filled during [`Self::finish`]'s
+    /// `FlushStats` sweep; the driver drains it into the report.
+    pub(crate) telemetry_bank: Option<Arc<Mutex<TelemetryBank>>>,
+    /// Node → shard placement for the telemetry report (empty in the
+    /// sequential build: everything on shard 0).
+    pub(crate) telemetry_shards: std::collections::BTreeMap<NodeId, u32>,
 }
 
 impl RingNetSim {
@@ -741,13 +776,19 @@ impl RingNetSim {
         // always reads the low-volume records (Ordered, handoffs, finals);
         // the config flags gate only the per-delivery firehose.
         let mut sim: Sim<Msg, ProtoEvent> = Sim::with_options(seed, true, wire_size);
-        let map = assemble(&spec, &mut sim);
+        let bank = spec
+            .cfg
+            .telemetry
+            .then(|| Arc::new(Mutex::new(TelemetryBank::default())));
+        let map = assemble(&spec, &mut sim, bank.as_ref());
         RingNetSim {
             sim,
             sharded: None,
             addrs: map,
             spec,
             reporting: crate::driver::Reporting::default(),
+            telemetry_bank: bank,
+            telemetry_shards: std::collections::BTreeMap::new(),
         }
     }
 
@@ -764,16 +805,46 @@ impl RingNetSim {
         if shards <= 1 {
             return Self::build(spec, seed);
         }
+        let sm = shard_map(&spec, shards);
         let mut net: ShardedSim<Msg, ProtoEvent> =
-            ShardedSim::new(seed, shards, shard_map(&spec, shards), true, wire_size);
+            ShardedSim::new(seed, shards, sm.clone(), true, wire_size);
         net.set_workers(workers);
-        let map = assemble(&spec, &mut net);
+        let bank = spec
+            .cfg
+            .telemetry
+            .then(|| Arc::new(Mutex::new(TelemetryBank::default())));
+        let map = assemble(&spec, &mut net, bank.as_ref());
+        // Record the NE → shard placement for the telemetry report: the
+        // shard map is indexed by global creation order (BRs, AG-ring
+        // members, APs, then sources and MHs — only NEs carry telemetry).
+        let mut telemetry_shards = std::collections::BTreeMap::new();
+        if bank.is_some() {
+            let ne_ids = spec
+                .top_ring
+                .iter()
+                .chain(spec.ag_rings.iter().flat_map(|r| r.members.iter()))
+                .chain(spec.aps.iter().map(|ap| &ap.id));
+            for (i, &id) in ne_ids.enumerate() {
+                telemetry_shards.insert(id, sm[i]);
+            }
+        }
         RingNetSim {
             sim: Sim::with_options(seed, true, wire_size),
             sharded: Some(net),
             addrs: map,
             spec,
             reporting: crate::driver::Reporting::default(),
+            telemetry_bank: bank,
+            telemetry_shards,
+        }
+    }
+
+    /// Cap the sharded drain threads (`0` = available parallelism). A
+    /// wall-clock knob only: results are worker-count-independent. No-op
+    /// on a sequential build.
+    pub fn set_workers(&mut self, workers: usize) {
+        if let Some(s) = &mut self.sharded {
+            s.set_workers(workers);
         }
     }
 

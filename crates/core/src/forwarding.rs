@@ -48,11 +48,12 @@ impl NeState {
     /// Advance the `MQ` front and push every newly deliverable message to
     /// the ring, the children and the MHs. Also emits `NeSkip` records for
     /// really-lost messages the front steps over.
-    pub(crate) fn drive_delivery(&mut self, _now: SimTime, out: &mut Outbox) {
+    pub(crate) fn drive_delivery(&mut self, now: SimTime, out: &mut Outbox) {
         let items = self.mq.poll_deliverable();
         if items.is_empty() {
             return;
         }
+        self.telemetry.delivered_up_to(now, self.mq.front());
         let me = self.id;
         let group = self.group;
         // Non-top ring members forward along the ring, stopping before the
@@ -130,6 +131,8 @@ impl NeState {
                     msg: Msg::Data { group, gsn, data },
                 });
                 self.counters.retransmissions += 1;
+                self.telemetry
+                    .count(crate::telemetry::metric::RETRANSMISSIONS_SERVED);
             }
         }
     }

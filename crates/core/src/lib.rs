@@ -85,6 +85,7 @@ pub mod recovery;
 pub mod retransmit;
 pub mod ring_epoch;
 pub mod ring_lifecycle;
+pub mod telemetry;
 pub mod token;
 pub mod wq;
 pub mod wt;
@@ -104,6 +105,7 @@ pub use msg::Msg;
 pub use node::{NeState, Tier};
 pub use ring_epoch::{primary_component, EpochFence, TokenAdmission};
 pub use ring_lifecycle::{LifecycleEvent, MemberState, RingLifecycle, Transition};
+pub use telemetry::{NodeDump, Telemetry, TelemetryBank, TelemetryReport, TraceEntry, TraceRecord};
 pub use token::OrderingToken;
 pub use wq::WorkingQueue;
 pub use wt::WorkingTable;

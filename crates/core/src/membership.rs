@@ -71,6 +71,9 @@ impl NeState {
         if self.ring_next() == Some(n) {
             if let Some(r) = self.ring.as_mut() {
                 r.hb_outstanding = 0;
+                if r.state_of(n) == crate::ring_lifecycle::MemberState::Suspected {
+                    self.telemetry.count(crate::telemetry::metric::HB_REFUTES);
+                }
                 r.refute(n);
             }
         }
@@ -199,9 +202,13 @@ impl NeState {
                         self.counters.control_sent += 1;
                     }
                     ring_changed = true;
+                    self.telemetry.count(crate::telemetry::metric::RING_REPAIRS);
                 } else {
                     if r.hb_outstanding > 0 {
                         // The previous probe went unanswered.
+                        if r.state_of(next) == crate::ring_lifecycle::MemberState::Active {
+                            self.telemetry.count(crate::telemetry::metric::HB_SUSPECTS);
+                        }
                         r.suspect(next);
                     }
                     r.hb_outstanding += 1;

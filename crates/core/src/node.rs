@@ -24,6 +24,7 @@ use crate::ids::{Endpoint, GlobalSeq, GroupId, Guid, LocalSeq, NodeId};
 use crate::mq::MessageQueue;
 use crate::msg::Msg;
 use crate::ring_lifecycle::{LifecycleEvent, MemberState, RingLifecycle};
+use crate::telemetry::Telemetry;
 use crate::token::OrderingToken;
 use crate::wq::WorkingQueue;
 use crate::wt::WorkingTable;
@@ -345,6 +346,9 @@ pub struct NeState {
     /// cleared by [`Msg::GraftAck`]. (APs track the equivalent via
     /// `ApMhState::grafted` + `ensure_active_grafted`.)
     pub graft_pending: bool,
+    /// Deterministic observability: metrics registry plus flight
+    /// recorder ([`crate::telemetry`]). No-op unless `cfg.telemetry`.
+    pub telemetry: Telemetry,
 }
 
 impl NeState {
@@ -385,6 +389,7 @@ impl NeState {
             rejoin_attempts: 0,
             merge_probe_target: 0,
             graft_pending: false,
+            telemetry: Telemetry::from_cfg(&cfg),
             cfg,
         }
     }
@@ -423,6 +428,7 @@ impl NeState {
             rejoin_attempts: 0,
             merge_probe_target: 0,
             graft_pending: false,
+            telemetry: Telemetry::from_cfg(&cfg),
             cfg,
         }
     }
@@ -477,6 +483,7 @@ impl NeState {
             rejoin_attempts: 0,
             merge_probe_target: 0,
             graft_pending: false,
+            telemetry: Telemetry::from_cfg(&cfg),
             cfg,
         }
     }
@@ -727,6 +734,7 @@ impl NeState {
                     Msg::RejoinRequest { group, member: me },
                 ));
                 self.counters.control_sent += 1;
+                self.telemetry.rejoin_requested(now, cand);
                 return;
             }
         }
@@ -800,7 +808,7 @@ impl NeState {
     /// splice.
     pub(crate) fn grant_rejoin(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         member: NodeId,
         pass: Option<(crate::ids::Epoch, u32, u64)>,
         out: &mut Outbox,
@@ -839,6 +847,7 @@ impl NeState {
             out.push(crate::actions::Action::Record(
                 crate::events::ProtoEvent::RingRejoined { node: me, member },
             ));
+            self.telemetry.rejoin_granted(now, member);
         }
     }
 
@@ -908,9 +917,16 @@ impl NeState {
                 // duplicate-transfer checks and fork a second live token.
                 // Seed the fence from the granter's pass (see
                 // `EpochFence::seed_from_pass` for the rotation-0 edge).
+                let before = ord.fence.best_instance().0;
                 ord.fence.seed_from_pass(pass);
+                let after = ord.fence.best_instance().0;
+                if after != before {
+                    self.telemetry
+                        .epoch_bump(now, crate::telemetry::EpochCause::RejoinSeed, after);
+                }
             }
         }
+        self.telemetry.rejoin_completed(now, me);
         self.after_ring_change(now, out);
     }
 

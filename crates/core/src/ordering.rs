@@ -243,6 +243,8 @@ impl NeState {
                     node: me,
                     epoch: token.epoch,
                 }));
+                self.telemetry
+                    .count(crate::telemetry::metric::STALE_TOKENS_DESTROYED);
                 return;
             }
             crate::ring_epoch::TokenAdmission::DuplicatePass => return,
@@ -317,6 +319,8 @@ impl NeState {
                 }));
             }
             ord.min_unordered = ord.max_local.next();
+            let batch = range.len();
+            self.telemetry.gsn_assigned(now, min_gs, batch);
             assigned = Some((range, min_gs));
         }
         // Keep the two most recent token versions (§4.1); the ablation knob
@@ -333,6 +337,8 @@ impl NeState {
             epoch: token.epoch,
             next_gsn: token.next_gsn,
         }));
+        self.telemetry
+            .token_pass(now, token.epoch, token.rotation, token.next_gsn);
         // The ordering node copies its own just-assigned messages into MQ
         // right away (its WQ already holds them and the numbers are known).
         // This is the robustness anchor of the whole pipeline: even if the

@@ -70,6 +70,8 @@ impl NeState {
                 .clone()
                 .unwrap_or_else(|| OrderingToken::new(group, me))
         };
+        self.telemetry
+            .regen(now, me, crate::telemetry::RegenOutcome::Originated);
         let next = self.ring_next().expect("top-ring node has a ring");
         if next == me {
             // Sole survivor: adopt immediately.
@@ -101,12 +103,16 @@ impl NeState {
         if self.is_partition_fenced() {
             // A fenced minority node destroys regeneration rounds: its side
             // must not extend or revive any token lineage.
+            self.telemetry
+                .regen(now, origin, crate::telemetry::RegenOutcome::Destroyed);
             return;
         }
         let best = {
             let Some(ord) = self.ord.as_mut() else { return };
             if now.saturating_since(ord.last_token_seen) < quiet {
                 // Ordering runs well here: destroy the message.
+                self.telemetry
+                    .regen(now, origin, crate::telemetry::RegenOutcome::Destroyed);
                 return;
             }
             if origin != me && now.saturating_since(ord.last_regen_at) < quiet {
@@ -116,11 +122,15 @@ impl NeState {
                 // Multiple-Token rule could destroy either lineage. The
                 // smaller origin wins, deterministically:
                 if me < origin {
+                    self.telemetry
+                        .regen(now, origin, crate::telemetry::RegenOutcome::Destroyed);
                     return; // destroy theirs; our round continues
                 }
                 // Theirs wins: forward it and refuse to adopt our own
                 // round when (if ever) it comes back.
                 ord.regen_ceded = true;
+                self.telemetry
+                    .regen(now, me, crate::telemetry::RegenOutcome::Ceded);
             }
             // Upgrade the snapshot if ours has assigned further.
             match &ord.new_token {
@@ -134,6 +144,8 @@ impl NeState {
                 // We ceded to a smaller-origin round mid-flight; dropping
                 // our returning round keeps the adoption unique.
                 ord.regen_ceded = false;
+                self.telemetry
+                    .regen(now, me, crate::telemetry::RegenOutcome::Destroyed);
                 return;
             }
             // Full circle of quiet nodes: restart with the best snapshot.
@@ -176,6 +188,10 @@ impl NeState {
             epoch: token.epoch,
             next_gsn: token.next_gsn,
         }));
+        self.telemetry
+            .regen(now, me, crate::telemetry::RegenOutcome::Adopted);
+        self.telemetry
+            .epoch_bump(now, crate::telemetry::EpochCause::Regenerated, token.epoch);
         self.process_and_forward_token(now, token, out);
     }
 }

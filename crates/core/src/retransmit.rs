@@ -33,6 +33,10 @@ impl NeState {
         let (to_request, newly_lost) = self.mq.collect_nacks(self.cfg.nack_budget);
         if !to_request.is_empty() {
             if let Some(up) = self.upstream() {
+                self.telemetry.count_n(
+                    crate::telemetry::metric::NACKS_SENT,
+                    to_request.len() as u64,
+                );
                 out.push(Action::to_ne(
                     up,
                     Msg::DataNack {
@@ -58,6 +62,10 @@ impl NeState {
                         if corr == self.id {
                             continue; // own source's stream has no ring upstream
                         }
+                        self.telemetry.count_n(
+                            crate::telemetry::metric::PREORDER_NACKS_SENT,
+                            missing.len() as u64,
+                        );
                         out.push(Action::to_ne(
                             prev,
                             Msg::PreOrderNack {

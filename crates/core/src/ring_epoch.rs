@@ -201,7 +201,7 @@ impl NeState {
     /// change and fence this node off if its side lost. Called from
     /// `after_ring_change`, so every excision path (heartbeat detection,
     /// `RingFail` broadcasts) funnels through one evaluation point.
-    pub(crate) fn check_partition_fence(&mut self, _now: SimTime, out: &mut Outbox) {
+    pub(crate) fn check_partition_fence(&mut self, now: SimTime, out: &mut Outbox) {
         let me = self.id;
         if self.ord.is_none() || self.top_ring_primary() || self.is_partition_fenced() {
             return;
@@ -224,6 +224,8 @@ impl NeState {
         ord.regen_ceded = false;
         self.pending_rejoins.clear();
         self.merge_probe_target = 0;
+        let epoch = ord.fence.best_instance().0;
+        self.telemetry.partition_fenced(now, epoch, in_ring);
         out.push(Action::Record(ProtoEvent::RingPartitioned {
             node: me,
             in_ring,
@@ -264,6 +266,7 @@ impl NeState {
         }
         r.lifecycle.apply(self.id, LifecycleEvent::MergeStart);
         self.rejoin_attempts = 0;
+        self.telemetry.merge_started(now);
         self.send_rejoin_request(now, out);
     }
 
@@ -306,7 +309,13 @@ impl NeState {
         if let Some(ord) = self.ord.as_mut() {
             ord.last_token_seen = now; // the live token reaches us within a rotation
             if let Some(pass) = pass {
+                let before = ord.fence.best_instance().0;
                 ord.fence.seed_from_pass(pass);
+                let after = ord.fence.best_instance().0;
+                if after != before {
+                    self.telemetry
+                        .epoch_bump(now, crate::telemetry::EpochCause::MergeSeed, after);
+                }
             }
         }
         // Resubmit the own-source messages that queued while fenced: their
@@ -338,6 +347,13 @@ impl NeState {
                 self.counters.data_sent += resubmitted;
             }
         }
+        let epoch = self
+            .ord
+            .as_ref()
+            .map(|o| o.fence.best_instance().0)
+            .unwrap_or(crate::ids::Epoch(0));
+        self.telemetry
+            .merge_completed(now, epoch, u64::from(resubmitted));
         out.push(Action::Record(ProtoEvent::RingMerged {
             node: me,
             resubmitted,

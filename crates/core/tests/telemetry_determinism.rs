@@ -1,0 +1,211 @@
+//! Determinism guarantees of the telemetry layer.
+//!
+//! The flight recorder and metrics registry are simulated-time-only
+//! observers: enabling them must not perturb the protocol (journal
+//! byte-identity), and their own output must be a pure function of
+//! `(scenario, seed, shard count)` — independent of reruns and of the
+//! worker-thread count that drives a sharded world.
+
+use ringnet_core::{MulticastSim, RingNetSim, Scenario, ScenarioBuilder, ScenarioEvent};
+use simnet::{SimDuration, SimTime};
+
+/// A small world with enough fault traffic to exercise every trace-record
+/// kind: a kill + rejoin (RegenRound, EpochBump, RejoinHandshake), a ring
+/// partition + heal (PartitionFence, Merge), a token drop, and a control
+/// replay, over loss-free links so the message path consumes no RNG.
+fn chaotic_scenario(telemetry: bool, shards: usize) -> Scenario {
+    ScenarioBuilder::new()
+        .attachments(4)
+        .walkers_per_attachment(1)
+        .sources(2)
+        .cbr(SimDuration::from_millis(20))
+        .loss_free_wireless()
+        .shards(shards)
+        .telemetry(telemetry)
+        .events([
+            ScenarioEvent::DropToken {
+                at: SimTime::from_millis(400),
+            },
+            ScenarioEvent::KillCore {
+                at: SimTime::from_millis(900),
+                index: 1,
+            },
+            ScenarioEvent::RingRejoin {
+                at: SimTime::from_millis(1600),
+                index: 1,
+            },
+            ScenarioEvent::PartitionRing {
+                at: SimTime::from_millis(2300),
+                isolate: 0,
+            },
+            ScenarioEvent::HealRing {
+                at: SimTime::from_millis(2900),
+                isolate: 0,
+            },
+        ])
+        .duration(SimTime::from_secs(4))
+        .build()
+}
+
+// ------------------------------------------------ journal byte-identity
+
+/// Enabling telemetry must not change a single journal entry: the
+/// recorder observes protocol phases, it never participates in them.
+#[test]
+fn journal_is_byte_identical_with_telemetry_on_and_off() {
+    for seed in [3, 41] {
+        let off = RingNetSim::run_scenario(&chaotic_scenario(false, 1), seed);
+        let on = RingNetSim::run_scenario(&chaotic_scenario(true, 1), seed);
+        assert!(off.telemetry.is_none(), "telemetry off ⇒ no report");
+        assert!(on.telemetry.is_some(), "telemetry on ⇒ report present");
+        assert_eq!(
+            off.journal, on.journal,
+            "seed {seed}: telemetry perturbed the protocol journal"
+        );
+    }
+}
+
+/// Same story on a sharded world: the observer must stay invisible.
+#[test]
+fn sharded_journal_is_byte_identical_with_telemetry_on_and_off() {
+    let off = RingNetSim::run_scenario(&chaotic_scenario(false, 2), 7);
+    let on = RingNetSim::run_scenario(&chaotic_scenario(true, 2), 7);
+    assert_eq!(off.journal, on.journal);
+}
+
+// ------------------------------------------------- dump byte-identity
+
+/// The serialised flight-recorder dump is a pure function of
+/// `(scenario, seed, shard count)`: rerunning the identical world
+/// reproduces it byte for byte.
+#[test]
+fn dump_is_byte_identical_across_reruns() {
+    for shards in [1, 2] {
+        for seed in [11, 29] {
+            let a = RingNetSim::run_scenario(&chaotic_scenario(true, shards), seed);
+            let b = RingNetSim::run_scenario(&chaotic_scenario(true, shards), seed);
+            let a = a.telemetry.expect("telemetry enabled").to_json();
+            let b = b.telemetry.expect("telemetry enabled").to_json();
+            assert_eq!(
+                a, b,
+                "seed {seed}, {shards} shard(s): dump not reproducible"
+            );
+        }
+    }
+}
+
+// --------------------------------------------- worker-count independence
+
+/// Driving the same sharded world with 1 vs 3 worker threads must yield
+/// the identical dump: the conservative-lookahead scheduler guarantees
+/// the event order per shard, and the harvest is keyed, not racy.
+#[test]
+fn dump_is_independent_of_worker_count() {
+    let sc = chaotic_scenario(true, 2);
+    let run = |workers: usize| {
+        let mut sim = <RingNetSim as MulticastSim>::build(&sc, 13);
+        sim.set_workers(workers);
+        for ev in &sc.events {
+            MulticastSim::schedule(&mut sim, *ev);
+        }
+        MulticastSim::run_until(&mut sim, sc.duration);
+        MulticastSim::finish(sim)
+    };
+    let solo = run(1);
+    let pool = run(3);
+    assert_eq!(solo.journal, pool.journal, "journal depends on workers");
+    assert_eq!(
+        solo.telemetry.expect("telemetry enabled").to_json(),
+        pool.telemetry.expect("telemetry enabled").to_json(),
+        "telemetry dump depends on worker count"
+    );
+}
+
+// ------------------------------------- sequential vs sharded equivalence
+
+/// On a loss-free world the message path consumes no RNG, so sharding is
+/// pure scheduling: every node must record the identical trace (same
+/// records, same simulated times, same sequence numbers) whether the
+/// world ran on one event queue or two.
+#[test]
+fn per_node_traces_match_between_sequential_and_sharded_runs() {
+    let seq = RingNetSim::run_scenario(&chaotic_scenario(true, 1), 5);
+    let sha = RingNetSim::run_scenario(&chaotic_scenario(true, 2), 5);
+    let seq = seq.telemetry.expect("telemetry enabled");
+    let sha = sha.telemetry.expect("telemetry enabled");
+    assert_eq!(
+        seq.nodes.keys().collect::<Vec<_>>(),
+        sha.nodes.keys().collect::<Vec<_>>(),
+        "harvested node sets differ"
+    );
+    for (id, a) in &seq.nodes {
+        let b = &sha.nodes[id];
+        assert_eq!(a.records, b.records, "node {id:?}: trace diverged");
+        assert_eq!(a.metrics, b.metrics, "node {id:?}: metrics diverged");
+    }
+    // The merged trace therefore differs only in shard attribution.
+    let strip = |r: &ringnet_core::TelemetryReport| {
+        r.merged_trace()
+            .into_iter()
+            .map(|(n, e)| (e.at, n, e.seq, e.record))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&seq), strip(&sha));
+}
+
+// --------------------------------------------------- report invariants
+
+/// The report actually contains protocol-phase evidence for the chaos we
+/// injected, and the per-node recorders respect the configured bound.
+#[test]
+fn chaos_run_produces_phase_evidence_within_recorder_bounds() {
+    let mut sc = chaotic_scenario(true, 1);
+    sc.cfg.telemetry_capacity = 64;
+    let report = RingNetSim::run_scenario(&sc, 19)
+        .telemetry
+        .expect("enabled");
+    assert!(
+        report.total_counter("token_passes") > 0,
+        "no token rotations observed"
+    );
+    assert!(
+        report.total_counter("partition_fences") > 0,
+        "PartitionRing left no fence evidence"
+    );
+    assert!(
+        report.total_counter("merges") > 0,
+        "HealRing left no merge evidence"
+    );
+    assert!(
+        report.total_counter("rejoins_granted") > 0,
+        "RingRejoin left no handshake evidence"
+    );
+    for dump in report.nodes.values() {
+        assert!(
+            dump.records.len() <= 64,
+            "flight recorder exceeded its bound"
+        );
+    }
+    // With a deep enough recorder nothing is evicted, so every phase the
+    // chaos exercised shows up as a trace record, not just a counter.
+    let mut deep = chaotic_scenario(true, 1);
+    deep.cfg.telemetry_capacity = 4096;
+    let report = RingNetSim::run_scenario(&deep, 19)
+        .telemetry
+        .expect("enabled");
+    let kinds: std::collections::BTreeSet<&'static str> = report
+        .merged_trace()
+        .iter()
+        .map(|(_, e)| e.record.kind())
+        .collect();
+    for kind in [
+        "token_pass",
+        "regen_round",
+        "epoch_bump",
+        "rejoin_handshake",
+        "partition_fence",
+        "merge",
+    ] {
+        assert!(kinds.contains(kind), "no {kind} record in the trace");
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: the telemetry layer built right — simulated-time timestamps,
+// ordered containers everywhere, so the flight recorder is a pure function
+// of `(scenario, seed, shard count)` and dumps are byte-deterministic.
+
+use simnet::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+struct Recorder {
+    last_pass: Option<SimTime>,
+    counters: BTreeMap<&'static str, u64>,
+    records: VecDeque<(SimTime, u64)>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl Recorder {
+    fn trace(&mut self, now: SimTime) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front(); // bounded: evict the oldest
+        }
+        self.records.push_back((now, self.seq));
+        self.seq += 1;
+        self.last_pass = Some(now);
+    }
+
+    fn dump(&self) -> u64 {
+        let mut total = 0;
+        for (_name, v) in &self.counters {
+            total += v; // BTreeMap iterates in key order — deterministic
+        }
+        total + self.records.len() as u64
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: a telemetry layer built the tempting-but-wrong way — wall-clock
+// timestamps, an unordered metrics registry, hash iteration at dump time.
+// Every one of these would make the flight recorder a per-run lottery.
+
+use std::time::Instant; // wall-clock trace timestamps
+
+type Metrics = std::collections::HashMap<&'static str, u64>; // unordered registry
+
+struct Recorder {
+    started: Option<Instant>,
+    metrics: Metrics,
+}
+
+impl Recorder {
+    fn trace(&mut self) {
+        self.started = Some(Instant::now()); // host time in a sim record
+        std::thread::sleep(core::time::Duration::from_micros(1)); // "flush pacing"
+    }
+
+    fn dump(&self, metrics: &Metrics) -> u64 {
+        let mut total = 0;
+        for (_name, v) in metrics {
+            // serialisation order = hasher order
+            total += v;
+        }
+        for v in self.metrics.values() {
+            // same hazard, method form
+            total += v;
+        }
+        total
+    }
+}

@@ -131,6 +131,35 @@ fn determinism_shard_fixture_pair() {
 }
 
 #[test]
+fn telemetry_fixture_pair() {
+    // The observability layer is the newest place wall-clock time and
+    // hash containers sneak into the sim path: a recorder stamping
+    // `Instant::now()` or dumping a HashMap would make every flight
+    // recorder a per-run lottery. The violating fixture builds exactly
+    // that recorder; the clean one is the shape `core::telemetry`
+    // actually uses (SimTime + BTreeMap + bounded VecDeque) and needs no
+    // suppression at all.
+    let bad = lint_as(
+        "ringnet_core",
+        include_str!("../fixtures/telemetry_violating.rs"),
+    );
+    let det: Vec<_> = bad.iter().filter(|f| f.rule == "determinism").collect();
+    assert_eq!(
+        det.len(),
+        7,
+        "3×Instant (use, field, now()), HashMap, sleep, for-in, .values(): {det:?}"
+    );
+    let clean = lint_as(
+        "ringnet_core",
+        include_str!("../fixtures/telemetry_clean.rs"),
+    );
+    assert!(
+        clean.is_empty(),
+        "SimTime + ordered containers need no allows: {clean:?}"
+    );
+}
+
+#[test]
 fn determinism_rule_ignores_non_sim_crates() {
     let krate = crate_spec("harness").unwrap();
     let bad = include_str!("../fixtures/determinism_violating.rs");
