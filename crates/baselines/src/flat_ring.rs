@@ -18,11 +18,13 @@ use std::sync::Arc;
 
 use ringnet_core::driver::{MulticastSim, Reporting, RunReport, Scenario, ScenarioEvent};
 use ringnet_core::engine::{
-    apply_ring_isolation, boxed_mh_actor, boxed_ne_actor, boxed_source_actor,
+    apply_ring_isolation, boxed_multi_mh_actor, boxed_multi_ne_actor, boxed_multicast_source_actor,
     inject_control_replay, wire_size, AddrMap,
 };
 use ringnet_core::hierarchy::{SourceSpec, TrafficPattern};
-use ringnet_core::{GroupId, Guid, MhState, Msg, NeState, NodeId, ProtoEvent, ProtocolConfig};
+use ringnet_core::{
+    CrossGroupFence, GroupId, Guid, MhState, Msg, NeState, NodeId, ProtoEvent, ProtocolConfig,
+};
 use simnet::{LinkProfile, NodeAddr, Sim, SimDuration, SimTime};
 
 /// Parameters of a flat-ring deployment.
@@ -30,6 +32,18 @@ use simnet::{LinkProfile, NodeAddr, Sim, SimDuration, SimTime};
 pub struct FlatRingSpec {
     /// The multicast group.
     pub group: GroupId,
+    /// Additional declared groups (empty = single-group). Every station
+    /// joins every declared group's ring: the flat ring degenerates to one
+    /// full-size ring *per group*, with token origins (and fence funnels)
+    /// rotated across the stations.
+    pub groups: Vec<GroupId>,
+    /// Per-MH subscription sets (parallel to `placements`); missing or
+    /// empty entries subscribe to every declared group.
+    pub subscriptions: Vec<Vec<GroupId>>,
+    /// Per-source target group sets; missing entries default to the single
+    /// group `declared[i % R]`. Two or more groups route through the
+    /// cross-group fence.
+    pub source_groups: Vec<Vec<GroupId>>,
     /// Protocol parameters.
     pub cfg: ProtocolConfig,
     /// Number of base stations on the single ring.
@@ -60,6 +74,9 @@ impl FlatRingSpec {
     pub fn new(stations: usize, mhs_per_station: usize) -> Self {
         FlatRingSpec {
             group: GroupId(1),
+            groups: Vec::new(),
+            subscriptions: Vec::new(),
+            source_groups: Vec::new(),
             cfg: ProtocolConfig::default(),
             stations,
             mhs_per_station,
@@ -137,15 +154,40 @@ impl FlatRingSim {
         }
         let map = Arc::new(map);
 
-        let token_origin = station_ids.iter().min().copied();
+        let declared = {
+            let mut all = spec.groups.clone();
+            all.push(spec.group);
+            all.sort_unstable();
+            all.dedup();
+            all
+        };
+        let multi = declared.len() > 1;
+        assert!(
+            declared.len() <= spec.stations,
+            "{} groups declared but only {} ordering-capable stations",
+            declared.len(),
+            spec.stations
+        );
+        // One ring per group over the same stations; group i's token
+        // origin (and fence funnel) is station i mod N.
+        let funnels: Vec<(GroupId, NodeId)> = declared
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, station_ids[i % station_ids.len()]))
+            .collect();
         for &id in &station_ids {
-            let st =
-                NeState::new_flat_station(spec.group, id, station_ids.clone(), spec.cfg.clone());
-            sim.add_node(boxed_ne_actor(
-                st,
-                Arc::clone(&map),
-                token_origin == Some(id),
-            ));
+            let mut states = Vec::with_capacity(declared.len());
+            let mut originate = Vec::with_capacity(declared.len());
+            for (gi, &g) in declared.iter().enumerate() {
+                let mut st =
+                    NeState::new_flat_station(g, id, station_ids.clone(), spec.cfg.clone());
+                if multi {
+                    st.cross_fence = Some(CrossGroupFence::new(g, funnels.clone()));
+                }
+                states.push(st);
+                originate.push(funnels[gi].1 == id);
+            }
+            sim.add_node(boxed_multi_ne_actor(states, Arc::clone(&map), originate));
         }
         for i in 0..spec.sources {
             let src = SourceSpec {
@@ -154,18 +196,41 @@ impl FlatRingSim {
                 start: spec.start,
                 stop: spec.stop,
                 limit: spec.limit,
+                groups: Vec::new(),
             };
-            let addr = sim.add_node(boxed_source_actor(
-                spec.group,
+            let targets = match spec.source_groups.get(i) {
+                Some(gs) if !gs.is_empty() => {
+                    let mut gs = gs.clone();
+                    gs.sort_unstable();
+                    gs.dedup();
+                    gs
+                }
+                _ => vec![declared[i % declared.len()]],
+            };
+            let addr = sim.add_node(boxed_multicast_source_actor(
+                targets,
+                declared[0],
                 map.ne(src.corresponding)
                     .expect("sources attach to declared stations"),
                 &src,
             ));
             debug_assert_eq!(addr, source_addrs[i]);
         }
-        for &(g, st) in &mh_assignments {
-            let mh = MhState::new(spec.group, g, spec.cfg.clone());
-            sim.add_node(boxed_mh_actor(mh, Arc::clone(&map), Some(st)));
+        for (w, &(g, st)) in mh_assignments.iter().enumerate() {
+            let subs = match spec.subscriptions.get(w) {
+                Some(subs) if !subs.is_empty() => {
+                    let mut subs = subs.clone();
+                    subs.sort_unstable();
+                    subs.dedup();
+                    subs
+                }
+                _ => declared.clone(),
+            };
+            let states: Vec<MhState> = subs
+                .iter()
+                .map(|&gr| MhState::new(gr, g, spec.cfg.clone()))
+                .collect();
+            sim.add_node(boxed_multi_mh_actor(states, Arc::clone(&map), Some(st)));
         }
 
         // Ring mesh between stations (repair paths included) + source and
@@ -359,6 +424,16 @@ impl MulticastSim for FlatRingSim {
         spec.limit = scenario.limit;
         spec.ring_link = scenario.links.top_ring.clone();
         spec.wireless = scenario.links.wireless.clone();
+        let declared = scenario.declared_groups();
+        if declared.len() > 1 {
+            spec.groups = declared;
+            spec.subscriptions = (0..scenario.walkers.len())
+                .map(|w| scenario.subscriptions_of(w))
+                .collect();
+            spec.source_groups = (0..spec.sources)
+                .map(|i| scenario.source_groups_of(i))
+                .collect();
+        }
         let mut sim = FlatRingSim::build(spec, seed);
         let core: BTreeSet<NodeId> = (0..sim.spec.stations as u32).map(NodeId).collect();
         sim.reporting = Reporting::install(&mut sim.sim, scenario, core);

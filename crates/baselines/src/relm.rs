@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use ringnet_core::driver::{MulticastSim, Reporting, RunReport, Scenario, ScenarioEvent};
-use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, PayloadId, ProtoEvent};
+use ringnet_core::{GlobalSeq, GroupId, Guid, LocalSeq, NodeId, PayloadId, ProtoEvent};
 use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimStats, SimTime};
 
 /// Wire messages of the RelM-style baseline.
@@ -77,6 +77,7 @@ struct RelmMap {
 /// The supervisor host: sequencer, group-wide buffer, per-member ACK book.
 struct Supervisor {
     id: NodeId,
+    group: GroupId,
     map: Arc<RelmMap>,
     next_seq: u64,
     /// Retained messages (seq → still-unacked member count is derived).
@@ -140,6 +141,7 @@ impl Actor<RelmMsg, ProtoEvent> for Supervisor {
             }
             RelmMsg::FlushStats => {
                 ctx.record(ProtoEvent::NeFinal {
+                    group: self.group,
                     node: self.id,
                     wq_peak: 0,
                     mq_peak: self.peak_buffer as u32,
@@ -160,6 +162,7 @@ impl Actor<RelmMsg, ProtoEvent> for Supervisor {
 /// A thin MSS relay: SH traffic down to local members, member feedback up.
 struct Mss {
     id: NodeId,
+    group: GroupId,
     members: Vec<Guid>,
     map: Arc<RelmMap>,
     processed: u64,
@@ -184,6 +187,7 @@ impl Actor<RelmMsg, ProtoEvent> for Mss {
             }
             RelmMsg::FlushStats => {
                 ctx.record(ProtoEvent::NeFinal {
+                    group: self.group,
                     node: self.id,
                     wq_peak: 0,
                     mq_peak: 0,
@@ -204,6 +208,7 @@ impl Actor<RelmMsg, ProtoEvent> for Mss {
 /// A RelM member: in-order delivery, periodic cumulative ACKs to the SH.
 struct RelmMh {
     guid: Guid,
+    group: GroupId,
     mss: NodeId,
     map: Arc<RelmMap>,
     highest_contig: u64,
@@ -218,6 +223,7 @@ impl RelmMh {
             self.highest_contig += 1;
             self.delivered += 1;
             ctx.record(ProtoEvent::MhDeliver {
+                group: self.group,
                 mh: self.guid,
                 gsn: GlobalSeq(self.highest_contig),
                 source: NodeId(0),
@@ -241,6 +247,7 @@ impl Actor<RelmMsg, ProtoEvent> for RelmMh {
             }
         } else if let RelmMsg::FlushStats = msg {
             ctx.record(ProtoEvent::MhFinal {
+                group: self.group,
                 mh: self.guid,
                 delivered: self.delivered,
                 skipped: 0,
@@ -324,6 +331,9 @@ impl Actor<RelmMsg, ProtoEvent> for RelmSource {
 /// Parameters of a RelM-style deployment.
 #[derive(Debug, Clone)]
 pub struct RelmSpec {
+    /// The multicast group stamped on journal records (RelM itself is
+    /// single-group; extra declared scenario groups are ignored).
+    pub group: GroupId,
     /// Number of MSSs under the supervisor.
     pub msss: usize,
     /// Members per MSS (ignored when `placements` is set).
@@ -349,6 +359,7 @@ impl RelmSpec {
     /// Defaults matching the comparison experiments.
     pub fn new(msss: usize, mhs_per_mss: usize) -> Self {
         RelmSpec {
+            group: GroupId(1),
             msss,
             mhs_per_mss,
             placements: None,
@@ -419,6 +430,7 @@ impl RelmSim {
         let progress: BTreeMap<Guid, u64> = members.iter().map(|(g, _)| (*g, 0)).collect();
         sim.add_node(Box::new(Supervisor {
             id: NodeId(0),
+            group: spec.group,
             map: Arc::clone(&map),
             next_seq: 0,
             buffer: BTreeMap::new(),
@@ -434,6 +446,7 @@ impl RelmSim {
                 .collect();
             sim.add_node(Box::new(Mss {
                 id: m,
+                group: spec.group,
                 members: local,
                 map: Arc::clone(&map),
                 processed: 0,
@@ -451,6 +464,7 @@ impl RelmSim {
         for &(g, mss) in &members {
             sim.add_node(Box::new(RelmMh {
                 guid: g,
+                group: spec.group,
                 mss,
                 map: Arc::clone(&map),
                 highest_contig: 0,
@@ -514,6 +528,7 @@ impl RelmSim {
 impl MulticastSim for RelmSim {
     fn build(scenario: &Scenario, seed: u64) -> Self {
         let mut spec = RelmSpec::new(scenario.attachments, 0);
+        spec.group = scenario.group;
         spec.placements = Some(scenario.static_placements());
         spec.interval = scenario.pattern.mean_interval();
         spec.start = scenario.start;

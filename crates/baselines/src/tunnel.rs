@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use ringnet_core::driver::{MulticastSim, Reporting, RunReport, Scenario, ScenarioEvent};
-use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, PayloadId, ProtoEvent};
+use ringnet_core::{GlobalSeq, GroupId, Guid, LocalSeq, NodeId, PayloadId, ProtoEvent};
 use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimStats, SimTime};
 
 /// Wire messages of the tunnelling baseline.
@@ -74,6 +74,7 @@ struct TunMap {
 /// The home agent: group subscription point and per-MH tunnel endpoint.
 struct HomeAgent {
     id: NodeId,
+    group: GroupId,
     locations: BTreeMap<Guid, NodeId>,
     map: Arc<TunMap>,
     data_sent: u32,
@@ -102,6 +103,7 @@ impl Actor<TunMsg, ProtoEvent> for HomeAgent {
                 self.locations.insert(guid, new_ap);
                 self.control_sent += 1;
                 ctx.record(ProtoEvent::HandoffRegistered {
+                    group: self.group,
                     mh: guid,
                     ap: new_ap,
                     resume: GlobalSeq::ZERO,
@@ -109,6 +111,7 @@ impl Actor<TunMsg, ProtoEvent> for HomeAgent {
             }
             TunMsg::FlushStats => {
                 ctx.record(ProtoEvent::NeFinal {
+                    group: self.group,
                     node: self.id,
                     wq_peak: 0,
                     mq_peak: 0,
@@ -130,6 +133,7 @@ impl Actor<TunMsg, ProtoEvent> for HomeAgent {
 /// care-of updates back to the HA.
 struct TunAp {
     id: NodeId,
+    group: GroupId,
     map: Arc<TunMap>,
     data_sent: u32,
     control_sent: u32,
@@ -152,6 +156,7 @@ impl Actor<TunMsg, ProtoEvent> for TunAp {
             }
             TunMsg::FlushStats => {
                 ctx.record(ProtoEvent::NeFinal {
+                    group: self.group,
                     node: self.id,
                     wq_peak: 0,
                     mq_peak: 0,
@@ -172,6 +177,7 @@ impl Actor<TunMsg, ProtoEvent> for TunAp {
 /// A tunnelled MH: receives unicast copies; announces care-of changes.
 struct TunMh {
     guid: Guid,
+    group: GroupId,
     ap: NodeId,
     map: Arc<TunMap>,
     delivered: u32,
@@ -191,6 +197,7 @@ impl Actor<TunMsg, ProtoEvent> for TunMh {
                 self.highest = seq;
                 self.delivered += 1;
                 ctx.record(ProtoEvent::MhDeliver {
+                    group: self.group,
                     mh: self.guid,
                     gsn: GlobalSeq(seq),
                     source: NodeId(0),
@@ -216,6 +223,7 @@ impl Actor<TunMsg, ProtoEvent> for TunMh {
             }
             TunMsg::FlushStats => {
                 ctx.record(ProtoEvent::MhFinal {
+                    group: self.group,
                     mh: self.guid,
                     delivered: self.delivered,
                     skipped: 0,
@@ -268,6 +276,9 @@ impl Actor<TunMsg, ProtoEvent> for TunSource {
 /// Parameters of a tunnelling deployment.
 #[derive(Debug, Clone)]
 pub struct TunnelSpec {
+    /// The multicast group stamped on journal records (the tunnel is
+    /// single-group; extra declared scenario groups are ignored).
+    pub group: GroupId,
     /// Number of APs (foreign agents).
     pub aps: usize,
     /// MHs, assigned round-robin over the APs (ignored when `placements`
@@ -294,6 +305,7 @@ impl TunnelSpec {
     /// Defaults used by the comparison experiments.
     pub fn new(aps: usize, mhs: usize) -> Self {
         TunnelSpec {
+            group: GroupId(1),
             aps,
             mhs,
             placements: None,
@@ -356,6 +368,7 @@ impl TunnelSim {
 
         let ha = sim.add_node(Box::new(HomeAgent {
             id: NodeId(0),
+            group: spec.group,
             locations: guids
                 .iter()
                 .enumerate()
@@ -369,6 +382,7 @@ impl TunnelSim {
         for &ap in &ap_ids {
             sim.add_node(Box::new(TunAp {
                 id: ap,
+                group: spec.group,
                 map: Arc::clone(&map),
                 data_sent: 0,
                 control_sent: 0,
@@ -386,6 +400,7 @@ impl TunnelSim {
         for (i, &g) in guids.iter().enumerate() {
             sim.add_node(Box::new(TunMh {
                 guid: g,
+                group: spec.group,
                 ap: ap_ids[assignments[i]],
                 map: Arc::clone(&map),
                 delivered: 0,
@@ -475,6 +490,7 @@ impl TunnelSim {
 impl MulticastSim for TunnelSim {
     fn build(scenario: &Scenario, seed: u64) -> Self {
         let mut spec = TunnelSpec::new(scenario.attachments, scenario.walkers.len());
+        spec.group = scenario.group;
         spec.placements = Some(scenario.walkers.iter().map(|w| w.unwrap_or(0)).collect());
         spec.interval = scenario.pattern.mean_interval();
         spec.start = scenario.start;

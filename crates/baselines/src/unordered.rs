@@ -21,7 +21,7 @@ use ringnet_core::driver::{
 };
 use ringnet_core::hierarchy::TrafficPattern;
 use ringnet_core::{
-    GlobalSeq, Guid, LocalSeq, MessageQueue, MsgData, NodeId, PayloadId, ProtoEvent,
+    GlobalSeq, GroupId, Guid, LocalSeq, MessageQueue, MsgData, NodeId, PayloadId, ProtoEvent,
     ProtocolConfig, WorkingTable,
 };
 use simnet::{Actor, Ctx, LinkProfile, NodeAddr, Sim, SimDuration, SimStats, SimTime};
@@ -121,6 +121,7 @@ pub struct UnRole {
 
 struct UnNe {
     id: NodeId,
+    group: GroupId,
     cfg: ProtocolConfig,
     role: UnRole,
     streams: BTreeMap<NodeId, Stream>,
@@ -311,6 +312,7 @@ impl Actor<UnMsg, ProtoEvent> for UnNe {
             UnMsg::FlushStats => {
                 let wq_peak = 0;
                 ctx.record(ProtoEvent::NeFinal {
+                    group: self.group,
                     node: self.id,
                     wq_peak,
                     mq_peak: self.peak_total as u32,
@@ -338,6 +340,7 @@ impl Actor<UnMsg, ProtoEvent> for UnNe {
 
 struct UnMh {
     guid: Guid,
+    group: GroupId,
     cfg: ProtocolConfig,
     ap: NodeId,
     streams: BTreeMap<NodeId, MessageQueue>,
@@ -374,6 +377,7 @@ impl Actor<UnMsg, ProtoEvent> for UnMh {
                         ringnet_core::DeliverItem::Deliver(gsn, d) => {
                             self.delivered += 1;
                             ctx.record(ProtoEvent::MhDeliver {
+                                group: self.group,
                                 mh: self.guid,
                                 gsn,
                                 source: d.source,
@@ -382,13 +386,18 @@ impl Actor<UnMsg, ProtoEvent> for UnMh {
                         }
                         ringnet_core::DeliverItem::Skip(gsn) => {
                             self.skipped += 1;
-                            ctx.record(ProtoEvent::MhSkip { mh: self.guid, gsn });
+                            ctx.record(ProtoEvent::MhSkip {
+                                group: self.group,
+                                mh: self.guid,
+                                gsn,
+                            });
                         }
                     }
                 }
             }
             UnMsg::FlushStats => {
                 ctx.record(ProtoEvent::MhFinal {
+                    group: self.group,
                     mh: self.guid,
                     delivered: self.delivered,
                     skipped: self.skipped,
@@ -437,6 +446,7 @@ impl Actor<UnMsg, ProtoEvent> for UnMh {
                         ringnet_core::DeliverItem::Deliver(gsn, d) => {
                             self.delivered += 1;
                             skips.push(ProtoEvent::MhDeliver {
+                                group: self.group,
                                 mh: self.guid,
                                 gsn,
                                 source: d.source,
@@ -445,7 +455,11 @@ impl Actor<UnMsg, ProtoEvent> for UnMh {
                         }
                         ringnet_core::DeliverItem::Skip(gsn) => {
                             self.skipped += 1;
-                            skips.push(ProtoEvent::MhSkip { mh: self.guid, gsn });
+                            skips.push(ProtoEvent::MhSkip {
+                                group: self.group,
+                                mh: self.guid,
+                                gsn,
+                            });
                         }
                     }
                 }
@@ -507,6 +521,10 @@ impl Actor<UnMsg, ProtoEvent> for UnSource {
 /// builder's regular shape).
 #[derive(Debug, Clone)]
 pub struct UnorderedSpec {
+    /// The multicast group stamped on journal records (the unordered
+    /// baseline is single-group; extra declared scenario groups are
+    /// ignored).
+    pub group: GroupId,
     /// Protocol parameters (`hop_tick`, budgets, capacities are shared).
     pub cfg: ProtocolConfig,
     /// BRs on the top ring.
@@ -542,6 +560,7 @@ impl UnorderedSpec {
     /// Defaults matching [`ringnet_core::HierarchyBuilder`]'s link plan.
     pub fn new() -> Self {
         UnorderedSpec {
+            group: GroupId(1),
             cfg: ProtocolConfig::default(),
             brs: 4,
             ag_rings: (3, 3),
@@ -699,6 +718,7 @@ impl UnorderedSim {
             };
             sim.add_node(Box::new(UnNe {
                 id,
+                group: spec.group,
                 cfg: spec.cfg.clone(),
                 role,
                 streams: BTreeMap::new(),
@@ -737,6 +757,7 @@ impl UnorderedSim {
                 };
                 sim.add_node(Box::new(UnNe {
                     id,
+                    group: spec.group,
                     cfg: spec.cfg.clone(),
                     role,
                     streams: BTreeMap::new(),
@@ -763,6 +784,7 @@ impl UnorderedSim {
             };
             sim.add_node(Box::new(UnNe {
                 id,
+                group: spec.group,
                 cfg: spec.cfg.clone(),
                 role,
                 streams: BTreeMap::new(),
@@ -785,6 +807,7 @@ impl UnorderedSim {
         for &(g, _, ap) in &mhs {
             sim.add_node(Box::new(UnMh {
                 guid: g,
+                group: spec.group,
                 cfg: spec.cfg.clone(),
                 ap,
                 streams: BTreeMap::new(),
@@ -876,6 +899,7 @@ impl UnorderedSim {
 impl MulticastSim for UnorderedSim {
     fn build(scenario: &Scenario, seed: u64) -> Self {
         let mut spec = UnorderedSpec::new();
+        spec.group = scenario.group;
         spec.cfg = scenario.cfg.clone();
         match scenario.shape {
             CoreShape::Hierarchy {

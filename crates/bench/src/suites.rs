@@ -322,6 +322,98 @@ pub fn full_sweep(r: &mut Runner) {
             || black_box(RingNetSim::run_scenario(&sc, 7).metrics.delivered),
         );
     }
+
+    // Multi-group ring sharding: the same fixed aggregate offered load
+    // (8 CBR sources × 500 msg/s = 4 000 msg/s) split across R disjoint
+    // per-group token rings, with `mq_capacity` shrunk to 128 so a single
+    // ring's delivery pipeline saturates and the per-ring buffer budget is
+    // what binds. Sources round-robin onto the declared groups (the
+    // scenario default) and every walker subscribes to every group, so the
+    // potential delivery set is identical at every R. `elements` records
+    // the messages actually delivered in the fixed 2-simulated-second
+    // window — the aggregate *sim-time* delivered throughput the scaling
+    // table in EXPERIMENTS.md quotes. The saturated single ring collapses
+    // under NACK-recovery churn while two rings already carry the full
+    // load, so R=4 clears the required ≥ 3× over R=1 with a wide margin.
+    let multigroup_scenario = |rings: u32| {
+        let mut sc = Scenario::builder()
+            .attachments(8)
+            .walkers_per_attachment(1)
+            .sources(8)
+            .cbr(SimDuration::from_millis(2))
+            .loss_free_wireless()
+            .duration(SimTime::from_secs(2))
+            .groups((1..=rings).map(GroupId).collect())
+            .build();
+        sc.cfg.mq_capacity = 128;
+        sc.cfg = sc.cfg.quiet();
+        sc.retain_journal = false;
+        sc
+    };
+    let mut delivered_at_rings = std::collections::BTreeMap::new();
+    for rings in [1u32, 2, 4, 8] {
+        let sc = multigroup_scenario(rings);
+        let delivered = RingNetSim::run_scenario(&sc, 7).metrics.delivered;
+        delivered_at_rings.insert(rings, delivered);
+        r.bench(
+            "full_sweep",
+            &format!("multigroup_throughput_rings_{rings}"),
+            Some(delivered),
+            || {
+                let rep = RingNetSim::run_scenario(&sc, 7);
+                assert_eq!(rep.metrics.delivered, delivered, "run not deterministic");
+                black_box(rep.metrics.delivered)
+            },
+        );
+    }
+    assert!(
+        delivered_at_rings[&4] >= 3 * delivered_at_rings[&1],
+        "4 rings must deliver ≥ 3× a saturated single ring at fixed offered \
+         load (got {} vs {})",
+        delivered_at_rings[&4],
+        delivered_at_rings[&1]
+    );
+
+    // Overlap-heavy variant: same aggregate offered load on 4 rings, but
+    // every source targets *two* adjacent groups, so every message routes
+    // through the cross-group fence sequencer and is ordered on two rings
+    // (potential deliveries double: each walker receives the message once
+    // per subscribed ring). The row tracks what fencing everything costs
+    // relative to the disjoint R=4 split.
+    let overlap_heavy = {
+        let rings = 4u32;
+        let mut sc = Scenario::builder()
+            .attachments(8)
+            .walkers_per_attachment(1)
+            .sources(8)
+            .cbr(SimDuration::from_millis(2))
+            .loss_free_wireless()
+            .duration(SimTime::from_secs(2))
+            .groups((1..=rings).map(GroupId).collect())
+            .source_groups(
+                (0..8u32)
+                    .map(|i| vec![GroupId(i % rings + 1), GroupId((i + 1) % rings + 1)])
+                    .collect(),
+            )
+            .build();
+        sc.cfg.mq_capacity = 128;
+        sc.cfg = sc.cfg.quiet();
+        sc.retain_journal = false;
+        sc
+    };
+    let overlap_delivered = RingNetSim::run_scenario(&overlap_heavy, 7)
+        .metrics
+        .delivered;
+    r.bench(
+        "full_sweep",
+        "multigroup_throughput_overlap_heavy",
+        Some(overlap_delivered),
+        || {
+            let rep = RingNetSim::run_scenario(&overlap_heavy, 7);
+            assert_eq!(rep.metrics.delivered, overlap_delivered);
+            black_box(rep.metrics.delivered)
+        },
+    );
 }
 
 /// One bench per paper table/figure (DESIGN.md §4): each runs the

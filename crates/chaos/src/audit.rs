@@ -7,23 +7,32 @@
 //! after-the-fact summary:
 //!
 //! * **Total order**: every walker's delivered global sequence numbers
-//!   strictly increase, and the `GSN ↔ (source, local_seq)` mapping agreed
-//!   on by ordering nodes and walkers is a function — no GSN is assigned
-//!   or delivered for two different messages, which together with per-walker
-//!   monotonicity gives pairwise agreement across members.
-//! * **No duplicates**: no walker delivers the same GSN twice, no ordering
-//!   node assigns the same GSN twice.
-//! * **Per-stream FIFO**: per `(walker, stream)` the per-source sequence
-//!   numbers strictly increase (the one safety property even the unordered
-//!   baseline promises).
+//!   strictly increase *per group* (each group runs its own token ring, so
+//!   each group is its own GSN space), and the per-group
+//!   `GSN ↔ (source, local_seq)` mapping agreed on by ordering nodes and
+//!   walkers is a function — no GSN is assigned or delivered for two
+//!   different messages, which together with per-walker monotonicity gives
+//!   pairwise agreement across members of a group.
+//! * **Cross-group agreement** (checked at [`Auditor::finish`]): any two
+//!   messages that were ordered in two or more *common* groups got GSNs
+//!   whose relative order agrees in every common group. With per-walker
+//!   per-group monotonicity this is exactly the fence promise: two
+//!   overlapping multicasts deliver in the same relative order at every
+//!   common subscriber, no matter which of its rings delivered them.
+//! * **No duplicates**: no walker delivers the same GSN twice in a group,
+//!   no ordering node assigns the same `(group, GSN)` twice.
+//! * **Per-stream FIFO**: per `(walker, group, stream)` the per-source
+//!   sequence numbers strictly increase (the one safety property even the
+//!   unordered baseline promises).
 //! * **Gap-freedom**: a walker's merged deliver/skip chain advances by
 //!   exactly one GSN at a time after its join point — a message can be
 //!   *skipped* (really lost, and recorded as such) but never silently
 //!   dropped. Only meaningful for backends that record per-GSN skips (the
 //!   RingNet-engine family).
 //! * **Liveness** (optional, checked at [`Auditor::finish`]): every
-//!   non-exempt walker delivered or skipped something within the closing
-//!   window of the run — faults must heal, not strand members.
+//!   non-exempt walker delivered or skipped something (in any of its
+//!   groups) within the closing window of the run — faults must heal, not
+//!   strand members.
 //!
 //! The first violation is kept with full context; later events still feed
 //! the counters so a report can say how widespread the damage was.
@@ -31,25 +40,32 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use ringnet_core::{GlobalSeq, Guid, LocalSeq, NodeId, ProtoEvent};
+use ringnet_core::{GlobalSeq, GroupId, Guid, LocalSeq, NodeId, ProtoEvent};
 use simnet::{SimDuration, SimTime};
 
 /// What kind of safety property a [`Violation`] breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ViolationKind {
-    /// A walker delivered a GSN ≤ one it had already delivered.
+    /// A walker delivered a GSN ≤ one it had already delivered in the same
+    /// group.
     OrderInversion,
-    /// A walker delivered the same GSN twice.
+    /// A walker delivered the same `(group, GSN)` twice.
     DuplicateDelivery,
-    /// An ordering node assigned the same GSN twice.
+    /// An ordering node assigned the same `(group, GSN)` twice.
     DuplicateAssignment,
-    /// The same GSN was observed for two different `(source, local_seq)`
-    /// messages (ordering nodes and walkers disagree on what the GSN is).
+    /// The same `(group, GSN)` was observed for two different
+    /// `(source, local_seq)` messages (ordering nodes and walkers disagree
+    /// on what the GSN is).
     AssignmentMismatch,
-    /// Per `(walker, stream)` sequence numbers did not strictly increase.
+    /// Per `(walker, group, stream)` sequence numbers did not strictly
+    /// increase.
     FifoViolation,
     /// A walker's deliver/skip chain jumped over a GSN with no skip record.
     GsnGap,
+    /// Two messages ordered in ≥ 2 common groups got GSNs whose relative
+    /// order differs between two of those groups — the cross-group fence
+    /// let overlapping multicasts swap on one of the rings.
+    CrossGroupOrder,
     /// A walker went silent: nothing delivered or skipped within the
     /// closing liveness window.
     Silence,
@@ -67,6 +83,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::AssignmentMismatch => "GSN/message mismatch",
             ViolationKind::FifoViolation => "per-stream FIFO violation",
             ViolationKind::GsnGap => "unexplained GSN gap",
+            ViolationKind::CrossGroupOrder => "cross-group order divergence",
             ViolationKind::Silence => "walker silent in liveness window",
             ViolationKind::OrderingStalled => "ordering stalled after recovery",
         };
@@ -105,9 +122,10 @@ pub struct LivenessCheck {
 /// Which checks the auditor runs — not every backend makes every promise.
 #[derive(Debug, Clone)]
 pub struct AuditConfig {
-    /// GSN-based checks: per-walker monotonicity, duplicate assignment,
-    /// assignment agreement. Off for the unordered baseline, whose
-    /// `MhDeliver.gsn` is a per-stream number.
+    /// GSN-based checks: per-walker per-group monotonicity, duplicate
+    /// assignment, assignment agreement, cross-group order agreement. Off
+    /// for the unordered baseline, whose `MhDeliver.gsn` is a per-stream
+    /// number.
     pub check_gsn_order: bool,
     /// Gap-freedom of the merged deliver/skip chain. Only for backends
     /// that record per-GSN skips (the RingNet-engine family).
@@ -146,6 +164,9 @@ pub struct AuditReport {
     pub skips: u64,
     /// Distinct walkers that delivered or skipped something.
     pub walkers_seen: usize,
+    /// Messages seen ordered in two or more groups (the population the
+    /// cross-group agreement check ran over; `0` in single-group worlds).
+    pub cross_group_messages: usize,
 }
 
 impl AuditReport {
@@ -167,14 +188,23 @@ struct WalkerState {
 
 /// The streaming auditor. Feed with [`Auditor::observe`] (or a whole
 /// journal via [`Auditor::observe_journal`]), then [`Auditor::finish`].
+///
+/// Every GSN-shaped piece of state is keyed by group: one token ring per
+/// group means one GSN space per group, and a GSN only means anything
+/// relative to the ring that assigned it.
 #[derive(Debug)]
 pub struct Auditor {
     cfg: AuditConfig,
-    walkers: BTreeMap<Guid, WalkerState>,
-    /// What each GSN means, agreed across ordering nodes and walkers.
-    gsn_meaning: BTreeMap<GlobalSeq, (NodeId, LocalSeq)>,
-    /// GSNs that appeared in an `Ordered` record (duplicate-assignment check).
-    assigned: BTreeMap<GlobalSeq, NodeId>,
+    walkers: BTreeMap<(Guid, GroupId), WalkerState>,
+    /// What each per-group GSN means, agreed across ordering nodes and
+    /// walkers.
+    gsn_meaning: BTreeMap<(GroupId, GlobalSeq), (NodeId, LocalSeq)>,
+    /// `(group, GSN)`s that appeared in an `Ordered` record
+    /// (duplicate-assignment check).
+    assigned: BTreeMap<(GroupId, GlobalSeq), NodeId>,
+    /// Per-message assignment positions across rings, fed from `Ordered`
+    /// records: the raw material of the cross-group agreement check.
+    cross: BTreeMap<(NodeId, LocalSeq), Vec<(GroupId, GlobalSeq)>>,
     first_violation: Option<Violation>,
     violations: u64,
     deliveries: u64,
@@ -191,6 +221,7 @@ impl Auditor {
             walkers: BTreeMap::new(),
             gsn_meaning: BTreeMap::new(),
             assigned: BTreeMap::new(),
+            cross: BTreeMap::new(),
             first_violation: None,
             violations: 0,
             deliveries: 0,
@@ -206,19 +237,28 @@ impl Auditor {
         }
     }
 
-    /// Register what a GSN means; trip on disagreement.
-    fn meaning(&mut self, at: SimTime, gsn: GlobalSeq, source: NodeId, ls: LocalSeq, who: &str) {
-        match self.gsn_meaning.get(&gsn) {
+    /// Register what a `(group, GSN)` means; trip on disagreement.
+    fn meaning(
+        &mut self,
+        at: SimTime,
+        group: GroupId,
+        gsn: GlobalSeq,
+        source: NodeId,
+        ls: LocalSeq,
+        who: &str,
+    ) {
+        match self.gsn_meaning.get(&(group, gsn)) {
             None => {
-                self.gsn_meaning.insert(gsn, (source, ls));
+                self.gsn_meaning.insert((group, gsn), (source, ls));
             }
             Some(&(s0, l0)) if (s0, l0) != (source, ls) => {
                 self.violate(
                     at,
                     ViolationKind::AssignmentMismatch,
                     format!(
-                        "{who}: gsn {} means (src {}, seq {}) but was first seen as (src {}, seq {})",
-                        gsn.0, source.0, ls.0, s0.0, l0.0
+                        "{who}: group {} gsn {} means (src {}, seq {}) \
+                         but was first seen as (src {}, seq {})",
+                        group.0, gsn.0, source.0, ls.0, s0.0, l0.0
                     ),
                 );
             }
@@ -231,24 +271,30 @@ impl Auditor {
         match *e {
             ProtoEvent::Ordered {
                 node,
+                group,
                 source,
                 local_seq,
                 gsn,
             } if self.cfg.check_gsn_order => {
-                if let Some(prev) = self.assigned.insert(gsn, node) {
+                if let Some(prev) = self.assigned.insert((group, gsn), node) {
                     self.violate(
                         t,
                         ViolationKind::DuplicateAssignment,
                         format!(
-                            "gsn {} assigned at node {} but already assigned at node {}",
-                            gsn.0, node.0, prev.0
+                            "group {} gsn {} assigned at node {} but already assigned at node {}",
+                            group.0, gsn.0, node.0, prev.0
                         ),
                     );
                 }
-                self.meaning(t, gsn, source, local_seq, "ordering node");
+                self.meaning(t, group, gsn, source, local_seq, "ordering node");
+                self.cross
+                    .entry((source, local_seq))
+                    .or_default()
+                    .push((group, gsn));
             }
             ProtoEvent::MhDeliver {
                 mh,
+                group,
                 gsn,
                 source,
                 local_seq,
@@ -256,11 +302,11 @@ impl Auditor {
                 self.deliveries += 1;
                 self.last_delivery = Some(t);
                 if self.cfg.check_gsn_order {
-                    self.meaning(t, gsn, source, local_seq, "walker");
+                    self.meaning(t, group, gsn, source, local_seq, "walker");
                 }
                 let check_gsn = self.cfg.check_gsn_order;
                 let check_gap = self.cfg.check_gap_freedom;
-                let st = self.walkers.entry(mh).or_default();
+                let st = self.walkers.entry((mh, group)).or_default();
                 st.last_progress = t;
                 let last = st.last_gsn;
                 // Per-stream FIFO — the one promise every backend makes.
@@ -277,7 +323,10 @@ impl Auditor {
                             self.violate(
                                 t,
                                 ViolationKind::DuplicateDelivery,
-                                format!("walker {} delivered gsn {} twice", mh.0, gsn.0),
+                                format!(
+                                    "walker {} delivered group {} gsn {} twice",
+                                    mh.0, group.0, gsn.0
+                                ),
                             );
                         }
                         Some(prev) if gsn < prev => {
@@ -285,8 +334,8 @@ impl Auditor {
                                 t,
                                 ViolationKind::OrderInversion,
                                 format!(
-                                    "walker {} delivered gsn {} after gsn {}",
-                                    mh.0, gsn.0, prev.0
+                                    "walker {} delivered group {} gsn {} after gsn {}",
+                                    mh.0, group.0, gsn.0, prev.0
                                 ),
                             );
                         }
@@ -295,31 +344,34 @@ impl Auditor {
                                 t,
                                 ViolationKind::GsnGap,
                                 format!(
-                                    "walker {} jumped from gsn {} to {} with no skip records",
-                                    mh.0, prev.0, gsn.0
+                                    "walker {} jumped from group {} gsn {} to {} \
+                                     with no skip records",
+                                    mh.0, group.0, prev.0, gsn.0
                                 ),
                             );
                         }
                         _ => {}
                     }
-                    self.walkers.get_mut(&mh).expect("just inserted").last_gsn =
-                        Some(last.map_or(gsn, |p| p.max(gsn)));
+                    self.walkers
+                        .get_mut(&(mh, group))
+                        .expect("just inserted")
+                        .last_gsn = Some(last.map_or(gsn, |p| p.max(gsn)));
                 }
                 if let Some(prev) = fifo_bad {
                     self.violate(
                         t,
                         ViolationKind::FifoViolation,
                         format!(
-                            "walker {} stream {}: seq {} after seq {}",
-                            mh.0, source.0, local_seq.0, prev.0
+                            "walker {} group {} stream {}: seq {} after seq {}",
+                            mh.0, group.0, source.0, local_seq.0, prev.0
                         ),
                     );
                 }
             }
-            ProtoEvent::MhSkip { mh, gsn } if self.cfg.check_gsn_order => {
+            ProtoEvent::MhSkip { mh, group, gsn } if self.cfg.check_gsn_order => {
                 self.skips += 1;
                 let check_gap = self.cfg.check_gap_freedom;
-                let st = self.walkers.entry(mh).or_default();
+                let st = self.walkers.entry((mh, group)).or_default();
                 st.last_progress = t;
                 let last = st.last_gsn;
                 match last {
@@ -328,8 +380,8 @@ impl Auditor {
                             t,
                             ViolationKind::OrderInversion,
                             format!(
-                                "walker {} skipped gsn {} at or below its front {}",
-                                mh.0, gsn.0, prev.0
+                                "walker {} skipped group {} gsn {} at or below its front {}",
+                                mh.0, group.0, gsn.0, prev.0
                             ),
                         );
                     }
@@ -338,15 +390,17 @@ impl Auditor {
                             t,
                             ViolationKind::GsnGap,
                             format!(
-                                "walker {} skipped from gsn {} to {} leaving a hole",
-                                mh.0, prev.0, gsn.0
+                                "walker {} skipped from group {} gsn {} to {} leaving a hole",
+                                mh.0, group.0, prev.0, gsn.0
                             ),
                         );
                     }
                     _ => {}
                 }
-                self.walkers.get_mut(&mh).expect("just inserted").last_gsn =
-                    Some(last.map_or(gsn, |p| p.max(gsn)));
+                self.walkers
+                    .get_mut(&(mh, group))
+                    .expect("just inserted")
+                    .last_gsn = Some(last.map_or(gsn, |p| p.max(gsn)));
             }
             _ => {}
         }
@@ -359,9 +413,75 @@ impl Auditor {
         }
     }
 
-    /// Close the audit at simulated time `end`, running the liveness and
-    /// post-recovery ordering checks.
+    /// The cross-group agreement check: for every pair of groups, the
+    /// messages ordered in *both* must have the same relative order on both
+    /// rings. Per group pair `(g1, g2)` the `(gsn_in_g1, gsn_in_g2)` points
+    /// of the shared messages must be co-monotone — sorting by the first
+    /// coordinate, the second must strictly increase. Returns the number of
+    /// messages that appeared in ≥ 2 groups.
+    fn check_cross_group(&mut self, end: SimTime) -> usize {
+        // One shared message's footprint on a group pair: its GSN in each
+        // group, plus its journal identity for the violation message.
+        type PairPoint = (GlobalSeq, GlobalSeq, NodeId, LocalSeq);
+        let mut shared = 0usize;
+        let mut pairs: BTreeMap<(GroupId, GroupId), Vec<PairPoint>> = BTreeMap::new();
+        for (&(source, ls), gsns) in &self.cross {
+            if gsns.len() < 2 {
+                continue;
+            }
+            shared += 1;
+            for i in 0..gsns.len() {
+                for j in i + 1..gsns.len() {
+                    let (a, b) = if gsns[i].0 <= gsns[j].0 {
+                        (gsns[i], gsns[j])
+                    } else {
+                        (gsns[j], gsns[i])
+                    };
+                    if a.0 == b.0 {
+                        // Same group twice = duplicate assignment, already
+                        // tripped; not a cross-group datum.
+                        continue;
+                    }
+                    pairs
+                        .entry((a.0, b.0))
+                        .or_default()
+                        .push((a.1, b.1, source, ls));
+                }
+            }
+        }
+        let mut divergences: Vec<(SimTime, ViolationKind, String)> = Vec::new();
+        for ((g1, g2), mut pts) in pairs {
+            pts.sort_unstable_by_key(|p| p.0);
+            for w in pts.windows(2) {
+                let (a1, a2, src_a, ls_a) = w[0];
+                let (b1, b2, src_b, ls_b) = w[1];
+                if a2 >= b2 {
+                    divergences.push((
+                        end,
+                        ViolationKind::CrossGroupOrder,
+                        format!(
+                            "messages (src {}, seq {}) and (src {}, seq {}) order as \
+                             {} < {} in group {} but {} ≥ {} in group {}",
+                            src_a.0, ls_a.0, src_b.0, ls_b.0, a1.0, b1.0, g1.0, a2.0, b2.0, g2.0
+                        ),
+                    ));
+                }
+            }
+        }
+        for (at, kind, detail) in divergences {
+            self.violate(at, kind, detail);
+        }
+        shared
+    }
+
+    /// Close the audit at simulated time `end`, running the cross-group
+    /// agreement, liveness and post-recovery ordering checks.
     pub fn finish(mut self, end: SimTime) -> AuditReport {
+        let cross_group_messages = if self.cfg.check_gsn_order {
+            self.check_cross_group(end)
+        } else {
+            0
+        };
         if let Some(after) = self.cfg.ordering_resumed_after.take() {
             let resumed = self.last_delivery.is_some_and(|t| t >= after);
             if !resumed {
@@ -381,15 +501,17 @@ impl Auditor {
         }
         if let Some(liveness) = self.cfg.liveness.take() {
             for &w in &liveness.walkers {
-                let late_enough = match self.walkers.get(&Guid(w)) {
-                    Some(st) => st.last_progress + liveness.window >= end,
-                    None => false,
-                };
+                // Progress in *any* of the walker's groups counts: a fault
+                // strands a walker, not one of its subscriptions.
+                let last_progress = self
+                    .walkers
+                    .range((Guid(w), GroupId(u32::MIN))..=(Guid(w), GroupId(u32::MAX)))
+                    .map(|(_, st)| st.last_progress)
+                    .max();
+                let late_enough = last_progress.is_some_and(|last| last + liveness.window >= end);
                 if !late_enough {
-                    let last = self
-                        .walkers
-                        .get(&Guid(w))
-                        .map(|s| s.last_progress.to_string())
+                    let last = last_progress
+                        .map(|t| t.to_string())
                         .unwrap_or_else(|| "never".into());
                     self.violate(
                         end,
@@ -402,12 +524,21 @@ impl Auditor {
                 }
             }
         }
+        let mut walkers_seen = 0usize;
+        let mut prev: Option<Guid> = None;
+        for &(mh, _) in self.walkers.keys() {
+            if prev != Some(mh) {
+                walkers_seen += 1;
+                prev = Some(mh);
+            }
+        }
         AuditReport {
             first_violation: self.first_violation,
             violations: self.violations,
             deliveries: self.deliveries,
             skips: self.skips,
-            walkers_seen: self.walkers.len(),
+            walkers_seen,
+            cross_group_messages,
         }
     }
 }
@@ -416,11 +547,14 @@ impl Auditor {
 mod tests {
     use super::*;
 
+    const G: GroupId = GroupId(1);
+
     fn deliver(t: u64, mh: u32, gsn: u64) -> (SimTime, ProtoEvent) {
         (
             SimTime::from_millis(t),
             ProtoEvent::MhDeliver {
                 mh: Guid(mh),
+                group: G,
                 gsn: GlobalSeq(gsn),
                 source: NodeId(0),
                 local_seq: LocalSeq(gsn),
@@ -433,6 +567,20 @@ mod tests {
             SimTime::from_millis(t),
             ProtoEvent::MhSkip {
                 mh: Guid(mh),
+                group: G,
+                gsn: GlobalSeq(gsn),
+            },
+        )
+    }
+
+    fn ordered_in(t: u64, group: u32, gsn: u64, src: u32, ls: u64) -> (SimTime, ProtoEvent) {
+        (
+            SimTime::from_millis(t),
+            ProtoEvent::Ordered {
+                node: NodeId(group),
+                group: GroupId(group),
+                source: NodeId(src),
+                local_seq: LocalSeq(ls),
                 gsn: GlobalSeq(gsn),
             },
         )
@@ -493,6 +641,7 @@ mod tests {
                 SimTime::from_millis(1),
                 ProtoEvent::MhDeliver {
                     mh: Guid(0),
+                    group: G,
                     gsn: GlobalSeq(1),
                     source: NodeId(0),
                     local_seq: LocalSeq(1),
@@ -502,6 +651,7 @@ mod tests {
                 SimTime::from_millis(2),
                 ProtoEvent::MhDeliver {
                     mh: Guid(1),
+                    group: G,
                     gsn: GlobalSeq(1),
                     source: NodeId(0),
                     local_seq: LocalSeq(2), // different message, same gsn
@@ -522,6 +672,7 @@ mod tests {
                 SimTime::from_millis(t),
                 ProtoEvent::Ordered {
                     node: NodeId(node),
+                    group: G,
                     source: NodeId(node),
                     local_seq: LocalSeq(1),
                     gsn: GlobalSeq(gsn),
@@ -536,6 +687,72 @@ mod tests {
     }
 
     #[test]
+    fn gsn_spaces_are_per_group() {
+        // The same GSN in two different groups is two different slots: no
+        // duplicate assignment, no duplicate delivery, and each group's
+        // chain is checked on its own.
+        let j = vec![
+            ordered_in(1, 1, 7, 0, 1),
+            ordered_in(2, 2, 7, 5, 1),
+            (
+                SimTime::from_millis(3),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(0),
+                    group: GroupId(1),
+                    gsn: GlobalSeq(7),
+                    source: NodeId(0),
+                    local_seq: LocalSeq(1),
+                },
+            ),
+            (
+                SimTime::from_millis(4),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(0),
+                    group: GroupId(2),
+                    gsn: GlobalSeq(7),
+                    source: NodeId(5),
+                    local_seq: LocalSeq(1),
+                },
+            ),
+        ];
+        let r = audit(&j);
+        assert!(r.is_clean(), "{:?}", r.first_violation);
+        assert_eq!(r.cross_group_messages, 0);
+    }
+
+    #[test]
+    fn cross_group_agreement_passes_when_orders_match() {
+        // Two fenced messages from source 9 land in groups 1 and 2; their
+        // relative order agrees on both rings (ring-local positions differ,
+        // the *order* is what must match).
+        let j = vec![
+            ordered_in(1, 1, 4, 9, 1),
+            ordered_in(2, 2, 11, 9, 1),
+            ordered_in(3, 1, 5, 9, 2),
+            ordered_in(4, 2, 13, 9, 2),
+        ];
+        let r = audit(&j);
+        assert!(r.is_clean(), "{:?}", r.first_violation);
+        assert_eq!(r.cross_group_messages, 2);
+    }
+
+    #[test]
+    fn forged_cross_ring_swap_is_caught() {
+        // Same two fenced messages, but group 2's ring is forged to order
+        // them the other way round: seq 2 below seq 1.
+        let j = vec![
+            ordered_in(1, 1, 4, 9, 1),
+            ordered_in(2, 2, 13, 9, 1),
+            ordered_in(3, 1, 5, 9, 2),
+            ordered_in(4, 2, 11, 9, 2),
+        ];
+        let r = audit(&j);
+        let v = r.first_violation.expect("swap must be caught");
+        assert_eq!(v.kind, ViolationKind::CrossGroupOrder);
+        assert!(v.detail.contains("group 2"), "{}", v.detail);
+    }
+
+    #[test]
     fn fifo_checked_even_without_gsn_checks() {
         let j = vec![deliver(1, 0, 1), {
             // Same stream seq again, new "gsn" — unordered-style journal.
@@ -543,6 +760,7 @@ mod tests {
                 SimTime::from_millis(2),
                 ProtoEvent::MhDeliver {
                     mh: Guid(0),
+                    group: G,
                     gsn: GlobalSeq(9),
                     source: NodeId(0),
                     local_seq: LocalSeq(1),
@@ -586,5 +804,44 @@ mod tests {
         // A walker that never appears at all is silent too.
         let r = run(vec![2]);
         assert_eq!(r.first_violation.unwrap().kind, ViolationKind::Silence);
+    }
+
+    #[test]
+    fn liveness_counts_progress_in_any_group() {
+        // Walker 0 subscribes to two groups; its only recent progress is in
+        // group 2 — that is still progress.
+        let j = vec![
+            (
+                SimTime::from_millis(100),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(0),
+                    group: GroupId(1),
+                    gsn: GlobalSeq(1),
+                    source: NodeId(0),
+                    local_seq: LocalSeq(1),
+                },
+            ),
+            (
+                SimTime::from_millis(5_900),
+                ProtoEvent::MhDeliver {
+                    mh: Guid(0),
+                    group: GroupId(2),
+                    gsn: GlobalSeq(1),
+                    source: NodeId(5),
+                    local_seq: LocalSeq(1),
+                },
+            ),
+        ];
+        let mut a = Auditor::new(AuditConfig {
+            liveness: Some(LivenessCheck {
+                window: SimDuration::from_secs(2),
+                walkers: vec![0],
+            }),
+            ..AuditConfig::default()
+        });
+        a.observe_journal(&j);
+        let r = a.finish(SimTime::from_secs(6));
+        assert!(r.is_clean(), "{:?}", r.first_violation);
+        assert_eq!(r.walkers_seen, 1);
     }
 }

@@ -22,6 +22,7 @@
 
 use ringnet_core::driver::{ReplayKind, Scenario, ScenarioBuilder, ScenarioEvent};
 use ringnet_core::hierarchy::TrafficPattern;
+use ringnet_core::GroupId;
 use simnet::{LinkProfile, LossModel, SimDuration, SimRng, SimTime};
 
 /// The four sizes of generated world, selected via [`ChaosConfig::tier`].
@@ -104,6 +105,19 @@ pub struct ChaosConfig {
     pub allow_control_replay: bool,
     /// Schedule forced token loss.
     pub allow_token_drop: bool,
+    /// Generate multi-group worlds: 2..=[`ChaosConfig::max_groups`]
+    /// declared groups (one token ring each), per-walker subscription
+    /// sets, and per-source target sets — including overlapping ≥ 2-group
+    /// targets that route through the cross-group fence. Multi-group
+    /// worlds keep the mobility / AP-fault mix but suppress the wired-core
+    /// fault repertoire (kills, rejoins, partitions, control replays,
+    /// token drops): those events address one shared ring's index space,
+    /// and on a fleet of rings each ring owns its own recovery story.
+    pub allow_multi_group: bool,
+    /// Largest declared group count of a multi-group world (also bounded
+    /// by the attachment count — the flat ring hosts one ring per group
+    /// over its stations).
+    pub max_groups: usize,
     /// The liveness window the soak audits with; fault times stay clear of
     /// the last `liveness_window + 1s` of the run so recovery can complete.
     pub liveness_window: SimDuration,
@@ -139,6 +153,8 @@ impl Default for ChaosConfig {
             allow_ring_partition: true,
             allow_control_replay: true,
             allow_token_drop: true,
+            allow_multi_group: true,
+            max_groups: 4,
             liveness_window: SimDuration::from_secs(2),
             telemetry: false,
         }
@@ -190,6 +206,9 @@ impl ChaosConfig {
             max_duration: SimDuration::from_millis(3_500),
             allow_lossy_wireless: false,
             allow_late_joins: false,
+            // The massive tier proves raw scale on the sharded engine;
+            // group structure is the other tiers' job.
+            allow_multi_group: false,
             ..ChaosConfig::default()
         }
     }
@@ -296,6 +315,69 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
     }
     let walkers = placements.len();
 
+    // ---- groups -------------------------------------------------------
+    // A multi-group world declares 2..=max_groups groups. Every source
+    // targets either one group or an overlapping set of ≥ 2 (the
+    // cross-group fence path); source 0 is biased toward overlap so the
+    // fence is exercised in most multi-group worlds. Every walker
+    // subscription intersects the sourced groups, so liveness still means
+    // something for every audited walker.
+    let group_cap = cfg.max_groups.min(attachments);
+    let multi_group = cfg.allow_multi_group && group_cap >= 2 && rng.chance(0.45);
+    let n_groups = if multi_group {
+        2 + rng.index(group_cap - 1)
+    } else {
+        1
+    };
+    let declared: Vec<GroupId> = (1..=n_groups as u32).map(GroupId).collect();
+    let mut source_groups: Vec<Vec<GroupId>> = Vec::new();
+    let mut subscriptions: Vec<Vec<GroupId>> = Vec::new();
+    if multi_group {
+        for i in 0..sources {
+            let fenced = rng.chance(if i == 0 { 0.8 } else { 0.35 });
+            let mut set: Vec<GroupId> = if fenced {
+                declared
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.chance(0.5))
+                    .collect()
+            } else {
+                vec![declared[i % n_groups]]
+            };
+            while fenced && set.len() < 2 {
+                let g = declared[rng.index(n_groups)];
+                if !set.contains(&g) {
+                    set.push(g);
+                }
+            }
+            set.sort_unstable();
+            source_groups.push(set);
+        }
+        let sourced: Vec<GroupId> = {
+            let mut s: Vec<GroupId> = source_groups.iter().flatten().copied().collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        for _ in 0..walkers {
+            let mut subs: Vec<GroupId> = if rng.chance(0.4) {
+                declared.clone()
+            } else {
+                declared
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.chance(0.5))
+                    .collect()
+            };
+            if !subs.iter().any(|g| sourced.contains(g)) {
+                subs.push(sourced[rng.index(sourced.len())]);
+            }
+            subs.sort_unstable();
+            subs.dedup();
+            subscriptions.push(subs);
+        }
+    }
+
     // ---- traffic ------------------------------------------------------
     let pattern = if rng.chance(0.7) || cfg.force_cbr {
         TrafficPattern::Cbr {
@@ -375,7 +457,7 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
         // kills: a kill on top of a partition could leave no primary
         // component at all.
         let mut ring_partitioned = false;
-        if cfg.allow_ring_partition && sources == 1 && rng.chance(0.3) {
+        if cfg.allow_ring_partition && !multi_group && sources == 1 && rng.chance(0.3) {
             let down = fault_time(&mut rng);
             let latest = duration - (cfg.liveness_window + SimDuration::from_millis(500));
             let heal = (down + SimDuration::from_millis(400 + rng.range_u64(0, 1_100))).min(latest);
@@ -390,7 +472,12 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
             ring_partitioned = true;
             heavy += 1;
         }
-        if cfg.allow_core_kills && !ring_partitioned && core_len > sources + 1 && rng.chance(0.3) {
+        if cfg.allow_core_kills
+            && !multi_group
+            && !ring_partitioned
+            && core_len > sources + 1
+            && rng.chance(0.3)
+        {
             // Never a source-bearing entity (indices < sources in every
             // KillCore-implementing backend).
             let index = sources + rng.index(core_len - sources);
@@ -430,7 +517,7 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
                 }
             }
         }
-        if cfg.allow_control_replay && rng.chance(0.25) {
+        if cfg.allow_control_replay && !multi_group && rng.chance(0.25) {
             // A duplicated, delayed copy of an ordering-token pass: core
             // entity 0 re-sends its kept snapshot; the receiver's epoch
             // fence must suppress whichever copy arrives second.
@@ -440,7 +527,7 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
                 index: 0,
             });
         }
-        if cfg.allow_partitions && heavy < 2 && rng.chance(0.3) {
+        if cfg.allow_partitions && !multi_group && heavy < 2 && rng.chance(0.3) {
             // One endpoint below the RingNet BR tier, one in the AG tier —
             // never a top-ring pair (a partitioned ordering ring is a
             // split-brain world no total-order protocol can win).
@@ -461,7 +548,7 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
                 heavy += 1;
             }
         }
-        if cfg.allow_token_drop && heavy < 2 && rng.chance(0.3) {
+        if cfg.allow_token_drop && !multi_group && heavy < 2 && rng.chance(0.3) {
             events.push(ScenarioEvent::DropToken {
                 at: fault_time(&mut rng),
             });
@@ -469,6 +556,12 @@ pub fn generate(cfg: &ChaosConfig, seed: u64) -> Scenario {
     }
     events.sort_by_key(|e| e.at());
 
+    if multi_group {
+        b = b
+            .groups(declared)
+            .subscriptions(subscriptions)
+            .source_groups(source_groups);
+    }
     let sc = b
         .walkers(placements)
         .sources(sources)
@@ -566,6 +659,60 @@ mod tests {
         assert!(
             saw_replay.iter().all(|&s| s),
             "all three control-replay kinds are generated: {saw_replay:?}"
+        );
+    }
+
+    #[test]
+    fn multi_group_worlds_are_generated_with_overlap() {
+        let cfg = ChaosConfig::quick();
+        let total = 192;
+        let mut multi = 0usize;
+        let mut overlap = 0usize;
+        for seed in 0..total as u64 {
+            let sc = generate(&cfg, seed);
+            assert!(sc.validate().is_empty(), "seed {seed}: {:?}", sc.validate());
+            let declared = sc.declared_groups();
+            if declared.len() < 2 {
+                continue;
+            }
+            multi += 1;
+            // The wired-core fault repertoire is suppressed on the fleet
+            // of rings; the mobility/AP mix is not.
+            assert!(
+                !sc.events.iter().any(|e| matches!(
+                    e,
+                    ScenarioEvent::KillCore { .. }
+                        | ScenarioEvent::RingRejoin { .. }
+                        | ScenarioEvent::PartitionCore { .. }
+                        | ScenarioEvent::HealCore { .. }
+                        | ScenarioEvent::PartitionRing { .. }
+                        | ScenarioEvent::HealRing { .. }
+                        | ScenarioEvent::ReplayControl { .. }
+                        | ScenarioEvent::DropToken { .. }
+                )),
+                "seed {seed}: core fault in a multi-group world"
+            );
+            if (0..sc.sources).any(|i| sc.source_groups_of(i).len() >= 2) {
+                overlap += 1;
+            }
+            // Every walker subscribes to at least one sourced group.
+            let sourced: Vec<GroupId> = (0..sc.sources)
+                .flat_map(|i| sc.source_groups_of(i))
+                .collect();
+            for w in 0..sc.walkers.len() {
+                assert!(
+                    sc.subscriptions_of(w).iter().any(|g| sourced.contains(g)),
+                    "seed {seed}: walker {w} subscribes to no sourced group"
+                );
+            }
+        }
+        assert!(
+            multi * 3 >= total,
+            "multi-group worlds are a third of the space (saw {multi}/{total})"
+        );
+        assert!(
+            overlap * 4 >= total,
+            "overlapping sources in ≥ 25% of worlds (saw {overlap}/{total})"
         );
     }
 

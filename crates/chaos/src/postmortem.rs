@@ -26,6 +26,7 @@ pub fn kind_slug(kind: ViolationKind) -> &'static str {
         ViolationKind::AssignmentMismatch => "assignment_mismatch",
         ViolationKind::FifoViolation => "fifo_violation",
         ViolationKind::GsnGap => "gsn_gap",
+        ViolationKind::CrossGroupOrder => "cross_group_order",
         ViolationKind::Silence => "silence",
         ViolationKind::OrderingStalled => "ordering_stalled",
     }

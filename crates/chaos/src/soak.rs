@@ -321,6 +321,13 @@ pub fn equivalence_scenario(cfg: &ChaosConfig, seed: u64) -> Scenario {
         };
     }
     sc.links.wireless = simnet::LinkProfile::wired(SimDuration::from_millis(2));
+    // Group structure collapses to the single shared group: the
+    // equivalence audit compares all six backends, and only the ring
+    // family implements per-group delivery — "every walker receives every
+    // message" is only the common promise in a one-group world.
+    sc.groups.clear();
+    sc.subscriptions.clear();
+    sc.source_groups.clear();
     sc.aps_always_active = true;
     sc.start = SimTime::from_millis(200);
     sc.stop = Some(sc.duration - SimDuration::from_secs(2));
@@ -521,6 +528,42 @@ mod tests {
             assert_eq!(a.journal, b.journal, "seed {seed}: journals diverge");
             assert!(!a.journal.is_empty(), "seed {seed}: empty journal");
         }
+    }
+
+    #[test]
+    fn multi_group_worlds_audit_clean_and_exercise_the_fence() {
+        // Generated multi-group worlds (subscription sets, overlapping
+        // fence-routed sources, mobility, AP faults) must audit clean on
+        // both ring backends, and the cross-group agreement check must
+        // actually have fenced messages to chew on.
+        let cfg = ChaosConfig::quick();
+        let mut seen_multi = 0usize;
+        let mut crossed = 0usize;
+        for seed in 0..24 {
+            let sc = crate::gen::generate(&cfg, seed);
+            if sc.declared_groups().len() < 2 {
+                continue;
+            }
+            seen_multi += 1;
+            for backend in [Backend::RingNet, Backend::FlatRing] {
+                let report = backend.run(&sc, seed);
+                let mut auditor = Auditor::new(backend.audit_config(&sc, &cfg));
+                auditor.observe_journal(&report.journal);
+                let r = auditor.finish(sc.duration);
+                assert!(
+                    r.is_clean(),
+                    "backend {} seed {seed}: {}",
+                    backend.name(),
+                    r.first_violation.unwrap()
+                );
+                crossed += r.cross_group_messages;
+            }
+        }
+        assert!(
+            seen_multi >= 4,
+            "multi-group worlds generated: {seen_multi}"
+        );
+        assert!(crossed > 0, "no fence-routed messages were audited");
     }
 
     #[test]

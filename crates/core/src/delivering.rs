@@ -42,6 +42,7 @@ impl NeState {
         self.counters.control_sent += 1;
         if newly {
             out.push(Action::Record(ProtoEvent::Grafted {
+                group: self.group,
                 parent: self.id,
                 child,
             }));
@@ -73,6 +74,7 @@ impl NeState {
         if self.children.remove(&child).is_some() {
             self.wt_children.remove(child);
             out.push(Action::Record(ProtoEvent::Pruned {
+                group: self.group,
                 parent: self.id,
                 child,
             }));
@@ -133,6 +135,7 @@ impl NeState {
             self.subtree_members += 1;
         }
         out.push(Action::Record(ProtoEvent::HandoffRegistered {
+            group: self.group,
             mh: guid,
             ap: self.id,
             resume: resume_from,
@@ -160,6 +163,7 @@ impl NeState {
             ap.reservation_until = until;
         }
         out.push(Action::Record(ProtoEvent::Reserved {
+            group,
             ap: me,
             origin: origin_ap,
         }));

@@ -301,6 +301,11 @@ impl ScenarioEvent {
 pub struct Scenario {
     /// The multicast group.
     pub group: GroupId,
+    /// Additional declared multicast groups beyond [`Scenario::group`]
+    /// (empty = the classic single-group world). Ring-capable backends
+    /// instantiate one ordering ring per declared group; see
+    /// [`Scenario::declared_groups`].
+    pub groups: Vec<GroupId>,
     /// Protocol parameters shared by every entity (backends that have no
     /// use for a knob ignore it).
     pub cfg: ProtocolConfig,
@@ -314,10 +319,22 @@ pub struct Scenario {
     /// [`ScenarioEvent::Join`] (backends without late-join support attach
     /// such walkers at attachment 0).
     pub walkers: Vec<Option<usize>>,
+    /// Per-walker subscription sets: `subscriptions[w]` is the set of
+    /// groups walker `w` subscribes to. Missing or empty entries default
+    /// to *all* declared groups; every listed group must be declared.
+    pub subscriptions: Vec<Vec<GroupId>>,
     /// Number of multicast sources (backends with a single ingest point —
     /// tunnel, RelM — clamp to their capability; RingNet-family backends
     /// place one source per top-ring node).
     pub sources: usize,
+    /// Per-source target group sets: `source_groups[i]` is the fixed group
+    /// set that *every* message of source `i` addresses for its whole
+    /// lifetime. A missing entry defaults to the single group
+    /// `declared[i % R]` (disjoint round-robin sharding); a *present*
+    /// entry must be non-empty — a message addressed to no group is
+    /// rejected by [`Scenario::validate`]. Entries naming two or more
+    /// groups route through the cross-group fence on ring backends.
+    pub source_groups: Vec<Vec<GroupId>>,
     /// Traffic pattern shared by all sources.
     pub pattern: TrafficPattern,
     /// First transmission time.
@@ -359,9 +376,105 @@ impl Scenario {
         ScenarioBuilder::new()
     }
 
+    /// Every group this scenario declares: [`Scenario::group`] plus
+    /// [`Scenario::groups`], sorted and deduplicated. Never empty.
+    pub fn declared_groups(&self) -> Vec<GroupId> {
+        let mut all = self.groups.clone();
+        all.push(self.group);
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Walker `w`'s subscription set, sorted and deduplicated. Missing or
+    /// empty entries mean "every declared group".
+    pub fn subscriptions_of(&self, w: usize) -> Vec<GroupId> {
+        match self.subscriptions.get(w) {
+            Some(subs) if !subs.is_empty() => {
+                let mut subs = subs.clone();
+                subs.sort_unstable();
+                subs.dedup();
+                subs
+            }
+            _ => self.declared_groups(),
+        }
+    }
+
+    /// Source `i`'s fixed target group set, sorted and deduplicated. A
+    /// missing entry defaults to the single group `declared[i % R]`.
+    pub fn source_groups_of(&self, i: usize) -> Vec<GroupId> {
+        match self.source_groups.get(i) {
+            Some(gs) if !gs.is_empty() => {
+                let mut gs = gs.clone();
+                gs.sort_unstable();
+                gs.dedup();
+                gs
+            }
+            _ => {
+                let declared = self.declared_groups();
+                vec![declared[i % declared.len()]]
+            }
+        }
+    }
+
+    /// How many ordering-capable (token-ring) nodes the scenario's core
+    /// shape provides — the ceiling on the declared group count, since
+    /// each group's ring needs its own token-origin node. The auto shape
+    /// grows its BR ring to fit both sources and groups.
+    pub fn ordering_capable_nodes(&self) -> usize {
+        match self.shape {
+            CoreShape::Auto => self.sources.max(2).max(self.declared_groups().len()),
+            CoreShape::Hierarchy { brs, .. } => brs,
+            CoreShape::Figure1 => 4,
+        }
+    }
+
     /// Structural validation; returns human-readable problems (empty = ok).
     pub fn validate(&self) -> Vec<String> {
         let mut problems = Vec::new();
+        let declared = self.declared_groups();
+        if declared.len() > self.ordering_capable_nodes() {
+            problems.push(format!(
+                "{} groups declared but the core shape has only {} \
+                 ordering-capable nodes (one token ring per group)",
+                declared.len(),
+                self.ordering_capable_nodes()
+            ));
+        }
+        if self.subscriptions.len() > self.walkers.len() {
+            problems.push(format!(
+                "{} subscription sets for {} walkers",
+                self.subscriptions.len(),
+                self.walkers.len()
+            ));
+        }
+        for (w, subs) in self.subscriptions.iter().enumerate() {
+            for g in subs {
+                if !declared.contains(g) {
+                    problems.push(format!("walker {w} subscribes to undeclared group {g}"));
+                }
+            }
+        }
+        if self.source_groups.len() > self.sources {
+            problems.push(format!(
+                "{} source group sets for {} sources",
+                self.source_groups.len(),
+                self.sources
+            ));
+        }
+        for (i, gs) in self.source_groups.iter().enumerate() {
+            if gs.is_empty() {
+                problems.push(format!(
+                    "source {i}: empty group set — every message must address \
+                     at least one group"
+                ));
+            }
+            for g in gs {
+                if !declared.contains(g) {
+                    problems.push(format!("source {i} addresses undeclared group {g}"));
+                }
+            }
+        }
         if self.attachments == 0 {
             problems.push("no attachment points".into());
         }
@@ -648,11 +761,14 @@ impl ScenarioBuilder {
         ScenarioBuilder {
             sc: Scenario {
                 group: GroupId(1),
+                groups: Vec::new(),
                 cfg: ProtocolConfig::default(),
                 attachments: 4,
                 grid_cols: None,
                 walkers: Vec::new(),
+                subscriptions: Vec::new(),
                 sources: 1,
+                source_groups: Vec::new(),
                 pattern: TrafficPattern::Cbr {
                     interval: SimDuration::from_millis(10),
                 },
@@ -685,6 +801,27 @@ impl ScenarioBuilder {
     /// The multicast group.
     pub fn group(mut self, g: GroupId) -> Self {
         self.sc.group = g;
+        self
+    }
+
+    /// Declare additional multicast groups beyond the primary one (see
+    /// [`Scenario::groups`]): ring backends instantiate one ordering ring
+    /// per declared group, sources default to round-robin single-group
+    /// addressing and walkers to subscribing everywhere.
+    pub fn groups(mut self, gs: Vec<GroupId>) -> Self {
+        self.sc.groups = gs;
+        self
+    }
+
+    /// Per-walker subscription sets (see [`Scenario::subscriptions`]).
+    pub fn subscriptions(mut self, subs: Vec<Vec<GroupId>>) -> Self {
+        self.sc.subscriptions = subs;
+        self
+    }
+
+    /// Per-source target group sets (see [`Scenario::source_groups`]).
+    pub fn source_groups(mut self, gs: Vec<Vec<GroupId>>) -> Self {
+        self.sc.source_groups = gs;
         self
     }
 
@@ -1123,7 +1260,7 @@ pub fn ringnet_spec(sc: &Scenario) -> HierarchySpec {
                 .config(sc.cfg.clone())
                 .build()
         }
-        CoreShape::Auto => auto_hierarchy(sc, sc.sources.max(2)),
+        CoreShape::Auto => auto_hierarchy(sc, sc.ordering_capable_nodes()),
     };
     finish_spec(&mut spec, sc);
     spec
@@ -1138,6 +1275,7 @@ pub fn degenerate_tree_spec(sc: &Scenario) -> HierarchySpec {
     let routers = sc.attachments.div_ceil(2).max(1);
     let mut spec = HierarchySpec {
         group: sc.group,
+        groups: Vec::new(),
         cfg: sc.cfg.clone().with_reservation_radius(0),
         top_ring: vec![NodeId(0)],
         ag_rings: (0..routers)
@@ -1163,6 +1301,17 @@ pub fn degenerate_tree_spec(sc: &Scenario) -> HierarchySpec {
         ap.neighbours = sc.neighbours_of(i).into_iter().map(|n| ap_ids[n]).collect();
     }
     finish_spec(&mut spec, sc);
+    // The degenerate tree has a single ordering node — a ring-of-one
+    // cannot host one token ring per group, so extra declared groups
+    // collapse onto the scenario's primary group (the static-baseline
+    // semantics: extra groups are ignored).
+    spec.groups.clear();
+    for mh in &mut spec.mhs {
+        mh.subscriptions.clear();
+    }
+    for src in &mut spec.sources {
+        src.groups.clear();
+    }
     spec
 }
 
@@ -1198,6 +1347,7 @@ fn auto_hierarchy(sc: &Scenario, brs: usize) -> HierarchySpec {
         .collect();
     HierarchySpec {
         group: sc.group,
+        groups: Vec::new(),
         cfg: sc.cfg.clone(),
         top_ring: br_ids.clone(),
         ag_rings: vec![AgRingSpec {
@@ -1211,9 +1361,15 @@ fn auto_hierarchy(sc: &Scenario, brs: usize) -> HierarchySpec {
     }
 }
 
-/// Apply the scenario's walkers, sources and links onto an assembled spec.
+/// Apply the scenario's walkers, sources, groups and links onto an
+/// assembled spec. Single-group scenarios leave every group field at its
+/// empty default, so the spec (and the run) is identical to the
+/// pre-multi-group one.
 fn finish_spec(spec: &mut HierarchySpec, sc: &Scenario) {
     spec.links = sc.links.clone();
+    let declared = sc.declared_groups();
+    let multi = declared.len() > 1;
+    spec.groups = if multi { declared } else { Vec::new() };
     spec.mhs = sc
         .walkers
         .iter()
@@ -1221,6 +1377,11 @@ fn finish_spec(spec: &mut HierarchySpec, sc: &Scenario) {
         .map(|(w, att)| MhSpec {
             guid: Guid(w as u32),
             initial_ap: att.map(|a| spec.aps[a].id),
+            subscriptions: if multi {
+                sc.subscriptions_of(w)
+            } else {
+                Vec::new()
+            },
         })
         .collect();
     let sources = sc.sources.min(spec.top_ring.len());
@@ -1231,6 +1392,11 @@ fn finish_spec(spec: &mut HierarchySpec, sc: &Scenario) {
             start: sc.start,
             stop: sc.stop,
             limit: sc.limit,
+            groups: if multi {
+                sc.source_groups_of(i)
+            } else {
+                Vec::new()
+            },
         })
         .collect();
 }
@@ -1497,6 +1663,74 @@ mod tests {
             .journal
             .iter()
             .any(|(_, e)| matches!(e, ProtoEvent::HandoffRegistered { mh: Guid(0), .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group set")]
+    fn builder_rejects_empty_message_group_set() {
+        // A message addressed to no group is meaningless: a *present*
+        // source_groups entry must be non-empty (missing entries get the
+        // round-robin default instead).
+        let _ = ScenarioBuilder::new()
+            .sources(2)
+            .groups(vec![GroupId(2)])
+            .source_groups(vec![vec![GroupId(1)], Vec::new()])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "subscribes to undeclared group")]
+    fn builder_rejects_undeclared_subscription() {
+        let _ = ScenarioBuilder::new()
+            .groups(vec![GroupId(2)])
+            .subscriptions(vec![vec![GroupId(1)], vec![GroupId(7)]])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "ordering-capable nodes")]
+    fn builder_rejects_more_groups_than_ordering_nodes() {
+        // Each declared group needs its own token-origin node; a fixed
+        // 2-BR hierarchy cannot host three rings. (The Auto shape grows
+        // its BR ring to fit, so only explicit shapes can violate this.)
+        let _ = ScenarioBuilder::new()
+            .attachments(4)
+            .shape(CoreShape::Hierarchy {
+                brs: 2,
+                rings: 2,
+                ags_per_ring: 2,
+            })
+            .groups(vec![GroupId(2), GroupId(3)])
+            .build();
+    }
+
+    #[test]
+    fn multi_group_validate_problems_are_descriptive() {
+        // The graceful path reports all three multi-group problems at
+        // once, each naming the offending index and rule.
+        let mut sc = ScenarioBuilder::new().sources(2).build();
+        sc.groups = vec![GroupId(2)];
+        sc.subscriptions = vec![vec![GroupId(9)]];
+        sc.source_groups = vec![Vec::new(), vec![GroupId(8)]];
+        let problems = sc.validate();
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("walker 0 subscribes to undeclared group")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("source 0: empty group set")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("source 1 addresses undeclared group")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -167,78 +167,167 @@ pub fn inject_control_replay<N: NetOps<Msg> + ?Sized>(
 
 // ---------------------------------------------------------------- actors
 
+/// Whether a message may legally address the emitting node itself: only
+/// the fence paths do (a sequencer co-located with an addressed group's
+/// funnel). There is no self-link in the mesh, so the actor re-dispatches
+/// these locally instead of handing them to the transport.
+fn is_fence_msg(msg: &Msg) -> bool {
+    matches!(
+        msg,
+        Msg::FenceIngress { .. } | Msg::FenceDispatch { .. } | Msg::FencePreOrder { .. }
+    )
+}
+
 struct NeActor {
-    st: NeState,
+    /// One protocol state per declared group, in ascending group order —
+    /// exactly one in single-group worlds. All states share the physical
+    /// node's identity and address; inbound traffic dispatches on its
+    /// group stamp, entity-wide faults fan out to every state.
+    states: Vec<NeState>,
     map: Arc<AddrMap>,
     out: Outbox,
     /// Reused destination buffer for fan-out batching.
     dst_buf: Vec<NodeAddr>,
-    originate_token: bool,
+    /// Whether the state at each position originates its group's token.
+    originate: Vec<bool>,
     /// Crash-restart generation, encoded into every periodic-timer tag
     /// (`base | gen << 3`). Pending pre-crash timers survive in the event
     /// queue across a revival; their stale generation makes them fall dead
     /// instead of rescheduling a duplicate tick chain.
     timer_gen: u64,
     /// Telemetry harvest sink, shared with the driver. `None` unless the
-    /// scenario enables telemetry; the state machine's recorder is
-    /// dumped here when the teardown `FlushStats` sweep reaches this
-    /// actor (the map is keyed, so insertion order — and hence worker
-    /// scheduling — cannot affect the result).
+    /// scenario enables telemetry; the state machines' recorders are
+    /// merged and dumped here when the teardown `FlushStats` sweep
+    /// reaches this actor (the map is keyed, so insertion order — and
+    /// hence worker scheduling — cannot affect the result).
     bank: Option<Arc<Mutex<TelemetryBank>>>,
 }
 
 impl NeActor {
+    fn my_id(&self) -> NodeId {
+        self.states[0].id
+    }
+
+    fn any_alive(&self) -> bool {
+        self.states.iter().any(|s| s.alive)
+    }
+
     fn tag(&self, base: u64) -> u64 {
         base | (self.timer_gen << 3)
     }
 
     /// Arm the periodic tick chains (start-up and crash-restart revival).
+    /// One chain per node, not per group: each tick walks every state.
     fn arm_periodic(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
-        let cfg = &self.st.cfg;
+        let cfg = &self.states[0].cfg;
         ctx.set_timer(cfg.hop_tick, self.tag(TAG_HOP));
         ctx.set_timer(cfg.heartbeat_period, self.tag(TAG_HEARTBEAT));
-        if self.st.is_top_ring() {
+        if self.states[0].is_top_ring() {
             ctx.set_timer(cfg.order_assign_period, self.tag(TAG_ORDER_ASSIGN));
         }
         if !cfg.stats_sample_period.is_zero() {
             ctx.set_timer(cfg.stats_sample_period, self.tag(TAG_STATS));
         }
     }
-    fn flush(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
-        let mut dsts = std::mem::take(&mut self.dst_buf);
-        let mut it = self.out.drain(..).peekable();
-        while let Some(action) = it.next() {
-            match action {
-                Action::Record(ev) => ctx.record(ev),
-                Action::Send { to, msg } => {
-                    dsts.clear();
-                    if let Some(addr) = self.map.resolve(to) {
-                        dsts.push(addr);
-                    }
-                    // A delivery fan-out (ring + children + attached MHs)
-                    // emits consecutive sends of the same message; batch
-                    // the run into one interned multicast so the payload
-                    // is stored once instead of cloned per hop.
-                    while let Some(Action::Send { msg: next, .. }) = it.peek() {
-                        if *next != msg {
-                            break;
-                        }
-                        let Some(Action::Send { to, .. }) = it.next() else {
-                            unreachable!("peeked a send");
-                        };
-                        if let Some(addr) = self.map.resolve(to) {
-                            dsts.push(addr);
-                        }
-                    }
-                    match dsts.as_slice() {
-                        [] => {}
-                        [one] => ctx.send(*one, msg),
-                        many => ctx.multicast(many, msg),
-                    }
+
+    /// Route one inbound message: entity-wide faults fan out to every
+    /// group state (rewritten to each state's group); everything else
+    /// dispatches to the state owning its group stamp.
+    fn deliver(&mut self, now: SimTime, from_ep: Endpoint, msg: Msg) {
+        let out = &mut self.out;
+        match msg {
+            Msg::Kill { .. } => {
+                for st in &mut self.states {
+                    let g = st.group;
+                    st.on_msg(now, from_ep, Msg::Kill { group: g }, out);
+                }
+            }
+            Msg::Restart { .. } => {
+                for st in &mut self.states {
+                    let g = st.group;
+                    st.on_msg(now, from_ep, Msg::Restart { group: g }, out);
+                }
+            }
+            Msg::FlushStats { .. } => {
+                for st in &mut self.states {
+                    let g = st.group;
+                    st.on_msg(now, from_ep, Msg::FlushStats { group: g }, out);
+                }
+            }
+            _ => {
+                let g = msg.group();
+                if let Some(st) = self.states.iter_mut().find(|s| s.group == g) {
+                    st.on_msg(now, from_ep, msg, out);
                 }
             }
         }
-        self.dst_buf = dsts;
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
+        let me = Endpoint::Ne(self.my_id());
+        loop {
+            let mut dsts = std::mem::take(&mut self.dst_buf);
+            let mut loopback: Vec<Msg> = Vec::new();
+            let mut it = self.out.drain(..).peekable();
+            while let Some(action) = it.next() {
+                match action {
+                    Action::Record(ev) => ctx.record(ev),
+                    Action::Send { to, msg } => {
+                        dsts.clear();
+                        let mut local = to == me && is_fence_msg(&msg);
+                        if !local {
+                            if let Some(addr) = self.map.resolve(to) {
+                                dsts.push(addr);
+                            }
+                        }
+                        // A delivery fan-out (ring + children + attached MHs)
+                        // emits consecutive sends of the same message; batch
+                        // the run into one interned multicast so the payload
+                        // is stored once instead of cloned per hop.
+                        while let Some(Action::Send { msg: next, .. }) = it.peek() {
+                            if *next != msg {
+                                break;
+                            }
+                            let Some(Action::Send { to, .. }) = it.next() else {
+                                unreachable!("peeked a send");
+                            };
+                            if to == me && is_fence_msg(&msg) {
+                                local = true;
+                            } else if let Some(addr) = self.map.resolve(to) {
+                                dsts.push(addr);
+                            }
+                        }
+                        if local {
+                            match dsts.as_slice() {
+                                [] => {}
+                                [one] => ctx.send(*one, msg.clone()),
+                                many => ctx.multicast(many, msg.clone()),
+                            }
+                            loopback.push(msg);
+                        } else {
+                            match dsts.as_slice() {
+                                [] => {}
+                                [one] => ctx.send(*one, msg),
+                                many => ctx.multicast(many, msg),
+                            }
+                        }
+                    }
+                }
+            }
+            drop(it);
+            self.dst_buf = dsts;
+            if loopback.is_empty() {
+                return;
+            }
+            // Self-addressed fence traffic (sequencer and funnel on the
+            // same node): re-dispatch at the same sim time, then drain
+            // whatever that produced. Bounded — a funnel on a ring of one
+            // self-acks instead of self-sending.
+            let now = ctx.now();
+            for msg in loopback {
+                self.deliver(now, me, msg);
+            }
+        }
     }
 }
 
@@ -246,34 +335,41 @@ impl Actor<Msg, ProtoEvent> for NeActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
         let now = ctx.now();
         self.arm_periodic(ctx);
-        if self.originate_token {
-            self.st.originate_token(now, &mut self.out);
+        for i in 0..self.states.len() {
+            if self.originate[i] {
+                self.states[i].originate_token(now, &mut self.out);
+            }
+            // Ring leaders acquire their parent; active APs graft.
+            self.states[i].after_ring_change(now, &mut self.out);
+            self.states[i].ensure_active_grafted(now, &mut self.out);
         }
-        // Ring leaders acquire their parent; active APs graft.
-        self.st.after_ring_change(now, &mut self.out);
-        self.st.ensure_active_grafted(now, &mut self.out);
         self.flush(ctx);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>, from: NodeAddr, msg: Msg) {
         let from_ep = self.map.endpoint_of(from);
         let now = ctx.now();
-        let was_alive = self.st.alive;
+        let was_alive = self.any_alive();
         let is_flush = matches!(msg, Msg::FlushStats { .. });
-        self.st.on_msg(now, from_ep, msg, &mut self.out);
+        self.deliver(now, from_ep, msg);
         if is_flush {
             // Harvest even when the entity died mid-run: a crashed node's
             // flight recorder is exactly the postmortem evidence wanted.
             if let Some(bank) = &self.bank {
-                if let Some(dump) = self.st.telemetry.dump() {
+                let dumps: Vec<_> = self
+                    .states
+                    .iter()
+                    .filter_map(|s| s.telemetry.dump())
+                    .collect();
+                if let Some(dump) = crate::telemetry::NodeDump::merge(dumps) {
                     bank.lock()
                         .expect("telemetry bank poisoned")
                         .nodes
-                        .insert(self.st.id, dump);
+                        .insert(self.my_id(), dump);
                 }
             }
         }
-        if !was_alive && self.st.alive {
+        if !was_alive && self.any_alive() {
             // Crash-restart revival: the periodic timers died with the
             // entity (dead entities stop rescheduling); re-arm them under
             // a new generation so pre-crash pending timers fall dead
@@ -288,30 +384,51 @@ impl Actor<Msg, ProtoEvent> for NeActor {
         if (tag >> 3) != self.timer_gen {
             return; // stale chain from before a crash-restart
         }
-        if !self.st.alive {
+        if !self.any_alive() {
             return; // dead entities stop rescheduling
         }
         let now = ctx.now();
         match tag & 0x7 {
             TAG_ORDER_ASSIGN => {
-                self.st.tick_order_assign(now, &mut self.out);
-                ctx.set_timer(self.st.cfg.order_assign_period, self.tag(TAG_ORDER_ASSIGN));
+                for st in &mut self.states {
+                    if st.alive {
+                        st.tick_order_assign(now, &mut self.out);
+                    }
+                }
+                let period = self.states[0].cfg.order_assign_period;
+                ctx.set_timer(period, self.tag(TAG_ORDER_ASSIGN));
             }
             TAG_HOP => {
-                self.st.tick_hop(now, &mut self.out);
-                ctx.set_timer(self.st.cfg.hop_tick, self.tag(TAG_HOP));
+                for st in &mut self.states {
+                    if st.alive {
+                        st.tick_hop(now, &mut self.out);
+                    }
+                }
+                let period = self.states[0].cfg.hop_tick;
+                ctx.set_timer(period, self.tag(TAG_HOP));
             }
             TAG_HEARTBEAT => {
-                self.st.tick_heartbeat(now, &mut self.out);
-                ctx.set_timer(self.st.cfg.heartbeat_period, self.tag(TAG_HEARTBEAT));
+                for st in &mut self.states {
+                    if st.alive {
+                        st.tick_heartbeat(now, &mut self.out);
+                    }
+                }
+                let period = self.states[0].cfg.heartbeat_period;
+                ctx.set_timer(period, self.tag(TAG_HEARTBEAT));
             }
             TAG_STATS => {
-                self.out.push(Action::Record(ProtoEvent::BufferSample {
-                    node: self.st.id,
-                    wq: self.st.wq.as_ref().map_or(0, |w| w.occupancy() as u32),
-                    mq: self.st.mq.occupancy() as u32,
-                }));
-                ctx.set_timer(self.st.cfg.stats_sample_period, self.tag(TAG_STATS));
+                for st in &self.states {
+                    if st.alive {
+                        self.out.push(Action::Record(ProtoEvent::BufferSample {
+                            group: st.group,
+                            node: st.id,
+                            wq: st.wq.as_ref().map_or(0, |w| w.occupancy() as u32),
+                            mq: st.mq.occupancy() as u32,
+                        }));
+                    }
+                }
+                let period = self.states[0].cfg.stats_sample_period;
+                ctx.set_timer(period, self.tag(TAG_STATS));
             }
             _ => {}
         }
@@ -320,13 +437,58 @@ impl Actor<Msg, ProtoEvent> for NeActor {
 }
 
 struct MhActor {
-    st: MhState,
+    /// One protocol state per subscribed group, in ascending group order —
+    /// exactly one for single-subscription walkers.
+    states: Vec<MhState>,
     map: Arc<AddrMap>,
     out: Outbox,
     initial_ap: Option<NodeId>,
 }
 
 impl MhActor {
+    fn any_alive(&self) -> bool {
+        self.states.iter().any(|s| s.alive)
+    }
+
+    /// Route one inbound message: radio-level commands concern the whole
+    /// host and fan out to every subscription state (rewritten to each
+    /// state's group); per-group traffic dispatches on its group stamp.
+    fn deliver(&mut self, now: SimTime, from_ep: Endpoint, msg: Msg) {
+        let out = &mut self.out;
+        match msg {
+            Msg::Kill { .. } => {
+                for st in &mut self.states {
+                    let g = st.group;
+                    st.on_msg(now, from_ep, Msg::Kill { group: g }, out);
+                }
+            }
+            Msg::FlushStats { .. } => {
+                for st in &mut self.states {
+                    let g = st.group;
+                    st.on_msg(now, from_ep, Msg::FlushStats { group: g }, out);
+                }
+            }
+            Msg::HandoffTo { new_ap, .. } => {
+                for st in &mut self.states {
+                    let g = st.group;
+                    st.on_msg(now, from_ep, Msg::HandoffTo { group: g, new_ap }, out);
+                }
+            }
+            Msg::JoinCmd { ap, .. } => {
+                for st in &mut self.states {
+                    let g = st.group;
+                    st.on_msg(now, from_ep, Msg::JoinCmd { group: g, ap }, out);
+                }
+            }
+            _ => {
+                let g = msg.group();
+                if let Some(st) = self.states.iter_mut().find(|s| s.group == g) {
+                    st.on_msg(now, from_ep, msg, out);
+                }
+            }
+        }
+    }
+
     fn flush(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
         for action in self.out.drain(..) {
             match action {
@@ -344,10 +506,12 @@ impl MhActor {
 impl Actor<Msg, ProtoEvent> for MhActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>) {
         let now = ctx.now();
-        ctx.set_timer(self.st.cfg.hop_tick, TAG_HOP);
-        ctx.set_timer(self.st.cfg.heartbeat_period, TAG_HEARTBEAT);
+        ctx.set_timer(self.states[0].cfg.hop_tick, TAG_HOP);
+        ctx.set_timer(self.states[0].cfg.heartbeat_period, TAG_HEARTBEAT);
         if let Some(ap) = self.initial_ap {
-            self.st.join(now, ap, &mut self.out);
+            for st in &mut self.states {
+                st.join(now, ap, &mut self.out);
+            }
         }
         self.flush(ctx);
     }
@@ -355,23 +519,31 @@ impl Actor<Msg, ProtoEvent> for MhActor {
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>, from: NodeAddr, msg: Msg) {
         let from_ep = self.map.endpoint_of(from);
         let now = ctx.now();
-        self.st.on_msg(now, from_ep, msg, &mut self.out);
+        self.deliver(now, from_ep, msg);
         self.flush(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, ProtoEvent>, tag: u64) {
-        if !self.st.alive {
+        if !self.any_alive() {
             return;
         }
         let now = ctx.now();
         match tag {
             TAG_HOP => {
-                self.st.tick_hop(now, &mut self.out);
-                ctx.set_timer(self.st.cfg.hop_tick, TAG_HOP);
+                for st in &mut self.states {
+                    if st.alive {
+                        st.tick_hop(now, &mut self.out);
+                    }
+                }
+                ctx.set_timer(self.states[0].cfg.hop_tick, TAG_HOP);
             }
             TAG_HEARTBEAT => {
-                self.st.tick_heartbeat(now, &mut self.out);
-                ctx.set_timer(self.st.cfg.heartbeat_period, TAG_HEARTBEAT);
+                for st in &mut self.states {
+                    if st.alive {
+                        st.tick_heartbeat(now, &mut self.out);
+                    }
+                }
+                ctx.set_timer(self.states[0].cfg.heartbeat_period, TAG_HEARTBEAT);
             }
             _ => {}
         }
@@ -380,7 +552,15 @@ impl Actor<Msg, ProtoEvent> for MhActor {
 }
 
 struct SourceActor {
-    group: GroupId,
+    /// Addressed groups, ascending, non-empty. One group sends plain
+    /// [`Msg::SourceData`]; two or more submit through the cross-group
+    /// fence as [`Msg::FenceIngress`] for the whole lifetime of the
+    /// source (one logical channel per source).
+    targets: Vec<GroupId>,
+    /// The fence home group (lowest declared group of the scenario).
+    home: GroupId,
+    /// The source's corresponding BR — its message identity node.
+    corresponding: NodeId,
     target: NodeAddr,
     pattern: TrafficPattern,
     start: SimTime,
@@ -430,14 +610,22 @@ impl Actor<Msg, ProtoEvent> for SourceActor {
         let ls = self.next_ls;
         self.next_ls = ls.next();
         self.sent += 1;
-        ctx.send(
-            self.target,
+        let msg = if self.targets.len() == 1 {
             Msg::SourceData {
-                group: self.group,
+                group: self.targets[0],
                 local_seq: ls,
                 payload: PayloadId(ls.0),
-            },
-        );
+            }
+        } else {
+            Msg::FenceIngress {
+                group: self.home,
+                origin: self.corresponding,
+                local_seq: ls,
+                payload: PayloadId(ls.0),
+                targets: self.targets.clone(),
+            }
+        };
+        ctx.send(self.target, msg);
         self.schedule_next(ctx);
     }
 }
@@ -448,12 +636,25 @@ pub fn boxed_ne_actor(
     map: Arc<AddrMap>,
     originate_token: bool,
 ) -> Box<dyn Actor<Msg, ProtoEvent>> {
+    boxed_multi_ne_actor(vec![st], map, vec![originate_token])
+}
+
+/// Box a multi-group network-entity actor: one state per group on a
+/// shared node identity (ring-running baselines instantiate their
+/// per-group rings through this, exactly like the engine).
+pub fn boxed_multi_ne_actor(
+    states: Vec<NeState>,
+    map: Arc<AddrMap>,
+    originate: Vec<bool>,
+) -> Box<dyn Actor<Msg, ProtoEvent>> {
+    assert!(!states.is_empty(), "an NE actor needs at least one state");
+    assert_eq!(states.len(), originate.len());
     Box::new(NeActor {
-        st,
+        states,
         map,
         out: Vec::with_capacity(32),
         dst_buf: Vec::new(),
-        originate_token,
+        originate,
         timer_gen: 0,
         bank: None,
     })
@@ -465,22 +666,50 @@ pub fn boxed_mh_actor(
     map: Arc<AddrMap>,
     initial_ap: Option<NodeId>,
 ) -> Box<dyn Actor<Msg, ProtoEvent>> {
+    boxed_multi_mh_actor(vec![st], map, initial_ap)
+}
+
+/// Box a multi-subscription mobile-host actor: one state per subscribed
+/// group on a shared host identity.
+pub fn boxed_multi_mh_actor(
+    states: Vec<MhState>,
+    map: Arc<AddrMap>,
+    initial_ap: Option<NodeId>,
+) -> Box<dyn Actor<Msg, ProtoEvent>> {
+    assert!(!states.is_empty(), "an MH actor needs at least one state");
     Box::new(MhActor {
-        st,
+        states,
         map,
         out: Vec::with_capacity(16),
         initial_ap,
     })
 }
 
-/// Box a multicast-source actor for direct use by baseline builders.
+/// Box a multicast-source actor for direct use by baseline builders
+/// (single fixed group; never routes through the fence).
 pub fn boxed_source_actor(
     group: GroupId,
     target: NodeAddr,
     src: &SourceSpec,
 ) -> Box<dyn Actor<Msg, ProtoEvent>> {
+    boxed_multicast_source_actor(vec![group], group, target, src)
+}
+
+/// Box a source actor addressing an explicit group set. Two or more
+/// `targets` submit every message as [`Msg::FenceIngress`] stamped with
+/// the fence `home` group; a single target sends plain
+/// [`Msg::SourceData`].
+pub fn boxed_multicast_source_actor(
+    targets: Vec<GroupId>,
+    home: GroupId,
+    target: NodeAddr,
+    src: &SourceSpec,
+) -> Box<dyn Actor<Msg, ProtoEvent>> {
+    assert!(!targets.is_empty(), "a source addresses at least one group");
     Box::new(SourceActor {
-        group,
+        targets,
+        home,
+        corresponding: src.corresponding,
         target,
         pattern: src.pattern,
         start: src.start,
@@ -601,16 +830,45 @@ fn assemble(
     let map = Arc::new(map);
 
     // ---- Create actors in exactly the claimed order.
+    //
+    // Multi-group specs instantiate one protocol state per declared group
+    // on every physical node: one ordering ring per group over the same
+    // top-ring mesh. Each group's token originates at
+    // `sorted_brs[group_index % n_brs]` so the per-ring assignment load
+    // spreads over the BRs; the same placement doubles as the group's
+    // fence funnel, with the home (lowest) group's origin hosting the
+    // global fence sequencer.
     let cfg = &spec.cfg;
-    let token_origin = spec.top_ring.iter().min().copied();
+    let groups = spec.effective_groups();
+    let multi = groups.len() > 1;
+    let sorted_brs = {
+        let mut v = spec.top_ring.clone();
+        v.sort_unstable();
+        v
+    };
+    let funnels: Vec<(GroupId, NodeId)> = groups
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| (g, sorted_brs[i % sorted_brs.len()]))
+        .collect();
+    let home = groups[0];
     for &br in &spec.top_ring {
-        let st = NeState::new_br(spec.group, br, spec.top_ring.clone(), true, cfg.clone());
+        let mut states = Vec::with_capacity(groups.len());
+        let mut originate = Vec::with_capacity(groups.len());
+        for &(g, origin) in &funnels {
+            let mut st = NeState::new_br(g, br, spec.top_ring.clone(), true, cfg.clone());
+            if multi {
+                st.cross_fence = Some(crate::fence::CrossGroupFence::new(g, funnels.clone()));
+            }
+            states.push(st);
+            originate.push(origin == br);
+        }
         let addr = net.add(Box::new(NeActor {
-            st,
+            states,
             map: Arc::clone(&map),
             out: Vec::with_capacity(32),
             dst_buf: Vec::new(),
-            originate_token: token_origin == Some(br),
+            originate,
             timer_gen: 0,
             bank: bank.cloned(),
         }));
@@ -618,39 +876,49 @@ fn assemble(
     }
     for ring in &spec.ag_rings {
         for &ag in &ring.members {
-            let st = NeState::new_ag(
-                spec.group,
-                ag,
-                ring.members.clone(),
-                ring.parent_candidates.clone(),
-                cfg.clone(),
-            );
+            let states: Vec<NeState> = groups
+                .iter()
+                .map(|&g| {
+                    NeState::new_ag(
+                        g,
+                        ag,
+                        ring.members.clone(),
+                        ring.parent_candidates.clone(),
+                        cfg.clone(),
+                    )
+                })
+                .collect();
             net.add(Box::new(NeActor {
-                st,
+                states,
                 map: Arc::clone(&map),
                 out: Vec::with_capacity(32),
                 dst_buf: Vec::new(),
-                originate_token: false,
+                originate: vec![false; groups.len()],
                 timer_gen: 0,
                 bank: bank.cloned(),
             }));
         }
     }
     for ap in &spec.aps {
-        let st = NeState::new_ap(
-            spec.group,
-            ap.id,
-            ap.parent_candidates.clone(),
-            ap.always_active,
-            ap.neighbours.clone(),
-            cfg.clone(),
-        );
+        let states: Vec<NeState> = groups
+            .iter()
+            .map(|&g| {
+                NeState::new_ap(
+                    g,
+                    ap.id,
+                    ap.parent_candidates.clone(),
+                    ap.always_active,
+                    ap.neighbours.clone(),
+                    cfg.clone(),
+                )
+            })
+            .collect();
         net.add(Box::new(NeActor {
-            st,
+            states,
             map: Arc::clone(&map),
             out: Vec::with_capacity(32),
             dst_buf: Vec::new(),
-            originate_token: false,
+            originate: vec![false; groups.len()],
             timer_gen: 0,
             bank: bank.cloned(),
         }));
@@ -658,7 +926,9 @@ fn assemble(
     for (i, src) in spec.sources.iter().enumerate() {
         let target = map.ne(src.corresponding).expect("validated");
         let addr = net.add(Box::new(SourceActor {
-            group: spec.group,
+            targets: spec.source_groups_of(src),
+            home,
+            corresponding: src.corresponding,
             target,
             pattern: src.pattern,
             start: src.start,
@@ -670,9 +940,13 @@ fn assemble(
         debug_assert_eq!(addr, source_addrs[i]);
     }
     for mh in &spec.mhs {
-        let st = MhState::new(spec.group, mh.guid, cfg.clone());
+        let states: Vec<MhState> = spec
+            .subscriptions_of(mh)
+            .into_iter()
+            .map(|g| MhState::new(g, mh.guid, cfg.clone()))
+            .collect();
         net.add(Box::new(MhActor {
-            st,
+            states,
             map: Arc::clone(&map),
             out: Vec::with_capacity(16),
             initial_ap: mh.initial_ap,

@@ -6,7 +6,7 @@
 //! the run. Records are deliberately flat `Copy` data — a journal from a
 //! long run holds millions of them.
 
-use crate::ids::{Epoch, GlobalSeq, Guid, LocalSeq, NodeId};
+use crate::ids::{Epoch, GlobalSeq, GroupId, Guid, LocalSeq, NodeId};
 
 /// One journal record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +20,8 @@ pub enum ProtoEvent {
     },
     /// A message received its global number (recorded by its OrderingNode).
     Ordered {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The ordering node.
         node: NodeId,
         /// Source of the message.
@@ -32,6 +34,8 @@ pub enum ProtoEvent {
     /// A top-ring node copied a message from `WQ` into its `MQ`
     /// (the Order-Assignment step becoming visible locally).
     MqCopied {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The copying node.
         node: NodeId,
         /// Global sequence number copied.
@@ -39,6 +43,8 @@ pub enum ProtoEvent {
     },
     /// An entity's delivered-to-all-children watermark advanced.
     NeDelivered {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The entity.
         node: NodeId,
         /// New watermark (everything ≤ is delivered downstream).
@@ -46,6 +52,8 @@ pub enum ProtoEvent {
     },
     /// An entity skipped a really-lost message.
     NeSkip {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The entity.
         node: NodeId,
         /// The skipped global number.
@@ -53,6 +61,8 @@ pub enum ProtoEvent {
     },
     /// An MH delivered a message to its application.
     MhDeliver {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The mobile host.
         mh: Guid,
         /// Global sequence number.
@@ -64,6 +74,8 @@ pub enum ProtoEvent {
     },
     /// An MH skipped a really-lost message.
     MhSkip {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The mobile host.
         mh: Guid,
         /// The skipped global number.
@@ -71,6 +83,8 @@ pub enum ProtoEvent {
     },
     /// The token completed a hop (recorded by the node releasing it).
     TokenPass {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// Node passing the token on.
         node: NodeId,
         /// Token rotation count.
@@ -145,6 +159,8 @@ pub enum ProtoEvent {
     },
     /// An MH registered at an AP after a handoff.
     HandoffRegistered {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The mobile host.
         mh: Guid,
         /// The new AP.
@@ -154,6 +170,8 @@ pub enum ProtoEvent {
     },
     /// A child attached to a parent (tree activation).
     Grafted {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The parent.
         parent: NodeId,
         /// The new child.
@@ -161,6 +179,8 @@ pub enum ProtoEvent {
     },
     /// A child detached from a parent.
     Pruned {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The parent.
         parent: NodeId,
         /// The departed child.
@@ -168,6 +188,8 @@ pub enum ProtoEvent {
     },
     /// An AP pre-joined the tree due to path reservation.
     Reserved {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The reserving AP.
         ap: NodeId,
         /// AP whose member triggered the reservation.
@@ -175,6 +197,8 @@ pub enum ProtoEvent {
     },
     /// Aggregated membership count at the top of the hierarchy changed.
     MembershipCount {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The reporting node (top leader).
         node: NodeId,
         /// Members currently in the subtree.
@@ -182,6 +206,8 @@ pub enum ProtoEvent {
     },
     /// Periodic buffer-occupancy sample.
     BufferSample {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The sampled entity.
         node: NodeId,
         /// Current `WQ` occupancy (top-ring nodes only; 0 otherwise).
@@ -191,6 +217,8 @@ pub enum ProtoEvent {
     },
     /// Final per-entity statistics, emitted at simulation teardown.
     NeFinal {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The entity.
         node: NodeId,
         /// Peak `WQ` occupancy.
@@ -210,6 +238,8 @@ pub enum ProtoEvent {
     },
     /// Final per-MH statistics, emitted at simulation teardown.
     MhFinal {
+        /// The ordering ring (group) this record belongs to.
+        group: GroupId,
         /// The mobile host.
         mh: Guid,
         /// Messages delivered to the application.
@@ -236,6 +266,7 @@ mod tests {
     #[test]
     fn records_are_copy_and_comparable() {
         let a = ProtoEvent::MhDeliver {
+            group: GroupId(1),
             mh: Guid(1),
             gsn: GlobalSeq(2),
             source: NodeId(3),

@@ -84,12 +84,17 @@ impl NeState {
                     }
                 }
                 DeliverItem::Skip(gsn) => {
-                    out.push(Action::Record(ProtoEvent::NeSkip { node: me, gsn }));
+                    out.push(Action::Record(ProtoEvent::NeSkip {
+                        group,
+                        node: me,
+                        gsn,
+                    }));
                 }
             }
         }
         if self.cfg.record_ne_progress {
             out.push(Action::Record(ProtoEvent::NeDelivered {
+                group,
                 node: me,
                 upto: self.mq.front(),
             }));

@@ -71,6 +71,13 @@ pub struct SourceSpec {
     pub stop: Option<SimTime>,
     /// Stop after this many messages (None = unlimited).
     pub limit: Option<u64>,
+    /// Addressed groups. Empty means "the spec's primary group" (the
+    /// single-group default). Two or more groups route every message
+    /// through the cross-group fence ([`crate::fence`]); each source
+    /// addresses one fixed group or one fixed group set for its whole
+    /// lifetime, so its `(corresponding, local_seq)` identity names the
+    /// same logical channel everywhere.
+    pub groups: Vec<GroupId>,
 }
 
 /// One AG ring.
@@ -96,12 +103,16 @@ pub struct ApSpec {
 }
 
 /// One mobile host.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MhSpec {
     /// Identity.
     pub guid: Guid,
     /// AP joined at simulation start (None = joins later via scenario).
     pub initial_ap: Option<NodeId>,
+    /// Subscribed groups. Empty means "the spec's primary group" (the
+    /// single-group default); every listed group must be declared in
+    /// [`HierarchySpec::groups`].
+    pub subscriptions: Vec<GroupId>,
 }
 
 /// Link profiles for every scope of the hierarchy.
@@ -141,8 +152,15 @@ impl Default for LinkPlan {
 /// The complete declarative description of a RingNet deployment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HierarchySpec {
-    /// The multicast group.
+    /// The primary multicast group (single-group specs order exactly this
+    /// group; multi-group specs use it as the default subscription).
     pub group: GroupId,
+    /// The declared group set. Empty means "just [`Self::group`]" — the
+    /// single-group default every pre-existing construction site keeps.
+    /// With two or more groups the engine instantiates one ordering ring
+    /// per group over the same physical top-ring nodes and wires the
+    /// cross-group fence ([`crate::fence`]) on every top-ring state.
+    pub groups: Vec<GroupId>,
     /// Protocol parameters shared by every entity.
     pub cfg: ProtocolConfig,
     /// Top-ring BRs in ring order.
@@ -160,11 +178,59 @@ pub struct HierarchySpec {
 }
 
 impl HierarchySpec {
+    /// The effective declared group set, sorted ascending: `groups` when
+    /// non-empty (always including `group`), else just `[group]`.
+    pub fn effective_groups(&self) -> Vec<GroupId> {
+        if self.groups.is_empty() {
+            return vec![self.group];
+        }
+        let mut gs: Vec<GroupId> = self.groups.clone();
+        if !gs.contains(&self.group) {
+            gs.push(self.group);
+        }
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+
+    /// The groups a mobile host subscribes to (sorted; empty spec ⇒ the
+    /// primary group).
+    pub fn subscriptions_of(&self, mh: &MhSpec) -> Vec<GroupId> {
+        if mh.subscriptions.is_empty() {
+            return vec![self.group];
+        }
+        let mut gs = mh.subscriptions.clone();
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+
+    /// The groups a source addresses (sorted; empty spec ⇒ the primary
+    /// group).
+    pub fn source_groups_of(&self, src: &SourceSpec) -> Vec<GroupId> {
+        if src.groups.is_empty() {
+            return vec![self.group];
+        }
+        let mut gs = src.groups.clone();
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+
     /// Structural validation; returns human-readable problems (empty = ok).
     pub fn validate(&self) -> Vec<String> {
         let mut problems = self.cfg.validate();
         if self.top_ring.is_empty() {
             problems.push("top ring is empty".into());
+        }
+        let declared: std::collections::BTreeSet<GroupId> =
+            self.effective_groups().into_iter().collect();
+        if declared.len() > self.top_ring.len().max(1) {
+            problems.push(format!(
+                "{} groups declared but only {} ordering-capable top-ring nodes",
+                declared.len(),
+                self.top_ring.len()
+            ));
         }
         let mut seen = std::collections::BTreeSet::new();
         let mut dup_check = |id: NodeId, what: &str, problems: &mut Vec<String>| {
@@ -223,6 +289,11 @@ impl HierarchySpec {
                     problems.push(format!("MH {}: initial AP {ap} does not exist", mh.guid));
                 }
             }
+            for g in &mh.subscriptions {
+                if !declared.contains(g) {
+                    problems.push(format!("MH {}: subscribes to undeclared {g}", mh.guid));
+                }
+            }
         }
         for s in &self.sources {
             if !self.top_ring.contains(&s.corresponding) {
@@ -230,6 +301,14 @@ impl HierarchySpec {
                     "source at {} is not on the top ring",
                     s.corresponding
                 ));
+            }
+            for g in &s.groups {
+                if !declared.contains(g) {
+                    problems.push(format!(
+                        "source at {}: addresses undeclared {g}",
+                        s.corresponding
+                    ));
+                }
             }
         }
         let mut by_corr = std::collections::BTreeSet::new();
@@ -329,6 +408,7 @@ impl HierarchySpec {
 #[derive(Debug, Clone)]
 pub struct HierarchyBuilder {
     group: GroupId,
+    groups: Vec<GroupId>,
     cfg: ProtocolConfig,
     brs: usize,
     ag_rings: usize,
@@ -350,6 +430,7 @@ impl HierarchyBuilder {
     pub fn new(group: GroupId) -> Self {
         HierarchyBuilder {
             group,
+            groups: Vec::new(),
             cfg: ProtocolConfig::default(),
             brs: 4,
             ag_rings: 3,
@@ -371,6 +452,15 @@ impl HierarchyBuilder {
     /// Number of BRs on the top ring.
     pub fn brs(mut self, n: usize) -> Self {
         self.brs = n;
+        self
+    }
+
+    /// Declare a multi-group workload: one ordering ring per listed
+    /// group. MHs subscribe to every group and source *i* addresses group
+    /// `groups[i % groups.len()]`; callers wanting bespoke subscription
+    /// or addressing sets edit the built spec's public fields.
+    pub fn groups(mut self, groups: Vec<GroupId>) -> Self {
+        self.groups = groups;
         self
     }
 
@@ -501,6 +591,18 @@ impl HierarchyBuilder {
                 ap.neighbours.push(ap_ids[i + 1]);
             }
         }
+        // Multi-group declarations subscribe every MH to every group and
+        // spread sources round-robin over the group list; single-group
+        // builds leave both vectors empty (= primary-group default).
+        let declared = {
+            let mut gs = self.groups.clone();
+            if !gs.is_empty() && !gs.contains(&self.group) {
+                gs.push(self.group);
+            }
+            gs.sort_unstable();
+            gs.dedup();
+            gs
+        };
         let mut mhs = Vec::new();
         let mut guid = 0u32;
         for ap in &aps {
@@ -508,6 +610,7 @@ impl HierarchyBuilder {
                 mhs.push(MhSpec {
                     guid: Guid(guid),
                     initial_ap: Some(ap.id),
+                    subscriptions: declared.clone(),
                 });
                 guid += 1;
             }
@@ -519,10 +622,16 @@ impl HierarchyBuilder {
                 start: self.source_start,
                 stop: self.source_stop,
                 limit: self.source_limit,
+                groups: if declared.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![declared[i % declared.len()]]
+                },
             })
             .collect();
         HierarchySpec {
             group: self.group,
+            groups: declared,
             cfg: self.cfg,
             top_ring,
             ag_rings,
@@ -604,6 +713,7 @@ mod tests {
             start: SimTime::ZERO,
             stop: None,
             limit: None,
+            groups: Vec::new(),
         });
         assert!(!spec.validate().is_empty());
 
@@ -611,6 +721,7 @@ mod tests {
         spec2.mhs.push(MhSpec {
             guid: spec2.mhs[0].guid,
             initial_ap: None,
+            subscriptions: Vec::new(),
         });
         assert!(spec2
             .validate()
@@ -665,6 +776,7 @@ mod tests {
         spec.mhs.push(MhSpec {
             guid: Guid(1000),
             initial_ap: None,
+            subscriptions: Vec::new(),
         });
         assert!(spec.validate().is_empty());
     }

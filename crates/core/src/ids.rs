@@ -16,6 +16,25 @@ pub struct GroupId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
+/// Base of the reserved virtual-node range used by the cross-group fence:
+/// each group's funnel ingests fenced messages as a synthetic source stream
+/// keyed by `NodeId::fence_virtual(group)`. Real entities never get ids in
+/// this range (`u32::MAX` stays free as the address-map sentinel).
+const VIRTUAL_FENCE_BASE: u32 = 0xFFFF_0000;
+
+impl NodeId {
+    /// The virtual source identity of group `g`'s fence funnel stream.
+    pub fn fence_virtual(g: GroupId) -> NodeId {
+        debug_assert!(g.0 < u32::MAX - VIRTUAL_FENCE_BASE);
+        NodeId(VIRTUAL_FENCE_BASE + g.0)
+    }
+
+    /// True for fence-funnel virtual identities (never real entities).
+    pub fn is_fence_virtual(self) -> bool {
+        self.0 >= VIRTUAL_FENCE_BASE && self.0 != u32::MAX
+    }
+}
+
 /// Globally unique mobile-host identity (the paper's `GUID`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Guid(pub u32);
@@ -236,6 +255,19 @@ mod tests {
     #[should_panic(expected = "bad range")]
     fn inverted_range_panics() {
         let _ = LocalRange::new(LocalSeq(5), LocalSeq(4));
+    }
+
+    #[test]
+    fn fence_virtual_ids_are_reserved_and_distinct() {
+        let a = NodeId::fence_virtual(GroupId(1));
+        let b = NodeId::fence_virtual(GroupId(2));
+        assert_ne!(a, b);
+        assert!(a.is_fence_virtual());
+        assert!(b.is_fence_virtual());
+        assert!(!NodeId(0).is_fence_virtual());
+        assert!(!NodeId(100_000).is_fence_virtual());
+        // u32::MAX stays free for the address-map sentinel.
+        assert!(!NodeId(u32::MAX).is_fence_virtual());
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //!   `EpochFence` owns token admission and every epoch bump, and a
 //!   deterministic primary-component rule lets the majority side of a
 //!   partitioned ordering ring keep assigning while the fenced minority
-//!   queues, then merges back after the heal.
+//!   queues, then merges back after the heal;
+//! * multi-group scenarios shard the ordering layer into one token ring
+//!   per group; messages addressed to a group *set* are serialized by the
+//!   cross-group fence ([`fence`]) so co-addressed messages deliver in the
+//!   same relative order at every common subscriber.
 //!
 //! The protocol logic is entirely sans-IO: state machines consume events
 //! and emit [`actions::Action`]s, making every algorithm unit-testable.
@@ -71,6 +75,7 @@ pub mod delivering;
 pub mod driver;
 pub mod engine;
 pub mod events;
+pub mod fence;
 pub mod forwarding;
 pub mod hierarchy;
 pub mod ids;
@@ -97,6 +102,7 @@ pub use driver::{
 };
 pub use engine::{AddrMap, RingNetSim};
 pub use events::ProtoEvent;
+pub use fence::CrossGroupFence;
 pub use hierarchy::{figure1, HierarchyBuilder, HierarchySpec, TrafficPattern};
 pub use ids::{Endpoint, Epoch, GlobalSeq, GroupId, Guid, LocalRange, LocalSeq, NodeId, PayloadId};
 pub use mh::MhState;

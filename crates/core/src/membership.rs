@@ -389,6 +389,7 @@ impl NeState {
             self.children.remove(&c);
             self.wt_children.remove(c);
             out.push(Action::Record(ProtoEvent::Pruned {
+                group: self.group,
                 parent: self.id,
                 child: c,
             }));
@@ -452,6 +453,7 @@ impl NeState {
                 // Aggregation root.
                 self.pending_delta = 0;
                 out.push(Action::Record(ProtoEvent::MembershipCount {
+                    group: self.group,
                     node: self.id,
                     members: self.subtree_members,
                 }));

@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::driver::RunMetrics;
-use crate::{GlobalSeq, Guid, LocalSeq, NodeId, ProtoEvent};
+use crate::{GlobalSeq, GroupId, Guid, LocalSeq, NodeId, ProtoEvent};
 use simnet::{Histogram, SimDuration, SimTime};
 
 /// FxHash-style multiply-rotate hasher (the rustc hash): not DoS-hardened
@@ -95,8 +95,9 @@ pub struct MetricsAccumulator {
     ordered: u64,
     source_msgs: u64,
     order_violations: u64,
-    /// Last delivered GSN per MH (order-violation check).
-    last_gsn: FxMap<Guid, GlobalSeq>,
+    /// Last delivered GSN per `(MH, group)` (order-violation check —
+    /// each group's ring numbers its own GSN stream).
+    last_gsn: FxMap<(Guid, GroupId), GlobalSeq>,
     /// First `SourceSend` time per `(source, local_seq)` (latency matching).
     sent: FxMap<(NodeId, LocalSeq), SimTime>,
     e2e: Histogram,
@@ -141,12 +142,13 @@ impl MetricsAccumulator {
             }
             ProtoEvent::Ordered { .. } => self.ordered += 1,
             ProtoEvent::MhDeliver {
+                group,
                 mh,
                 gsn,
                 source,
                 local_seq,
             } => {
-                match self.last_gsn.entry(mh) {
+                match self.last_gsn.entry((mh, group)) {
                     std::collections::hash_map::Entry::Occupied(mut o) => {
                         if gsn <= *o.get() {
                             self.order_violations += 1;
@@ -258,7 +260,8 @@ pub fn multipass_metrics(journal: &Journal, wired_core: &BTreeSet<NodeId>) -> Ru
     }
 }
 
-/// Per-MH delivery records: `(time, gsn)` in delivery order.
+/// Per-MH delivery records: `(time, gsn)` in delivery order (all groups
+/// merged — use [`deliveries_per_mh_group`] for order checks).
 pub fn deliveries_per_mh(journal: &Journal) -> BTreeMap<Guid, Vec<(SimTime, GlobalSeq)>> {
     let mut map: BTreeMap<Guid, Vec<(SimTime, GlobalSeq)>> = BTreeMap::new();
     for (t, e) in journal {
@@ -269,13 +272,28 @@ pub fn deliveries_per_mh(journal: &Journal) -> BTreeMap<Guid, Vec<(SimTime, Glob
     map
 }
 
+/// Per-`(MH, group)` delivery records: `(time, gsn)` in delivery order.
+/// GSN streams are only comparable within one group's ring.
+pub fn deliveries_per_mh_group(
+    journal: &Journal,
+) -> BTreeMap<(Guid, GroupId), Vec<(SimTime, GlobalSeq)>> {
+    let mut map: BTreeMap<(Guid, GroupId), Vec<(SimTime, GlobalSeq)>> = BTreeMap::new();
+    for (t, e) in journal {
+        if let ProtoEvent::MhDeliver { group, mh, gsn, .. } = e {
+            map.entry((*mh, *group)).or_default().push((*t, *gsn));
+        }
+    }
+    map
+}
+
 /// Number of total-order violations: deliveries whose global sequence
-/// number does not strictly increase at some MH. Zero for a correct run.
-/// (Strictly increasing per-MH sequences imply pairwise-consistent total
-/// order across MHs, because the sequence numbers are globally unique.)
+/// number does not strictly increase at some `(MH, group)` stream. Zero
+/// for a correct run. (Strictly increasing per-stream sequences imply
+/// pairwise-consistent total order across MHs within each group, because
+/// the sequence numbers are unique per ring.)
 pub fn order_violations(journal: &Journal) -> u64 {
     let mut violations = 0;
-    for (_, seq) in deliveries_per_mh(journal) {
+    for (_, seq) in deliveries_per_mh_group(journal) {
         for w in seq.windows(2) {
             if w[1].1 <= w[0].1 {
                 violations += 1;
@@ -294,13 +312,22 @@ pub fn order_violations(journal: &Journal) -> u64 {
 /// each unordered pair is checked once: an inversion between `a` and `b`
 /// is the same inversion between `b` and `a`.
 pub fn pairwise_agreement(journal: &Journal) -> bool {
-    let per = deliveries_per_mh(journal);
-    let orders: Vec<Vec<GlobalSeq>> = per
+    let per = deliveries_per_mh_group(journal);
+    let mut by_group: BTreeMap<GroupId, Vec<Vec<GlobalSeq>>> = BTreeMap::new();
+    for ((_, group), v) in &per {
+        by_group
+            .entry(*group)
+            .or_default()
+            .push(v.iter().map(|(_, g)| *g).collect());
+    }
+    by_group
         .values()
-        .map(|v| v.iter().map(|(_, g)| *g).collect())
-        .collect();
+        .all(|orders| pairwise_agreement_within(orders))
+}
+
+fn pairwise_agreement_within(orders: &[Vec<GlobalSeq>]) -> bool {
     let mut positions: Vec<FxMap<GlobalSeq, usize>> = Vec::with_capacity(orders.len());
-    for order in &orders {
+    for order in orders {
         let mut pos = FxMap::with_capacity_and_hasher(order.len(), Default::default());
         for (i, g) in order.iter().enumerate() {
             if pos.insert(*g, i).is_some() {
@@ -588,6 +615,7 @@ mod tests {
         (
             SimTime::from_millis(t),
             ProtoEvent::MhDeliver {
+                group: GroupId(1),
                 mh: Guid(mh),
                 gsn: GlobalSeq(gsn),
                 source: NodeId(0),
@@ -634,6 +662,7 @@ mod tests {
             (
                 SimTime::from_millis(25),
                 ProtoEvent::Ordered {
+                    group: GroupId(1),
                     node: NodeId(0),
                     source: NodeId(0),
                     local_seq: LocalSeq(1),
@@ -647,6 +676,7 @@ mod tests {
             (
                 SimTime::from_millis(90),
                 ProtoEvent::Grafted {
+                    group: GroupId(1),
                     parent: NodeId(0),
                     child: NodeId(1),
                 },
@@ -654,6 +684,7 @@ mod tests {
             (
                 SimTime::from_millis(100),
                 ProtoEvent::NeFinal {
+                    group: GroupId(1),
                     node: NodeId(0),
                     wq_peak: 3,
                     mq_peak: 9,
@@ -668,6 +699,7 @@ mod tests {
         j.push((
             SimTime::from_millis(100),
             ProtoEvent::MhFinal {
+                group: GroupId(1),
                 mh: Guid(0),
                 delivered: 4,
                 skipped: 1,
@@ -740,6 +772,7 @@ mod tests {
         let j = vec![(
             SimTime::ZERO,
             ProtoEvent::MhFinal {
+                group: GroupId(1),
                 mh: Guid(0),
                 delivered: 90,
                 skipped: 10,
@@ -768,6 +801,7 @@ mod tests {
                 (
                     SimTime::from_millis(20 * i),
                     ProtoEvent::TokenPass {
+                        group: GroupId(1),
                         node: NodeId(0),
                         rotation: i,
                         epoch: crate::Epoch(0),

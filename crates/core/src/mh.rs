@@ -158,6 +158,7 @@ impl MhState {
                     self.counters.delivered += 1;
                     if self.cfg.record_mh_deliveries {
                         out.push(Action::Record(ProtoEvent::MhDeliver {
+                            group: self.group,
                             mh: self.guid,
                             gsn,
                             source: data.source,
@@ -169,7 +170,11 @@ impl MhState {
                     self.last_delivered = gsn;
                     self.counters.skipped += 1;
                     if self.cfg.record_mh_deliveries {
-                        out.push(Action::Record(ProtoEvent::MhSkip { mh: self.guid, gsn }));
+                        out.push(Action::Record(ProtoEvent::MhSkip {
+                            group: self.group,
+                            mh: self.guid,
+                            gsn,
+                        }));
                     }
                 }
             }
@@ -246,6 +251,7 @@ impl MhState {
     /// Emit the final-statistics journal record.
     pub fn flush_final_stats(&self, out: &mut Outbox) {
         out.push(Action::Record(ProtoEvent::MhFinal {
+            group: self.group,
             mh: self.guid,
             delivered: self.counters.delivered,
             skipped: self.counters.skipped,

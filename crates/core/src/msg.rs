@@ -4,9 +4,10 @@
 //! injection, ring pre-order circulation, ordered delivery), the token
 //! plane, per-hop reliability (cumulative ACKs and NACKs — the paper's
 //! local-scope retransmission scheme), membership/topology maintenance,
-//! mobility, and token recovery. Every message carries the `GID` so that a
-//! single entity could serve several groups; the engine in this workspace
-//! runs one group per simulation.
+//! mobility, and token recovery. Every message carries the `GID`: the
+//! engine instantiates one ordering ring (token, `WQ`/`MQ`, epoch fence)
+//! per group and dispatches on it, and the cross-group fence adds three
+//! `Fence*` messages for traffic addressed to several groups at once.
 
 use crate::ids::{GlobalSeq, GroupId, Guid, LocalSeq, NodeId, PayloadId};
 use crate::mq::MsgData;
@@ -81,6 +82,57 @@ pub enum Msg {
         group: GroupId,
         /// The missing global sequence numbers.
         missing: Vec<GlobalSeq>,
+    },
+
+    // ----------------------------------------------------- cross-group fence
+    /// Source → corresponding BR (→ fence sequencer): a fresh message
+    /// addressed to *several* groups at once. The single global fence
+    /// sequencer serialises all such messages so every addressed ring
+    /// ingests them in one agreed order.
+    FenceIngress {
+        /// The fence home group (lowest declared group): routes the message
+        /// to the sequencer-hosting ring state, not a destination.
+        group: GroupId,
+        /// The source's corresponding BR — the message's identity node.
+        origin: NodeId,
+        /// Per-source sequence number (identity with `origin`).
+        local_seq: LocalSeq,
+        /// Application payload handle.
+        payload: PayloadId,
+        /// The addressed groups (≥ 2).
+        targets: Vec<GroupId>,
+    },
+    /// Fence sequencer → one addressed group's funnel BR: ingest this fenced
+    /// message into the group's ring as the funnel stream's next entry.
+    FenceDispatch {
+        /// The addressed group.
+        group: GroupId,
+        /// Funnel-stream sequence number (contiguous per group, assigned by
+        /// the sequencer in its global serialisation order).
+        chan_seq: LocalSeq,
+        /// The message's identity node (source's corresponding BR).
+        origin: NodeId,
+        /// The message's identity sequence number at `origin`.
+        origin_seq: LocalSeq,
+        /// Application payload handle.
+        payload: PayloadId,
+    },
+    /// A fenced message circulating a group's top ring (the fence analogue
+    /// of [`Msg::PreOrder`], keyed under the group's virtual funnel stream).
+    FencePreOrder {
+        /// Group.
+        group: GroupId,
+        /// The real BR hosting this group's funnel (circulation stop rule —
+        /// the `WQ` sub-queue itself is keyed by the group's virtual id).
+        funnel: NodeId,
+        /// Funnel-stream sequence number.
+        chan_seq: LocalSeq,
+        /// The message's identity node.
+        origin: NodeId,
+        /// The message's identity sequence number at `origin`.
+        origin_seq: LocalSeq,
+        /// Application payload handle.
+        payload: PayloadId,
     },
 
     // --------------------------------------------------------------- token
@@ -333,6 +385,9 @@ impl Msg {
             | Msg::Data { group, .. }
             | Msg::DataAck { group, .. }
             | Msg::DataNack { group, .. }
+            | Msg::FenceIngress { group, .. }
+            | Msg::FenceDispatch { group, .. }
+            | Msg::FencePreOrder { group, .. }
             | Msg::TokenAck { group, .. }
             | Msg::Heartbeat { group }
             | Msg::HeartbeatAck { group }
@@ -369,6 +424,8 @@ impl Msg {
     pub fn base_wire_size(&self) -> usize {
         match self {
             Msg::SourceData { .. } | Msg::PreOrder { .. } | Msg::Data { .. } => 40,
+            Msg::FenceIngress { targets, .. } => 40 + 4 * targets.len(),
+            Msg::FenceDispatch { .. } | Msg::FencePreOrder { .. } => 48,
             Msg::PreOrderAck { .. } | Msg::DataAck { .. } | Msg::TokenAck { .. } => 24,
             Msg::PreOrderNack { missing, .. } => 24 + 8 * missing.len(),
             Msg::DataNack { missing, .. } => 24 + 8 * missing.len(),
@@ -401,11 +458,16 @@ impl Msg {
         }
     }
 
-    /// True for the three payload-bearing data-plane messages.
+    /// True for the payload-bearing data-plane messages.
     pub fn carries_payload(&self) -> bool {
         matches!(
             self,
-            Msg::SourceData { .. } | Msg::PreOrder { .. } | Msg::Data { .. }
+            Msg::SourceData { .. }
+                | Msg::PreOrder { .. }
+                | Msg::Data { .. }
+                | Msg::FenceIngress { .. }
+                | Msg::FenceDispatch { .. }
+                | Msg::FencePreOrder { .. }
         )
     }
 }
@@ -461,6 +523,30 @@ mod tests {
             crate::ids::LocalRange::new(LocalSeq(1), LocalSeq(5)),
         );
         assert!(Msg::Token(Box::new(t)).base_wire_size() > empty_size);
+    }
+
+    #[test]
+    fn fence_messages_route_and_charge() {
+        let ingress = Msg::FenceIngress {
+            group: GroupId(1),
+            origin: NodeId(3),
+            local_seq: LocalSeq(9),
+            payload: PayloadId(9),
+            targets: vec![GroupId(1), GroupId(2)],
+        };
+        assert_eq!(ingress.group(), GroupId(1));
+        assert!(ingress.carries_payload());
+        assert_eq!(ingress.base_wire_size(), 48);
+        let pre = Msg::FencePreOrder {
+            group: GroupId(2),
+            funnel: NodeId(0),
+            chan_seq: LocalSeq(1),
+            origin: NodeId(3),
+            origin_seq: LocalSeq(9),
+            payload: PayloadId(9),
+        };
+        assert_eq!(pre.group(), GroupId(2));
+        assert!(pre.carries_payload());
     }
 
     #[test]

@@ -346,6 +346,10 @@ pub struct NeState {
     /// cleared by [`Msg::GraftAck`]. (APs track the equivalent via
     /// `ApMhState::grafted` + `ensure_active_grafted`.)
     pub graft_pending: bool,
+    /// Cross-group fence wiring ([`crate::fence`]): present only on
+    /// top-ring states of multi-group simulations. `None` keeps every
+    /// fence path inert (single-group runs are byte-identical).
+    pub cross_fence: Option<crate::fence::CrossGroupFence>,
     /// Deterministic observability: metrics registry plus flight
     /// recorder ([`crate::telemetry`]). No-op unless `cfg.telemetry`.
     pub telemetry: Telemetry,
@@ -389,6 +393,7 @@ impl NeState {
             rejoin_attempts: 0,
             merge_probe_target: 0,
             graft_pending: false,
+            cross_fence: None,
             telemetry: Telemetry::from_cfg(&cfg),
             cfg,
         }
@@ -428,6 +433,7 @@ impl NeState {
             rejoin_attempts: 0,
             merge_probe_target: 0,
             graft_pending: false,
+            cross_fence: None,
             telemetry: Telemetry::from_cfg(&cfg),
             cfg,
         }
@@ -483,6 +489,7 @@ impl NeState {
             rejoin_attempts: 0,
             merge_probe_target: 0,
             graft_pending: false,
+            cross_fence: None,
             telemetry: Telemetry::from_cfg(&cfg),
             cfg,
         }
@@ -562,6 +569,28 @@ impl NeState {
                 missing,
                 ..
             } => self.on_pre_order_nack(from, corresponding, &missing, out),
+            Msg::FenceIngress {
+                origin,
+                local_seq,
+                payload,
+                targets,
+                ..
+            } => self.on_fence_ingress(now, origin, local_seq, payload, targets, out),
+            Msg::FenceDispatch {
+                chan_seq,
+                origin,
+                origin_seq,
+                payload,
+                ..
+            } => self.on_fence_dispatch(now, chan_seq, origin, origin_seq, payload, out),
+            Msg::FencePreOrder {
+                funnel,
+                chan_seq,
+                origin,
+                origin_seq,
+                payload,
+                ..
+            } => self.on_fence_pre_order(now, funnel, chan_seq, (origin, origin_seq), payload, out),
             Msg::Token(token) => self.on_token(now, from, *token, out),
             Msg::TokenAck {
                 epoch, rotation, ..
@@ -617,6 +646,7 @@ impl NeState {
     pub fn flush_final_stats(&self, out: &mut Outbox) {
         out.push(crate::actions::Action::Record(
             crate::events::ProtoEvent::NeFinal {
+                group: self.group,
                 node: self.id,
                 wq_peak: self.wq.as_ref().map_or(0, |w| w.peak_occupancy() as u32),
                 mq_peak: self.mq.peak_occupancy() as u32,

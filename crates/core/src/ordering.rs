@@ -156,6 +156,8 @@ impl NeState {
     }
 
     /// Retransmission request for pre-order entries from the next ring node.
+    /// Fence-virtual streams are re-served as [`Msg::FencePreOrder`] (they
+    /// carry the original source identity and the funnel stop rule).
     pub(crate) fn on_pre_order_nack(
         &mut self,
         from: Endpoint,
@@ -167,18 +169,31 @@ impl NeState {
             return;
         };
         let group = self.group;
+        let funnel = self.cross_fence.as_ref().map(|cf| cf.funnel);
         let Some(wq) = self.wq.as_ref() else { return };
         for &ls in missing {
-            if let Some(payload) = wq.get(corresponding, ls) {
-                out.push(Action::to_ne(
-                    requester,
+            if let Some((payload, origin)) = wq.get_entry(corresponding, ls) {
+                let msg = if corresponding.is_fence_virtual() {
+                    let Some(funnel) = funnel else { continue };
+                    let (origin, origin_seq) =
+                        origin.expect("fence-virtual entries carry their origin identity");
+                    Msg::FencePreOrder {
+                        group,
+                        funnel,
+                        chan_seq: ls,
+                        origin,
+                        origin_seq,
+                        payload,
+                    }
+                } else {
                     Msg::PreOrder {
                         group,
                         corresponding,
                         local_seq: ls,
                         payload,
-                    },
-                ));
+                    }
+                };
+                out.push(Action::to_ne(requester, msg));
                 self.counters.retransmissions += 1;
             }
         }
@@ -303,6 +318,7 @@ impl NeState {
         if self.is_ring_leader() {
             token.complete_rotation_keeping(self.cfg.wtsnp_retain_rotations);
         }
+        let group = self.group;
         let ord = self.ord.as_mut().expect("ordering state");
         // Pre-assign global numbers to every ready-to-be-ordered message
         // from our own source (Holder.MinLocalSeqNo ..= Holder.MaxLocalSeqNo).
@@ -312,6 +328,7 @@ impl NeState {
             let min_gs = token.assign(me, me, range);
             for (i, ls) in range.iter().enumerate() {
                 out.push(Action::Record(ProtoEvent::Ordered {
+                    group,
                     node: me,
                     source: me,
                     local_seq: ls,
@@ -323,8 +340,15 @@ impl NeState {
             self.telemetry.gsn_assigned(now, min_gs, batch);
             assigned = Some((range, min_gs));
         }
+        // The group's fence funnel assigns the cross-group stream the same
+        // way, under its virtual source identity (no-op on single-group
+        // runs and on every non-funnel node — see `crate::fence`). The
+        // entries are taken from the WQ here so the `Ordered` records can
+        // carry the *original* `(source, local_seq)` identity.
+        let fence_assigned = self.fence_assign_on_token(now, &mut token, out);
         // Keep the two most recent token versions (§4.1); the ablation knob
         // drops the old one.
+        let ord = self.ord.as_mut().expect("ordering state");
         ord.old_token = if self.cfg.keep_old_token {
             ord.new_token.take()
         } else {
@@ -332,6 +356,7 @@ impl NeState {
         };
         ord.new_token = Some(token.clone());
         out.push(Action::Record(ProtoEvent::TokenPass {
+            group,
             node: me,
             rotation: token.rotation,
             epoch: token.epoch,
@@ -345,6 +370,7 @@ impl NeState {
         // token rotates so fast that WTSNP entries are pruned before other
         // nodes' τ ticks see them, at least the assigner retains every
         // message in its MQ, from where ring-level NACK repair can fetch it.
+        let drove = assigned.is_some() || !fence_assigned.is_empty();
         if let Some((range, min_gs)) = assigned {
             let copied = self
                 .wq
@@ -354,6 +380,11 @@ impl NeState {
             for (gsn, data) in copied {
                 let _ = self.mq.insert(gsn, data);
             }
+        }
+        for (gsn, data) in fence_assigned {
+            let _ = self.mq.insert(gsn, data);
+        }
+        if drove {
             self.drive_delivery(now, out);
         }
         // Reliable transfer to the next node.
@@ -395,6 +426,7 @@ impl NeState {
             return;
         }
         let me = self.id;
+        let group = self.group;
         let record_copies = self.cfg.record_ne_progress;
         let Some(ord) = self.ord.as_ref() else { return };
         // Gather WTSNP entries from both kept versions, dedup by range.
@@ -417,7 +449,11 @@ impl NeState {
         }
         for (gsn, data) in copied {
             if self.mq.insert(gsn, data) == InsertOutcome::Stored && record_copies {
-                out.push(Action::Record(ProtoEvent::MqCopied { node: me, gsn }));
+                out.push(Action::Record(ProtoEvent::MqCopied {
+                    group,
+                    node: me,
+                    gsn,
+                }));
             }
         }
         self.drive_delivery(now, out);

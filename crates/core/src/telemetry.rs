@@ -654,6 +654,70 @@ pub struct NodeDump {
     pub records: Vec<TraceEntry>,
 }
 
+impl NodeDump {
+    /// Merge the per-group dumps of one physical node into a single
+    /// node-level dump (multi-group engines run one recorder per group
+    /// state but the bank is keyed by `NodeId`). A single dump is
+    /// returned unchanged — the single-group fast path stays
+    /// byte-identical. Several dumps sum counters and histograms, keep
+    /// the maximum of each gauge (`epoch` is a high-water mark), and
+    /// interleave trace records by `(time, group position, seq)` under a
+    /// fresh contiguous `seq` numbering.
+    pub fn merge(dumps: Vec<NodeDump>) -> Option<NodeDump> {
+        let mut it = dumps.into_iter();
+        let first = it.next()?;
+        let rest: Vec<NodeDump> = it.collect();
+        if rest.is_empty() {
+            return Some(first);
+        }
+        let mut metrics = first.metrics;
+        let mut tagged: Vec<(SimTime, usize, u64, TraceRecord)> = first
+            .records
+            .iter()
+            .map(|e| (e.at, 0usize, e.seq, e.record))
+            .collect();
+        for (gi, d) in rest.into_iter().enumerate() {
+            for (k, v) in d.metrics.counters {
+                *metrics.counters.entry(k).or_insert(0) += v;
+            }
+            for (k, v) in d.metrics.gauges {
+                let slot = metrics.gauges.entry(k).or_insert(0);
+                *slot = v.max(*slot);
+            }
+            for (k, h) in d.metrics.histograms {
+                let slot = metrics.histograms.entry(k).or_default();
+                for (b, add) in slot.buckets.iter_mut().zip(h.buckets.iter()) {
+                    *b += add;
+                }
+                if h.count > 0 {
+                    if slot.count == 0 || h.min_ns < slot.min_ns {
+                        slot.min_ns = h.min_ns;
+                    }
+                    if h.max_ns > slot.max_ns {
+                        slot.max_ns = h.max_ns;
+                    }
+                    slot.count += h.count;
+                    slot.sum_ns += h.sum_ns;
+                }
+            }
+            for e in d.records {
+                tagged.push((e.at, gi + 1, e.seq, e.record));
+            }
+        }
+        tagged.sort_by_key(|&(at, gi, seq, _)| (at, gi, seq));
+        let records = tagged
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at, _, _, record))| TraceEntry {
+                at,
+                seq: i as u64,
+                record,
+            })
+            .collect();
+        Some(NodeDump { metrics, records })
+    }
+}
+
 /// All nodes' dumps, harvested by the engine at `FlushStats` time.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TelemetryBank {
@@ -968,6 +1032,32 @@ mod tests {
         assert_eq!(merged[0].0, NodeId(1)); // t=2
         assert_eq!(merged[1].0, NodeId(2)); // t=5 shard 0
         assert_eq!(merged[2].0, NodeId(1)); // t=5 shard 1
+    }
+
+    #[test]
+    fn node_dump_merge_keeps_single_dump_untouched_and_sums_multi() {
+        let mut a = on();
+        a.token_pass(SimTime::from_nanos(1_000), Epoch(3), 1, GlobalSeq(4));
+        let da = a.dump().expect("enabled");
+        assert_eq!(
+            NodeDump::merge(vec![da.clone()]),
+            Some(da.clone()),
+            "single-group fast path is the identity"
+        );
+
+        let mut b = on();
+        b.token_pass(SimTime::from_nanos(500), Epoch(1), 0, GlobalSeq(0));
+        b.token_pass(SimTime::from_nanos(1_500), Epoch(1), 1, GlobalSeq(2));
+        let merged = NodeDump::merge(vec![da, b.dump().expect("enabled")]).expect("non-empty");
+        assert_eq!(merged.metrics.counter(metric::TOKEN_PASSES), 3);
+        // Gauges keep the high-water mark (epoch 3 beats epoch 1).
+        assert_eq!(merged.metrics.gauges[metric::EPOCH], 3);
+        // Records interleave by time and renumber contiguously.
+        let times: Vec<u64> = merged.records.iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![500, 1_000, 1_500]);
+        let seqs: Vec<u64> = merged.records.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(NodeDump::merge(Vec::new()), None);
     }
 
     #[test]

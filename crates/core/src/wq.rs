@@ -34,6 +34,12 @@ enum SqSlot {
         gsn: Option<GlobalSeq>,
         /// Copied into `MQ` already.
         copied: bool,
+        /// Overriding message identity `(source, local_seq)` for entries of
+        /// a fence funnel stream, whose queue key and slot position are the
+        /// group's virtual funnel id and channel sequence. `None` (every
+        /// normal entry) means the identity is the queue key and slot
+        /// sequence themselves.
+        origin: Option<(NodeId, LocalSeq)>,
     },
 }
 
@@ -67,7 +73,13 @@ impl SourceQueue {
         (i < self.slots.len()).then_some(i)
     }
 
-    fn insert(&mut self, ls: LocalSeq, payload: PayloadId, capacity: usize) -> InsertOutcome {
+    fn insert(
+        &mut self,
+        ls: LocalSeq,
+        payload: PayloadId,
+        origin: Option<(NodeId, LocalSeq)>,
+        capacity: usize,
+    ) -> InsertOutcome {
         debug_assert!(ls.is_valid());
         if ls < self.base {
             return InsertOutcome::Stale;
@@ -90,6 +102,7 @@ impl SourceQueue {
                     payload,
                     gsn: None,
                     copied: false,
+                    origin,
                 };
                 if ls > self.rear {
                     self.rear = ls;
@@ -171,6 +184,19 @@ impl WorkingQueue {
         ls: LocalSeq,
         payload: PayloadId,
     ) -> InsertOutcome {
+        self.insert_with_origin(corresponding, ls, payload, None)
+    }
+
+    /// Offer a fence funnel-stream entry: keyed under the group's virtual
+    /// funnel id at its channel sequence, but carrying its real identity
+    /// `(source, local_seq)` for `MQ` records downstream.
+    pub fn insert_with_origin(
+        &mut self,
+        corresponding: NodeId,
+        ls: LocalSeq,
+        payload: PayloadId,
+        origin: Option<(NodeId, LocalSeq)>,
+    ) -> InsertOutcome {
         let cap = self.capacity_per_source;
         let resync = self.resync_streams;
         let q = self
@@ -180,7 +206,7 @@ impl WorkingQueue {
         if resync && q.slots.is_empty() && q.rear == LocalSeq::ZERO && q.base == LocalSeq::FIRST {
             q.base = ls;
         }
-        let outcome = q.insert(ls, payload, cap);
+        let outcome = q.insert(ls, payload, origin, cap);
         if outcome == InsertOutcome::Overflow {
             self.overflow_drops += 1;
         }
@@ -192,9 +218,21 @@ impl WorkingQueue {
 
     /// Payload of a retained message (serves ring retransmissions).
     pub fn get(&self, corresponding: NodeId, ls: LocalSeq) -> Option<PayloadId> {
+        self.get_entry(corresponding, ls).map(|(p, _)| p)
+    }
+
+    /// Payload plus overriding identity of a retained message (serves fence
+    /// funnel-stream retransmissions, which must rebuild the full entry).
+    pub fn get_entry(
+        &self,
+        corresponding: NodeId,
+        ls: LocalSeq,
+    ) -> Option<(PayloadId, Option<(NodeId, LocalSeq)>)> {
         let q = self.queues.get(&corresponding)?;
         match q.slots.get(q.idx(ls)?) {
-            Some(SqSlot::Present { payload, .. }) => Some(*payload),
+            Some(SqSlot::Present {
+                payload, origin, ..
+            }) => Some((*payload, *origin)),
             _ => None,
         }
     }
@@ -219,6 +257,7 @@ impl WorkingQueue {
                 payload,
                 gsn,
                 copied,
+                origin,
             } = &mut q.slots[i]
             {
                 if *copied {
@@ -227,11 +266,12 @@ impl WorkingQueue {
                 let g = min_gs.advance(ls.since(range.min));
                 *gsn = Some(g);
                 *copied = true;
+                let (src, src_seq) = origin.unwrap_or((source, ls));
                 out.push((
                     g,
                     MsgData {
-                        source,
-                        local_seq: ls,
+                        source: src,
+                        local_seq: src_seq,
                         ordering_node: corresponding,
                         payload: *payload,
                     },
@@ -370,6 +410,32 @@ mod tests {
         assert_eq!(
             plain.insert(N1, LocalSeq(500), PayloadId(500)),
             InsertOutcome::Overflow
+        );
+    }
+
+    #[test]
+    fn fence_origin_identity_survives_ordering() {
+        let mut wq = WorkingQueue::new(8);
+        let funnel_stream = NodeId::fence_virtual(crate::ids::GroupId(2));
+        wq.insert_with_origin(
+            funnel_stream,
+            LocalSeq(1),
+            PayloadId(77),
+            Some((NodeId(5), LocalSeq(40))),
+        );
+        let out = wq.take_orderable(
+            funnel_stream,
+            funnel_stream,
+            LocalRange::new(LocalSeq(1), LocalSeq(1)),
+            GlobalSeq(9),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.source, NodeId(5));
+        assert_eq!(out[0].1.local_seq, LocalSeq(40));
+        assert_eq!(out[0].1.ordering_node, funnel_stream);
+        assert_eq!(
+            wq.get_entry(funnel_stream, LocalSeq(1)),
+            Some((PayloadId(77), Some((NodeId(5), LocalSeq(40)))))
         );
     }
 

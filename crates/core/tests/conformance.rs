@@ -446,6 +446,7 @@ fn membership_counts_aggregate_to_top_leader() {
             ProtoEvent::MembershipCount {
                 node: NodeId(0),
                 members,
+                ..
             } => Some(*members),
             _ => None,
         })

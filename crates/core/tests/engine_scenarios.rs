@@ -201,6 +201,7 @@ fn reservation_expires_and_ap_prunes_itself() {
     spec.mhs.push(MhSpec {
         guid: Guid(0),
         initial_ap: Some(home),
+        subscriptions: Vec::new(),
     });
     let mut net = RingNetSim::build(spec, 37);
     net.run_until(SimTime::from_secs(4));

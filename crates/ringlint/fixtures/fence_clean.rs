@@ -1,0 +1,25 @@
+// Fixture: the delegating cross-group fence — the shape
+// `core::fence` actually ships. The fence owns its own contiguous
+// channel-sequence counters, carries `Epoch` values opaquely alongside
+// dispatches, and routes every admission decision through the
+// ring_epoch fence. Nothing here needs a suppression.
+
+struct DelegatingFence {
+    home_group: GroupId,
+    sequencer: NodeId,
+    armed: Epoch, // a field *holding* an epoch is fine; ordering it is not
+}
+
+fn carry(token: &OrderingToken) -> Epoch {
+    token.epoch // moving the value along with the dispatch is legal
+}
+
+fn admit_dispatch(fence: &mut EpochFence, token: &OrderingToken) -> bool {
+    fence.admit(token.pass_id()) // the ordering decision stays in ring_epoch
+}
+
+fn stamp_chan_seq(next_seq: &mut u64) -> u64 {
+    let seq = *next_seq;
+    *next_seq += 1;
+    seq // the fence's own counter is the channel order — no epoch involved
+}

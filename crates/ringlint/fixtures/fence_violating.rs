@@ -1,0 +1,26 @@
+// Fixture: a cross-group fence that grew its own epoch ordering — a
+// second epoch-ordering site outside ring_epoch. Every shape here is a
+// real temptation when wiring the fence sequencer across rings (gate the
+// dispatch on the token's epoch, mint a "fence epoch" at merge, fold the
+// epoch into the channel sequence), and every one is banned: the fence
+// must stay epoch-blind and delegate to EpochFence.
+
+fn bad_mint_on_merge(merge_round: u64) -> Epoch {
+    Epoch(merge_round) // minting a fence epoch instead of EpochFence::regenerate
+}
+
+fn bad_gate_dispatch(token: &OrderingToken, armed: Epoch) -> bool {
+    token.epoch < armed // gating FenceDispatch on a raw epoch comparison
+}
+
+fn bad_gate_reversed(armed: Epoch, token: &OrderingToken) -> bool {
+    armed != token.epoch // reversed comparison (receiver chain on the right)
+}
+
+fn bad_restamp(token: &mut OrderingToken, e: Epoch) {
+    token.epoch = e; // re-stamping the token as it crosses the fence
+}
+
+fn bad_chan_seq(token: &OrderingToken) -> u64 {
+    token.epoch.0 // folding the inner integer into the channel sequence
+}

@@ -52,6 +52,30 @@ fn epoch_fixture_pair() {
 }
 
 #[test]
+fn fence_fixture_pair() {
+    // The cross-group fence (PR 9) is the second place epoch ordering
+    // could plausibly creep back in outside ring_epoch: a sequencer that
+    // gates dispatches on token epochs, mints a "fence epoch" at merge,
+    // or folds the epoch integer into its channel sequence. The
+    // violating fixture builds exactly that rogue fence and every site
+    // trips `epoch-fence`; the clean fixture is the delegating shape
+    // `core::fence` actually uses (own counters, opaque Epoch carry,
+    // admission through EpochFence) and needs no suppression.
+    let bad = lint_as(
+        "ringnet_core",
+        include_str!("../fixtures/fence_violating.rs"),
+    );
+    assert_eq!(
+        bad.len(),
+        5,
+        "mint, gate cmp, reversed cmp, restamp, chan-seq peel: {bad:?}"
+    );
+    assert!(rules_of(&bad).iter().all(|r| *r == "epoch-fence"));
+    let clean = lint_as("ringnet_core", include_str!("../fixtures/fence_clean.rs"));
+    assert!(clean.is_empty(), "delegating fence flagged: {clean:?}");
+}
+
+#[test]
 fn epoch_rule_silent_inside_ring_epoch() {
     let krate = crate_spec("ringnet_core").unwrap();
     let bad = include_str!("../fixtures/epoch_violating.rs");

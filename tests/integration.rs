@@ -57,6 +57,7 @@ fn multi_source_interleaving_is_identical_everywhere() {
             gsn,
             source,
             local_seq,
+            ..
         } = e
         {
             by_mh
@@ -221,6 +222,7 @@ fn invalid_spec_is_rejected() {
             start: SimTime::ZERO,
             stop: None,
             limit: None,
+            groups: Vec::new(),
         });
     let _ = RingNetSim::build(spec, 1);
 }
