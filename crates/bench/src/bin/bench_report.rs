@@ -8,6 +8,13 @@
 //! Defaults to `BENCH_ringnet.json` in the current directory and 5 timed
 //! samples per benchmark. `quick` drops to a single sample — the CI smoke
 //! mode that exercises every bench path without asserting timings.
+//!
+//! The process runs under [`ringnet_bench::alloc::CountingAlloc`], so the
+//! hot-path section at the end of the document carries real
+//! `allocs_per_delivery` numbers next to wall time.
+
+#[global_allocator]
+static ALLOC: ringnet_bench::alloc::CountingAlloc = ringnet_bench::alloc::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +34,12 @@ fn main() {
     ringnet_bench::suites::full_sweep(&mut r);
     eprintln!("experiments (quick) suite…");
     ringnet_bench::suites::experiments(&mut r);
-    std::fs::write(&path, r.to_json()).expect("write bench json");
-    eprintln!("wrote {path} ({} benches)", r.results.len());
+    eprintln!("hotpath allocation audit…");
+    let hotpath = ringnet_bench::suites::hotpath_scenarios();
+    std::fs::write(&path, r.to_json_with_hotpath(&hotpath)).expect("write bench json");
+    eprintln!(
+        "wrote {path} ({} benches, {} hotpath rows)",
+        r.results.len(),
+        hotpath.len()
+    );
 }

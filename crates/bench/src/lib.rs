@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod micro;
 pub mod suites;
 

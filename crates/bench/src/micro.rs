@@ -103,8 +103,15 @@ impl Runner {
 
     /// Serialise all results as the `BENCH_ringnet.json` document.
     pub fn to_json(&self) -> String {
+        self.to_json_with_hotpath(&[])
+    }
+
+    /// [`Runner::to_json`] plus the hot-path allocation-audit section
+    /// (`allocs_per_delivery` next to wall time, one row per flagship
+    /// scenario — empty slice omits the section entirely).
+    pub fn to_json_with_hotpath(&self, hotpath: &[crate::suites::HotpathRow]) -> String {
         use harness::report::json;
-        let mut out = String::from("{\n  \"schema\": \"ringnet-bench/v1\",\n  \"benches\": [\n");
+        let mut out = String::from("{\n  \"schema\": \"ringnet-bench/v2\",\n  \"benches\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let sep = if i + 1 < self.results.len() { "," } else { "" };
             let tput = r
@@ -122,7 +129,24 @@ impl Runner {
                 tput,
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if !hotpath.is_empty() {
+            out.push_str(",\n  \"hotpath\": [\n");
+            for (i, h) in hotpath.iter().enumerate() {
+                let sep = if i + 1 < hotpath.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"name\": {}, \"wall_ms\": {:.2}, \"delivered\": {}, \
+                     \"allocs_per_delivery\": {:.3}, \"alloc_bytes_per_delivery\": {:.1}}}{sep}\n",
+                    json::string(&h.name),
+                    h.wall_ms,
+                    h.delivered,
+                    h.allocs_per_delivery,
+                    h.alloc_bytes_per_delivery,
+                ));
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -168,8 +192,26 @@ mod tests {
         assert!(b.throughput().unwrap() > 0.0);
         let json = r.to_json();
         assert!(json.contains("\"group\": \"demo\""));
-        assert!(json.contains("ringnet-bench/v1"));
+        assert!(json.contains("ringnet-bench/v2"));
+        assert!(!json.contains("hotpath"), "empty hotpath omits the section");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(r.report().contains("demo/sum"));
+    }
+
+    #[test]
+    fn hotpath_section_renders() {
+        let mut r = Runner::new().samples(1).quiet();
+        r.bench("demo", "sum", None, || 1u64);
+        let rows = vec![crate::suites::HotpathRow {
+            name: "flagship".into(),
+            wall_ms: 12.0,
+            delivered: 1000,
+            allocs_per_delivery: 0.119,
+            alloc_bytes_per_delivery: 166.0,
+        }];
+        let json = r.to_json_with_hotpath(&rows);
+        assert!(json.contains("\"hotpath\": ["));
+        assert!(json.contains("\"allocs_per_delivery\": 0.119"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

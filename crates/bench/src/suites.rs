@@ -223,6 +223,57 @@ fn full_sweep_scenario() -> Scenario {
         .build()
 }
 
+/// Recorded pre-copy-free-fabric baselines (best-of-3 release runs on the
+/// reference box, see the EXPERIMENTS.md hot-path table): wall-clock
+/// milliseconds for one run of the named `full_sweep` row. The copy-free
+/// fabric (ISSUE 10) is required to beat these by the factors asserted in
+/// [`assert_speedup`] calls below.
+const BASELINE_128_WALKERS_MS: f64 = 19.06;
+const BASELINE_MULTIGROUP_R4_MS: f64 = 57.30;
+
+/// Assert the just-benched `full_sweep/{name}` row beats `baseline_ms` by
+/// at least `factor`, judged on the minimum sample (the noise floor on a
+/// busy single-core box; the mean soaks up scheduler preemption). On a
+/// shared box even the min can be preempted across every sample, so a
+/// miss gets up to eight extra single-shot retries of `rerun` before the
+/// gate fails — one clean sample anywhere proves the speedup. Extra
+/// samples are folded back into the recorded row so the emitted JSON
+/// reflects everything that was measured. (The *deterministic* gate on
+/// this work is the allocation audit in `bin/hotpath.rs`; this wall gate
+/// exists so a genuine wall-clock regression still fails the suite.)
+fn assert_speedup<T>(
+    r: &mut Runner,
+    name: &str,
+    baseline_ms: f64,
+    factor: f64,
+    mut rerun: impl FnMut() -> T,
+) {
+    let idx = r
+        .results
+        .iter()
+        .rposition(|b| b.group == "full_sweep" && b.name == name)
+        .unwrap_or_else(|| panic!("row full_sweep/{name} must be benched before asserting on it"));
+    let ceiling = baseline_ms / factor;
+    let mut retries = 0u32;
+    while r.results[idx].min_ns / 1e6 > ceiling && retries < 8 {
+        let t0 = std::time::Instant::now();
+        black_box(rerun());
+        let ns = t0.elapsed().as_nanos() as f64;
+        let row = &mut r.results[idx];
+        row.mean_ns = (row.mean_ns * row.samples as f64 + ns) / (row.samples + 1) as f64;
+        row.min_ns = row.min_ns.min(ns);
+        row.samples += 1;
+        retries += 1;
+    }
+    let min_ms = r.results[idx].min_ns / 1e6;
+    assert!(
+        min_ms <= ceiling,
+        "full_sweep/{name}: best sample {min_ms:.2} ms (after {retries} retries) misses the \
+         required {factor}x speedup over the recorded {baseline_ms:.2} ms baseline \
+         (ceiling {ceiling:.2} ms)"
+    );
+}
+
 /// Full-sweep-scale benchmarks: `RunReport` construction over a journal in
 /// the hundreds of thousands of entries — the legacy multi-pass assembly
 /// vs the single-pass `MetricsAccumulator` — plus the end-to-end cost of a
@@ -266,6 +317,13 @@ pub fn full_sweep(r: &mut Runner) {
         "full_sweep",
         "ringnet_128_walkers_one_sim_second",
         None,
+        || black_box(RingNetSim::run_scenario(&one_sec, 7).metrics.delivered),
+    );
+    assert_speedup(
+        r,
+        "ringnet_128_walkers_one_sim_second",
+        BASELINE_128_WALKERS_MS,
+        1.4,
         || black_box(RingNetSim::run_scenario(&one_sec, 7).metrics.delivered),
     );
 
@@ -351,10 +409,13 @@ pub fn full_sweep(r: &mut Runner) {
         sc
     };
     let mut delivered_at_rings = std::collections::BTreeMap::new();
+    let mut sent_at_rings = std::collections::BTreeMap::new();
     for rings in [1u32, 2, 4, 8] {
         let sc = multigroup_scenario(rings);
-        let delivered = RingNetSim::run_scenario(&sc, 7).metrics.delivered;
+        let probe = RingNetSim::run_scenario(&sc, 7);
+        let delivered = probe.metrics.delivered;
         delivered_at_rings.insert(rings, delivered);
+        sent_at_rings.insert(rings, probe.stats.packets_sent);
         r.bench(
             "full_sweep",
             &format!("multigroup_throughput_rings_{rings}"),
@@ -366,6 +427,14 @@ pub fn full_sweep(r: &mut Runner) {
             },
         );
     }
+    let sc4 = multigroup_scenario(4);
+    assert_speedup(
+        r,
+        "multigroup_throughput_rings_4",
+        BASELINE_MULTIGROUP_R4_MS,
+        1.3,
+        || black_box(RingNetSim::run_scenario(&sc4, 7).metrics.delivered),
+    );
     assert!(
         delivered_at_rings[&4] >= 3 * delivered_at_rings[&1],
         "4 rings must deliver ≥ 3× a saturated single ring at fixed offered \
@@ -373,6 +442,44 @@ pub fn full_sweep(r: &mut Runner) {
         delivered_at_rings[&4],
         delivered_at_rings[&1]
     );
+
+    // Per-ring wall cost: the root cause of the 8-ring wall-per-delivery
+    // degradation (EXPERIMENTS.md "Where the 8-ring wall goes"). At fixed
+    // offered load, app deliveries plateau once two rings carry the load,
+    // but every extra ring keeps its own token circulating and its own
+    // ack/PreOrder control chatter flowing — so wire packets per delivery
+    // grow with ring count while delivery payoff stays flat. This row pins
+    // the wire-packet throughput of the 8-ring run (per-packet cost is the
+    // flat part; the *count* is what grows), and the assertions pin the
+    // plateau-vs-control-growth signature itself.
+    {
+        let sc = multigroup_scenario(8);
+        let sent = sent_at_rings[&8];
+        r.bench(
+            "full_sweep",
+            "multigroup_wire_packets_rings_8",
+            Some(sent),
+            || {
+                let rep = RingNetSim::run_scenario(&sc, 7);
+                assert_eq!(rep.stats.packets_sent, sent, "run not deterministic");
+                black_box(rep.stats.packets_sent)
+            },
+        );
+        assert!(
+            delivered_at_rings[&8] < delivered_at_rings[&2] + delivered_at_rings[&2] / 10,
+            "delivery plateau: 8 rings were expected to deliver within 10% of 2 rings \
+             at fixed offered load (got {} vs {})",
+            delivered_at_rings[&8],
+            delivered_at_rings[&2]
+        );
+        assert!(
+            sent_at_rings[&8] > sent_at_rings[&2],
+            "control growth: 8 rings must push more wire packets than 2 at fixed \
+             offered load (got {} vs {})",
+            sent_at_rings[&8],
+            sent_at_rings[&2]
+        );
+    }
 
     // Overlap-heavy variant: same aggregate offered load on 4 rings, but
     // every source targets *two* adjacent groups, so every message routes
@@ -414,6 +521,77 @@ pub fn full_sweep(r: &mut Runner) {
             black_box(rep.metrics.delivered)
         },
     );
+}
+
+/// One hot-path audit row: wall time and allocator activity per delivery.
+#[derive(Debug, Clone, Default)]
+pub struct HotpathRow {
+    /// Scenario name (matches the `full_sweep` bench row of the same name).
+    pub name: String,
+    /// Wall-clock milliseconds for one run (best of three).
+    pub wall_ms: f64,
+    /// Messages delivered by the run.
+    pub delivered: u64,
+    /// Allocator calls per delivered message (minimum over the runs —
+    /// warm-up noise like lazily grown buffers only inflates early runs).
+    pub allocs_per_delivery: f64,
+    /// Allocator bytes per delivered message (same minimum).
+    pub alloc_bytes_per_delivery: f64,
+}
+
+/// The fabric's flagship workloads, measured for wall time *and*
+/// allocations per delivery (via [`crate::alloc`]; the allocation columns
+/// read zero unless the calling binary installed
+/// [`crate::alloc::CountingAlloc`] as its global allocator). Used by the
+/// `hotpath` binary (report + CI gate) and `bench_report`
+/// (`allocs_per_delivery` columns in `BENCH_ringnet.json`).
+pub fn hotpath_scenarios() -> Vec<HotpathRow> {
+    let mut one_sec = full_sweep_scenario();
+    one_sec.duration = SimTime::from_secs(1);
+    one_sec.limit = Some(150);
+
+    let rings = 4u32;
+    let mut multigroup = Scenario::builder()
+        .attachments(8)
+        .walkers_per_attachment(1)
+        .sources(8)
+        .cbr(SimDuration::from_millis(2))
+        .loss_free_wireless()
+        .duration(SimTime::from_secs(2))
+        .groups((1..=rings).map(GroupId).collect())
+        .build();
+    multigroup.cfg.mq_capacity = 128;
+    multigroup.cfg = multigroup.cfg.quiet();
+    multigroup.retain_journal = false;
+
+    let cases = [
+        ("ringnet_128_walkers_one_sim_second", one_sec),
+        ("multigroup_throughput_rings_4", multigroup),
+    ];
+    let mut rows = Vec::new();
+    for (name, sc) in cases {
+        let mut best_ms = f64::INFINITY;
+        let mut best_allocs = u64::MAX;
+        let mut best_bytes = u64::MAX;
+        let mut delivered = 0u64;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            let (rep, d) = crate::alloc::measure(|| RingNetSim::run_scenario(&sc, 7));
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            best_allocs = best_allocs.min(d.calls);
+            best_bytes = best_bytes.min(d.bytes);
+            delivered = rep.metrics.delivered;
+        }
+        assert!(delivered > 0, "{name} delivered nothing");
+        rows.push(HotpathRow {
+            name: name.to_string(),
+            wall_ms: best_ms,
+            delivered,
+            allocs_per_delivery: best_allocs as f64 / delivered as f64,
+            alloc_bytes_per_delivery: best_bytes as f64 / delivered as f64,
+        });
+    }
+    rows
 }
 
 /// One bench per paper table/figure (DESIGN.md §4): each runs the

@@ -31,24 +31,49 @@ const TAG_STATS: u64 = 4;
 const TAG_SOURCE: u64 = 5;
 
 /// Identity ↔ address translation, built once per simulation.
+///
+/// Lookups run once per sent action (`resolve`) and once per delivered
+/// packet (`endpoint_of`), so each direction keeps a dense index-by-id
+/// fast path next to the ordered map; ids beyond [`AddrMap::DENSE_LIMIT`]
+/// (none in practice — builders assign small contiguous ids) fall back to
+/// the map.
 #[derive(Debug, Default)]
 pub struct AddrMap {
     ne: std::collections::BTreeMap<NodeId, NodeAddr>,
     mh: std::collections::BTreeMap<Guid, NodeAddr>,
     rev: std::collections::BTreeMap<NodeAddr, Endpoint>,
+    ne_dense: Vec<Option<NodeAddr>>,
+    mh_dense: Vec<Option<NodeAddr>>,
+    rev_dense: Vec<Option<Endpoint>>,
 }
 
 impl AddrMap {
+    /// Ids below this get a dense-index slot; larger ones stay map-only.
+    const DENSE_LIMIT: usize = 1 << 16;
+
+    fn set_dense<T: Copy>(dense: &mut Vec<Option<T>>, i: usize, v: T) {
+        if i < Self::DENSE_LIMIT {
+            if i >= dense.len() {
+                dense.resize(i + 1, None);
+            }
+            dense[i] = Some(v);
+        }
+    }
+
     /// Register a network entity's address (engine/baseline builders).
     pub fn insert_ne(&mut self, id: NodeId, addr: NodeAddr) {
         self.ne.insert(id, addr);
         self.rev.insert(addr, Endpoint::Ne(id));
+        Self::set_dense(&mut self.ne_dense, id.0 as usize, addr);
+        Self::set_dense(&mut self.rev_dense, addr.index(), Endpoint::Ne(id));
     }
 
     /// Register a mobile host's address (engine/baseline builders).
     pub fn insert_mh(&mut self, guid: Guid, addr: NodeAddr) {
         self.mh.insert(guid, addr);
         self.rev.insert(addr, Endpoint::Mh(guid));
+        Self::set_dense(&mut self.mh_dense, guid.0 as usize, addr);
+        Self::set_dense(&mut self.rev_dense, addr.index(), Endpoint::Mh(guid));
     }
 
     /// Every registered address, in address order.
@@ -57,16 +82,29 @@ impl AddrMap {
     }
 
     /// Address of a network entity.
+    #[inline]
     pub fn ne(&self, id: NodeId) -> Option<NodeAddr> {
-        self.ne.get(&id).copied()
+        let i = id.0 as usize;
+        if i < self.ne_dense.len() {
+            self.ne_dense[i]
+        } else {
+            self.ne.get(&id).copied()
+        }
     }
 
     /// Address of a mobile host.
+    #[inline]
     pub fn mh(&self, guid: Guid) -> Option<NodeAddr> {
-        self.mh.get(&guid).copied()
+        let i = guid.0 as usize;
+        if i < self.mh_dense.len() {
+            self.mh_dense[i]
+        } else {
+            self.mh.get(&guid).copied()
+        }
     }
 
     /// Resolve any endpoint.
+    #[inline]
     pub fn resolve(&self, ep: Endpoint) -> Option<NodeAddr> {
         match ep {
             Endpoint::Ne(n) => self.ne(n),
@@ -76,11 +114,15 @@ impl AddrMap {
 
     /// Reverse lookup; unknown addresses (e.g. source generators) map to a
     /// sentinel NE identity that no real entity uses.
+    #[inline]
     pub fn endpoint_of(&self, addr: NodeAddr) -> Endpoint {
-        self.rev
-            .get(&addr)
-            .copied()
-            .unwrap_or(Endpoint::Ne(NodeId(u32::MAX)))
+        let i = addr.index();
+        let hit = if i < self.rev_dense.len() {
+            self.rev_dense[i]
+        } else {
+            self.rev.get(&addr).copied()
+        };
+        hit.unwrap_or(Endpoint::Ne(NodeId(u32::MAX)))
     }
 }
 
@@ -300,7 +342,12 @@ impl NeActor {
                         if local {
                             match dsts.as_slice() {
                                 [] => {}
+                                // ringlint: allow(hot-clone) — audited: one clone per flushed
+                                // message that also loops back locally, not per recipient; the
+                                // wire copy moves and the original stays for local dispatch.
                                 [one] => ctx.send(*one, msg.clone()),
+                                // ringlint: allow(hot-clone) — audited: same split as above;
+                                // multicast interns the payload once for all recipients.
                                 many => ctx.multicast(many, msg.clone()),
                             }
                             loopback.push(msg);
@@ -802,8 +849,7 @@ fn assemble(
     let mut claim_ne = |map: &mut AddrMap, id: NodeId| {
         let addr = NodeAddr(next);
         next += 1;
-        map.ne.insert(id, addr);
-        map.rev.insert(addr, Endpoint::Ne(id));
+        map.insert_ne(id, addr);
     };
     for &br in &spec.top_ring {
         claim_ne(&mut map, br);
@@ -824,8 +870,7 @@ fn assemble(
     for mh in &spec.mhs {
         let addr = NodeAddr(next);
         next += 1;
-        map.mh.insert(mh.guid, addr);
-        map.rev.insert(addr, Endpoint::Mh(mh.guid));
+        map.insert_mh(mh.guid, addr);
     }
     let map = Arc::new(map);
 

@@ -49,11 +49,6 @@ impl NeState {
     /// the ring, the children and the MHs. Also emits `NeSkip` records for
     /// really-lost messages the front steps over.
     pub(crate) fn drive_delivery(&mut self, now: SimTime, out: &mut Outbox) {
-        let items = self.mq.poll_deliverable();
-        if items.is_empty() {
-            return;
-        }
-        self.telemetry.delivered_up_to(now, self.mq.front());
         let me = self.id;
         let group = self.group;
         // Non-top ring members forward along the ring, stopping before the
@@ -65,7 +60,11 @@ impl NeState {
             }
             _ => None,
         };
-        for item in items {
+        // Step the front one slot at a time (no per-poll Vec — this runs on
+        // every data arrival and usually advances nothing).
+        let mut any = false;
+        while let Some(item) = self.mq.next_deliverable() {
+            any = true;
             match item {
                 DeliverItem::Deliver(gsn, data) => {
                     if let Some(next) = fwd_next {
@@ -92,6 +91,10 @@ impl NeState {
                 }
             }
         }
+        if !any {
+            return;
+        }
+        self.telemetry.delivered_up_to(now, self.mq.front());
         if self.cfg.record_ne_progress {
             out.push(Action::Record(ProtoEvent::NeDelivered {
                 group,

@@ -148,9 +148,10 @@ impl MhState {
         }
     }
 
-    /// Advance the application-delivery front.
+    /// Advance the application-delivery front, one slot at a time (no
+    /// per-poll `Vec` — this runs on every data arrival).
     fn deliver_ready(&mut self, out: &mut Outbox) {
-        for item in self.mq.poll_deliverable() {
+        while let Some(item) = self.mq.next_deliverable() {
             match item {
                 DeliverItem::Deliver(gsn, data) => {
                     debug_assert!(gsn > self.last_delivered, "total order violated");

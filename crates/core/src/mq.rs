@@ -197,28 +197,36 @@ impl MessageQueue {
         }
     }
 
-    /// Advance `Front` over every contiguous received-or-lost slot, returning
-    /// the delivery items in order. Received slots are marked `Delivered`.
-    pub fn poll_deliverable(&mut self) -> Vec<DeliverItem> {
-        let mut out = Vec::new();
-        loop {
-            let next = self.front.next().max(self.base);
-            let Some(i) = self.idx(next) else { break };
-            match &mut self.slots[i] {
-                Slot::Missing { .. } => break,
-                Slot::Lost => {
-                    self.front = next;
-                    out.push(DeliverItem::Skip(next));
-                }
-                Slot::Received { delivered, data } => {
-                    let d = *data;
-                    *delivered = true;
-                    self.front = next;
-                    out.push(DeliverItem::Deliver(next, d));
-                }
+    /// Advance `Front` over the next contiguous received-or-lost slot, if
+    /// any, returning its delivery item. Received slots are marked
+    /// `Delivered`. The allocation-free stepping primitive under
+    /// [`Mq::poll_deliverable`] — hot delivery loops call it directly so an
+    /// empty poll (the common case: most arrivals don't advance `Front`)
+    /// costs no `Vec`.
+    pub fn next_deliverable(&mut self) -> Option<DeliverItem> {
+        let next = self.front.next().max(self.base);
+        let i = self.idx(next)?;
+        match &mut self.slots[i] {
+            Slot::Missing { .. } => None,
+            Slot::Lost => {
+                self.front = next;
+                Some(DeliverItem::Skip(next))
+            }
+            Slot::Received { delivered, data } => {
+                let d = *data;
+                *delivered = true;
+                self.front = next;
+                Some(DeliverItem::Deliver(next, d))
             }
         }
-        out
+    }
+
+    /// Advance `Front` over every contiguous received-or-lost slot, returning
+    /// the delivery items in order. Received slots are marked `Delivered`.
+    /// Collecting convenience over [`Mq::next_deliverable`] for tests and
+    /// diagnostics.
+    pub fn poll_deliverable(&mut self) -> Vec<DeliverItem> {
+        std::iter::from_fn(|| self.next_deliverable()).collect()
     }
 
     /// Walk the missing slots between `Front` and `Rear`: every slot still

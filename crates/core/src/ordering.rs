@@ -347,14 +347,24 @@ impl NeState {
         // carry the *original* `(source, local_seq)` identity.
         let fence_assigned = self.fence_assign_on_token(now, &mut token, out);
         // Keep the two most recent token versions (§4.1); the ablation knob
-        // drops the old one.
+        // drops the old one. The snapshot retiring from `old_token` is
+        // recycled as the new snapshot's buffer (`copy_from`), so steady-
+        // state rotation takes no allocation here.
         let ord = self.ord.as_mut().expect("ordering state");
-        ord.old_token = if self.cfg.keep_old_token {
-            ord.new_token.take()
+        let mut snapshot = if self.cfg.keep_old_token {
+            std::mem::replace(&mut ord.old_token, ord.new_token.take())
         } else {
-            None
+            ord.old_token = None;
+            ord.new_token.take()
         };
-        ord.new_token = Some(token.clone());
+        match snapshot.as_mut() {
+            Some(s) => s.copy_from(&token),
+            // ringlint: allow(hot-clone) — audited: cold path, runs once per node
+            // lifetime (first pass with no retired snapshot to recycle); the steady
+            // state reuses the retired snapshot's buffers via copy_from above.
+            None => snapshot = Some(token.clone()),
+        }
+        ord.new_token = snapshot;
         out.push(Action::Record(ProtoEvent::TokenPass {
             group,
             node: me,
@@ -372,14 +382,11 @@ impl NeState {
         // message in its MQ, from where ring-level NACK repair can fetch it.
         let drove = assigned.is_some() || !fence_assigned.is_empty();
         if let Some((range, min_gs)) = assigned {
-            let copied = self
-                .wq
-                .as_mut()
-                .expect("top-ring node has a WQ")
-                .take_orderable(me, me, range, min_gs);
-            for (gsn, data) in copied {
-                let _ = self.mq.insert(gsn, data);
-            }
+            let wq = self.wq.as_mut().expect("top-ring node has a WQ");
+            let mq = &mut self.mq;
+            wq.take_orderable_with(me, me, range, min_gs, |gsn, data| {
+                let _ = mq.insert(gsn, data);
+            });
         }
         for (gsn, data) in fence_assigned {
             let _ = self.mq.insert(gsn, data);
@@ -392,6 +399,9 @@ impl NeState {
         let ord = self.ord.as_mut().expect("ordering state");
         if next != me {
             ord.inflight = Some(InflightToken {
+                // ringlint: allow(hot-clone) — audited: one clone per token *pass*
+                // (not per delivery): the retransmission buffer must retain the
+                // token while the wire copy moves into Msg::Token below.
                 token: token.clone(),
                 to: next,
                 sent_at: now,
@@ -430,31 +440,34 @@ impl NeState {
         let record_copies = self.cfg.record_ne_progress;
         let Some(ord) = self.ord.as_ref() else { return };
         // Gather WTSNP entries from both kept versions, dedup by range.
-        let mut entries: Vec<SeqNoPair> = Vec::with_capacity(16);
+        // Size the buffer exactly and bail before allocating when both
+        // snapshots are empty — this runs on every τ tick.
+        let n_old = ord.old_token.as_ref().map_or(0, |t| t.entries().len());
+        let n_new = ord.new_token.as_ref().map_or(0, |t| t.entries().len());
+        if n_old + n_new == 0 {
+            return;
+        }
+        let mut entries: Vec<SeqNoPair> = Vec::with_capacity(n_old + n_new);
         if let Some(t) = &ord.old_token {
             entries.extend_from_slice(t.entries());
         }
         if let Some(t) = &ord.new_token {
             entries.extend_from_slice(t.entries());
         }
-        if entries.is_empty() {
-            return;
-        }
         entries.sort_unstable_by_key(|e| e.min_gs);
         entries.dedup_by_key(|e| e.min_gs);
         let wq = self.wq.as_mut().expect("top-ring node has a WQ");
-        let mut copied = Vec::new();
+        let mq = &mut self.mq;
         for e in &entries {
-            copied.extend(wq.take_orderable(e.ordering_node, e.source, e.local, e.min_gs));
-        }
-        for (gsn, data) in copied {
-            if self.mq.insert(gsn, data) == InsertOutcome::Stored && record_copies {
-                out.push(Action::Record(ProtoEvent::MqCopied {
-                    group,
-                    node: me,
-                    gsn,
-                }));
-            }
+            wq.take_orderable_with(e.ordering_node, e.source, e.local, e.min_gs, |gsn, data| {
+                if mq.insert(gsn, data) == InsertOutcome::Stored && record_copies {
+                    out.push(Action::Record(ProtoEvent::MqCopied {
+                        group,
+                        node: me,
+                        gsn,
+                    }));
+                }
+            });
         }
         self.drive_delivery(now, out);
     }

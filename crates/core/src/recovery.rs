@@ -134,6 +134,8 @@ impl NeState {
             }
             // Upgrade the snapshot if ours has assigned further.
             match &ord.new_token {
+                // ringlint: allow(hot-clone) — audited: token-regeneration recovery
+                // path, runs only after a suspected token loss, never per delivery.
                 Some(mine) if mine.next_gsn > best.next_gsn => mine.clone(),
                 _ => best,
             }

@@ -86,19 +86,13 @@ impl NeState {
             .is_multiple_of(self.cfg.ack_every as u64)
         {
             let front = self.mq.front();
-            let mut ack_targets: Vec<crate::ids::NodeId> = Vec::with_capacity(2);
-            if let Some(up) = self.upstream() {
-                ack_targets.push(up);
-            }
-            // Ring members additionally ack their previous node so its
-            // retention window can advance even when their own upstream is a
-            // parent (non-top ring leaders).
-            if let Some(prev) = prev {
-                if prev != self.id && !ack_targets.contains(&prev) {
-                    ack_targets.push(prev);
-                }
-            }
-            for t in ack_targets {
+            // At most two ack targets: upstream, plus — for ring members —
+            // the previous node, so its retention window can advance even
+            // when their own upstream is a parent (non-top ring leaders).
+            // A fixed pair instead of a Vec: this runs every ack tick.
+            let up = self.upstream();
+            let ring_prev = prev.filter(|&p| p != self.id && Some(p) != up);
+            for t in [up, ring_prev].into_iter().flatten() {
                 out.push(Action::to_ne(t, Msg::DataAck { group, upto: front }));
                 self.counters.control_sent += 1;
             }
@@ -106,12 +100,13 @@ impl NeState {
             if let Some(prev) = prev {
                 if prev != self.id {
                     if let Some(wq) = self.wq.as_ref() {
-                        let acks: Vec<_> = wq
+                        let me = self.id;
+                        let mut sent = 0u32;
+                        for (corr, upto) in wq
                             .sources()
-                            .filter(|&c| c != self.id)
+                            .filter(|&c| c != me)
                             .map(|c| (c, wq.contiguous_prefix(c)))
-                            .collect();
-                        for (corr, upto) in acks {
+                        {
                             out.push(Action::to_ne(
                                 prev,
                                 Msg::PreOrderAck {
@@ -120,8 +115,9 @@ impl NeState {
                                     upto,
                                 },
                             ));
-                            self.counters.control_sent += 1;
+                            sent += 1;
                         }
+                        self.counters.control_sent += sent;
                     }
                 }
             }

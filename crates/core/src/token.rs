@@ -103,6 +103,33 @@ impl OrderingToken {
         min_gs
     }
 
+    /// Overwrite `self` with a copy of `src`, reusing the WTSNP buffer's
+    /// capacity. The snapshot path (`NewOrderingToken` on every pass)
+    /// recycles retired snapshots through this instead of `clone`, so the
+    /// steady-state token rotation allocates nothing.
+    pub fn copy_from(&mut self, src: &OrderingToken) {
+        // Whole-struct copy (epoch included, carried verbatim — no epoch
+        // ordering happens here), re-seating the recycled WTSNP buffer.
+        self.wtsnp.clone_from(&src.wtsnp);
+        let wtsnp = std::mem::take(&mut self.wtsnp);
+        let OrderingToken {
+            group,
+            epoch,
+            origin,
+            next_gsn,
+            rotation,
+            ..
+        } = *src;
+        *self = OrderingToken {
+            group,
+            epoch,
+            origin,
+            next_gsn,
+            rotation,
+            wtsnp,
+        };
+    }
+
     /// Note a pass over the ring leader (one full rotation) and prune WTSNP
     /// entries older than [`WTSNP_RETAIN_ROTATIONS`]. Returns pruned count.
     pub fn complete_rotation(&mut self) -> usize {

@@ -247,10 +247,27 @@ impl WorkingQueue {
         range: LocalRange,
         min_gs: GlobalSeq,
     ) -> Vec<(GlobalSeq, MsgData)> {
-        let Some(q) = self.queues.get_mut(&corresponding) else {
-            return Vec::new();
-        };
         let mut out = Vec::new();
+        self.take_orderable_with(corresponding, source, range, min_gs, |g, d| {
+            out.push((g, d));
+        });
+        out
+    }
+
+    /// [`Wq::take_orderable`] without the result `Vec`: each taken entry is
+    /// handed to `sink` in order. The hot ordering paths (token pass,
+    /// τ Order-Assignment) insert straight into the MQ through this.
+    pub fn take_orderable_with(
+        &mut self,
+        corresponding: NodeId,
+        source: NodeId,
+        range: LocalRange,
+        min_gs: GlobalSeq,
+        mut sink: impl FnMut(GlobalSeq, MsgData),
+    ) {
+        let Some(q) = self.queues.get_mut(&corresponding) else {
+            return;
+        };
         for ls in range.iter() {
             let Some(i) = q.idx(ls) else { continue };
             if let SqSlot::Present {
@@ -267,7 +284,7 @@ impl WorkingQueue {
                 *gsn = Some(g);
                 *copied = true;
                 let (src, src_seq) = origin.unwrap_or((source, ls));
-                out.push((
+                sink(
                     g,
                     MsgData {
                         source: src,
@@ -275,10 +292,9 @@ impl WorkingQueue {
                         ordering_node: corresponding,
                         payload: *payload,
                     },
-                ));
+                );
             }
         }
-        out
     }
 
     /// Record a cumulative ACK from the next ring node for one source's

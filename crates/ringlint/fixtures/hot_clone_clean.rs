@@ -1,0 +1,47 @@
+//! hot-clone fixture (clean): the copy-free patterns the rule must not
+//! flag — handle passing, moves, buffer recycling, an audited split
+//! point, and clones of non-payload types.
+
+use crate::msg::{Msg, PayloadId};
+use crate::token::OrderingToken;
+
+struct Relay {
+    buffered: Msg,
+    token: OrderingToken,
+    cfg: ProtocolConfig,
+}
+
+impl Relay {
+    /// Forwarding a handle: `PayloadId` is `Copy`, no payload bytes move.
+    fn forward(&mut self, payload: PayloadId, children: &[u32]) -> Vec<(u32, PayloadId)> {
+        children.iter().map(|&c| (c, payload)).collect()
+    }
+
+    /// Moving the payload out instead of cloning it.
+    fn take(&mut self, replacement: Msg) -> Msg {
+        std::mem::replace(&mut self.buffered, replacement)
+    }
+
+    /// Recycling a retired snapshot's buffers instead of cloning.
+    fn refresh(&mut self, src: &OrderingToken) {
+        self.token.copy_from(src);
+    }
+
+    /// Cloning a non-payload type is fine: config is setup-time data.
+    fn config(&self) -> ProtocolConfig {
+        self.cfg.clone()
+    }
+}
+
+/// The one audited split of a batched fan-out: last recipient takes the
+/// payload by move.
+fn unpack<M: Clone>(msg: M, dsts: &[u32], mut deliver: impl FnMut(u32, M)) {
+    if let Some((&last, rest)) = dsts.split_last() {
+        for &d in rest {
+            // ringlint: allow(hot-clone) — audited: batched-Fan unpack point;
+            // the last recipient receives the original by move.
+            deliver(d, msg.clone());
+        }
+        deliver(last, msg);
+    }
+}

@@ -1,0 +1,42 @@
+//! hot-clone fixture: every way a payload copy can sneak back onto the
+//! sim path. Each marked line must be flagged.
+
+use crate::msg::{Msg, MsgData};
+use crate::token::OrderingToken;
+
+struct Relay {
+    buffered: Msg,
+    token: OrderingToken,
+}
+
+impl Relay {
+    /// A per-hop forward that copies the whole message: the exact
+    /// pattern the copy-free fabric removed.
+    fn forward(&mut self, msg: Msg, children: &[u32]) -> Vec<(u32, Msg)> {
+        let mut out = Vec::new();
+        for &c in children {
+            out.push((c, msg.clone())); // FLAG: per-recipient payload clone
+        }
+        out
+    }
+
+    /// Cloning through a field access.
+    fn stash(&mut self) -> Msg {
+        self.buffered.clone() // FLAG: field-typed Msg clone
+    }
+
+    /// Cloning the ordering token (WTSNP table and all) per pass.
+    fn snapshot(&self) -> OrderingToken {
+        self.token.clone() // FLAG: OrderingToken clone
+    }
+
+    /// Cloning through a method chain on an Option-wrapped payload.
+    fn relay(&self, held: Option<MsgData>) -> MsgData {
+        held.as_ref().expect("payload present").clone() // FLAG: chained clone
+    }
+}
+
+/// A generic fan-out in simnet style: `M` is a message payload.
+fn fan_out<M: Clone>(msg: M, dsts: &[u32]) -> Vec<(u32, M)> {
+    dsts.iter().map(|&d| (d, msg.clone())).collect() // FLAG: generic payload clone
+}

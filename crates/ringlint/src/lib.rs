@@ -10,6 +10,7 @@
 //! | `epoch-fence` | raw `Epoch` ordering confined to `ring_epoch` | PR 5 |
 //! | `lifecycle-confinement` | membership changes only via `RingLifecycle::apply` | PR 4 |
 //! | `determinism` | no wall clocks / unordered-map iteration in the sim path | PR 1-2 |
+//! | `hot-clone` | no payload-bearing `.clone()` in the sim path outside audited sites | PR 10 |
 //! | `panic-discipline` | no bare `unwrap()` / empty `expect("")` in protocol code | PR 6 |
 //! | `layering` | crate deps point one way; baselines use the core facade | PR 1 |
 //!

@@ -1,0 +1,146 @@
+//! **hot-clone** — payload clones on the sim path are audited.
+//!
+//! PR 10's copy-free message fabric passes interned payload handles and
+//! batched fan-out events instead of cloning payload-bearing messages at
+//! every hop. This rule keeps the fabric copy-free: inside the sim-path
+//! crates, a `.clone()` whose receiver is (or reaches through) a
+//! payload-bearing message type — the core `Msg` enum, its `MsgData`
+//! payload record, the `OrderingToken` with its WTSNP table, or a simnet
+//! generic message `M` — is a finding unless the site carries an audited
+//! `ringlint: allow(hot-clone)` stating why the clone is *not*
+//! per-delivery (e.g. one clone per token pass, or the single split point
+//! of a batched fan-out).
+//!
+//! The receiver is resolved textually, like the determinism rule's
+//! hash-container tracking: any binding declared `name: Msg`,
+//! `name = Msg::…`, `name: Option<M>` and so on (anywhere in the file —
+//! bindings are tracked per file, not per scope) marks `name` as
+//! hot-bound, and a `.clone()` is flagged when any identifier along its
+//! receiver chain is hot-bound or is a hot type path itself.
+
+use super::{Ctx, Finding};
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
+
+pub const RULE: &str = "hot-clone";
+
+/// Payload-bearing message types. `M` is the conventional name of the
+/// simnet message generic; in the sim-path crates a binding typed `M`
+/// (or `Vec<M>`, `Option<M>`, …) is always a message payload.
+const HOT_TYPES: &[&str] = &["Msg", "MsgData", "OrderingToken", "M"];
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.krate.sim_path {
+        return;
+    }
+    let toks = &ctx.file.toks;
+    let hot_bound = hot_bound_names(ctx);
+    for i in 0..toks.len() {
+        // `… . clone ( )`
+        if !(toks[i].is_ident("clone")
+            && i >= 2
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(")")))
+        {
+            continue;
+        }
+        if let Some(name) = hot_receiver(toks, i - 2, &hot_bound) {
+            ctx.emit(
+                out,
+                toks[i].line,
+                RULE,
+                format!(
+                    "`.clone()` of payload-bearing `{name}` on the sim path — the \
+                     copy-free fabric passes handles, not copies; if this clone is \
+                     deliberate (not per-delivery), add an audited \
+                     `ringlint: allow(hot-clone)` saying why"
+                ),
+            );
+        }
+    }
+}
+
+/// Walk the receiver chain backwards from `end` (the token before the
+/// `.` of `.clone()`): through method calls, field accesses and `::`
+/// paths. Returns the first hot identifier found along the chain.
+fn hot_receiver(
+    toks: &[crate::lexer::Tok],
+    end: usize,
+    hot_bound: &BTreeSet<String>,
+) -> Option<String> {
+    let mut j = end as isize;
+    loop {
+        if j < 0 {
+            return None;
+        }
+        let t = &toks[j as usize];
+        if t.is_punct(")") {
+            // Skip a balanced call/tuple backwards.
+            let mut depth = 1i32;
+            j -= 1;
+            while j >= 0 && depth > 0 {
+                let p = &toks[j as usize];
+                if p.is_punct(")") {
+                    depth += 1;
+                } else if p.is_punct("(") {
+                    depth -= 1;
+                }
+                j -= 1;
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if hot_bound.contains(&t.text) || HOT_TYPES.contains(&t.text.as_str()) {
+                return Some(t.text.clone());
+            }
+            // Keep walking a `a.b` / `a::b` chain; stop at the root.
+            if j >= 1 && (toks[j as usize - 1].is_punct(".") || toks[j as usize - 1].is_punct("::"))
+            {
+                j -= 2;
+                continue;
+            }
+        }
+        return None;
+    }
+}
+
+/// Names bound to a hot type anywhere in the file: `name: Msg` (fields,
+/// lets, params) and `name = Msg::…`-style constructor bindings, looking
+/// through references, `mut`, generics and the common wrappers
+/// (`Option`/`Box`/`Vec`/`Some`).
+fn hot_bound_names(ctx: &Ctx<'_>) -> BTreeSet<String> {
+    let toks = &ctx.file.toks;
+    let mut bound = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(sep) = toks.get(i + 1) else { continue };
+        if !(sep.is_punct(":") || sep.is_punct("=")) {
+            continue;
+        }
+        let mut j = i + 2;
+        let limit = (i + 10).min(toks.len());
+        while j < limit {
+            let t = &toks[j];
+            if t.kind == TokKind::Ident && HOT_TYPES.contains(&t.text.as_str()) {
+                bound.insert(toks[i].text.clone());
+                break;
+            }
+            let transparent = t.is_punct("&")
+                || t.is_punct("::")
+                || t.is_punct("<")
+                || t.is_punct("(")
+                || t.is_ident("mut")
+                || t.is_ident("dyn")
+                || (t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "std" | "Option" | "Box" | "Vec" | "Some"));
+            if !transparent {
+                break;
+            }
+            j += 1;
+        }
+    }
+    bound
+}

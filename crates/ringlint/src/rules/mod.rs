@@ -8,6 +8,7 @@ use crate::workspace::CrateSpec;
 
 pub mod determinism;
 pub mod epoch;
+pub mod hot_clone;
 pub mod layering;
 pub mod lifecycle;
 pub mod panics;
@@ -73,6 +74,12 @@ pub const RULES: &[RuleInfo] = &[
                     container there carries an audited allow",
     },
     RuleInfo {
+        id: hot_clone::RULE,
+        rationale: "the message fabric is copy-free (PR 10): no `.clone()` of payload-bearing \
+                    Msg/MsgData/OrderingToken/simnet-M values in the sim path outside audited \
+                    allow sites",
+    },
+    RuleInfo {
         id: panics::RULE,
         rationale: "protocol code never panics without naming the violated assumption: bare \
                     unwrap() and message-less expect() are banned outside tests",
@@ -100,6 +107,7 @@ pub fn run_rules(ctx: &Ctx<'_>) -> Vec<Finding> {
     epoch::check(ctx, &mut out);
     lifecycle::check(ctx, &mut out);
     determinism::check(ctx, &mut out);
+    hot_clone::check(ctx, &mut out);
     panics::check(ctx, &mut out);
     layering::check(ctx, &mut out);
     out

@@ -108,6 +108,28 @@ fn lifecycle_fixture_pair() {
 }
 
 #[test]
+fn hot_clone_fixture_pair() {
+    let bad = lint_as(
+        "ringnet_core",
+        include_str!("../fixtures/hot_clone_violating.rs"),
+    );
+    assert_eq!(
+        bad.len(),
+        5,
+        "per-recipient, field Msg, token, chained Option, generic M: {bad:?}"
+    );
+    assert!(rules_of(&bad).iter().all(|r| *r == "hot-clone"));
+    let clean = lint_as(
+        "ringnet_core",
+        include_str!("../fixtures/hot_clone_clean.rs"),
+    );
+    assert!(
+        clean.is_empty(),
+        "handles, moves, copy_from, audited allow: {clean:?}"
+    );
+}
+
+#[test]
 fn determinism_fixture_pair() {
     let bad = lint_as(
         "ringnet_core",
@@ -271,6 +293,7 @@ fn every_rule_family_has_a_fixture_demonstration() {
         "epoch-fence",
         "lifecycle-confinement",
         "determinism",
+        "hot-clone",
         "panic-discipline",
         "layering",
         "suppression",

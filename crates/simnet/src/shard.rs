@@ -61,9 +61,18 @@ impl<M: Clone, R> Shard<M, R> {
             self.world.stats.events += 1;
             match ev {
                 Ev::Packet { src, dst, msg } => self.deliver(src, dst, msg),
-                Ev::SharedPacket { src, dst, slot } => {
-                    let msg = self.world.take_shared(slot);
-                    self.deliver(src, dst, msg);
+                Ev::Fan { src, slot } => {
+                    let (msg, dsts) = self.world.take_fan(slot);
+                    if let Some((&last, rest)) = dsts.split_last() {
+                        for &dst in rest {
+                            // ringlint: allow(hot-clone) — audited: the unpack point
+                            // of a batched Fan event; each recipient's actor takes
+                            // ownership, the last one receives the original by move.
+                            self.deliver(src, dst, msg.clone());
+                        }
+                        self.deliver(src, last, msg);
+                    }
+                    self.world.recycle_fan(dsts);
                 }
                 Ev::Timer { node, tag } => self.fire_timer(node, tag),
                 Ev::Control(f) => f(&mut self.world),

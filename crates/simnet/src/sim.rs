@@ -148,12 +148,16 @@ pub(crate) enum Ev<M, R> {
         dst: NodeAddr,
         msg: M,
     },
-    /// A multicast copy: the payload is interned once in the world's
-    /// shared-message pool and referenced by slot, so an n-way fan-out
-    /// stores one message instead of n clones.
-    SharedPacket {
+    /// A batched multicast fan-out: one queue event standing for a run of
+    /// copies that all arrive at the same instant. The payload and the
+    /// ordered recipient list are interned in the world's fan pool and
+    /// referenced by slot; the run is unpacked sequentially at pop time.
+    /// Order-equivalent to per-copy events: same-time events pop in
+    /// insertion order, and the copies were inserted consecutively, so
+    /// delivering the run back-to-back reproduces the exact interleaving —
+    /// while costing one queue round-trip instead of k.
+    Fan {
         src: NodeAddr,
-        dst: NodeAddr,
         slot: u32,
     },
     Timer {
@@ -163,37 +167,38 @@ pub(crate) enum Ev<M, R> {
     Control(ControlFn<M, R>),
 }
 
-/// Interned payloads shared by multicast fan-outs: one slot per distinct
-/// message, reference-counted by the number of pending copies. The last
-/// pending copy takes the payload by move; earlier ones clone.
-struct SharedPool<M> {
-    slots: Slab<(M, u32)>,
+/// Interned fan-out runs (see [`Ev::Fan`]): one slot per batched multicast
+/// event, holding the message once plus its ordered recipient list. The
+/// recipient buffers are recycled across fan-outs, so the steady-state hot
+/// path allocates nothing.
+struct FanPool<M> {
+    slots: Slab<(M, Vec<NodeAddr>)>,
+    /// Retained-capacity recipient buffers awaiting reuse.
+    spare: Vec<Vec<NodeAddr>>,
 }
 
-impl<M> SharedPool<M> {
+impl<M> FanPool<M> {
     fn new() -> Self {
-        SharedPool { slots: Slab::new() }
-    }
-
-    fn put(&mut self, msg: M, refs: u32) -> u32 {
-        debug_assert!(refs > 0);
-        self.slots.insert((msg, refs))
-    }
-
-    fn take(&mut self, slot: u32) -> M
-    where
-        M: Clone,
-    {
-        let (msg, refs) = self
-            .slots
-            .get_mut(slot)
-            .expect("shared slot taken past its refcount");
-        if *refs > 1 {
-            *refs -= 1;
-            msg.clone()
-        } else {
-            self.slots.remove(slot).0
+        FanPool {
+            slots: Slab::new(),
+            spare: Vec::new(),
         }
+    }
+
+    fn put(&mut self, msg: M, run: &[(NodeAddr, SimTime)]) -> u32 {
+        debug_assert!(run.len() > 1, "a fan stands for at least two copies");
+        let mut dsts = self.spare.pop().unwrap_or_default();
+        dsts.extend(run.iter().map(|&(dst, _)| dst));
+        self.slots.insert((msg, dsts))
+    }
+
+    fn take(&mut self, slot: u32) -> (M, Vec<NodeAddr>) {
+        self.slots.remove(slot)
+    }
+
+    fn recycle(&mut self, mut dsts: Vec<NodeAddr>) {
+        dsts.clear();
+        self.spare.push(dsts);
     }
 }
 
@@ -251,8 +256,8 @@ impl<M> ShardRoute<M> {
 pub struct World<M, R> {
     now: SimTime,
     queue: EventQueue<Ev<M, R>>,
-    /// Interned multicast payloads (see [`Ev::SharedPacket`]).
-    shared: SharedPool<M>,
+    /// Interned multicast fan-out runs (see [`Ev::Fan`]).
+    fans: FanPool<M>,
     /// Reused scratch buffer for multicast delivery planning.
     mc_buf: Vec<(NodeAddr, SimTime)>,
     /// Cross-shard routing (sharded runs only, see [`ShardRoute`]).
@@ -275,7 +280,7 @@ impl<M, R> World<M, R> {
         World {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
-            shared: SharedPool::new(),
+            fans: FanPool::new(),
             mc_buf: Vec::new(),
             route: None,
             topo: Topology::new(),
@@ -332,12 +337,16 @@ impl<M, R> World<M, R> {
         self.queue.schedule(at, Ev::Packet { src, dst, msg });
     }
 
-    /// Resolve a shared-pool slot on delivery.
-    pub(crate) fn take_shared(&mut self, slot: u32) -> M
-    where
-        M: Clone,
-    {
-        self.shared.take(slot)
+    /// Resolve a fan-pool slot on delivery: the payload plus the ordered
+    /// recipient run. Return the recipient buffer via
+    /// [`World::recycle_fan`] once unpacked.
+    pub(crate) fn take_fan(&mut self, slot: u32) -> (M, Vec<NodeAddr>) {
+        self.fans.take(slot)
+    }
+
+    /// Return a recipient buffer from [`World::take_fan`] for reuse.
+    pub(crate) fn recycle_fan(&mut self, dsts: Vec<NodeAddr>) {
+        self.fans.recycle(dsts);
     }
 
     /// Transmit `msg` from `src` to `dst` over the configured link, applying
@@ -436,6 +445,9 @@ impl<M, R> World<M, R> {
                 for i in 0..deliveries.len() {
                     let (dst, at) = deliveries[i];
                     if route.is_remote(dst) {
+                        // ringlint: allow(hot-clone) — audited: cross-shard hand-off;
+                        // the remote shard's inbox must own its copy, and only
+                        // remote recipients (a minority of a fan-out) pay it.
                         route.push(at, src, dst, msg.clone());
                     } else {
                         deliveries[kept] = (dst, at);
@@ -445,18 +457,36 @@ impl<M, R> World<M, R> {
                 deliveries.truncate(kept);
             }
         }
-        match deliveries.len() {
-            0 => {}
-            1 => {
-                let (dst, at) = deliveries[0];
-                self.queue.schedule(at, Ev::Packet { src, dst, msg });
+        // Group consecutive copies that arrive at the same instant into one
+        // batched Fan event each; runs of length 1 (distinct arrival times)
+        // stay plain packets. Per-run events keep the exact (time, seq)
+        // order the per-copy schedule would have produced: runs at distinct
+        // times sort by time, and within a run the recipient list preserves
+        // insertion order. One payload clone per extra run — the same n−1
+        // worst case as before, and zero in the common all-same-time case.
+        let mut msg = Some(msg);
+        let mut i = 0;
+        while i < deliveries.len() {
+            let (dst, at) = deliveries[i];
+            let mut j = i + 1;
+            while j < deliveries.len() && deliveries[j].1 == at {
+                j += 1;
             }
-            n => {
-                let slot = self.shared.put(msg, n as u32);
-                for &(dst, at) in &deliveries {
-                    self.queue.schedule(at, Ev::SharedPacket { src, dst, slot });
-                }
+            let m = if j == deliveries.len() {
+                msg.take().expect("one payload per multicast")
+            } else {
+                // ringlint: allow(hot-clone) — audited: one clone per same-arrival-
+                // time *run* (not per recipient); the final run takes the payload
+                // by move above, so a loss-free fan-out clones zero times.
+                msg.as_ref().expect("one payload per multicast").clone()
+            };
+            if j - i == 1 {
+                self.queue.schedule(at, Ev::Packet { src, dst, msg: m });
+            } else {
+                let slot = self.fans.put(m, &deliveries[i..j]);
+                self.queue.schedule(at, Ev::Fan { src, slot });
             }
+            i = j;
         }
         self.mc_buf = deliveries;
     }
@@ -739,9 +769,18 @@ impl<M, R> Sim<M, R> {
             Ev::Packet { src, dst, msg } => {
                 self.deliver_packet(src, dst, msg);
             }
-            Ev::SharedPacket { src, dst, slot } => {
-                let msg = self.world.shared.take(slot);
-                self.deliver_packet(src, dst, msg);
+            Ev::Fan { src, slot } => {
+                let (msg, dsts) = self.world.take_fan(slot);
+                if let Some((&last, rest)) = dsts.split_last() {
+                    for &dst in rest {
+                        // ringlint: allow(hot-clone) — audited: the unpack point of
+                        // a batched Fan event; each recipient's actor takes
+                        // ownership, the last one receives the original by move.
+                        self.deliver_packet(src, dst, msg.clone());
+                    }
+                    self.deliver_packet(src, last, msg);
+                }
+                self.world.recycle_fan(dsts);
             }
             Ev::Timer { node, tag } => {
                 let idx = node.index();

@@ -55,6 +55,7 @@ impl<T> Slab<T> {
 
     /// Mutable access to the value at `slot`, if occupied.
     #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn get_mut(&mut self, slot: u32) -> Option<&mut T> {
         match self.slots.get_mut(slot as usize) {
             Some(Entry::Used(v)) => Some(v),
